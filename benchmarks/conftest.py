@@ -1,0 +1,75 @@
+"""Shared configuration for the paper-reproduction benchmark suite.
+
+Defaults are sized so ``pytest benchmarks/ --benchmark-only`` finishes on a
+laptop in minutes; the ``REPRO_*`` environment variables (see
+:mod:`repro.experiments.config`) raise any knob toward the paper's protocol
+(scale=1, 500 runs, 1000 queries).  Every table/figure driver also writes
+its rows to ``benchmarks/results/`` so runs leave an artefact for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Laptop-scale defaults for the accuracy (relative-variance) tables.
+ACCURACY_DEFAULTS = dict(sample_size=250, n_runs=30, n_queries=2, scale=0.01)
+#: Defaults for the timing tables (variance precision not needed).
+TIMING_DEFAULTS = dict(sample_size=250, n_runs=3, n_queries=2, scale=0.01)
+#: Defaults for the scalability figure.
+SCALABILITY_DEFAULTS = dict(sample_size=150, n_runs=2, n_queries=1, scale=0.001)
+#: Defaults for the sample-size figure.
+SAMPLE_SIZE_DEFAULTS = dict(sample_size=250, n_runs=30, n_queries=2, scale=0.01)
+
+
+_ENV_NAMES = {
+    "sample_size": "REPRO_SAMPLES",
+    "n_runs": "REPRO_RUNS",
+    "n_queries": "REPRO_QUERIES",
+    "scale": "REPRO_SCALE",
+}
+
+
+def config_for(kind: str) -> ExperimentConfig:
+    """Build the benchmark config for one experiment family.
+
+    Environment variables beat the per-family defaults, which beat the
+    library defaults.
+    """
+    defaults = {
+        "accuracy": ACCURACY_DEFAULTS,
+        "timing": TIMING_DEFAULTS,
+        "scalability": SCALABILITY_DEFAULTS,
+        "sample_size": SAMPLE_SIZE_DEFAULTS,
+    }[kind]
+    unset = {
+        key: value
+        for key, value in defaults.items()
+        if os.environ.get(_ENV_NAMES[key]) is None
+    }
+    return ExperimentConfig.from_env(**unset)
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def accuracy_config() -> ExperimentConfig:
+    return config_for("accuracy")
+
+
+@pytest.fixture(scope="session")
+def timing_config() -> ExperimentConfig:
+    return config_for("timing")

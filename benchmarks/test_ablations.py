@@ -1,0 +1,145 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not a paper artefact — these quantify the knobs the paper leaves implicit:
+
+* **edge-selection strategy** (RM vs BFS vs degree vs entropy) for RSS-I;
+* **stratification width r** for class-I;
+* **recursion budget policy** (guard vs pooled-residual vs the paper's
+  literal ceiling) — variance *and* worlds actually evaluated;
+* **Neyman vs proportional allocation** with oracle per-stratum variances
+  (Eq. 11 — the upper bound practical allocation chases).
+
+Rows are written to ``benchmarks/results/ablations.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.core import (
+    BSS1,
+    NMC,
+    RSS1,
+    RSS2,
+    DegreeSelection,
+    EntropySelection,
+    BFSSelection,
+    RandomSelection,
+)
+from repro.core.allocation import neyman_allocation, proportional_allocation
+from repro.core.stratify import class1_strata
+from repro.core.variance import nmc_variance, stratum_mean_variance
+from repro.datasets.registry import load_dataset
+from repro.experiments.workloads import influence_queries
+from repro.graph.statuses import EdgeStatuses
+from repro.rng import spawn_rngs
+
+RUNS = 60
+SAMPLES = 250
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = load_dataset("ER", scale=SCALE)
+    # Anchor at a lower-quartile-degree node: hub seeds reach the whole
+    # giant component in nearly every world, leaving (almost) no variance
+    # to compare — the ratios would be pure noise.
+    degrees = np.diff(dataset.graph.adjacency.indptr)
+    candidates = np.flatnonzero(degrees > 0)
+    order = candidates[np.argsort(degrees[candidates])]
+    seed_node = int(order[order.size // 4])
+    from repro.queries.influence import InfluenceQuery
+
+    return dataset.graph, InfluenceQuery(seed_node)
+
+
+def _variance(graph, query, estimator, seed=17):
+    values = [
+        estimator.estimate(graph, query, SAMPLES, rng=r).value
+        for r in spawn_rngs(seed, RUNS)
+    ]
+    return float(np.var(values, ddof=1))
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(setup):
+    graph, query = setup
+    rows = []
+    base = _variance(graph, query, NMC())
+
+    def add(label, estimator):
+        var = _variance(graph, query, estimator)
+        rel = var / base if base > 0 else float("nan")
+        worlds = estimator.estimate(graph, query, SAMPLES, rng=0).n_worlds
+        rows.append((label, rel, worlds))
+
+    add("NMC", NMC())
+    for selection in (RandomSelection(), BFSSelection(), DegreeSelection(), EntropySelection()):
+        add(f"RSS-I sel={type(selection).__name__}", RSS1(r=3, tau=8, selection=selection))
+    for r in (1, 3, 5):
+        add(f"BSS-I r={r}", BSS1(r=r))
+    add("RSS-I policy=guard", RSS1(r=3, tau=8))
+    add("RSS-I policy=pool", RSS1(r=3, tau=8, budget_policy="pool"))
+    add("RSS-I policy=literal", RSS1(r=3, tau=8, budget_policy="literal"))
+    add("RSS-II policy=guard", RSS2(r=8, tau=5))
+    add("RSS-II policy=literal", RSS2(r=8, tau=5, budget_policy="literal"))
+    return rows
+
+
+def test_ablation_table(benchmark, ablation_rows, setup):
+    graph, query = setup
+    benchmark(RSS1(r=3, tau=8).estimate, graph, query, SAMPLES, 1)
+    lines = [f"{'configuration':32s} {'rel.var':>8s} {'worlds':>7s}"]
+    for label, rel, worlds in ablation_rows:
+        lines.append(f"{label:32s} {rel:8.3f} {worlds:7d}")
+    save_result("ablations", "\n".join(lines))
+    table = dict((label, rel) for label, rel, _ in ablation_rows)
+    assert table["NMC"] == pytest.approx(1.0)
+    # wider class-I stratification should not hurt (up to repeat noise)
+    assert table["BSS-I r=5"] <= table["BSS-I r=1"] * 1.6
+
+
+def test_budget_guard_world_accounting(benchmark, setup):
+    graph, query = setup
+    guarded = RSS2(r=8, tau=5)
+    literal = RSS2(r=8, tau=5, budget_policy="literal")
+    benchmark(guarded.estimate, graph, query, SAMPLES, 2)
+    worlds_guarded = guarded.estimate(graph, query, SAMPLES, rng=2).n_worlds
+    worlds_literal = literal.estimate(graph, query, SAMPLES, rng=2).n_worlds
+    assert worlds_guarded <= worlds_literal
+    assert worlds_guarded <= 3 * SAMPLES
+
+
+def test_neyman_oracle_allocation_beats_proportional(benchmark):
+    """Eq. 11 with oracle sigmas vs proportional allocation, computed exactly
+    on an enumerable graph via the variance calculators."""
+    from repro.graph.generators import erdos_renyi
+    from repro.queries.influence import InfluenceQuery
+    from repro.core.variance import stratified_variance
+
+    graph = erdos_renyi(7, 10, rng=4, directed=True)
+    degrees = np.diff(graph.adjacency.indptr)
+    query = InfluenceQuery(int(np.argmax(degrees)))
+    edges = np.array([0, 1, 2])
+    statuses_matrix, pis = class1_strata(graph.prob[edges])
+    sigmas = []
+    for row, pi in zip(statuses_matrix, pis):
+        if pi == 0:
+            sigmas.append(0.0)
+            continue
+        child = EdgeStatuses(graph).pin(edges, row)
+        sigmas.append(stratum_mean_variance(graph, query, child)[1])
+    sigmas = np.asarray(sigmas)
+
+    def proportional_var():
+        return stratified_variance(pis, sigmas, np.maximum(pis * SAMPLES, 1e-9))
+
+    benchmark(proportional_var)
+    neyman = neyman_allocation(pis, sigmas, SAMPLES).astype(float)
+    mask = (pis > 0) & (sigmas > 0)
+    var_neyman = stratified_variance(pis[mask], sigmas[mask], neyman[mask])
+    var_prop = stratified_variance(
+        pis[mask], sigmas[mask], np.maximum(pis[mask] * SAMPLES, 1e-9)
+    )
+    assert var_neyman <= var_prop * 1.05  # optimal allocation is no worse

@@ -1,0 +1,75 @@
+"""Fig. 2 — scalability: average query time vs graph size, both query kinds.
+
+The paper's ER series grows 1:2:3:4 in nodes and edges (200k/800k up to
+800k/3.2m at full scale); the claim is linear growth for every estimator.
+The timed units here are NMC and RCSS influence estimates on the smallest
+and largest graphs of the series; the full per-size table is written to
+``benchmarks/results/fig2.txt`` and the growth ratios are asserted to stay
+near the size ratios (i.e., roughly linear scaling, with generous slack for
+constant overheads at small scale).
+"""
+
+import pytest
+
+from benchmarks.conftest import config_for, save_result
+from repro.core.registry import make_estimator
+from repro.datasets.synthetic import scalability_series
+from repro.experiments.scalability import run_scalability
+from repro.experiments.workloads import influence_queries
+
+
+@pytest.fixture(scope="module")
+def config():
+    return config_for("scalability").with_(
+        estimators=("NMC", "RSSIR1", "RSSIB", "RSSIIB", "BCSS", "RCSS")
+    )
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    out = run_scalability(config)
+    save_result("fig2", out.to_text())
+    return out
+
+
+@pytest.fixture(scope="module")
+def extreme_graphs(config):
+    series = list(scalability_series(scale=config.scale, rng=config.seed))
+    return series[0], series[-1]
+
+
+@pytest.mark.parametrize("which", ("smallest", "largest"))
+@pytest.mark.parametrize("estimator_name", ("NMC", "RCSS"))
+def test_fig2_query_time(benchmark, config, extreme_graphs, which, estimator_name):
+    (label_s, graph_s), (label_l, graph_l) = extreme_graphs
+    graph = graph_s if which == "smallest" else graph_l
+    query = influence_queries(graph, 1, rng=2)[0]
+    estimator = make_estimator(estimator_name, config.settings)
+    benchmark(estimator.estimate, graph, query, config.sample_size, 5)
+
+
+def test_fig2_linear_growth(benchmark, result, extreme_graphs):
+    """Time from the smallest to the largest graph should scale roughly with
+    the 4x edge growth — far below quadratic (16x), for every estimator."""
+    (_, graph_s), _ = extreme_graphs
+    from repro.graph.world import sample_edge_masks
+    from repro.graph.statuses import EdgeStatuses
+
+    benchmark(sample_edge_masks, EdgeStatuses(graph_s), 100, 1)
+    for kind in ("influence", "distance"):
+        first = result.labels[0]
+        last = result.labels[-1]
+        for name, t_first in result.times[kind][first].items():
+            t_last = result.times[kind][last][name]
+            assert t_last < 16 * max(t_first, 1e-6), (kind, name)
+
+
+def test_fig2_all_estimators_measured(benchmark, result, config, extreme_graphs):
+    _, (_, graph_l) = extreme_graphs
+    from repro.graph.world import sample_edge_masks
+    from repro.graph.statuses import EdgeStatuses
+
+    benchmark(sample_edge_masks, EdgeStatuses(graph_l), 100, 1)
+    for kind in ("influence", "distance"):
+        for label in result.labels:
+            assert set(result.times[kind][label]) == set(config.estimators)

@@ -1,0 +1,63 @@
+"""Fig. 3 — relative variance vs sample size (RCSS / RSSIB / RSSIIB, Condmat).
+
+The paper's finding: the three best estimators' relative variances are flat
+("smooth") once N reaches ~1000 on both query kinds.  The sweep is run on
+the Condmat surrogate and written to ``benchmarks/results/fig3.txt``; the
+timed units are RCSS estimates at the smallest and largest N of the sweep.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import config_for, save_result
+from repro.core.registry import make_estimator
+from repro.datasets.registry import load_dataset
+from repro.experiments.sample_size import FIG3_ESTIMATORS, run_sample_size
+from repro.experiments.workloads import influence_queries
+
+SWEEP = (200, 500, 1000, 2000)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return config_for("sample_size")
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    out = run_sample_size(
+        config, dataset_name="Condmat", sample_sizes=SWEEP, estimators=FIG3_ESTIMATORS
+    )
+    save_result("fig3", out.to_text())
+    return out
+
+
+@pytest.mark.parametrize("n_samples", (SWEEP[0], SWEEP[-1]))
+def test_fig3_estimate_cost(benchmark, config, n_samples):
+    dataset = load_dataset("Condmat", scale=config.scale)
+    query = influence_queries(dataset.graph, 1, rng=3)[0]
+    estimator = make_estimator("RCSS", config.settings)
+    benchmark(estimator.estimate, dataset.graph, query, n_samples, 11)
+
+
+def test_fig3_sweep_complete(benchmark, result):
+    benchmark(lambda: result.to_text())
+    assert result.sample_sizes == list(SWEEP)
+    for kind in ("influence", "distance"):
+        for n in SWEEP:
+            cells = result.rvs[kind][str(n)]
+            assert set(FIG3_ESTIMATORS) <= set(cells)
+            assert all(np.isfinite(v) for v in cells.values())
+
+
+def test_fig3_estimators_beat_nmc_on_average(benchmark, result):
+    """Averaged over the sweep and both query kinds, each Fig. 3 estimator
+    should sit below the NMC baseline."""
+    benchmark(lambda: result.series("influence", "RCSS"))
+    for name in FIG3_ESTIMATORS:
+        values = [
+            result.rvs[kind][str(n)][name]
+            for kind in ("influence", "distance")
+            for n in SWEEP
+        ]
+        assert float(np.mean(values)) < 1.0, name

@@ -1,0 +1,53 @@
+"""Table VI — influence function evaluation, average query time.
+
+The paper's finding is that every estimator costs about the same per query
+(same O(N(m+M)) complexity); pytest-benchmark's own table *is* the
+reproduction: compare the mean column across estimators.  A condensed
+per-dataset table is also written to ``benchmarks/results/table6.txt``.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.core.registry import PAPER_ESTIMATORS, make_estimator
+from repro.datasets.registry import load_dataset
+from repro.experiments.tables import influence_table
+from repro.experiments.workloads import influence_queries
+
+
+@pytest.fixture(scope="module")
+def er_setup(timing_config):
+    dataset = load_dataset("ER", scale=timing_config.scale)
+    query = influence_queries(dataset.graph, 1, rng=1)[0]
+    return dataset.graph, query
+
+
+@pytest.mark.parametrize("estimator_name", PAPER_ESTIMATORS)
+def test_table6_query_time(benchmark, timing_config, er_setup, estimator_name):
+    graph, query = er_setup
+    estimator = make_estimator(estimator_name, timing_config.settings)
+    result = benchmark(
+        estimator.estimate, graph, query, timing_config.sample_size, 7
+    )
+    assert result.n_samples == timing_config.sample_size
+
+
+@pytest.fixture(scope="module")
+def full_table(timing_config):
+    table = influence_table(timing_config, "query_time")
+    save_result("table6", table.to_text(digits=4))
+    return table
+
+
+def test_table6_full_rows(benchmark, timing_config, er_setup, full_table):
+    graph, query = er_setup
+    benchmark(
+        make_estimator("NMC").estimate, graph, query, timing_config.sample_size, 13
+    )
+    table = full_table
+    for row in table.cells.values():
+        times = list(row.values())
+        assert all(t > 0 for t in times)
+        # "comparable": no estimator is an order of magnitude off the median
+        median = sorted(times)[len(times) // 2]
+        assert max(times) < 25 * median

@@ -1,0 +1,52 @@
+"""Table VII — expected-reliable distance query, relative variance.
+
+Regenerates the paper's Table VII rows at benchmark scale; rows are written
+to ``benchmarks/results/table7.txt``.  Timed unit: one full RCSS distance
+estimate.
+
+Paper shape: RCSS clearly lowest (0.35–0.52 in the paper), recursive
+estimators below basic ones, everything at or below NMC up to noise.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.core.registry import make_estimator
+from repro.datasets.registry import load_dataset
+from repro.experiments.tables import distance_table
+from repro.experiments.workloads import distance_queries
+
+
+@pytest.fixture(scope="module")
+def table(accuracy_config):
+    result = distance_table(accuracy_config, "relative_variance")
+    save_result("table7", result.to_text())
+    return result
+
+
+@pytest.mark.parametrize("dataset_name", ("ER", "Facebook", "Condmat", "DBLP"))
+def test_table7_row(benchmark, table, accuracy_config, dataset_name):
+    row = table.cells[dataset_name]
+    assert row["NMC"] == pytest.approx(1.0)
+    assert all(np.isfinite(v) and v >= 0 for v in row.values())
+
+    dataset = load_dataset(dataset_name, scale=accuracy_config.scale)
+    query = distance_queries(dataset.graph, 1, rng=0)[0]
+    estimator = make_estimator("RCSS", accuracy_config.settings)
+    benchmark(
+        estimator.estimate, dataset.graph, query, accuracy_config.sample_size, 1
+    )
+
+
+def test_table7_headline_ordering(benchmark, table):
+    from repro.core.stratify import class2_strata
+
+    benchmark(class2_strata, np.linspace(0.05, 0.95, 50))
+    datasets = list(table.cells)
+    med = lambda name: float(np.median([table.cells[d][name] for d in datasets]))
+    # Distance-query variance ratios at bench-scale run counts carry heavy
+    # noise (an NMC-vs-NMC control with independent streams lands at
+    # 0.6-0.9); assert non-inferiority of the paper's winner rather than a
+    # tight bound.  EXPERIMENTS.md discusses the magnitude gap.
+    assert med("RCSS") < 1.05

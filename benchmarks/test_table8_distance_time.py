@@ -1,0 +1,51 @@
+"""Table VIII — expected-reliable distance query, average query time.
+
+As with Table VI, the claim under test is that all twelve estimators cost
+about the same per query.  pytest-benchmark's table compares them directly;
+a condensed per-dataset table goes to ``benchmarks/results/table8.txt``.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.core.registry import PAPER_ESTIMATORS, make_estimator
+from repro.datasets.registry import load_dataset
+from repro.experiments.tables import distance_table
+from repro.experiments.workloads import distance_queries
+
+
+@pytest.fixture(scope="module")
+def er_setup(timing_config):
+    dataset = load_dataset("ER", scale=timing_config.scale)
+    query = distance_queries(dataset.graph, 1, rng=1)[0]
+    return dataset.graph, query
+
+
+@pytest.mark.parametrize("estimator_name", PAPER_ESTIMATORS)
+def test_table8_query_time(benchmark, timing_config, er_setup, estimator_name):
+    graph, query = er_setup
+    estimator = make_estimator(estimator_name, timing_config.settings)
+    result = benchmark(
+        estimator.estimate, graph, query, timing_config.sample_size, 7
+    )
+    assert result.n_samples == timing_config.sample_size
+
+
+@pytest.fixture(scope="module")
+def full_table(timing_config):
+    table = distance_table(timing_config, "query_time")
+    save_result("table8", table.to_text(digits=4))
+    return table
+
+
+def test_table8_full_rows(benchmark, timing_config, er_setup, full_table):
+    graph, query = er_setup
+    benchmark(
+        make_estimator("NMC").estimate, graph, query, timing_config.sample_size, 13
+    )
+    table = full_table
+    for row in table.cells.values():
+        times = list(row.values())
+        assert all(t > 0 for t in times)
+        median = sorted(times)[len(times) // 2]
+        assert max(times) < 25 * median

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Influence function evaluation with variance comparison (paper §VI-B).
+
+The motivating workload of the paper's introduction: given a social network
+whose edges carry influence probabilities, estimate the expected spread of a
+seed user.  We build a scaled-down surrogate of the Facebook message
+network, pick a well-connected seed, and measure each estimator's *relative
+variance* — the paper's Table V metric — over repeated runs.  Run:
+
+    python examples/influence_evaluation.py
+"""
+
+import numpy as np
+
+from repro import InfluenceQuery, ThresholdInfluenceQuery, make_paper_estimators
+from repro.datasets import facebook_like
+from repro.experiments.runner import compare_estimators, relative_variances
+
+SAMPLES = 300
+RUNS = 60
+
+
+def main() -> None:
+    graph = facebook_like(scale=0.05, rng=7)
+    degrees = np.diff(graph.adjacency.indptr)
+    # A moderately-connected seed: hubs reach the whole giant component in
+    # almost every world, leaving no variance to reduce.
+    candidates = np.flatnonzero(degrees > 0)
+    order = candidates[np.argsort(degrees[candidates])]
+    seed_node = int(order[len(order) // 4])
+    print(f"Surrogate Facebook graph: {graph}")
+    print(f"Seed user: node {seed_node} (out-degree {degrees[seed_node]})\n")
+
+    query = InfluenceQuery(seed_node)
+    estimators = make_paper_estimators()
+    stats = compare_estimators(graph, query, estimators, SAMPLES, RUNS, rng=1)
+    rvs = relative_variances(stats)
+
+    print(f"{'estimator':>10s}  {'mean spread':>11s}  {'rel. variance':>13s}")
+    for name, stat in stats.items():
+        print(f"{name:>10s}  {stat.mean:11.3f}  {rvs[name]:13.3f}")
+
+    threshold = 5
+    tq = ThresholdInfluenceQuery(seed_node, threshold)
+    prob = estimators["RCSS"].estimate(graph, tq, 2000, rng=3).value
+    print(
+        f"\nThreshold query: Pr[spread >= {threshold}] ~= {prob:.3f} "
+        "(RCSS, 2000 samples)"
+    )
+    print(
+        "\nExpected shape (paper Table V): RCSS lowest, recursive < basic, "
+        "BFS selection < RM selection, everything <= NMC = 1.0 up to noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

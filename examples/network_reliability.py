@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Network reliability estimation (Rubino'99; the paper's first motivating query).
+
+A communication network whose links fail independently: what is the
+probability that a set of terminals stays connected?  On small lattices we
+can enumerate all possible worlds and see every estimator converge to the
+exact reliability; on larger ones only sampling is feasible, and the
+cut-set estimators shine because link failures make the all-fail stratum
+heavy.  Run:
+
+    python examples/network_reliability.py
+"""
+
+import numpy as np
+
+from repro import NetworkReliabilityQuery, exact_value, make_estimator
+from repro.graph.generators import grid_graph
+from repro.rng import spawn_rngs
+
+
+def empirical_variance(graph, query, estimator, n_samples, repeats, seed):
+    values = [
+        estimator.estimate(graph, query, n_samples, rng=r).value
+        for r in spawn_rngs(seed, repeats)
+    ]
+    return float(np.var(values, ddof=1))
+
+
+def main() -> None:
+    # Small lattice: exact ground truth available.
+    small = grid_graph(3, 3, prob=0.6)
+    query = NetworkReliabilityQuery([0, 8])  # opposite corners
+    truth = exact_value(small, query)
+    print(f"3x3 lattice, p = 0.6: exact Pr[corner-to-corner connected] = {truth:.4f}")
+    for name in ("NMC", "RSSIR1", "RSSIB", "BCSS", "RCSS"):
+        value = make_estimator(name).estimate(small, query, 2000, rng=1).value
+        print(f"  {name:>6s}: {value:.4f}")
+
+    # Variance comparison on an unreliable lattice (p = 0.25): the all-fail
+    # stratum carries most of the mass, exactly where cut-set methods win.
+    print("\nUnreliable 4x4 lattice (p = 0.25), variance over 80 runs of N=400:")
+    big = grid_graph(4, 4, prob=0.25)
+    q2 = NetworkReliabilityQuery([0, 15])
+    base = empirical_variance(big, q2, make_estimator("NMC"), 400, 80, 2)
+    for name in ("NMC", "RSSIR1", "RSSIB", "BCSS", "RCSS"):
+        var = empirical_variance(big, q2, make_estimator(name), 400, 80, 2)
+        rel = var / base if base else float("nan")
+        print(f"  {name:>6s}: variance {var:.3e}  (relative {rel:.3f})")
+
+
+if __name__ == "__main__":
+    main()

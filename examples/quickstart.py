@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: estimate an influence query on the paper's running example.
+
+Builds the uncertain graph of Fig. 1(a), evaluates the expected influence
+spread of node v1 with several estimators, and compares each against the
+exact value (computable here because the graph has only 2^8 possible
+worlds).  Run:
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    InfluenceQuery,
+    exact_value,
+    generators,
+    make_paper_estimators,
+)
+
+
+def main() -> None:
+    graph = generators.paper_running_example()
+    print(f"Uncertain graph: {graph}")
+
+    query = InfluenceQuery(seeds=0)  # v1 in the paper's numbering
+    truth = exact_value(graph, query)
+    print(f"Exact expected spread of v1 (by enumeration): {truth:.4f}\n")
+
+    print(f"{'estimator':>10s}  {'estimate':>9s}  {'abs err':>8s}  {'worlds':>6s}")
+    for name, estimator in make_paper_estimators().items():
+        result = estimator.estimate(graph, query, n_samples=1000, rng=2014)
+        print(
+            f"{name:>10s}  {result.value:9.4f}  {abs(result.value - truth):8.4f}"
+            f"  {result.n_worlds:6d}"
+        )
+
+    print(
+        "\nEvery estimator is unbiased; the stratified ones (BSS*/RSS*/BCSS/"
+        "RCSS) differ from NMC in *variance*, which shows up over repeated "
+        "runs — see examples/influence_evaluation.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

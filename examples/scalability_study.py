@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Scalability study (paper §VI-D / Fig. 2) at a configurable scale.
+
+Generates the paper's ER graph series (1:2:3:4 size progression), measures
+the average per-query estimation time of a few estimators for influence and
+distance queries, and reports per-step growth ratios — linear scaling means
+ratios tracking the 2:1.5:1.33 size steps.  Run:
+
+    python examples/scalability_study.py [scale]
+
+``scale`` defaults to 0.002 (400/1,600 up to 1,600/6,400 nodes/edges);
+``scale 1`` reproduces the paper's 200k..800k-node series (slow!).
+"""
+
+import sys
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scalability import run_scalability
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.002
+    config = ExperimentConfig(
+        sample_size=200,
+        n_runs=3,
+        n_queries=2,
+        scale=scale,
+        seed=42,
+        estimators=("NMC", "RSSIR1", "RSSIB", "RCSS"),
+    )
+    print(f"Running Fig. 2 series at scale {scale} ...\n")
+    result = run_scalability(config)
+    print(result.to_text())
+    print("\nPer-step growth ratios (size steps are 2.0, 1.5, 1.33):")
+    for kind in ("influence", "distance"):
+        for name in config.estimators:
+            ratios = ", ".join(f"{r:.2f}" for r in result.growth_ratios(kind, name))
+            print(f"  {kind:>9s} {name:>7s}: {ratios}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""repro — recursive stratified sampling on uncertain graphs.
+
+A from-scratch Python implementation of *"Efficient and Accurate Query
+Evaluation on Uncertain Graphs via Recursive Stratified Sampling"* (Li, Yu,
+Mao, Jin — ICDE 2014): the uncertain-graph substrate, the two query
+evaluation problem classes (expectation and threshold), and all eight
+estimators (NMC, BSS-I/II, RSS-I/II, FS, BCSS, RCSS) with the paper's
+edge-selection and sample-allocation strategies.
+
+Quickstart
+----------
+>>> from repro import generators, InfluenceQuery, RCSS
+>>> graph = generators.paper_running_example()
+>>> query = InfluenceQuery(seeds=0)
+>>> result = RCSS().estimate(graph, query, n_samples=1000, rng=7)
+>>> 0.0 <= result.value <= 4.0
+True
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphError,
+    ProbabilityError,
+    StatusError,
+    QueryError,
+    EstimatorError,
+    EnumerationError,
+    DatasetError,
+    ExperimentError,
+)
+from repro.graph import (
+    UncertainGraph,
+    EdgeStatuses,
+    FREE,
+    ABSENT,
+    PRESENT,
+    PossibleWorld,
+    sample_world,
+    enumerate_worlds,
+    generators,
+    read_edge_tsv,
+    write_edge_tsv,
+)
+from repro.queries import (
+    Query,
+    CutSetQuery,
+    ThresholdQuery,
+    Comparison,
+    UNREACHABLE,
+    InfluenceQuery,
+    ThresholdInfluenceQuery,
+    ReliableDistanceQuery,
+    ThresholdDistanceQuery,
+    ReachabilityQuery,
+    DistanceConstrainedReachabilityQuery,
+    NetworkReliabilityQuery,
+    exact_value,
+)
+from repro.applications import (
+    k_nearest_neighbors,
+    greedy_influence_maximization,
+    estimate_to_precision,
+)
+from repro.core import (
+    Estimator,
+    EstimateResult,
+    NMC,
+    BSS1,
+    RSS1,
+    BSS2,
+    RSS2,
+    FocalSampling,
+    BCSS,
+    RCSS,
+    RandomSelection,
+    BFSSelection,
+    EstimatorSettings,
+    PAPER_ESTIMATORS,
+    make_estimator,
+    make_paper_estimators,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "ProbabilityError",
+    "StatusError",
+    "QueryError",
+    "EstimatorError",
+    "EnumerationError",
+    "DatasetError",
+    "ExperimentError",
+    # graph
+    "UncertainGraph",
+    "EdgeStatuses",
+    "FREE",
+    "ABSENT",
+    "PRESENT",
+    "PossibleWorld",
+    "sample_world",
+    "enumerate_worlds",
+    "generators",
+    "read_edge_tsv",
+    "write_edge_tsv",
+    # queries
+    "Query",
+    "CutSetQuery",
+    "ThresholdQuery",
+    "Comparison",
+    "UNREACHABLE",
+    "InfluenceQuery",
+    "ThresholdInfluenceQuery",
+    "ReliableDistanceQuery",
+    "ThresholdDistanceQuery",
+    "ReachabilityQuery",
+    "DistanceConstrainedReachabilityQuery",
+    "NetworkReliabilityQuery",
+    "exact_value",
+    # estimators
+    "Estimator",
+    "EstimateResult",
+    "NMC",
+    "BSS1",
+    "RSS1",
+    "BSS2",
+    "RSS2",
+    "FocalSampling",
+    "BCSS",
+    "RCSS",
+    "RandomSelection",
+    "BFSSelection",
+    "EstimatorSettings",
+    "PAPER_ESTIMATORS",
+    "make_estimator",
+    "make_paper_estimators",
+    # applications
+    "k_nearest_neighbors",
+    "greedy_influence_maximization",
+    "estimate_to_precision",
+]

@@ -1,0 +1,27 @@
+"""End-to-end applications built on the estimator stack.
+
+The paper motivates its estimators with two downstream problems; both are
+implemented here on top of the public estimator API:
+
+* **k-nearest neighbours by expected-reliable distance** (Potamias et al.,
+  PVLDB'10 — the source of the Eq. 22 query): :mod:`repro.applications.knn`.
+* **Influence maximisation** (Kempe et al., KDD'03 — the source of the
+  influence function): greedy seed selection with lazy (CELF-style)
+  re-evaluation, :mod:`repro.applications.influence_max`.
+"""
+
+from repro.applications.knn import KnnResult, k_nearest_neighbors
+from repro.applications.influence_max import (
+    GreedyResult,
+    greedy_influence_maximization,
+)
+from repro.applications.adaptive import AdaptiveResult, estimate_to_precision
+
+__all__ = [
+    "KnnResult",
+    "k_nearest_neighbors",
+    "GreedyResult",
+    "greedy_influence_maximization",
+    "AdaptiveResult",
+    "estimate_to_precision",
+]

@@ -1,0 +1,138 @@
+"""Adaptive-precision estimation: sample until the confidence interval closes.
+
+The paper fixes the sample size N and compares variances; a production
+system usually asks the opposite question — *how many samples until the
+answer is trustworthy?*  This module wraps any estimator in a sequential
+procedure: run in batches, track the across-batch standard error of the
+batch means, and stop when the half-width of the (asymptotic normal)
+confidence interval drops below the requested tolerance.  Because
+variance-reduced estimators have smaller per-batch variance, they stop
+earlier — the practical payoff of the paper's contribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.base import Estimator
+from repro.errors import EstimatorError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Query
+from repro.rng import RngLike, spawn_rngs
+
+#: two-sided z-scores for common confidence levels
+_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive estimation run.
+
+    Attributes
+    ----------
+    value:
+        The pooled estimate (mean of batch estimates).
+    half_width:
+        Final confidence-interval half-width.
+    confidence:
+        The confidence level targeted.
+    batches:
+        Individual batch estimates.
+    n_samples_total:
+        Total sample budget spent across batches.
+    converged:
+        ``False`` when the batch cap was hit before the tolerance.
+    """
+
+    value: float
+    half_width: float
+    confidence: float
+    batches: List[float] = field(default_factory=list)
+    n_samples_total: int = 0
+    converged: bool = False
+
+    @property
+    def interval(self) -> tuple:
+        return (self.value - self.half_width, self.value + self.half_width)
+
+
+def estimate_to_precision(
+    graph: UncertainGraph,
+    query: Query,
+    estimator: Estimator,
+    tolerance: float,
+    confidence: float = 0.95,
+    batch_size: int = 200,
+    min_batches: int = 4,
+    max_batches: int = 200,
+    rng: RngLike = None,
+) -> AdaptiveResult:
+    """Run ``estimator`` in batches until the CI half-width is below ``tolerance``.
+
+    Parameters
+    ----------
+    tolerance:
+        Target half-width of the confidence interval on the estimate.
+    confidence:
+        One of 0.90 / 0.95 / 0.99.
+    batch_size:
+        Samples per estimator run; the CLT is applied across batch means.
+    min_batches, max_batches:
+        At least ``min_batches`` runs before testing convergence; give up
+        (``converged=False``) after ``max_batches``.
+
+    Notes
+    -----
+    Batches whose estimate is NaN (a conditional query that never observed
+    its conditioning event) are discarded; if *every* batch is NaN the run
+    fails with :class:`EstimatorError`.
+    """
+    if tolerance <= 0:
+        raise EstimatorError("tolerance must be positive")
+    if confidence not in _Z_SCORES:
+        raise EstimatorError(f"confidence must be one of {sorted(_Z_SCORES)}")
+    if min_batches < 2:
+        raise EstimatorError("min_batches must be at least 2")
+    if max_batches < min_batches:
+        raise EstimatorError("max_batches must be >= min_batches")
+    z = _Z_SCORES[confidence]
+    streams = spawn_rngs(rng, max_batches)
+
+    batches: List[float] = []
+    total = 0
+    converged = False
+    half_width = math.inf
+    for i, stream in enumerate(streams):
+        value = estimator.estimate(graph, query, batch_size, rng=stream).value
+        total += batch_size
+        if value == value:  # not NaN
+            batches.append(value)
+        if len(batches) >= min_batches:
+            arr = np.asarray(batches)
+            sem = arr.std(ddof=1) / math.sqrt(arr.size)
+            half_width = z * sem
+            if half_width <= tolerance:
+                converged = True
+                break
+    if not batches:
+        raise EstimatorError(
+            "every batch produced NaN; the conditioning event may be "
+            "(near-)impossible — check the query"
+        )
+    arr = np.asarray(batches)
+    sem = arr.std(ddof=1) / math.sqrt(arr.size) if arr.size > 1 else math.inf
+    return AdaptiveResult(
+        value=float(arr.mean()),
+        half_width=float(z * sem),
+        confidence=confidence,
+        batches=batches,
+        n_samples_total=total,
+        converged=converged,
+    )
+
+
+__all__ = ["AdaptiveResult", "estimate_to_precision"]

@@ -1,0 +1,145 @@
+"""Greedy influence maximisation with lazy re-evaluation.
+
+Kempe, Kleinberg and Tardos (KDD'03) showed the influence function is
+monotone and submodular under the independent-cascade model — which is the
+possible-world semantics of this library — so greedy seed selection is a
+(1 - 1/e)-approximation.  The bottleneck is evaluating the influence
+function, i.e. exactly the expectation query the paper's estimators speed
+up: plugging a variance-reduced estimator into greedy buys either tighter
+marginal-gain estimates at the same budget or the same accuracy for fewer
+samples.
+
+The implementation is CELF-style lazy greedy (Leskovec et al., KDD'07):
+marginal gains are kept in a max-heap and only re-evaluated when stale,
+exploiting submodularity to skip most evaluations per round.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import Estimator
+from repro.core.rcss import RCSS
+from repro.errors import QueryError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.influence import InfluenceQuery
+from repro.rng import RngLike, resolve_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of greedy influence maximisation.
+
+    Attributes
+    ----------
+    seeds:
+        Selected seed nodes, in pick order.
+    spreads:
+        Estimated spread of the seed set after each pick (same length).
+    marginal_gains:
+        Estimated marginal gain of each pick.
+    evaluations:
+        Influence-function evaluations performed (lazy greedy's saving
+        shows up here versus ``rounds * candidates``).
+    """
+
+    seeds: List[int] = field(default_factory=list)
+    spreads: List[float] = field(default_factory=list)
+    marginal_gains: List[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+def _spread(
+    graph: UncertainGraph,
+    seeds: Sequence[int],
+    estimator: Estimator,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> float:
+    query = InfluenceQuery(list(seeds), include_seeds=False)
+    return estimator.estimate(graph, query, n_samples, rng=rng).value
+
+
+def greedy_influence_maximization(
+    graph: UncertainGraph,
+    k: int,
+    estimator: Optional[Estimator] = None,
+    n_samples: int = 300,
+    candidates: Optional[Sequence[int]] = None,
+    rng: RngLike = None,
+) -> GreedyResult:
+    """Select ``k`` seeds maximising expected spread, lazily and greedily.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (edges = independent-cascade probabilities).
+    k:
+        Seed-set size.
+    estimator:
+        Influence estimator; defaults to :class:`~repro.core.rcss.RCSS`.
+    n_samples:
+        Sample budget per influence evaluation.
+    candidates:
+        Seed candidates; defaults to every node with at least one outgoing
+        edge.
+    rng:
+        Seed or generator.
+
+    Notes
+    -----
+    Estimates are noisy, so "submodularity violations" of the order of the
+    estimator's standard error are possible; lazy greedy remains a strong
+    heuristic under noise and is the standard practice.
+    """
+    check_positive_int(k, "k")
+    estimator = estimator if estimator is not None else RCSS()
+    gen = resolve_rng(rng)
+
+    if candidates is None:
+        degrees = np.diff(graph.adjacency.indptr)
+        candidates = np.flatnonzero(degrees > 0).tolist()
+    else:
+        candidates = [int(c) for c in candidates]
+        for c in candidates:
+            if not 0 <= c < graph.n_nodes:
+                raise QueryError(f"candidate {c} outside node range")
+    if not candidates:
+        raise QueryError("no seed candidates with outgoing edges")
+    k = min(k, len(candidates))
+
+    result = GreedyResult()
+    current_spread = 0.0
+    # heap of (-gain, staleness_round, node); gains start optimistic
+    heap: List[Tuple[float, int, int]] = []
+    for node in candidates:
+        gain = _spread(graph, [node], estimator, n_samples, gen)
+        result.evaluations += 1
+        heapq.heappush(heap, (-gain, 0, node))
+
+    for round_no in range(1, k + 1):
+        while True:
+            neg_gain, fresh_at, node = heapq.heappop(heap)
+            if fresh_at == round_no - 1:
+                # evaluated against the current seed set: take it
+                gain = -neg_gain
+                break
+            new_spread = _spread(
+                graph, result.seeds + [node], estimator, n_samples, gen
+            )
+            result.evaluations += 1
+            gain = max(new_spread - current_spread, 0.0)
+            heapq.heappush(heap, (-gain, round_no - 1, node))
+        result.seeds.append(node)
+        current_spread += gain
+        result.marginal_gains.append(gain)
+        result.spreads.append(current_spread)
+    return result
+
+
+__all__ = ["GreedyResult", "greedy_influence_maximization"]

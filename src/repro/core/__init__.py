@@ -1,0 +1,87 @@
+"""The paper's contribution: variance-reduced Monte-Carlo estimators.
+
+Eight estimators sharing one interface (:class:`~repro.core.base.Estimator`):
+``NMC`` (baseline), ``BSS1``/``RSS1`` (class-I), ``BSS2``/``RSS2``
+(class-II), and ``FocalSampling``/``BCSS``/``RCSS`` (cut-set based).  The
+:mod:`~repro.core.registry` maps the paper's twelve experiment names
+(``"RSSIB"``, ``"BCSS"``, ...) to configured instances.
+"""
+
+from repro.core.base import Estimator, sample_mean_pair, pair_of
+from repro.core.result import EstimateResult, WorldCounter
+from repro.core.allocation import (
+    proportional_allocation,
+    neyman_allocation,
+    ALLOCATION_METHODS,
+)
+from repro.core.selection import (
+    EdgeSelection,
+    RandomSelection,
+    BFSSelection,
+    DegreeSelection,
+    EntropySelection,
+    make_selection,
+)
+from repro.core.stratify import (
+    class1_strata,
+    class2_strata,
+    class2_stratum_statuses,
+    cutset_strata,
+    cutset_stratum_statuses,
+)
+from repro.core.nmc import NMC
+from repro.core.antithetic import AntitheticNMC
+from repro.core.bss1 import BSS1
+from repro.core.rss1 import RSS1
+from repro.core.bss2 import BSS2
+from repro.core.rss2 import RSS2
+from repro.core.focal import FocalSampling
+from repro.core.bcss import BCSS
+from repro.core.rcss import RCSS
+from repro.core.registry import (
+    PAPER_ESTIMATORS,
+    CUTSET_ESTIMATORS,
+    BFS_ESTIMATORS,
+    EstimatorSettings,
+    make_estimator,
+    make_paper_estimators,
+)
+from repro.core import variance
+
+__all__ = [
+    "Estimator",
+    "EstimateResult",
+    "WorldCounter",
+    "sample_mean_pair",
+    "pair_of",
+    "proportional_allocation",
+    "neyman_allocation",
+    "ALLOCATION_METHODS",
+    "EdgeSelection",
+    "RandomSelection",
+    "BFSSelection",
+    "DegreeSelection",
+    "EntropySelection",
+    "make_selection",
+    "class1_strata",
+    "class2_strata",
+    "class2_stratum_statuses",
+    "cutset_strata",
+    "cutset_stratum_statuses",
+    "NMC",
+    "AntitheticNMC",
+    "BSS1",
+    "RSS1",
+    "BSS2",
+    "RSS2",
+    "FocalSampling",
+    "BCSS",
+    "RCSS",
+    "PAPER_ESTIMATORS",
+    "CUTSET_ESTIMATORS",
+    "BFS_ESTIMATORS",
+    "EstimatorSettings",
+    "make_estimator",
+    "make_paper_estimators",
+    "variance",
+]

@@ -1,0 +1,197 @@
+"""Sample-allocation strategies (paper §III-A, "Sample allocation").
+
+The theorems assume *proportional* allocation ``N_i = pi_i * N`` (Theorems
+3.2, 4.3, 5.5); the algorithms round with a ceiling (``⌈pi_i N⌉``, Algorithm
+1 line 6), which guarantees every positive-probability stratum receives at
+least one sample — the property unbiasedness rests on.  The optimal (Neyman)
+allocation of Eq. (11) is provided for completeness and for ablation
+benchmarks, though the per-stratum variances it needs are unknown in
+practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+ALLOCATION_METHODS = ("ceil", "exact")
+
+
+def proportional_allocation(
+    weights: Sequence[float],
+    n_samples: int,
+    method: str = "ceil",
+) -> np.ndarray:
+    """Allocate ``n_samples`` across strata proportionally to ``weights``.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative stratum probabilities (need not sum to one — they are
+        normalised; zero-weight strata always receive zero samples).
+    n_samples:
+        Total sample budget ``N``.
+    method:
+        ``"ceil"`` — the paper's ``⌈pi_i N⌉``; total may exceed ``N`` by up
+        to the number of strata, and every positive-weight stratum gets at
+        least one sample.
+        ``"exact"`` — largest-remainder rounding summing exactly to ``N``,
+        then every positive-weight stratum is bumped to at least one sample
+        (so the total can still exceed ``N`` when ``N`` is smaller than the
+        number of positive strata).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` allocation, one entry per stratum.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise EstimatorError("weights must be a 1-D array")
+    if weights.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise EstimatorError("stratum weights must be finite and non-negative")
+    if n_samples < 0:
+        raise EstimatorError("n_samples must be non-negative")
+    total = weights.sum()
+    if total == 0.0:
+        return np.zeros(weights.size, dtype=np.int64)
+    shares = weights / total * n_samples
+    positive = weights > 0.0
+
+    if method == "ceil":
+        out = np.ceil(shares).astype(np.int64)
+        out[~positive] = 0
+        return out
+    if method == "exact":
+        base = np.floor(shares).astype(np.int64)
+        remainder = shares - base
+        missing = int(n_samples - base.sum())
+        if missing > 0:
+            top = np.argsort(-remainder, kind="stable")[:missing]
+            base[top] += 1
+        base[positive & (base == 0)] = 1
+        base[~positive] = 0
+        return base
+    raise EstimatorError(f"unknown allocation method {method!r}; use one of {ALLOCATION_METHODS}")
+
+
+def neyman_allocation(
+    weights: Sequence[float],
+    sigmas: Sequence[float],
+    n_samples: int,
+) -> np.ndarray:
+    """Optimal allocation ``N_i ∝ pi_i * sqrt(sigma_i)`` — Eq. (11).
+
+    ``sigmas`` are per-stratum sample *variances*.  Strata with zero weight
+    or zero variance receive zero samples unless every stratum has zero
+    variance, in which case the allocation falls back to proportional.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    sigmas = np.asarray(sigmas, dtype=np.float64)
+    if weights.shape != sigmas.shape:
+        raise EstimatorError("weights and sigmas must have equal length")
+    if np.any(sigmas < 0):
+        raise EstimatorError("stratum variances must be non-negative")
+    scores = weights * np.sqrt(sigmas)
+    if scores.sum() == 0.0:
+        return proportional_allocation(weights, n_samples, method="ceil")
+    out = np.ceil(scores / scores.sum() * n_samples).astype(np.int64)
+    out[scores == 0.0] = 0
+    return out
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """A budget-true stratified allocation with a pooled residual.
+
+    Ceiling allocation hands *every* positive stratum at least one sample,
+    which multiplies the evaluated worlds whenever the budget is smaller
+    than the stratum count — the deep-recursion regime of RSS/RCSS.  The
+    plan keeps the total at ``N`` (±1) while staying unbiased: strata whose
+    expected share is at least one sample are allocated individually (and
+    may be recursed into); all remaining positive strata are pooled into a
+    single *residual* group that is sampled as a mixture (draw a stratum
+    index proportional to its weight, then draw a world inside it).
+
+    Attributes
+    ----------
+    stratum_alloc:
+        Per-stratum sample counts; zero for residual members.
+    residual:
+        Indices of the strata pooled into the residual mixture.
+    residual_n:
+        Samples allocated to the residual mixture (≥ 1 when non-empty).
+    """
+
+    stratum_alloc: np.ndarray
+    residual: np.ndarray
+    residual_n: int
+
+
+def plan_allocation(weights: Sequence[float], n_samples: int) -> AllocationPlan:
+    """Build an :class:`AllocationPlan` from stratum weights and a budget.
+
+    ``weights`` are the allocation weights (Eq. 21's conditional
+    probabilities for the cut-set estimators, the stratum probabilities for
+    class-I/II); they need not be normalised.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise EstimatorError("stratum weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0 or n_samples <= 0:
+        return AllocationPlan(
+            np.zeros(weights.size, dtype=np.int64), np.empty(0, dtype=np.int64), 0
+        )
+    expected = weights / total * n_samples
+    big = np.flatnonzero(expected >= 1.0)
+    small = np.flatnonzero((expected < 1.0) & (weights > 0))
+    alloc = np.zeros(weights.size, dtype=np.int64)
+    if small.size <= 1:
+        # nothing to pool: plain ceiling costs at most one extra world
+        alloc[weights > 0] = np.ceil(expected[weights > 0]).astype(np.int64)
+        return AllocationPlan(alloc, np.empty(0, dtype=np.int64), 0)
+    group_weights = np.concatenate([weights[big], [weights[small].sum()]])
+    group_alloc = proportional_allocation(group_weights, n_samples, "exact")
+    alloc[big] = group_alloc[:-1]
+    return AllocationPlan(alloc, small, int(group_alloc[-1]))
+
+
+def validate_allocation_method(method: str) -> str:
+    """Validate an allocation-method name, returning it unchanged."""
+    if method not in ALLOCATION_METHODS:
+        raise EstimatorError(
+            f"unknown allocation method {method!r}; use one of {ALLOCATION_METHODS}"
+        )
+    return method
+
+
+#: Budget policies of the recursive estimators (see their docstrings).
+BUDGET_POLICIES = ("guard", "pool", "literal")
+
+
+def validate_budget_policy(policy: str) -> str:
+    """Validate a recursion budget-policy name, returning it unchanged."""
+    if policy not in BUDGET_POLICIES:
+        raise EstimatorError(
+            f"unknown budget policy {policy!r}; use one of {BUDGET_POLICIES}"
+        )
+    return policy
+
+
+__all__ = [
+    "ALLOCATION_METHODS",
+    "proportional_allocation",
+    "neyman_allocation",
+    "AllocationPlan",
+    "plan_allocation",
+    "validate_allocation_method",
+    "BUDGET_POLICIES",
+    "validate_budget_policy",
+]

@@ -1,0 +1,169 @@
+"""Estimator base machinery.
+
+All eight estimators share the same skeleton: recursively split the sample
+budget across strata, and at the leaves run plain Monte-Carlo over the free
+edges of a partial assignment (:func:`sample_mean_pair`).  Everything is
+expressed in *pair* (numerator, denominator) form so conditional queries
+(Eq. 22) and ordinary expectation/threshold queries flow through one code
+path — see :mod:`repro.queries.base`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EstimatorError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.world import iter_edge_masks
+from repro.queries.base import Query
+from repro.core.result import EstimateResult, WorldCounter
+from repro.rng import RngLike, resolve_rng
+
+Pair = Tuple[float, float]
+
+
+def pair_of(query: Query, value: float) -> Pair:
+    """The (numerator, denominator) contribution of a deterministic value.
+
+    Matches :meth:`Query.evaluate_pair`: for conditional queries an infinite
+    value contributes ``(0, 0)`` — the paper's "``u_0 = infinity``, do not add
+    ``pi_0 u_0``" rule (§V-E).
+    """
+    if query.conditional and math.isinf(value):
+        return 0.0, 0.0
+    return float(value), 1.0
+
+
+def sample_mean_pair(
+    graph: UncertainGraph,
+    query: Query,
+    statuses: EdgeStatuses,
+    n_samples: int,
+    rng: np.random.Generator,
+    counter: Optional[WorldCounter] = None,
+) -> Pair:
+    """Plain Monte-Carlo mean of the query pair under a partial assignment.
+
+    This is the terminal step of every recursion (Algorithm 2 lines 3–7,
+    Algorithm 4 lines 5–9) and the whole of NMC.
+    """
+    if n_samples <= 0:
+        raise EstimatorError("sample_mean_pair needs a positive sample count")
+    num = 0.0
+    den = 0.0
+    for mask in iter_edge_masks(statuses, n_samples, rng):
+        a, b = query.evaluate_pair(graph, mask)
+        num += a
+        den += b
+    if counter is not None:
+        counter.add(n_samples)
+    return num / n_samples, den / n_samples
+
+
+def residual_mixture_pair(
+    graph: UncertainGraph,
+    query: Query,
+    child_for,
+    weights: np.ndarray,
+    indices: np.ndarray,
+    n_draws: int,
+    rng: np.random.Generator,
+    counter: Optional[WorldCounter] = None,
+) -> Pair:
+    """Mean query pair over draws from a mixture of strata.
+
+    Used by the budget-true allocation plan
+    (:func:`repro.core.allocation.plan_allocation`): strata too small to
+    deserve individual samples are pooled, a stratum index is drawn with
+    probability proportional to its weight, and one world is sampled inside
+    it (``child_for(index)`` builds the pinned statuses).  The mixture of
+    the strata *is* their union, so the mean is an unbiased estimate of the
+    pair conditioned on that union.
+    """
+    if n_draws <= 0 or indices.size == 0:
+        raise EstimatorError("residual mixture needs draws and strata")
+    local = weights[indices].astype(np.float64)
+    draws = rng.choice(indices, size=n_draws, p=local / local.sum())
+    num = 0.0
+    den = 0.0
+    for index in draws:
+        a, b = sample_mean_pair(graph, query, child_for(int(index)), 1, rng, counter)
+        num += a
+        den += b
+    return num / n_draws, den / n_draws
+
+
+class Estimator(ABC):
+    """Interface shared by all estimators.
+
+    Subclasses implement :meth:`_estimate_pair`, the (possibly recursive)
+    pair-valued core; :meth:`estimate` wraps it with validation, RNG
+    resolution and result packaging.
+    """
+
+    #: Human-readable estimator name; overridden per subclass.
+    name: str = "abstract"
+
+    @abstractmethod
+    def _estimate_pair(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        n_samples: int,
+        rng: np.random.Generator,
+        counter: WorldCounter,
+    ) -> Pair:
+        """Estimate ``(E[num], E[den])`` conditioned on ``statuses``."""
+
+    def estimate(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        n_samples: int,
+        rng: RngLike = None,
+    ) -> EstimateResult:
+        """Run the estimator with a total budget of ``n_samples`` worlds.
+
+        Parameters
+        ----------
+        graph:
+            The uncertain graph.
+        query:
+            The query evaluation function.
+        n_samples:
+            Total sample size ``N``; must be positive.  Ceiling allocation
+            may evaluate slightly more worlds (reported in the result).
+        rng:
+            Seed / generator; see :mod:`repro.rng`.
+
+        Returns
+        -------
+        EstimateResult
+        """
+        if n_samples <= 0:
+            raise EstimatorError(f"n_samples must be positive, got {n_samples}")
+        query.validate(graph)
+        gen = resolve_rng(rng)
+        counter = WorldCounter()
+        num, den = self._estimate_pair(
+            graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
+        )
+        return EstimateResult.from_pair(
+            num, den, int(n_samples), counter.worlds, self.name
+        )
+
+    def __call__(self, graph, query, n_samples, rng=None) -> float:
+        """Convenience: run :meth:`estimate` and return the point value."""
+        return self.estimate(graph, query, n_samples, rng).value
+
+    def __repr__(self) -> str:  # noqa: D105
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+__all__ = ["Estimator", "Pair", "pair_of", "sample_mean_pair"]

@@ -1,0 +1,74 @@
+"""BCSS: basic cut-set stratified sampling (paper §V-B, Algorithm 3).
+
+Improves focal sampling by *stratifying* the complement of the all-fail
+stratum: stratum ``i`` fixes the first existing cut-set edge to be edge
+``i`` (Table III).  The budget is allocated by the conditional probabilities
+``pi^cd`` of Eq. (21) and the strata recombined with the unconditional
+``pi^c`` of Eq. (17), plus the analytic ``pi_0 u_0`` term (Eq. 19).
+Unbiased (Theorem 5.4); variance no larger than FS (Theorem 5.5), and no
+larger than BSS-II when ``r = |C|`` (Theorem 5.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import proportional_allocation, validate_allocation_method
+from repro.core.base import Estimator, Pair, pair_of, sample_mean_pair
+from repro.core.focal import require_cut_set
+from repro.core.result import WorldCounter
+from repro.core.stratify import cutset_strata, cutset_stratum_statuses
+from repro.graph.statuses import ABSENT, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Query
+
+
+class BCSS(Estimator):
+    """Basic cut-set stratified sampling estimator.
+
+    Parameters
+    ----------
+    allocation:
+        ``"ceil"`` (paper, Algorithm 3 line 6) or ``"exact"``.
+    """
+
+    name = "BCSS"
+
+    def __init__(self, allocation: str = "ceil") -> None:
+        self.allocation = validate_allocation_method(allocation)
+
+    def _estimate_pair(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        n_samples: int,
+        rng: np.random.Generator,
+        counter: WorldCounter,
+    ) -> Pair:
+        cut_query = require_cut_set(query)
+        state = cut_query.cut_initial_state(graph)
+        cut = cut_query.cut_set(graph, statuses, state)
+        if cut.size == 0:
+            return pair_of(query, cut_query.cut_constant(graph, statuses, state))
+        pi0, pis, pcds = cutset_strata(graph.prob[cut])
+        child0 = statuses.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+        u0 = cut_query.cut_constant(graph, child0, state)
+        num, den = pair_of(query, u0)
+        num *= pi0
+        den *= pi0
+        allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        for i, (pi, n_i) in enumerate(zip(pis, allocations)):
+            if pi <= 0.0 or n_i <= 0:
+                continue
+            k = i + 1
+            child = statuses.child(cut[:k], cutset_stratum_statuses(k))
+            mean_num, mean_den = sample_mean_pair(
+                graph, query, child, int(n_i), rng, counter
+            )
+            num += pi * mean_num
+            den += pi * mean_den
+        return num, den
+
+
+__all__ = ["BCSS"]

@@ -1,0 +1,94 @@
+"""BSS-I: basic class-I stratified sampling (paper §III-A, Algorithm 1).
+
+Pick ``r`` edges, enumerate all ``2^r`` status combinations as strata,
+allocate the budget proportionally (``N_i = ⌈pi_i N⌉``), sample each stratum
+independently, and recombine with the stratum weights (Eq. 8).  Unbiased
+(Theorem 3.1) with variance no larger than NMC under proportional allocation
+(Theorem 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import proportional_allocation, validate_allocation_method
+from repro.core.base import Estimator, Pair, sample_mean_pair
+from repro.core.result import WorldCounter
+from repro.core.selection import EdgeSelection, RandomSelection
+from repro.core.stratify import class1_strata
+from repro.errors import EstimatorError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Query
+from repro.utils.validation import check_positive_int
+
+#: 2^r strata become unmanageable quickly; the paper uses r = 5.
+MAX_CLASS1_R = 16
+
+
+class BSS1(Estimator):
+    """Basic class-I stratified sampling estimator.
+
+    Parameters
+    ----------
+    r:
+        Number of stratification edges (``2^r`` strata); paper default 5.
+    selection:
+        Edge-selection strategy; defaults to RM (random).
+    allocation:
+        ``"ceil"`` (paper) or ``"exact"`` — see
+        :func:`repro.core.allocation.proportional_allocation`.
+    """
+
+    def __init__(
+        self,
+        r: int = 5,
+        selection: Optional[EdgeSelection] = None,
+        allocation: str = "ceil",
+    ) -> None:
+        check_positive_int(r, "r")
+        if r > MAX_CLASS1_R:
+            raise EstimatorError(
+                f"class-I stratification is limited to r <= {MAX_CLASS1_R} "
+                f"(2^r strata); got r={r}.  Use the class-II estimators for large r."
+            )
+        self.r = int(r)
+        self.selection = selection if selection is not None else RandomSelection()
+        self.allocation = validate_allocation_method(allocation)
+
+    @property
+    def name(self) -> str:  # noqa: D102
+        return f"BSSI{self.selection.code}"
+
+    def _estimate_pair(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        n_samples: int,
+        rng: np.random.Generator,
+        counter: WorldCounter,
+    ) -> Pair:
+        r = min(self.r, statuses.n_free)
+        if r == 0:
+            return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+        edges = self.selection.select(graph, query, statuses, r, rng)
+        stratum_statuses, pis = class1_strata(graph.prob[edges])
+        allocations = proportional_allocation(pis, n_samples, self.allocation)
+        num = 0.0
+        den = 0.0
+        for row, pi, n_i in zip(stratum_statuses, pis, allocations):
+            if pi <= 0.0 or n_i <= 0:
+                continue
+            child = statuses.child(edges, row)
+            mean_num, mean_den = sample_mean_pair(
+                graph, query, child, int(n_i), rng, counter
+            )
+            num += pi * mean_num
+            den += pi * mean_den
+        return num, den
+
+
+__all__ = ["BSS1", "MAX_CLASS1_R"]

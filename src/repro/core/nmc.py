@@ -1,0 +1,36 @@
+"""The naive Monte-Carlo baseline (paper §II).
+
+Draw ``N`` possible worlds from the full distribution, average the query
+evaluation function.  Unbiased; variance given by Eq. (5).  Every other
+estimator in this package exists to beat its variance at the same cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Estimator, Pair, sample_mean_pair
+from repro.core.result import WorldCounter
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Query
+
+
+class NMC(Estimator):
+    """Naive Monte-Carlo estimator ``(1/N) * sum phi_q(G_i)``."""
+
+    name = "NMC"
+
+    def _estimate_pair(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        n_samples: int,
+        rng: np.random.Generator,
+        counter: WorldCounter,
+    ) -> Pair:
+        return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+
+
+__all__ = ["NMC"]

@@ -1,0 +1,111 @@
+"""Named estimator factory matching the paper's experimental lineup (§VI-A).
+
+The twelve estimators compared in Tables V–VIII:
+
+====== =====================================================================
+NMC     naive Monte-Carlo
+RSSIR1  RSS-I, random selection, r = 1 — the state-of-the-art baseline
+BSSIR   BSS-I, random selection        BSSIB   BSS-I, BFS selection
+RSSIR   RSS-I, random selection        RSSIB   RSS-I, BFS selection
+BSSIIR  BSS-II, random selection       BSSIIB  BSS-II, BFS selection
+RSSIIR  RSS-II, random selection       RSSIIB  RSS-II, BFS selection
+BCSS    basic cut-set stratified       RCSS    recursive cut-set stratified
+====== =====================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.antithetic import AntitheticNMC
+from repro.core.base import Estimator
+from repro.core.bcss import BCSS
+from repro.core.bss1 import BSS1
+from repro.core.bss2 import BSS2
+from repro.core.focal import FocalSampling
+from repro.core.nmc import NMC
+from repro.core.rcss import RCSS
+from repro.core.rss1 import RSS1
+from repro.core.rss2 import RSS2
+from repro.core.selection import BFSSelection, RandomSelection
+from repro.errors import EstimatorError
+
+#: Paper's Table V–VIII column order.
+PAPER_ESTIMATORS: List[str] = [
+    "NMC",
+    "RSSIR1",
+    "BSSIR",
+    "BSSIB",
+    "RSSIR",
+    "RSSIB",
+    "BSSIIR",
+    "BSSIIB",
+    "RSSIIR",
+    "RSSIIB",
+    "BCSS",
+    "RCSS",
+]
+
+#: Estimators that require the query to expose a cut-set.
+CUTSET_ESTIMATORS = frozenset({"FS", "BCSS", "RCSS"})
+
+#: Estimators whose BFS selection requires a BFS-computable query.
+BFS_ESTIMATORS = frozenset({"BSSIB", "RSSIB", "BSSIIB", "RSSIIB"})
+
+
+@dataclass(frozen=True)
+class EstimatorSettings:
+    """Hyper-parameters shared by the registry (paper §VI-A defaults)."""
+
+    r_class1: int = 5
+    r_class2: int = 50
+    tau: int = 10
+    tau_edges: int = 10
+    allocation: str = "ceil"
+
+
+def make_estimator(name: str, settings: EstimatorSettings = EstimatorSettings()) -> Estimator:
+    """Instantiate a paper-named estimator with the given settings."""
+    s = settings
+    factories = {
+        "NMC": lambda: NMC(),
+        "ANMC": lambda: AntitheticNMC(),
+        "RSSIR1": lambda: RSS1(
+            r=1, tau=s.tau, selection=RandomSelection(), allocation=s.allocation
+        ),
+        "BSSIR": lambda: BSS1(s.r_class1, RandomSelection(), s.allocation),
+        "BSSIB": lambda: BSS1(s.r_class1, BFSSelection(), s.allocation),
+        "RSSIR": lambda: RSS1(s.r_class1, s.tau, RandomSelection(), s.allocation),
+        "RSSIB": lambda: RSS1(s.r_class1, s.tau, BFSSelection(), s.allocation),
+        "BSSIIR": lambda: BSS2(s.r_class2, RandomSelection(), s.allocation),
+        "BSSIIB": lambda: BSS2(s.r_class2, BFSSelection(), s.allocation),
+        "RSSIIR": lambda: RSS2(s.r_class2, s.tau, RandomSelection(), s.allocation),
+        "RSSIIB": lambda: RSS2(s.r_class2, s.tau, BFSSelection(), s.allocation),
+        "FS": lambda: FocalSampling(),
+        "BCSS": lambda: BCSS(s.allocation),
+        "RCSS": lambda: RCSS(s.tau, s.tau_edges, s.allocation),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise EstimatorError(
+            f"unknown estimator {name!r}; valid names: {sorted(factories)}"
+        ) from None
+
+
+def make_paper_estimators(
+    settings: EstimatorSettings = EstimatorSettings(),
+) -> Dict[str, Estimator]:
+    """All twelve paper estimators, keyed by name, in Table V column order."""
+    return {name: make_estimator(name, settings) for name in PAPER_ESTIMATORS}
+
+
+__all__ = [
+    "PAPER_ESTIMATORS",
+    "CUTSET_ESTIMATORS",
+    "BFS_ESTIMATORS",
+    "EstimatorSettings",
+    "make_estimator",
+    "make_paper_estimators",
+]

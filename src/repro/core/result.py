@@ -1,0 +1,91 @@
+"""Estimate results.
+
+Every estimator returns an :class:`EstimateResult` carrying the point
+estimate, the raw (numerator, denominator) pair it was derived from, and
+bookkeeping that the experiment harness uses (how many possible worlds were
+actually materialised, which matters because ceiling allocation can evaluate
+slightly more than the requested ``N``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class EstimateResult:
+    """Outcome of one estimator run.
+
+    Attributes
+    ----------
+    value:
+        The point estimate: the plain mean for expectation queries, the
+        Eq. (22)-style ratio for conditional queries (``nan`` when the
+        conditioning event was never observed).
+    numerator, denominator:
+        The accumulated pair; ``denominator == 1.0`` for unconditional
+        queries.
+    n_samples:
+        The sample budget that was requested.
+    n_worlds:
+        Possible worlds actually sampled and evaluated (``>= n_samples`` is
+        possible under ceiling allocation; ``< n_samples`` only when the
+        estimate was partially analytic, e.g. a cut-set stratum).
+    estimator:
+        Name of the producing estimator.
+    extras:
+        Free-form diagnostics (stratum counts, recursion depth, ...).
+    """
+
+    value: float
+    numerator: float
+    denominator: float
+    n_samples: int
+    n_worlds: int
+    estimator: str
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_pair(
+        cls,
+        numerator: float,
+        denominator: float,
+        n_samples: int,
+        n_worlds: int,
+        estimator: str,
+        **extras: Any,
+    ) -> "EstimateResult":
+        """Build a result from an accumulated (numerator, denominator) pair."""
+        if denominator == 0.0:
+            value = math.nan
+        else:
+            value = float(numerator) / float(denominator)
+        return cls(
+            value=value,
+            numerator=float(numerator),
+            denominator=float(denominator),
+            n_samples=n_samples,
+            n_worlds=n_worlds,
+            estimator=estimator,
+            extras=extras,
+        )
+
+    def __float__(self) -> float:  # noqa: D105
+        return float(self.value)
+
+
+class WorldCounter:
+    """Mutable counter of possible worlds materialised during an estimate."""
+
+    __slots__ = ("worlds",)
+
+    def __init__(self) -> None:
+        self.worlds = 0
+
+    def add(self, n: int) -> None:
+        self.worlds += int(n)
+
+
+__all__ = ["EstimateResult", "WorldCounter"]

@@ -1,0 +1,174 @@
+"""Edge-selection strategies for stratification (paper §III-A).
+
+The class-I/II estimators stratify on ``r`` *free* edges; which edges are
+chosen matters a great deal (Tables V/VII: BFS beats RM consistently).  The
+two strategies from the paper are here plus two deterministic heuristics
+used in ablation benchmarks:
+
+* :class:`RandomSelection` (``RM``) — uniform without replacement; fully
+  general.
+* :class:`BFSSelection` (``BFS``) — first ``r`` free edges in BFS visiting
+  order from the query's anchor nodes; applicable whenever the query is
+  BFS-computable.  During recursion, edges already pinned ABSENT block the
+  walk and pinned PRESENT edges guide it, but only free edges are collected.
+* :class:`DegreeSelection` — free edges with the largest endpoint degrees.
+* :class:`EntropySelection` — free edges with probability closest to 1/2
+  (maximum Bernoulli entropy, i.e. the most "uncertain" coins).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import EstimatorError, QueryError
+from repro.graph.statuses import ABSENT, FREE, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Query
+from repro.queries.traversal import bfs_edge_order
+
+
+class EdgeSelection(ABC):
+    """Strategy interface: pick up to ``r`` free edges for stratification."""
+
+    #: Short code used in estimator names (paper's "R"/"B" suffixes).
+    code: str = "?"
+
+    @abstractmethod
+    def select(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        r: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return ``min(r, n_free)`` distinct free-edge ids."""
+
+    def __repr__(self) -> str:  # noqa: D105
+        return f"{type(self).__name__}()"
+
+
+def _fill_with_random(
+    chosen: np.ndarray,
+    statuses: EdgeStatuses,
+    r: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Top up a partial selection with random free edges (deduplicated)."""
+    if chosen.size >= r:
+        return chosen[:r]
+    free = statuses.free_edges()
+    pool = np.setdiff1d(free, chosen, assume_unique=True)
+    extra_needed = min(r - chosen.size, pool.size)
+    if extra_needed <= 0:
+        return chosen
+    extra = rng.choice(pool, size=extra_needed, replace=False)
+    return np.concatenate([chosen, extra])
+
+
+class RandomSelection(EdgeSelection):
+    """The paper's RM strategy: ``r`` free edges uniformly at random."""
+
+    code = "R"
+
+    def select(self, graph, query, statuses, r, rng):  # noqa: D102
+        free = statuses.free_edges()
+        take = min(r, free.size)
+        if take == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(rng.choice(free, size=take, replace=False))
+
+
+class BFSSelection(EdgeSelection):
+    """The paper's BFS strategy: first ``r`` free edges in BFS visiting order.
+
+    Falls back to random free edges when BFS exhausts the reachable region
+    before collecting ``r`` edges (e.g. the query node's component is small),
+    so stratification always uses the full ``r`` when enough free edges
+    exist — the estimator remains valid either way.
+    """
+
+    code = "B"
+
+    def select(self, graph, query, statuses, r, rng):  # noqa: D102
+        take = min(r, statuses.n_free)
+        if take == 0:
+            return np.empty(0, dtype=np.int64)
+        try:
+            sources = query.bfs_sources(graph)
+        except QueryError as exc:
+            raise EstimatorError(
+                "BFS edge selection needs a BFS-computable query; "
+                f"{type(query).__name__} does not provide anchor nodes"
+            ) from exc
+        chosen = bfs_edge_order(
+            graph,
+            sources,
+            limit=take,
+            blocked_edges=statuses.values == ABSENT,
+            collect_only_free=statuses.values == FREE,
+        )
+        return _fill_with_random(chosen, statuses, take, rng)
+
+
+class DegreeSelection(EdgeSelection):
+    """Deterministic heuristic: free edges with the largest endpoint degrees."""
+
+    code = "D"
+
+    def select(self, graph, query, statuses, r, rng):  # noqa: D102
+        free = statuses.free_edges()
+        take = min(r, free.size)
+        if take == 0:
+            return np.empty(0, dtype=np.int64)
+        indptr = graph.adjacency.indptr
+        degree = np.diff(indptr)
+        score = degree[graph.src[free]] + degree[graph.dst[free]]
+        order = np.lexsort((free, -score))
+        return free[order[:take]]
+
+
+class EntropySelection(EdgeSelection):
+    """Deterministic heuristic: free edges with probability nearest 1/2."""
+
+    code = "E"
+
+    def select(self, graph, query, statuses, r, rng):  # noqa: D102
+        free = statuses.free_edges()
+        take = min(r, free.size)
+        if take == 0:
+            return np.empty(0, dtype=np.int64)
+        distance = np.abs(graph.prob[free] - 0.5)
+        order = np.lexsort((free, distance))
+        return free[order[:take]]
+
+
+SELECTION_CODES = {
+    "R": RandomSelection,
+    "B": BFSSelection,
+    "D": DegreeSelection,
+    "E": EntropySelection,
+}
+
+
+def make_selection(code: str) -> EdgeSelection:
+    """Instantiate a selection strategy from its one-letter code."""
+    try:
+        return SELECTION_CODES[code.upper()]()
+    except KeyError:
+        raise EstimatorError(
+            f"unknown selection code {code!r}; valid codes: {sorted(SELECTION_CODES)}"
+        ) from None
+
+
+__all__ = [
+    "EdgeSelection",
+    "RandomSelection",
+    "BFSSelection",
+    "DegreeSelection",
+    "EntropySelection",
+    "SELECTION_CODES",
+    "make_selection",
+]

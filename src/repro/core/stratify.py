@@ -1,0 +1,121 @@
+"""Stratum probability mathematics.
+
+Three stratification schemes from the paper, all over ``r`` selected edges
+with probabilities ``p_1..p_r``:
+
+* **class-I** (Table I, Eq. 7): all ``2^r`` status combinations.
+* **class-II** (Table II, Eq. 12): stratum 0 = all fail; stratum ``i`` = the
+  first ``i-1`` fail, edge ``i`` exists, the rest stay free.
+* **cut-set** (Table III, Eqs. 15/17/21): class-II without stratum 0, whose
+  mass ``pi_0^c`` is handled analytically via ``u_0``, plus the conditional
+  allocation weights ``pi^cd``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import EstimatorError
+from repro.graph.statuses import ABSENT, PRESENT
+
+
+def class1_strata(probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``2^r`` status vectors and their probabilities (Eq. 7).
+
+    Returns
+    -------
+    statuses:
+        ``int8`` array of shape ``(2^r, r)`` with entries ABSENT/PRESENT;
+        row ``i`` is the binary expansion of ``i`` (low bit = first edge),
+        so row 0 is the paper's all-fail Stratum 1.
+    pis:
+        ``float64`` array of length ``2^r``; ``pis.sum() == 1``.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    r = probs.size
+    if r > 25:
+        raise EstimatorError(f"class-I stratification with r={r} needs 2^{r} strata; use class-II")
+    codes = np.arange(2**r, dtype=np.int64)
+    bits = ((codes[:, None] >> np.arange(r)) & 1).astype(np.int8)
+    pis = np.prod(np.where(bits == 1, probs, 1.0 - probs), axis=1)
+    statuses = np.where(bits == 1, PRESENT, ABSENT).astype(np.int8)
+    return statuses, pis
+
+
+def class2_strata(probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Class-II stratum probabilities (Eq. 12).
+
+    Returns ``(pin_counts, pis)`` where stratum ``i`` (``i = 0..r``) pins the
+    first ``pin_counts[i]`` selected edges — all ABSENT for stratum 0, the
+    first ``i - 1`` ABSENT and the ``i``-th PRESENT otherwise — and occurs
+    with probability ``pis[i]``.  ``pis.sum() == 1`` (Theorem 4.1).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    r = probs.size
+    fail_prefix = np.concatenate(([1.0], np.cumprod(1.0 - probs)))
+    pis = np.empty(r + 1, dtype=np.float64)
+    pis[0] = fail_prefix[r]
+    pis[1:] = probs * fail_prefix[:r]
+    pin_counts = np.concatenate(([r], np.arange(1, r + 1))).astype(np.int64)
+    return pin_counts, pis
+
+
+def class2_stratum_statuses(stratum: int, r: int) -> np.ndarray:
+    """The pinned status vector of class-II stratum ``stratum`` (0..r).
+
+    Stratum 0 pins all ``r`` edges ABSENT; stratum ``i >= 1`` pins edges
+    ``1..i`` with the last PRESENT and the rest ABSENT.
+    """
+    if stratum == 0:
+        return np.full(r, ABSENT, dtype=np.int8)
+    out = np.full(stratum, ABSENT, dtype=np.int8)
+    out[-1] = PRESENT
+    return out
+
+
+def cutset_strata(probs: np.ndarray) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Cut-set stratum probabilities (Eqs. 15, 17, 21).
+
+    Returns
+    -------
+    pi0:
+        Probability that every cut-set edge fails (Eq. 15).
+    pis:
+        Length-``|C|`` array; ``pis[i]`` is the unconditional probability of
+        Stratum ``i + 1`` (Eq. 17); ``pis.sum() == 1 - pi0`` (Eq. 18).
+    pcds:
+        Conditional probabilities given "not all fail" (Eq. 21), used for
+        sample allocation; all-zero when ``pi0 == 1``.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.size == 0:
+        raise EstimatorError("cut-set stratification needs at least one edge")
+    fail_prefix = np.concatenate(([1.0], np.cumprod(1.0 - probs[:-1])))
+    pis = probs * fail_prefix
+    pi0 = float(np.prod(1.0 - probs))
+    denom = 1.0 - pi0
+    if denom <= 0.0:
+        pcds = np.zeros_like(pis)
+    else:
+        pcds = pis / denom
+    return pi0, pis, pcds
+
+
+def cutset_stratum_statuses(stratum: int) -> np.ndarray:
+    """Pinned statuses of cut-set stratum ``stratum`` (1-based, Table III)."""
+    if stratum < 1:
+        raise EstimatorError("cut-set strata are 1-based")
+    out = np.full(stratum, ABSENT, dtype=np.int8)
+    out[-1] = PRESENT
+    return out
+
+
+__all__ = [
+    "class1_strata",
+    "class2_strata",
+    "class2_stratum_statuses",
+    "cutset_strata",
+    "cutset_stratum_statuses",
+]

@@ -1,0 +1,179 @@
+"""Exact estimator-variance calculators for small graphs.
+
+The paper's accuracy claims are variance theorems (3.2, 3.3, 4.3, 5.3, 5.5,
+5.6).  On graphs small enough to enumerate, these functions compute the
+*exact* variance of each basic estimator under real-valued proportional
+allocation — the setting the theorems are stated in — so the test suite can
+verify every inequality numerically rather than statistically.
+
+All calculators require *unconditional* queries (variances of ratio
+estimators have no closed form).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.stratify import (
+    class1_strata,
+    class2_strata,
+    class2_stratum_statuses,
+    cutset_strata,
+    cutset_stratum_statuses,
+)
+from repro.errors import EstimatorError, QueryError
+from repro.graph.statuses import ABSENT, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import CutSetQuery, Query
+from repro.queries.exact import exact_distribution
+
+
+def _mean_var(values: np.ndarray, probs: np.ndarray) -> Tuple[float, float]:
+    mean = float(np.sum(values * probs))
+    var = float(np.sum(values * values * probs) - mean * mean)
+    return mean, max(var, 0.0)
+
+
+def stratum_mean_variance(
+    graph: UncertainGraph,
+    query: Query,
+    statuses: EdgeStatuses,
+) -> Tuple[float, float]:
+    """Exact conditional mean and variance of ``phi_q`` within a stratum."""
+    if query.conditional:
+        raise QueryError("exact stratum variance requires an unconditional query")
+    values, probs = exact_distribution(graph, query, statuses)
+    return _mean_var(values, probs)
+
+
+def nmc_variance(graph: UncertainGraph, query: Query, n_samples: int) -> float:
+    """Exact variance of the NMC estimator with ``N`` samples (Eq. 5)."""
+    _, var = stratum_mean_variance(graph, query, EdgeStatuses(graph))
+    return var / n_samples
+
+
+def stratified_variance(
+    pis: Sequence[float],
+    sigmas: Sequence[float],
+    allocations: Sequence[float],
+) -> float:
+    """Generic stratified variance ``sum pi_i^2 sigma_i / N_i`` (Eq. 9).
+
+    Strata with zero probability are skipped; a positive-probability stratum
+    with zero allocation is an error (the estimator would be biased).
+    """
+    total = 0.0
+    for pi, sigma, n_i in zip(pis, sigmas, allocations):
+        if pi == 0.0:
+            continue
+        if n_i <= 0.0:
+            raise EstimatorError("positive-probability stratum received no samples")
+        total += pi * pi * sigma / n_i
+    return total
+
+
+def bss1_variance(
+    graph: UncertainGraph,
+    query: Query,
+    edges: Sequence[int],
+    n_samples: int,
+) -> float:
+    """Exact variance of BSS-I on ``edges`` with proportional allocation.
+
+    Uses the theorems' real-valued allocation ``N_i = pi_i N``.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    stratum_statuses, pis = class1_strata(graph.prob[edges])
+    sigmas = []
+    for row, pi in zip(stratum_statuses, pis):
+        if pi == 0.0:
+            sigmas.append(0.0)
+            continue
+        child = EdgeStatuses(graph).pin(edges, row)
+        sigmas.append(stratum_mean_variance(graph, query, child)[1])
+    return stratified_variance(pis, sigmas, pis * n_samples)
+
+
+def bss2_variance(
+    graph: UncertainGraph,
+    query: Query,
+    edges: Sequence[int],
+    n_samples: int,
+) -> float:
+    """Exact variance of BSS-II on ``edges`` with proportional allocation."""
+    edges = np.asarray(edges, dtype=np.int64)
+    pin_counts, pis = class2_strata(graph.prob[edges])
+    sigmas = []
+    for stratum, (pins, pi) in enumerate(zip(pin_counts, pis)):
+        if pi == 0.0:
+            sigmas.append(0.0)
+            continue
+        pinned = class2_stratum_statuses(stratum, int(pins) if stratum == 0 else stratum)
+        child = EdgeStatuses(graph).pin(edges[: int(pins)], pinned)
+        sigmas.append(stratum_mean_variance(graph, query, child)[1])
+    return stratified_variance(pis, sigmas, pis * n_samples)
+
+
+def _cut_and_u0(graph: UncertainGraph, query: CutSetQuery):
+    state = query.cut_initial_state(graph)
+    statuses = EdgeStatuses(graph)
+    cut = query.cut_set(graph, statuses, state)
+    if cut.size == 0:
+        raise EstimatorError("query has an empty top-level cut-set; variance is zero")
+    child0 = statuses.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+    u0 = query.cut_constant(graph, child0, state)
+    return cut, u0
+
+
+def fs_variance(graph: UncertainGraph, query: CutSetQuery, n_samples: int) -> float:
+    """Exact variance of the FS estimator (Theorem 5.3 setting)."""
+    cut, _ = _cut_and_u0(graph, query)
+    pi0, pis, pcds = cutset_strata(graph.prob[cut])
+    if pi0 >= 1.0:
+        return 0.0
+    # Distribution of phi conditioned on "not all cut edges fail": mixture of
+    # the cut strata with conditional weights pcd.
+    mixed_values = []
+    mixed_probs = []
+    for i, pcd in enumerate(pcds):
+        if pcd == 0.0:
+            continue
+        k = i + 1
+        child = EdgeStatuses(graph).pin(cut[:k], cutset_stratum_statuses(k))
+        values, probs = exact_distribution(graph, query, child)
+        mixed_values.append(values)
+        mixed_probs.append(probs * pcd)
+    values = np.concatenate(mixed_values)
+    probs = np.concatenate(mixed_probs)
+    _, sigma_bar = _mean_var(values, probs)
+    return (1.0 - pi0) ** 2 * sigma_bar / n_samples
+
+
+def bcss_variance(graph: UncertainGraph, query: CutSetQuery, n_samples: int) -> float:
+    """Exact variance of BCSS with ``N_i = pi_i^cd N`` (Theorem 5.5 setting)."""
+    cut, _ = _cut_and_u0(graph, query)
+    pi0, pis, pcds = cutset_strata(graph.prob[cut])
+    if pi0 >= 1.0:
+        return 0.0
+    sigmas = []
+    for i, pi in enumerate(pis):
+        if pi == 0.0:
+            sigmas.append(0.0)
+            continue
+        k = i + 1
+        child = EdgeStatuses(graph).pin(cut[:k], cutset_stratum_statuses(k))
+        sigmas.append(stratum_mean_variance(graph, query, child)[1])
+    return stratified_variance(pis, sigmas, pcds * n_samples)
+
+
+__all__ = [
+    "stratum_mean_variance",
+    "nmc_variance",
+    "stratified_variance",
+    "bss1_variance",
+    "bss2_variance",
+    "fs_variance",
+    "bcss_variance",
+]

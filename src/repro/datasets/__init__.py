@@ -1,0 +1,38 @@
+"""Dataset recipes reproducing the paper's workloads (§VI-A, Table IV).
+
+The synthetic ER benchmark is generated exactly as described (uniform edge
+probabilities).  The three real-world datasets (Facebook/UCI messages,
+Condmat, DBLP) are not redistributable/downloadable offline, so
+:mod:`repro.datasets.surrogates` builds structure-matched surrogates: same
+node/edge counts, heavy-tailed integer edge weights standing in for message
+or co-authorship counts, and the paper's weight-to-probability map
+``p = 1 - exp(-w / 2)`` (exponential CDF with mean 2).  See DESIGN.md §4 for
+the substitution rationale.
+
+Every recipe accepts a ``scale`` factor so the full experiment pipeline can
+run at laptop-friendly sizes while keeping the paper-scale graphs one flag
+away.
+"""
+
+from repro.datasets.weights import (
+    exponential_cdf_probabilities,
+    geometric_weights,
+    zipf_weights,
+)
+from repro.datasets.synthetic import er_benchmark, scalability_series
+from repro.datasets.surrogates import facebook_like, condmat_like, dblp_like
+from repro.datasets.registry import Dataset, DATASET_NAMES, load_dataset
+
+__all__ = [
+    "exponential_cdf_probabilities",
+    "geometric_weights",
+    "zipf_weights",
+    "er_benchmark",
+    "scalability_series",
+    "facebook_like",
+    "condmat_like",
+    "dblp_like",
+    "Dataset",
+    "DATASET_NAMES",
+    "load_dataset",
+]

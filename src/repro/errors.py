@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs (bad endpoints, bad shapes)."""
+
+
+class ProbabilityError(GraphError):
+    """Raised when an edge probability lies outside ``[0, 1]`` or is NaN."""
+
+
+class StatusError(ReproError):
+    """Raised for invalid partial edge-status assignments."""
+
+
+class QueryError(ReproError):
+    """Raised when a query is inconsistent with the graph it is asked on."""
+
+
+class EstimatorError(ReproError):
+    """Raised for invalid estimator configuration or sampling requests."""
+
+
+class EnumerationError(ReproError):
+    """Raised when exhaustive world enumeration would be intractable."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid dataset parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised for invalid experiment configuration."""

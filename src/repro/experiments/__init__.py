@@ -1,0 +1,48 @@
+"""Experiment harness reproducing the paper's evaluation (§VI).
+
+One driver per paper artefact:
+
+* Tables V/VI — :func:`repro.experiments.tables.influence_table`
+* Tables VII/VIII — :func:`repro.experiments.tables.distance_table`
+* Fig. 2 — :func:`repro.experiments.scalability.run_scalability`
+* Fig. 3 — :func:`repro.experiments.sample_size.run_sample_size`
+
+All drivers take an :class:`~repro.experiments.config.ExperimentConfig`,
+whose defaults are laptop-scale; ``ExperimentConfig.paper()`` restores the
+paper's parameters, and environment variables (``REPRO_SCALE`` etc.) let
+the benchmark suite be dialled up without code changes.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunStats, run_estimator, compare_estimators, relative_variances
+from repro.experiments.workloads import influence_queries, distance_queries
+from repro.experiments.tables import TableResult, influence_table, distance_table
+from repro.experiments.scalability import ScalabilityResult, run_scalability
+from repro.experiments.sample_size import SampleSizeResult, run_sample_size
+from repro.experiments.significance import (
+    RatioCI,
+    variance_ratio_ci,
+    is_significantly_smaller,
+    runs_needed_for_ratio_precision,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "RunStats",
+    "run_estimator",
+    "compare_estimators",
+    "relative_variances",
+    "influence_queries",
+    "distance_queries",
+    "TableResult",
+    "influence_table",
+    "distance_table",
+    "ScalabilityResult",
+    "run_scalability",
+    "SampleSizeResult",
+    "run_sample_size",
+    "RatioCI",
+    "variance_ratio_ci",
+    "is_significantly_smaller",
+    "runs_needed_for_ratio_precision",
+]

@@ -1,0 +1,117 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m repro.experiments``.
+
+Subcommands map one-to-one to the paper's evaluation artefacts::
+
+    repro-experiments table5            # influence, relative variance
+    repro-experiments table6            # influence, query time
+    repro-experiments table7            # distance, relative variance
+    repro-experiments table8            # distance, query time
+    repro-experiments fig2              # scalability
+    repro-experiments fig3              # relative variance vs sample size
+    repro-experiments datasets          # dataset inventory
+    repro-experiments all               # everything above, in order
+
+Scale knobs (``--scale/--runs/--queries/--samples``) default to
+laptop-friendly values; ``--paper-scale`` restores the published protocol
+(very slow in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sample_size import run_sample_size
+from repro.experiments.scalability import run_scalability
+from repro.experiments.tables import distance_table, influence_table
+
+TABLE_COMMANDS = ("table5", "table6", "table7", "table8")
+ALL_COMMANDS = (*TABLE_COMMANDS, "fig2", "fig3", "datasets")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation of the ICDE'14 recursive "
+        "stratified sampling paper.",
+    )
+    parser.add_argument("command", choices=(*ALL_COMMANDS, "all"))
+    parser.add_argument("--scale", type=float, default=None, help="graph scale factor")
+    parser.add_argument("--runs", type=int, default=None, help="estimator repeats per query")
+    parser.add_argument("--queries", type=int, default=None, help="queries per dataset")
+    parser.add_argument("--samples", type=int, default=None, help="sample size N")
+    parser.add_argument("--seed", type=int, default=None, help="master random seed")
+    parser.add_argument(
+        "--datasets", type=str, default=None, help="comma-separated dataset subset"
+    )
+    parser.add_argument(
+        "--estimators", type=str, default=None, help="comma-separated estimator subset"
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full protocol (500 runs x 1000 queries; very slow)",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.paper() if args.paper_scale else ExperimentConfig.from_env()
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.runs is not None:
+        overrides["n_runs"] = args.runs
+    if args.queries is not None:
+        overrides["n_queries"] = args.queries
+    if args.samples is not None:
+        overrides["sample_size"] = args.samples
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.datasets:
+        overrides["datasets"] = tuple(t.strip() for t in args.datasets.split(",") if t.strip())
+    if args.estimators:
+        overrides["estimators"] = tuple(
+            t.strip() for t in args.estimators.split(",") if t.strip()
+        )
+    return config.with_(**overrides) if overrides else config
+
+
+def _run_command(command: str, config: ExperimentConfig) -> str:
+    if command == "table5":
+        return influence_table(config, "relative_variance").to_text()
+    if command == "table6":
+        return influence_table(config, "query_time").to_text(digits=4)
+    if command == "table7":
+        return distance_table(config, "relative_variance").to_text()
+    if command == "table8":
+        return distance_table(config, "query_time").to_text(digits=4)
+    if command == "fig2":
+        return run_scalability(config).to_text()
+    if command == "fig3":
+        return run_sample_size(config).to_text()
+    if command == "datasets":
+        lines = [f"{'Name':10s} {'Nodes':>8s} {'Edges':>9s}  Description"]
+        for name in DATASET_NAMES:
+            ds = load_dataset(name, scale=config.scale)
+            lines.append(f"{ds.name:10s} {ds.n_nodes:8d} {ds.n_edges:9d}  {ds.description}")
+        return "\n".join(lines)
+    raise ValueError(f"unhandled command {command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    commands = ALL_COMMANDS if args.command == "all" else (args.command,)
+    for command in commands:
+        print(_run_command(command, config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

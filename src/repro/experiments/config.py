@@ -1,0 +1,90 @@
+"""Experiment configuration.
+
+The paper's protocol (§VI-A): sample size ``N = 1000``; ``r = 5`` for
+class-I, ``r = 50`` for class-II, ``tau = 10``; every estimator re-run 500
+times per query to estimate its variance; 1000 random queries per dataset;
+results averaged over queries.  Running that verbatim in pure Python takes
+CPU-days, so the default configuration scales the graphs down and trims the
+repeat counts while keeping the protocol identical; ``ExperimentConfig.paper()``
+restores the full parameters, and environment variables override the
+defaults for the benchmark suite:
+
+========================  ==========================================
+``REPRO_SCALE``           graph scale factor (default 0.02)
+``REPRO_RUNS``            estimator repeats per query (default 25)
+``REPRO_QUERIES``         queries per dataset (default 4)
+``REPRO_SAMPLES``         sample size N (default 1000)
+``REPRO_DATASETS``        comma-separated dataset subset
+``REPRO_ESTIMATORS``      comma-separated estimator subset
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.core.registry import EstimatorSettings, PAPER_ESTIMATORS
+from repro.datasets.registry import DATASET_NAMES
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every experiment driver."""
+
+    sample_size: int = 1_000
+    n_runs: int = 25
+    n_queries: int = 4
+    scale: float = 0.02
+    seed: int = 2014
+    datasets: Tuple[str, ...] = tuple(DATASET_NAMES)
+    estimators: Tuple[str, ...] = tuple(PAPER_ESTIMATORS)
+    settings: EstimatorSettings = field(default_factory=EstimatorSettings)
+
+    def __post_init__(self) -> None:
+        if self.sample_size <= 0:
+            raise ExperimentError("sample_size must be positive")
+        if self.n_runs < 2:
+            raise ExperimentError("n_runs must be at least 2 to estimate a variance")
+        if self.n_queries <= 0:
+            raise ExperimentError("n_queries must be positive")
+        if self.scale <= 0:
+            raise ExperimentError("scale must be positive")
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper's full-scale protocol (§VI-A) — CPU-days in pure Python."""
+        return cls(sample_size=1_000, n_runs=500, n_queries=1_000, scale=1.0)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentConfig":
+        """Defaults overridden by ``REPRO_*`` environment variables, then kwargs."""
+        env_map = {
+            "scale": ("REPRO_SCALE", float),
+            "n_runs": ("REPRO_RUNS", int),
+            "n_queries": ("REPRO_QUERIES", int),
+            "sample_size": ("REPRO_SAMPLES", int),
+        }
+        kwargs = {}
+        for attr, (var, cast) in env_map.items():
+            raw = os.environ.get(var)
+            if raw is not None:
+                try:
+                    kwargs[attr] = cast(raw)
+                except ValueError as exc:
+                    raise ExperimentError(f"cannot parse {var}={raw!r}") from exc
+        for var, attr in (("REPRO_DATASETS", "datasets"), ("REPRO_ESTIMATORS", "estimators")):
+            raw = os.environ.get(var)
+            if raw is not None:
+                kwargs[attr] = tuple(token.strip() for token in raw.split(",") if token.strip())
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,55 @@
+"""Plain-text report formatting in the style of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a metric value; NaN prints as '--' like a blank table cell."""
+    if value != value:  # NaN
+        return "--"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[tuple],
+    row_header: str = "Dataset",
+    digits: int = 3,
+) -> str:
+    """Render ``rows`` of ``(label, values)`` as a fixed-width text table."""
+    header = [row_header, *columns]
+    body: List[List[str]] = []
+    for label, values in rows:
+        body.append([str(label), *(format_float(v, digits) for v in values)])
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, rule, fmt_line(header), rule]
+    lines.extend(fmt_line(r) for r in body)
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def format_mapping_table(
+    title: str,
+    columns: Sequence[str],
+    data: Mapping[str, Mapping[str, float]],
+    row_header: str = "Dataset",
+    digits: int = 3,
+) -> str:
+    """Render nested ``{row: {column: value}}`` data as a text table."""
+    rows = [
+        (label, [cells.get(col, float("nan")) for col in columns])
+        for label, cells in data.items()
+    ]
+    return format_table(title, columns, rows, row_header=row_header, digits=digits)
+
+
+__all__ = ["format_float", "format_table", "format_mapping_table"]

@@ -1,0 +1,120 @@
+"""Repeated-run measurement protocol (paper §VI-A, "Evaluation metric").
+
+For each (dataset, query, estimator) the paper runs the estimator 500 times,
+takes the unbiased sample variance across runs, and reports it relative to
+NMC's variance on the same query; query times are averaged the same way.
+:func:`compare_estimators` performs one such cell, :mod:`.tables` aggregates
+cells into the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.base import Estimator
+from repro.errors import ExperimentError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Query
+from repro.rng import RngLike, spawn_rngs
+
+
+@dataclass
+class RunStats:
+    """Statistics over repeated runs of one estimator on one query."""
+
+    estimator: str
+    values: np.ndarray
+    total_time: float
+    total_worlds: int
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def mean(self) -> float:
+        return float(np.nanmean(self.values))
+
+    @property
+    def variance(self) -> float:
+        """Unbiased (ddof=1) sample variance across runs — the paper's metric."""
+        finite = self.values[np.isfinite(self.values)]
+        if finite.size < 2:
+            return float("nan")
+        return float(np.var(finite, ddof=1))
+
+    @property
+    def avg_time(self) -> float:
+        return self.total_time / max(self.n_runs, 1)
+
+    @property
+    def avg_worlds(self) -> float:
+        return self.total_worlds / max(self.n_runs, 1)
+
+
+def run_estimator(
+    graph: UncertainGraph,
+    query: Query,
+    estimator: Estimator,
+    n_samples: int,
+    n_runs: int,
+    rng: RngLike = None,
+) -> RunStats:
+    """Run ``estimator`` ``n_runs`` times with independent random streams."""
+    if n_runs < 1:
+        raise ExperimentError("n_runs must be positive")
+    rngs = spawn_rngs(rng, n_runs)
+    values = np.empty(n_runs, dtype=np.float64)
+    total_worlds = 0
+    started = time.perf_counter()
+    for i, child in enumerate(rngs):
+        result = estimator.estimate(graph, query, n_samples, rng=child)
+        values[i] = result.value
+        total_worlds += result.n_worlds
+    elapsed = time.perf_counter() - started
+    return RunStats(estimator.name, values, elapsed, total_worlds)
+
+
+def compare_estimators(
+    graph: UncertainGraph,
+    query: Query,
+    estimators: Mapping[str, Estimator],
+    n_samples: int,
+    n_runs: int,
+    rng: RngLike = None,
+) -> Dict[str, RunStats]:
+    """One table cell: repeated runs for every estimator on one query."""
+    rngs = spawn_rngs(rng, len(estimators))
+    return {
+        name: run_estimator(graph, query, est, n_samples, n_runs, child)
+        for (name, est), child in zip(estimators.items(), rngs)
+    }
+
+
+def relative_variances(
+    stats: Mapping[str, RunStats],
+    baseline: str = "NMC",
+) -> Dict[str, float]:
+    """Variance of each estimator divided by the baseline's (paper's RV metric).
+
+    Returns ``nan`` for every entry when the baseline variance is zero or
+    undefined (a degenerate query); callers skip such queries, as the paper's
+    averaging implicitly does.
+    """
+    if baseline not in stats:
+        raise ExperimentError(f"baseline {baseline!r} missing from stats")
+    base_var = stats[baseline].variance
+    out: Dict[str, float] = {}
+    for name, stat in stats.items():
+        if not np.isfinite(base_var) or base_var <= 0.0:
+            out[name] = float("nan")
+        else:
+            out[name] = stat.variance / base_var
+    return out
+
+
+__all__ = ["RunStats", "run_estimator", "compare_estimators", "relative_variances"]

@@ -1,0 +1,98 @@
+"""Fig. 3 driver: relative variance vs sample size (paper §VI-E).
+
+The paper's Fig. 3 plots the relative variance of the three best estimators
+(RCSS, RSSIB, RSSIIB) on Condmat as the sample size varies; the finding is
+that the curves are flat ("smooth") for ``N >= 1000`` on both query types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.registry import make_estimator
+from repro.datasets.registry import load_dataset
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_mapping_table
+from repro.experiments.runner import compare_estimators, relative_variances
+from repro.experiments.workloads import distance_queries, influence_queries
+from repro.rng import spawn_rngs
+
+#: Paper's Fig. 3 estimators.
+FIG3_ESTIMATORS: Tuple[str, ...] = ("RCSS", "RSSIB", "RSSIIB")
+#: Default sweep of sample sizes.
+FIG3_SAMPLE_SIZES: Tuple[int, ...] = (200, 500, 1_000, 2_000)
+
+
+@dataclass
+class SampleSizeResult:
+    """Relative variance per (sample size, estimator), per query kind."""
+
+    dataset: str
+    sample_sizes: List[int] = field(default_factory=list)
+    rvs: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def to_text(self, digits: int = 3) -> str:
+        parts = []
+        for kind, per_n in self.rvs.items():
+            columns = sorted({e for cells in per_n.values() for e in cells})
+            parts.append(
+                format_mapping_table(
+                    f"Fig. 3 ({kind}, {self.dataset}): relative variance vs sample size",
+                    columns,
+                    per_n,
+                    row_header="N",
+                    digits=digits,
+                )
+            )
+        return "\n\n".join(parts)
+
+    def series(self, kind: str, estimator: str) -> List[float]:
+        """Relative variances across the sample-size sweep, in sweep order."""
+        return [self.rvs[kind][str(n)][estimator] for n in self.sample_sizes]
+
+
+def run_sample_size(
+    config: ExperimentConfig,
+    dataset_name: str = "Condmat",
+    sample_sizes: Sequence[int] = FIG3_SAMPLE_SIZES,
+    estimators: Sequence[str] = FIG3_ESTIMATORS,
+) -> SampleSizeResult:
+    """Reproduce Fig. 3 on ``dataset_name`` for both query kinds."""
+    dataset = load_dataset(dataset_name, scale=config.scale)
+    named = {name: make_estimator(name, config.settings) for name in estimators}
+    if "NMC" not in named:
+        named = {"NMC": make_estimator("NMC", config.settings), **named}
+    result = SampleSizeResult(dataset=dataset.name, sample_sizes=list(sample_sizes))
+    kinds = {
+        "influence": influence_queries,
+        "distance": distance_queries,
+    }
+    kind_rngs = spawn_rngs(config.seed, len(kinds))
+    for (kind, factory), kind_rng in zip(kinds.items(), kind_rngs):
+        queries = factory(dataset.graph, config.n_queries, kind_rng)
+        per_n: Dict[str, Dict[str, float]] = {}
+        for n in sample_sizes:
+            sums = {name: 0.0 for name in named}
+            used = 0
+            for query in queries:
+                stats = compare_estimators(
+                    dataset.graph, query, named, n, config.n_runs, kind_rng
+                )
+                rvs = relative_variances(stats)
+                if any(v != v for v in rvs.values()):
+                    continue
+                for name, rv in rvs.items():
+                    sums[name] += rv
+                used += 1
+            if used == 0:
+                raise ExperimentError(
+                    f"every {kind} query degenerate at N={n}; raise n_runs/scale"
+                )
+            per_n[str(n)] = {name: total / used for name, total in sums.items()}
+        result.rvs[kind] = per_n
+    return result
+
+
+__all__ = ["FIG3_ESTIMATORS", "FIG3_SAMPLE_SIZES", "SampleSizeResult", "run_sample_size"]

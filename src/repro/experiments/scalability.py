@@ -1,0 +1,84 @@
+"""Fig. 2 driver: average query time vs graph size (paper §VI-D).
+
+Four ER graphs in a 1:2:3:4 size progression (200k/800k … 800k/3.2m nodes/
+edges at ``scale=1``); for each, the average per-query time of every
+estimator on influence and expected-reliable distance queries.  The paper's
+claim is *linear growth* with comparable constants across estimators, which
+:meth:`ScalabilityResult.growth_ratios` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.registry import CUTSET_ESTIMATORS, make_estimator
+from repro.datasets.synthetic import scalability_series
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_mapping_table
+from repro.experiments.runner import run_estimator
+from repro.experiments.workloads import distance_queries, influence_queries
+from repro.rng import spawn_rngs
+
+QUERY_KINDS = ("influence", "distance")
+
+
+@dataclass
+class ScalabilityResult:
+    """Average query time per (graph size, estimator), per query kind."""
+
+    labels: List[str] = field(default_factory=list)
+    sizes: Dict[str, int] = field(default_factory=dict)
+    times: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def to_text(self, digits: int = 4) -> str:
+        parts = []
+        for kind, per_label in self.times.items():
+            columns = sorted({e for cells in per_label.values() for e in cells})
+            parts.append(
+                format_mapping_table(
+                    f"Fig. 2 ({kind}): avg query time (s) vs graph size",
+                    columns,
+                    per_label,
+                    row_header="Size",
+                    digits=digits,
+                )
+            )
+        return "\n\n".join(parts)
+
+    def growth_ratios(self, kind: str, estimator: str) -> List[float]:
+        """Per-step time ratio between consecutive sizes (linear => ~ size ratio)."""
+        series = [self.times[kind][label][estimator] for label in self.labels]
+        return [b / a for a, b in zip(series, series[1:]) if a > 0]
+
+
+def run_scalability(config: ExperimentConfig) -> ScalabilityResult:
+    """Reproduce Fig. 2(a)/(b) at ``config.scale`` of the paper's graph sizes."""
+    result = ScalabilityResult(times={kind: {} for kind in QUERY_KINDS})
+    graphs = list(scalability_series(scale=config.scale, rng=config.seed))
+    rngs = spawn_rngs(config.seed, len(graphs))
+    for (label, graph), graph_rng in zip(graphs, rngs):
+        result.labels.append(label)
+        result.sizes[label] = graph.n_edges
+        for kind in QUERY_KINDS:
+            if kind == "influence":
+                queries = influence_queries(graph, config.n_queries, graph_rng)
+            else:
+                queries = distance_queries(graph, config.n_queries, graph_rng)
+            cells: Dict[str, float] = {}
+            for name in config.estimators:
+                if name in CUTSET_ESTIMATORS and not queries[0].has_cut_set:
+                    continue
+                estimator = make_estimator(name, config.settings)
+                total = 0.0
+                for query in queries:
+                    stats = run_estimator(
+                        graph, query, estimator, config.sample_size, config.n_runs, graph_rng
+                    )
+                    total += stats.avg_time
+                cells[name] = total / len(queries)
+            result.times[kind][label] = cells
+    return result
+
+
+__all__ = ["QUERY_KINDS", "ScalabilityResult", "run_scalability"]

@@ -1,0 +1,115 @@
+"""Statistical significance of variance comparisons.
+
+The paper's relative-variance cells are ratios of two sample variances over
+500 runs; reproductions typically afford far fewer runs, where a cell like
+``0.83`` may or may not mean anything.  This module provides two tools:
+
+* :func:`variance_ratio_ci` — a bootstrap confidence interval for
+  ``var(A)/var(B)`` from paired run values;
+* :func:`is_significantly_smaller` — the decision the benchmark assertions
+  actually need ("is A's variance smaller than B's at this confidence?").
+
+A normal-theory F-interval is deliberately avoided: estimator run values
+are averages of a few hundred worlds and close to normal, but stratified
+estimators mix deterministic strata contributions that thin the tails, so
+the bootstrap is the safer default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.rng import RngLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class RatioCI:
+    """Bootstrap confidence interval for a variance ratio."""
+
+    point: float
+    lower: float
+    upper: float
+    confidence: float
+    n_bootstrap: int
+
+    def excludes_one(self) -> bool:
+        """True when the interval lies entirely below or above 1."""
+        return self.upper < 1.0 or self.lower > 1.0
+
+
+def variance_ratio_ci(
+    values_a: np.ndarray,
+    values_b: np.ndarray,
+    confidence: float = 0.95,
+    n_bootstrap: int = 2_000,
+    rng: RngLike = None,
+) -> RatioCI:
+    """Percentile-bootstrap CI for ``var(values_a) / var(values_b)``.
+
+    The two run sets are resampled independently (they come from
+    independent random streams in the harness).
+    """
+    values_a = np.asarray(values_a, dtype=np.float64)
+    values_b = np.asarray(values_b, dtype=np.float64)
+    if values_a.size < 3 or values_b.size < 3:
+        raise ExperimentError("need at least 3 runs per estimator for a ratio CI")
+    if not 0.5 < confidence < 1.0:
+        raise ExperimentError("confidence must be in (0.5, 1)")
+    var_b = values_b.var(ddof=1)
+    if var_b <= 0:
+        raise ExperimentError("baseline variance is zero; the ratio is undefined")
+    gen = resolve_rng(rng)
+    point = float(values_a.var(ddof=1) / var_b)
+
+    idx_a = gen.integers(0, values_a.size, size=(n_bootstrap, values_a.size))
+    idx_b = gen.integers(0, values_b.size, size=(n_bootstrap, values_b.size))
+    boot_a = values_a[idx_a].var(ddof=1, axis=1)
+    boot_b = values_b[idx_b].var(ddof=1, axis=1)
+    valid = boot_b > 0
+    if not valid.any():
+        raise ExperimentError("bootstrap produced no valid baseline variances")
+    ratios = boot_a[valid] / boot_b[valid]
+    alpha = 1.0 - confidence
+    lower, upper = np.quantile(ratios, [alpha / 2, 1 - alpha / 2])
+    return RatioCI(
+        point=point,
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        n_bootstrap=int(n_bootstrap),
+    )
+
+
+def is_significantly_smaller(
+    values_a: np.ndarray,
+    values_b: np.ndarray,
+    confidence: float = 0.95,
+    n_bootstrap: int = 2_000,
+    rng: RngLike = None,
+) -> bool:
+    """Whether ``var(values_a) < var(values_b)`` at the given confidence."""
+    ci = variance_ratio_ci(values_a, values_b, confidence, n_bootstrap, rng)
+    return ci.upper < 1.0
+
+
+def runs_needed_for_ratio_precision(relative_error: float) -> int:
+    """Rule-of-thumb run count for a variance-ratio cell.
+
+    The sample variance of ``R`` (near-)normal runs has relative standard
+    deviation ``sqrt(2/R)``; a ratio of two independent ones has roughly
+    ``sqrt(4/R)``.  Inverting gives the run count for a target relative
+    error — e.g. 10% needs ~400 runs, matching the paper's choice of 500.
+    """
+    if not 0 < relative_error < 1:
+        raise ExperimentError("relative_error must be in (0, 1)")
+    return int(np.ceil(4.0 / relative_error**2))
+
+
+__all__ = [
+    "RatioCI",
+    "variance_ratio_ci",
+    "is_significantly_smaller",
+    "runs_needed_for_ratio_precision",
+]

@@ -1,0 +1,142 @@
+"""Drivers for the paper's Tables V–VIII.
+
+Table V/VII report per-estimator *relative variance* (variance across
+repeated runs, divided by NMC's, averaged over random queries); Table VI/VIII
+report average query time.  One generic engine parameterised by query type
+and metric produces all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.registry import (
+    BFS_ESTIMATORS,
+    CUTSET_ESTIMATORS,
+    make_estimator,
+)
+from repro.datasets.registry import load_dataset
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_mapping_table
+from repro.experiments.runner import compare_estimators, relative_variances
+from repro.experiments.workloads import distance_queries, influence_queries
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Query
+from repro.rng import spawn_rngs
+
+QueryFactory = Callable[[UncertainGraph, int, np.random.Generator], List[Query]]
+
+METRICS = ("relative_variance", "query_time")
+
+
+@dataclass
+class TableResult:
+    """A reproduced paper table: dataset rows x estimator columns."""
+
+    title: str
+    metric: str
+    columns: List[str]
+    cells: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    queries_used: Dict[str, int] = field(default_factory=dict)
+
+    def to_text(self, digits: int = 3) -> str:
+        return format_mapping_table(self.title, self.columns, self.cells, digits=digits)
+
+    def column(self, estimator: str) -> Dict[str, float]:
+        """One estimator's value per dataset."""
+        return {ds: cells[estimator] for ds, cells in self.cells.items()}
+
+
+def _build_estimators(config: ExperimentConfig, query_sample: Query) -> Dict[str, object]:
+    """Instantiate the configured estimators, dropping those the query can't serve."""
+    out = {}
+    for name in config.estimators:
+        if name in CUTSET_ESTIMATORS and not query_sample.has_cut_set:
+            continue
+        out[name] = make_estimator(name, config.settings)
+    return out
+
+
+def run_table(
+    config: ExperimentConfig,
+    query_factory: QueryFactory,
+    metric: str,
+    title: str,
+) -> TableResult:
+    """Generic Table V–VIII engine.
+
+    For every dataset: draw ``n_queries`` random queries, measure every
+    estimator ``n_runs`` times per query, and average the chosen metric over
+    queries (skipping degenerate queries whose NMC variance is zero, as the
+    paper's protocol implicitly does).
+    """
+    if metric not in METRICS:
+        raise ExperimentError(f"metric must be one of {METRICS}, got {metric!r}")
+    result = TableResult(title=title, metric=metric, columns=list(config.estimators))
+    dataset_rngs = spawn_rngs(config.seed, len(config.datasets))
+    for dataset_name, ds_rng in zip(config.datasets, dataset_rngs):
+        dataset = load_dataset(dataset_name, scale=config.scale)
+        queries = query_factory(dataset.graph, config.n_queries, ds_rng)
+        estimators = _build_estimators(config, queries[0])
+        sums = {name: 0.0 for name in estimators}
+        used = 0
+        for query in queries:
+            stats = compare_estimators(
+                dataset.graph,
+                query,
+                estimators,
+                config.sample_size,
+                config.n_runs,
+                ds_rng,
+            )
+            if metric == "relative_variance":
+                rvs = relative_variances(stats)
+                if any(v != v for v in rvs.values()):  # degenerate query
+                    continue
+                for name, rv in rvs.items():
+                    sums[name] += rv
+            else:
+                for name, stat in stats.items():
+                    sums[name] += stat.avg_time
+            used += 1
+        if used == 0:
+            raise ExperimentError(
+                f"every query on dataset {dataset_name!r} was degenerate; "
+                "increase n_runs or the graph scale"
+            )
+        result.cells[dataset.name] = {
+            name: total / used for name, total in sums.items()
+        }
+        result.queries_used[dataset.name] = used
+    return result
+
+
+def influence_table(config: ExperimentConfig, metric: str = "relative_variance") -> TableResult:
+    """Table V (``metric="relative_variance"``) or Table VI (``"query_time"``)."""
+    which = "Table V" if metric == "relative_variance" else "Table VI"
+    pretty = "relative variance" if metric == "relative_variance" else "avg query time (s)"
+    return run_table(
+        config,
+        lambda graph, n, rng: influence_queries(graph, n, rng),
+        metric,
+        f"{which}: influence function evaluation — {pretty}",
+    )
+
+
+def distance_table(config: ExperimentConfig, metric: str = "relative_variance") -> TableResult:
+    """Table VII (``metric="relative_variance"``) or Table VIII (``"query_time"``)."""
+    which = "Table VII" if metric == "relative_variance" else "Table VIII"
+    pretty = "relative variance" if metric == "relative_variance" else "avg query time (s)"
+    return run_table(
+        config,
+        lambda graph, n, rng: distance_queries(graph, n, rng),
+        metric,
+        f"{which}: expected-reliable distance query — {pretty}",
+    )
+
+
+__all__ = ["METRICS", "TableResult", "run_table", "influence_table", "distance_table"]

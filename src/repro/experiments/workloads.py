@@ -1,0 +1,84 @@
+"""Random query workloads (paper §VI-B/§VI-C).
+
+The paper draws 1000 random query nodes (influence) and 1000 random node
+pairs (distance) per dataset.  Uniformly random pairs on a sparse graph are
+mostly mutually unreachable, which makes the conditional distance query
+degenerate (no run ever observes the event, variance undefined), so —
+matching the spirit of "random queries with a meaningful answer" — query
+nodes are drawn among nodes with outgoing edges, and distance targets among
+nodes reachable from the source when every edge is present.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.influence import InfluenceQuery
+from repro.queries.traversal import reachable_mask
+from repro.rng import RngLike, resolve_rng
+
+
+def _nodes_with_out_edges(graph: UncertainGraph) -> np.ndarray:
+    degrees = np.diff(graph.adjacency.indptr)
+    return np.flatnonzero(degrees > 0)
+
+
+def influence_queries(
+    graph: UncertainGraph,
+    n_queries: int,
+    rng: RngLike = None,
+) -> List[InfluenceQuery]:
+    """Draw ``n_queries`` single-seed influence queries."""
+    gen = resolve_rng(rng)
+    candidates = _nodes_with_out_edges(graph)
+    if candidates.size == 0:
+        raise ExperimentError("graph has no node with outgoing edges")
+    seeds = gen.choice(candidates, size=n_queries, replace=n_queries > candidates.size)
+    return [InfluenceQuery(int(seed)) for seed in seeds]
+
+
+def distance_queries(
+    graph: UncertainGraph,
+    n_queries: int,
+    rng: RngLike = None,
+    answer_set: str = "frontier",
+    max_attempts_per_query: int = 50,
+) -> List[ReliableDistanceQuery]:
+    """Draw ``n_queries`` (s, t) expected-reliable-distance queries.
+
+    Targets are sampled from the set of nodes reachable from ``s`` in the
+    certain graph (all edges present), so the conditioning event has positive
+    probability.
+    """
+    gen = resolve_rng(rng)
+    candidates = _nodes_with_out_edges(graph)
+    if candidates.size == 0:
+        raise ExperimentError("graph has no node with outgoing edges")
+    all_present = np.ones(graph.n_edges, dtype=bool)
+    queries: List[ReliableDistanceQuery] = []
+    attempts = 0
+    budget = n_queries * max_attempts_per_query
+    while len(queries) < n_queries:
+        attempts += 1
+        if attempts > budget:
+            raise ExperimentError(
+                f"could not find {n_queries} connected (s, t) pairs in "
+                f"{budget} attempts; the graph may be an anti-matching"
+            )
+        s = int(gen.choice(candidates))
+        reach = reachable_mask(graph, all_present, s)
+        reach[s] = False
+        targets = np.flatnonzero(reach)
+        if targets.size == 0:
+            continue
+        t = int(gen.choice(targets))
+        queries.append(ReliableDistanceQuery(s, t, answer_set=answer_set))
+    return queries
+
+
+__all__ = ["influence_queries", "distance_queries"]

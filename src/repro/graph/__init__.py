@@ -1,0 +1,37 @@
+"""Uncertain-graph substrate.
+
+The central object is :class:`~repro.graph.uncertain.UncertainGraph`: a fixed
+node set, an edge list with one existence probability per edge, and a
+compressed-sparse-row adjacency built once at construction.  Partial
+knowledge about edges (the heart of stratified sampling) is expressed with
+:class:`~repro.graph.statuses.EdgeStatuses`, and possible worlds are sampled
+or exhaustively enumerated by :mod:`repro.graph.world` and
+:mod:`repro.graph.enumerate`.
+"""
+
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.statuses import FREE, ABSENT, PRESENT, EdgeStatuses
+from repro.graph.world import PossibleWorld, sample_edge_masks, sample_world, iter_edge_masks
+from repro.graph.enumerate import enumerate_worlds, world_probability, count_free_worlds
+from repro.graph import generators
+from repro.graph.io import read_edge_tsv, write_edge_tsv, graph_from_json, graph_to_json
+
+__all__ = [
+    "UncertainGraph",
+    "EdgeStatuses",
+    "FREE",
+    "ABSENT",
+    "PRESENT",
+    "PossibleWorld",
+    "sample_edge_masks",
+    "sample_world",
+    "iter_edge_masks",
+    "enumerate_worlds",
+    "world_probability",
+    "count_free_worlds",
+    "generators",
+    "read_edge_tsv",
+    "write_edge_tsv",
+    "graph_from_json",
+    "graph_to_json",
+]

@@ -1,0 +1,102 @@
+"""Compressed-sparse-row adjacency construction.
+
+The CSR structure stores *arcs*: one per edge for directed graphs, two per
+edge (both orientations) for undirected graphs.  Each arc remembers the edge
+it came from (``arc_edge``) so a boolean mask over *edges* — a possible world
+— can be applied to arcs with a single fancy-index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CsrAdjacency:
+    """Immutable CSR adjacency over arcs.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n_nodes + 1``; arcs leaving node ``u``
+        occupy slots ``indptr[u]:indptr[u + 1]``.
+    arc_target:
+        ``int64`` array; head node of each arc.
+    arc_edge:
+        ``int64`` array; index of the underlying edge of each arc.
+    """
+
+    indptr: np.ndarray
+    arc_target: np.ndarray
+    arc_edge: np.ndarray
+
+    def as_lists(self) -> tuple:
+        """Plain-list views of the CSR arrays, built lazily and cached.
+
+        Scalar indexing into Python lists is several times faster than into
+        numpy arrays; the traversal kernels use these for small-frontier
+        BFS levels where per-element Python loops beat vectorised dispatch.
+        """
+        cached = getattr(self, "_lists", None)
+        if cached is None:
+            cached = (
+                self.indptr.tolist(),
+                self.arc_target.tolist(),
+                self.arc_edge.tolist(),
+            )
+            object.__setattr__(self, "_lists", cached)
+        return cached
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def n_arcs(self) -> int:
+        return int(self.arc_target.shape[0])
+
+    def out_arcs(self, node: int) -> np.ndarray:
+        """Flat arc indices leaving ``node``."""
+        return np.arange(self.indptr[node], self.indptr[node + 1], dtype=np.int64)
+
+    def out_degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+
+def build_csr(
+    n_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    directed: bool,
+) -> CsrAdjacency:
+    """Build the arc-level CSR adjacency for an edge list.
+
+    For undirected graphs each edge ``(u, v)`` contributes two arcs —
+    ``u -> v`` and ``v -> u`` — sharing the same ``arc_edge`` id, so masking
+    an edge out removes both directions at once.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    m = src.shape[0]
+    if directed:
+        tails = src
+        heads = dst
+        edges = np.arange(m, dtype=np.int64)
+    else:
+        tails = np.concatenate([src, dst])
+        heads = np.concatenate([dst, src])
+        edges = np.concatenate([np.arange(m, dtype=np.int64)] * 2)
+    order = np.argsort(tails, kind="stable")
+    tails = tails[order]
+    counts = np.bincount(tails, minlength=n_nodes)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return CsrAdjacency(
+        indptr=indptr,
+        arc_target=heads[order],
+        arc_edge=edges[order],
+    )
+
+
+__all__ = ["CsrAdjacency", "build_csr"]

@@ -1,0 +1,97 @@
+"""Exhaustive possible-world enumeration.
+
+The query-evaluation problems are #P-complete in general, but on *small*
+graphs the ground truth is computable by brute force: enumerate all ``2^f``
+assignments of the free edges and weight each world by Eq. (1).  This module
+is the oracle the test suite uses to verify unbiasedness and the variance
+theorems exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import EnumerationError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+
+#: Refuse to enumerate more than this many worlds (2**22 ≈ 4.2M).
+MAX_FREE_EDGES = 22
+
+
+def count_free_worlds(statuses: EdgeStatuses) -> int:
+    """Number of possible worlds consistent with a partial assignment."""
+    return 2 ** statuses.n_free
+
+
+def world_probability(statuses: EdgeStatuses, edge_mask: np.ndarray) -> float:
+    """Probability of ``edge_mask`` *conditioned on* the pinned statuses.
+
+    The mask must agree with every pinned edge; the returned probability is
+    the product over free edges only, i.e. ``Pr[mask] / pinned_probability``.
+    """
+    graph = statuses.graph
+    edge_mask = np.asarray(edge_mask, dtype=bool)
+    free = statuses.free_edges()
+    pinned = statuses.determined_edges()
+    if pinned.size and not np.array_equal(
+        edge_mask[pinned], statuses.values[pinned] == 1
+    ):
+        return 0.0
+    p = graph.prob[free]
+    chosen = edge_mask[free]
+    return float(np.prod(np.where(chosen, p, 1.0 - p)))
+
+
+def enumerate_worlds(
+    statuses: EdgeStatuses,
+    max_free_edges: int = MAX_FREE_EDGES,
+) -> Iterator[Tuple[np.ndarray, float]]:
+    """Yield every ``(edge_mask, conditional_probability)`` pair.
+
+    Probabilities are conditional on the pinned statuses and sum to 1 across
+    the enumeration.  Worlds with probability zero are still yielded (their
+    weight is exactly 0.0), keeping downstream averaging simple.
+
+    Raises
+    ------
+    EnumerationError
+        If the number of free edges exceeds ``max_free_edges``.
+    """
+    graph = statuses.graph
+    free = statuses.free_edges()
+    f = int(free.size)
+    if f > max_free_edges:
+        raise EnumerationError(
+            f"{f} free edges would require 2^{f} worlds; "
+            f"raise max_free_edges explicitly if you really mean it"
+        )
+    base = statuses.present_mask()
+    probs = graph.prob[free]
+    for code in range(2**f):
+        bits = (code >> np.arange(f)) & 1 if f else np.empty(0, dtype=np.int64)
+        chosen = bits.astype(bool)
+        mask = base.copy()
+        if f:
+            mask[free] = chosen
+        weight = float(np.prod(np.where(chosen, probs, 1.0 - probs))) if f else 1.0
+        yield mask, weight
+
+
+def enumerate_graph_worlds(
+    graph: UncertainGraph,
+    max_free_edges: int = MAX_FREE_EDGES,
+) -> Iterator[Tuple[np.ndarray, float]]:
+    """Enumerate all worlds of an uncertain graph (no pinned edges)."""
+    return enumerate_worlds(EdgeStatuses(graph), max_free_edges=max_free_edges)
+
+
+__all__ = [
+    "MAX_FREE_EDGES",
+    "count_free_worlds",
+    "world_probability",
+    "enumerate_worlds",
+    "enumerate_graph_worlds",
+]

@@ -1,0 +1,207 @@
+"""Uncertain-graph generators.
+
+Structural generators (Erdős–Rényi, preferential attachment, lattices, …)
+paired with probability generators.  Dataset *recipes* that reproduce the
+paper's workloads live in :mod:`repro.datasets`; this module provides the
+raw building blocks, which are also convenient for tests and property-based
+fuzzing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.uncertain import UncertainGraph
+from repro.rng import RngLike, resolve_rng
+
+
+def uniform_probabilities(n_edges: int, rng: RngLike = None) -> np.ndarray:
+    """Independent ``U[0, 1]`` probabilities (paper §VI-A, ER dataset)."""
+    return resolve_rng(rng).random(n_edges)
+
+
+def constant_probabilities(n_edges: int, p: float) -> np.ndarray:
+    """All edges share probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"probability {p} outside [0, 1]")
+    return np.full(n_edges, float(p))
+
+
+def beta_probabilities(n_edges: int, a: float, b: float, rng: RngLike = None) -> np.ndarray:
+    """Beta-distributed probabilities, handy for skewed reliability studies."""
+    return resolve_rng(rng).beta(a, b, size=n_edges)
+
+
+def _distinct_edges(
+    n_nodes: int,
+    n_edges: int,
+    rng: np.random.Generator,
+    directed: bool,
+    allow_self_loops: bool = False,
+) -> tuple:
+    """Sample ``n_edges`` distinct random node pairs (rejection in batches)."""
+    max_pairs = n_nodes * (n_nodes - (0 if allow_self_loops else 1))
+    if not directed:
+        max_pairs //= 2
+        if allow_self_loops:
+            max_pairs += n_nodes
+    if n_edges > max_pairs:
+        raise GraphError(
+            f"cannot place {n_edges} distinct edges on {n_nodes} nodes"
+        )
+    seen = set()
+    src_out = np.empty(n_edges, dtype=np.int64)
+    dst_out = np.empty(n_edges, dtype=np.int64)
+    filled = 0
+    while filled < n_edges:
+        batch = max(1024, 2 * (n_edges - filled))
+        us = rng.integers(0, n_nodes, size=batch)
+        vs = rng.integers(0, n_nodes, size=batch)
+        for u, v in zip(us, vs):
+            if filled == n_edges:
+                break
+            if u == v and not allow_self_loops:
+                continue
+            key = (int(u), int(v)) if directed else (min(int(u), int(v)), max(int(u), int(v)))
+            if key in seen:
+                continue
+            seen.add(key)
+            src_out[filled] = u
+            dst_out[filled] = v
+            filled += 1
+    return src_out, dst_out
+
+
+def erdos_renyi(
+    n_nodes: int,
+    n_edges: int,
+    rng: RngLike = None,
+    directed: bool = True,
+    prob_fn: Optional[Callable[[int, np.random.Generator], np.ndarray]] = None,
+) -> UncertainGraph:
+    """G(n, m) random graph with random edge probabilities.
+
+    ``prob_fn(n_edges, rng)`` generates the edge probabilities; defaults to
+    ``U[0, 1]`` as in the paper's synthetic ER dataset.
+    """
+    gen = resolve_rng(rng)
+    src, dst = _distinct_edges(n_nodes, n_edges, gen, directed)
+    probs = (prob_fn or (lambda m, g: g.random(m)))(n_edges, gen)
+    return UncertainGraph(n_nodes, src, dst, probs, directed=directed)
+
+
+def preferential_attachment(
+    n_nodes: int,
+    edges_per_node: int,
+    rng: RngLike = None,
+    directed: bool = False,
+    prob_fn: Optional[Callable[[int, np.random.Generator], np.ndarray]] = None,
+) -> UncertainGraph:
+    """Barabási–Albert-style heavy-tailed graph (used for dataset surrogates).
+
+    Grows nodes one at a time, attaching each to ``edges_per_node`` existing
+    nodes chosen proportionally to degree (repeated-endpoint trick).
+    """
+    gen = resolve_rng(rng)
+    k = int(edges_per_node)
+    if k < 1 or n_nodes <= k:
+        raise GraphError("need n_nodes > edges_per_node >= 1")
+    # seed clique of k+1 nodes
+    src_list = []
+    dst_list = []
+    endpoints = []
+    for u in range(k + 1):
+        for v in range(u + 1, k + 1):
+            src_list.append(u)
+            dst_list.append(v)
+            endpoints.extend((u, v))
+    for new in range(k + 1, n_nodes):
+        chosen = set()
+        while len(chosen) < k:
+            pick = int(endpoints[gen.integers(0, len(endpoints))])
+            chosen.add(pick)
+        for v in chosen:
+            src_list.append(new)
+            dst_list.append(v)
+            endpoints.extend((new, v))
+    src = np.asarray(src_list, dtype=np.int64)
+    dst = np.asarray(dst_list, dtype=np.int64)
+    probs = (prob_fn or (lambda m, g: g.random(m)))(src.size, gen)
+    return UncertainGraph(n_nodes, src, dst, probs, directed=directed)
+
+
+def path_graph(n_nodes: int, prob: float = 0.5, directed: bool = True) -> UncertainGraph:
+    """A simple path ``0 -> 1 -> ... -> n-1`` with constant edge probability."""
+    if n_nodes < 1:
+        raise GraphError("path graph needs at least one node")
+    edges = [(i, i + 1, prob) for i in range(n_nodes - 1)]
+    return UncertainGraph.from_edges(n_nodes, edges, directed=directed)
+
+
+def star_graph(n_leaves: int, prob: float = 0.5, directed: bool = True) -> UncertainGraph:
+    """Hub node 0 with ``n_leaves`` spokes; the canonical cut-set example."""
+    edges = [(0, i + 1, prob) for i in range(n_leaves)]
+    return UncertainGraph.from_edges(n_leaves + 1, edges, directed=directed)
+
+
+def grid_graph(rows: int, cols: int, prob: float = 0.5, directed: bool = False) -> UncertainGraph:
+    """Rectangular lattice, a standard network-reliability benchmark."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid needs positive dimensions")
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1), prob))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c), prob))
+    return UncertainGraph.from_edges(rows * cols, edges, directed=directed)
+
+
+def complete_graph(n_nodes: int, prob: float = 0.5, directed: bool = False) -> UncertainGraph:
+    """Complete graph on ``n_nodes``; tiny instances only (oracle tests)."""
+    edges = []
+    for u in range(n_nodes):
+        for v in range(u + 1, n_nodes):
+            edges.append((u, v, prob))
+            if directed:
+                edges.append((v, u, prob))
+    return UncertainGraph.from_edges(n_nodes, edges, directed=directed)
+
+
+def paper_running_example() -> UncertainGraph:
+    """The uncertain graph of the paper's Fig. 1(a).
+
+    Five nodes, eight directed edges.  Edge probabilities follow the figure;
+    node ``v_i`` of the paper is node ``i - 1`` here.
+    """
+    edges = [
+        (0, 1, 0.7),  # v1 -> v2
+        (0, 2, 0.5),  # v1 -> v3
+        (1, 0, 0.3),  # v2 -> v1
+        (1, 3, 0.6),  # v2 -> v4
+        (2, 3, 0.9),  # v3 -> v4
+        (3, 0, 0.4),  # v4 -> v1
+        (3, 4, 0.8),  # v4 -> v5
+        (4, 1, 0.2),  # v5 -> v2
+    ]
+    return UncertainGraph.from_edges(5, edges, directed=True)
+
+
+__all__ = [
+    "uniform_probabilities",
+    "constant_probabilities",
+    "beta_probabilities",
+    "erdos_renyi",
+    "preferential_attachment",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "complete_graph",
+    "paper_running_example",
+]

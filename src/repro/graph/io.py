@@ -1,0 +1,97 @@
+"""Reading and writing uncertain graphs.
+
+Two formats:
+
+* **edge TSV** — one ``u<TAB>v<TAB>p`` line per edge, ``#``-prefixed header
+  carrying node count and directedness.  The format round-trips exactly and
+  is what the experiment CLI reads/writes.
+* **JSON** — a self-describing dictionary, convenient for small fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.uncertain import UncertainGraph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_tsv(graph: UncertainGraph, path: PathLike) -> None:
+    """Write ``graph`` as a TSV edge list with a metadata header."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# nodes={graph.n_nodes} directed={int(graph.directed)}\n")
+        fh.write("# src\tdst\tprob\n")
+        for u, v, p in zip(graph.src, graph.dst, graph.prob):
+            fh.write(f"{int(u)}\t{int(v)}\t{float(p):.17g}\n")
+
+
+def read_edge_tsv(path: PathLike) -> UncertainGraph:
+    """Read a TSV edge list produced by :func:`write_edge_tsv`.
+
+    Files without the metadata header are accepted: the node count defaults
+    to ``max(endpoint) + 1`` and the graph to directed.
+    """
+    n_nodes = None
+    directed = True
+    src, dst, prob = [], [], []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("nodes="):
+                        n_nodes = int(token.split("=", 1)[1])
+                    elif token.startswith("directed="):
+                        directed = bool(int(token.split("=", 1)[1]))
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) != 3:
+                raise GraphError(f"{path}:{lineno}: expected 'src dst prob', got {line!r}")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            prob.append(float(parts[2]))
+    if n_nodes is None:
+        n_nodes = (max(max(src), max(dst)) + 1) if src else 0
+    return UncertainGraph(
+        n_nodes,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(prob, dtype=np.float64),
+        directed=directed,
+    )
+
+
+def graph_to_json(graph: UncertainGraph) -> str:
+    """Serialise ``graph`` to a JSON string."""
+    payload = {
+        "n_nodes": graph.n_nodes,
+        "directed": graph.directed,
+        "edges": [
+            [int(u), int(v), float(p)]
+            for u, v, p in zip(graph.src, graph.dst, graph.prob)
+        ],
+    }
+    return json.dumps(payload)
+
+
+def graph_from_json(text: str) -> UncertainGraph:
+    """Deserialise a graph produced by :func:`graph_to_json`."""
+    payload = json.loads(text)
+    try:
+        edges = [(int(u), int(v), float(p)) for u, v, p in payload["edges"]]
+        return UncertainGraph.from_edges(
+            int(payload["n_nodes"]), edges, directed=bool(payload["directed"])
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed graph JSON: {exc}") from exc
+
+
+__all__ = ["write_edge_tsv", "read_edge_tsv", "graph_to_json", "graph_from_json"]

@@ -1,0 +1,241 @@
+"""The :class:`UncertainGraph` model.
+
+An uncertain graph ``G = (V, E, P)`` assigns every edge an independent
+existence probability (paper §II).  Instances are immutable: derived graphs
+(re-weighted probabilities, added virtual seed nodes, …) are produced by the
+``with_*`` constructors, so a graph can be shared freely between estimators
+and threads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CsrAdjacency, build_csr
+from repro.utils.validation import check_edge_endpoints, check_probabilities
+
+EdgeTriple = Tuple[int, int, float]
+
+
+class UncertainGraph:
+    """An uncertain graph with independent edge-existence probabilities.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes; node ids are ``0 .. n_nodes - 1``.
+    src, dst:
+        Edge endpoint arrays of equal length ``m``.  For undirected graphs
+        each edge is stored once (orientation irrelevant).
+    prob:
+        Existence probability of each edge, in ``[0, 1]``.
+    directed:
+        Whether arcs are one-way.  Defaults to ``True`` (the paper assumes
+        directed graphs w.l.o.g.; undirected datasets are supported natively
+        rather than by doubling edges, so each undirected edge still flips a
+        single coin).
+
+    Examples
+    --------
+    The running example of the paper (Fig. 1a):
+
+    >>> g = UncertainGraph.from_edges(
+    ...     5,
+    ...     [(0, 1, 0.7), (0, 2, 0.5), (1, 0, 0.3), (1, 3, 0.6),
+    ...      (2, 3, 0.9), (3, 0, 0.4), (3, 4, 0.8), (4, 1, 0.2)],
+    ...     directed=True,
+    ... )
+    >>> g.n_nodes, g.n_edges
+    (5, 8)
+    """
+
+    __slots__ = ("n_nodes", "src", "dst", "prob", "directed", "_adj", "_radj")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        prob: np.ndarray,
+        directed: bool = True,
+    ) -> None:
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        prob = check_probabilities(prob)
+        check_edge_endpoints(src, dst, n_nodes)
+        if prob.shape != src.shape:
+            raise GraphError("prob must have one entry per edge")
+        object.__setattr__(self, "n_nodes", int(n_nodes))
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        object.__setattr__(self, "prob", prob)
+        object.__setattr__(self, "directed", bool(directed))
+        object.__setattr__(self, "_adj", build_csr(n_nodes, src, dst, directed))
+        object.__setattr__(self, "_radj", None)
+
+    def __setattr__(self, name, value):  # noqa: D105 - immutability guard
+        raise AttributeError("UncertainGraph is immutable")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        n_nodes: int,
+        edges: Iterable[EdgeTriple],
+        directed: bool = True,
+    ) -> "UncertainGraph":
+        """Build a graph from an iterable of ``(u, v, p)`` triples."""
+        edges = list(edges)
+        if edges:
+            src, dst, prob = (np.asarray(col) for col in zip(*edges))
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+            prob = np.empty(0, dtype=np.float64)
+        return cls(n_nodes, src, dst, prob, directed=directed)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, prob_attr: str = "prob") -> "UncertainGraph":
+        """Convert a networkx (Di)Graph whose edges carry a probability attribute.
+
+        Node labels are relabelled to ``0..n-1`` in sorted order when they are
+        not already a contiguous integer range.
+        """
+        import networkx as nx
+
+        directed = nx_graph.is_directed()
+        nodes = sorted(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        triples = []
+        for u, v, data in nx_graph.edges(data=True):
+            if prob_attr not in data:
+                raise GraphError(f"edge ({u}, {v}) missing attribute {prob_attr!r}")
+            triples.append((index[u], index[v], float(data[prob_attr])))
+        return cls.from_edges(len(nodes), triples, directed=directed)
+
+    def to_networkx(self, prob_attr: str = "prob"):
+        """Export to a :class:`networkx.DiGraph`/:class:`networkx.Graph`."""
+        import networkx as nx
+
+        out = nx.DiGraph() if self.directed else nx.Graph()
+        out.add_nodes_from(range(self.n_nodes))
+        for u, v, p in self.edge_triples():
+            out.add_edge(u, v, **{prob_attr: p})
+        return out
+
+    def with_probabilities(self, prob: np.ndarray) -> "UncertainGraph":
+        """Return a copy of this graph with replaced edge probabilities."""
+        return UncertainGraph(self.n_nodes, self.src, self.dst, prob, self.directed)
+
+    def with_virtual_source(
+        self, targets: Sequence[int], prob: float = 1.0
+    ) -> Tuple["UncertainGraph", int]:
+        """Append a virtual node with edges to ``targets`` (paper §V-E).
+
+        Used to reduce a multi-seed influence query to the single-seed case:
+        the virtual node connects to every seed with probability 1.  Returns
+        ``(new_graph, virtual_node_id)``.
+        """
+        q = self.n_nodes
+        extra = len(targets)
+        src = np.concatenate([self.src, np.full(extra, q, dtype=np.int64)])
+        dst = np.concatenate([self.dst, np.asarray(targets, dtype=np.int64)])
+        probs = np.concatenate([self.prob, np.full(extra, float(prob))])
+        return UncertainGraph(q + 1, src, dst, probs, self.directed), q
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_edges(self) -> int:
+        """Number of (probabilistic) edges ``m``."""
+        return int(self.src.shape[0])
+
+    @property
+    def adjacency(self) -> CsrAdjacency:
+        """Arc-level CSR adjacency (out-arcs for directed graphs)."""
+        return self._adj
+
+    @property
+    def reverse_adjacency(self) -> CsrAdjacency:
+        """CSR over reversed arcs (in-arcs); built lazily, cached."""
+        if self._radj is None:
+            if self.directed:
+                radj = build_csr(self.n_nodes, self.dst, self.src, True)
+            else:
+                radj = self._adj
+            object.__setattr__(self, "_radj", radj)
+        return self._radj
+
+    def edge_triples(self) -> List[EdgeTriple]:
+        """Edges as a list of ``(u, v, p)`` triples (edge-id order)."""
+        return [
+            (int(u), int(v), float(p))
+            for u, v, p in zip(self.src, self.dst, self.prob)
+        ]
+
+    def edge_index(self, u: int, v: int) -> int:
+        """Return the id of edge ``(u, v)`` (either orientation if undirected)."""
+        hits = np.flatnonzero((self.src == u) & (self.dst == v))
+        if hits.size == 0 and not self.directed:
+            hits = np.flatnonzero((self.src == v) & (self.dst == u))
+        if hits.size == 0:
+            raise GraphError(f"edge ({u}, {v}) not present in graph")
+        return int(hits[0])
+
+    def out_edges(self, node: int) -> np.ndarray:
+        """Edge ids of arcs leaving ``node`` (incident edges if undirected)."""
+        adj = self._adj
+        return adj.arc_edge[adj.indptr[node] : adj.indptr[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        return self._adj.out_degree(node)
+
+    def expected_degree(self) -> float:
+        """Mean expected out-degree ``sum(p) * arcs_per_edge / n``."""
+        if self.n_nodes == 0:
+            return 0.0
+        factor = 1 if self.directed else 2
+        return float(self.prob.sum() * factor / self.n_nodes)
+
+    def world_probability(self, edge_mask: np.ndarray) -> float:
+        """Probability of the possible world selected by ``edge_mask`` (Eq. 1)."""
+        edge_mask = np.asarray(edge_mask, dtype=bool)
+        if edge_mask.shape != (self.n_edges,):
+            raise GraphError("edge_mask must have one entry per edge")
+        return float(np.prod(np.where(edge_mask, self.prob, 1.0 - self.prob)))
+
+    # ------------------------------------------------------------------ #
+    # dunder conveniences
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # noqa: D105
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"UncertainGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges}, "
+            f"{kind})"
+        )
+
+    def __eq__(self, other: object) -> bool:  # noqa: D105
+        if not isinstance(other, UncertainGraph):
+            return NotImplemented
+        return (
+            self.n_nodes == other.n_nodes
+            and self.directed == other.directed
+            and np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+            and np.array_equal(self.prob, other.prob)
+        )
+
+    def __hash__(self) -> int:  # noqa: D105
+        return hash((self.n_nodes, self.n_edges, self.directed))
+
+
+__all__ = ["UncertainGraph", "EdgeTriple"]

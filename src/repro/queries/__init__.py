@@ -1,0 +1,44 @@
+"""Query-evaluation functions ``phi_q(G)`` over possible worlds.
+
+Concrete queries implement :class:`~repro.queries.base.Query` (generic Monte
+Carlo) and, where the paper's cut-set property (Definition 5.1) holds,
+:class:`~repro.queries.base.CutSetQuery`, which unlocks the FS/BCSS/RCSS
+estimators.  Exact brute-force evaluation (for testing and tiny graphs) lives
+in :mod:`repro.queries.exact`.
+"""
+
+from repro.queries.base import (
+    Query,
+    CutSetQuery,
+    ThresholdQuery,
+    Comparison,
+    UNREACHABLE,
+)
+from repro.queries.influence import InfluenceQuery, ThresholdInfluenceQuery
+from repro.queries.distance import ReliableDistanceQuery, ThresholdDistanceQuery
+from repro.queries.reachability import (
+    ReachabilityQuery,
+    DistanceConstrainedReachabilityQuery,
+)
+from repro.queries.reliability import NetworkReliabilityQuery
+from repro.queries.exact import exact_value, exact_distribution, exact_nmc_variance
+from repro.queries.factoring import exact_two_terminal_reliability
+
+__all__ = [
+    "Query",
+    "CutSetQuery",
+    "ThresholdQuery",
+    "Comparison",
+    "UNREACHABLE",
+    "InfluenceQuery",
+    "ThresholdInfluenceQuery",
+    "ReliableDistanceQuery",
+    "ThresholdDistanceQuery",
+    "ReachabilityQuery",
+    "DistanceConstrainedReachabilityQuery",
+    "NetworkReliabilityQuery",
+    "exact_value",
+    "exact_distribution",
+    "exact_nmc_variance",
+    "exact_two_terminal_reliability",
+]

@@ -1,0 +1,73 @@
+"""Shared frontier-style answer-set bookkeeping for cut-set queries.
+
+All of the paper's worked applications maintain an answer set ``S`` of nodes
+already known reachable from the query anchor through *determined-present*
+edges; the cut-set is then the free edges leaving ``S`` (§V-E: ``C =
+(U_{v in S} O_v) ∩ E_2``).  When every edge of ``C`` fails, the reachable
+set is pinned to exactly ``S``, making the query value a computable constant
+— this is what makes the construction a valid cut-set in the sense of
+Definition 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.graph.statuses import FREE, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.traversal import reachable_mask
+from repro.utils.arrays import gather_ranges
+
+
+def determined_reachable(
+    graph: UncertainGraph,
+    statuses: EdgeStatuses,
+    sources: Union[int, Sequence[int]],
+) -> np.ndarray:
+    """Per-node mask of the answer set ``S``: reachable via PRESENT edges only."""
+    return reachable_mask(graph, statuses.present_mask(), sources)
+
+
+def frontier_cut_set(
+    graph: UncertainGraph,
+    statuses: EdgeStatuses,
+    sources: Union[int, Sequence[int]],
+) -> np.ndarray:
+    """Free edges leaving the answer set, in first-visit (node) order.
+
+    The order determines the stratum indexing of Eq. (17); any fixed order is
+    valid, and we use the CSR arc order over ``S``'s nodes so results are
+    deterministic for a given graph and assignment.
+    """
+    visited = determined_reachable(graph, statuses, sources)
+    nodes = np.flatnonzero(visited)
+    if nodes.size == 0:
+        return np.empty(0, dtype=np.int64)
+    adj = graph.adjacency
+    arcs = gather_ranges(adj.indptr[nodes], adj.indptr[nodes + 1])
+    edges = adj.arc_edge[arcs]
+    edges = edges[statuses.values[edges] == FREE]
+    if edges.size == 0:
+        return edges
+    _, first_idx = np.unique(edges, return_index=True)
+    return edges[np.sort(first_idx)]
+
+
+def node_cut_set(
+    graph: UncertainGraph,
+    statuses: EdgeStatuses,
+    node: int,
+) -> np.ndarray:
+    """Free edges leaving a single node (paper's distance-query answer set)."""
+    adj = graph.adjacency
+    edges = adj.arc_edge[adj.indptr[node] : adj.indptr[node + 1]]
+    edges = edges[statuses.values[edges] == FREE]
+    if edges.size == 0:
+        return edges.astype(np.int64)
+    _, first_idx = np.unique(edges, return_index=True)
+    return edges[np.sort(first_idx)]
+
+
+__all__ = ["determined_reachable", "frontier_cut_set", "node_cut_set"]

@@ -1,0 +1,223 @@
+"""Query interfaces.
+
+A :class:`Query` is the library's representation of the paper's query
+evaluation function ``phi_q(G)``: a deterministic function of a possible
+world.  Estimators only interact with queries through this interface, so any
+new application (paper §I lists reliability, k-NN distance, influence,
+constrained reachability, ...) plugs into every estimator for free.
+
+Conditional queries (Eq. 22, expected-reliable distance) are handled with
+*pair semantics*: each evaluation contributes a ``(numerator, denominator)``
+pair, worlds with ``phi = inf`` contribute ``(0, 0)``, and estimators take
+the ratio of the two accumulated expectations at the very end.  For ordinary
+expectation queries the denominator is constantly 1 and the machinery
+reduces to the paper's formulas verbatim.
+
+:class:`CutSetQuery` adds the cut-set property of Definition 5.1, unlocking
+the focal-sampling family (FS, BCSS, RCSS).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+
+#: Sentinel value for "no finite answer in this world" (e.g. t unreachable).
+UNREACHABLE = float("inf")
+
+
+class Query(ABC):
+    """A query evaluation function over possible worlds.
+
+    Subclasses set :attr:`conditional` to ``True`` when the target quantity
+    is a conditional expectation over worlds with a finite value (Eq. 22).
+    """
+
+    #: Ratio semantics: average only over worlds where ``evaluate`` is finite.
+    conditional: bool = False
+
+    @abstractmethod
+    def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
+        """Value of ``phi_q`` on the world selected by ``edge_mask``.
+
+        May return ``inf`` (``UNREACHABLE``) only for conditional queries.
+        """
+
+    def evaluate_pair(
+        self, graph: UncertainGraph, edge_mask: np.ndarray
+    ) -> Tuple[float, float]:
+        """``(numerator, denominator)`` contribution of one world."""
+        value = self.evaluate(graph, edge_mask)
+        if self.conditional:
+            if math.isinf(value):
+                return 0.0, 0.0
+            return value, 1.0
+        return value, 1.0
+
+    def evaluate_world(self, world) -> float:
+        """Convenience overload taking a :class:`~repro.graph.world.PossibleWorld`."""
+        return self.evaluate(world.graph, world.edge_mask)
+
+    def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
+        """Anchor nodes for the BFS edge-selection strategy (paper §III-A).
+
+        Queries that are not BFS-computable may raise :class:`QueryError`,
+        in which case only the RM strategy applies to them.
+        """
+        raise QueryError(
+            f"{type(self).__name__} does not define BFS anchor nodes; "
+            "use random edge selection"
+        )
+
+    @property
+    def has_cut_set(self) -> bool:
+        """Whether the FS/BCSS/RCSS estimators can be applied."""
+        return isinstance(self, CutSetQuery)
+
+    def validate(self, graph: UncertainGraph) -> None:
+        """Check the query is well-posed on ``graph`` (override as needed)."""
+
+
+class CutSetQuery(Query):
+    """A query whose evaluation function has the cut-set property (Def. 5.1).
+
+    The contract: for any partial assignment reachable during RCSS recursion,
+    :meth:`cut_set` returns a set of *free* edges ``C`` such that pinning all
+    of ``C`` ABSENT makes ``phi_q`` a constant, and :meth:`cut_constant`
+    returns that constant (computed on a statuses object where the caller has
+    already pinned ``C`` ABSENT).
+
+    An opaque *answer-set* state (paper §V-C's ``S``) may be threaded through
+    the recursion via :meth:`cut_initial_state` / :meth:`cut_advance`; queries
+    that recompute everything from the statuses can ignore it.
+    """
+
+    #: Whether an *empty* cut-set mid-recursion pins the query value, so the
+    #: constant can be returned exactly.  True for answer-set constructions
+    #: that track the full determined-reachable frontier; False for the
+    #: paper's single-node distance answer set, where an empty cut-set does
+    #: not determine the value and sampling must finish the job.
+    exact_when_cut_empty: bool = True
+
+    def cut_initial_state(self, graph: UncertainGraph) -> Any:
+        """Initial answer-set state before any edge is pinned."""
+        return None
+
+    def cut_advance(self, graph: UncertainGraph, state: Any, active_edge: int) -> Any:
+        """State after ``active_edge`` is pinned PRESENT (paper: add its head)."""
+        return state
+
+    @abstractmethod
+    def cut_set(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> np.ndarray:
+        """Free-edge ids forming a valid cut-set under ``statuses`` (may be empty)."""
+
+    @abstractmethod
+    def cut_constant(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> float:
+        """Value of ``phi_q`` when every cut-set edge has failed (``u_0``).
+
+        ``statuses`` already has the cut-set edges pinned ABSENT.  May be
+        ``inf`` for conditional queries (the paper's ``u_0 = infinity`` case,
+        which contributes nothing to either accumulator).
+        """
+
+
+class Comparison(enum.Enum):
+    """Binary comparison function ``C(phi, delta)`` of Eq. (4)."""
+
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+
+    def apply(self, value: float, threshold: float) -> bool:
+        if self is Comparison.LE:
+            return value <= threshold
+        if self is Comparison.GE:
+            return value >= threshold
+        if self is Comparison.LT:
+            return value < threshold
+        return value > threshold
+
+
+class ThresholdQuery(CutSetQuery):
+    """Threshold query evaluation (Definition 2.2) wrapping any base query.
+
+    ``phi'(G) = 1`` iff ``C(phi(G), delta)`` holds.  The wrapper is always an
+    ordinary (unconditional) expectation — it estimates a probability — even
+    when the base query is conditional; ``inf`` base values simply compare as
+    infinity.  If the base query has the cut-set property, so does the
+    wrapper (an indicator of a constant is a constant), and all cut-set
+    machinery is delegated.
+    """
+
+    conditional = False
+
+    def __init__(self, base: Query, threshold: float, comparison: Comparison) -> None:
+        if not isinstance(comparison, Comparison):
+            raise QueryError(f"comparison must be a Comparison, got {comparison!r}")
+        self.base = base
+        self.threshold = float(threshold)
+        self.comparison = comparison
+
+    def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
+        value = self.base.evaluate(graph, edge_mask)
+        return 1.0 if self.comparison.apply(value, self.threshold) else 0.0
+
+    def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
+        return self.base.bfs_sources(graph)
+
+    def validate(self, graph: UncertainGraph) -> None:
+        self.base.validate(graph)
+
+    @property
+    def has_cut_set(self) -> bool:
+        return self.base.has_cut_set
+
+    @property
+    def exact_when_cut_empty(self) -> bool:
+        return getattr(self.base, "exact_when_cut_empty", True)
+
+    def _base_cut(self) -> CutSetQuery:
+        if not isinstance(self.base, CutSetQuery):
+            raise QueryError(
+                f"base query {type(self.base).__name__} has no cut-set property"
+            )
+        return self.base
+
+    def cut_initial_state(self, graph: UncertainGraph) -> Any:
+        return self._base_cut().cut_initial_state(graph)
+
+    def cut_advance(self, graph: UncertainGraph, state: Any, active_edge: int) -> Any:
+        return self._base_cut().cut_advance(graph, state, active_edge)
+
+    def cut_set(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> np.ndarray:
+        return self._base_cut().cut_set(graph, statuses, state)
+
+    def cut_constant(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> float:
+        value = self._base_cut().cut_constant(graph, statuses, state)
+        return 1.0 if self.comparison.apply(value, self.threshold) else 0.0
+
+    def __repr__(self) -> str:  # noqa: D105
+        return (
+            f"{type(self).__name__}({self.base!r}, "
+            f"{self.comparison.value} {self.threshold})"
+        )
+
+
+__all__ = ["Query", "CutSetQuery", "ThresholdQuery", "Comparison", "UNREACHABLE"]

@@ -1,0 +1,114 @@
+"""Exact two-terminal reliability by factoring (deletion–contraction).
+
+The classic exact algorithm for ``Pr[s ~> t]`` (Moskowitz 1958; surveyed in
+Rubino'99, the paper's reference [10]): pick an undetermined edge ``e`` and
+condition —
+
+    R = p_e * R[e present] + (1 - p_e) * R[e absent]
+
+with two prunings that make it far faster than raw ``2^m`` enumeration:
+
+* if ``t`` is reachable from ``s`` through edges already pinned PRESENT,
+  the reliability of the branch is exactly 1;
+* if ``t`` is unreachable from ``s`` even with every free edge present,
+  it is exactly 0.
+
+Branch edges are chosen in BFS order from ``s`` so the recursion settles
+connectivity questions near the source first (the same heuristic that makes
+the paper's BFS edge selection effective).  Worst case remains exponential
+— the problem is #P-complete — but graphs with dozens of edges are
+routinely exact, an order of magnitude beyond what
+:mod:`repro.graph.enumerate` can touch.  The test suite uses it as a
+mid-size oracle for the sampling estimators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import EnumerationError
+from repro.graph.statuses import ABSENT, FREE, PRESENT, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.traversal import bfs_edge_order, reachable_mask
+from repro.utils.validation import check_node_index
+
+#: Give up beyond this many recursive branchings (safety valve, not a limit
+#: on edges: pruning usually terminates long before).
+DEFAULT_MAX_BRANCHES = 2_000_000
+
+
+def exact_two_terminal_reliability(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    statuses: Optional[EdgeStatuses] = None,
+    max_branches: int = DEFAULT_MAX_BRANCHES,
+) -> float:
+    """Exact ``Pr[target reachable from source]`` by factoring.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (directed or undirected).
+    source, target:
+        Terminal nodes.
+    statuses:
+        Optional partial assignment to condition on.
+    max_branches:
+        Abort with :class:`EnumerationError` after this many conditioning
+        steps — the instance is too entangled for exact evaluation.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_graph
+    >>> exact_two_terminal_reliability(path_graph(4, prob=0.5), 0, 3)
+    0.125
+    """
+    check_node_index(source, graph.n_nodes, "source")
+    check_node_index(target, graph.n_nodes, "target")
+    root = statuses.copy() if statuses is not None else EdgeStatuses(graph)
+    budget = [int(max_branches)]
+    return _factor(graph, root, source, target, budget)
+
+
+def _factor(
+    graph: UncertainGraph,
+    statuses: EdgeStatuses,
+    source: int,
+    target: int,
+    budget: list,
+) -> float:
+    present = statuses.present_mask()
+    if reachable_mask(graph, present, source)[target]:
+        return 1.0
+    optimistic = statuses.values != ABSENT
+    if not reachable_mask(graph, optimistic, source)[target]:
+        return 0.0
+    if budget[0] <= 0:
+        raise EnumerationError(
+            "factoring exceeded its branching budget; use a sampling estimator"
+        )
+    budget[0] -= 1
+    # Branch on the first free edge in BFS order from the source.  One must
+    # exist: target is optimistically reachable but not via PRESENT edges
+    # alone, so some free edge lies on every optimistic path.
+    candidates = bfs_edge_order(
+        graph,
+        source,
+        limit=1,
+        blocked_edges=statuses.values == ABSENT,
+        collect_only_free=statuses.values == FREE,
+    )
+    edge = int(candidates[0])
+    p = float(graph.prob[edge])
+    value = 0.0
+    if p > 0.0:
+        with_edge = statuses.child([edge], [PRESENT])
+        value += p * _factor(graph, with_edge, source, target, budget)
+    if p < 1.0:
+        without_edge = statuses.child([edge], [ABSENT])
+        value += (1.0 - p) * _factor(graph, without_edge, source, target, budget)
+    return value
+
+
+__all__ = ["exact_two_terminal_reliability", "DEFAULT_MAX_BRANCHES"]

@@ -1,0 +1,96 @@
+"""Influence function evaluation (paper §V-E, first application).
+
+Given seeds ``A``, ``phi(G)`` is the number of nodes reachable from ``A`` in
+the possible world ``G``.  Following the paper's ``u_0 = |S| - 1``
+convention, the seeds themselves are *not* counted (set
+``include_seeds=True`` for the other convention; everything stays unbiased).
+
+Multi-seed queries use multi-source BFS, which is exactly equivalent to the
+paper's virtual-node construction (a node ``q`` wired to every seed with
+probability 1) without mutating the graph; the explicit construction is
+available as :meth:`UncertainGraph.with_virtual_source` for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Union
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries._frontier import determined_reachable, frontier_cut_set
+from repro.queries.base import Comparison, CutSetQuery, ThresholdQuery
+from repro.queries.traversal import reachable_count
+
+
+class InfluenceQuery(CutSetQuery):
+    """Expected-spread query: ``E[#nodes reachable from the seed set]``.
+
+    Parameters
+    ----------
+    seeds:
+        A node id or sequence of node ids.
+    include_seeds:
+        Count the seeds in the spread (default ``False``, the paper's
+        convention where a fully-failed cut-set yields spread 0).
+    """
+
+    conditional = False
+
+    def __init__(self, seeds: Union[int, Sequence[int]], include_seeds: bool = False) -> None:
+        arr = np.unique(np.atleast_1d(np.asarray(seeds, dtype=np.int64)))
+        if arr.size == 0:
+            raise QueryError("influence query needs at least one seed")
+        self.seeds = arr
+        self.include_seeds = bool(include_seeds)
+
+    def validate(self, graph: UncertainGraph) -> None:
+        if self.seeds.min() < 0 or self.seeds.max() >= graph.n_nodes:
+            raise QueryError(
+                f"seeds {self.seeds.tolist()} outside node range [0, {graph.n_nodes})"
+            )
+
+    def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
+        return float(
+            reachable_count(graph, edge_mask, self.seeds, include_sources=self.include_seeds)
+        )
+
+    def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
+        return self.seeds
+
+    # -- cut-set property (answer set = nodes reached via determined edges) --
+
+    def cut_set(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> np.ndarray:
+        return frontier_cut_set(graph, statuses, self.seeds)
+
+    def cut_constant(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> float:
+        reached = determined_reachable(graph, statuses, self.seeds)
+        total = int(np.count_nonzero(reached))
+        if self.include_seeds:
+            return float(total)
+        return float(total - self.seeds.size)
+
+    def __repr__(self) -> str:  # noqa: D105
+        return f"InfluenceQuery(seeds={self.seeds.tolist()})"
+
+
+class ThresholdInfluenceQuery(ThresholdQuery):
+    """``Pr[spread >= delta]`` — the paper's threshold influence problem."""
+
+    def __init__(
+        self,
+        seeds: Union[int, Sequence[int]],
+        threshold: float,
+        comparison: Comparison = Comparison.GE,
+        include_seeds: bool = False,
+    ) -> None:
+        super().__init__(InfluenceQuery(seeds, include_seeds), threshold, comparison)
+
+
+__all__ = ["InfluenceQuery", "ThresholdInfluenceQuery"]

@@ -1,0 +1,92 @@
+"""Reachability queries.
+
+* :class:`ReachabilityQuery` — two-terminal reliability ``Pr[s ~> t]``.
+* :class:`DistanceConstrainedReachabilityQuery` — ``Pr[d(s, t) <= d]``
+  (Jin et al. PVLDB'11, the paper's motivating threshold-query instance).
+
+Both have the frontier cut-set property: if every free edge leaving the set
+of determined-reachable nodes fails, reachability (and the constrained
+distance) from ``s`` is fully determined.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries._frontier import determined_reachable, frontier_cut_set
+from repro.queries.base import CutSetQuery
+from repro.queries.traversal import st_distance
+
+
+class _StPairQuery(CutSetQuery):
+    """Common endpoint validation for (s, t) queries."""
+
+    conditional = False
+
+    def __init__(self, source: int, target: int) -> None:
+        self.source = int(source)
+        self.target = int(target)
+
+    def validate(self, graph: UncertainGraph) -> None:
+        for name, node in (("source", self.source), ("target", self.target)):
+            if not 0 <= node < graph.n_nodes:
+                raise QueryError(f"{name} {node} outside node range [0, {graph.n_nodes})")
+
+    def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
+        return np.asarray([self.source], dtype=np.int64)
+
+    def cut_set(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> np.ndarray:
+        return frontier_cut_set(graph, statuses, self.source)
+
+
+class ReachabilityQuery(_StPairQuery):
+    """Two-terminal reliability: ``phi = 1`` iff ``t`` is reachable from ``s``."""
+
+    def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
+        return 1.0 if math.isfinite(st_distance(graph, edge_mask, self.source, self.target)) else 0.0
+
+    def cut_constant(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> float:
+        reached = determined_reachable(graph, statuses, self.source)
+        return 1.0 if reached[self.target] else 0.0
+
+    def __repr__(self) -> str:  # noqa: D105
+        return f"ReachabilityQuery({self.source} -> {self.target})"
+
+
+class DistanceConstrainedReachabilityQuery(_StPairQuery):
+    """``phi = 1`` iff ``d(s, t) <= max_distance`` (distance-constraint reachability)."""
+
+    def __init__(self, source: int, target: int, max_distance: float) -> None:
+        super().__init__(source, target)
+        if max_distance < 0:
+            raise QueryError("max_distance must be non-negative")
+        self.max_distance = float(max_distance)
+
+    def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
+        d = st_distance(graph, edge_mask, self.source, self.target)
+        return 1.0 if d <= self.max_distance else 0.0
+
+    def cut_constant(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> float:
+        d = st_distance(graph, statuses.present_mask(), self.source, self.target)
+        return 1.0 if d <= self.max_distance else 0.0
+
+    def __repr__(self) -> str:  # noqa: D105
+        return (
+            f"DistanceConstrainedReachabilityQuery({self.source} -> {self.target}, "
+            f"d <= {self.max_distance})"
+        )
+
+
+__all__ = ["ReachabilityQuery", "DistanceConstrainedReachabilityQuery"]

@@ -1,0 +1,71 @@
+"""k-terminal network reliability (Rubino'99; paper §I, §II).
+
+``phi = 1`` iff every terminal is reachable from the first terminal.  For
+undirected graphs this is the classic "all terminals in one component"
+criterion; for directed graphs it is rooted (out-arborescence) reliability
+anchored at ``terminals[0]``, which keeps the query BFS-computable and
+cut-set-capable in both cases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries._frontier import determined_reachable, frontier_cut_set
+from repro.queries.base import CutSetQuery
+from repro.queries.traversal import reachable_mask
+
+
+class NetworkReliabilityQuery(CutSetQuery):
+    """Probability that the terminal set is mutually connected.
+
+    Parameters
+    ----------
+    terminals:
+        Two or more node ids.  The first terminal is the BFS anchor.
+    """
+
+    conditional = False
+
+    def __init__(self, terminals: Sequence[int]) -> None:
+        arr = np.unique(np.asarray(terminals, dtype=np.int64))
+        if arr.size < 2:
+            raise QueryError("network reliability needs at least two distinct terminals")
+        self.terminals = arr
+        self.root = int(np.asarray(terminals, dtype=np.int64)[0])
+
+    def validate(self, graph: UncertainGraph) -> None:
+        if self.terminals.min() < 0 or self.terminals.max() >= graph.n_nodes:
+            raise QueryError(
+                f"terminals {self.terminals.tolist()} outside node range "
+                f"[0, {graph.n_nodes})"
+            )
+
+    def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
+        reached = reachable_mask(graph, edge_mask, self.root)
+        return 1.0 if bool(np.all(reached[self.terminals])) else 0.0
+
+    def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
+        return np.asarray([self.root], dtype=np.int64)
+
+    def cut_set(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> np.ndarray:
+        return frontier_cut_set(graph, statuses, self.root)
+
+    def cut_constant(
+        self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
+    ) -> float:
+        reached = determined_reachable(graph, statuses, self.root)
+        return 1.0 if bool(np.all(reached[self.terminals])) else 0.0
+
+    def __repr__(self) -> str:  # noqa: D105
+        return f"NetworkReliabilityQuery(terminals={self.terminals.tolist()})"
+
+
+__all__ = ["NetworkReliabilityQuery"]

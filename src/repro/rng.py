@@ -1,0 +1,68 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts either a seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh OS entropy),
+and normalises it through :func:`resolve_rng`.  Reproducible fan-out (one
+independent stream per repeat of an experiment) goes through
+:func:`spawn_rngs`, which uses numpy's ``SeedSequence`` spawning so child
+streams are statistically independent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def resolve_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted input.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
+    """Spawn ``n`` independent generators derived from ``rng``.
+
+    When ``rng`` is an integer seed or ``None``, children are spawned from a
+    fresh ``SeedSequence``; when it is already a ``Generator``, children are
+    spawned from its internal bit-generator seed sequence so repeated calls
+    produce fresh, non-overlapping streams.
+    """
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of generators")
+    if isinstance(rng, np.random.Generator):
+        seeds = rng.bit_generator.seed_seq.spawn(n)  # type: ignore[attr-defined]
+    elif isinstance(rng, np.random.SeedSequence):
+        seeds = rng.spawn(n)
+    else:
+        seeds = np.random.SeedSequence(rng).spawn(n)
+    return [np.random.default_rng(s) for s in seeds]
+
+
+def derive_seed(rng: RngLike) -> int:
+    """Draw a fresh 63-bit integer seed from ``rng``."""
+    return int(resolve_rng(rng).integers(0, 2**63 - 1))
+
+
+def seeds_for(rng: RngLike, labels: Iterable[str]) -> dict:
+    """Derive one deterministic seed per label (ordered) from ``rng``."""
+    gen = resolve_rng(rng)
+    return {label: int(gen.integers(0, 2**63 - 1)) for label in labels}
+
+
+__all__ = ["RngLike", "resolve_rng", "spawn_rngs", "derive_seed", "seeds_for"]

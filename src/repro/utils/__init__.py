@@ -1,0 +1,19 @@
+"""Shared low-level helpers (array tricks, validation)."""
+
+from repro.utils.arrays import gather_ranges, normalize, stable_cumsum
+from repro.utils.validation import (
+    check_edge_endpoints,
+    check_probabilities,
+    check_positive_int,
+    check_node_index,
+)
+
+__all__ = [
+    "gather_ranges",
+    "normalize",
+    "stable_cumsum",
+    "check_edge_endpoints",
+    "check_probabilities",
+    "check_positive_int",
+    "check_node_index",
+]

@@ -1,0 +1,69 @@
+"""Vectorised array utilities used by the traversal and sampling kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gather_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], ends[i])`` for all ``i``, vectorised.
+
+    This is the core trick that lets breadth-first search expand a whole
+    frontier of nodes in one shot: given per-node CSR slice boundaries it
+    returns the flat indices of every arc leaving the frontier.
+
+    Parameters
+    ----------
+    starts, ends:
+        Equal-length integer arrays with ``ends >= starts`` elementwise.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``int64`` array of length ``(ends - starts).sum()``.
+
+    Examples
+    --------
+    >>> gather_ranges(np.array([0, 5]), np.array([2, 8]))
+    array([0, 1, 5, 6, 7])
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if starts.shape != ends.shape:
+        raise ValueError("starts and ends must have the same shape")
+    counts = ends - starts
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(counts < 0):
+        raise ValueError("ends must be >= starts elementwise")
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+
+
+def normalize(weights: np.ndarray) -> np.ndarray:
+    """Return ``weights / weights.sum()``; raises on a non-positive total."""
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise ValueError(f"cannot normalise weights with total {total}")
+    return weights / total
+
+
+def stable_cumsum(values: np.ndarray) -> np.ndarray:
+    """Cumulative sum with the final entry pinned to the exact total.
+
+    ``numpy.cumsum`` accumulates rounding error; for categorical sampling we
+    want the last boundary to equal the true total so that a uniform draw can
+    never fall off the end of the table.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = np.cumsum(values)
+    if out.size:
+        out[-1] = values.sum()
+    return out
+
+
+__all__ = ["gather_ranges", "normalize", "stable_cumsum"]

@@ -1,0 +1,56 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError, ProbabilityError
+
+
+def check_probabilities(probs: np.ndarray) -> np.ndarray:
+    """Validate and return a float64 array of probabilities in ``[0, 1]``."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 1:
+        raise ProbabilityError(f"probabilities must be 1-D, got shape {probs.shape}")
+    if probs.size and (np.any(~np.isfinite(probs)) or probs.min() < 0.0 or probs.max() > 1.0):
+        raise ProbabilityError("edge probabilities must be finite and within [0, 1]")
+    return probs
+
+
+def check_edge_endpoints(src: np.ndarray, dst: np.ndarray, n_nodes: int) -> None:
+    """Validate that edge endpoints index into ``range(n_nodes)``."""
+    if n_nodes < 0:
+        raise GraphError("number of nodes must be non-negative")
+    for name, arr in (("src", src), ("dst", dst)):
+        if arr.ndim != 1:
+            raise GraphError(f"{name} must be 1-D, got shape {arr.shape}")
+        if arr.size and (arr.min() < 0 or arr.max() >= n_nodes):
+            raise GraphError(f"{name} contains endpoints outside [0, {n_nodes})")
+    if src.shape != dst.shape:
+        raise GraphError("src and dst must have equal length")
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_node_index(node: int, n_nodes: int, name: str = "node") -> int:
+    """Validate that ``node`` is a valid node index and return it as int."""
+    if not isinstance(node, (int, np.integer)) or isinstance(node, bool):
+        raise TypeError(f"{name} must be an integer, got {type(node).__name__}")
+    if not 0 <= node < n_nodes:
+        raise ValueError(f"{name} {node} outside valid range [0, {n_nodes})")
+    return int(node)
+
+
+__all__ = [
+    "check_probabilities",
+    "check_edge_endpoints",
+    "check_positive_int",
+    "check_node_index",
+]

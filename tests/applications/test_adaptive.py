@@ -1,0 +1,82 @@
+"""Tests for adaptive-precision estimation."""
+
+import math
+
+import pytest
+
+from repro.applications.adaptive import estimate_to_precision
+from repro.core import NMC, RCSS
+from repro.errors import EstimatorError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery
+from repro.queries.distance import ReliableDistanceQuery
+
+
+def test_converges_and_covers_truth(fig1_graph):
+    query = InfluenceQuery(0)
+    truth = exact_value(fig1_graph, query)
+    result = estimate_to_precision(
+        fig1_graph, query, NMC(), tolerance=0.05, batch_size=300, rng=1
+    )
+    assert result.converged
+    assert result.half_width <= 0.05
+    lo, hi = result.interval
+    assert lo - 0.05 <= truth <= hi + 0.05  # generous: CI is asymptotic
+    assert result.n_samples_total == len(result.batches) * 300
+
+
+def test_variance_reduction_stops_earlier(fig1_graph):
+    """RCSS's smaller per-batch variance must not need *more* samples."""
+    query = InfluenceQuery(0)
+    tol = 0.04
+    nmc = estimate_to_precision(
+        fig1_graph, query, NMC(), tolerance=tol, batch_size=200, rng=2
+    )
+    rcss = estimate_to_precision(
+        fig1_graph, query, RCSS(tau_samples=4, tau_edges=2), tolerance=tol,
+        batch_size=200, rng=2,
+    )
+    assert rcss.n_samples_total <= nmc.n_samples_total
+
+
+def test_gives_up_at_max_batches(fig1_graph):
+    result = estimate_to_precision(
+        fig1_graph, InfluenceQuery(0), NMC(), tolerance=1e-6,
+        batch_size=50, max_batches=5, rng=3,
+    )
+    assert not result.converged
+    assert len(result.batches) == 5
+
+
+def test_deterministic_query_converges_immediately():
+    g = UncertainGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    result = estimate_to_precision(
+        g, InfluenceQuery(0), NMC(), tolerance=0.01, batch_size=20, rng=4
+    )
+    assert result.converged
+    assert result.value == 2.0
+    assert result.half_width == 0.0
+
+
+def test_nan_batches_discarded_and_all_nan_raises():
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.0)])
+    with pytest.raises(EstimatorError):
+        estimate_to_precision(
+            g, ReliableDistanceQuery(0, 1), NMC(), tolerance=0.1,
+            batch_size=10, max_batches=4, rng=5,
+        )
+
+
+def test_parameter_validation(fig1_graph):
+    q = InfluenceQuery(0)
+    with pytest.raises(EstimatorError):
+        estimate_to_precision(fig1_graph, q, NMC(), tolerance=0.0)
+    with pytest.raises(EstimatorError):
+        estimate_to_precision(fig1_graph, q, NMC(), tolerance=0.1, confidence=0.5)
+    with pytest.raises(EstimatorError):
+        estimate_to_precision(fig1_graph, q, NMC(), tolerance=0.1, min_batches=1)
+    with pytest.raises(EstimatorError):
+        estimate_to_precision(
+            fig1_graph, q, NMC(), tolerance=0.1, min_batches=5, max_batches=3
+        )

@@ -1,0 +1,81 @@
+"""Tests for greedy influence maximisation."""
+
+import pytest
+
+from repro.applications.influence_max import greedy_influence_maximization
+from repro.core import NMC
+from repro.errors import QueryError
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.generators import star_graph
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery
+
+
+@pytest.fixture
+def two_hubs():
+    """Two stars whose hubs are the obviously-best seeds."""
+    edges = []
+    for leaf in (1, 2, 3):
+        edges.append((0, leaf, 0.9))
+    for leaf in (5, 6, 7):
+        edges.append((4, leaf, 0.9))
+    return UncertainGraph.from_edges(8, edges)
+
+
+def test_greedy_picks_both_hubs(two_hubs):
+    result = greedy_influence_maximization(two_hubs, k=2, n_samples=300, rng=1)
+    assert set(result.seeds) == {0, 4}
+    assert len(result.spreads) == 2
+    assert result.spreads[1] == pytest.approx(5.4, abs=0.5)  # 6 leaves * 0.9
+
+
+def test_marginal_gains_monotone_structure(two_hubs):
+    result = greedy_influence_maximization(two_hubs, k=2, n_samples=300, rng=2)
+    assert result.marginal_gains[0] >= result.marginal_gains[1] - 0.3
+    assert result.spreads == pytest.approx(
+        [sum(result.marginal_gains[: i + 1]) for i in range(2)]
+    )
+
+
+def test_greedy_matches_exact_best_single_seed(fig1_graph):
+    best_exact = max(
+        range(fig1_graph.n_nodes),
+        key=lambda v: exact_value(fig1_graph, InfluenceQuery(v)),
+    )
+    result = greedy_influence_maximization(fig1_graph, k=1, n_samples=2000, rng=3)
+    assert result.seeds[0] == best_exact
+
+
+def test_lazy_evaluation_saves_work(two_hubs):
+    result = greedy_influence_maximization(two_hubs, k=2, n_samples=150, rng=4)
+    candidates = 2  # only the hubs have out-edges
+    # initial pass = 2 evaluations; re-evaluations bounded by rounds*candidates
+    assert result.evaluations <= candidates + 2 * candidates
+
+
+def test_k_clipped_to_candidates(star_graph=star_graph):
+    g = star_graph(3, prob=0.5)
+    result = greedy_influence_maximization(g, k=10, n_samples=100, rng=5)
+    assert result.seeds == [0]  # only the hub has out-edges
+
+
+def test_explicit_candidates(two_hubs):
+    result = greedy_influence_maximization(
+        two_hubs, k=1, candidates=[4], n_samples=100, rng=6
+    )
+    assert result.seeds == [4]
+    with pytest.raises(QueryError):
+        greedy_influence_maximization(two_hubs, k=1, candidates=[99])
+
+
+def test_no_candidates_raises():
+    g = UncertainGraph.from_edges(3, [])
+    with pytest.raises(QueryError):
+        greedy_influence_maximization(g, k=1)
+
+
+def test_works_with_nmc(two_hubs):
+    result = greedy_influence_maximization(
+        two_hubs, k=2, estimator=NMC(), n_samples=300, rng=7
+    )
+    assert set(result.seeds) == {0, 4}

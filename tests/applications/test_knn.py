@@ -1,0 +1,71 @@
+"""Tests for k-NN by expected-reliable distance."""
+
+import math
+
+import pytest
+
+from repro.applications.knn import KnnResult, k_nearest_neighbors
+from repro.core import NMC
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.generators import path_graph
+
+
+def test_knn_on_path_orders_by_distance():
+    g = path_graph(5, prob=0.9)
+    result = k_nearest_neighbors(g, 0, k=3, n_samples=400, rng=1)
+    assert result.nodes() == [1, 2, 3]
+    dists = [d for _, d, _ in result.neighbors]
+    assert dists == sorted(dists)
+    assert dists[0] == pytest.approx(1.0)
+
+
+def test_knn_reliability_reported():
+    g = path_graph(4, prob=0.5)
+    result = k_nearest_neighbors(g, 0, k=3, n_samples=600, rng=2)
+    rels = {node: rel for node, _, rel in result.neighbors}
+    # reliability decays with hops: 0.5, 0.25, 0.125
+    assert rels[1] == pytest.approx(0.5, abs=0.08)
+    assert rels[3] == pytest.approx(0.125, abs=0.06)
+
+
+def test_knn_excludes_source_and_unreachable():
+    g = UncertainGraph.from_edges(5, [(0, 1, 0.8), (1, 2, 0.8), (3, 4, 0.9)])
+    result = k_nearest_neighbors(g, 0, k=10, n_samples=200, rng=3)
+    assert 0 not in result.nodes()
+    assert set(result.nodes()) == {1, 2}
+    assert result.candidates_scored == 2
+
+
+def test_knn_empty_when_isolated():
+    g = UncertainGraph.from_edges(3, [(1, 2, 0.5)])
+    result = k_nearest_neighbors(g, 0, k=2, rng=4)
+    assert result.neighbors == []
+    assert isinstance(result, KnnResult)
+
+
+def test_knn_candidate_pool_filters():
+    g = path_graph(6, prob=0.9)
+    result = k_nearest_neighbors(g, 0, k=2, candidate_pool=3, n_samples=150, rng=5)
+    assert result.candidates_scored == 3
+    assert result.nodes() == [1, 2]
+
+
+def test_knn_works_with_any_estimator():
+    g = path_graph(4, prob=0.7)
+    result = k_nearest_neighbors(g, 0, k=2, estimator=NMC(), n_samples=300, rng=6)
+    assert result.nodes() == [1, 2]
+
+
+def test_knn_deterministic_with_seed():
+    g = path_graph(5, prob=0.6)
+    a = k_nearest_neighbors(g, 0, k=3, n_samples=200, rng=7)
+    b = k_nearest_neighbors(g, 0, k=3, n_samples=200, rng=7)
+    assert a.neighbors == b.neighbors
+
+
+def test_knn_input_validation():
+    g = path_graph(3)
+    with pytest.raises(ValueError):
+        k_nearest_neighbors(g, 9, k=1)
+    with pytest.raises(ValueError):
+        k_nearest_neighbors(g, 0, k=0)

@@ -1,0 +1,75 @@
+"""Shared fixtures: small graphs with exactly enumerable world spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    erdos_renyi,
+    grid_graph,
+    paper_running_example,
+    path_graph,
+    star_graph,
+)
+from repro.graph.uncertain import UncertainGraph
+
+
+@pytest.fixture
+def fig1_graph() -> UncertainGraph:
+    """The paper's running example (Fig. 1a): 5 nodes, 8 directed edges."""
+    return paper_running_example()
+
+
+@pytest.fixture
+def diamond_graph() -> UncertainGraph:
+    """Two parallel 2-hop routes 0->3 plus a direct shortcut: distances vary."""
+    return UncertainGraph.from_edges(
+        4,
+        [
+            (0, 1, 0.8),
+            (0, 2, 0.6),
+            (1, 3, 0.7),
+            (2, 3, 0.9),
+            (0, 3, 0.2),
+        ],
+        directed=True,
+    )
+
+
+@pytest.fixture
+def tiny_path() -> UncertainGraph:
+    """Directed path on 4 nodes, p = 0.5 everywhere."""
+    return path_graph(4, prob=0.5)
+
+
+@pytest.fixture
+def small_star() -> UncertainGraph:
+    """Star with 4 spokes, p = 0.3 — the canonical cut-set shape."""
+    return star_graph(4, prob=0.3)
+
+
+@pytest.fixture
+def small_grid() -> UncertainGraph:
+    """3x3 undirected lattice, p = 0.5 — 12 edges, enumerable."""
+    return grid_graph(3, 3, prob=0.5)
+
+
+@pytest.fixture
+def small_random() -> UncertainGraph:
+    """Directed G(8, 14) with U[0,1] probabilities, fixed seed."""
+    return erdos_renyi(8, 14, rng=99, directed=True)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_small_graph(seed: int, max_nodes: int = 7, max_edges: int = 12) -> UncertainGraph:
+    """Deterministic small random uncertain graph for property-style sweeps."""
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, max_nodes + 1))
+    max_m = min(max_edges, n * (n - 1))
+    m = int(gen.integers(1, max_m + 1))
+    return erdos_renyi(n, m, rng=gen, directed=True)

@@ -1,0 +1,102 @@
+"""Tests for sample-allocation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    neyman_allocation,
+    proportional_allocation,
+    validate_allocation_method,
+)
+from repro.errors import EstimatorError
+
+
+def test_ceil_allocation_gives_every_positive_stratum_a_sample():
+    pis = np.array([0.9, 0.0999, 0.0001, 0.0])
+    alloc = proportional_allocation(pis, 100, "ceil")
+    assert alloc[0] == 90
+    assert alloc[1] == 10
+    assert alloc[2] == 1  # ceiling guarantees >= 1
+    assert alloc[3] == 0  # zero-probability stratum gets nothing
+
+
+def test_ceil_allocation_total_bounded_by_n_plus_strata():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        k = int(rng.integers(1, 20))
+        pis = rng.dirichlet(np.ones(k))
+        n = int(rng.integers(1, 500))
+        alloc = proportional_allocation(pis, n, "ceil")
+        assert n <= alloc.sum() <= n + k
+        assert (alloc[pis > 0] >= 1).all()
+
+
+def test_exact_allocation_sums_to_n():
+    pis = np.array([0.5, 0.3, 0.2])
+    alloc = proportional_allocation(pis, 10, "exact")
+    assert alloc.sum() == 10
+    assert alloc.tolist() == [5, 3, 2]
+
+
+def test_exact_allocation_largest_remainder():
+    pis = np.array([0.34, 0.33, 0.33])
+    alloc = proportional_allocation(pis, 10, "exact")
+    assert alloc.sum() == 10
+    assert alloc[0] == 4  # largest remainder takes the extra sample
+
+
+def test_exact_allocation_bumps_zero_allocations():
+    pis = np.array([0.999, 0.001])
+    alloc = proportional_allocation(pis, 10, "exact")
+    assert alloc[1] == 1  # unbiasedness requires at least one sample
+
+
+def test_unnormalised_weights_accepted():
+    alloc = proportional_allocation(np.array([2.0, 2.0]), 10, "ceil")
+    assert alloc.tolist() == [5, 5]
+
+
+def test_all_zero_weights():
+    assert proportional_allocation(np.zeros(3), 10).tolist() == [0, 0, 0]
+
+
+def test_empty_weights():
+    assert proportional_allocation(np.empty(0), 10).size == 0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(EstimatorError):
+        proportional_allocation(np.array([-0.1, 1.1]), 10)
+    with pytest.raises(EstimatorError):
+        proportional_allocation(np.array([np.nan]), 10)
+    with pytest.raises(EstimatorError):
+        proportional_allocation(np.array([0.5]), -1)
+    with pytest.raises(EstimatorError):
+        proportional_allocation(np.array([0.5, 0.5]), 10, method="banana")
+
+
+def test_neyman_prefers_high_variance_strata():
+    pis = np.array([0.5, 0.5])
+    sigmas = np.array([4.0, 1.0])
+    alloc = neyman_allocation(pis, sigmas, 90)
+    # ratio sqrt(4):sqrt(1) = 2:1
+    assert alloc[0] == pytest.approx(60, abs=1)
+    assert alloc[1] == pytest.approx(30, abs=1)
+
+
+def test_neyman_zero_variance_everywhere_falls_back():
+    alloc = neyman_allocation(np.array([0.7, 0.3]), np.zeros(2), 10)
+    assert alloc.sum() >= 10
+
+
+def test_neyman_input_validation():
+    with pytest.raises(EstimatorError):
+        neyman_allocation(np.array([0.5]), np.array([1.0, 2.0]), 10)
+    with pytest.raises(EstimatorError):
+        neyman_allocation(np.array([0.5]), np.array([-1.0]), 10)
+
+
+def test_validate_allocation_method():
+    assert validate_allocation_method("ceil") == "ceil"
+    with pytest.raises(EstimatorError):
+        validate_allocation_method("floor")

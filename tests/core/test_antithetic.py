@@ -1,0 +1,64 @@
+"""Tests for the antithetic-variates baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.antithetic import AntitheticNMC
+from repro.core.nmc import NMC
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery
+from repro.rng import spawn_rngs
+
+
+def test_unbiased_on_running_example(fig1_graph):
+    query = InfluenceQuery(0)
+    exact = exact_value(fig1_graph, query)
+    values = np.array(
+        [
+            AntitheticNMC().estimate(fig1_graph, query, 40, rng=r).value
+            for r in spawn_rngs(1, 400)
+        ]
+    )
+    sem = values.std(ddof=1) / 20
+    assert abs(values.mean() - exact) < 5 * sem
+
+
+def test_variance_not_worse_than_nmc_on_monotone_query(fig1_graph):
+    query = InfluenceQuery(0)
+
+    def var(est, seed):
+        vals = [
+            est.estimate(fig1_graph, query, 60, rng=r).value
+            for r in spawn_rngs(seed, 600)
+        ]
+        return float(np.var(vals, ddof=1))
+
+    assert var(AntitheticNMC(), 2) <= var(NMC(), 2) * 1.1
+
+
+def test_odd_sample_count_respected(fig1_graph):
+    result = AntitheticNMC().estimate(fig1_graph, InfluenceQuery(0), 7, rng=3)
+    assert result.n_worlds == 7
+
+
+def test_deterministic_given_seed(fig1_graph):
+    q = InfluenceQuery(0)
+    a = AntitheticNMC().estimate(fig1_graph, q, 30, rng=5).value
+    b = AntitheticNMC().estimate(fig1_graph, q, 30, rng=5).value
+    assert a == b
+
+
+def test_twins_are_mirrored(fig1_graph):
+    """With p = 0.5 everywhere, twin worlds are exact complements."""
+    g = fig1_graph.with_probabilities(np.full(8, 0.5))
+
+    seen = []
+
+    class Spy(InfluenceQuery):
+        def evaluate(self, graph, edge_mask):
+            seen.append(edge_mask.copy())
+            return super().evaluate(graph, edge_mask)
+
+    AntitheticNMC().estimate(g, Spy(0), 2, rng=7)
+    assert len(seen) == 2
+    assert np.array_equal(seen[0], ~seen[1])

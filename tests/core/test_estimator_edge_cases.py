@@ -1,0 +1,125 @@
+"""Edge-case and failure-injection tests for the estimator stack."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BCSS,
+    BSS1,
+    BSS2,
+    NMC,
+    RCSS,
+    RSS1,
+    RSS2,
+    FocalSampling,
+    make_paper_estimators,
+)
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.reachability import ReachabilityQuery
+
+ALL = list(make_paper_estimators().values()) + [FocalSampling()]
+
+
+@pytest.mark.parametrize("estimator", ALL, ids=lambda e: e.name)
+def test_all_probabilities_zero(estimator):
+    g = UncertainGraph.from_edges(4, [(0, 1, 0.0), (1, 2, 0.0), (2, 3, 0.0)])
+    result = estimator.estimate(g, InfluenceQuery(0), 60, rng=1)
+    assert result.value == 0.0
+
+
+@pytest.mark.parametrize("estimator", ALL, ids=lambda e: e.name)
+def test_all_probabilities_one(estimator):
+    g = UncertainGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    result = estimator.estimate(g, InfluenceQuery(0), 60, rng=1)
+    assert result.value == 3.0
+
+
+@pytest.mark.parametrize("estimator", ALL, ids=lambda e: e.name)
+def test_single_edge_graph(estimator):
+    g = UncertainGraph.from_edges(2, [(0, 1, 0.37)])
+    result = estimator.estimate(g, InfluenceQuery(0), 3000, rng=4)
+    assert result.value == pytest.approx(0.37, abs=0.06)
+
+
+def test_focal_with_certain_cut_edge():
+    """pi_0 = 0 when a cut edge has probability 1: only the complement is sampled."""
+    g = UncertainGraph.from_edges(3, [(0, 1, 1.0), (0, 2, 0.5)])
+    result = FocalSampling().estimate(g, InfluenceQuery(0), 400, rng=2)
+    assert result.value == pytest.approx(1.5, abs=0.1)
+
+
+def test_bcss_with_certain_cut_edge():
+    g = UncertainGraph.from_edges(3, [(0, 1, 1.0), (0, 2, 0.5)])
+    result = BCSS().estimate(g, InfluenceQuery(0), 400, rng=2)
+    assert result.value == pytest.approx(1.5, abs=0.1)
+
+
+def test_rcss_with_impossible_cut_edges():
+    """Cut edges of probability 0: the analytic stratum carries all the mass."""
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.0), (0, 2, 0.0)])
+    result = RCSS().estimate(g, InfluenceQuery(0), 50, rng=0)
+    assert result.value == 0.0
+
+
+@pytest.mark.parametrize("estimator", ALL, ids=lambda e: e.name)
+def test_unreachable_distance_pair_nan(estimator):
+    g = UncertainGraph.from_edges(4, [(0, 1, 0.5), (2, 3, 0.5)])
+    result = estimator.estimate(g, ReliableDistanceQuery(0, 3), 60, rng=3)
+    assert math.isnan(result.value)
+    assert result.denominator == 0.0
+
+
+def test_self_loop_does_not_break_traversal():
+    g = UncertainGraph.from_edges(3, [(0, 0, 0.9), (0, 1, 0.5), (1, 2, 0.5)])
+    exact = exact_value(g, InfluenceQuery(0))
+    result = NMC().estimate(g, InfluenceQuery(0), 4000, rng=5)
+    assert result.value == pytest.approx(exact, abs=0.06)
+
+
+def test_parallel_edges_flip_independent_coins():
+    g = UncertainGraph.from_edges(2, [(0, 1, 0.5), (0, 1, 0.5)])
+    # Pr[0 reaches 1] = 1 - 0.25 = 0.75
+    exact = exact_value(g, ReachabilityQuery(0, 1))
+    assert exact == pytest.approx(0.75)
+    for estimator in (NMC(), BSS1(r=2), RCSS(tau_samples=4, tau_edges=1)):
+        value = estimator.estimate(g, ReachabilityQuery(0, 1), 4000, rng=6).value
+        assert value == pytest.approx(0.75, abs=0.04)
+
+
+def test_n_samples_one(fig1_graph):
+    """The degenerate budget N=1 still returns a legal (noisy) estimate."""
+    for estimator in (NMC(), RSS1(r=2, tau=2), RCSS()):
+        value = estimator.estimate(fig1_graph, InfluenceQuery(0), 1, rng=8).value
+        assert 0.0 <= value <= 4.0
+
+
+def test_huge_r_on_tiny_graph(fig1_graph):
+    """r far beyond the edge count clips gracefully everywhere."""
+    for estimator in (BSS2(r=500), RSS2(r=500, tau=2)):
+        value = estimator.estimate(fig1_graph, InfluenceQuery(0), 200, rng=9).value
+        assert 0.0 <= value <= 4.0
+
+
+def test_disconnected_seed_component(small_star):
+    """Query anchored in a component the stratification edges never touch."""
+    # star plus an isolated extra node as seed
+    g = UncertainGraph.from_edges(
+        6, [(0, 1, 0.3), (0, 2, 0.3), (0, 3, 0.3), (0, 4, 0.3)]
+    )
+    q = InfluenceQuery(5)
+    for estimator in (NMC(), BSS1(r=2), RCSS()):
+        assert estimator.estimate(g, q, 100, rng=10).value == 0.0
+
+
+def test_threshold_estimates_are_probabilities(fig1_graph):
+    from repro.queries.influence import ThresholdInfluenceQuery
+
+    q = ThresholdInfluenceQuery(0, 3)
+    for estimator in ALL:
+        value = estimator.estimate(fig1_graph, q, 200, rng=11).value
+        assert 0.0 <= value <= 1.0, estimator.name

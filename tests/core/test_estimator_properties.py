@@ -1,0 +1,65 @@
+"""Property-style sweeps: estimators vs exact ground truth on random graphs.
+
+Complements the statistical unbiasedness tests with broad structural
+coverage: random directed/undirected graphs, random query anchors, every
+estimator family — each estimate must land near the enumerated truth with a
+generous-but-finite tolerance at a moderate budget.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BSS1, BSS2, NMC, RCSS, RSS1, RSS2, BCSS, FocalSampling
+from repro.graph.generators import erdos_renyi
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery
+from repro.queries.reachability import ReachabilityQuery
+
+ESTIMATOR_FACTORIES = [
+    ("NMC", lambda: NMC()),
+    ("BSS1", lambda: BSS1(r=3)),
+    ("RSS1", lambda: RSS1(r=2, tau=6)),
+    ("BSS2", lambda: BSS2(r=5)),
+    ("RSS2", lambda: RSS2(r=4, tau=6)),
+    ("FS", lambda: FocalSampling()),
+    ("BCSS", lambda: BCSS()),
+    ("RCSS", lambda: RCSS(tau_samples=5, tau_edges=2)),
+]
+
+
+def _graph_and_anchor(seed):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(3, 9))
+    directed = bool(gen.integers(0, 2))
+    cap = n * (n - 1) if directed else n * (n - 1) // 2
+    m = int(gen.integers(1, min(cap, 14) + 1))
+    graph = erdos_renyi(n, m, rng=gen, directed=directed)
+    degrees = np.diff(graph.adjacency.indptr)
+    anchored = np.flatnonzero(degrees > 0)
+    anchor = int(anchored[gen.integers(0, anchored.size)]) if anchored.size else 0
+    return graph, anchor, gen
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_estimators_converge_to_exact_influence(seed):
+    graph, anchor, gen = _graph_and_anchor(seed)
+    query = InfluenceQuery(anchor)
+    truth = exact_value(graph, query)
+    for name, factory in ESTIMATOR_FACTORIES:
+        estimate = factory().estimate(graph, query, 1500, rng=seed).value
+        # 1500 samples on a <=8-node spread: SE < ~0.08; allow 6 sigma.
+        assert abs(estimate - truth) < 0.5, (name, estimate, truth)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_estimators_converge_to_exact_reachability(seed):
+    graph, anchor, gen = _graph_and_anchor(seed)
+    target = int(gen.integers(0, graph.n_nodes))
+    query = ReachabilityQuery(anchor, target)
+    truth = exact_value(graph, query)
+    for name, factory in ESTIMATOR_FACTORIES:
+        estimate = factory().estimate(graph, query, 1500, rng=seed + 1).value
+        assert abs(estimate - truth) < 0.1, (name, estimate, truth)

@@ -1,0 +1,210 @@
+"""Behavioural tests shared by all estimators: interface, guards, determinism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BCSS,
+    BSS1,
+    BSS2,
+    NMC,
+    RCSS,
+    RSS1,
+    RSS2,
+    FocalSampling,
+    make_paper_estimators,
+)
+from repro.core.registry import PAPER_ESTIMATORS
+from repro.errors import EstimatorError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.reliability import NetworkReliabilityQuery
+from repro.queries.base import Query
+
+ALL_ESTIMATORS = list(make_paper_estimators().values()) + [FocalSampling()]
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: e.name)
+def test_result_structure(fig1_graph, estimator):
+    result = estimator.estimate(fig1_graph, InfluenceQuery(0), 200, rng=3)
+    assert result.estimator == estimator.name
+    assert result.n_samples == 200
+    assert result.n_worlds >= 0
+    assert 0.0 <= result.value <= 4.0
+    assert result.denominator == pytest.approx(1.0)
+    assert float(result) == result.value
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: e.name)
+def test_deterministic_given_seed(fig1_graph, estimator):
+    a = estimator.estimate(fig1_graph, InfluenceQuery(0), 150, rng=11).value
+    b = estimator.estimate(fig1_graph, InfluenceQuery(0), 150, rng=11).value
+    assert a == b
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: e.name)
+def test_different_seeds_differ(fig1_graph, estimator):
+    values = {
+        estimator.estimate(fig1_graph, InfluenceQuery(0), 100, rng=s).value
+        for s in range(6)
+    }
+    assert len(values) > 1  # genuinely stochastic
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: e.name)
+def test_deterministic_graph_gives_exact_answer(estimator):
+    g = UncertainGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 0.0)])
+    q = InfluenceQuery(0)
+    result = estimator.estimate(g, q, 50, rng=0)
+    assert result.value == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: e.name)
+def test_conditional_distance_supported(fig1_graph, estimator):
+    result = estimator.estimate(fig1_graph, ReliableDistanceQuery(0, 4), 300, rng=5)
+    # all s->t paths in Fig. 1 have length 3
+    assert result.value == pytest.approx(3.0)
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: e.name)
+def test_rejects_nonpositive_samples(fig1_graph, estimator):
+    with pytest.raises(EstimatorError):
+        estimator.estimate(fig1_graph, InfluenceQuery(0), 0)
+
+
+def test_nmc_worlds_equal_samples(fig1_graph):
+    result = NMC().estimate(fig1_graph, InfluenceQuery(0), 500, rng=1)
+    assert result.n_worlds == 500
+
+
+def test_stratified_worlds_at_most_samples_plus_strata(fig1_graph):
+    result = BSS1(r=3).estimate(fig1_graph, InfluenceQuery(0), 500, rng=1)
+    assert 500 <= result.n_worlds <= 500 + 2**3
+
+
+def test_budget_policies_bound_world_inflation(small_random):
+    """guard and pool keep evaluated worlds near the nominal budget."""
+    q = InfluenceQuery(4)
+    n = 200
+    for policy in ("guard", "pool"):
+        for estimator in (
+            RSS1(r=3, tau=5, budget_policy=policy),
+            RSS2(r=6, tau=5, budget_policy=policy),
+            RCSS(tau_samples=5, tau_edges=2, budget_policy=policy),
+        ):
+            result = estimator.estimate(small_random, q, n, rng=0)
+            assert result.n_worlds <= 3 * n, (policy, estimator.name)
+
+
+def test_budget_policy_literal_matches_algorithm(small_random):
+    """The literal policy reproduces Algorithm 2/4's ceiling recursion,
+    which may evaluate many more worlds but stays unbiased."""
+    q = InfluenceQuery(4)
+    guarded = RSS2(r=6, tau=5).estimate(small_random, q, 200, rng=1)
+    literal = RSS2(r=6, tau=5, budget_policy="literal").estimate(
+        small_random, q, 200, rng=1
+    )
+    assert literal.n_worlds >= guarded.n_worlds
+    assert abs(literal.value - guarded.value) < 3.0  # same target quantity
+
+
+def test_budget_policy_pool_unbiased(fig1_graph):
+    """The pooled-residual policy stays unbiased (mixture = union of strata)."""
+    import numpy as np
+    from repro.queries.exact import exact_value
+    from repro.rng import spawn_rngs
+
+    q = InfluenceQuery(0)
+    exact = exact_value(fig1_graph, q)
+    est = RSS1(r=2, tau=5, budget_policy="pool")
+    vals = np.array(
+        [est.estimate(fig1_graph, q, 40, rng=r).value for r in spawn_rngs(77, 300)]
+    )
+    sem = vals.std(ddof=1) / np.sqrt(vals.size)
+    assert abs(vals.mean() - exact) < max(5 * sem, 1e-9)
+
+
+def test_budget_policy_validation():
+    with pytest.raises(EstimatorError):
+        RSS1(budget_policy="banana")
+    with pytest.raises(EstimatorError):
+        RCSS(budget_policy="")
+
+
+def test_class1_r_cap():
+    with pytest.raises(EstimatorError):
+        BSS1(r=20)
+    with pytest.raises(EstimatorError):
+        RSS1(r=25)
+
+
+def test_constructor_guards():
+    with pytest.raises(ValueError):
+        BSS1(r=0)
+    with pytest.raises(ValueError):
+        RSS1(tau=0)
+    with pytest.raises(ValueError):
+        RCSS(tau_samples=0)
+    with pytest.raises(EstimatorError):
+        BSS2(allocation="nope")
+
+
+def test_r_larger_than_edges_falls_back(fig1_graph):
+    # 8 edges; r=50 class-II clips to the free-edge count.
+    result = BSS2(r=50).estimate(fig1_graph, InfluenceQuery(0), 200, rng=2)
+    assert 0.0 <= result.value <= 4.0
+
+
+def test_cutset_estimators_require_cutset_query(fig1_graph):
+    class PlainQuery(Query):
+        def evaluate(self, graph, edge_mask):
+            return 1.0
+
+    for estimator in (FocalSampling(), BCSS(), RCSS()):
+        with pytest.raises(EstimatorError):
+            estimator.estimate(fig1_graph, PlainQuery(), 10, rng=0)
+
+
+def test_cutset_estimator_on_reliability_query(small_grid):
+    q = NetworkReliabilityQuery([0, 8])
+    exact = exact_value(small_grid, q)
+    result = BCSS().estimate(small_grid, q, 3000, rng=9)
+    assert result.value == pytest.approx(exact, abs=0.05)
+
+
+def test_rcss_empty_cutset_returns_exact_constant():
+    # node 0 has no out-edges: influence is identically 0, zero sampling needed
+    g = UncertainGraph.from_edges(3, [(1, 2, 0.5)])
+    result = RCSS().estimate(g, InfluenceQuery(0), 100, rng=0)
+    assert result.value == 0.0
+    assert result.n_worlds == 0
+
+
+def test_focal_empty_cutset_returns_exact_constant():
+    g = UncertainGraph.from_edges(3, [(1, 2, 0.5)])
+    result = FocalSampling().estimate(g, InfluenceQuery(0), 100, rng=0)
+    assert result.value == 0.0
+    assert result.n_worlds == 0
+
+
+def test_distance_impossible_condition_gives_nan():
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.0)])
+    result = NMC().estimate(g, ReliableDistanceQuery(0, 1), 50, rng=0)
+    assert math.isnan(result.value)
+
+
+def test_call_returns_float(fig1_graph):
+    value = NMC()(fig1_graph, InfluenceQuery(0), 100, rng=0)
+    assert isinstance(value, float)
+
+
+def test_estimator_names_match_paper():
+    assert list(make_paper_estimators()) == PAPER_ESTIMATORS
+    named = make_paper_estimators()
+    assert named["RSSIR1"].name == "RSSIR1"
+    assert named["BSSIB"].name == "BSSIB"
+    assert named["RSSIIR"].name == "RSSIIR"

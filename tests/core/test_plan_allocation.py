@@ -1,0 +1,91 @@
+"""Tests for the budget-true allocation plan and residual-mixture sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import AllocationPlan, plan_allocation
+from repro.core.base import residual_mixture_pair
+from repro.errors import EstimatorError
+from repro.graph.statuses import PRESENT, ABSENT, EdgeStatuses
+from repro.queries.influence import InfluenceQuery
+
+
+def test_plan_all_big_strata_is_plain_ceiling():
+    plan = plan_allocation(np.array([0.5, 0.5]), 100)
+    assert plan.stratum_alloc.tolist() == [50, 50]
+    assert plan.residual.size == 0
+    assert plan.residual_n == 0
+
+
+def test_plan_pools_light_strata():
+    weights = np.array([0.9, 0.04, 0.03, 0.03])
+    plan = plan_allocation(weights, 20)  # expected: 18, .8, .6, .6
+    assert plan.stratum_alloc[0] >= 17
+    assert plan.residual.tolist() == [1, 2, 3]
+    assert plan.residual_n >= 1
+    total = plan.stratum_alloc.sum() + plan.residual_n
+    assert 20 <= total <= 21
+
+
+def test_plan_single_light_stratum_not_pooled():
+    weights = np.array([0.95, 0.05])
+    plan = plan_allocation(weights, 10)  # expected 9.5 and 0.5
+    assert plan.residual.size == 0
+    assert plan.stratum_alloc[1] == 1  # plain ceiling fallback
+
+
+def test_plan_total_never_explodes():
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        k = int(rng.integers(2, 300))
+        weights = rng.dirichlet(np.ones(k) * rng.uniform(0.05, 2.0))
+        n = int(rng.integers(1, 200))
+        plan = plan_allocation(weights, n)
+        total = int(plan.stratum_alloc.sum()) + plan.residual_n
+        assert total <= n + k  # loose: ceiling fallback bound
+        if plan.residual.size:
+            assert total <= n + 1  # pooled plans are budget-true
+
+
+def test_plan_zero_weight_strata_excluded():
+    plan = plan_allocation(np.array([0.0, 1.0, 0.0]), 10)
+    assert plan.stratum_alloc.tolist() == [0, 10, 0]
+    assert plan.residual.size == 0
+
+
+def test_plan_degenerate_inputs():
+    plan = plan_allocation(np.zeros(3), 10)
+    assert plan.stratum_alloc.sum() == 0
+    with pytest.raises(EstimatorError):
+        plan_allocation(np.array([-1.0]), 10)
+
+
+def test_residual_mixture_unbiased(fig1_graph):
+    """Mixture sampling over two strata = pinning edge 0 to each status."""
+    query = InfluenceQuery(0)
+    statuses = EdgeStatuses(fig1_graph)
+    p0 = fig1_graph.prob[0]
+    weights = np.array([1 - p0, p0])  # stratum 0: absent, stratum 1: present
+
+    def child_for(index):
+        return statuses.child([0], [PRESENT if index else ABSENT])
+
+    rng = np.random.default_rng(3)
+    total = 0.0
+    draws = 4000
+    num, den = residual_mixture_pair(
+        fig1_graph, query, child_for, weights, np.array([0, 1]), draws, rng
+    )
+    from repro.queries.exact import exact_value
+
+    assert den == pytest.approx(1.0)
+    assert num == pytest.approx(exact_value(fig1_graph, query), abs=0.12)
+
+
+def test_residual_mixture_guards(fig1_graph):
+    query = InfluenceQuery(0)
+    with pytest.raises(EstimatorError):
+        residual_mixture_pair(
+            fig1_graph, query, lambda i: None, np.array([1.0]),
+            np.empty(0, dtype=np.int64), 5, np.random.default_rng(0),
+        )

@@ -1,0 +1,74 @@
+"""Tests for the paper-named estimator registry."""
+
+import pytest
+
+from repro.core import BSS1, BSS2, NMC, RCSS, RSS1, RSS2, BCSS, FocalSampling
+from repro.core.registry import (
+    BFS_ESTIMATORS,
+    CUTSET_ESTIMATORS,
+    PAPER_ESTIMATORS,
+    EstimatorSettings,
+    make_estimator,
+    make_paper_estimators,
+)
+from repro.core.selection import BFSSelection, RandomSelection
+from repro.errors import EstimatorError
+
+
+def test_twelve_paper_estimators_in_table_order():
+    assert PAPER_ESTIMATORS == [
+        "NMC", "RSSIR1", "BSSIR", "BSSIB", "RSSIR", "RSSIB",
+        "BSSIIR", "BSSIIB", "RSSIIR", "RSSIIB", "BCSS", "RCSS",
+    ]
+
+
+def test_rssir1_is_rss1_with_r1_random():
+    est = make_estimator("RSSIR1")
+    assert isinstance(est, RSS1)
+    assert est.r == 1
+    assert isinstance(est.selection, RandomSelection)
+    assert est.name == "RSSIR1"
+
+
+def test_selection_suffixes():
+    assert isinstance(make_estimator("BSSIB").selection, BFSSelection)
+    assert isinstance(make_estimator("BSSIR").selection, RandomSelection)
+    assert isinstance(make_estimator("RSSIIB").selection, BFSSelection)
+
+
+def test_types():
+    mapping = {
+        "NMC": NMC, "BSSIR": BSS1, "RSSIR": RSS1, "BSSIIR": BSS2,
+        "RSSIIR": RSS2, "FS": FocalSampling, "BCSS": BCSS, "RCSS": RCSS,
+    }
+    for name, cls in mapping.items():
+        assert isinstance(make_estimator(name), cls)
+
+
+def test_settings_propagate():
+    settings = EstimatorSettings(r_class1=3, r_class2=7, tau=4, tau_edges=6)
+    assert make_estimator("BSSIR", settings).r == 3
+    assert make_estimator("BSSIIR", settings).r == 7
+    assert make_estimator("RSSIR", settings).tau == 4
+    rcss = make_estimator("RCSS", settings)
+    assert rcss.tau_samples == 4
+    assert rcss.tau_edges == 6
+    # RSSIR1 keeps r=1 regardless of settings
+    assert make_estimator("RSSIR1", settings).r == 1
+
+
+def test_unknown_name():
+    with pytest.raises(EstimatorError):
+        make_estimator("MAGIC")
+
+
+def test_make_paper_estimators_complete():
+    named = make_paper_estimators()
+    assert list(named) == PAPER_ESTIMATORS
+    for name, est in named.items():
+        assert est.name == name
+
+
+def test_capability_sets():
+    assert CUTSET_ESTIMATORS == {"FS", "BCSS", "RCSS"}
+    assert BFS_ESTIMATORS == {"BSSIB", "RSSIB", "BSSIIB", "RSSIIB"}

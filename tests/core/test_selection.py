@@ -1,0 +1,116 @@
+"""Tests for edge-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    BFSSelection,
+    DegreeSelection,
+    EntropySelection,
+    RandomSelection,
+    make_selection,
+)
+from repro.errors import EstimatorError
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+from repro.queries.influence import InfluenceQuery
+from repro.queries.base import Query
+
+
+class _NoAnchorQuery(Query):
+    def evaluate(self, graph, edge_mask):
+        return 0.0
+
+
+def test_random_selection_distinct_free_edges(fig1_graph, rng):
+    st = EdgeStatuses(fig1_graph).pin([0, 1], [PRESENT, ABSENT])
+    sel = RandomSelection()
+    chosen = sel.select(fig1_graph, InfluenceQuery(0), st, 4, rng)
+    assert chosen.size == 4
+    assert len(set(chosen.tolist())) == 4
+    assert 0 not in chosen and 1 not in chosen
+
+
+def test_random_selection_caps_at_free_count(fig1_graph, rng):
+    st = EdgeStatuses(fig1_graph)
+    chosen = RandomSelection().select(fig1_graph, InfluenceQuery(0), st, 100, rng)
+    assert chosen.size == 8
+
+
+def test_random_selection_empty_when_nothing_free(fig1_graph, rng):
+    st = EdgeStatuses(fig1_graph).pin(list(range(8)), [PRESENT] * 8)
+    assert RandomSelection().select(fig1_graph, InfluenceQuery(0), st, 3, rng).size == 0
+
+
+def test_bfs_selection_prefers_query_neighbourhood(fig1_graph, rng):
+    chosen = BFSSelection().select(
+        fig1_graph, InfluenceQuery(0), EdgeStatuses(fig1_graph), 2, rng
+    )
+    assert set(chosen.tolist()) == {0, 1}  # v1's out-edges first
+
+
+def test_bfs_selection_skips_absent_edges(fig1_graph, rng):
+    st = EdgeStatuses(fig1_graph).pin([0], [ABSENT])
+    chosen = BFSSelection().select(fig1_graph, InfluenceQuery(0), st, 1, rng)
+    assert chosen.tolist() == [1]  # v1->v3 is the first *free* BFS edge
+
+
+def test_bfs_selection_collects_free_only_but_walks_present(fig1_graph, rng):
+    st = EdgeStatuses(fig1_graph).pin([0, 1], [ABSENT, PRESENT])
+    chosen = BFSSelection().select(fig1_graph, InfluenceQuery(0), st, 1, rng)
+    # walk goes v1 -(present)-> v3; first free edge found is v3->v4
+    assert chosen.tolist() == [fig1_graph.edge_index(2, 3)]
+
+
+def test_bfs_selection_fills_with_random_when_bfs_exhausted(rng):
+    from repro.graph.uncertain import UncertainGraph
+
+    # node 0's component has 1 edge; a far component has 2 more
+    g = UncertainGraph.from_edges(
+        5, [(0, 1, 0.5), (2, 3, 0.5), (3, 4, 0.5)], directed=True
+    )
+    chosen = BFSSelection().select(g, InfluenceQuery(0), EdgeStatuses(g), 3, rng)
+    assert chosen.size == 3
+    assert 0 in chosen.tolist()
+
+
+def test_bfs_selection_requires_anchor(fig1_graph, rng):
+    with pytest.raises(EstimatorError):
+        BFSSelection().select(fig1_graph, _NoAnchorQuery(), EdgeStatuses(fig1_graph), 2, rng)
+
+
+def test_degree_selection_targets_hubs(rng):
+    from repro.graph.generators import star_graph
+
+    g = star_graph(5, prob=0.5)
+    chosen = DegreeSelection().select(g, InfluenceQuery(0), EdgeStatuses(g), 2, rng)
+    assert chosen.size == 2  # all tie through the hub; deterministic by id
+    assert chosen.tolist() == [0, 1]
+
+
+def test_entropy_selection_prefers_half_probability(fig1_graph, rng):
+    chosen = EntropySelection().select(
+        fig1_graph, InfluenceQuery(0), EdgeStatuses(fig1_graph), 1, rng
+    )
+    assert chosen.tolist() == [1]  # p = 0.5 exactly
+
+
+def test_selection_determinism_given_seed(fig1_graph):
+    sel = RandomSelection()
+    a = sel.select(
+        fig1_graph, InfluenceQuery(0), EdgeStatuses(fig1_graph), 3,
+        np.random.default_rng(7),
+    )
+    b = sel.select(
+        fig1_graph, InfluenceQuery(0), EdgeStatuses(fig1_graph), 3,
+        np.random.default_rng(7),
+    )
+    assert a.tolist() == b.tolist()
+
+
+def test_make_selection_codes():
+    assert isinstance(make_selection("R"), RandomSelection)
+    assert isinstance(make_selection("b"), BFSSelection)
+    assert isinstance(make_selection("D"), DegreeSelection)
+    assert isinstance(make_selection("E"), EntropySelection)
+    with pytest.raises(EstimatorError):
+        make_selection("X")

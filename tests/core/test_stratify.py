@@ -1,0 +1,130 @@
+"""Tests for stratum probability mathematics (Eqs. 7, 12, 15, 17, 18, 21)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stratify import (
+    class1_strata,
+    class2_strata,
+    class2_stratum_statuses,
+    cutset_strata,
+    cutset_stratum_statuses,
+)
+from repro.errors import EstimatorError
+from repro.graph.statuses import ABSENT, PRESENT
+
+probs_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=8
+).map(np.asarray)
+
+
+# -------------------------- class I -------------------------- #
+
+
+def test_class1_enumerates_all_combinations():
+    statuses, pis = class1_strata(np.array([0.5, 0.5]))
+    assert statuses.shape == (4, 2)
+    assert sorted(map(tuple, statuses.tolist())) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+    assert np.allclose(pis, 0.25)
+
+
+def test_class1_eq7_probabilities():
+    statuses, pis = class1_strata(np.array([0.7, 0.2]))
+    table = {tuple(row): pi for row, pi in zip(statuses.tolist(), pis)}
+    assert table[(0, 0)] == pytest.approx(0.3 * 0.8)
+    assert table[(1, 0)] == pytest.approx(0.7 * 0.8)
+    assert table[(0, 1)] == pytest.approx(0.3 * 0.2)
+    assert table[(1, 1)] == pytest.approx(0.7 * 0.2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(probs=probs_strategy)
+def test_class1_partition_of_unity(probs):
+    _, pis = class1_strata(probs)
+    assert pis.sum() == pytest.approx(1.0)
+    assert (pis >= 0).all()
+
+
+def test_class1_refuses_huge_r():
+    with pytest.raises(EstimatorError):
+        class1_strata(np.full(26, 0.5))
+
+
+# -------------------------- class II -------------------------- #
+
+
+def test_class2_eq12_probabilities():
+    probs = np.array([0.5, 0.4, 0.3])
+    pin_counts, pis = class2_strata(probs)
+    assert pin_counts.tolist() == [3, 1, 2, 3]
+    assert pis[0] == pytest.approx(0.5 * 0.6 * 0.7)  # all fail
+    assert pis[1] == pytest.approx(0.5)  # e1 exists
+    assert pis[2] == pytest.approx(0.5 * 0.4)  # e1 fails, e2 exists
+    assert pis[3] == pytest.approx(0.5 * 0.6 * 0.3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(probs=probs_strategy)
+def test_class2_theorem_41_partition_of_unity(probs):
+    _, pis = class2_strata(probs)
+    assert pis.sum() == pytest.approx(1.0)
+    assert (pis >= 0).all()
+
+
+def test_class2_stratum_statuses_shapes():
+    assert class2_stratum_statuses(0, 4).tolist() == [ABSENT] * 4
+    assert class2_stratum_statuses(1, 4).tolist() == [PRESENT]
+    assert class2_stratum_statuses(3, 4).tolist() == [ABSENT, ABSENT, PRESENT]
+
+
+# -------------------------- cut-set -------------------------- #
+
+
+def test_cutset_eq15_eq17_eq21():
+    probs = np.array([0.5, 0.4])
+    pi0, pis, pcds = cutset_strata(probs)
+    assert pi0 == pytest.approx(0.5 * 0.6)
+    assert pis.tolist() == pytest.approx([0.5, 0.5 * 0.4])
+    assert pis.sum() == pytest.approx(1 - pi0)  # Eq. 18
+    assert pcds.tolist() == pytest.approx([0.5 / 0.7, 0.2 / 0.7])
+    assert pcds.sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(probs=probs_strategy)
+def test_cutset_partition_identity(probs):
+    pi0, pis, pcds = cutset_strata(probs)
+    assert pi0 + pis.sum() == pytest.approx(1.0)  # Eq. 18
+    if pi0 < 1.0:
+        assert pcds.sum() == pytest.approx(1.0)
+    else:
+        assert (pcds == 0).all()
+
+
+def test_cutset_all_zero_probabilities():
+    pi0, pis, pcds = cutset_strata(np.zeros(3))
+    assert pi0 == 1.0
+    assert (pis == 0).all()
+    assert (pcds == 0).all()
+
+
+def test_cutset_empty_rejected():
+    with pytest.raises(EstimatorError):
+        cutset_strata(np.empty(0))
+
+
+def test_cutset_stratum_statuses():
+    assert cutset_stratum_statuses(1).tolist() == [PRESENT]
+    assert cutset_stratum_statuses(3).tolist() == [ABSENT, ABSENT, PRESENT]
+    with pytest.raises(EstimatorError):
+        cutset_stratum_statuses(0)
+
+
+def test_class2_and_cutset_agree_on_nonzero_strata():
+    """BCSS stratification = BSS-II's minus stratum 0 (paper §V-D)."""
+    probs = np.array([0.3, 0.6, 0.2])
+    _, pis2 = class2_strata(probs)
+    pi0, pisc, _ = cutset_strata(probs)
+    assert pis2[0] == pytest.approx(pi0)
+    assert np.allclose(pis2[1:], pisc)

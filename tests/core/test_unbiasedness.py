@@ -1,0 +1,107 @@
+"""Statistical unbiasedness tests (Theorems 3.1, 4.2, 5.2, 5.4 and recursion).
+
+Each estimator is run many times on a small graph whose exact query value is
+computed by enumeration; the grand mean must fall within a 5-sigma
+confidence band of the truth.  Seeds are fixed so the tests are
+deterministic; a failure means a genuine bias, not flake.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BCSS,
+    BSS1,
+    BSS2,
+    NMC,
+    RCSS,
+    RSS1,
+    RSS2,
+    BFSSelection,
+    FocalSampling,
+)
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery, ThresholdInfluenceQuery
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.reachability import DistanceConstrainedReachabilityQuery
+from repro.rng import spawn_rngs
+
+ESTIMATORS = [
+    NMC(),
+    BSS1(r=3),
+    BSS1(r=3, selection=BFSSelection()),
+    RSS1(r=2, tau=5),
+    RSS1(r=2, tau=5, selection=BFSSelection()),
+    BSS2(r=4),
+    BSS2(r=4, selection=BFSSelection()),
+    RSS2(r=3, tau=5),
+    FocalSampling(),
+    BCSS(),
+    RCSS(tau_samples=4, tau_edges=2),
+]
+
+
+def _mean_band(estimator, graph, query, n_samples, n_repeats, seed):
+    values = np.array(
+        [
+            estimator.estimate(graph, query, n_samples, rng=r).value
+            for r in spawn_rngs(seed, n_repeats)
+        ]
+    )
+    mean = values.mean()
+    sem = values.std(ddof=1) / np.sqrt(n_repeats)
+    return mean, sem
+
+
+@pytest.mark.parametrize("estimator", ESTIMATORS, ids=lambda e: e.name)
+def test_unbiased_influence(fig1_graph, estimator):
+    query = InfluenceQuery(0)
+    exact = exact_value(fig1_graph, query)
+    mean, sem = _mean_band(estimator, fig1_graph, query, 40, 300, seed=101)
+    assert abs(mean - exact) < max(5 * sem, 1e-9)
+
+
+@pytest.mark.parametrize("estimator", ESTIMATORS, ids=lambda e: e.name)
+def test_unbiased_threshold_influence(fig1_graph, estimator):
+    query = ThresholdInfluenceQuery(0, 2)
+    exact = exact_value(fig1_graph, query)
+    mean, sem = _mean_band(estimator, fig1_graph, query, 40, 300, seed=202)
+    assert abs(mean - exact) < max(5 * sem, 1e-9)
+
+
+@pytest.mark.parametrize("estimator", ESTIMATORS, ids=lambda e: e.name)
+def test_unbiased_distance_constrained_reachability(small_grid, estimator):
+    query = DistanceConstrainedReachabilityQuery(0, 8, 4)
+    exact = exact_value(small_grid, query)
+    mean, sem = _mean_band(estimator, small_grid, query, 30, 250, seed=303)
+    assert abs(mean - exact) < max(5 * sem, 1e-9)
+
+
+@pytest.mark.parametrize("estimator", ESTIMATORS, ids=lambda e: e.name)
+def test_consistent_conditional_distance(diamond_graph, estimator):
+    """Conditional (ratio) estimates converge to the Eq. 22 value.
+
+    Ratio estimators carry an O(1/N) bias, so this is a consistency check
+    at moderate N with a tolerance covering both noise and that bias.
+    """
+    query = ReliableDistanceQuery(0, 3)
+    exact = exact_value(diamond_graph, query)
+    mean, sem = _mean_band(estimator, diamond_graph, query, 150, 150, seed=404)
+    assert abs(mean - exact) < 5 * sem + 0.02
+
+
+def test_rcss_path_answer_set_on_tree_is_unbiased(tiny_path):
+    """On a tree there are no alternative routes, so the paper's single-node
+    answer set is a valid cut-set and RCSS must stay unbiased."""
+    query = ReliableDistanceQuery(0, 3, answer_set="path")
+    exact = exact_value(tiny_path, query)
+    estimator = RCSS(tau_samples=4, tau_edges=1)
+    mean, sem = _mean_band(estimator, tiny_path, query, 150, 200, seed=505)
+    assert abs(mean - exact) < 5 * sem + 0.02
+
+
+def test_multi_seed_influence_unbiased(fig1_graph):
+    query = InfluenceQuery([0, 4])
+    exact = exact_value(fig1_graph, query)
+    mean, sem = _mean_band(RCSS(tau_samples=4, tau_edges=2), fig1_graph, query, 40, 300, seed=606)
+    assert abs(mean - exact) < max(5 * sem, 1e-9)

@@ -1,0 +1,184 @@
+"""Numerical verification of the paper's variance theorems.
+
+On exactly-enumerable graphs the per-stratum variances are computed exactly,
+so Theorems 3.2, 4.3, 5.3, 5.5 and 5.6 become checkable inequalities — no
+statistical slack needed.  Theorem 3.3 (recursion reduces variance) is
+checked empirically with a large repeat count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BSS1, NMC, RCSS, RSS1, RandomSelection
+from repro.core.variance import (
+    bcss_variance,
+    bss1_variance,
+    bss2_variance,
+    fs_variance,
+    nmc_variance,
+    stratified_variance,
+    stratum_mean_variance,
+)
+from repro.errors import EstimatorError, QueryError
+from repro.graph.generators import erdos_renyi
+from repro.graph.statuses import EdgeStatuses
+from repro.queries.influence import InfluenceQuery
+from repro.queries.reachability import ReachabilityQuery
+from repro.rng import spawn_rngs
+
+N = 100  # nominal sample size in the theorem statements
+
+
+def _random_setup(seed):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(3, 7))
+    m = int(gen.integers(2, min(10, n * (n - 1)) + 1))
+    graph = erdos_renyi(n, m, rng=gen, directed=True)
+    # query anchored at a node with out-edges where possible
+    degrees = np.diff(graph.adjacency.indptr)
+    anchored = np.flatnonzero(degrees > 0)
+    seed_node = int(anchored[0]) if anchored.size else 0
+    return graph, InfluenceQuery(seed_node), gen
+
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+def test_nmc_variance_matches_eq5(fig1_graph):
+    query = InfluenceQuery(0)
+    single = nmc_variance(fig1_graph, query, 1)
+    assert nmc_variance(fig1_graph, query, 50) == pytest.approx(single / 50)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_theorem_32_bss1_no_worse_than_nmc(seed):
+    graph, query, gen = _random_setup(seed)
+    r = int(gen.integers(1, min(4, graph.n_edges) + 1))
+    edges = gen.choice(graph.n_edges, size=r, replace=False)
+    var_bss1 = bss1_variance(graph, query, edges, N)
+    var_nmc = nmc_variance(graph, query, N)
+    assert var_bss1 <= var_nmc + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_theorem_43_bss2_no_worse_than_nmc(seed):
+    graph, query, gen = _random_setup(seed)
+    r = int(gen.integers(1, graph.n_edges + 1))
+    edges = gen.choice(graph.n_edges, size=r, replace=False)
+    var_bss2 = bss2_variance(graph, query, edges, N)
+    var_nmc = nmc_variance(graph, query, N)
+    assert var_bss2 <= var_nmc + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_theorem_53_fs_no_worse_than_nmc(seed):
+    graph, query, _ = _random_setup(seed)
+    try:
+        var_fs = fs_variance(graph, query, N)
+    except EstimatorError:
+        return  # empty cut-set: FS is exact, trivially no worse
+    assert var_fs <= nmc_variance(graph, query, N) + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_theorem_55_bcss_no_worse_than_fs(seed):
+    graph, query, _ = _random_setup(seed)
+    try:
+        var_fs = fs_variance(graph, query, N)
+        var_bcss = bcss_variance(graph, query, N)
+    except EstimatorError:
+        return
+    assert var_bcss <= var_fs + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_theorem_56_bcss_no_worse_than_bss2_on_cut(seed):
+    """Theorem 5.6: with r = |C| and the cut-set as the selected edges."""
+    graph, query, _ = _random_setup(seed)
+    cut = query.cut_set(graph, EdgeStatuses(graph), None)
+    if cut.size == 0:
+        return
+    try:
+        var_bcss = bcss_variance(graph, query, N)
+    except EstimatorError:
+        return
+    var_bss2 = bss2_variance(graph, query, cut, N)
+    assert var_bcss <= var_bss2 + 1e-12
+
+
+def test_theorem_33_recursion_reduces_variance_empirically(fig1_graph):
+    """var(RSS-I) <= var(BSS-I) — checked with 1500 paired runs."""
+    query = InfluenceQuery(0)
+    n_repeats, n_samples = 1_500, 60
+
+    def empirical_variance(estimator, seed):
+        vals = np.array(
+            [
+                estimator.estimate(fig1_graph, query, n_samples, rng=r).value
+                for r in spawn_rngs(seed, n_repeats)
+            ]
+        )
+        return vals.var(ddof=1)
+
+    var_bss = empirical_variance(BSS1(r=2), 7)
+    var_rss = empirical_variance(RSS1(r=2, tau=5), 7)
+    var_nmc = empirical_variance(NMC(), 7)
+    # allow 25% statistical slack on the strict inequality chain
+    assert var_rss <= var_bss * 1.25
+    assert var_bss <= var_nmc * 1.25
+
+
+def test_rcss_beats_nmc_empirically(small_grid):
+    query = ReachabilityQuery(0, 8)
+    n_repeats, n_samples = 800, 80
+
+    def empirical_variance(estimator, seed):
+        vals = np.array(
+            [
+                estimator.estimate(small_grid, query, n_samples, rng=r).value
+                for r in spawn_rngs(seed, n_repeats)
+            ]
+        )
+        return vals.var(ddof=1)
+
+    var_nmc = empirical_variance(NMC(), 3)
+    var_rcss = empirical_variance(RCSS(tau_samples=4, tau_edges=2), 3)
+    assert var_rcss < var_nmc * 0.9  # clearly better, not just "not worse"
+
+
+def test_stratified_variance_formula():
+    # Eq. 9 by hand: pi^2 sigma / N summed
+    out = stratified_variance([0.5, 0.5], [2.0, 4.0], [50, 50])
+    assert out == pytest.approx(0.25 * 2 / 50 + 0.25 * 4 / 50)
+
+
+def test_stratified_variance_guards():
+    with pytest.raises(EstimatorError):
+        stratified_variance([0.5, 0.5], [1.0, 1.0], [10, 0])
+    # zero-probability stratum may have zero allocation
+    assert stratified_variance([1.0, 0.0], [1.0, 1.0], [10, 0]) == pytest.approx(0.1)
+
+
+def test_stratum_mean_variance_conditional_rejected(fig1_graph):
+    from repro.queries.distance import ReliableDistanceQuery
+
+    with pytest.raises(QueryError):
+        stratum_mean_variance(
+            fig1_graph, ReliableDistanceQuery(0, 4), EdgeStatuses(fig1_graph)
+        )
+
+
+def test_variance_decreases_with_r(fig1_graph):
+    """More stratification edges can only help (class-I, fixed prefix order)."""
+    query = InfluenceQuery(0)
+    edges = np.array([0, 1, 3])
+    v1 = bss1_variance(fig1_graph, query, edges[:1], N)
+    v2 = bss1_variance(fig1_graph, query, edges[:2], N)
+    v3 = bss1_variance(fig1_graph, query, edges, N)
+    assert v3 <= v2 + 1e-12 <= v1 + 2e-12

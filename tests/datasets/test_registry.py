@@ -1,0 +1,42 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import DATASET_NAMES, Dataset, load_dataset
+from repro.errors import DatasetError
+
+
+def test_names_match_table4_row_order():
+    assert DATASET_NAMES == ["ER", "Facebook", "Condmat", "DBLP"]
+
+
+def test_load_all_datasets_scaled():
+    for name in DATASET_NAMES:
+        ds = load_dataset(name, scale=0.01)
+        assert isinstance(ds, Dataset)
+        assert ds.name == name
+        assert ds.n_nodes > 0
+        assert ds.n_edges > 0
+        assert ds.description
+
+
+def test_case_insensitive_lookup():
+    assert load_dataset("condmat", scale=0.01).name == "Condmat"
+    assert load_dataset("ER", scale=0.01).name == "ER"
+
+
+def test_default_seed_reproducible():
+    a = load_dataset("ER", scale=0.01)
+    b = load_dataset("ER", scale=0.01)
+    assert a.graph == b.graph
+
+
+def test_custom_rng_changes_graph():
+    a = load_dataset("ER", scale=0.01)
+    b = load_dataset("ER", scale=0.01, rng=777)
+    assert a.graph != b.graph
+
+
+def test_unknown_dataset():
+    with pytest.raises(DatasetError):
+        load_dataset("Twitter")

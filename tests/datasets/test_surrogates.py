@@ -1,0 +1,68 @@
+"""Tests for the real-world dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.surrogates import (
+    CONDMAT_SIZE,
+    DBLP_SIZE,
+    FACEBOOK_SIZE,
+    condmat_like,
+    dblp_like,
+    facebook_like,
+)
+from repro.errors import DatasetError
+
+
+def test_published_sizes_match_table4():
+    assert FACEBOOK_SIZE == (1_899, 20_296)
+    assert CONDMAT_SIZE == (16_264, 95_188)
+    assert DBLP_SIZE == (78_648, 376_515)
+
+
+def test_facebook_full_scale_counts_exact():
+    g = facebook_like(scale=1.0)
+    assert (g.n_nodes, g.n_edges) == FACEBOOK_SIZE
+    assert g.directed
+
+
+def test_scaled_surrogates_proportional():
+    g = condmat_like(scale=0.05)
+    assert g.n_nodes == pytest.approx(16_264 * 0.05, rel=0.02)
+    assert g.n_edges == pytest.approx(95_188 * 0.05, rel=0.02)
+    assert not g.directed
+
+
+def test_dblp_scaled():
+    g = dblp_like(scale=0.01)
+    assert g.n_nodes == pytest.approx(786, abs=2)
+    assert g.n_edges == pytest.approx(3_765, abs=2)
+
+
+def test_probabilities_follow_exponential_cdf_shape():
+    g = facebook_like(scale=0.05, rng=1)
+    # weight >= 1 means p >= 1 - exp(-1/2) ~ 0.393
+    assert g.prob.min() >= 1 - np.exp(-0.5) - 1e-12
+    assert g.prob.max() < 1.0
+
+
+def test_heavy_tailed_degrees():
+    g = condmat_like(scale=0.05, rng=2)
+    degrees = np.diff(g.adjacency.indptr)
+    assert degrees.max() > 5 * degrees.mean()
+
+
+def test_deterministic_default_seeds():
+    assert facebook_like(scale=0.02) == facebook_like(scale=0.02)
+    assert condmat_like(scale=0.02) == condmat_like(scale=0.02)
+
+
+def test_distinct_edges():
+    g = facebook_like(scale=0.03, rng=4)
+    pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+    assert len(pairs) == g.n_edges
+
+
+def test_scale_guard():
+    with pytest.raises(DatasetError):
+        facebook_like(scale=0.0)

@@ -1,0 +1,55 @@
+"""Tests for the synthetic ER benchmark and the scalability series."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    ER_EDGES,
+    ER_NODES,
+    SCALABILITY_SIZES,
+    er_benchmark,
+    scalability_series,
+)
+from repro.errors import DatasetError
+
+
+def test_er_benchmark_scaled_size():
+    g = er_benchmark(scale=0.01)
+    assert g.n_nodes == 50
+    assert g.n_edges == 506
+    assert g.directed
+
+
+def test_er_benchmark_full_size_constants():
+    assert ER_NODES == 5_000
+    assert ER_EDGES == 50_616  # paper Table IV
+
+
+def test_er_benchmark_uniform_probabilities():
+    g = er_benchmark(scale=0.05, rng=3)
+    assert 0.0 <= g.prob.min() and g.prob.max() <= 1.0
+    assert abs(g.prob.mean() - 0.5) < 0.05
+
+
+def test_er_benchmark_deterministic_default_seed():
+    assert er_benchmark(scale=0.01) == er_benchmark(scale=0.01)
+
+
+def test_er_benchmark_guard():
+    with pytest.raises(DatasetError):
+        er_benchmark(scale=0.0)
+
+
+def test_scalability_series_progression():
+    series = list(scalability_series(scale=0.001))
+    assert [label for label, _ in series] == [
+        "200k/800k", "400k/1600k", "600k/2400k", "800k/3200k",
+    ]
+    edge_counts = [g.n_edges for _, g in series]
+    assert edge_counts == sorted(edge_counts)
+    # 1:2:3:4 progression preserved under scaling
+    assert edge_counts[3] == pytest.approx(4 * edge_counts[0], rel=0.01)
+
+
+def test_scalability_sizes_match_paper():
+    assert SCALABILITY_SIZES[0] == (200_000, 800_000)
+    assert SCALABILITY_SIZES[-1] == (800_000, 3_200_000)

@@ -1,0 +1,63 @@
+"""Tests for weight distributions and the exponential-CDF probability map."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.weights import (
+    exponential_cdf_probabilities,
+    geometric_weights,
+    zipf_weights,
+)
+from repro.errors import DatasetError
+
+
+def test_exponential_cdf_known_values():
+    probs = exponential_cdf_probabilities(np.array([1, 2, 5]))
+    assert probs[0] == pytest.approx(1 - np.exp(-0.5))
+    assert probs[1] == pytest.approx(1 - np.exp(-1.0))
+    assert probs[2] == pytest.approx(1 - np.exp(-2.5))
+
+
+def test_exponential_cdf_monotone_and_bounded():
+    weights = np.arange(0, 100)
+    probs = exponential_cdf_probabilities(weights)
+    assert probs[0] == 0.0
+    assert (np.diff(probs) >= 0).all()
+    assert probs.max() <= 1.0  # 1 - exp(-49.5) rounds to 1.0 in float64
+
+
+def test_exponential_cdf_custom_mean():
+    assert exponential_cdf_probabilities(np.array([3.0]), mean=3.0)[0] == pytest.approx(
+        1 - np.exp(-1)
+    )
+
+
+def test_exponential_cdf_guards():
+    with pytest.raises(DatasetError):
+        exponential_cdf_probabilities(np.array([1.0]), mean=0.0)
+    with pytest.raises(DatasetError):
+        exponential_cdf_probabilities(np.array([-1.0]))
+
+
+def test_geometric_weights_positive_integers():
+    w = geometric_weights(5000, mean=2.5, rng=1)
+    assert w.min() >= 1
+    assert w.dtype == np.int64
+    assert w.mean() == pytest.approx(2.5, rel=0.1)
+
+
+def test_geometric_weights_guard():
+    with pytest.raises(DatasetError):
+        geometric_weights(10, mean=1.0)
+
+
+def test_zipf_weights_heavy_tail_and_cap():
+    w = zipf_weights(5000, exponent=2.0, cap=50, rng=2)
+    assert w.min() >= 1
+    assert w.max() <= 50
+    assert (w == 1).mean() > 0.5  # most mass at 1
+
+
+def test_zipf_guard():
+    with pytest.raises(DatasetError):
+        zipf_weights(10, exponent=1.0)

@@ -1,0 +1,73 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, config_from_args, main
+
+
+def test_parser_accepts_all_commands():
+    parser = build_parser()
+    for cmd in ("table5", "table6", "table7", "table8", "fig2", "fig3", "datasets", "all"):
+        assert parser.parse_args([cmd]).command == cmd
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table9"])
+
+
+def test_config_from_args_overrides():
+    args = build_parser().parse_args(
+        [
+            "table5", "--scale", "0.5", "--runs", "9", "--queries", "3",
+            "--samples", "77", "--seed", "42",
+            "--datasets", "ER,Condmat", "--estimators", "NMC, RCSS",
+        ]
+    )
+    cfg = config_from_args(args)
+    assert cfg.scale == 0.5
+    assert cfg.n_runs == 9
+    assert cfg.n_queries == 3
+    assert cfg.sample_size == 77
+    assert cfg.seed == 42
+    assert cfg.datasets == ("ER", "Condmat")
+    assert cfg.estimators == ("NMC", "RCSS")
+
+
+def test_paper_scale_flag():
+    args = build_parser().parse_args(["table5", "--paper-scale"])
+    cfg = config_from_args(args)
+    assert cfg.n_runs == 500
+    assert cfg.scale == 1.0
+
+
+def test_datasets_command_output(capsys):
+    code = main(["datasets", "--scale", "0.01"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in ("ER", "Facebook", "Condmat", "DBLP"):
+        assert name in out
+
+
+def test_table_command_end_to_end(capsys):
+    code = main(
+        [
+            "table5", "--scale", "0.004", "--runs", "4", "--queries", "1",
+            "--samples", "40", "--datasets", "ER", "--estimators", "NMC,RCSS",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table V" in out
+    assert "RCSS" in out
+
+
+def test_fig3_command_end_to_end(capsys):
+    code = main(
+        [
+            "fig3", "--scale", "0.004", "--runs", "4", "--queries", "1",
+            "--samples", "30",
+        ]
+    )
+    assert code == 0
+    assert "Fig. 3" in capsys.readouterr().out

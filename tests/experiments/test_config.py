@@ -1,0 +1,72 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+
+
+def test_defaults_are_laptop_scale():
+    cfg = ExperimentConfig()
+    assert cfg.sample_size == 1_000
+    assert cfg.scale < 1.0
+    assert len(cfg.datasets) == 4
+    assert len(cfg.estimators) == 12
+
+
+def test_paper_protocol():
+    cfg = ExperimentConfig.paper()
+    assert cfg.sample_size == 1_000
+    assert cfg.n_runs == 500
+    assert cfg.n_queries == 1_000
+    assert cfg.scale == 1.0
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(sample_size=0)
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(n_runs=1)
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(n_queries=0)
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(scale=-1)
+
+
+def test_with_override():
+    cfg = ExperimentConfig().with_(n_runs=99)
+    assert cfg.n_runs == 99
+    assert cfg.sample_size == 1_000
+
+
+def test_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    monkeypatch.setenv("REPRO_RUNS", "7")
+    monkeypatch.setenv("REPRO_QUERIES", "2")
+    monkeypatch.setenv("REPRO_SAMPLES", "123")
+    monkeypatch.setenv("REPRO_DATASETS", "ER, Condmat")
+    monkeypatch.setenv("REPRO_ESTIMATORS", "NMC,RCSS")
+    cfg = ExperimentConfig.from_env()
+    assert cfg.scale == 0.5
+    assert cfg.n_runs == 7
+    assert cfg.n_queries == 2
+    assert cfg.sample_size == 123
+    assert cfg.datasets == ("ER", "Condmat")
+    assert cfg.estimators == ("NMC", "RCSS")
+
+
+def test_from_env_kwargs_beat_env(monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS", "7")
+    assert ExperimentConfig.from_env(n_runs=3).n_runs == 3
+
+
+def test_from_env_bad_value(monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS", "many")
+    with pytest.raises(ExperimentError):
+        ExperimentConfig.from_env()
+
+
+def test_frozen():
+    cfg = ExperimentConfig()
+    with pytest.raises(Exception):
+        cfg.n_runs = 10

@@ -1,0 +1,36 @@
+"""Tests for plain-text table formatting."""
+
+from repro.experiments.reporting import format_float, format_mapping_table, format_table
+
+
+def test_format_float():
+    assert format_float(1.23456) == "1.235"
+    assert format_float(1.0, digits=1) == "1.0"
+    assert format_float(float("nan")) == "--"
+
+
+def test_format_table_alignment():
+    text = format_table(
+        "Demo", ["A", "BBB"], [("row1", [1.0, 2.0]), ("longer-row", [3.5, 0.125])]
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "Dataset" in lines[2]
+    assert "longer-row" in text
+    assert "0.125" in text
+    # all body lines equally wide or narrower than the rule
+    rule = lines[1]
+    assert all(len(line) <= len(rule) for line in lines[2:])
+
+
+def test_format_mapping_table_missing_cells_show_blank():
+    text = format_mapping_table(
+        "T", ["X", "Y"], {"d1": {"X": 1.0}, "d2": {"X": 2.0, "Y": 3.0}}
+    )
+    assert "--" in text
+    assert "3.000" in text
+
+
+def test_format_table_custom_row_header():
+    text = format_table("T", ["c"], [("n1", [1.0])], row_header="Size")
+    assert "Size" in text

@@ -1,0 +1,81 @@
+"""Tests for the repeated-run measurement protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import NMC, RCSS, make_paper_estimators
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    RunStats,
+    compare_estimators,
+    relative_variances,
+    run_estimator,
+)
+from repro.queries.influence import InfluenceQuery
+
+
+def test_run_estimator_stats(fig1_graph):
+    stats = run_estimator(fig1_graph, InfluenceQuery(0), NMC(), 100, 20, rng=1)
+    assert stats.estimator == "NMC"
+    assert stats.n_runs == 20
+    assert stats.values.shape == (20,)
+    assert stats.total_time > 0
+    assert stats.avg_worlds == 100
+    assert np.isfinite(stats.variance)
+    assert 0 <= stats.mean <= 4
+
+
+def test_run_estimator_independent_streams(fig1_graph):
+    stats = run_estimator(fig1_graph, InfluenceQuery(0), NMC(), 50, 10, rng=1)
+    assert len(set(stats.values.tolist())) > 1
+
+
+def test_run_estimator_reproducible(fig1_graph):
+    a = run_estimator(fig1_graph, InfluenceQuery(0), NMC(), 50, 5, rng=3)
+    b = run_estimator(fig1_graph, InfluenceQuery(0), NMC(), 50, 5, rng=3)
+    assert a.values.tolist() == b.values.tolist()
+
+
+def test_run_estimator_guards(fig1_graph):
+    with pytest.raises(ExperimentError):
+        run_estimator(fig1_graph, InfluenceQuery(0), NMC(), 50, 0)
+
+
+def test_variance_nan_for_single_run():
+    stats = RunStats("X", np.array([1.0]), 0.1, 10)
+    assert stats.variance != stats.variance  # NaN
+
+
+def test_variance_ignores_nan_runs():
+    stats = RunStats("X", np.array([1.0, 2.0, np.nan, 3.0]), 0.1, 10)
+    assert stats.variance == pytest.approx(1.0)
+    assert stats.mean == pytest.approx(2.0)
+
+
+def test_compare_estimators_runs_everything(fig1_graph):
+    named = {k: v for k, v in make_paper_estimators().items() if k in ("NMC", "RCSS")}
+    stats = compare_estimators(fig1_graph, InfluenceQuery(0), named, 80, 10, rng=4)
+    assert set(stats) == {"NMC", "RCSS"}
+    assert all(s.n_runs == 10 for s in stats.values())
+
+
+def test_relative_variances(fig1_graph):
+    named = {k: v for k, v in make_paper_estimators().items() if k in ("NMC", "RCSS")}
+    stats = compare_estimators(fig1_graph, InfluenceQuery(0), named, 80, 40, rng=4)
+    rvs = relative_variances(stats)
+    assert rvs["NMC"] == pytest.approx(1.0)
+    assert rvs["RCSS"] >= 0.0
+
+
+def test_relative_variances_degenerate_baseline():
+    stats = {
+        "NMC": RunStats("NMC", np.array([2.0, 2.0, 2.0]), 0.1, 10),
+        "RCSS": RunStats("RCSS", np.array([2.0, 2.1, 1.9]), 0.1, 10),
+    }
+    rvs = relative_variances(stats)
+    assert all(v != v for v in rvs.values())  # all NaN
+
+
+def test_relative_variances_missing_baseline():
+    with pytest.raises(ExperimentError):
+        relative_variances({"RCSS": RunStats("RCSS", np.array([1.0, 2.0]), 0.1, 10)})

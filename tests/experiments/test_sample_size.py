@@ -1,0 +1,46 @@
+"""Smoke tests for the Fig. 3 sample-size driver at miniature scale."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sample_size import run_sample_size
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        sample_size=50,
+        n_runs=8,
+        n_queries=1,
+        scale=0.004,
+        seed=11,
+    )
+    return run_sample_size(
+        config,
+        dataset_name="ER",
+        sample_sizes=(30, 60),
+        estimators=("RCSS", "RSSIB"),
+    )
+
+
+def test_shapes(result):
+    assert result.dataset == "ER"
+    assert result.sample_sizes == [30, 60]
+    assert set(result.rvs) == {"influence", "distance"}
+    for per_n in result.rvs.values():
+        assert set(per_n) == {"30", "60"}
+        for cells in per_n.values():
+            assert set(cells) == {"NMC", "RCSS", "RSSIB"}
+            assert cells["NMC"] == pytest.approx(1.0)
+
+
+def test_series_accessor(result):
+    series = result.series("influence", "RCSS")
+    assert len(series) == 2
+    assert all(v >= 0 for v in series)
+
+
+def test_to_text(result):
+    text = result.to_text()
+    assert "Fig. 3" in text
+    assert "ER" in text

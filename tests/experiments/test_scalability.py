@@ -1,0 +1,46 @@
+"""Smoke tests for the Fig. 2 scalability driver at miniature scale."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scalability import run_scalability
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        sample_size=40,
+        n_runs=2,
+        n_queries=1,
+        scale=0.0005,
+        seed=3,
+        estimators=("NMC", "RCSS"),
+    )
+    return run_scalability(config)
+
+
+def test_four_sizes_with_paper_labels(result):
+    assert result.labels == ["200k/800k", "400k/1600k", "600k/2400k", "800k/3200k"]
+    assert result.sizes["800k/3200k"] == 4 * result.sizes["200k/800k"]
+
+
+def test_both_query_kinds_measured(result):
+    assert set(result.times) == {"influence", "distance"}
+    for per_label in result.times.values():
+        assert set(per_label) == set(result.labels)
+        for cells in per_label.values():
+            assert cells["NMC"] > 0
+            assert cells["RCSS"] > 0
+
+
+def test_growth_ratios_positive(result):
+    ratios = result.growth_ratios("influence", "NMC")
+    assert len(ratios) == 3
+    assert all(r > 0 for r in ratios)
+
+
+def test_to_text(result):
+    text = result.to_text()
+    assert "Fig. 2 (influence)" in text
+    assert "Fig. 2 (distance)" in text
+    assert "200k/800k" in text

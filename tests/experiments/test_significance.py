@@ -1,0 +1,88 @@
+"""Tests for variance-ratio significance tooling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.significance import (
+    RatioCI,
+    is_significantly_smaller,
+    runs_needed_for_ratio_precision,
+    variance_ratio_ci,
+)
+
+
+def _normal(scale, n, seed):
+    return np.random.default_rng(seed).normal(0.0, scale, size=n)
+
+
+def test_point_estimate_matches_sample_variances():
+    a = _normal(1.0, 200, 1)
+    b = _normal(2.0, 200, 2)
+    ci = variance_ratio_ci(a, b, rng=0)
+    assert ci.point == pytest.approx(a.var(ddof=1) / b.var(ddof=1))
+
+
+def test_ci_brackets_true_ratio():
+    a = _normal(1.0, 300, 3)   # var 1
+    b = _normal(2.0, 300, 4)   # var 4 -> true ratio 0.25
+    ci = variance_ratio_ci(a, b, rng=0)
+    assert ci.lower < 0.25 < ci.upper
+    assert ci.excludes_one()
+
+
+def test_equal_variances_not_significant():
+    a = _normal(1.0, 150, 5)
+    b = _normal(1.0, 150, 6)
+    assert not is_significantly_smaller(a, b, rng=0)
+    assert not is_significantly_smaller(b, a, rng=0)
+
+
+def test_clear_reduction_is_significant():
+    a = _normal(0.5, 150, 7)
+    b = _normal(1.5, 150, 8)
+    assert is_significantly_smaller(a, b, rng=0)
+
+
+def test_small_samples_rejected():
+    with pytest.raises(ExperimentError):
+        variance_ratio_ci(np.ones(2), np.ones(10))
+
+
+def test_zero_baseline_rejected():
+    with pytest.raises(ExperimentError):
+        variance_ratio_ci(_normal(1, 10, 9), np.full(10, 3.0))
+
+
+def test_bad_confidence_rejected():
+    with pytest.raises(ExperimentError):
+        variance_ratio_ci(_normal(1, 10, 1), _normal(1, 10, 2), confidence=0.4)
+
+
+def test_ci_deterministic_given_rng():
+    a = _normal(1.0, 50, 10)
+    b = _normal(1.0, 50, 11)
+    c1 = variance_ratio_ci(a, b, rng=42)
+    c2 = variance_ratio_ci(a, b, rng=42)
+    assert (c1.lower, c1.upper) == (c2.lower, c2.upper)
+
+
+def test_runs_needed_rule_of_thumb():
+    assert runs_needed_for_ratio_precision(0.10) == 400
+    assert runs_needed_for_ratio_precision(0.20) == 100
+    with pytest.raises(ExperimentError):
+        runs_needed_for_ratio_precision(0.0)
+
+
+def test_real_estimator_runs_significant(fig1_graph):
+    """RCSS's variance reduction on the running example is bootstrap-significant."""
+    from repro.core import NMC, RCSS
+    from repro.experiments.runner import run_estimator
+    from repro.queries.influence import InfluenceQuery
+
+    q = InfluenceQuery(0)
+    nmc = run_estimator(fig1_graph, q, NMC(), 60, 120, rng=1)
+    rcss = run_estimator(
+        fig1_graph, q, RCSS(tau_samples=4, tau_edges=2), 60, 120, rng=2
+    )
+    assert is_significantly_smaller(rcss.values, nmc.values, rng=3)

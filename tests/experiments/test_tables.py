@@ -1,0 +1,74 @@
+"""Smoke tests for the Table V–VIII drivers at miniature scale."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import (
+    TableResult,
+    distance_table,
+    influence_table,
+    run_table,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        sample_size=60,
+        n_runs=6,
+        n_queries=1,
+        scale=0.004,
+        seed=7,
+        datasets=("ER",),
+        estimators=("NMC", "RSSIR1", "RSSIB", "BCSS", "RCSS"),
+    )
+
+
+@pytest.fixture(scope="module")
+def influence_rv(tiny_config):
+    return influence_table(tiny_config, "relative_variance")
+
+
+def test_influence_rv_table_shape(influence_rv, tiny_config):
+    assert isinstance(influence_rv, TableResult)
+    assert influence_rv.columns == list(tiny_config.estimators)
+    assert set(influence_rv.cells) == {"ER"}
+    row = influence_rv.cells["ER"]
+    assert row["NMC"] == pytest.approx(1.0)
+    assert all(v >= 0 for v in row.values())
+
+
+def test_table_to_text(influence_rv):
+    text = influence_rv.to_text()
+    assert "Table V" in text
+    assert "RCSS" in text
+    assert "ER" in text
+
+
+def test_table_column_accessor(influence_rv):
+    col = influence_rv.column("RCSS")
+    assert set(col) == {"ER"}
+
+
+def test_influence_time_table(tiny_config):
+    table = influence_table(tiny_config, "query_time")
+    assert "Table VI" in table.title
+    assert all(v > 0 for v in table.cells["ER"].values())
+
+
+def test_distance_tables(tiny_config):
+    rv = distance_table(tiny_config, "relative_variance")
+    assert "Table VII" in rv.title
+    assert rv.cells["ER"]["NMC"] == pytest.approx(1.0)
+    tm = distance_table(tiny_config, "query_time")
+    assert "Table VIII" in tm.title
+
+
+def test_bad_metric_rejected(tiny_config):
+    with pytest.raises(ExperimentError):
+        run_table(tiny_config, lambda g, n, r: [], "accuracy", "X")
+
+
+def test_queries_used_recorded(influence_rv):
+    assert influence_rv.queries_used["ER"] >= 1

@@ -1,0 +1,33 @@
+"""Tests for estimator filtering inside the table engine."""
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import _build_estimators
+from repro.queries.base import Query
+from repro.queries.influence import InfluenceQuery
+
+
+class _PlainQuery(Query):
+    """A query without the cut-set property."""
+
+    def evaluate(self, graph, edge_mask):
+        return float(edge_mask.sum())
+
+
+def test_cutset_estimators_dropped_for_plain_queries():
+    config = ExperimentConfig(estimators=("NMC", "RSSIR", "BCSS", "RCSS"))
+    built = _build_estimators(config, _PlainQuery())
+    assert set(built) == {"NMC", "RSSIR"}
+
+
+def test_cutset_estimators_kept_for_cutset_queries():
+    config = ExperimentConfig(estimators=("NMC", "BCSS", "RCSS"))
+    built = _build_estimators(config, InfluenceQuery(0))
+    assert set(built) == {"NMC", "BCSS", "RCSS"}
+
+
+def test_build_preserves_configured_order():
+    config = ExperimentConfig(estimators=("RCSS", "NMC", "BSSIR"))
+    built = _build_estimators(config, InfluenceQuery(0))
+    assert list(built) == ["RCSS", "NMC", "BSSIR"]

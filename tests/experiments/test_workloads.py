@@ -1,0 +1,63 @@
+"""Tests for random query workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.workloads import distance_queries, influence_queries
+from repro.graph.generators import erdos_renyi
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.traversal import reachable_mask
+
+
+@pytest.fixture
+def workload_graph():
+    return erdos_renyi(40, 90, rng=5, directed=True)
+
+
+def test_influence_queries_count_and_validity(workload_graph):
+    queries = influence_queries(workload_graph, 10, rng=1)
+    assert len(queries) == 10
+    for q in queries:
+        q.validate(workload_graph)
+        assert workload_graph.out_degree(int(q.seeds[0])) > 0
+
+
+def test_influence_queries_deterministic(workload_graph):
+    a = [int(q.seeds[0]) for q in influence_queries(workload_graph, 5, rng=9)]
+    b = [int(q.seeds[0]) for q in influence_queries(workload_graph, 5, rng=9)]
+    assert a == b
+
+
+def test_influence_queries_need_out_edges():
+    g = UncertainGraph.from_edges(3, [])
+    with pytest.raises(ExperimentError):
+        influence_queries(g, 1, rng=0)
+
+
+def test_distance_queries_targets_reachable_in_certain_graph(workload_graph):
+    queries = distance_queries(workload_graph, 10, rng=2)
+    assert len(queries) == 10
+    full = np.ones(workload_graph.n_edges, dtype=bool)
+    for q in queries:
+        q.validate(workload_graph)
+        assert q.source != q.target
+        assert reachable_mask(workload_graph, full, q.source)[q.target]
+
+
+def test_distance_queries_answer_set_parameter(workload_graph):
+    queries = distance_queries(workload_graph, 3, rng=3, answer_set="path")
+    assert all(q.answer_set == "path" for q in queries)
+
+
+def test_distance_queries_give_up_on_edgeless_graph():
+    g = UncertainGraph.from_edges(4, [])
+    with pytest.raises(ExperimentError):
+        distance_queries(g, 1, rng=0)
+
+
+def test_distance_queries_give_up_when_no_pairs_connected():
+    # only self-ish components of size 1 reachable: single edge per isolated pair
+    g = UncertainGraph.from_edges(2, [(0, 0, 0.5)])  # self-loop only
+    with pytest.raises(ExperimentError):
+        distance_queries(g, 1, rng=0, max_attempts_per_query=5)

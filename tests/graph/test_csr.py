@@ -1,0 +1,79 @@
+"""Tests for CSR adjacency construction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CsrAdjacency, build_csr
+
+
+def test_directed_csr_one_arc_per_edge():
+    src = np.array([0, 0, 1, 2])
+    dst = np.array([1, 2, 2, 0])
+    adj = build_csr(3, src, dst, directed=True)
+    assert adj.n_nodes == 3
+    assert adj.n_arcs == 4
+    assert adj.out_degree(0) == 2
+    assert adj.out_degree(1) == 1
+    assert adj.out_degree(2) == 1
+
+
+def test_directed_csr_targets_and_edge_ids_align():
+    src = np.array([1, 0, 1])
+    dst = np.array([2, 1, 0])
+    adj = build_csr(3, src, dst, directed=True)
+    # node 0's single arc is edge 1 targeting node 1
+    arcs = adj.out_arcs(0)
+    assert adj.arc_target[arcs].tolist() == [1]
+    assert adj.arc_edge[arcs].tolist() == [1]
+    # node 1 has edges 0 (to 2) and 2 (to 0), in stable input order
+    arcs = adj.out_arcs(1)
+    assert sorted(adj.arc_edge[arcs].tolist()) == [0, 2]
+
+
+def test_undirected_csr_two_arcs_per_edge_share_edge_id():
+    src = np.array([0, 1])
+    dst = np.array([1, 2])
+    adj = build_csr(3, src, dst, directed=False)
+    assert adj.n_arcs == 4
+    # edge 0 appears once from node 0 and once from node 1
+    locations = [u for u in range(3) for e in adj.arc_edge[adj.out_arcs(u)] if e == 0]
+    assert sorted(locations) == [0, 1]
+
+
+def test_isolated_nodes_have_empty_slices():
+    adj = build_csr(5, np.array([0]), np.array([1]), directed=True)
+    for node in (1, 2, 3, 4):
+        assert adj.out_degree(node) == 0
+        assert adj.out_arcs(node).size == 0
+
+
+def test_empty_graph():
+    adj = build_csr(3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), True)
+    assert adj.n_arcs == 0
+    assert adj.indptr.tolist() == [0, 0, 0, 0]
+
+
+def test_self_loop_directed():
+    adj = build_csr(2, np.array([0]), np.array([0]), directed=True)
+    assert adj.out_degree(0) == 1
+    assert adj.arc_target[adj.out_arcs(0)].tolist() == [0]
+
+
+def test_as_lists_cached_and_consistent():
+    adj = build_csr(3, np.array([0, 1]), np.array([1, 2]), directed=True)
+    lists1 = adj.as_lists()
+    lists2 = adj.as_lists()
+    assert lists1 is lists2
+    indptr_l, target_l, edge_l = lists1
+    assert indptr_l == adj.indptr.tolist()
+    assert target_l == adj.arc_target.tolist()
+    assert edge_l == adj.arc_edge.tolist()
+
+
+def test_stable_arc_order_within_node():
+    # Arcs of the same tail keep edge-insertion order (stable sort).
+    src = np.array([0, 0, 0])
+    dst = np.array([3, 1, 2])
+    adj = build_csr(4, src, dst, directed=True)
+    assert adj.arc_edge[adj.out_arcs(0)].tolist() == [0, 1, 2]
+    assert adj.arc_target[adj.out_arcs(0)].tolist() == [3, 1, 2]

@@ -1,0 +1,69 @@
+"""Tests for exhaustive world enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EnumerationError
+from repro.graph.enumerate import (
+    count_free_worlds,
+    enumerate_graph_worlds,
+    enumerate_worlds,
+    world_probability,
+)
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+
+
+def test_counts(fig1_graph):
+    st = EdgeStatuses(fig1_graph)
+    assert count_free_worlds(st) == 2**8
+    st.pin([0, 1, 2], [1, 0, 1])
+    assert count_free_worlds(st) == 2**5
+
+
+def test_probabilities_sum_to_one(fig1_graph):
+    total = sum(w for _, w in enumerate_graph_worlds(fig1_graph))
+    assert total == pytest.approx(1.0)
+
+
+def test_conditional_probabilities_sum_to_one(fig1_graph):
+    st = EdgeStatuses(fig1_graph).pin([0, 5], [PRESENT, ABSENT])
+    worlds = list(enumerate_worlds(st))
+    assert len(worlds) == 2**6
+    assert sum(w for _, w in worlds) == pytest.approx(1.0)
+    # pinned edges respected in every mask
+    assert all(mask[0] and not mask[5] for mask, _ in worlds)
+
+
+def test_enumeration_matches_world_probability(fig1_graph):
+    st = EdgeStatuses(fig1_graph).pin([1], [ABSENT])
+    for mask, weight in enumerate_worlds(st):
+        assert weight == pytest.approx(world_probability(st, mask))
+
+
+def test_world_probability_inconsistent_mask_is_zero(fig1_graph):
+    st = EdgeStatuses(fig1_graph).pin([0], [PRESENT])
+    mask = np.zeros(8, dtype=bool)  # contradicts the PRESENT pin
+    assert world_probability(st, mask) == 0.0
+
+
+def test_unconditional_equals_eq1(fig1_graph):
+    st = EdgeStatuses(fig1_graph)
+    for mask, weight in list(enumerate_worlds(st))[:32]:
+        assert weight == pytest.approx(fig1_graph.world_probability(mask))
+
+
+def test_refuses_huge_enumeration(small_grid):
+    st = EdgeStatuses(small_grid)  # 12 free edges
+    with pytest.raises(EnumerationError):
+        next(enumerate_worlds(st, max_free_edges=10))
+
+
+def test_zero_free_edges_single_world(fig1_graph):
+    st = EdgeStatuses(fig1_graph).pin(
+        list(range(8)), [PRESENT] * 4 + [ABSENT] * 4
+    )
+    worlds = list(enumerate_worlds(st))
+    assert len(worlds) == 1
+    mask, weight = worlds[0]
+    assert weight == 1.0
+    assert mask.tolist() == [True] * 4 + [False] * 4

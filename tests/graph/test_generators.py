@@ -1,0 +1,100 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    beta_probabilities,
+    complete_graph,
+    constant_probabilities,
+    erdos_renyi,
+    grid_graph,
+    paper_running_example,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+    uniform_probabilities,
+)
+
+
+def test_erdos_renyi_shape_and_determinism():
+    g1 = erdos_renyi(50, 120, rng=1)
+    g2 = erdos_renyi(50, 120, rng=1)
+    assert g1.n_nodes == 50
+    assert g1.n_edges == 120
+    assert g1 == g2
+    assert g1 != erdos_renyi(50, 120, rng=2)
+
+
+def test_erdos_renyi_edges_distinct_no_self_loops():
+    g = erdos_renyi(20, 100, rng=3, directed=True)
+    pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+    assert len(pairs) == 100
+    assert all(u != v for u, v in pairs)
+
+
+def test_erdos_renyi_undirected_distinctness():
+    g = erdos_renyi(10, 30, rng=4, directed=False)
+    keys = {(min(u, v), max(u, v)) for u, v in zip(g.src.tolist(), g.dst.tolist())}
+    assert len(keys) == 30
+
+
+def test_erdos_renyi_too_many_edges():
+    with pytest.raises(GraphError):
+        erdos_renyi(3, 10, rng=0, directed=True)
+
+
+def test_erdos_renyi_custom_probabilities():
+    g = erdos_renyi(10, 20, rng=0, prob_fn=lambda m, r: constant_probabilities(m, 0.42))
+    assert np.allclose(g.prob, 0.42)
+
+
+def test_preferential_attachment_heavy_tail():
+    g = preferential_attachment(300, 3, rng=5)
+    degrees = np.diff(g.adjacency.indptr)
+    assert g.n_nodes == 300
+    # BA-style m: seed clique + k per new node
+    assert g.n_edges == 6 + (300 - 4) * 3
+    assert degrees.max() > 4 * degrees.mean()  # hubs exist
+
+
+def test_preferential_attachment_guards():
+    with pytest.raises(GraphError):
+        preferential_attachment(3, 3)
+    with pytest.raises(GraphError):
+        preferential_attachment(10, 0)
+
+
+def test_path_star_grid_complete_shapes():
+    assert path_graph(5).n_edges == 4
+    assert star_graph(4).n_edges == 4
+    assert star_graph(4).n_nodes == 5
+    assert grid_graph(3, 4).n_edges == 3 * 3 + 2 * 4
+    assert complete_graph(4).n_edges == 6
+    assert complete_graph(3, directed=True).n_edges == 6
+
+
+def test_generator_guards():
+    with pytest.raises(GraphError):
+        path_graph(0)
+    with pytest.raises(GraphError):
+        grid_graph(0, 3)
+    with pytest.raises(GraphError):
+        constant_probabilities(5, 1.5)
+
+
+def test_probability_generators_in_range():
+    assert uniform_probabilities(1000, rng=0).max() <= 1.0
+    betas = beta_probabilities(1000, 2, 5, rng=0)
+    assert 0.0 <= betas.min() and betas.max() <= 1.0
+    assert betas.mean() == pytest.approx(2 / 7, abs=0.03)
+
+
+def test_paper_running_example_matches_fig1():
+    g = paper_running_example()
+    assert g.n_nodes == 5
+    assert g.n_edges == 8
+    assert g.directed
+    assert g.prob[g.edge_index(0, 1)] == 0.7
+    assert g.prob[g.edge_index(3, 4)] == 0.8

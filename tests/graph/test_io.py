@@ -1,0 +1,69 @@
+"""Tests for graph serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.io import graph_from_json, graph_to_json, read_edge_tsv, write_edge_tsv
+from repro.graph.uncertain import UncertainGraph
+
+
+def test_tsv_roundtrip(fig1_graph, tmp_path):
+    path = tmp_path / "g.tsv"
+    write_edge_tsv(fig1_graph, path)
+    back = read_edge_tsv(path)
+    assert back == fig1_graph
+
+
+def test_tsv_roundtrip_undirected(tmp_path):
+    g = UncertainGraph.from_edges(4, [(0, 1, 0.123456789), (2, 3, 1.0)], directed=False)
+    path = tmp_path / "g.tsv"
+    write_edge_tsv(g, path)
+    back = read_edge_tsv(path)
+    assert back == g
+    assert not back.directed
+
+
+def test_tsv_headerless_file(tmp_path):
+    path = tmp_path / "plain.tsv"
+    path.write_text("0\t1\t0.5\n1\t2\t0.25\n")
+    g = read_edge_tsv(path)
+    assert g.n_nodes == 3
+    assert g.directed
+    assert g.prob.tolist() == [0.5, 0.25]
+
+
+def test_tsv_space_separated_accepted(tmp_path):
+    path = tmp_path / "plain.txt"
+    path.write_text("0 1 0.5\n")
+    assert read_edge_tsv(path).n_edges == 1
+
+
+def test_tsv_malformed_line(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("0\t1\n")
+    with pytest.raises(GraphError):
+        read_edge_tsv(path)
+
+
+def test_tsv_isolated_trailing_nodes_preserved(tmp_path):
+    g = UncertainGraph.from_edges(10, [(0, 1, 0.5)])
+    path = tmp_path / "g.tsv"
+    write_edge_tsv(g, path)
+    assert read_edge_tsv(path).n_nodes == 10
+
+
+def test_json_roundtrip(fig1_graph):
+    assert graph_from_json(graph_to_json(fig1_graph)) == fig1_graph
+
+
+def test_json_malformed():
+    with pytest.raises(GraphError):
+        graph_from_json('{"n_nodes": 3}')
+
+
+def test_empty_graph_roundtrip(tmp_path):
+    g = UncertainGraph.from_edges(4, [])
+    path = tmp_path / "empty.tsv"
+    write_edge_tsv(g, path)
+    assert read_edge_tsv(path) == g
+    assert graph_from_json(graph_to_json(g)) == g

@@ -1,0 +1,144 @@
+"""Tests for the UncertainGraph model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ProbabilityError
+from repro.graph.uncertain import UncertainGraph
+
+
+def test_from_edges_roundtrip(fig1_graph):
+    assert fig1_graph.n_nodes == 5
+    assert fig1_graph.n_edges == 8
+    triples = fig1_graph.edge_triples()
+    assert triples[0] == (0, 1, 0.7)
+    assert triples[-1] == (4, 1, 0.2)
+
+
+def test_world_probability_matches_paper_fig1(fig1_graph):
+    # Fig. 1(b): the possible graph keeps v1->v2, v1->v3, v2->v4, v3->v4,
+    # v4->v5 and drops the rest; its probability is reported as 0.001944...
+    # (actually 0.7*0.5*0.6*0.9*0.8 * (1-0.3)(1-0.4)(1-0.2) = 0.0508...).
+    # We verify Eq. (1) directly instead: product of p / (1-p) factors.
+    mask = np.zeros(8, dtype=bool)
+    mask[[0, 1, 3, 4, 6]] = True
+    expected = (0.7 * 0.5 * 0.6 * 0.9 * 0.8) * (1 - 0.3) * (1 - 0.4) * (1 - 0.2)
+    assert fig1_graph.world_probability(mask) == pytest.approx(expected)
+
+
+def test_world_probability_extremes(fig1_graph):
+    all_present = np.ones(8, dtype=bool)
+    expected = float(np.prod(fig1_graph.prob))
+    assert fig1_graph.world_probability(all_present) == pytest.approx(expected)
+    none = np.zeros(8, dtype=bool)
+    assert fig1_graph.world_probability(none) == pytest.approx(
+        float(np.prod(1 - fig1_graph.prob))
+    )
+
+
+def test_invalid_probability_rejected():
+    with pytest.raises(ProbabilityError):
+        UncertainGraph.from_edges(2, [(0, 1, 1.5)])
+    with pytest.raises(ProbabilityError):
+        UncertainGraph.from_edges(2, [(0, 1, -0.1)])
+    with pytest.raises(ProbabilityError):
+        UncertainGraph.from_edges(2, [(0, 1, float("nan"))])
+
+
+def test_invalid_endpoints_rejected():
+    with pytest.raises(GraphError):
+        UncertainGraph.from_edges(2, [(0, 2, 0.5)])
+    with pytest.raises(GraphError):
+        UncertainGraph.from_edges(2, [(-1, 0, 0.5)])
+
+
+def test_immutable(fig1_graph):
+    with pytest.raises(AttributeError):
+        fig1_graph.n_nodes = 10
+
+
+def test_out_edges_directed(fig1_graph):
+    assert sorted(fig1_graph.out_edges(0).tolist()) == [0, 1]  # v1->v2, v1->v3
+    assert fig1_graph.out_degree(0) == 2
+    assert sorted(fig1_graph.out_edges(3).tolist()) == [5, 6]
+
+
+def test_out_edges_undirected_counts_incident():
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)], directed=False)
+    assert g.out_degree(1) == 2
+    assert sorted(g.out_edges(1).tolist()) == [0, 1]
+
+
+def test_edge_index_both_orientations():
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.4)], directed=False)
+    assert g.edge_index(0, 1) == 0
+    assert g.edge_index(1, 0) == 0  # undirected: reversed lookup works
+    directed = UncertainGraph.from_edges(3, [(0, 1, 0.5)], directed=True)
+    assert directed.edge_index(0, 1) == 0
+    with pytest.raises(GraphError):
+        directed.edge_index(1, 0)
+
+
+def test_with_probabilities(fig1_graph):
+    new = fig1_graph.with_probabilities(np.full(8, 0.25))
+    assert new.prob.tolist() == [0.25] * 8
+    assert new.n_nodes == fig1_graph.n_nodes
+    assert fig1_graph.prob[0] == 0.7  # original untouched
+
+
+def test_with_virtual_source(fig1_graph):
+    g, q = fig1_graph.with_virtual_source([1, 3])
+    assert q == 5
+    assert g.n_nodes == 6
+    assert g.n_edges == 10
+    assert sorted(g.dst[-2:].tolist()) == [1, 3]
+    assert g.prob[-2:].tolist() == [1.0, 1.0]
+
+
+def test_networkx_roundtrip(fig1_graph):
+    nxg = fig1_graph.to_networkx()
+    assert nxg.number_of_edges() == 8
+    back = UncertainGraph.from_networkx(nxg)
+    assert back == fig1_graph
+
+
+def test_networkx_missing_prob_attr():
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_edge(0, 1)
+    with pytest.raises(GraphError):
+        UncertainGraph.from_networkx(g)
+
+
+def test_reverse_adjacency_directed(fig1_graph):
+    radj = fig1_graph.reverse_adjacency
+    # node 0 (v1) has in-edges from v2 (edge 2) and v4 (edge 5)
+    arcs = radj.out_arcs(0)
+    assert sorted(radj.arc_edge[arcs].tolist()) == [2, 5]
+
+
+def test_reverse_adjacency_undirected_is_same_object():
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.5)], directed=False)
+    assert g.reverse_adjacency is g.adjacency
+
+
+def test_expected_degree():
+    g = UncertainGraph.from_edges(4, [(0, 1, 0.5), (1, 2, 0.5)], directed=True)
+    assert g.expected_degree() == pytest.approx(0.25)
+    u = UncertainGraph.from_edges(4, [(0, 1, 0.5), (1, 2, 0.5)], directed=False)
+    assert u.expected_degree() == pytest.approx(0.5)
+
+
+def test_empty_graph_ok():
+    g = UncertainGraph.from_edges(0, [])
+    assert g.n_nodes == 0
+    assert g.n_edges == 0
+    assert g.expected_degree() == 0.0
+
+
+def test_equality_and_repr(fig1_graph):
+    other = UncertainGraph.from_edges(5, fig1_graph.edge_triples(), directed=True)
+    assert other == fig1_graph
+    assert "directed" in repr(fig1_graph)
+    assert fig1_graph != other.with_probabilities(np.full(8, 0.1))

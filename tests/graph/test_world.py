@@ -1,0 +1,97 @@
+"""Tests for possible-world sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+from repro.graph.world import (
+    PossibleWorld,
+    iter_edge_masks,
+    sample_edge_masks,
+    sample_first_present,
+    sample_world,
+)
+
+
+def test_sample_respects_pins(fig1_graph, rng):
+    st = EdgeStatuses(fig1_graph).pin([0, 4], [PRESENT, ABSENT])
+    masks = sample_edge_masks(st, 200, rng)
+    assert masks.shape == (200, 8)
+    assert masks[:, 0].all()
+    assert not masks[:, 4].any()
+
+
+def test_sample_marginals_match_probabilities(fig1_graph):
+    masks = sample_edge_masks(EdgeStatuses(fig1_graph), 20_000, rng=7)
+    freq = masks.mean(axis=0)
+    assert np.allclose(freq, fig1_graph.prob, atol=0.02)
+
+
+def test_extreme_probabilities_deterministic():
+    from repro.graph.uncertain import UncertainGraph
+
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.0), (1, 2, 1.0)])
+    masks = sample_edge_masks(EdgeStatuses(g), 50, rng=3)
+    assert not masks[:, 0].any()
+    assert masks[:, 1].all()
+
+
+def test_iter_matches_batch_distribution(fig1_graph):
+    st = EdgeStatuses(fig1_graph).pin([2], [PRESENT])
+    out = list(iter_edge_masks(st, 37, rng=11, chunk_budget=40))
+    assert len(out) == 37
+    assert all(mask[2] for mask in out)
+    assert all(mask.shape == (8,) for mask in out)
+
+
+def test_iter_zero_worlds(fig1_graph):
+    assert list(iter_edge_masks(EdgeStatuses(fig1_graph), 0, rng=0)) == []
+
+
+def test_iter_masks_are_independent_copies(fig1_graph):
+    masks = list(iter_edge_masks(EdgeStatuses(fig1_graph), 3, rng=0))
+    masks[0][:] = True
+    assert not masks[1].all() or not masks[2].all() or True  # no aliasing crash
+    assert masks[0] is not masks[1]
+
+
+def test_sample_world_wrapper(fig1_graph):
+    world = sample_world(fig1_graph, rng=5)
+    assert isinstance(world, PossibleWorld)
+    assert world.edge_mask.shape == (8,)
+    assert 0.0 < world.probability() < 1.0
+    nxg = world.to_networkx()
+    assert nxg.number_of_edges() == world.n_present_edges
+
+
+def test_sample_world_rejects_foreign_statuses(fig1_graph, small_star):
+    with pytest.raises(EstimatorError):
+        sample_world(fig1_graph, statuses=EdgeStatuses(small_star))
+
+
+def test_negative_world_count_rejected(fig1_graph):
+    with pytest.raises(EstimatorError):
+        sample_edge_masks(EdgeStatuses(fig1_graph), -1)
+
+
+def test_sample_first_present_distribution():
+    probs = np.array([0.3, 0.5, 0.9])
+    draws = sample_first_present(probs, 40_000, rng=13)
+    # Eq. (21): P[0]=0.3, P[1]=0.7*0.5, P[2]=0.7*0.5*0.9, normalised.
+    weights = np.array([0.3, 0.7 * 0.5, 0.7 * 0.5 * 0.9])
+    expected = weights / weights.sum()
+    freq = np.bincount(draws, minlength=3) / draws.size
+    assert np.allclose(freq, expected, atol=0.01)
+
+
+def test_sample_first_present_guards():
+    with pytest.raises(EstimatorError):
+        sample_first_present(np.array([]), 5)
+    with pytest.raises(EstimatorError):
+        sample_first_present(np.array([0.0, 0.0]), 5)
+
+
+def test_sample_first_present_certain_edge():
+    draws = sample_first_present(np.array([1.0, 0.5]), 100, rng=1)
+    assert (draws == 0).all()

@@ -1,0 +1,128 @@
+"""Tests for the query interfaces: pair semantics, thresholds, comparisons."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.base import Comparison, Query, ThresholdQuery, UNREACHABLE
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.influence import InfluenceQuery
+
+
+class _ConstQuery(Query):
+    """Test double returning a fixed value."""
+
+    def __init__(self, value, conditional=False):
+        self.value = value
+        self.conditional = conditional
+
+    def evaluate(self, graph, edge_mask):
+        return self.value
+
+
+def test_unconditional_pair(fig1_graph):
+    q = _ConstQuery(3.5)
+    assert q.evaluate_pair(fig1_graph, np.ones(8, bool)) == (3.5, 1.0)
+
+
+def test_conditional_pair_finite(fig1_graph):
+    q = _ConstQuery(2.0, conditional=True)
+    assert q.evaluate_pair(fig1_graph, np.ones(8, bool)) == (2.0, 1.0)
+
+
+def test_conditional_pair_infinite_contributes_nothing(fig1_graph):
+    q = _ConstQuery(UNREACHABLE, conditional=True)
+    assert q.evaluate_pair(fig1_graph, np.ones(8, bool)) == (0.0, 0.0)
+
+
+def test_bfs_sources_default_raises(fig1_graph):
+    with pytest.raises(QueryError):
+        _ConstQuery(1.0).bfs_sources(fig1_graph)
+
+
+def test_has_cut_set_flags(fig1_graph):
+    assert not _ConstQuery(1.0).has_cut_set
+    assert InfluenceQuery(0).has_cut_set
+    assert ReliableDistanceQuery(0, 4).has_cut_set
+
+
+@pytest.mark.parametrize(
+    "comparison,value,threshold,expected",
+    [
+        (Comparison.LE, 2.0, 3.0, True),
+        (Comparison.LE, 3.0, 3.0, True),
+        (Comparison.LE, 4.0, 3.0, False),
+        (Comparison.GE, 4.0, 3.0, True),
+        (Comparison.GE, 3.0, 3.0, True),
+        (Comparison.GE, 2.0, 3.0, False),
+        (Comparison.LT, 3.0, 3.0, False),
+        (Comparison.GT, 3.0, 3.0, False),
+        (Comparison.GT, 4.0, 3.0, True),
+        (Comparison.LE, math.inf, 100.0, False),
+        (Comparison.GE, math.inf, 100.0, True),
+    ],
+)
+def test_comparison_apply(comparison, value, threshold, expected):
+    assert comparison.apply(value, threshold) is expected
+
+
+def test_threshold_query_wraps_any_query(fig1_graph):
+    base = _ConstQuery(5.0)
+    tq = ThresholdQuery(base, 4.0, Comparison.GE)
+    assert tq.evaluate(fig1_graph, np.ones(8, bool)) == 1.0
+    tq2 = ThresholdQuery(base, 6.0, Comparison.GE)
+    assert tq2.evaluate(fig1_graph, np.ones(8, bool)) == 0.0
+
+
+def test_threshold_query_is_unconditional_even_over_conditional_base(fig1_graph):
+    base = _ConstQuery(UNREACHABLE, conditional=True)
+    tq = ThresholdQuery(base, 3.0, Comparison.LE)
+    assert not tq.conditional
+    # inf <= 3 is False: the world contributes 0 (not "nothing")
+    assert tq.evaluate_pair(fig1_graph, np.ones(8, bool)) == (0.0, 1.0)
+
+
+def test_threshold_query_rejects_bad_comparison(fig1_graph):
+    with pytest.raises(QueryError):
+        ThresholdQuery(_ConstQuery(1.0), 1.0, "<=")
+
+
+def test_threshold_query_cut_set_delegation(fig1_graph):
+    base = InfluenceQuery(0)
+    tq = ThresholdQuery(base, 2.0, Comparison.GE)
+    assert tq.has_cut_set
+    from repro.graph.statuses import EdgeStatuses
+
+    st = EdgeStatuses(fig1_graph)
+    state = tq.cut_initial_state(fig1_graph)
+    assert set(tq.cut_set(fig1_graph, st, state).tolist()) == set(
+        base.cut_set(fig1_graph, st, state).tolist()
+    )
+
+
+def test_threshold_query_without_cutset_base_raises(fig1_graph):
+    from repro.graph.statuses import EdgeStatuses
+
+    tq = ThresholdQuery(_ConstQuery(1.0), 1.0, Comparison.LE)
+    assert not tq.has_cut_set
+    with pytest.raises(QueryError):
+        tq.cut_set(fig1_graph, EdgeStatuses(fig1_graph), None)
+
+
+def test_threshold_cut_constant_thresholds_the_constant(fig1_graph):
+    from repro.graph.statuses import ABSENT, EdgeStatuses
+
+    base = InfluenceQuery(0)
+    tq = ThresholdQuery(base, 1.0, Comparison.GE)
+    st = EdgeStatuses(fig1_graph)
+    cut = tq.cut_set(fig1_graph, st, None)
+    child = st.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+    # all out-edges of v1 failed -> spread 0 -> indicator(0 >= 1) = 0
+    assert tq.cut_constant(fig1_graph, child, None) == 0.0
+
+
+def test_threshold_repr_mentions_comparison(fig1_graph):
+    tq = ThresholdQuery(InfluenceQuery(0), 2.0, Comparison.GE)
+    assert ">=" in repr(tq)

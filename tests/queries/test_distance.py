@@ -1,0 +1,124 @@
+"""Tests for the expected-reliable distance query."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Comparison
+from repro.queries.distance import ReliableDistanceQuery, ThresholdDistanceQuery
+from repro.queries.exact import exact_pair, exact_value
+
+
+def test_evaluate_distance_or_inf(fig1_graph):
+    q = ReliableDistanceQuery(0, 4)
+    assert q.evaluate(fig1_graph, np.ones(8, bool)) == 3.0
+    assert math.isinf(q.evaluate(fig1_graph, np.zeros(8, bool)))
+
+
+def test_conditional_flag_and_pairs(fig1_graph):
+    q = ReliableDistanceQuery(0, 4)
+    assert q.conditional
+    assert q.evaluate_pair(fig1_graph, np.ones(8, bool)) == (3.0, 1.0)
+    assert q.evaluate_pair(fig1_graph, np.zeros(8, bool)) == (0.0, 0.0)
+
+
+def test_exact_value_is_eq22_ratio(diamond_graph):
+    q = ReliableDistanceQuery(0, 3)
+    num, den = exact_pair(diamond_graph, q)
+    assert 0 < den < 1
+    assert exact_value(diamond_graph, q) == pytest.approx(num / den)
+    # diamond: distance 1 via shortcut, else 2; conditional mean in (1, 2)
+    assert 1.0 < exact_value(diamond_graph, q) < 2.0
+
+
+def test_exact_value_nan_when_unreachable():
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.5)])
+    q = ReliableDistanceQuery(0, 2)
+    assert math.isnan(exact_value(g, q))
+
+
+def test_validation(fig1_graph):
+    with pytest.raises(QueryError):
+        ReliableDistanceQuery(0, 0).validate(fig1_graph)
+    with pytest.raises(QueryError):
+        ReliableDistanceQuery(0, 99).validate(fig1_graph)
+    with pytest.raises(QueryError):
+        ReliableDistanceQuery(0, 1, answer_set="bogus")
+
+
+def test_frontier_cut_set_matches_paper_shape(fig1_graph):
+    q = ReliableDistanceQuery(0, 4)  # frontier default
+    st = EdgeStatuses(fig1_graph)
+    assert set(q.cut_set(fig1_graph, st, None).tolist()) == {0, 1}
+
+
+def test_frontier_cut_constant_is_determined_distance(fig1_graph):
+    q = ReliableDistanceQuery(0, 4)
+    # pin a full present path v1->v3->v4->v5 and fail everything else
+    path_edges = [
+        fig1_graph.edge_index(0, 2),
+        fig1_graph.edge_index(2, 3),
+        fig1_graph.edge_index(3, 4),
+    ]
+    st = EdgeStatuses(fig1_graph)
+    st.pin(path_edges, [PRESENT] * 3)
+    others = [e for e in range(8) if e not in path_edges]
+    st.pin(others, [ABSENT] * len(others))
+    assert q.cut_constant(fig1_graph, st, None) == 3.0
+
+
+def test_path_variant_follows_paper_example(fig1_graph):
+    # §V-E: X = (0, 1) on (v1->v2, v1->v3): answer set {v3}, C = {v3->v4}
+    q = ReliableDistanceQuery(0, 4, answer_set="path")
+    state = q.cut_initial_state(fig1_graph)
+    assert state == 0
+    state = q.cut_advance(fig1_graph, state, fig1_graph.edge_index(0, 2))
+    assert state == 2
+    st = EdgeStatuses(fig1_graph).pin([0, 1], [ABSENT, PRESENT])
+    cut = q.cut_set(fig1_graph, st, state)
+    assert cut.tolist() == [fig1_graph.edge_index(2, 3)]
+    child = st.child(cut, [ABSENT])
+    assert math.isinf(q.cut_constant(fig1_graph, child, state))
+
+
+def test_path_variant_not_exact_when_cut_empty(fig1_graph):
+    assert ReliableDistanceQuery(0, 4, answer_set="path").exact_when_cut_empty is False
+    assert ReliableDistanceQuery(0, 4).exact_when_cut_empty is True
+
+
+def test_path_variant_undirected_head_endpoint():
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)], directed=False)
+    q = ReliableDistanceQuery(0, 2, answer_set="path")
+    state = q.cut_advance(g, 0, 0)  # edge (0,1) from node 0 -> head is 1
+    assert state == 1
+    state = q.cut_advance(g, 1, 1)  # edge (1,2) from node 1 -> head is 2
+    assert state == 2
+
+
+def test_threshold_distance_query(diamond_graph):
+    # Pr[d(0,3) <= 1] = p of the direct shortcut = 0.2
+    q = ThresholdDistanceQuery(0, 3, 1)
+    assert exact_value(diamond_graph, q) == pytest.approx(0.2)
+    assert not q.conditional
+
+
+def test_threshold_distance_ge_comparison(diamond_graph):
+    # Pr[d >= 2] counts unreachable worlds too (inf >= 2)
+    q = ThresholdDistanceQuery(0, 3, 2, comparison=Comparison.GE)
+    complement = exact_value(diamond_graph, ThresholdDistanceQuery(0, 3, 1))
+    assert exact_value(diamond_graph, q) == pytest.approx(1.0 - complement)
+
+
+def test_threshold_distance_exposes_cut_set(diamond_graph):
+    q = ThresholdDistanceQuery(0, 3, 2)
+    assert q.has_cut_set
+    st = EdgeStatuses(diamond_graph)
+    assert q.cut_set(diamond_graph, st, q.cut_initial_state(diamond_graph)).size == 3
+
+
+def test_repr(fig1_graph):
+    assert "0 -> 4" in repr(ReliableDistanceQuery(0, 4))

@@ -1,0 +1,76 @@
+"""Tests for exact evaluation by enumeration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.exact import (
+    exact_distribution,
+    exact_nmc_variance,
+    exact_pair,
+    exact_value,
+)
+from repro.queries.influence import InfluenceQuery
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.reachability import ReachabilityQuery
+
+
+def test_distribution_shapes(fig1_graph):
+    values, probs = exact_distribution(fig1_graph, InfluenceQuery(0))
+    assert values.shape == probs.shape == (256,)
+    assert probs.sum() == pytest.approx(1.0)
+    assert values.min() >= 0.0
+    assert values.max() <= 4.0
+
+
+def test_exact_value_hand_computed_path(tiny_path):
+    # spread from 0 on p=0.5 path 0->1->2->3: 1/2 + 1/4 + 1/8
+    assert exact_value(tiny_path, InfluenceQuery(0)) == pytest.approx(0.875)
+
+
+def test_exact_value_hand_computed_star(small_star):
+    # hub influence on 4 spokes with p = 0.3 each
+    assert exact_value(small_star, InfluenceQuery(0)) == pytest.approx(4 * 0.3)
+
+
+def test_exact_value_respects_statuses(tiny_path):
+    st = EdgeStatuses(tiny_path).pin([0], [PRESENT])
+    # conditioned on edge 0 present: 1 + 1/2 + 1/4
+    assert exact_value(tiny_path, InfluenceQuery(0), st) == pytest.approx(1.75)
+    st2 = EdgeStatuses(tiny_path).pin([0], [ABSENT])
+    assert exact_value(tiny_path, InfluenceQuery(0), st2) == 0.0
+
+
+def test_exact_pair_conditional(diamond_graph):
+    q = ReliableDistanceQuery(0, 3)
+    num, den = exact_pair(diamond_graph, q)
+    # denominator = two-terminal reliability of 0 -> 3
+    rel = exact_value(diamond_graph, ReachabilityQuery(0, 3))
+    assert den == pytest.approx(rel)
+    assert num <= 2 * den + 1e-12  # distance at most 2 here
+
+
+def test_exact_nmc_variance_bernoulli(tiny_path):
+    # Pr[0 ~> 3] = 1/8: variance of the indicator = p(1-p)
+    q = ReachabilityQuery(0, 3)
+    assert exact_nmc_variance(tiny_path, q) == pytest.approx((1 / 8) * (7 / 8))
+
+
+def test_exact_nmc_variance_rejects_conditional(diamond_graph):
+    with pytest.raises(QueryError):
+        exact_nmc_variance(diamond_graph, ReliableDistanceQuery(0, 3))
+
+
+def test_exact_value_nan_on_impossible_condition():
+    g = UncertainGraph.from_edges(2, [(0, 1, 0.0)])
+    assert math.isnan(exact_value(g, ReliableDistanceQuery(0, 1)))
+
+
+def test_deterministic_graph_exact():
+    g = UncertainGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    assert exact_value(g, InfluenceQuery(0)) == 2.0
+    assert exact_nmc_variance(g, InfluenceQuery(0)) == pytest.approx(0.0)

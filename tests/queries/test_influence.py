@@ -1,0 +1,119 @@
+"""Tests for influence function evaluation and its cut-set machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+from repro.queries.exact import exact_value
+from repro.queries.influence import InfluenceQuery, ThresholdInfluenceQuery
+
+
+def test_evaluate_counts_reachable_excluding_seed(fig1_graph):
+    q = InfluenceQuery(0)
+    full = np.ones(8, dtype=bool)
+    assert q.evaluate(fig1_graph, full) == 4.0
+    empty = np.zeros(8, dtype=bool)
+    assert q.evaluate(fig1_graph, empty) == 0.0
+
+
+def test_include_seeds_convention(fig1_graph):
+    q = InfluenceQuery(0, include_seeds=True)
+    assert q.evaluate(fig1_graph, np.ones(8, bool)) == 5.0
+    assert q.evaluate(fig1_graph, np.zeros(8, bool)) == 1.0
+
+
+def test_multi_seed_equivalent_to_virtual_node(fig1_graph):
+    # The virtual-node construction of §V-E and direct multi-source BFS
+    # must give the same exact expectation (virtual node adds 1 seed node
+    # and counts seeds via p=1 edges, so compare with include_seeds).
+    seeds = [1, 2]
+    direct = exact_value(fig1_graph, InfluenceQuery(seeds, include_seeds=True))
+    augmented, virtual = fig1_graph.with_virtual_source(seeds)
+    via_virtual = exact_value(augmented, InfluenceQuery(virtual))
+    assert direct == pytest.approx(via_virtual)
+
+
+def test_seed_validation(fig1_graph):
+    with pytest.raises(QueryError):
+        InfluenceQuery([]).validate(fig1_graph)
+    q = InfluenceQuery(10)
+    with pytest.raises(QueryError):
+        q.validate(fig1_graph)
+
+
+def test_duplicate_seeds_deduplicated():
+    q = InfluenceQuery([2, 2, 1])
+    assert q.seeds.tolist() == [1, 2]
+
+
+def test_cut_set_is_out_edges_of_answer_set(fig1_graph):
+    q = InfluenceQuery(0)
+    st = EdgeStatuses(fig1_graph)
+    cut = q.cut_set(fig1_graph, st, None)
+    # top-level: out-edges of v1 only (paper: C = {v1->v2, v1->v3})
+    assert set(cut.tolist()) == {0, 1}
+
+
+def test_cut_set_grows_with_present_pins(fig1_graph):
+    # paper §V-E example: X = (0, 1) on (v1->v2, v1->v3) => S = {v1, v3},
+    # C = unsampled out-edges of S = {v3->v4}
+    q = InfluenceQuery(0)
+    st = EdgeStatuses(fig1_graph).pin([0, 1], [ABSENT, PRESENT])
+    cut = q.cut_set(fig1_graph, st, None)
+    assert cut.tolist() == [fig1_graph.edge_index(2, 3)]
+
+
+def test_cut_constant_matches_paper_example(fig1_graph):
+    # same configuration: u0 = |S| - 1 = 1
+    q = InfluenceQuery(0)
+    st = EdgeStatuses(fig1_graph).pin([0, 1], [ABSENT, PRESENT])
+    cut = q.cut_set(fig1_graph, st, None)
+    child = st.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+    assert q.cut_constant(fig1_graph, child, None) == 1.0
+
+
+def test_cut_constant_zero_at_failed_top_cut(fig1_graph):
+    q = InfluenceQuery(0)
+    st = EdgeStatuses(fig1_graph).pin([0, 1], [ABSENT, ABSENT])
+    assert q.cut_constant(fig1_graph, st, None) == 0.0
+
+
+def test_cut_set_respects_definition_51(fig1_graph):
+    """Pinning every cut-set edge ABSENT must pin phi to cut_constant."""
+    from repro.graph.enumerate import enumerate_worlds
+
+    q = InfluenceQuery(0)
+    st = EdgeStatuses(fig1_graph).pin([1], [PRESENT])
+    cut = q.cut_set(fig1_graph, st, None)
+    child = st.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+    constant = q.cut_constant(fig1_graph, child, None)
+    values = {q.evaluate(fig1_graph, mask) for mask, w in enumerate_worlds(child) if w > 0}
+    assert values == {constant}
+
+
+def test_bfs_sources(fig1_graph):
+    assert InfluenceQuery([3, 1]).bfs_sources(fig1_graph).tolist() == [1, 3]
+
+
+def test_exact_value_on_path(tiny_path):
+    # E[spread from node 0] on a 3-edge p=0.5 path: 0.5 + 0.25 + 0.125
+    assert exact_value(tiny_path, InfluenceQuery(0)) == pytest.approx(0.875)
+
+
+def test_threshold_influence(tiny_path):
+    # Pr[spread >= 2] = Pr[first two edges present] = 0.25
+    q = ThresholdInfluenceQuery(0, 2)
+    assert exact_value(tiny_path, q) == pytest.approx(0.25)
+
+
+def test_threshold_influence_le_variant(tiny_path):
+    from repro.queries.base import Comparison
+
+    q = ThresholdInfluenceQuery(0, 1, comparison=Comparison.LE)
+    # Pr[spread <= 1] = 1 - Pr[spread >= 2] = 0.75
+    assert exact_value(tiny_path, q) == pytest.approx(0.75)
+
+
+def test_repr(fig1_graph):
+    assert "seeds=[0]" in repr(InfluenceQuery(0))

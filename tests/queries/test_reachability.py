@@ -1,0 +1,89 @@
+"""Tests for reachability and distance-constrained reachability queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+from repro.queries.exact import exact_value
+from repro.queries.reachability import (
+    DistanceConstrainedReachabilityQuery,
+    ReachabilityQuery,
+)
+
+
+def test_reachability_indicator(fig1_graph):
+    q = ReachabilityQuery(0, 4)
+    assert q.evaluate(fig1_graph, np.ones(8, bool)) == 1.0
+    assert q.evaluate(fig1_graph, np.zeros(8, bool)) == 0.0
+
+
+def test_reachability_exact_on_path(tiny_path):
+    # Pr[0 ~> 3] on a 3-edge 0.5 path = 0.125
+    assert exact_value(tiny_path, ReachabilityQuery(0, 3)) == pytest.approx(0.125)
+
+
+def test_reachability_same_node_is_certain(tiny_path):
+    assert exact_value(tiny_path, ReachabilityQuery(0, 0)) == pytest.approx(1.0)
+
+
+def test_distance_constrained_indicator(diamond_graph):
+    q = DistanceConstrainedReachabilityQuery(0, 3, 1)
+    mask = np.zeros(5, dtype=bool)
+    mask[diamond_graph.edge_index(0, 3)] = True
+    assert q.evaluate(diamond_graph, mask) == 1.0
+    mask[:] = True
+    assert q.evaluate(diamond_graph, mask) == 1.0
+    two_hop = np.zeros(5, dtype=bool)
+    two_hop[[diamond_graph.edge_index(0, 1), diamond_graph.edge_index(1, 3)]] = True
+    assert q.evaluate(diamond_graph, two_hop) == 0.0  # distance 2 > 1
+
+
+def test_distance_constrained_equals_threshold_distance(diamond_graph):
+    from repro.queries.distance import ThresholdDistanceQuery
+
+    dcr = exact_value(diamond_graph, DistanceConstrainedReachabilityQuery(0, 3, 2))
+    thr = exact_value(diamond_graph, ThresholdDistanceQuery(0, 3, 2))
+    assert dcr == pytest.approx(thr)
+
+
+def test_distance_constrained_rejects_negative_bound():
+    with pytest.raises(QueryError):
+        DistanceConstrainedReachabilityQuery(0, 1, -1)
+
+
+def test_validation(fig1_graph):
+    with pytest.raises(QueryError):
+        ReachabilityQuery(0, 50).validate(fig1_graph)
+
+
+def test_cut_constant_definition_51(fig1_graph):
+    """With every cut edge failed, the indicator equals cut_constant."""
+    from repro.graph.enumerate import enumerate_worlds
+
+    for query in (
+        ReachabilityQuery(0, 4),
+        DistanceConstrainedReachabilityQuery(0, 4, 3),
+    ):
+        st = EdgeStatuses(fig1_graph).pin([0], [PRESENT])
+        cut = query.cut_set(fig1_graph, st, None)
+        child = st.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+        constant = query.cut_constant(fig1_graph, child, None)
+        values = {
+            query.evaluate(fig1_graph, mask)
+            for mask, w in enumerate_worlds(child)
+            if w > 0
+        }
+        assert values == {constant}
+
+
+def test_cut_constant_true_when_target_already_reached(tiny_path):
+    q = ReachabilityQuery(0, 1)
+    st = EdgeStatuses(tiny_path).pin([0], [PRESENT])
+    cut = q.cut_set(tiny_path, st, None)
+    child = st.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+    assert q.cut_constant(tiny_path, child, None) == 1.0
+
+
+def test_bfs_sources(fig1_graph):
+    assert ReachabilityQuery(2, 4).bfs_sources(fig1_graph).tolist() == [2]

@@ -1,0 +1,73 @@
+"""Tests for k-terminal network reliability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.statuses import ABSENT, PRESENT, EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.exact import exact_value
+from repro.queries.reliability import NetworkReliabilityQuery
+
+
+def test_two_terminal_series_system():
+    # 0-1-2 in series, undirected: Pr[0 and 2 connected] = 0.6 * 0.7
+    g = UncertainGraph.from_edges(3, [(0, 1, 0.6), (1, 2, 0.7)], directed=False)
+    assert exact_value(g, NetworkReliabilityQuery([0, 2])) == pytest.approx(0.42)
+
+
+def test_two_terminal_parallel_system():
+    # two parallel 0-1 edges: 1 - (1-0.5)(1-0.5) = 0.75
+    g = UncertainGraph.from_edges(2, [(0, 1, 0.5), (0, 1, 0.5)], directed=False)
+    assert exact_value(g, NetworkReliabilityQuery([0, 1])) == pytest.approx(0.75)
+
+
+def test_three_terminal_star(small_star):
+    # all three leaves connected to hub: need their three spokes, p=0.3^3;
+    # terminals = hub + 3 leaves -> need those 3 spokes.
+    q = NetworkReliabilityQuery([0, 1, 2, 3])
+    assert exact_value(small_star, q) == pytest.approx(0.3**3)
+
+
+def test_directed_rooted_semantics(tiny_path):
+    # directed path 0->1->2->3 with p=0.5: Pr[all of {0,3} reachable from 0]
+    q = NetworkReliabilityQuery([0, 3])
+    assert exact_value(tiny_path, q) == pytest.approx(0.125)
+
+
+def test_terminal_validation(fig1_graph):
+    with pytest.raises(QueryError):
+        NetworkReliabilityQuery([1])
+    with pytest.raises(QueryError):
+        NetworkReliabilityQuery([1, 1])
+    with pytest.raises(QueryError):
+        NetworkReliabilityQuery([0, 50]).validate(fig1_graph)
+
+
+def test_root_is_first_listed_terminal(fig1_graph):
+    q = NetworkReliabilityQuery([3, 1])
+    assert q.root == 3
+    assert q.bfs_sources(fig1_graph).tolist() == [3]
+
+
+def test_cut_constant_definition_51(small_grid):
+    from repro.graph.enumerate import enumerate_worlds
+
+    q = NetworkReliabilityQuery([0, 8])
+    st = EdgeStatuses(small_grid).pin([0], [PRESENT])
+    cut = q.cut_set(small_grid, st, None)
+    child = st.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+    constant = q.cut_constant(small_grid, child, None)
+    values = {
+        q.evaluate(small_grid, mask) for mask, w in enumerate_worlds(child) if w > 0
+    }
+    assert values == {constant}
+
+
+def test_evaluate_on_partial_component():
+    g = UncertainGraph.from_edges(
+        4, [(0, 1, 0.9), (2, 3, 0.9)], directed=False
+    )
+    q = NetworkReliabilityQuery([0, 3])
+    # the two components can never join
+    assert exact_value(g, q) == 0.0

@@ -1,0 +1,193 @@
+"""Tests for the traversal kernels, including networkx oracle properties."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.world import sample_edge_masks
+from repro.queries.traversal import (
+    INF,
+    bfs_edge_order,
+    bfs_levels,
+    reachable_count,
+    reachable_mask,
+    st_distance,
+)
+
+
+def _nx_world(graph, mask):
+    G = nx.DiGraph() if graph.directed else nx.Graph()
+    G.add_nodes_from(range(graph.n_nodes))
+    for e in np.flatnonzero(mask):
+        G.add_edge(int(graph.src[e]), int(graph.dst[e]))
+    return G
+
+
+# ---------------------------------------------------------------------- #
+# deterministic unit tests
+# ---------------------------------------------------------------------- #
+
+
+def test_reachable_mask_full_world(fig1_graph):
+    mask = np.ones(8, dtype=bool)
+    assert reachable_mask(fig1_graph, mask, 0).all()
+
+
+def test_reachable_mask_empty_world(fig1_graph):
+    mask = np.zeros(8, dtype=bool)
+    reached = reachable_mask(fig1_graph, mask, 0)
+    assert reached.tolist() == [True, False, False, False, False]
+
+
+def test_reachable_count_excludes_sources_by_default(fig1_graph):
+    mask = np.ones(8, dtype=bool)
+    assert reachable_count(fig1_graph, mask, 0) == 4
+    assert reachable_count(fig1_graph, mask, 0, include_sources=True) == 5
+
+
+def test_multi_source_reachability(fig1_graph):
+    mask = np.zeros(8, dtype=bool)
+    mask[fig1_graph.edge_index(0, 1)] = True  # only v1->v2 present
+    reached = reachable_mask(fig1_graph, mask, [0, 2])
+    assert reached.tolist() == [True, True, True, False, False]
+    assert reachable_count(fig1_graph, mask, [0, 2]) == 1
+
+
+def test_st_distance_basic(fig1_graph):
+    mask = np.ones(8, dtype=bool)
+    assert st_distance(fig1_graph, mask, 0, 4) == 3.0
+    assert st_distance(fig1_graph, mask, 0, 0) == 0.0
+    mask[:] = False
+    assert st_distance(fig1_graph, mask, 0, 4) == INF
+
+
+def test_bfs_levels(fig1_graph):
+    mask = np.ones(8, dtype=bool)
+    levels = bfs_levels(fig1_graph, mask, 0)
+    assert levels.tolist() == [0.0, 1.0, 1.0, 2.0, 3.0]
+
+
+def test_bfs_levels_unreachable_inf(tiny_path):
+    mask = np.array([True, False, True])
+    levels = bfs_levels(tiny_path, mask, 0)
+    assert levels[1] == 1.0
+    assert math.isinf(levels[2])
+    assert math.isinf(levels[3])
+
+
+def test_bfs_edge_order_from_query_node(fig1_graph):
+    order = bfs_edge_order(fig1_graph, 0)
+    # first the two out-edges of v1, then edges discovered at v2/v3, etc.
+    assert order[:2].tolist() == [0, 1]
+    assert len(order) == 8  # whole component
+
+
+def test_bfs_edge_order_limit(fig1_graph):
+    order = bfs_edge_order(fig1_graph, 0, limit=3)
+    assert len(order) == 3
+    assert order[:2].tolist() == [0, 1]
+
+
+def test_bfs_edge_order_blocked_edges(fig1_graph):
+    blocked = np.zeros(8, dtype=bool)
+    blocked[fig1_graph.edge_index(0, 1)] = True  # kill v1->v2
+    order = bfs_edge_order(fig1_graph, 0, blocked_edges=blocked)
+    assert fig1_graph.edge_index(0, 1) not in order.tolist()
+    # v2's edges only reachable through v5->v2 now
+    assert fig1_graph.edge_index(0, 2) == order[0]
+
+
+def test_bfs_edge_order_collect_only_free(fig1_graph):
+    only = np.zeros(8, dtype=bool)
+    only[[3, 4]] = True
+    order = bfs_edge_order(fig1_graph, 0, collect_only_free=only)
+    assert set(order.tolist()) == {3, 4}
+
+
+def test_bfs_edge_order_multi_source(fig1_graph):
+    order = bfs_edge_order(fig1_graph, [0, 4], limit=3)
+    # v5's out-edge (id 7) is discovered at depth 0 alongside v1's
+    assert 7 in order.tolist()
+
+
+# ---------------------------------------------------------------------- #
+# property tests vs networkx
+# ---------------------------------------------------------------------- #
+
+graph_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _random_graph(seed: int) -> UncertainGraph:
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, 12))
+    directed = bool(gen.integers(0, 2))
+    max_m = n * (n - 1) if directed else n * (n - 1) // 2
+    m = int(gen.integers(1, min(max_m, 25) + 1))
+    from repro.graph.generators import erdos_renyi
+
+    return erdos_renyi(n, m, rng=gen, directed=directed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=graph_seeds, world_seed=graph_seeds)
+def test_reachability_matches_networkx(seed, world_seed):
+    graph = _random_graph(seed)
+    mask = sample_edge_masks(EdgeStatuses(graph), 1, rng=world_seed)[0]
+    G = _nx_world(graph, mask)
+    gen = np.random.default_rng(world_seed + 1)
+    source = int(gen.integers(0, graph.n_nodes))
+    ours = set(np.flatnonzero(reachable_mask(graph, mask, source)))
+    theirs = set(nx.descendants(G, source)) | {source}
+    assert ours == theirs
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=graph_seeds, world_seed=graph_seeds)
+def test_distance_matches_networkx(seed, world_seed):
+    graph = _random_graph(seed)
+    mask = sample_edge_masks(EdgeStatuses(graph), 1, rng=world_seed)[0]
+    G = _nx_world(graph, mask)
+    gen = np.random.default_rng(world_seed + 1)
+    s = int(gen.integers(0, graph.n_nodes))
+    t = int(gen.integers(0, graph.n_nodes))
+    ours = st_distance(graph, mask, s, t)
+    try:
+        theirs = float(nx.shortest_path_length(G, s, t))
+    except nx.NetworkXNoPath:
+        theirs = INF
+    assert ours == theirs
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=graph_seeds, world_seed=graph_seeds)
+def test_levels_match_networkx(seed, world_seed):
+    graph = _random_graph(seed)
+    mask = sample_edge_masks(EdgeStatuses(graph), 1, rng=world_seed)[0]
+    G = _nx_world(graph, mask)
+    source = 0
+    ours = bfs_levels(graph, mask, source)
+    theirs = nx.single_source_shortest_path_length(G, source)
+    for node in range(graph.n_nodes):
+        if node in theirs:
+            assert ours[node] == float(theirs[node])
+        else:
+            assert math.isinf(ours[node])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=graph_seeds)
+def test_bfs_edge_order_covers_component(seed):
+    graph = _random_graph(seed)
+    order = bfs_edge_order(graph, 0)
+    assert len(set(order.tolist())) == len(order)
+    # every collected edge has a tail reachable from node 0 in the full graph
+    full = np.ones(graph.n_edges, dtype=bool)
+    reached = reachable_mask(graph, full, 0)
+    for e in order:
+        u, v = int(graph.src[e]), int(graph.dst[e])
+        assert reached[u] or (not graph.directed and reached[v])

@@ -1,0 +1,106 @@
+"""Tests for weighted shortest-path distances and weighted Eq. 22 queries."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NMC, RCSS
+from repro.errors import QueryError
+from repro.graph.generators import erdos_renyi
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.world import sample_edge_masks
+from repro.queries.distance import ReliableDistanceQuery, ThresholdDistanceQuery
+from repro.queries.exact import exact_value
+from repro.queries.traversal import INF, st_weighted_distance
+
+
+@pytest.fixture
+def weighted_diamond():
+    g = UncertainGraph.from_edges(
+        4,
+        [(0, 1, 0.9), (1, 3, 0.9), (0, 2, 0.9), (2, 3, 0.9), (0, 3, 0.9)],
+        directed=True,
+    )
+    weights = np.array([1.0, 1.0, 2.0, 2.0, 5.0])
+    return g, weights
+
+
+def test_weighted_distance_prefers_cheap_route(weighted_diamond):
+    g, w = weighted_diamond
+    full = np.ones(5, dtype=bool)
+    assert st_weighted_distance(g, full, w, 0, 3) == 2.0  # via node 1
+    # kill the cheap route: via node 2 costs 4
+    mask = full.copy()
+    mask[0] = False
+    assert st_weighted_distance(g, mask, w, 0, 3) == 4.0
+    # only the direct edge
+    mask = np.zeros(5, dtype=bool)
+    mask[4] = True
+    assert st_weighted_distance(g, mask, w, 0, 3) == 5.0
+
+
+def test_weighted_distance_unreachable(weighted_diamond):
+    g, w = weighted_diamond
+    assert math.isinf(st_weighted_distance(g, np.zeros(5, bool), w, 0, 3))
+    assert st_weighted_distance(g, np.zeros(5, bool), w, 2, 2) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_weighted_distance_matches_networkx(seed):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, 10))
+    m = int(gen.integers(1, min(20, n * (n - 1)) + 1))
+    graph = erdos_renyi(n, m, rng=gen, directed=True)
+    weights = gen.uniform(0.1, 5.0, size=m)
+    mask = sample_edge_masks(EdgeStatuses(graph), 1, rng=seed)[0]
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    for e in np.flatnonzero(mask):
+        G.add_edge(int(graph.src[e]), int(graph.dst[e]), w=float(weights[e]))
+    s, t = int(gen.integers(0, n)), int(gen.integers(0, n))
+    ours = st_weighted_distance(graph, mask, weights, s, t)
+    try:
+        theirs = nx.dijkstra_path_length(G, s, t, weight="w")
+    except nx.NetworkXNoPath:
+        theirs = INF
+    assert ours == pytest.approx(theirs)
+
+
+def test_weighted_reliable_distance_query_exact(weighted_diamond):
+    g, w = weighted_diamond
+    query = ReliableDistanceQuery(0, 3, weights=w)
+    exact = exact_value(g, query)
+    assert 2.0 <= exact <= 5.0
+    estimate = NMC().estimate(g, query, 4000, rng=1).value
+    assert estimate == pytest.approx(exact, abs=0.08)
+
+
+def test_weighted_query_with_rcss(weighted_diamond):
+    g, w = weighted_diamond
+    query = ReliableDistanceQuery(0, 3, weights=w)
+    exact = exact_value(g, query)
+    estimate = RCSS(tau_samples=4, tau_edges=1).estimate(g, query, 4000, rng=2).value
+    assert estimate == pytest.approx(exact, abs=0.08)
+
+
+def test_weighted_threshold_query(weighted_diamond):
+    g, w = weighted_diamond
+    query = ThresholdDistanceQuery(0, 3, 2.0, weights=w)
+    # Pr[d <= 2] = Pr[cheap route open] = 0.81
+    assert exact_value(g, query) == pytest.approx(0.81)
+
+
+def test_weight_validation(weighted_diamond):
+    g, _ = weighted_diamond
+    with pytest.raises(QueryError):
+        ReliableDistanceQuery(0, 3, weights=np.array([[1.0]]))
+    with pytest.raises(QueryError):
+        ReliableDistanceQuery(0, 3, weights=np.array([-1.0] * 5))
+    q = ReliableDistanceQuery(0, 3, weights=np.ones(3))
+    with pytest.raises(QueryError):
+        q.validate(g)

@@ -1,0 +1,125 @@
+"""End-to-end integration tests tying substrate, queries and estimators together.
+
+These mirror how a downstream user exercises the library: build or load an
+uncertain graph, pose the paper's queries, run several estimators, and check
+estimates and the headline accuracy ordering against exact ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BFSSelection,
+    Comparison,
+    InfluenceQuery,
+    NetworkReliabilityQuery,
+    ReliableDistanceQuery,
+    ThresholdDistanceQuery,
+    ThresholdInfluenceQuery,
+    UncertainGraph,
+    exact_value,
+    generators,
+    make_estimator,
+    make_paper_estimators,
+    read_edge_tsv,
+    write_edge_tsv,
+)
+from repro.core import NMC, RCSS, RSS1
+from repro.rng import spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    """Big enough to stratify meaningfully, small enough to enumerate: 14 edges."""
+    return generators.erdos_renyi(8, 14, rng=99, directed=True)
+
+
+def _empirical_variance(graph, query, estimator, n_samples, n_repeats, seed):
+    values = np.array(
+        [
+            estimator.estimate(graph, query, n_samples, rng=r).value
+            for r in spawn_rngs(seed, n_repeats)
+        ]
+    )
+    return float(values.var(ddof=1))
+
+
+def test_every_paper_estimator_agrees_with_exact(medium_graph):
+    query = InfluenceQuery(4)  # node 4 has the largest out-degree
+    exact = exact_value(medium_graph, query)
+    for name, estimator in make_paper_estimators().items():
+        estimate = estimator.estimate(medium_graph, query, 4000, rng=5).value
+        assert estimate == pytest.approx(exact, abs=0.35), name
+
+
+def test_headline_ordering_rcss_beats_rss_beats_nmc(medium_graph):
+    """The paper's Table V ordering on an exactly-checkable instance."""
+    query = InfluenceQuery(4)  # anchored at a high-out-degree node
+    n_samples, n_repeats = 120, 600
+    var_nmc = _empirical_variance(medium_graph, query, NMC(), n_samples, n_repeats, 1)
+    var_rss = _empirical_variance(
+        medium_graph, query, RSS1(r=3, tau=5, selection=BFSSelection()),
+        n_samples, n_repeats, 1,
+    )
+    var_rcss = _empirical_variance(
+        medium_graph, query, RCSS(tau_samples=4, tau_edges=4), n_samples, n_repeats, 1
+    )
+    assert var_rss < var_nmc
+    assert var_rcss < var_nmc
+    assert var_rcss < 0.5 * var_nmc  # cut-set stratification is a big win
+
+
+def test_influence_and_threshold_consistency(medium_graph):
+    """Pr[spread >= k] summed over k recovers E[spread] (layer-cake)."""
+    exact_spread = exact_value(medium_graph, InfluenceQuery(4))
+    layer_cake = sum(
+        exact_value(medium_graph, ThresholdInfluenceQuery(4, k))
+        for k in range(1, medium_graph.n_nodes)
+    )
+    assert layer_cake == pytest.approx(exact_spread)
+
+
+def test_distance_pipeline_roundtrip(tmp_path, medium_graph):
+    """Persist a graph, reload it, and estimate a distance query on the copy."""
+    path = tmp_path / "graph.tsv"
+    write_edge_tsv(medium_graph, path)
+    reloaded = read_edge_tsv(path)
+    query = ReliableDistanceQuery(0, 5)
+    exact = exact_value(medium_graph, query)
+    if exact == exact:  # reachable pair
+        estimate = RCSS().estimate(reloaded, query, 4000, rng=3).value
+        assert estimate == pytest.approx(exact, abs=0.2)
+
+
+def test_threshold_distance_matches_exact(medium_graph):
+    query = ThresholdDistanceQuery(0, 5, 3, comparison=Comparison.LE)
+    exact = exact_value(medium_graph, query)
+    estimate = make_estimator("BCSS").estimate(medium_graph, query, 4000, rng=9).value
+    assert estimate == pytest.approx(exact, abs=0.05)
+
+
+def test_reliability_grid_with_all_estimators(small_grid):
+    query = NetworkReliabilityQuery([0, 8])
+    exact = exact_value(small_grid, query)
+    for name in ("NMC", "RSSIR", "BSSIIB", "RCSS"):
+        estimator = make_estimator(name)
+        estimate = estimator.estimate(small_grid, query, 4000, rng=2).value
+        assert estimate == pytest.approx(exact, abs=0.05), name
+
+
+def test_virtual_source_construction_end_to_end(fig1_graph):
+    """Multi-seed influence via the paper's virtual-node trick, estimated."""
+    seeds = [1, 2]
+    augmented, virtual = fig1_graph.with_virtual_source(seeds)
+    direct = exact_value(fig1_graph, InfluenceQuery(seeds, include_seeds=True))
+    estimate = RCSS().estimate(augmented, InfluenceQuery(virtual), 6000, rng=8).value
+    assert estimate == pytest.approx(direct, abs=0.15)
+
+
+def test_undirected_pipeline(small_grid):
+    """Undirected graphs run through the full estimator stack unchanged."""
+    query = InfluenceQuery(4)  # centre of the 3x3 grid
+    exact = exact_value(small_grid, query)
+    for name in ("NMC", "RSSIB", "RCSS"):
+        estimate = make_estimator(name).estimate(small_grid, query, 3000, rng=4).value
+        assert estimate == pytest.approx(exact, abs=0.3), name

@@ -1,0 +1,40 @@
+"""The README-level public API surface must exist and behave as documented."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_docstring_example():
+    from repro import InfluenceQuery, RCSS, generators
+
+    graph = generators.paper_running_example()
+    result = RCSS().estimate(graph, InfluenceQuery(seeds=0), n_samples=1000, rng=7)
+    assert 0.0 <= result.value <= 4.0
+
+
+def test_exception_hierarchy():
+    assert issubclass(repro.GraphError, repro.ReproError)
+    assert issubclass(repro.EstimatorError, repro.ReproError)
+    assert issubclass(repro.ProbabilityError, repro.GraphError)
+
+
+def test_paper_estimator_names_exported():
+    assert len(repro.PAPER_ESTIMATORS) == 12
+    est = repro.make_estimator("RCSS")
+    assert isinstance(est, repro.RCSS)
+
+
+def test_graph_constants():
+    assert repro.FREE == -1
+    assert repro.ABSENT == 0
+    assert repro.PRESENT == 1

@@ -1,0 +1,149 @@
+"""Tests for array utilities, validation helpers and RNG plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError, ProbabilityError
+from repro.rng import derive_seed, resolve_rng, seeds_for, spawn_rngs
+from repro.utils.arrays import gather_ranges, normalize, stable_cumsum
+from repro.utils.validation import (
+    check_edge_endpoints,
+    check_node_index,
+    check_positive_int,
+    check_probabilities,
+)
+
+
+# ----------------------------- arrays ----------------------------- #
+
+
+def test_gather_ranges_basic():
+    out = gather_ranges(np.array([0, 5]), np.array([2, 8]))
+    assert out.tolist() == [0, 1, 5, 6, 7]
+
+
+def test_gather_ranges_empty_blocks():
+    out = gather_ranges(np.array([3, 3, 7]), np.array([3, 5, 7]))
+    assert out.tolist() == [3, 4]
+
+
+def test_gather_ranges_all_empty():
+    assert gather_ranges(np.array([1, 2]), np.array([1, 2])).size == 0
+    assert gather_ranges(np.array([], dtype=int), np.array([], dtype=int)).size == 0
+
+
+def test_gather_ranges_guards():
+    with pytest.raises(ValueError):
+        gather_ranges(np.array([2]), np.array([1]))
+    with pytest.raises(ValueError):
+        gather_ranges(np.array([1, 2]), np.array([3]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 20)), min_size=0, max_size=10
+    )
+)
+def test_gather_ranges_matches_naive(blocks):
+    starts = np.array([s for s, _ in blocks], dtype=np.int64)
+    ends = np.array([s + w for s, w in blocks], dtype=np.int64)
+    expected = [i for s, w in blocks for i in range(s, s + w)]
+    assert gather_ranges(starts, ends).tolist() == expected
+
+
+def test_normalize():
+    assert normalize(np.array([2.0, 2.0])).tolist() == [0.5, 0.5]
+    with pytest.raises(ValueError):
+        normalize(np.array([0.0, 0.0]))
+
+
+def test_stable_cumsum_pins_total():
+    values = np.full(10, 0.1)
+    out = stable_cumsum(values)
+    assert out[-1] == values.sum()
+    assert stable_cumsum(np.array([])).size == 0
+
+
+# --------------------------- validation --------------------------- #
+
+
+def test_check_probabilities():
+    out = check_probabilities([0.0, 0.5, 1.0])
+    assert out.dtype == np.float64
+    with pytest.raises(ProbabilityError):
+        check_probabilities([[0.5]])
+    with pytest.raises(ProbabilityError):
+        check_probabilities([2.0])
+
+
+def test_check_edge_endpoints():
+    check_edge_endpoints(np.array([0]), np.array([1]), 2)
+    with pytest.raises(GraphError):
+        check_edge_endpoints(np.array([0]), np.array([2]), 2)
+    with pytest.raises(GraphError):
+        check_edge_endpoints(np.array([0, 1]), np.array([1]), 2)
+
+
+def test_check_positive_int():
+    assert check_positive_int(3, "x") == 3
+    with pytest.raises(ValueError):
+        check_positive_int(0, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(1.5, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(True, "x")
+
+
+def test_check_node_index():
+    assert check_node_index(2, 5) == 2
+    with pytest.raises(ValueError):
+        check_node_index(5, 5)
+    with pytest.raises(TypeError):
+        check_node_index("a", 5)
+
+
+# ------------------------------ rng ------------------------------ #
+
+
+def test_resolve_rng_variants():
+    gen = np.random.default_rng(0)
+    assert resolve_rng(gen) is gen
+    assert isinstance(resolve_rng(5), np.random.Generator)
+    assert isinstance(resolve_rng(None), np.random.Generator)
+    assert isinstance(resolve_rng(np.random.SeedSequence(1)), np.random.Generator)
+    with pytest.raises(TypeError):
+        resolve_rng("seed")
+
+
+def test_same_seed_same_stream():
+    a = resolve_rng(42).random(5)
+    b = resolve_rng(42).random(5)
+    assert a.tolist() == b.tolist()
+
+
+def test_spawn_rngs_independent_and_reproducible():
+    first = [g.random() for g in spawn_rngs(7, 4)]
+    second = [g.random() for g in spawn_rngs(7, 4)]
+    assert first == second
+    assert len(set(first)) == 4
+
+
+def test_spawn_from_generator_advances():
+    gen = np.random.default_rng(3)
+    a = [g.random() for g in spawn_rngs(gen, 2)]
+    b = [g.random() for g in spawn_rngs(gen, 2)]
+    assert a != b  # fresh children each call
+
+
+def test_spawn_negative():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_derive_seed_and_seeds_for():
+    assert derive_seed(1) == derive_seed(1)
+    named = seeds_for(2, ["a", "b"])
+    assert set(named) == {"a", "b"}
+    assert named["a"] != named["b"]
