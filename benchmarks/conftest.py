@@ -19,6 +19,12 @@ from repro.experiments.config import ExperimentConfig
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark the whole benchmark suite ``tier2`` (registered in pyproject.toml)."""
+    for item in items:
+        item.add_marker(pytest.mark.tier2)
+
 #: Laptop-scale defaults for the accuracy (relative-variance) tables.
 ACCURACY_DEFAULTS = dict(sample_size=250, n_runs=30, n_queries=2, scale=0.01)
 #: Defaults for the timing tables (variance precision not needed).

@@ -1,0 +1,11 @@
+"""Micro-benchmark harness for the traversal engine (``repro-bench``).
+
+Times the scalar one-world-at-a-time kernels against the batched
+multi-world engine on the surrogate datasets and records the results in a
+machine-readable ``BENCH_traversal.json`` so the performance trajectory of
+the hot path is tracked from PR to PR.
+"""
+
+from repro.bench.harness import BENCH_FIELDS, BenchRecord, run_benchmarks
+
+__all__ = ["BENCH_FIELDS", "BenchRecord", "run_benchmarks"]

@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — alias for the ``repro-bench`` console script."""
+
+import sys
+
+from repro.bench.cli import main
+
+sys.exit(main())

@@ -1,0 +1,79 @@
+"""Command-line entry point: ``repro-bench`` / ``python -m repro.bench``.
+
+Times the scalar one-world-at-a-time traversal kernels against the batched
+multi-world engine (:mod:`repro.queries.batch`) on a surrogate dataset and
+writes the machine-readable artefact ``BENCH_traversal.json``::
+
+    repro-bench                         # condmat surrogate @0.25, 1000 worlds
+    repro-bench --graph facebook --scale 1.0
+    repro-bench --smoke                 # ~1 s sanity run (tier-1 CI)
+
+The JSON schema is documented in :mod:`repro.bench.harness` and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import GRAPHS, run_benchmarks
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark scalar vs batched traversal kernels on "
+        "surrogate uncertain graphs.",
+    )
+    parser.add_argument(
+        "--graph", choices=sorted(GRAPHS), default="condmat",
+        help="surrogate dataset recipe (default: condmat)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="graph scale factor relative to the published size (default: 0.25)",
+    )
+    parser.add_argument(
+        "--worlds", type=int, default=1000,
+        help="number of sampled worlds W per kernel (default: 1000)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world-sampling seed")
+    parser.add_argument(
+        "--output", type=str, default="BENCH_traversal.json",
+        help="output JSON path (default: BENCH_traversal.json in the cwd)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graph and world count; finishes in about a second",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.worlds <= 0:
+        print("repro-bench: --worlds must be positive", file=sys.stderr)
+        return 2
+    if args.scale <= 0:
+        print("repro-bench: --scale must be positive", file=sys.stderr)
+        return 2
+    try:
+        run_benchmarks(
+            graph_name=args.graph,
+            scale=args.scale,
+            n_worlds=args.worlds,
+            seed=args.seed,
+            output=args.output,
+            smoke=args.smoke,
+        )
+    except ReproError as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Timing harness: scalar vs batched traversal kernels.
+
+Every record is a flat dict with the fields of :data:`BENCH_FIELDS`::
+
+    kernel          which code path was timed (e.g. "nmc_influence_batch")
+    graph           surrogate dataset name, e.g. "facebook@1.0"
+    W               number of worlds evaluated
+    m               number of edges of the benchmark graph
+    seconds         wall-clock seconds for all W worlds
+    worlds_per_sec  W / seconds
+
+Batched records additionally carry ``speedup_vs_scalar`` when the matching
+scalar record was timed in the same run.  The JSON artefact written by
+:func:`run_benchmarks` (``BENCH_traversal.json`` at the repo root by
+convention) wraps the records with the run configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.nmc import NMC
+from repro.datasets.surrogates import condmat_like, dblp_like, facebook_like
+from repro.errors import ReproError
+from repro.graph.bitsets import pack_masks
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.world import sample_edge_masks
+from repro.queries.batch import (
+    reachable_counts_batch,
+    scalar_fallback,
+    st_distances_batch,
+)
+from repro.queries.influence import InfluenceQuery
+from repro.queries.traversal import reachable_count, st_distance
+
+#: Required fields of every benchmark record.
+BENCH_FIELDS = ("kernel", "graph", "W", "m", "seconds", "worlds_per_sec")
+
+#: Surrogate recipes addressable from the CLI.
+GRAPHS: Dict[str, Callable] = {
+    "facebook": facebook_like,
+    "condmat": condmat_like,
+    "dblp": dblp_like,
+}
+
+
+@dataclass
+class BenchRecord:
+    """One timed kernel run (see module docstring for field semantics)."""
+
+    kernel: str
+    graph: str
+    W: int
+    m: int
+    seconds: float
+    worlds_per_sec: float
+    speedup_vs_scalar: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "kernel": self.kernel,
+            "graph": self.graph,
+            "W": self.W,
+            "m": self.m,
+            "seconds": self.seconds,
+            "worlds_per_sec": self.worlds_per_sec,
+        }
+        if self.speedup_vs_scalar is not None:
+            out["speedup_vs_scalar"] = self.speedup_vs_scalar
+        return out
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _record(kernel: str, graph_label: str, n_worlds: int, m: int, seconds: float) -> BenchRecord:
+    per_sec = n_worlds / seconds if seconds > 0 else float("inf")
+    return BenchRecord(kernel, graph_label, n_worlds, m, seconds, per_sec)
+
+
+def _bench_pair(
+    records: List[BenchRecord],
+    graph_label: str,
+    n_worlds: int,
+    m: int,
+    name: str,
+    scalar_fn: Callable[[], object],
+    batch_fn: Callable[[], object],
+    log: Callable[[str], None],
+) -> None:
+    """Time a scalar/batched kernel pair and append both records."""
+    scalar = _record(f"{name}_scalar", graph_label, n_worlds, m, _timed(scalar_fn))
+    batched = _record(f"{name}_batch", graph_label, n_worlds, m, _timed(batch_fn))
+    if batched.seconds > 0:
+        batched.speedup_vs_scalar = scalar.seconds / batched.seconds
+    records.extend([scalar, batched])
+    log(
+        f"  {name:<18s} scalar {scalar.seconds:8.3f}s "
+        f"({scalar.worlds_per_sec:10.1f} worlds/s) | batch {batched.seconds:8.3f}s "
+        f"({batched.worlds_per_sec:10.1f} worlds/s) | "
+        f"speedup {batched.speedup_vs_scalar:6.2f}x"
+    )
+
+
+def _anchor_nodes(graph: UncertainGraph) -> tuple:
+    """Deterministic benchmark anchors: the two highest out-degree nodes."""
+    degrees = np.diff(graph.adjacency.indptr)
+    order = np.argsort(degrees, kind="stable")
+    return int(order[-1]), int(order[-2])
+
+
+def run_benchmarks(
+    graph_name: str = "condmat",
+    scale: float = 0.25,
+    n_worlds: int = 1000,
+    seed: int = 7,
+    output: Optional[str] = "BENCH_traversal.json",
+    smoke: bool = False,
+    log: Callable[[str], None] = print,
+) -> dict:
+    """Run the traversal micro-benchmarks; return (and optionally write) the payload.
+
+    ``smoke`` shrinks the graph and world count so the harness finishes in
+    about a second — used by the tier-1 smoke test to keep the entry point
+    from rotting.
+    """
+    if graph_name not in GRAPHS:
+        raise ReproError(f"unknown benchmark graph {graph_name!r}; choose from {sorted(GRAPHS)}")
+    if smoke:
+        scale = min(scale, 0.02)
+        n_worlds = min(n_worlds, 32)
+    graph = GRAPHS[graph_name](scale=scale)
+    graph_label = f"{graph_name}@{scale:g}"
+    m = graph.n_edges
+    log(
+        f"repro-bench: {graph_label} (n={graph.n_nodes}, m={m}, "
+        f"{'directed' if graph.directed else 'undirected'}), W={n_worlds}, seed={seed}"
+    )
+
+    masks = sample_edge_masks(EdgeStatuses(graph), n_worlds, rng=seed)
+    source, target = _anchor_nodes(graph)
+    seeds = np.asarray([source], dtype=np.int64)
+    records: List[BenchRecord] = []
+
+    _bench_pair(
+        records, graph_label, n_worlds, m, "reachable_counts",
+        lambda: [reachable_count(graph, masks[i], seeds) for i in range(n_worlds)],
+        lambda: reachable_counts_batch(graph, masks, seeds),
+        log,
+    )
+    _bench_pair(
+        records, graph_label, n_worlds, m, "st_distances",
+        lambda: [st_distance(graph, masks[i], source, target) for i in range(n_worlds)],
+        lambda: st_distances_batch(graph, masks, source, target),
+        log,
+    )
+
+    packed = pack_masks(masks)
+    packed_rec = _record(
+        "reachable_counts_batch_packed", graph_label, n_worlds, m,
+        _timed(lambda: reachable_counts_batch(graph, packed, seeds)),
+    )
+    records.append(packed_rec)
+    log(
+        f"  {'(bit-packed)':<18s} batch  {packed_rec.seconds:8.3f}s "
+        f"({packed_rec.worlds_per_sec:10.1f} worlds/s)"
+    )
+
+    # End-to-end: NMC influence evaluation through the estimator stack.
+    query = InfluenceQuery(seeds)
+
+    def nmc_scalar():
+        with scalar_fallback():
+            return NMC().estimate(graph, query, n_worlds, rng=seed)
+
+    _bench_pair(
+        records, graph_label, n_worlds, m, "nmc_influence",
+        nmc_scalar,
+        lambda: NMC().estimate(graph, query, n_worlds, rng=seed),
+        log,
+    )
+
+    payload = {
+        "version": 1,
+        "generated_by": "repro-bench",
+        "config": {
+            "graph": graph_name,
+            "scale": scale,
+            "n_worlds": n_worlds,
+            "seed": seed,
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "records": [r.to_dict() for r in records],
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        log(f"wrote {len(records)} records to {output}")
+    return payload
+
+
+__all__ = ["BENCH_FIELDS", "GRAPHS", "BenchRecord", "run_benchmarks"]

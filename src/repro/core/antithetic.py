@@ -39,24 +39,27 @@ class AntitheticNMC(Estimator):
         base = statuses.present_mask()
         probs = graph.prob[free]
         n_pairs = (n_samples + 1) // 2
-        num = 0.0
-        den = 0.0
+        if n_samples <= 0:
+            raise EstimatorError("antithetic sampling needs a positive budget")
+        # Build the whole block of mirrored worlds first, then evaluate it in
+        # one batched sweep.
+        masks = np.broadcast_to(base, (n_samples, graph.n_edges)).copy()
         evaluated = 0
         for _ in range(n_pairs):
             u = rng.random(free.size)
             for draw in (u, 1.0 - u):
                 if evaluated == n_samples:
                     break
-                mask = base.copy()
                 if free.size:
-                    mask[free] = draw < probs
-                a, b = query.evaluate_pair(graph, mask)
-                num += a
-                den += b
+                    masks[evaluated, free] = draw < probs
                 evaluated += 1
+        nums, dens = query.evaluate_pairs(graph, masks)
+        num = 0.0
+        den = 0.0
+        for a, b in zip(nums.tolist(), dens.tolist()):
+            num += a
+            den += b
         counter.add(evaluated)
-        if evaluated == 0:
-            raise EstimatorError("antithetic sampling needs a positive budget")
         return num / evaluated, den / evaluated
 
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
-from repro.graph.world import iter_edge_masks
+from repro.graph.world import iter_mask_blocks, sample_edge_masks
 from repro.queries.base import Query
 from repro.core.result import EstimateResult, WorldCounter
 from repro.rng import RngLike, resolve_rng
@@ -50,16 +50,22 @@ def sample_mean_pair(
     """Plain Monte-Carlo mean of the query pair under a partial assignment.
 
     This is the terminal step of every recursion (Algorithm 2 lines 3–7,
-    Algorithm 4 lines 5–9) and the whole of NMC.
+    Algorithm 4 lines 5–9) and the whole of NMC.  Worlds are sampled and
+    evaluated in whole blocks (:func:`repro.graph.world.iter_mask_blocks` ->
+    :meth:`Query.evaluate_pairs`), so traversal-backed queries run all
+    worlds of a block in one batched BFS sweep.  The random stream and the
+    floating-point accumulation order match the historical per-world loop
+    exactly, so same-seed estimates are bit-identical.
     """
     if n_samples <= 0:
         raise EstimatorError("sample_mean_pair needs a positive sample count")
     num = 0.0
     den = 0.0
-    for mask in iter_edge_masks(statuses, n_samples, rng):
-        a, b = query.evaluate_pair(graph, mask)
-        num += a
-        den += b
+    for block in iter_mask_blocks(statuses, n_samples, rng):
+        nums, dens = query.evaluate_pairs(graph, block)
+        for a, b in zip(nums.tolist(), dens.tolist()):
+            num += a
+            den += b
     if counter is not None:
         counter.add(n_samples)
     return num / n_samples, den / n_samples
@@ -89,12 +95,20 @@ def residual_mixture_pair(
         raise EstimatorError("residual mixture needs draws and strata")
     local = weights[indices].astype(np.float64)
     draws = rng.choice(indices, size=n_draws, p=local / local.sum())
+    # Masks must still be drawn one at a time — each draw pins a different
+    # stratum, so the free-edge sets differ — but the query evaluation of
+    # all draws goes through the batched engine in a single sweep.
+    masks = np.empty((n_draws, graph.n_edges), dtype=bool)
+    for i, index in enumerate(draws):
+        masks[i] = sample_edge_masks(child_for(int(index)), 1, rng)[0]
+    nums, dens = query.evaluate_pairs(graph, masks)
     num = 0.0
     den = 0.0
-    for index in draws:
-        a, b = sample_mean_pair(graph, query, child_for(int(index)), 1, rng, counter)
+    for a, b in zip(nums.tolist(), dens.tolist()):
         num += a
         den += b
+    if counter is not None:
+        counter.add(n_draws)
     return num / n_draws, den / n_draws
 
 

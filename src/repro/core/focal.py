@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Estimator, Pair, pair_of, sample_mean_pair
+from repro.core.base import Estimator, Pair, pair_of
 from repro.core.result import WorldCounter
 from repro.core.stratify import cutset_strata, cutset_stratum_statuses
 from repro.errors import EstimatorError
 from repro.graph.statuses import ABSENT, EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
-from repro.graph.world import sample_first_present
+from repro.graph.world import sample_edge_masks, sample_first_present
 from repro.queries.base import CutSetQuery, Query
 
 
@@ -62,14 +62,20 @@ class FocalSampling(Estimator):
         if pi0 >= 1.0:
             return num, den
         # Draw N iid samples from the complement of Omega_0: choose the first
-        # existing cut edge per Eq. (21), then sample the rest freely.
+        # existing cut edge per Eq. (21), then sample the rest freely.  Each
+        # draw pins a different prefix of the cut-set, so masks are built one
+        # at a time, but all N worlds are evaluated in one batched sweep.
         firsts = sample_first_present(graph.prob[cut], n_samples, rng)
-        comp_num = 0.0
-        comp_den = 0.0
-        for first in firsts:
+        masks = np.empty((n_samples, graph.n_edges), dtype=bool)
+        for i, first in enumerate(firsts):
             k = int(first) + 1
             child = statuses.child(cut[:k], cutset_stratum_statuses(k))
-            a, b = sample_mean_pair(graph, query, child, 1, rng, counter)
+            masks[i] = sample_edge_masks(child, 1, rng)[0]
+        nums, dens = query.evaluate_pairs(graph, masks)
+        counter.add(n_samples)
+        comp_num = 0.0
+        comp_den = 0.0
+        for a, b in zip(nums.tolist(), dens.tolist()):
             comp_num += a
             comp_den += b
         weight = 1.0 - pi0

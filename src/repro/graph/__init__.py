@@ -11,7 +11,14 @@ or exhaustively enumerated by :mod:`repro.graph.world` and
 
 from repro.graph.uncertain import UncertainGraph
 from repro.graph.statuses import FREE, ABSENT, PRESENT, EdgeStatuses
-from repro.graph.world import PossibleWorld, sample_edge_masks, sample_world, iter_edge_masks
+from repro.graph.world import (
+    PossibleWorld,
+    sample_edge_masks,
+    sample_world,
+    iter_edge_masks,
+    iter_mask_blocks,
+)
+from repro.graph.bitsets import pack_masks, unpack_masks, popcount_rows, packed_width
 from repro.graph.enumerate import enumerate_worlds, world_probability, count_free_worlds
 from repro.graph import generators
 from repro.graph.io import read_edge_tsv, write_edge_tsv, graph_from_json, graph_to_json
@@ -26,6 +33,11 @@ __all__ = [
     "sample_edge_masks",
     "sample_world",
     "iter_edge_masks",
+    "iter_mask_blocks",
+    "pack_masks",
+    "unpack_masks",
+    "popcount_rows",
+    "packed_width",
     "enumerate_worlds",
     "world_probability",
     "count_free_worlds",

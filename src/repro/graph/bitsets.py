@@ -1,0 +1,92 @@
+"""Bit-packed possible-world blocks.
+
+A block of ``W`` sampled worlds over ``m`` edges is naturally a ``(W, m)``
+boolean array, but at scale (millions of worlds on graphs with hundreds of
+thousands of edges) one byte per coin flip dominates memory traffic.  This
+module packs such blocks into ``(W, ceil(m / 64))`` ``uint64`` words — 8×
+denser — with a fixed little-endian bit convention: edge ``e`` of world
+``w`` lives in bit ``e % 64`` of ``packed[w, e // 64]``, independent of the
+host byte order.
+
+The batched traversal kernels (:mod:`repro.queries.batch`) accept either
+representation, so packed blocks can be stored, shipped between processes,
+or diffed cheaply and only expanded at evaluation time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+
+def packed_width(n_edges: int) -> int:
+    """Number of ``uint64`` words needed to hold ``n_edges`` mask bits."""
+    if n_edges < 0:
+        raise GraphError("n_edges must be non-negative")
+    return (int(n_edges) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_masks(masks: np.ndarray) -> np.ndarray:
+    """Pack a ``(W, m)`` boolean block into ``(W, ceil(m/64))`` ``uint64``.
+
+    Trailing pad bits of the last word are always zero, so packed blocks
+    compare equal iff the boolean blocks do.
+    """
+    masks = np.asarray(masks)
+    if masks.ndim != 2:
+        raise GraphError("pack_masks expects a 2-D (n_worlds, n_edges) block")
+    n_worlds, n_edges = masks.shape
+    width = packed_width(n_edges)
+    as_bytes = np.packbits(masks.astype(bool, copy=False), axis=1, bitorder="little")
+    pad = width * (WORD_BITS // 8) - as_bytes.shape[1]
+    if pad:
+        as_bytes = np.concatenate(
+            [as_bytes, np.zeros((n_worlds, pad), dtype=np.uint8)], axis=1
+        )
+    return np.ascontiguousarray(as_bytes).view("<u8")
+
+
+def unpack_masks(packed: np.ndarray, n_edges: int) -> np.ndarray:
+    """Expand a packed block back into a ``(W, n_edges)`` boolean array."""
+    packed = np.ascontiguousarray(np.asarray(packed), dtype="<u8")
+    if packed.ndim != 2:
+        raise GraphError("unpack_masks expects a 2-D packed block")
+    if packed.shape[1] != packed_width(n_edges):
+        raise GraphError(
+            f"packed block has {packed.shape[1]} words; "
+            f"{packed_width(n_edges)} expected for {n_edges} edges"
+        )
+    as_bytes = packed.view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, : int(n_edges)].astype(bool)
+
+
+def popcount_rows(packed: np.ndarray) -> np.ndarray:
+    """Per-world number of present edges of a packed block (``int64``)."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    if packed.ndim != 2:
+        raise GraphError("popcount_rows expects a 2-D packed block")
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(packed).sum(axis=1, dtype=np.int64)
+    as_bytes = np.ascontiguousarray(packed, dtype="<u8").view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1, dtype=np.int64)
+
+
+def is_packed_block(masks: np.ndarray) -> bool:
+    """Whether ``masks`` looks like a packed ``uint64`` block (vs boolean)."""
+    masks = np.asarray(masks)
+    return masks.dtype.kind == "u" and masks.dtype.itemsize == WORD_BITS // 8
+
+
+__all__ = [
+    "WORD_BITS",
+    "packed_width",
+    "pack_masks",
+    "unpack_masks",
+    "popcount_rows",
+    "is_packed_block",
+]

@@ -75,16 +75,20 @@ def sample_edge_masks(
     return masks
 
 
-def iter_edge_masks(
+def iter_mask_blocks(
     statuses: EdgeStatuses,
     n_worlds: int,
     rng: RngLike = None,
     chunk_budget: int = _DEFAULT_CHUNK_BUDGET,
 ) -> Iterator[np.ndarray]:
-    """Yield edge masks one world at a time, drawing randomness in chunks.
+    """Yield ``(chunk, m)`` boolean mask blocks covering ``n_worlds`` worlds.
 
-    Memory stays bounded by ``chunk_budget`` floats even for huge ``n_worlds``
-    on large graphs, while retaining vectorised random generation.
+    This is the feed of the batched evaluation engine: estimators hand each
+    block straight to :meth:`Query.evaluate_pairs
+    <repro.queries.base.Query.evaluate_pairs>` so all worlds of a block are
+    traversed in one BFS sweep.  Memory stays bounded by ``chunk_budget``
+    floats even for huge ``n_worlds`` on large graphs.  The random stream is
+    identical to :func:`iter_edge_masks` for the same arguments.
     """
     gen = resolve_rng(rng)
     graph = statuses.graph
@@ -94,16 +98,37 @@ def iter_edge_masks(
     chunk = max(1, min(n_worlds, chunk_budget // per_world))
     produced = 0
     probs = graph.prob[free]
+    all_free = free.size == graph.n_edges
     while produced < n_worlds:
         take = min(chunk, n_worlds - produced)
-        if free.size:
-            draws = gen.random((take, free.size)) < probs
-        for i in range(take):
-            mask = base.copy()
+        if all_free:
+            # No pinned edges (free is 0..m-1 in order): draw the block
+            # directly instead of scattering into a copied base — the draw
+            # shape matches the general path, so the random stream does too.
+            block = gen.random((take, graph.n_edges)) < probs
+        else:
+            block = np.broadcast_to(base, (take, graph.n_edges)).copy()
             if free.size:
-                mask[free] = draws[i]
-            yield mask
+                block[:, free] = gen.random((take, free.size)) < probs
+        yield block
         produced += take
+
+
+def iter_edge_masks(
+    statuses: EdgeStatuses,
+    n_worlds: int,
+    rng: RngLike = None,
+    chunk_budget: int = _DEFAULT_CHUNK_BUDGET,
+) -> Iterator[np.ndarray]:
+    """Yield edge masks one world at a time, drawing randomness in chunks.
+
+    Thin per-world view over :func:`iter_mask_blocks`; callers that can
+    consume whole blocks should use that directly to hit the batched
+    traversal kernels.
+    """
+    for block in iter_mask_blocks(statuses, n_worlds, rng, chunk_budget):
+        for i in range(block.shape[0]):
+            yield block[i]
 
 
 def sample_world(
@@ -114,7 +139,10 @@ def sample_world(
     """Sample a single :class:`PossibleWorld` (user-facing convenience)."""
     if statuses is None:
         statuses = EdgeStatuses(graph)
-    elif statuses.graph is not graph and statuses.graph != graph:
+    elif statuses.graph is not graph:
+        # Identity only: structural equality on an UncertainGraph is an O(m)
+        # array compare, and "equal but distinct" graphs almost always signal
+        # a caller bug (statuses index into *this* graph's edge array).
         raise EstimatorError("statuses belong to a different graph")
     mask = sample_edge_masks(statuses, 1, rng)[0]
     return PossibleWorld(graph, mask)
@@ -147,6 +175,7 @@ def sample_first_present(
 __all__ = [
     "PossibleWorld",
     "sample_edge_masks",
+    "iter_mask_blocks",
     "iter_edge_masks",
     "sample_world",
     "sample_first_present",

@@ -14,6 +14,14 @@ from repro.queries.base import (
     Comparison,
     UNREACHABLE,
 )
+from repro.queries.batch import (
+    batch_kernels_enabled,
+    scalar_fallback,
+    reachable_masks_batch,
+    reachable_counts_batch,
+    st_distances_batch,
+    threshold_pairs_batch,
+)
 from repro.queries.influence import InfluenceQuery, ThresholdInfluenceQuery
 from repro.queries.distance import ReliableDistanceQuery, ThresholdDistanceQuery
 from repro.queries.reachability import (
@@ -30,6 +38,12 @@ __all__ = [
     "ThresholdQuery",
     "Comparison",
     "UNREACHABLE",
+    "batch_kernels_enabled",
+    "scalar_fallback",
+    "reachable_masks_batch",
+    "reachable_counts_batch",
+    "st_distances_batch",
+    "threshold_pairs_batch",
     "InfluenceQuery",
     "ThresholdInfluenceQuery",
     "ReliableDistanceQuery",

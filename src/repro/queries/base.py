@@ -62,6 +62,40 @@ class Query(ABC):
             return value, 1.0
         return value, 1.0
 
+    # -- batched evaluation protocol ------------------------------------- #
+
+    def evaluate_values(
+        self, graph: UncertainGraph, edge_masks: np.ndarray
+    ) -> np.ndarray:
+        """Values of ``phi_q`` over a ``(W, m)`` block of worlds.
+
+        The default is the scalar loop — correct for every query.  Queries
+        whose evaluation is a traversal override this with the batched
+        kernels of :mod:`repro.queries.batch`, which run all ``W`` BFS
+        sweeps at once; estimators hand whole sampled blocks to
+        :meth:`evaluate_pairs` and inherit the speedup transparently.
+        """
+        edge_masks = np.asarray(edge_masks)
+        return np.array(
+            [self.evaluate(graph, edge_masks[i]) for i in range(edge_masks.shape[0])],
+            dtype=np.float64,
+        )
+
+    def evaluate_pairs(
+        self, graph: UncertainGraph, edge_masks: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-world ``(numerator, denominator)`` arrays for a block of worlds.
+
+        Mirrors :meth:`evaluate_pair` elementwise: conditional queries
+        contribute ``(0, 0)`` for infinite values, everything else
+        ``(value, 1)``.
+        """
+        values = self.evaluate_values(graph, edge_masks)
+        if self.conditional:
+            finite = ~np.isinf(values)
+            return np.where(finite, values, 0.0), finite.astype(np.float64)
+        return values, np.ones_like(values)
+
     def evaluate_world(self, world) -> float:
         """Convenience overload taking a :class:`~repro.graph.world.PossibleWorld`."""
         return self.evaluate(world.graph, world.edge_mask)
@@ -150,6 +184,17 @@ class Comparison(enum.Enum):
             return value < threshold
         return value > threshold
 
+    def apply_batch(self, values: np.ndarray, threshold: float) -> np.ndarray:
+        """Elementwise :meth:`apply` over an array of values (boolean array)."""
+        values = np.asarray(values, dtype=np.float64)
+        if self is Comparison.LE:
+            return values <= threshold
+        if self is Comparison.GE:
+            return values >= threshold
+        if self is Comparison.LT:
+            return values < threshold
+        return values > threshold
+
 
 class ThresholdQuery(CutSetQuery):
     """Threshold query evaluation (Definition 2.2) wrapping any base query.
@@ -174,6 +219,24 @@ class ThresholdQuery(CutSetQuery):
     def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
         value = self.base.evaluate(graph, edge_mask)
         return 1.0 if self.comparison.apply(value, self.threshold) else 0.0
+
+    def evaluate_values(
+        self, graph: UncertainGraph, edge_masks: np.ndarray
+    ) -> np.ndarray:
+        # Delegating to the base query's batched values means the wrapper
+        # inherits any traversal-kernel override for free.
+        base_values = self.base.evaluate_values(graph, edge_masks)
+        return self.comparison.apply_batch(base_values, self.threshold).astype(
+            np.float64
+        )
+
+    def evaluate_pairs(
+        self, graph: UncertainGraph, edge_masks: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.queries.batch import threshold_pairs_batch
+
+        base_values = self.base.evaluate_values(graph, edge_masks)
+        return threshold_pairs_batch(base_values, self.threshold, self.comparison)
 
     def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
         return self.base.bfs_sources(graph)

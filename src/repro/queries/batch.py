@@ -1,0 +1,303 @@
+"""Batched multi-world traversal kernels.
+
+The scalar kernels of :mod:`repro.queries.traversal` answer one possible
+world at a time, so evaluating ``N`` sampled worlds costs ``N`` Python-level
+BFS runs.  These kernels take a whole *block* of worlds — a ``(W, m)``
+boolean edge-mask array, or the bit-packed ``(W, ceil(m/64))`` ``uint64``
+form from :mod:`repro.graph.bitsets` — and run all ``W`` traversals in one
+level-synchronous, *bit-parallel* sweep:
+
+* the block is transposed into per-edge world-words — ``words[e]`` packs
+  "edge ``e`` exists in world ``w``" into bit ``w`` (64 worlds per
+  ``uint64``), so visited state is a ``(n, ceil(W/64))`` word matrix;
+* each BFS level gathers the arcs leaving the *union* frontier once (a
+  single fancy-index through the CSR), computes the "arc fires in world
+  ``w``" words with one ``&``, and OR-reduces them per head node with
+  ``np.bitwise_or.reduceat``;
+* worlds whose answer is already determined are masked out of the frontier
+  words, so they stop generating work.
+
+Per level the Python interpreter executes a constant number of numpy calls
+regardless of ``W``, and each word-op advances 64 worlds at once, which is
+where the batched path's speed comes from (see ``repro-bench`` and
+``BENCH_traversal.json``).
+
+Scalar fallback
+---------------
+:func:`scalar_fallback` temporarily disables the batched query overrides so
+every evaluation routes through the one-world-at-a-time code path.  The
+benchmark harness uses it to time the scalar engine, and the parity tests
+use it to assert that batched and scalar evaluation are bit-identical.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.bitsets import (
+    is_packed_block,
+    pack_masks,
+    packed_width,
+    unpack_masks,
+)
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Comparison
+from repro.queries.traversal import INF, _as_sources
+from repro.utils.arrays import gather_ranges
+
+_batch_enabled: bool = True
+
+
+def batch_kernels_enabled() -> bool:
+    """Whether queries should use the batched kernels (see :func:`scalar_fallback`)."""
+    return _batch_enabled
+
+
+@contextmanager
+def scalar_fallback() -> Iterator[None]:
+    """Context manager: route all query evaluation through the scalar path."""
+    global _batch_enabled
+    previous = _batch_enabled
+    _batch_enabled = False
+    try:
+        yield
+    finally:
+        _batch_enabled = previous
+
+
+def as_mask_block(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
+    """Normalise a world block to boolean ``(W, m)`` form.
+
+    Accepts either a boolean block or a bit-packed ``uint64`` block
+    (:func:`repro.graph.bitsets.pack_masks`).
+    """
+    masks = np.asarray(masks)
+    if masks.ndim != 2:
+        raise QueryError("a world block must be 2-D: one row per world")
+    if is_packed_block(masks):
+        if masks.shape[1] != packed_width(graph.n_edges):
+            raise QueryError(
+                f"packed block has {masks.shape[1]} words; "
+                f"{packed_width(graph.n_edges)} expected for {graph.n_edges} edges"
+            )
+        return unpack_masks(masks, graph.n_edges)
+    if masks.shape[1] != graph.n_edges:
+        raise QueryError(
+            f"world block has {masks.shape[1]} columns; one per edge "
+            f"({graph.n_edges}) expected"
+        )
+    return masks.astype(bool, copy=False)
+
+
+def _world_words(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
+    """Transpose a boolean block into per-edge world-words.
+
+    Returns ``(m, ceil(W/64))`` ``uint64``: bit ``w`` of ``out[e]`` says
+    whether edge ``e`` exists in world ``w``.  This is the bit-parallel
+    layout all kernels traverse in.
+    """
+    if masks.shape[1] != graph.n_edges:
+        raise QueryError("mask block and graph disagree on the edge count")
+    return pack_masks(masks.T)
+
+
+def _full_words(n_worlds: int) -> np.ndarray:
+    """Word vector with bit ``w`` set for every world ``w < n_worlds``."""
+    words = np.full(
+        packed_width(n_worlds), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64
+    )
+    rem = n_worlds % 64
+    if rem and words.size:
+        words[-1] = np.uint64((1 << rem) - 1)
+    return words
+
+
+def _unpack_world_bits(words: np.ndarray, n_worlds: int) -> np.ndarray:
+    """Expand one word vector into a ``(n_worlds,)`` boolean array."""
+    return unpack_masks(words[np.newaxis, :], n_worlds)[0]
+
+
+def _expand_level(
+    graph: UncertainGraph,
+    edge_words: np.ndarray,
+    active: np.ndarray,
+    frontier: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One level of bit-parallel frontier expansion.
+
+    ``active`` holds the sorted node ids in the union frontier over all
+    worlds; ``frontier`` is the matching ``(active.size, n_words)`` word
+    matrix.  Returns ``(heads, reached)``: the sorted unique head nodes one
+    hop out and the ``(heads.size, n_words)`` words of worlds reaching each
+    head through at least one present arc.
+    """
+    adj = graph.adjacency
+    starts = adj.indptr[active]
+    ends = adj.indptr[active + 1]
+    arcs = gather_ranges(starts, ends)
+    if arcs.size == 0:
+        empty = np.empty((0, frontier.shape[1]), dtype=np.uint64)
+        return np.empty(0, dtype=np.int64), empty
+    tails = np.repeat(active, ends - starts)
+    order = np.argsort(adj.arc_target[arcs], kind="stable")
+    arcs = arcs[order]
+    tails = tails[order]
+    heads = adj.arc_target[arcs]
+    uniq_heads, first = np.unique(heads, return_index=True)
+    tail_rows = np.searchsorted(active, tails)
+    fires = frontier[tail_rows] & edge_words[adj.arc_edge[arcs]]
+    reached = np.bitwise_or.reduceat(fires, first, axis=0)
+    return uniq_heads, reached
+
+
+def _reachable_words(
+    graph: UncertainGraph,
+    edge_words: np.ndarray,
+    n_worlds: int,
+    roots: np.ndarray,
+) -> np.ndarray:
+    """Bit-parallel multi-source reachability; ``(n_nodes, n_words)`` words."""
+    n_words = edge_words.shape[1]
+    visited = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
+    if n_worlds == 0:
+        return visited
+    all_worlds = _full_words(n_worlds)
+    visited[roots] = all_worlds
+    active = roots
+    frontier = np.broadcast_to(all_worlds, (roots.size, n_words)).copy()
+    while active.size:
+        heads, reached = _expand_level(graph, edge_words, active, frontier)
+        if heads.size == 0:
+            break
+        fresh = reached & ~visited[heads]
+        keep = np.flatnonzero(fresh.any(axis=1))
+        if keep.size == 0:
+            break
+        active = heads[keep]
+        frontier = fresh[keep]
+        visited[active] |= frontier
+    return visited
+
+
+def reachable_masks_batch(
+    graph: UncertainGraph,
+    masks: np.ndarray,
+    sources: Union[int, Sequence[int]],
+) -> np.ndarray:
+    """Per-world reachable-node masks: batched :func:`~repro.queries.traversal.reachable_mask`.
+
+    Returns a ``(W, n_nodes)`` boolean array; sources are marked reachable
+    in every world.
+    """
+    masks = as_mask_block(graph, masks)
+    n_worlds = masks.shape[0]
+    roots = np.unique(_as_sources(sources))
+    if n_worlds == 0:
+        return np.zeros((0, graph.n_nodes), dtype=bool)
+    visited = _reachable_words(graph, _world_words(graph, masks), n_worlds, roots)
+    return np.ascontiguousarray(unpack_masks(visited, n_worlds).T)
+
+
+def reachable_counts_batch(
+    graph: UncertainGraph,
+    masks: np.ndarray,
+    sources: Union[int, Sequence[int]],
+    include_sources: bool = False,
+) -> np.ndarray:
+    """Per-world reachable-node counts (``int64``), batched.
+
+    Matches :func:`~repro.queries.traversal.reachable_count` exactly: with
+    ``include_sources=False`` the (deduplicated) sources are not counted.
+    """
+    masks = as_mask_block(graph, masks)
+    n_worlds = masks.shape[0]
+    roots = np.unique(_as_sources(sources))
+    visited = _reachable_words(graph, _world_words(graph, masks), n_worlds, roots)
+    counts = unpack_masks(visited, n_worlds).sum(axis=0, dtype=np.int64)
+    if not include_sources:
+        counts -= roots.size
+    return counts
+
+
+def st_distances_batch(
+    graph: UncertainGraph,
+    masks: np.ndarray,
+    source: int,
+    target: int,
+) -> np.ndarray:
+    """Per-world hop distance ``s -> t`` (``inf`` when unreachable), batched.
+
+    Matches :func:`~repro.queries.traversal.st_distance` exactly.  Worlds
+    that have reached the target are masked out of the frontier words, so
+    the sweep ends as soon as every world is either answered or exhausted.
+    """
+    masks = as_mask_block(graph, masks)
+    n_worlds = masks.shape[0]
+    source = int(source)
+    target = int(target)
+    if source == target:
+        return np.zeros(n_worlds, dtype=np.float64)
+    dist = np.full(n_worlds, INF, dtype=np.float64)
+    if n_worlds == 0:
+        return dist
+    edge_words = _world_words(graph, masks)
+    n_words = edge_words.shape[1]
+    all_worlds = _full_words(n_worlds)
+    visited = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
+    visited[source] = all_worlds
+    active = np.asarray([source], dtype=np.int64)
+    frontier = all_worlds[np.newaxis, :].copy()
+    done = np.zeros(n_words, dtype=np.uint64)
+    level = 0
+    while active.size:
+        level += 1
+        heads, reached = _expand_level(graph, edge_words, active, frontier)
+        if heads.size == 0:
+            break
+        fresh = reached & ~visited[heads]
+        t_row = np.searchsorted(heads, target)
+        if t_row < heads.size and heads[t_row] == target:
+            hit = fresh[t_row] & ~done
+            if hit.any():
+                dist[_unpack_world_bits(hit, n_worlds)] = float(level)
+                done |= hit
+                if (done == all_worlds).all():
+                    break
+                fresh &= ~done
+        keep = np.flatnonzero(fresh.any(axis=1))
+        if keep.size == 0:
+            break
+        active = heads[keep]
+        frontier = fresh[keep]
+        visited[active] |= frontier
+    return dist
+
+
+def threshold_pairs_batch(
+    values: np.ndarray,
+    threshold: float,
+    comparison: Comparison,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pair arrays of a threshold query given the base query's batched values.
+
+    ``C(phi, delta)`` applied elementwise (Eq. 4); threshold queries estimate
+    a probability, so the denominator is constantly one.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    nums = comparison.apply_batch(values, float(threshold)).astype(np.float64)
+    return nums, np.ones_like(nums)
+
+
+__all__ = [
+    "batch_kernels_enabled",
+    "scalar_fallback",
+    "as_mask_block",
+    "reachable_masks_batch",
+    "reachable_counts_batch",
+    "st_distances_batch",
+    "threshold_pairs_batch",
+]

@@ -22,6 +22,7 @@ from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries._frontier import determined_reachable, frontier_cut_set
 from repro.queries.base import Comparison, CutSetQuery, ThresholdQuery
+from repro.queries.batch import batch_kernels_enabled, reachable_counts_batch
 from repro.queries.traversal import reachable_count
 
 
@@ -56,6 +57,14 @@ class InfluenceQuery(CutSetQuery):
         return float(
             reachable_count(graph, edge_mask, self.seeds, include_sources=self.include_seeds)
         )
+
+    def evaluate_values(self, graph: UncertainGraph, edge_masks: np.ndarray) -> np.ndarray:
+        if not batch_kernels_enabled():
+            return super().evaluate_values(graph, edge_masks)
+        counts = reachable_counts_batch(
+            graph, edge_masks, self.seeds, include_sources=self.include_seeds
+        )
+        return counts.astype(np.float64)
 
     def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
         return self.seeds

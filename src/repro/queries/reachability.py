@@ -21,6 +21,7 @@ from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries._frontier import determined_reachable, frontier_cut_set
 from repro.queries.base import CutSetQuery
+from repro.queries.batch import batch_kernels_enabled, st_distances_batch
 from repro.queries.traversal import st_distance
 
 
@@ -53,6 +54,12 @@ class ReachabilityQuery(_StPairQuery):
     def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
         return 1.0 if math.isfinite(st_distance(graph, edge_mask, self.source, self.target)) else 0.0
 
+    def evaluate_values(self, graph: UncertainGraph, edge_masks: np.ndarray) -> np.ndarray:
+        if not batch_kernels_enabled():
+            return super().evaluate_values(graph, edge_masks)
+        distances = st_distances_batch(graph, edge_masks, self.source, self.target)
+        return np.isfinite(distances).astype(np.float64)
+
     def cut_constant(
         self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any
     ) -> float:
@@ -75,6 +82,12 @@ class DistanceConstrainedReachabilityQuery(_StPairQuery):
     def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
         d = st_distance(graph, edge_mask, self.source, self.target)
         return 1.0 if d <= self.max_distance else 0.0
+
+    def evaluate_values(self, graph: UncertainGraph, edge_masks: np.ndarray) -> np.ndarray:
+        if not batch_kernels_enabled():
+            return super().evaluate_values(graph, edge_masks)
+        distances = st_distances_batch(graph, edge_masks, self.source, self.target)
+        return (distances <= self.max_distance).astype(np.float64)
 
     def cut_constant(
         self, graph: UncertainGraph, statuses: EdgeStatuses, state: Any

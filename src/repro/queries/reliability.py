@@ -18,6 +18,7 @@ from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries._frontier import determined_reachable, frontier_cut_set
 from repro.queries.base import CutSetQuery
+from repro.queries.batch import batch_kernels_enabled, reachable_masks_batch
 from repro.queries.traversal import reachable_mask
 
 
@@ -49,6 +50,12 @@ class NetworkReliabilityQuery(CutSetQuery):
     def evaluate(self, graph: UncertainGraph, edge_mask: np.ndarray) -> float:
         reached = reachable_mask(graph, edge_mask, self.root)
         return 1.0 if bool(np.all(reached[self.terminals])) else 0.0
+
+    def evaluate_values(self, graph: UncertainGraph, edge_masks: np.ndarray) -> np.ndarray:
+        if not batch_kernels_enabled():
+            return super().evaluate_values(graph, edge_masks)
+        reached = reachable_masks_batch(graph, edge_masks, self.root)
+        return np.all(reached[:, self.terminals], axis=1).astype(np.float64)
 
     def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:
         return np.asarray([self.root], dtype=np.int64)

@@ -93,15 +93,25 @@ def reachable_mask(
     Sources themselves are marked reachable.  ``edge_mask`` selects which
     edges exist in the world being traversed.
     """
+    return _reachable_from_roots(graph, edge_mask, np.unique(_as_sources(sources)))
+
+
+def _reachable_from_roots(
+    graph: UncertainGraph,
+    edge_mask: np.ndarray,
+    roots: np.ndarray,
+) -> np.ndarray:
+    """:func:`reachable_mask` for already-normalised (unique, 1-D) roots."""
     adj = graph.adjacency
     indptr_l, target_l, edge_l = adj.as_lists()
-    roots = np.unique(_as_sources(sources))
     if graph.n_edges <= PURE_PYTHON_EDGE_LIMIT:
         reached = _reach_bytes(
             indptr_l, target_l, edge_l,
             edge_mask.tolist(), roots.tolist(), graph.n_nodes,
         )
-        return np.frombuffer(bytes(reached), dtype=np.bool_).copy()
+        # A bytearray supports the buffer protocol, so this is a zero-copy
+        # writable view that keeps `reached` alive via .base.
+        return np.frombuffer(reached, dtype=np.bool_)
     visited = np.zeros(graph.n_nodes, dtype=bool)
     visited[roots] = True
     frontier = roots.tolist()
@@ -141,11 +151,12 @@ def reachable_count(
     With ``include_sources=False`` (the paper's influence convention, where
     ``u_0 = |S| - 1``) the sources are not counted.
     """
-    visited = reachable_mask(graph, edge_mask, sources)
+    roots = np.unique(_as_sources(sources))
+    visited = _reachable_from_roots(graph, edge_mask, roots)
     total = int(np.count_nonzero(visited))
     if include_sources:
         return total
-    return total - int(np.unique(_as_sources(sources)).size)
+    return total - int(roots.size)
 
 
 def bfs_levels(

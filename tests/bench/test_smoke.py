@@ -1,0 +1,51 @@
+"""Tier-1 smoke test for the ``repro-bench`` entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+from repro.bench.harness import BENCH_FIELDS, run_benchmarks
+
+
+def test_smoke_run_writes_schema_compliant_json(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["--smoke", "--output", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["version"] == 1
+    assert payload["generated_by"] == "repro-bench"
+    assert payload["config"]["smoke"] is True
+    records = payload["records"]
+    assert records
+    for record in records:
+        for field in BENCH_FIELDS:
+            assert field in record, f"record missing {field!r}"
+        assert record["W"] > 0
+        assert record["m"] > 0
+        assert record["worlds_per_sec"] > 0
+    kernels = {record["kernel"] for record in records}
+    assert {"nmc_influence_scalar", "nmc_influence_batch"} <= kernels
+    assert {"reachable_counts_scalar", "reachable_counts_batch"} <= kernels
+
+
+def test_batched_records_carry_speedup(tmp_path):
+    payload = run_benchmarks(
+        graph_name="facebook",
+        n_worlds=8,
+        smoke=True,
+        output=None,
+        log=lambda _msg: None,
+    )
+    by_kernel = {record["kernel"]: record for record in payload["records"]}
+    assert "speedup_vs_scalar" in by_kernel["nmc_influence_batch"]
+    assert by_kernel["nmc_influence_batch"]["speedup_vs_scalar"] > 0
+
+
+def test_cli_rejects_bad_arguments(tmp_path, capsys):
+    assert main(["--worlds", "0"]) == 2
+    assert main(["--scale", "-1"]) == 2
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--graph", "nonexistent"])
+    capsys.readouterr()

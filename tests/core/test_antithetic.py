@@ -55,9 +55,9 @@ def test_twins_are_mirrored(fig1_graph):
     seen = []
 
     class Spy(InfluenceQuery):
-        def evaluate(self, graph, edge_mask):
-            seen.append(edge_mask.copy())
-            return super().evaluate(graph, edge_mask)
+        def evaluate_values(self, graph, edge_masks):
+            seen.extend(np.asarray(edge_masks).copy())
+            return super().evaluate_values(graph, edge_masks)
 
     AntitheticNMC().estimate(g, Spy(0), 2, rng=7)
     assert len(seen) == 2

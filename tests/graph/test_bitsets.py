@@ -1,0 +1,90 @@
+"""Bit-packed world blocks: round-trips, popcounts, and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bitsets import (
+    WORD_BITS,
+    is_packed_block,
+    pack_masks,
+    packed_width,
+    popcount_rows,
+    unpack_masks,
+)
+
+
+def test_packed_width_boundaries():
+    assert packed_width(0) == 0
+    assert packed_width(1) == 1
+    assert packed_width(WORD_BITS) == 1
+    assert packed_width(WORD_BITS + 1) == 2
+    assert packed_width(3 * WORD_BITS) == 3
+
+
+def test_packed_width_rejects_negative():
+    with pytest.raises(GraphError):
+        packed_width(-1)
+
+
+@pytest.mark.parametrize("n_edges", [1, 2, 63, 64, 65, 127, 128, 200])
+def test_pack_unpack_roundtrip(n_edges):
+    gen = np.random.default_rng(n_edges)
+    masks = gen.random((17, n_edges)) < 0.5
+    packed = pack_masks(masks)
+    assert packed.shape == (17, packed_width(n_edges))
+    assert packed.dtype == np.dtype("<u8")
+    assert np.array_equal(unpack_masks(packed, n_edges), masks)
+
+
+def test_pack_masks_bit_convention():
+    # Edge e lives in bit e % 64 of word e // 64 (little-endian).
+    masks = np.zeros((1, 70), dtype=bool)
+    masks[0, 0] = True
+    masks[0, 63] = True
+    masks[0, 69] = True
+    packed = pack_masks(masks)
+    assert packed[0, 0] == (1 | (1 << 63))
+    assert packed[0, 1] == (1 << 5)
+
+
+def test_pad_bits_are_zero():
+    # Equal boolean blocks must pack to equal words, so padding is zeroed.
+    masks = np.ones((3, 65), dtype=bool)
+    packed = pack_masks(masks)
+    assert np.all(packed[:, 1] == 1)
+
+
+def test_zero_worlds_and_zero_edges():
+    empty_worlds = pack_masks(np.zeros((0, 10), dtype=bool))
+    assert empty_worlds.shape == (0, 1)
+    assert unpack_masks(empty_worlds, 10).shape == (0, 10)
+    empty_edges = pack_masks(np.zeros((4, 0), dtype=bool))
+    assert empty_edges.shape == (4, 0)
+    assert unpack_masks(empty_edges, 0).shape == (4, 0)
+
+
+def test_popcount_rows_matches_sum():
+    gen = np.random.default_rng(5)
+    masks = gen.random((9, 150)) < 0.3
+    counts = popcount_rows(pack_masks(masks))
+    assert counts.dtype == np.int64
+    assert np.array_equal(counts, masks.sum(axis=1))
+
+
+def test_validation_errors():
+    with pytest.raises(GraphError):
+        pack_masks(np.zeros(8, dtype=bool))
+    with pytest.raises(GraphError):
+        unpack_masks(np.zeros((2, 2), dtype=np.uint64), 200)
+    with pytest.raises(GraphError):
+        popcount_rows(np.zeros(4, dtype=np.uint64))
+
+
+def test_is_packed_block_discriminates():
+    assert is_packed_block(np.zeros((2, 3), dtype=np.uint64))
+    assert not is_packed_block(np.zeros((2, 3), dtype=bool))
+    assert not is_packed_block(np.zeros((2, 3), dtype=np.uint8))
+    assert not is_packed_block(np.zeros((2, 3), dtype=np.int64))

@@ -1,0 +1,164 @@
+"""Batched multi-world kernels agree exactly with the scalar traversals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.bitsets import pack_masks
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Comparison
+from repro.queries.batch import (
+    as_mask_block,
+    batch_kernels_enabled,
+    reachable_counts_batch,
+    reachable_masks_batch,
+    scalar_fallback,
+    st_distances_batch,
+    threshold_pairs_batch,
+)
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.influence import InfluenceQuery, ThresholdInfluenceQuery
+from repro.queries.reachability import (
+    DistanceConstrainedReachabilityQuery,
+    ReachabilityQuery,
+)
+from repro.queries.reliability import NetworkReliabilityQuery
+from repro.queries.traversal import (
+    PURE_PYTHON_EDGE_LIMIT,
+    reachable_count,
+    reachable_mask,
+    st_distance,
+)
+
+
+def random_graph_and_block(seed: int, n_edges: int | None = None):
+    """A random uncertain graph plus a random block of sampled worlds."""
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, 40))
+    m = n_edges if n_edges is not None else int(gen.integers(1, 120))
+    ends = gen.integers(0, n, size=(m, 2))
+    graph = UncertainGraph(
+        n, ends[:, 0], ends[:, 1], gen.random(m), directed=bool(seed % 2)
+    )
+    n_worlds = int(gen.integers(0, 60))
+    masks = gen.random((n_worlds, graph.n_edges)) < 0.4
+    return graph, masks, gen
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_kernels_match_scalar_world_by_world(seed):
+    graph, masks, gen = random_graph_and_block(seed)
+    sources = np.unique(gen.integers(0, graph.n_nodes, size=int(gen.integers(1, 4))))
+    s, t = int(gen.integers(0, graph.n_nodes)), int(gen.integers(0, graph.n_nodes))
+
+    reach = reachable_masks_batch(graph, masks, sources)
+    counts = reachable_counts_batch(graph, masks, sources)
+    counts_inc = reachable_counts_batch(graph, masks, sources, include_sources=True)
+    dists = st_distances_batch(graph, masks, s, t)
+
+    for i in range(masks.shape[0]):
+        assert np.array_equal(reach[i], reachable_mask(graph, masks[i], sources))
+        assert counts[i] == reachable_count(graph, masks[i], sources)
+        assert counts_inc[i] == reachable_count(
+            graph, masks[i], sources, include_sources=True
+        )
+        assert dists[i] == st_distance(graph, masks[i], s, t)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_kernels_accept_packed_blocks(seed):
+    graph, masks, gen = random_graph_and_block(seed)
+    packed = pack_masks(masks)
+    sources = int(gen.integers(0, graph.n_nodes))
+    s, t = 0, graph.n_nodes - 1
+    assert np.array_equal(
+        reachable_counts_batch(graph, packed, sources),
+        reachable_counts_batch(graph, masks, sources),
+    )
+    assert np.array_equal(
+        st_distances_batch(graph, packed, s, t),
+        st_distances_batch(graph, masks, s, t),
+    )
+
+
+def test_kernels_match_beyond_pure_python_limit():
+    # Large enough that the scalar kernels take their vectorised branch.
+    m = PURE_PYTHON_EDGE_LIMIT + 500
+    graph, masks, _ = random_graph_and_block(3, n_edges=m)
+    masks = masks[:8] if masks.shape[0] >= 8 else np.random.default_rng(0).random(
+        (8, m)
+    ) < 0.4
+    counts = reachable_counts_batch(graph, masks, 0)
+    dists = st_distances_batch(graph, masks, 0, graph.n_nodes - 1)
+    for i in range(masks.shape[0]):
+        assert counts[i] == reachable_count(graph, masks[i], 0)
+        assert dists[i] == st_distance(graph, masks[i], 0, graph.n_nodes - 1)
+
+
+def test_threshold_pairs_batch_applies_comparison():
+    values = np.array([0.0, 1.0, 2.0, 3.0])
+    nums, dens = threshold_pairs_batch(values, 2.0, Comparison.GE)
+    assert np.array_equal(nums, [0.0, 0.0, 1.0, 1.0])
+    assert np.array_equal(dens, np.ones(4))
+
+
+QUERIES = [
+    InfluenceQuery([0, 2]),
+    InfluenceQuery(1, include_seeds=True),
+    ThresholdInfluenceQuery([0], threshold=3.0),
+    ReachabilityQuery(0, 4),
+    DistanceConstrainedReachabilityQuery(0, 4, max_distance=2),
+    ReliableDistanceQuery(0, 4),
+    NetworkReliabilityQuery([0, 2, 4]),
+]
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: type(q).__name__)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_evaluate_pairs_matches_scalar_fallback(query, seed):
+    gen = np.random.default_rng(seed)
+    n, m = 9, 30
+    ends = gen.integers(0, n, size=(m, 2))
+    graph = UncertainGraph(
+        n, ends[:, 0], ends[:, 1], gen.random(m), directed=bool(seed % 2)
+    )
+    masks = gen.random((25, m)) < 0.45
+    nums, dens = query.evaluate_pairs(graph, masks)
+    with scalar_fallback():
+        assert not batch_kernels_enabled()
+        ref_nums, ref_dens = query.evaluate_pairs(graph, masks)
+    assert batch_kernels_enabled()
+    assert np.array_equal(nums, ref_nums)
+    assert np.array_equal(dens, ref_dens)
+
+
+def test_weighted_distance_query_falls_back_to_scalar():
+    gen = np.random.default_rng(8)
+    n, m = 6, 12
+    ends = gen.integers(0, n, size=(m, 2))
+    graph = UncertainGraph(n, ends[:, 0], ends[:, 1], gen.random(m), directed=True)
+    query = ReliableDistanceQuery(0, n - 1, weights=gen.random(m) + 0.1)
+    masks = gen.random((10, m)) < 0.5
+    values = query.evaluate_values(graph, masks)
+    expected = [query.evaluate(graph, masks[i]) for i in range(10)]
+    assert np.array_equal(values, expected)
+
+
+def test_as_mask_block_validates_shapes(tiny_path):
+    graph = tiny_path
+    with pytest.raises(QueryError):
+        as_mask_block(graph, np.zeros(graph.n_edges, dtype=bool))
+    with pytest.raises(QueryError):
+        as_mask_block(graph, np.zeros((2, graph.n_edges + 1), dtype=bool))
+    with pytest.raises(QueryError):
+        as_mask_block(graph, np.zeros((2, 5), dtype=np.uint64))
+
+
+def test_empty_world_block(tiny_path):
+    graph = tiny_path
+    masks = np.zeros((0, graph.n_edges), dtype=bool)
+    assert reachable_masks_batch(graph, masks, 0).shape == (0, graph.n_nodes)
+    assert reachable_counts_batch(graph, masks, 0).shape == (0,)
+    assert st_distances_batch(graph, masks, 0, 1).shape == (0,)
