@@ -7,6 +7,7 @@ writes the machine-readable artefact ``BENCH_traversal.json``::
     repro-bench                         # condmat surrogate @0.25, 1000 worlds
     repro-bench --graph facebook --scale 1.0
     repro-bench --smoke                 # ~1 s sanity run (tier-1 CI)
+    repro-bench --workers 1,2,4         # add a worker-scaling sweep
 
 The JSON schema is documented in :mod:`repro.bench.harness` and
 EXPERIMENTS.md.
@@ -49,7 +50,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="tiny graph and world count; finishes in about a second",
     )
+    parser.add_argument(
+        "--workers", type=str, default=None, metavar="N[,N...]",
+        help="comma-separated worker counts for a parallel-engine scaling "
+        "sweep (a 1-worker baseline is always included), e.g. 1,2,4",
+    )
     return parser
+
+
+def parse_workers(text: str) -> List[int]:
+    """Parse a ``--workers`` value like ``"1,2,4"`` into worker counts."""
+    try:
+        counts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ReproError(f"--workers expects comma-separated integers, got {text!r}")
+    if not counts or any(count < 1 for count in counts):
+        raise ReproError(f"--workers counts must be >= 1, got {text!r}")
+    return counts
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -68,6 +85,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             output=args.output,
             smoke=args.smoke,
+            workers=parse_workers(args.workers) if args.workers else None,
         )
     except ReproError as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)

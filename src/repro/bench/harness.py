@@ -10,22 +10,29 @@ Every record is a flat dict with the fields of :data:`BENCH_FIELDS`::
     worlds_per_sec  W / seconds
 
 Batched records additionally carry ``speedup_vs_scalar`` when the matching
-scalar record was timed in the same run.  The JSON artefact written by
-:func:`run_benchmarks` (``BENCH_traversal.json`` at the repo root by
-convention) wraps the records with the run configuration.
+scalar record was timed in the same run.  Worker-scaling records (the
+``--workers`` sweep, kernel ``rssi_influence_parallel``) carry ``n_workers``,
+the point estimate ``value`` (identical for every worker count by
+construction — the sweep doubles as a determinism check) and
+``speedup_vs_1worker``.  The JSON artefact written by :func:`run_benchmarks`
+(``BENCH_traversal.json`` at the repo root by convention) wraps the records
+with the run configuration, including ``cpu_count`` of the timing host —
+worker scaling is only meaningful relative to the cores that were available.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.nmc import NMC
+from repro.core.rss1 import RSS1
 from repro.datasets.surrogates import condmat_like, dblp_like, facebook_like
 from repro.errors import ReproError
 from repro.graph.bitsets import pack_masks
@@ -62,6 +69,9 @@ class BenchRecord:
     seconds: float
     worlds_per_sec: float
     speedup_vs_scalar: Optional[float] = None
+    n_workers: Optional[int] = None
+    value: Optional[float] = None
+    speedup_vs_1worker: Optional[float] = None
 
     def to_dict(self) -> dict:
         out = {
@@ -74,6 +84,12 @@ class BenchRecord:
         }
         if self.speedup_vs_scalar is not None:
             out["speedup_vs_scalar"] = self.speedup_vs_scalar
+        if self.n_workers is not None:
+            out["n_workers"] = self.n_workers
+        if self.value is not None:
+            out["value"] = self.value
+        if self.speedup_vs_1worker is not None:
+            out["speedup_vs_1worker"] = self.speedup_vs_1worker
         return out
 
 
@@ -119,6 +135,60 @@ def _anchor_nodes(graph: UncertainGraph) -> tuple:
     return int(order[-1]), int(order[-2])
 
 
+def _normalise_workers(workers: Sequence[int]) -> List[int]:
+    """Validate and canonicalise a worker sweep: unique, sorted, includes 1."""
+    sweep = sorted({int(w) for w in workers})
+    if not sweep or sweep[0] < 1:
+        raise ReproError(f"worker counts must be >= 1, got {list(workers)}")
+    if sweep[0] != 1:
+        sweep.insert(0, 1)  # the 1-worker run anchors speedup_vs_1worker
+    return sweep
+
+
+def _bench_worker_sweep(
+    records: List[BenchRecord],
+    graph: UncertainGraph,
+    graph_label: str,
+    query: InfluenceQuery,
+    n_worlds: int,
+    seed: int,
+    workers: Sequence[int],
+    log: Callable[[str], None],
+) -> None:
+    """Time RSS-I influence estimation across worker counts (parallel engine).
+
+    All runs share one seed, so the path-keyed engine must return the same
+    estimate for every worker count — logged values diverging is a bug, not
+    noise.
+    """
+    estimator = RSS1()
+    baseline = None
+    for n_workers in _normalise_workers(workers):
+        value: List[float] = []
+        seconds = _timed(
+            lambda: value.append(
+                estimator.estimate(
+                    graph, query, n_worlds, rng=seed, n_workers=n_workers
+                ).value
+            )
+        )
+        record = _record(
+            "rssi_influence_parallel", graph_label, n_worlds, graph.n_edges, seconds
+        )
+        record.n_workers = n_workers
+        record.value = value[0]
+        if baseline is None:
+            baseline = seconds
+        if record.seconds > 0:
+            record.speedup_vs_1worker = baseline / record.seconds
+        records.append(record)
+        log(
+            f"  {'rssi_parallel':<18s} workers {n_workers:>2d} "
+            f"{record.seconds:8.3f}s ({record.worlds_per_sec:10.1f} worlds/s) | "
+            f"value {record.value:.4f} | speedup {record.speedup_vs_1worker:6.2f}x"
+        )
+
+
 def run_benchmarks(
     graph_name: str = "condmat",
     scale: float = 0.25,
@@ -126,13 +196,15 @@ def run_benchmarks(
     seed: int = 7,
     output: Optional[str] = "BENCH_traversal.json",
     smoke: bool = False,
+    workers: Optional[Sequence[int]] = None,
     log: Callable[[str], None] = print,
 ) -> dict:
     """Run the traversal micro-benchmarks; return (and optionally write) the payload.
 
     ``smoke`` shrinks the graph and world count so the harness finishes in
     about a second — used by the tier-1 smoke test to keep the entry point
-    from rotting.
+    from rotting.  ``workers`` adds a worker-scaling sweep: RSS-I influence
+    estimation through the parallel engine, one record per worker count.
     """
     if graph_name not in GRAPHS:
         raise ReproError(f"unknown benchmark graph {graph_name!r}; choose from {sorted(GRAPHS)}")
@@ -190,6 +262,12 @@ def run_benchmarks(
         log,
     )
 
+    worker_sweep = _normalise_workers(workers) if workers else None
+    if worker_sweep:
+        _bench_worker_sweep(
+            records, graph, graph_label, query, n_worlds, seed, worker_sweep, log
+        )
+
     payload = {
         "version": 1,
         "generated_by": "repro-bench",
@@ -199,6 +277,8 @@ def run_benchmarks(
             "n_worlds": n_worlds,
             "seed": seed,
             "smoke": smoke,
+            "cpu_count": os.cpu_count(),
+            "n_workers": worker_sweep,
             "python": platform.python_version(),
             "numpy": np.__version__,
         },

@@ -11,9 +11,11 @@ drops below NMC's at the same cost.  Stays unbiased for any query.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 import numpy as np
 
-from repro.core.base import Estimator, Pair
+from repro.core.base import Estimator, Pair, chunk_budget
 from repro.core.result import WorldCounter
 from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
@@ -25,6 +27,11 @@ class AntitheticNMC(Estimator):
     """Naive Monte Carlo with antithetic (mirrored-uniform) world pairs."""
 
     name = "ANMC"
+
+    def _parallel_chunks(self, n_samples: int) -> Optional[List[int]]:
+        # Chunks are aligned to 2 so antithetic pairs never straddle a chunk
+        # boundary (each chunk draws its own mirrored pairs).
+        return chunk_budget(n_samples, align=2)
 
     def _estimate_pair(
         self,

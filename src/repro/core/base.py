@@ -6,13 +6,35 @@ edges of a partial assignment (:func:`sample_mean_pair`).  Everything is
 expressed in *pair* (numerator, denominator) form so conditional queries
 (Eq. 22) and ordinary expectation/threshold queries flow through one code
 path — see :mod:`repro.queries.base`.
+
+Parallel execution
+------------------
+:meth:`Estimator.estimate` accepts ``n_workers``: with the default
+``None``/``0`` the historical single-stream sequential path runs untouched;
+any ``n_workers >= 1`` routes through :mod:`repro.parallel`, which fans the
+top levels of the recursion out over a process pool.  Estimators cooperate
+with the engine through three small hooks:
+
+* :meth:`Estimator._expand_node` — split one recursion node into its child
+  stratum jobs (plus any analytic contribution), mirroring exactly what the
+  sequential recursion would do at that node under path-keyed RNG;
+* :meth:`Estimator._run_subtree` — evaluate a whole subtree job inside a
+  worker (overridden by estimators that thread extra state, e.g. RCSS's
+  answer set);
+* :meth:`Estimator._parallel_chunks` — optional budget chunking for flat
+  estimators (NMC, ANMC) that have no stratum tree to split.
+
+The invariant tying them together: expanding a node and evaluating the
+resulting children must produce the same estimate as evaluating the node as
+one subtree, because every node draws from a stream keyed by its stratum
+path (:class:`repro.rng.StratumRng`) rather than by execution order.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Optional, Tuple
+from typing import Any, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -22,9 +44,15 @@ from repro.graph.uncertain import UncertainGraph
 from repro.graph.world import iter_mask_blocks, sample_edge_masks
 from repro.queries.base import Query
 from repro.core.result import EstimateResult, WorldCounter
-from repro.rng import RngLike, resolve_rng
+from repro.rng import RngLike, StratumRng, resolve_rng, spawn_rngs
 
 Pair = Tuple[float, float]
+
+#: Smallest budget worth its own task under parallel budget chunking.
+MIN_PARALLEL_CHUNK = 64
+
+#: Largest number of chunks a single flat node splits into.
+MAX_PARALLEL_FANOUT = 16
 
 
 def pair_of(query: Query, value: float) -> Pair:
@@ -44,7 +72,7 @@ def sample_mean_pair(
     query: Query,
     statuses: EdgeStatuses,
     n_samples: int,
-    rng: np.random.Generator,
+    rng: RngLike,
     counter: Optional[WorldCounter] = None,
 ) -> Pair:
     """Plain Monte-Carlo mean of the query pair under a partial assignment.
@@ -53,9 +81,9 @@ def sample_mean_pair(
     Algorithm 4 lines 5–9) and the whole of NMC.  Worlds are sampled and
     evaluated in whole blocks (:func:`repro.graph.world.iter_mask_blocks` ->
     :meth:`Query.evaluate_pairs`), so traversal-backed queries run all
-    worlds of a block in one batched BFS sweep.  The random stream and the
-    floating-point accumulation order match the historical per-world loop
-    exactly, so same-seed estimates are bit-identical.
+    worlds of a block in one batched BFS sweep.  The random stream matches
+    the historical per-world loop exactly, so same-seed estimates are
+    bit-identical.
     """
     if n_samples <= 0:
         raise EstimatorError("sample_mean_pair needs a positive sample count")
@@ -63,9 +91,8 @@ def sample_mean_pair(
     den = 0.0
     for block in iter_mask_blocks(statuses, n_samples, rng):
         nums, dens = query.evaluate_pairs(graph, block)
-        for a, b in zip(nums.tolist(), dens.tolist()):
-            num += a
-            den += b
+        num += float(nums.sum())
+        den += float(dens.sum())
     if counter is not None:
         counter.add(n_samples)
     return num / n_samples, den / n_samples
@@ -78,7 +105,7 @@ def residual_mixture_pair(
     weights: np.ndarray,
     indices: np.ndarray,
     n_draws: int,
-    rng: np.random.Generator,
+    rng: RngLike,
     counter: Optional[WorldCounter] = None,
 ) -> Pair:
     """Mean query pair over draws from a mixture of strata.
@@ -90,26 +117,82 @@ def residual_mixture_pair(
     it (``child_for(index)`` builds the pinned statuses).  The mixture of
     the strata *is* their union, so the mean is an unbiased estimate of the
     pair conditioned on that union.
+
+    Draws are grouped by stratum index and each group's masks are sampled in
+    a single :func:`~repro.graph.world.sample_edge_masks` call; every group
+    gets its own ``SeedSequence`` child stream (in ascending stratum order),
+    so the randomness is keyed to the *plan* — which strata were drawn how
+    often — rather than to the order of a per-draw loop.
     """
     if n_draws <= 0 or indices.size == 0:
         raise EstimatorError("residual mixture needs draws and strata")
+    gen = resolve_rng(rng)
     local = weights[indices].astype(np.float64)
-    draws = rng.choice(indices, size=n_draws, p=local / local.sum())
-    # Masks must still be drawn one at a time — each draw pins a different
-    # stratum, so the free-edge sets differ — but the query evaluation of
-    # all draws goes through the batched engine in a single sweep.
+    draws = gen.choice(indices, size=n_draws, p=local / local.sum())
+    groups = np.unique(draws)
     masks = np.empty((n_draws, graph.n_edges), dtype=bool)
-    for i, index in enumerate(draws):
-        masks[i] = sample_edge_masks(child_for(int(index)), 1, rng)[0]
+    for index, stream in zip(groups, spawn_rngs(gen, groups.size)):
+        rows = np.flatnonzero(draws == index)
+        masks[rows] = sample_edge_masks(child_for(int(index)), rows.size, stream)
     nums, dens = query.evaluate_pairs(graph, masks)
-    num = 0.0
-    den = 0.0
-    for a, b in zip(nums.tolist(), dens.tolist()):
-        num += a
-        den += b
     if counter is not None:
         counter.add(n_draws)
-    return num / n_draws, den / n_draws
+    return float(nums.sum()) / n_draws, float(dens.sum()) / n_draws
+
+
+class ChildJob(NamedTuple):
+    """One child of an expanded recursion node (parallel decomposition).
+
+    Attributes
+    ----------
+    pi:
+        The stratum weight this child's pair is multiplied by on the way
+        back up (the ``pi_i`` of Eqs. 8/13/19, or ``n_i / N`` for budget
+        chunks).
+    values:
+        The child's edge-status vector (``int8``, see
+        :class:`~repro.graph.statuses.EdgeStatuses`).
+    state:
+        Opaque estimator state threaded into the child (RCSS answer set);
+        must be picklable when shipped to a worker process.
+    n_samples:
+        The child's local sample budget.
+    index:
+        The child's stratum index — the path component keying its RNG
+        stream.  Must match the index the sequential recursion would pass to
+        :func:`repro.rng.child_rng` for this child.
+    kind:
+        ``"subtree"`` — evaluate with the estimator's own recursion
+        (:meth:`Estimator._run_subtree`); ``"mc"`` — evaluate with plain
+        :func:`sample_mean_pair` (the leaves of the single-level
+        BSS/BCSS stratifications).
+    """
+
+    pi: float
+    values: np.ndarray
+    state: Any
+    n_samples: int
+    index: int
+    kind: str = "subtree"
+
+
+class NodeExpansion(NamedTuple):
+    """Result of expanding one recursion node for parallel execution.
+
+    The driver reduces an expanded node as ``head``, then ``+= pi_i *
+    child_i`` in children-list order, then ``+= tail`` — the *exact* float
+    accumulation order of the sequential recursion, so a node evaluated
+    as one subtree and the same node expanded one level deeper produce
+    bit-identical pairs.  ``head`` holds contributions accumulated before
+    the child loop (RCSS's analytic ``pi_0 u_0`` term); ``tail`` holds
+    contributions accumulated after it (residual-mixture pools).  Both are
+    weighted by local stratum weights but *not* by the node's own
+    accumulated weight, which the driver applies hierarchically.
+    """
+
+    head: Pair
+    tail: Pair
+    children: List[ChildJob]
 
 
 class Estimator(ABC):
@@ -135,12 +218,95 @@ class Estimator(ABC):
     ) -> Pair:
         """Estimate ``(E[num], E[den])`` conditioned on ``statuses``."""
 
+    # ------------------------------------------------------------------ #
+    # parallel-execution hooks (see repro.parallel)
+    # ------------------------------------------------------------------ #
+
+    def _initial_state(self, graph: UncertainGraph, query: Query) -> Any:
+        """Opaque state of the recursion root (RCSS overrides)."""
+        return None
+
+    def _parallel_chunks(self, n_samples: int) -> Optional[List[int]]:
+        """Budget chunking for flat estimators; ``None`` disables it.
+
+        The split must be a deterministic function of ``n_samples`` alone —
+        never of the worker count — so that chunk streams are identical for
+        every ``n_workers``.
+        """
+        return None
+
+    def _expand_node(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng: StratumRng,
+        counter: WorldCounter,
+    ) -> Optional[NodeExpansion]:
+        """Split one recursion node into child jobs, or ``None`` for a leaf.
+
+        Called only by the parallel driver, always with a
+        :class:`~repro.rng.StratumRng` keyed to the node's stratum path.
+        Implementations must consume the node stream exactly as the
+        path-keyed sequential recursion does (edge selection first, residual
+        draws after) and emit children whose ``index`` matches the stream
+        the recursion would derive for them.  The default splits the budget
+        per :meth:`_parallel_chunks`.
+        """
+        chunks = self._parallel_chunks(n_samples)
+        if not chunks or len(chunks) < 2:
+            return None
+        children = [
+            ChildJob(n_i / n_samples, statuses.values, state, int(n_i), i)
+            for i, n_i in enumerate(chunks)
+        ]
+        return NodeExpansion((0.0, 0.0), (0.0, 0.0), children)
+
+    def _run_subtree(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng,
+        counter: WorldCounter,
+    ) -> Pair:
+        """Evaluate one subtree job (inside a worker or inline).
+
+        Applies :meth:`_parallel_chunks` recursively under path-keyed RNG —
+        matching :meth:`_expand_node`'s default — then falls through to
+        :meth:`_estimate_pair`.
+        """
+        if isinstance(rng, StratumRng):
+            chunks = self._parallel_chunks(n_samples)
+            if chunks and len(chunks) >= 2:
+                num = 0.0
+                den = 0.0
+                for i, n_i in enumerate(chunks):
+                    sub_num, sub_den = self._run_subtree(
+                        graph, query, statuses, state, int(n_i), rng.child(i), counter
+                    )
+                    share = n_i / n_samples
+                    num += share * sub_num
+                    den += share * sub_den
+                return num, den
+        return self._estimate_pair(graph, query, statuses, n_samples, rng, counter)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
     def estimate(
         self,
         graph: UncertainGraph,
         query: Query,
         n_samples: int,
         rng: RngLike = None,
+        n_workers: Optional[int] = None,
+        tasks_per_worker: int = 4,
     ) -> EstimateResult:
         """Run the estimator with a total budget of ``n_samples`` worlds.
 
@@ -155,6 +321,18 @@ class Estimator(ABC):
             may evaluate slightly more worlds (reported in the result).
         rng:
             Seed / generator; see :mod:`repro.rng`.
+        n_workers:
+            ``None`` or ``0`` (default) — the historical sequential path,
+            bit-identical to previous releases.  Any value ``>= 1`` routes
+            through the parallel engine (:mod:`repro.parallel`) with
+            path-keyed RNG: results are then bit-identical across *all*
+            worker counts for a fixed seed (``n_workers=1`` runs the same
+            decomposition in-process without a pool).
+        tasks_per_worker:
+            Decomposition depth target for the parallel engine: the
+            recursion is split until at least ``tasks_per_worker *
+            n_workers`` subtree jobs exist (affects load balance only, never
+            results).
 
         Returns
         -------
@@ -162,6 +340,15 @@ class Estimator(ABC):
         """
         if n_samples <= 0:
             raise EstimatorError(f"n_samples must be positive, got {n_samples}")
+        if n_workers is not None and n_workers < 0:
+            raise EstimatorError(f"n_workers must be >= 0, got {n_workers}")
+        if n_workers:
+            from repro.parallel.driver import estimate_parallel
+
+            return estimate_parallel(
+                self, graph, query, int(n_samples), rng,
+                n_workers=int(n_workers), tasks_per_worker=tasks_per_worker,
+            )
         query.validate(graph)
         gen = resolve_rng(rng)
         counter = WorldCounter()
@@ -180,4 +367,45 @@ class Estimator(ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-__all__ = ["Estimator", "Pair", "pair_of", "sample_mean_pair"]
+def chunk_budget(
+    n_samples: int,
+    min_chunk: int = MIN_PARALLEL_CHUNK,
+    max_fanout: int = MAX_PARALLEL_FANOUT,
+    align: int = 1,
+) -> Optional[List[int]]:
+    """Split a flat sample budget into near-even chunks for parallel fan-out.
+
+    Deterministic in ``n_samples`` alone.  ``align`` keeps every chunk but
+    the last a multiple of the given value (ANMC's antithetic pairs must not
+    straddle a chunk boundary).  Returns ``None`` when the budget is too
+    small to be worth splitting.
+    """
+    if n_samples < 2 * min_chunk:
+        return None
+    n_chunks = min(max_fanout, n_samples // min_chunk)
+    if n_chunks < 2:
+        return None
+    base = n_samples // n_chunks
+    if align > 1:
+        base -= base % align
+        base = max(base, align)
+    chunks = [base] * (n_chunks - 1)
+    last = n_samples - base * (n_chunks - 1)
+    if last <= 0:
+        return None
+    chunks.append(last)
+    return chunks
+
+
+__all__ = [
+    "Estimator",
+    "Pair",
+    "ChildJob",
+    "NodeExpansion",
+    "MIN_PARALLEL_CHUNK",
+    "MAX_PARALLEL_FANOUT",
+    "chunk_budget",
+    "pair_of",
+    "sample_mean_pair",
+    "residual_mixture_pair",
+]

@@ -11,16 +11,26 @@ larger than BSS-II when ``r = |C|`` (Theorem 5.6).
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 import numpy as np
 
 from repro.core.allocation import proportional_allocation, validate_allocation_method
-from repro.core.base import Estimator, Pair, pair_of, sample_mean_pair
+from repro.core.base import (
+    ChildJob,
+    Estimator,
+    NodeExpansion,
+    Pair,
+    pair_of,
+    sample_mean_pair,
+)
 from repro.core.focal import require_cut_set
 from repro.core.result import WorldCounter
 from repro.core.stratify import cutset_strata, cutset_stratum_statuses
 from repro.graph.statuses import ABSENT, EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Query
+from repro.rng import StratumRng, child_rng
 
 
 class BCSS(Estimator):
@@ -64,11 +74,48 @@ class BCSS(Estimator):
             k = i + 1
             child = statuses.child(cut[:k], cutset_stratum_statuses(k))
             mean_num, mean_den = sample_mean_pair(
-                graph, query, child, int(n_i), rng, counter
+                graph, query, child, int(n_i), child_rng(rng, i), counter
             )
             num += pi * mean_num
             den += pi * mean_den
         return num, den
+
+    def _expand_node(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng: StratumRng,
+        counter: WorldCounter,
+    ) -> Optional[NodeExpansion]:
+        cut_query = require_cut_set(query)
+        cut_state = cut_query.cut_initial_state(graph)
+        cut = cut_query.cut_set(graph, statuses, cut_state)
+        if cut.size == 0:
+            return NodeExpansion(
+                pair_of(query, cut_query.cut_constant(graph, statuses, cut_state)),
+                (0.0, 0.0),
+                [],
+            )
+        pi0, pis, pcds = cutset_strata(graph.prob[cut])
+        child0 = statuses.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+        u0 = cut_query.cut_constant(graph, child0, cut_state)
+        base_num, base_den = pair_of(query, u0)
+        base_num *= pi0
+        base_den *= pi0
+        allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        children = []
+        for i, (pi, n_i) in enumerate(zip(pis, allocations)):
+            if pi <= 0.0 or n_i <= 0:
+                continue
+            k = i + 1
+            child = statuses.child(cut[:k], cutset_stratum_statuses(k))
+            children.append(
+                ChildJob(float(pi), child.values, None, int(n_i), i, kind="mc")
+            )
+        return NodeExpansion((base_num, base_den), (0.0, 0.0), children)
 
 
 __all__ = ["BCSS"]

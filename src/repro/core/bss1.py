@@ -9,12 +9,12 @@ independently, and recombine with the stratum weights (Eq. 8).  Unbiased
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.core.allocation import proportional_allocation, validate_allocation_method
-from repro.core.base import Estimator, Pair, sample_mean_pair
+from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.core.selection import EdgeSelection, RandomSelection
 from repro.core.stratify import class1_strata
@@ -22,6 +22,7 @@ from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Query
+from repro.rng import StratumRng, child_rng
 from repro.utils.validation import check_positive_int
 
 #: 2^r strata become unmanageable quickly; the paper uses r = 5.
@@ -79,16 +80,44 @@ class BSS1(Estimator):
         allocations = proportional_allocation(pis, n_samples, self.allocation)
         num = 0.0
         den = 0.0
-        for row, pi, n_i in zip(stratum_statuses, pis, allocations):
+        for index, (row, pi, n_i) in enumerate(zip(stratum_statuses, pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
             child = statuses.child(edges, row)
             mean_num, mean_den = sample_mean_pair(
-                graph, query, child, int(n_i), rng, counter
+                graph, query, child, int(n_i), child_rng(rng, index), counter
             )
             num += pi * mean_num
             den += pi * mean_den
         return num, den
+
+    def _expand_node(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng: StratumRng,
+        counter: WorldCounter,
+    ) -> Optional[NodeExpansion]:
+        r = min(self.r, statuses.n_free)
+        if r == 0:
+            return None
+        edges = self.selection.select(graph, query, statuses, r, rng)
+        stratum_statuses, pis = class1_strata(graph.prob[edges])
+        allocations = proportional_allocation(pis, n_samples, self.allocation)
+        children = [
+            ChildJob(
+                float(pi), statuses.child(edges, row).values, None,
+                int(n_i), index, kind="mc",
+            )
+            for index, (row, pi, n_i) in enumerate(
+                zip(stratum_statuses, pis, allocations)
+            )
+            if pi > 0.0 and n_i > 0
+        ]
+        return NodeExpansion((0.0, 0.0), (0.0, 0.0), children)
 
 
 __all__ = ["BSS1", "MAX_CLASS1_R"]

@@ -10,18 +10,19 @@ free — so ``r`` can be large (the paper uses 50 or even 100).  Unbiased
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.core.allocation import proportional_allocation, validate_allocation_method
-from repro.core.base import Estimator, Pair, sample_mean_pair
+from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.core.selection import EdgeSelection, RandomSelection
 from repro.core.stratify import class2_strata, class2_stratum_statuses
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Query
+from repro.rng import StratumRng, child_rng
 from repro.utils.validation import check_positive_int
 
 
@@ -74,11 +75,38 @@ class BSS2(Estimator):
             pinned = class2_stratum_statuses(stratum, r)
             child = statuses.child(edges[: pins], pinned)
             mean_num, mean_den = sample_mean_pair(
-                graph, query, child, int(n_i), rng, counter
+                graph, query, child, int(n_i), child_rng(rng, stratum), counter
             )
             num += pi * mean_num
             den += pi * mean_den
         return num, den
+
+    def _expand_node(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng: StratumRng,
+        counter: WorldCounter,
+    ) -> Optional[NodeExpansion]:
+        r = min(self.r, statuses.n_free)
+        if r == 0:
+            return None
+        edges = self.selection.select(graph, query, statuses, r, rng)
+        pin_counts, pis = class2_strata(graph.prob[edges])
+        allocations = proportional_allocation(pis, n_samples, self.allocation)
+        children = []
+        for stratum, (pins, pi, n_i) in enumerate(zip(pin_counts, pis, allocations)):
+            if pi <= 0.0 or n_i <= 0:
+                continue
+            pinned = class2_stratum_statuses(stratum, r)
+            child = statuses.child(edges[: int(pins)], pinned)
+            children.append(
+                ChildJob(float(pi), child.values, None, int(n_i), stratum, kind="mc")
+            )
+        return NodeExpansion((0.0, 0.0), (0.0, 0.0), children)
 
 
 __all__ = ["BSS2"]

@@ -7,9 +7,11 @@ estimator in this package exists to beat its variance at the same cost.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 import numpy as np
 
-from repro.core.base import Estimator, Pair, sample_mean_pair
+from repro.core.base import Estimator, Pair, chunk_budget, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
@@ -20,6 +22,12 @@ class NMC(Estimator):
     """Naive Monte-Carlo estimator ``(1/N) * sum phi_q(G_i)``."""
 
     name = "NMC"
+
+    def _parallel_chunks(self, n_samples: int) -> Optional[List[int]]:
+        # NMC has no stratum tree; under the parallel engine the budget is
+        # split into fixed-size chunks (a function of N alone) whose means
+        # recombine with weights n_i / N.
+        return chunk_budget(n_samples)
 
     def _estimate_pair(
         self,

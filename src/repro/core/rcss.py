@@ -12,7 +12,7 @@ when the cut-set is empty — at which point plain Monte-Carlo finishes
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
@@ -23,7 +23,9 @@ from repro.core.allocation import (
     validate_budget_policy,
 )
 from repro.core.base import (
+    ChildJob,
     Estimator,
+    NodeExpansion,
     Pair,
     pair_of,
     residual_mixture_pair,
@@ -35,6 +37,7 @@ from repro.core.stratify import cutset_strata, cutset_stratum_statuses
 from repro.graph.statuses import ABSENT, EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import CutSetQuery, Query
+from repro.rng import StratumRng, child_rng
 from repro.utils.validation import check_positive_int
 
 
@@ -87,6 +90,25 @@ class RCSS(Estimator):
         state = cut_query.cut_initial_state(graph)
         return self._recurse(graph, cut_query, statuses, state, n_samples, rng, counter)
 
+    def _initial_state(self, graph: UncertainGraph, query: Query) -> Any:
+        return require_cut_set(query).cut_initial_state(graph)
+
+    def _run_subtree(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng,
+        counter: WorldCounter,
+    ) -> Pair:
+        # Resume mid-recursion with the answer-set state the decomposition
+        # recorded, instead of rebuilding the root state.
+        return self._recurse(
+            graph, require_cut_set(query), statuses, state, n_samples, rng, counter
+        )
+
     def _recurse(
         self,
         graph: UncertainGraph,
@@ -135,7 +157,8 @@ class RCSS(Estimator):
                 continue
             child_state = query.cut_advance(graph, state, int(cut[i]))
             sub_num, sub_den = self._recurse(
-                graph, query, child_for(i), child_state, int(n_i), rng, counter
+                graph, query, child_for(i), child_state, int(n_i),
+                child_rng(rng, i), counter,
             )
             num += pi * sub_num
             den += pi * sub_den
@@ -148,6 +171,75 @@ class RCSS(Estimator):
             num += weight * res_num
             den += weight * res_den
         return num, den
+
+    def _expand_node(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng: StratumRng,
+        counter: WorldCounter,
+    ) -> Optional[NodeExpansion]:
+        # Mirrors one node of _recurse exactly: same cut, same guards, same
+        # analytic pi_0 u_0 term, same residual pooling — only the per-child
+        # recursions are emitted as jobs instead of being descended into.
+        cut_query = require_cut_set(query)
+        cut = cut_query.cut_set(graph, statuses, state)
+        if cut.size == 0 and cut_query.exact_when_cut_empty:
+            return NodeExpansion(
+                pair_of(query, cut_query.cut_constant(graph, statuses, state)),
+                (0.0, 0.0),
+                [],
+            )
+        if statuses.n_free == 0:
+            return NodeExpansion(
+                query.evaluate_pair(graph, statuses.present_mask()), (0.0, 0.0), []
+            )
+        stop = (
+            n_samples < self.tau_samples
+            or statuses.n_free < self.tau_edges
+            or cut.size == 0
+        )
+        if self.budget_policy == "guard" and n_samples < cut.size:
+            stop = True
+        if stop:
+            return None
+        pi0, pis, pcds = cutset_strata(graph.prob[cut])
+        child0 = statuses.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
+        u0 = cut_query.cut_constant(graph, child0, state)
+        base_num, base_den = pair_of(query, u0)
+        base_num *= pi0
+        base_den *= pi0
+
+        def child_for(index: int) -> EdgeStatuses:
+            k = index + 1
+            return statuses.child(cut[:k], cutset_stratum_statuses(k))
+
+        if self.budget_policy == "pool":
+            plan = plan_allocation(pcds, n_samples)
+            allocations = plan.stratum_alloc
+        else:
+            plan = None
+            allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        children = []
+        for i, (pi, n_i) in enumerate(zip(pis, allocations)):
+            if pi <= 0.0 or n_i <= 0:
+                continue
+            child_state = cut_query.cut_advance(graph, state, int(cut[i]))
+            children.append(
+                ChildJob(float(pi), child_for(i).values, child_state, int(n_i), i)
+            )
+        tail = (0.0, 0.0)
+        if plan is not None and plan.residual_n:
+            res_num, res_den = residual_mixture_pair(
+                graph, query, child_for, pis, plan.residual, plan.residual_n,
+                rng, counter,
+            )
+            weight = float(pis[plan.residual].sum())
+            tail = (weight * res_num, weight * res_den)
+        return NodeExpansion((base_num, base_den), tail, children)
 
 
 __all__ = ["RCSS"]

@@ -11,7 +11,7 @@ PVLDB'11).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -21,7 +21,14 @@ from repro.core.allocation import (
     validate_allocation_method,
     validate_budget_policy,
 )
-from repro.core.base import Estimator, Pair, residual_mixture_pair, sample_mean_pair
+from repro.core.base import (
+    ChildJob,
+    Estimator,
+    NodeExpansion,
+    Pair,
+    residual_mixture_pair,
+    sample_mean_pair,
+)
 from repro.core.bss1 import MAX_CLASS1_R
 from repro.core.result import WorldCounter
 from repro.core.selection import EdgeSelection, RandomSelection
@@ -30,6 +37,7 @@ from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Query
+from repro.rng import StratumRng, child_rng
 from repro.utils.validation import check_positive_int
 
 
@@ -88,20 +96,18 @@ class RSS1(Estimator):
             return "RSSIR1"
         return f"RSSI{self.selection.code}"
 
-    def _estimate_pair(
-        self,
-        graph: UncertainGraph,
-        query: Query,
-        statuses: EdgeStatuses,
-        n_samples: int,
-        rng: np.random.Generator,
-        counter: WorldCounter,
-    ) -> Pair:
-        stop = n_samples < self.tau or statuses.n_free < self.r
-        if self.budget_policy == "guard" and n_samples < 2**self.r:
-            stop = True
-        if stop:
-            return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+    def _should_stop(self, statuses: EdgeStatuses, n_samples: int) -> bool:
+        if n_samples < self.tau or statuses.n_free < self.r:
+            return True
+        return self.budget_policy == "guard" and n_samples < 2**self.r
+
+    def _split(self, graph, query, statuses, n_samples, rng):
+        """One recursion node's stratification: edges, weights, allocations.
+
+        Consumes exactly one selection draw from ``rng``; shared by the
+        sequential recursion and the parallel node expansion so both see
+        the same strata.
+        """
         edges = self.selection.select(graph, query, statuses, self.r, rng)
         stratum_statuses, pis = class1_strata(graph.prob[edges])
 
@@ -114,13 +120,29 @@ class RSS1(Estimator):
         else:
             plan = None
             allocations = proportional_allocation(pis, n_samples, self.allocation)
+        return pis, child_for, plan, allocations
+
+    def _estimate_pair(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        n_samples: int,
+        rng: np.random.Generator,
+        counter: WorldCounter,
+    ) -> Pair:
+        if self._should_stop(statuses, n_samples):
+            return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+        pis, child_for, plan, allocations = self._split(
+            graph, query, statuses, n_samples, rng
+        )
         num = 0.0
         den = 0.0
         for index, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
             sub_num, sub_den = self._estimate_pair(
-                graph, query, child_for(index), int(n_i), rng, counter
+                graph, query, child_for(index), int(n_i), child_rng(rng, index), counter
             )
             num += pi * sub_num
             den += pi * sub_den
@@ -133,6 +155,36 @@ class RSS1(Estimator):
             num += weight * res_num
             den += weight * res_den
         return num, den
+
+    def _expand_node(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng: StratumRng,
+        counter: WorldCounter,
+    ) -> Optional[NodeExpansion]:
+        if self._should_stop(statuses, n_samples):
+            return None
+        pis, child_for, plan, allocations = self._split(
+            graph, query, statuses, n_samples, rng
+        )
+        children = [
+            ChildJob(float(pi), child_for(index).values, None, int(n_i), index)
+            for index, (pi, n_i) in enumerate(zip(pis, allocations))
+            if pi > 0.0 and n_i > 0
+        ]
+        tail = (0.0, 0.0)
+        if plan is not None and plan.residual_n:
+            res_num, res_den = residual_mixture_pair(
+                graph, query, child_for, pis, plan.residual, plan.residual_n,
+                rng, counter,
+            )
+            weight = float(pis[plan.residual].sum())
+            tail = (weight * res_num, weight * res_den)
+        return NodeExpansion((0.0, 0.0), tail, children)
 
 
 __all__ = ["RSS1"]

@@ -10,7 +10,7 @@ no larger than BSS-II.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -20,13 +20,21 @@ from repro.core.allocation import (
     validate_allocation_method,
     validate_budget_policy,
 )
-from repro.core.base import Estimator, Pair, residual_mixture_pair, sample_mean_pair
+from repro.core.base import (
+    ChildJob,
+    Estimator,
+    NodeExpansion,
+    Pair,
+    residual_mixture_pair,
+    sample_mean_pair,
+)
 from repro.core.result import WorldCounter
 from repro.core.selection import EdgeSelection, RandomSelection
 from repro.core.stratify import class2_strata, class2_stratum_statuses
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Query
+from repro.rng import StratumRng, child_rng
 from repro.utils.validation import check_positive_int
 
 
@@ -71,20 +79,16 @@ class RSS2(Estimator):
     def name(self) -> str:  # noqa: D102
         return f"RSSII{self.selection.code}"
 
-    def _estimate_pair(
-        self,
-        graph: UncertainGraph,
-        query: Query,
-        statuses: EdgeStatuses,
-        n_samples: int,
-        rng: np.random.Generator,
-        counter: WorldCounter,
-    ) -> Pair:
-        stop = n_samples < self.tau or statuses.n_free < self.r
-        if self.budget_policy == "guard" and n_samples < min(self.r, statuses.n_free) + 1:
-            stop = True
-        if stop:
-            return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+    def _should_stop(self, statuses: EdgeStatuses, n_samples: int) -> bool:
+        if n_samples < self.tau or statuses.n_free < self.r:
+            return True
+        return (
+            self.budget_policy == "guard"
+            and n_samples < min(self.r, statuses.n_free) + 1
+        )
+
+    def _split(self, graph, query, statuses, n_samples, rng):
+        """One recursion node's class-II stratification (one selection draw)."""
         edges = self.selection.select(graph, query, statuses, self.r, rng)
         pin_counts, pis = class2_strata(graph.prob[edges])
 
@@ -99,13 +103,30 @@ class RSS2(Estimator):
         else:
             plan = None
             allocations = proportional_allocation(pis, n_samples, self.allocation)
+        return pis, child_for, plan, allocations
+
+    def _estimate_pair(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        n_samples: int,
+        rng: np.random.Generator,
+        counter: WorldCounter,
+    ) -> Pair:
+        if self._should_stop(statuses, n_samples):
+            return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+        pis, child_for, plan, allocations = self._split(
+            graph, query, statuses, n_samples, rng
+        )
         num = 0.0
         den = 0.0
         for stratum, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
             sub_num, sub_den = self._estimate_pair(
-                graph, query, child_for(stratum), int(n_i), rng, counter
+                graph, query, child_for(stratum), int(n_i),
+                child_rng(rng, stratum), counter,
             )
             num += pi * sub_num
             den += pi * sub_den
@@ -118,6 +139,36 @@ class RSS2(Estimator):
             num += weight * res_num
             den += weight * res_den
         return num, den
+
+    def _expand_node(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        statuses: EdgeStatuses,
+        state: Any,
+        n_samples: int,
+        rng: StratumRng,
+        counter: WorldCounter,
+    ) -> Optional[NodeExpansion]:
+        if self._should_stop(statuses, n_samples):
+            return None
+        pis, child_for, plan, allocations = self._split(
+            graph, query, statuses, n_samples, rng
+        )
+        children = [
+            ChildJob(float(pi), child_for(stratum).values, None, int(n_i), stratum)
+            for stratum, (pi, n_i) in enumerate(zip(pis, allocations))
+            if pi > 0.0 and n_i > 0
+        ]
+        tail = (0.0, 0.0)
+        if plan is not None and plan.residual_n:
+            res_num, res_den = residual_mixture_pair(
+                graph, query, child_for, pis, plan.residual, plan.residual_n,
+                rng, counter,
+            )
+            weight = float(pis[plan.residual].sum())
+            tail = (weight * res_num, weight * res_den)
+        return NodeExpansion((0.0, 0.0), tail, children)
 
 
 __all__ = ["RSS2"]

@@ -14,6 +14,7 @@ defaults for the benchmark suite:
 ``REPRO_RUNS``            estimator repeats per query (default 25)
 ``REPRO_QUERIES``         queries per dataset (default 4)
 ``REPRO_SAMPLES``         sample size N (default 1000)
+``REPRO_WORKERS``         parallel workers per estimate (default 0 = sequential)
 ``REPRO_DATASETS``        comma-separated dataset subset
 ``REPRO_ESTIMATORS``      comma-separated estimator subset
 ========================  ==========================================
@@ -39,6 +40,7 @@ class ExperimentConfig:
     n_queries: int = 4
     scale: float = 0.02
     seed: int = 2014
+    n_workers: int = 0
     datasets: Tuple[str, ...] = tuple(DATASET_NAMES)
     estimators: Tuple[str, ...] = tuple(PAPER_ESTIMATORS)
     settings: EstimatorSettings = field(default_factory=EstimatorSettings)
@@ -52,6 +54,8 @@ class ExperimentConfig:
             raise ExperimentError("n_queries must be positive")
         if self.scale <= 0:
             raise ExperimentError("scale must be positive")
+        if self.n_workers < 0:
+            raise ExperimentError("n_workers must be >= 0 (0 = sequential)")
 
     @classmethod
     def paper(cls) -> "ExperimentConfig":
@@ -66,6 +70,7 @@ class ExperimentConfig:
             "n_runs": ("REPRO_RUNS", int),
             "n_queries": ("REPRO_QUERIES", int),
             "sample_size": ("REPRO_SAMPLES", int),
+            "n_workers": ("REPRO_WORKERS", int),
         }
         kwargs = {}
         for attr, (var, cast) in env_map.items():

@@ -63,8 +63,14 @@ def run_estimator(
     n_samples: int,
     n_runs: int,
     rng: RngLike = None,
+    n_workers: int = 0,
 ) -> RunStats:
-    """Run ``estimator`` ``n_runs`` times with independent random streams."""
+    """Run ``estimator`` ``n_runs`` times with independent random streams.
+
+    ``n_workers`` is forwarded to :meth:`Estimator.estimate`: ``0`` keeps
+    the sequential path, ``>= 1`` runs each estimate through the parallel
+    engine (run-to-run streams stay independent either way).
+    """
     if n_runs < 1:
         raise ExperimentError("n_runs must be positive")
     rngs = spawn_rngs(rng, n_runs)
@@ -72,7 +78,9 @@ def run_estimator(
     total_worlds = 0
     started = time.perf_counter()
     for i, child in enumerate(rngs):
-        result = estimator.estimate(graph, query, n_samples, rng=child)
+        result = estimator.estimate(
+            graph, query, n_samples, rng=child, n_workers=n_workers
+        )
         values[i] = result.value
         total_worlds += result.n_worlds
     elapsed = time.perf_counter() - started
@@ -86,11 +94,12 @@ def compare_estimators(
     n_samples: int,
     n_runs: int,
     rng: RngLike = None,
+    n_workers: int = 0,
 ) -> Dict[str, RunStats]:
     """One table cell: repeated runs for every estimator on one query."""
     rngs = spawn_rngs(rng, len(estimators))
     return {
-        name: run_estimator(graph, query, est, n_samples, n_runs, child)
+        name: run_estimator(graph, query, est, n_samples, n_runs, child, n_workers)
         for (name, est), child in zip(estimators.items(), rngs)
     }
 

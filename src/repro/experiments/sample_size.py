@@ -78,7 +78,8 @@ def run_sample_size(
             used = 0
             for query in queries:
                 stats = compare_estimators(
-                    dataset.graph, query, named, n, config.n_runs, kind_rng
+                    dataset.graph, query, named, n, config.n_runs, kind_rng,
+                    config.n_workers,
                 )
                 rvs = relative_variances(stats)
                 if any(v != v for v in rvs.values()):

@@ -73,7 +73,8 @@ def run_scalability(config: ExperimentConfig) -> ScalabilityResult:
                 total = 0.0
                 for query in queries:
                     stats = run_estimator(
-                        graph, query, estimator, config.sample_size, config.n_runs, graph_rng
+                        graph, query, estimator, config.sample_size, config.n_runs,
+                        graph_rng, config.n_workers,
                     )
                     total += stats.avg_time
                 cells[name] = total / len(queries)

@@ -92,6 +92,7 @@ def run_table(
                 config.sample_size,
                 config.n_runs,
                 ds_rng,
+                config.n_workers,
             )
             if metric == "relative_variance":
                 rvs = relative_variances(stats)

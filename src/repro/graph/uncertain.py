@@ -101,6 +101,35 @@ class UncertainGraph:
         return cls(n_nodes, src, dst, prob, directed=directed)
 
     @classmethod
+    def from_parts(
+        cls,
+        n_nodes: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        prob: np.ndarray,
+        directed: bool,
+        adjacency: CsrAdjacency,
+    ) -> "UncertainGraph":
+        """Reassemble a graph from prebuilt arrays without copying or validating.
+
+        Used by the shared-memory arena (:mod:`repro.parallel.arena`): worker
+        processes attach the parent's edge and CSR arrays zero-copy, so the
+        per-edge validation and the ``O(m log m)`` CSR construction of
+        ``__init__`` must not run again.  The caller guarantees the arrays
+        are consistent (they came out of a constructed graph) and treats
+        them as read-only.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "n_nodes", int(n_nodes))
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        object.__setattr__(self, "prob", prob)
+        object.__setattr__(self, "directed", bool(directed))
+        object.__setattr__(self, "_adj", adjacency)
+        object.__setattr__(self, "_radj", None)
+        return self
+
+    @classmethod
     def from_networkx(cls, nx_graph, prob_attr: str = "prob") -> "UncertainGraph":
         """Convert a networkx (Di)Graph whose edges carry a probability attribute.
 

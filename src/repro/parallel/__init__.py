@@ -1,0 +1,28 @@
+"""Parallel stratified execution engine.
+
+The recursive estimators combine *independent* stratum subtrees linearly
+(``num += pi_i * num_i``), so the top levels of the recursion decompose into
+jobs that a spawn-based process pool can evaluate concurrently:
+
+* :mod:`repro.parallel.arena` — a ``multiprocessing.shared_memory`` arena
+  that publishes the graph's edge and CSR arrays once; workers attach
+  zero-copy instead of unpickling a full graph per task.
+* :mod:`repro.parallel.driver` — walks the recursion until it has enough
+  subtree jobs (via :meth:`Estimator._expand_node`), ships them to the
+  pool, and reduces the returned pairs with the exact accumulation order of
+  the sequential code.
+* :mod:`repro.parallel.worker` — the process-pool side: attach the arena,
+  rebuild the graph, evaluate jobs.
+
+Randomness is keyed by *stratum path* (:class:`repro.rng.StratumRng`), so a
+fixed seed produces bit-identical estimates for every ``n_workers >= 1``;
+``n_workers=None``/``0`` (the default everywhere) keeps the historical
+sequential stream untouched.
+
+Entry point: ``Estimator.estimate(..., n_workers=...)``.
+"""
+
+from repro.parallel.arena import ArenaSpec, GraphArena, attach_graph
+from repro.parallel.driver import estimate_parallel
+
+__all__ = ["ArenaSpec", "GraphArena", "attach_graph", "estimate_parallel"]

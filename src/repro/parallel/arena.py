@@ -1,0 +1,211 @@
+"""Shared-memory graph arena.
+
+The parallel driver publishes the graph's six backing arrays — ``src``,
+``dst``, ``prob`` plus the CSR triplet ``indptr`` / ``arc_target`` /
+``arc_edge`` — into a single ``multiprocessing.shared_memory`` block,
+64-byte aligned, exactly once per :func:`~repro.parallel.driver.\
+estimate_parallel` call.  Workers receive only the small picklable
+:class:`ArenaSpec` (block name + field layout) through the pool initializer
+and rebuild the graph with :meth:`UncertainGraph.from_parts` as read-only
+zero-copy views — no per-task graph pickling, no repeated CSR construction.
+
+The spec also records the bitset scratch layout of the batched traversal
+kernels (:mod:`repro.graph.bitsets`): the packed word width per 64-world
+block and the per-world visited/frontier row sizes.  Workers use the same
+layout the parent would, so batch-kernel behaviour is identical in and out
+of the pool.
+
+Lifetime: the driver owns the block (``GraphArena`` is a context manager
+that unlinks on exit, including on worker crashes); workers only ever
+*attach*.  On Python < 3.13 an attaching process would register the segment
+with its ``resource_tracker``, which then unlinks it when that worker exits
+— yanking the arena out from under its siblings — so :func:`attach_graph`
+immediately unregisters the attachment (the 3.13+ ``track=False`` parameter
+is used when available).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, NamedTuple, Tuple
+
+import numpy as np
+
+from repro.graph.bitsets import WORD_BITS, packed_width
+from repro.graph.csr import CsrAdjacency
+from repro.graph.uncertain import UncertainGraph
+
+#: Byte alignment of every array inside the arena block (cache-line sized).
+ARENA_ALIGN = 64
+
+#: ``(attribute, offset, shape, dtype-string)`` layout entry.
+FieldSpec = Tuple[str, int, Tuple[int, ...], str]
+
+
+class ArenaSpec(NamedTuple):
+    """Picklable description of one shared-memory graph arena.
+
+    Everything a worker needs to attach: the shared-memory block ``name``,
+    the per-array ``fields`` layout, the graph metadata required by
+    :meth:`UncertainGraph.from_parts`, and the ``scratch`` sizing hints for
+    the batched bitset kernels.
+    """
+
+    name: str
+    n_nodes: int
+    n_edges: int
+    directed: bool
+    fields: Tuple[FieldSpec, ...]
+    total_bytes: int
+    scratch: Dict[str, int]
+
+
+def _graph_arrays(graph: UncertainGraph):
+    adj = graph.adjacency
+    return (
+        ("src", graph.src),
+        ("dst", graph.dst),
+        ("prob", graph.prob),
+        ("indptr", adj.indptr),
+        ("arc_target", adj.arc_target),
+        ("arc_edge", adj.arc_edge),
+    )
+
+
+def _scratch_layout(graph: UncertainGraph) -> Dict[str, int]:
+    """Bitset scratch sizing of the batched kernels for this graph.
+
+    Informational but shipped with the spec so a worker can preallocate
+    its per-block scratch without touching the graph: a block of ``<= 64``
+    worlds packs into ``packed_words`` machine words per edge row, and each
+    world's visited/frontier bitsets span ``words_per_node_row`` words.
+    """
+    return {
+        "word_bits": WORD_BITS,
+        "packed_words": int(packed_width(graph.n_edges)),
+        "words_per_node_row": int(packed_width(graph.n_nodes)),
+    }
+
+
+class GraphArena:
+    """Publish a graph's arrays into one shared-memory block (driver side).
+
+    Use as a context manager; the block is unlinked on exit no matter how
+    the pool shut down.  ``spec`` is the handle to ship to workers.
+    """
+
+    def __init__(self, graph: UncertainGraph) -> None:
+        arrays = [(attr, np.ascontiguousarray(arr)) for attr, arr in _graph_arrays(graph)]
+        fields = []
+        offset = 0
+        for attr, arr in arrays:
+            offset = -(-offset // ARENA_ALIGN) * ARENA_ALIGN
+            fields.append((attr, offset, tuple(arr.shape), arr.dtype.str))
+            offset += arr.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        try:
+            for (attr, off, shape, dtype), (_, arr) in zip(fields, arrays):
+                view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=off)
+                view[...] = arr
+                del view  # views pin the buffer; drop before any close()
+        except BaseException:
+            self.close(unlink=True)
+            raise
+        self.spec = ArenaSpec(
+            name=self._shm.name,
+            n_nodes=graph.n_nodes,
+            n_edges=graph.n_edges,
+            directed=graph.directed,
+            fields=tuple(fields),
+            total_bytes=offset,
+            scratch=_scratch_layout(graph),
+        )
+
+    def close(self, unlink: bool = True) -> None:
+        """Detach and (by default) destroy the shared block.  Idempotent."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        finally:
+            if unlink:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "GraphArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(unlink=True)
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without adopting ownership of it.
+
+    On Python < 3.13 a plain attach *registers* the segment with the
+    process's resource tracker, which would then unlink it when this worker
+    exits — destroying the arena for the driver and sibling workers (the
+    classic bpo-38119 behaviour, fixed by ``track=False`` in 3.13).  For
+    older interpreters the register call is suppressed for the duration of
+    the attach; unregistering after the fact would instead unbalance the
+    tracker shared with the parent.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+#: Per-process attachment cache: arena name -> (graph, shm handle).  A pool
+#: worker attaches once in its initializer and reuses the views for every
+#: job of the run.
+_ATTACHED: Dict[str, Tuple[UncertainGraph, Any]] = {}
+
+
+def attach_graph(spec: ArenaSpec) -> UncertainGraph:
+    """Rebuild the graph from an arena spec as read-only zero-copy views."""
+    cached = _ATTACHED.get(spec.name)
+    if cached is not None:
+        return cached[0]
+    shm = _attach_block(spec.name)
+    views = {}
+    for attr, offset, shape, dtype in spec.fields:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views[attr] = view
+    graph = UncertainGraph.from_parts(
+        spec.n_nodes,
+        views["src"],
+        views["dst"],
+        views["prob"],
+        spec.directed,
+        CsrAdjacency(
+            indptr=views["indptr"],
+            arc_target=views["arc_target"],
+            arc_edge=views["arc_edge"],
+        ),
+    )
+    # The shm handle must outlive the views; cache both for process lifetime.
+    _ATTACHED[spec.name] = (graph, shm)
+    return graph
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (test hook; workers just exit)."""
+    for name in list(_ATTACHED):
+        _, shm = _ATTACHED.pop(name)
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still alive somewhere
+            pass
+
+
+__all__ = ["ARENA_ALIGN", "ArenaSpec", "GraphArena", "attach_graph", "detach_all"]

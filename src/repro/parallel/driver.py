@@ -1,0 +1,214 @@
+"""Parallel driver: decompose the recursion, fan out, reduce exactly.
+
+:func:`estimate_parallel` is the engine behind
+``Estimator.estimate(..., n_workers=...)``.  It walks the top of the
+stratified recursion *in the driver process* (largest-budget nodes first,
+via :meth:`Estimator._expand_node`) until at least ``tasks_per_worker *
+n_workers`` leaf jobs exist, ships the leaves to a spawn-based
+:class:`~concurrent.futures.ProcessPoolExecutor` whose workers attach the
+shared-memory graph arena, and reduces the returned ``(num, den)`` pairs
+bottom-up through the recorded expansion tree.
+
+Two properties make the result bit-identical for every ``n_workers >= 1``:
+
+* every node draws from a stream keyed by its stratum path
+  (:class:`~repro.rng.StratumRng`), so *what* a subtree computes is
+  independent of where and when it runs, and of how deep the driver chose
+  to expand;
+* the reduction replays the sequential accumulation order exactly —
+  ``head``, then ``pi_i * child_i`` in stratum order, then ``tail`` — so
+  expanding a node one level deeper changes no floating-point rounding.
+
+The decomposition depth (``tasks_per_worker``) therefore affects load
+balance only, never the estimate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import Estimator, Pair
+from repro.core.result import EstimateResult, WorldCounter
+from repro.errors import EstimatorError
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.parallel.arena import GraphArena
+from repro.parallel.worker import Job, evaluate_job, init_worker, run_job
+from repro.queries.base import Query
+from repro.rng import RngLike, StratumRng, root_seed_sequence
+
+
+class _Leaf:
+    """A scheduled job; ``node`` is set instead when the leaf got expanded."""
+
+    __slots__ = ("job", "result", "node")
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.result: Optional[Pair] = None
+        self.node: Optional["_Node"] = None
+
+
+class _Node:
+    """An expanded recursion node: head/tail pairs plus weighted children."""
+
+    __slots__ = ("head", "tail", "children")
+
+    def __init__(self, head: Pair, tail: Pair) -> None:
+        self.head = head
+        self.tail = tail
+        self.children: List[Tuple[float, _Leaf]] = []
+
+
+def _decompose(
+    estimator: Estimator,
+    graph: UncertainGraph,
+    query: Query,
+    n_samples: int,
+    root: np.random.SeedSequence,
+    target: int,
+    counter: WorldCounter,
+) -> Tuple[_Leaf, List[_Leaf]]:
+    """Expand the recursion until ``target`` leaf jobs exist.
+
+    Returns the root leaf (head of the reduction tree) and the flat list of
+    unexpanded leaves that still need evaluation.  Expansion order is
+    largest-budget-first so the slowest subtrees split before small ones;
+    thanks to path-keyed streams the order cannot change the estimate.
+    """
+    root_leaf = _Leaf(
+        Job("subtree", EdgeStatuses(graph).values, estimator._initial_state(graph, query),
+            n_samples, ())
+    )
+    heap: List[Tuple[int, int, _Leaf]] = [(-n_samples, 0, root_leaf)]
+    settled: List[_Leaf] = []
+    seq = 1
+    while heap and len(heap) + len(settled) < target:
+        _, _, leaf = heapq.heappop(heap)
+        job = leaf.job
+        expansion = estimator._expand_node(  # noqa: SLF001 - engine hook
+            graph, query, EdgeStatuses(graph, job.values), job.state,
+            job.n_samples, StratumRng(root, job.path), counter,
+        )
+        if expansion is None:
+            settled.append(leaf)
+            continue
+        node = _Node(tuple(expansion.head), tuple(expansion.tail))
+        leaf.node = node
+        for child in expansion.children:
+            child_job = Job(
+                child.kind,
+                np.asarray(child.values, dtype=np.int8),
+                child.state,
+                int(child.n_samples),
+                job.path + (int(child.index),),
+            )
+            child_leaf = _Leaf(child_job)
+            node.children.append((float(child.pi), child_leaf))
+            if child.kind == "subtree":
+                heapq.heappush(heap, (-child_job.n_samples, seq, child_leaf))
+                seq += 1
+            else:
+                # "mc" leaves are terminal by construction: re-expanding
+                # them would re-stratify what the parent already stratified.
+                settled.append(child_leaf)
+    settled.extend(entry[2] for entry in heap)
+    return root_leaf, settled
+
+
+def _reduce(leaf: _Leaf) -> Pair:
+    """Fold the expansion tree back into one pair, sequential order exactly."""
+    if leaf.node is None:
+        if leaf.result is None:
+            raise EstimatorError("parallel reduction saw an unevaluated job")
+        return leaf.result
+    node = leaf.node
+    num, den = node.head
+    for pi, child in node.children:
+        sub_num, sub_den = _reduce(child)
+        num += pi * sub_num
+        den += pi * sub_den
+    num += node.tail[0]
+    den += node.tail[1]
+    return num, den
+
+
+def _run_pool(
+    estimator: Estimator,
+    graph: UncertainGraph,
+    query: Query,
+    root: np.random.SeedSequence,
+    leaves: List[_Leaf],
+    n_workers: int,
+    counter: WorldCounter,
+) -> None:
+    """Evaluate ``leaves`` on a spawn pool sharing the graph via an arena."""
+    with GraphArena(graph) as arena:
+        executor = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=get_context("spawn"),
+            initializer=init_worker,
+            initargs=(arena.spec, estimator, query, root),
+        )
+        try:
+            futures = [(leaf, executor.submit(run_job, leaf.job)) for leaf in leaves]
+            for leaf, future in futures:
+                num, den, worlds = future.result()
+                leaf.result = (num, den)
+                counter.add(worlds)
+        except BrokenProcessPool as exc:
+            raise EstimatorError(
+                "parallel worker pool crashed (a worker process died); "
+                "rerun with n_workers=0 to use the sequential path"
+            ) from exc
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+def estimate_parallel(
+    estimator: Estimator,
+    graph: UncertainGraph,
+    query: Query,
+    n_samples: int,
+    rng: RngLike = None,
+    n_workers: int = 1,
+    tasks_per_worker: int = 4,
+) -> EstimateResult:
+    """Run ``estimator`` with the recursion fanned out over worker processes.
+
+    ``n_workers=1`` runs the identical decomposition in-process (no pool,
+    no arena) — useful as the bit-exact reference for the pooled runs and
+    as the cheap path on single-core machines.
+    """
+    if n_workers < 1:
+        raise EstimatorError(f"estimate_parallel needs n_workers >= 1, got {n_workers}")
+    if tasks_per_worker < 1:
+        raise EstimatorError(
+            f"tasks_per_worker must be >= 1, got {tasks_per_worker}"
+        )
+    query.validate(graph)
+    root = root_seed_sequence(rng)
+    counter = WorldCounter()
+    target = tasks_per_worker * n_workers
+    root_leaf, leaves = _decompose(
+        estimator, graph, query, n_samples, root, target, counter
+    )
+    if n_workers == 1:
+        for leaf in leaves:
+            leaf.result = evaluate_job(graph, estimator, query, root, leaf.job, counter)
+    elif leaves:
+        _run_pool(estimator, graph, query, root, leaves, n_workers, counter)
+    num, den = _reduce(root_leaf)
+    return EstimateResult.from_pair(
+        num, den, n_samples, counter.worlds, estimator.name,
+        n_workers=n_workers, n_jobs=len(leaves),
+    )
+
+
+__all__ = ["estimate_parallel"]

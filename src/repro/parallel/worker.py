@@ -1,0 +1,87 @@
+"""Process-pool worker side of the parallel engine.
+
+Each worker is initialised once per pool (:func:`init_worker`): it attaches
+the shared-memory graph arena, and keeps the estimator, the query and the
+root ``SeedSequence`` in module globals.  Every job then ships only its
+partial assignment, local budget and stratum path — a few hundred bytes
+plus one ``int8`` status vector.
+
+Jobs are self-describing (:class:`Job`): ``kind == "subtree"`` re-enters the
+estimator's own recursion via :meth:`Estimator._run_subtree`; ``kind ==
+"mc"`` runs plain :func:`~repro.core.base.sample_mean_pair` (the leaves of
+the single-level BSS/BCSS stratifications, which must *not* be
+re-stratified).  The job's RNG is rebuilt from the root sequence and the
+stratum path, so the numbers drawn are identical to what any other process
+— or the sequential path-keyed recursion — would draw for that subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple, Tuple
+
+import numpy as np
+
+from repro.core.base import Estimator, Pair, sample_mean_pair
+from repro.core.result import WorldCounter
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.parallel.arena import ArenaSpec, attach_graph
+from repro.queries.base import Query
+from repro.rng import StratumRng
+
+
+class Job(NamedTuple):
+    """One unit of parallel work: a recursion subtree or an MC leaf."""
+
+    kind: str
+    values: np.ndarray
+    state: Any
+    n_samples: int
+    path: Tuple[int, ...]
+
+
+def evaluate_job(
+    graph: UncertainGraph,
+    estimator: Estimator,
+    query: Query,
+    root: np.random.SeedSequence,
+    job: Job,
+    counter: WorldCounter,
+) -> Pair:
+    """Evaluate one job under its path-keyed stream (both sides use this)."""
+    rng = StratumRng(root, job.path)
+    statuses = EdgeStatuses(graph, job.values)
+    if job.kind == "mc":
+        return sample_mean_pair(graph, query, statuses, job.n_samples, rng, counter)
+    return estimator._run_subtree(  # noqa: SLF001 - engine-internal hook
+        graph, query, statuses, job.state, job.n_samples, rng, counter
+    )
+
+
+_STATE: Dict[str, Any] = {}
+
+
+def init_worker(
+    spec: ArenaSpec,
+    estimator: Estimator,
+    query: Query,
+    root: np.random.SeedSequence,
+) -> None:
+    """Pool initializer: attach the arena, stash the run-wide objects."""
+    _STATE["graph"] = attach_graph(spec)
+    _STATE["estimator"] = estimator
+    _STATE["query"] = query
+    _STATE["root"] = root
+
+
+def run_job(job: Job) -> Tuple[float, float, int]:
+    """Pool task entry point; returns ``(num, den, worlds_evaluated)``."""
+    counter = WorldCounter()
+    num, den = evaluate_job(
+        _STATE["graph"], _STATE["estimator"], _STATE["query"], _STATE["root"],
+        job, counter,
+    )
+    return float(num), float(den), counter.worlds
+
+
+__all__ = ["Job", "evaluate_job", "init_worker", "run_job"]

@@ -6,15 +6,93 @@ and normalises it through :func:`resolve_rng`.  Reproducible fan-out (one
 independent stream per repeat of an experiment) goes through
 :func:`spawn_rngs`, which uses numpy's ``SeedSequence`` spawning so child
 streams are statistically independent.
+
+The parallel execution engine (:mod:`repro.parallel`) threads a
+:class:`StratumRng` through the estimator recursions instead of a plain
+generator: every recursion node owns a stream keyed by its *stratum path*
+(the sequence of child indices from the root), so the random numbers a
+subtree consumes depend only on the seed and the subtree's position — never
+on which process evaluates it or in what order.  That is what makes
+parallel estimates bit-identical for any worker count.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence, "StratumRng"]
+
+
+class StratumRng:
+    """A path-keyed random stream for the stratified recursion.
+
+    Wraps a root :class:`numpy.random.SeedSequence` plus the *stratum path*
+    — the tuple of child-stratum indices leading from the recursion root to
+    this node.  The node's own stream (:attr:`generator`, used for edge
+    selection, leaf Monte-Carlo sampling and residual-mixture draws) is
+    derived by extending the root's spawn key with the path, exactly as
+    nested ``SeedSequence.spawn`` calls would; :meth:`child` descends one
+    stratum deeper.  Because streams are keyed by position rather than by
+    draw order, a subtree produces the same numbers whether it runs inline,
+    in another worker process, or after any other subtree.
+    """
+
+    __slots__ = ("root", "path", "_generator")
+
+    def __init__(
+        self, root: np.random.SeedSequence, path: Tuple[int, ...] = ()
+    ) -> None:
+        if not isinstance(root, np.random.SeedSequence):
+            raise TypeError("StratumRng needs a SeedSequence root")
+        self.root = root
+        self.path = tuple(int(i) for i in path)
+        self._generator: Optional[np.random.Generator] = None
+
+    @property
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The ``SeedSequence`` of this node: root spawn key extended by the path."""
+        return np.random.SeedSequence(
+            entropy=self.root.entropy,
+            spawn_key=tuple(self.root.spawn_key) + self.path,
+        )
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """This node's own stream, materialised lazily and cached."""
+        if self._generator is None:
+            self._generator = np.random.default_rng(self.seed_sequence)
+        return self._generator
+
+    def child(self, index: int) -> "StratumRng":
+        """The stream handle of child stratum ``index``."""
+        return StratumRng(self.root, self.path + (int(index),))
+
+    def __getattr__(self, name: str):
+        # Forward the Generator surface (random, choice, integers, ...) so a
+        # StratumRng can stand in for a Generator at every draw site.
+        return getattr(self.generator, name)
+
+    def __reduce__(self):  # noqa: D105 - lazily-built generator is not shipped
+        return (StratumRng, (self.root, self.path))
+
+    def __repr__(self) -> str:  # noqa: D105
+        return f"StratumRng(path={self.path!r})"
+
+
+def child_rng(rng: Union[np.random.Generator, StratumRng], index: int):
+    """The stream a recursion should hand to child stratum ``index``.
+
+    Sequential mode threads one shared :class:`~numpy.random.Generator`
+    through the whole recursion, so the child receives the parent's stream
+    unchanged — preserving the historical draw order bit-for-bit.  Under the
+    parallel engine's :class:`StratumRng` the child receives its own
+    path-keyed stream instead.
+    """
+    if isinstance(rng, StratumRng):
+        return rng.child(index)
+    return rng
 
 
 def resolve_rng(rng: RngLike = None) -> np.random.Generator:
@@ -23,11 +101,14 @@ def resolve_rng(rng: RngLike = None) -> np.random.Generator:
     Parameters
     ----------
     rng:
-        ``None`` (fresh entropy), an integer seed, a ``SeedSequence``, or an
-        existing ``Generator`` (returned unchanged).
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence``, a
+        :class:`StratumRng` (resolved to its node stream), or an existing
+        ``Generator`` (returned unchanged).
     """
     if isinstance(rng, np.random.Generator):
         return rng
+    if isinstance(rng, StratumRng):
+        return rng.generator
     if isinstance(rng, np.random.SeedSequence):
         return np.random.default_rng(rng)
     if rng is None or isinstance(rng, (int, np.integer)):
@@ -35,16 +116,36 @@ def resolve_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def root_seed_sequence(rng: RngLike = None) -> np.random.SeedSequence:
+    """Derive a :class:`~numpy.random.SeedSequence` root from any RNG input.
+
+    Integer seeds and ``SeedSequence`` inputs map to the same root for every
+    call, so a fixed seed pins the whole parallel execution; a ``Generator``
+    contributes a child of its internal seed sequence (advancing its spawn
+    counter, mirroring :func:`spawn_rngs`).
+    """
+    if isinstance(rng, StratumRng):
+        return rng.seed_sequence
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, np.random.Generator):
+        return rng.bit_generator.seed_seq.spawn(1)[0]  # type: ignore[attr-defined]
+    return np.random.SeedSequence(rng)
+
+
 def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
     """Spawn ``n`` independent generators derived from ``rng``.
 
     When ``rng`` is an integer seed or ``None``, children are spawned from a
-    fresh ``SeedSequence``; when it is already a ``Generator``, children are
-    spawned from its internal bit-generator seed sequence so repeated calls
-    produce fresh, non-overlapping streams.
+    fresh ``SeedSequence``; when it is already a ``Generator`` (or a
+    :class:`StratumRng`, resolved to its node stream), children are spawned
+    from its internal bit-generator seed sequence so repeated calls produce
+    fresh, non-overlapping streams.
     """
     if n < 0:
         raise ValueError("cannot spawn a negative number of generators")
+    if isinstance(rng, StratumRng):
+        rng = rng.generator
     if isinstance(rng, np.random.Generator):
         seeds = rng.bit_generator.seed_seq.spawn(n)  # type: ignore[attr-defined]
     elif isinstance(rng, np.random.SeedSequence):
@@ -65,4 +166,13 @@ def seeds_for(rng: RngLike, labels: Iterable[str]) -> dict:
     return {label: int(gen.integers(0, 2**63 - 1)) for label in labels}
 
 
-__all__ = ["RngLike", "resolve_rng", "spawn_rngs", "derive_seed", "seeds_for"]
+__all__ = [
+    "RngLike",
+    "StratumRng",
+    "child_rng",
+    "resolve_rng",
+    "root_seed_sequence",
+    "spawn_rngs",
+    "derive_seed",
+    "seeds_for",
+]

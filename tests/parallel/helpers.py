@@ -1,0 +1,16 @@
+"""Picklable helpers for the parallel-engine tests.
+
+Spawned workers import these by module path, so they must live in a real
+module (lambdas or test-local classes would fail to unpickle in the child).
+"""
+
+from __future__ import annotations
+
+from repro.queries.influence import InfluenceQuery
+
+
+class FailingQuery(InfluenceQuery):
+    """An influence query whose evaluation always explodes (crash injection)."""
+
+    def evaluate_pairs(self, graph, masks):
+        raise RuntimeError("injected worker failure")

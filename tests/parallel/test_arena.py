@@ -1,0 +1,110 @@
+"""Shared-memory graph arena: round trip, layout, lifetime."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.graph.bitsets import packed_width
+from repro.graph.statuses import EdgeStatuses
+from repro.parallel.arena import ARENA_ALIGN, GraphArena, attach_graph, detach_all
+from repro.queries.influence import InfluenceQuery
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    yield
+    detach_all()
+
+
+def test_round_trip_preserves_graph(small_random):
+    with GraphArena(small_random) as arena:
+        attached = attach_graph(arena.spec)
+        assert attached.n_nodes == small_random.n_nodes
+        assert attached.n_edges == small_random.n_edges
+        assert attached.directed == small_random.directed
+        np.testing.assert_array_equal(attached.src, small_random.src)
+        np.testing.assert_array_equal(attached.dst, small_random.dst)
+        np.testing.assert_array_equal(attached.prob, small_random.prob)
+        np.testing.assert_array_equal(
+            attached.adjacency.indptr, small_random.adjacency.indptr
+        )
+        np.testing.assert_array_equal(
+            attached.adjacency.arc_target, small_random.adjacency.arc_target
+        )
+        np.testing.assert_array_equal(
+            attached.adjacency.arc_edge, small_random.adjacency.arc_edge
+        )
+        detach_all()
+
+
+def test_attached_graph_evaluates_identically(small_random):
+    query = InfluenceQuery([0])
+    mask = np.ones(small_random.n_edges, dtype=bool)
+    with GraphArena(small_random) as arena:
+        attached = attach_graph(arena.spec)
+        assert query.evaluate_pair(attached, mask) == query.evaluate_pair(
+            small_random, mask
+        )
+        detach_all()
+
+
+def test_attached_arrays_are_read_only(small_random):
+    with GraphArena(small_random) as arena:
+        attached = attach_graph(arena.spec)
+        with pytest.raises(ValueError):
+            attached.prob[0] = 0.123
+        detach_all()
+
+
+def test_spec_layout(small_random):
+    with GraphArena(small_random) as arena:
+        spec = arena.spec
+        assert [f[0] for f in spec.fields] == [
+            "src", "dst", "prob", "indptr", "arc_target", "arc_edge",
+        ]
+        assert all(offset % ARENA_ALIGN == 0 for _, offset, _, _ in spec.fields)
+        assert spec.scratch["packed_words"] == packed_width(small_random.n_edges)
+        assert spec.scratch["words_per_node_row"] == packed_width(small_random.n_nodes)
+
+
+def test_attachment_is_cached_per_process(small_random):
+    with GraphArena(small_random) as arena:
+        first = attach_graph(arena.spec)
+        second = attach_graph(arena.spec)
+        assert first is second
+        detach_all()
+
+
+def test_arena_unlinked_on_exit(small_random):
+    with GraphArena(small_random) as arena:
+        name = arena.spec.name
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_arena_unlinked_on_exception(small_random):
+    with pytest.raises(RuntimeError):
+        with GraphArena(small_random) as arena:
+            name = arena.spec.name
+            raise RuntimeError("boom")
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_close_is_idempotent(small_random):
+    arena = GraphArena(small_random)
+    arena.close()
+    arena.close()
+
+
+def test_empty_graph_arena(tiny_path):
+    # Also exercises a graph with pinned statuses downstream: the arena only
+    # ships the immutable graph, statuses travel with each job.
+    statuses = EdgeStatuses(tiny_path)
+    with GraphArena(tiny_path) as arena:
+        attached = attach_graph(arena.spec)
+        assert EdgeStatuses(attached).n_free == statuses.n_free
+        detach_all()

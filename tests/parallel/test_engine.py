@@ -1,0 +1,190 @@
+"""Parallel execution engine: determinism, accuracy, failure handling.
+
+The engine's core contract — a fixed seed gives bit-identical estimates for
+every ``n_workers >= 1`` and every decomposition depth — is checked
+in-process (``n_workers=1`` with varying ``tasks_per_worker`` exercises the
+whole expand/reduce machinery without pool startup cost) plus a real
+spawn-pool run for the cross-process half of the claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.antithetic import AntitheticNMC
+from repro.core.bcss import BCSS
+from repro.core.bss1 import BSS1
+from repro.core.bss2 import BSS2
+from repro.core.nmc import NMC
+from repro.core.rcss import RCSS
+from repro.core.rss1 import RSS1
+from repro.core.rss2 import RSS2
+from repro.errors import EstimatorError
+from repro.graph.enumerate import enumerate_graph_worlds
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.world import sample_edge_masks
+from repro.core.base import sample_mean_pair, residual_mixture_pair
+from repro.core.result import WorldCounter
+from repro.parallel.driver import estimate_parallel
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.influence import InfluenceQuery
+
+from tests.parallel.helpers import FailingQuery
+
+SEED = 20140331
+
+
+def _fingerprint(result):
+    return (result.value, result.numerator, result.denominator, result.n_worlds)
+
+
+ESTIMATORS = [
+    NMC(),
+    AntitheticNMC(),
+    BSS1(r=3),
+    BSS2(r=6),
+    BCSS(),
+    RSS1(r=3, tau=8),
+    RSS1(r=3, tau=8, budget_policy="pool"),
+    RSS2(r=4, tau=8),
+    RCSS(),
+]
+
+
+@pytest.mark.parametrize("estimator", ESTIMATORS, ids=lambda e: e.name)
+def test_decomposition_depth_does_not_change_estimate(small_random, estimator):
+    """Deeper expansion must reduce to bit-identical results (in-process)."""
+    query = InfluenceQuery([0])
+    results = [
+        estimator.estimate(
+            small_random, query, 300, rng=SEED, n_workers=1,
+            tasks_per_worker=depth,
+        )
+        for depth in (1, 4, 32)
+    ]
+    fingerprints = {_fingerprint(r) for r in results}
+    assert len(fingerprints) == 1, fingerprints
+
+
+def test_rcss_state_threading_on_distance_query(diamond_graph):
+    """RCSS ships mid-recursion answer-set state into subtree jobs."""
+    query = ReliableDistanceQuery(0, 3)
+    results = [
+        RCSS(tau_samples=4, tau_edges=2).estimate(
+            diamond_graph, query, 256, rng=SEED, n_workers=1, tasks_per_worker=depth
+        )
+        for depth in (1, 16)
+    ]
+    assert _fingerprint(results[0]) == _fingerprint(results[1])
+
+
+@pytest.mark.parametrize("estimator", [NMC(), RCSS()], ids=lambda e: e.name)
+def test_pool_matches_in_process_bit_for_bit(small_random, estimator):
+    """A real spawn pool returns exactly what the in-process path returns."""
+    query = InfluenceQuery([0])
+    solo = estimator.estimate(small_random, query, 300, rng=SEED, n_workers=1)
+    pooled = estimator.estimate(small_random, query, 300, rng=SEED, n_workers=2)
+    assert _fingerprint(solo) == _fingerprint(pooled)
+
+
+def test_sequential_default_bypasses_engine(small_random):
+    """n_workers omitted / 0 / None all take the historical sequential path."""
+    query = InfluenceQuery([0])
+    expected = NMC().estimate(small_random, query, 200, rng=SEED)
+    for n_workers in (0, None):
+        result = NMC().estimate(small_random, query, 200, rng=SEED, n_workers=n_workers)
+        assert _fingerprint(result) == _fingerprint(expected)
+        assert "n_jobs" not in result.extras
+
+
+def test_parallel_estimate_matches_exact_within_clt(small_star):
+    query = InfluenceQuery([0])
+    exact = sum(
+        weight * query.evaluate_pair(small_star, mask)[0]
+        for mask, weight in enumerate_graph_worlds(small_star)
+    )
+    estimator = RSS1(r=2, tau=4)
+    values = np.array(
+        [
+            estimator.estimate(
+                small_star, query, 200, rng=seed, n_workers=1
+            ).value
+            for seed in range(40)
+        ]
+    )
+    spread = max(values.std(ddof=1), 1e-12)
+    assert abs(values.mean() - exact) < 5.0 * spread / np.sqrt(values.size)
+
+
+def test_worker_failure_propagates_and_unlinks_arena(small_random, monkeypatch):
+    from multiprocessing import shared_memory
+
+    import repro.parallel.driver as driver_module
+
+    created = []
+    original = driver_module.GraphArena
+
+    class RecordingArena(original):
+        def __init__(self, graph):
+            super().__init__(graph)
+            created.append(self.spec.name)
+
+    monkeypatch.setattr(driver_module, "GraphArena", RecordingArena)
+    query = FailingQuery([0])
+    with pytest.raises(RuntimeError, match="injected worker failure"):
+        NMC().estimate(small_random, query, 300, rng=SEED, n_workers=2)
+    assert len(created) == 1
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=created[0])
+
+
+def test_worker_count_validation(small_random):
+    query = InfluenceQuery([0])
+    with pytest.raises(EstimatorError):
+        NMC().estimate(small_random, query, 100, rng=SEED, n_workers=-1)
+    with pytest.raises(EstimatorError):
+        estimate_parallel(NMC(), small_random, query, 100, rng=SEED, n_workers=0)
+    with pytest.raises(EstimatorError):
+        estimate_parallel(
+            NMC(), small_random, query, 100, rng=SEED, n_workers=1, tasks_per_worker=0
+        )
+
+
+def test_sample_mean_pair_matches_per_world_accumulation(small_random):
+    """Block-sum reduction must equal the historical per-world loop."""
+    query = InfluenceQuery([0])
+    statuses = EdgeStatuses(small_random)
+    n = 160
+    pooled = sample_mean_pair(
+        small_random, query, statuses, n, np.random.default_rng(SEED)
+    )
+    masks = sample_edge_masks(statuses, n, np.random.default_rng(SEED))
+    num = 0.0
+    den = 0.0
+    for i in range(n):
+        pair = query.evaluate_pair(small_random, masks[i])
+        num += pair[0]
+        den += pair[1]
+    assert pooled == (num / n, den / n)
+
+
+def test_residual_mixture_pair_is_seed_deterministic(small_random):
+    query = InfluenceQuery([0])
+    statuses = EdgeStatuses(small_random)
+    edges = statuses.free_edges()[:3]
+    weights = np.array([0.5, 0.3, 0.2])
+    pins = np.array(
+        [[1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=np.int8
+    )
+
+    def child_for(index):
+        return statuses.child(edges, pins[index])
+
+    args = (small_random, query, child_for, weights, np.arange(3), 64)
+    first = residual_mixture_pair(*args, np.random.default_rng(SEED))
+    second = residual_mixture_pair(*args, np.random.default_rng(SEED))
+    assert first == second
+    counter = WorldCounter()
+    residual_mixture_pair(*args, np.random.default_rng(SEED), counter)
+    assert counter.worlds == 64
