@@ -17,6 +17,7 @@ Quickstart
 True
 """
 
+from repro.audit import AuditError, AuditReport
 from repro.errors import (
     ReproError,
     GraphError,
@@ -94,6 +95,9 @@ __all__ = [
     "EnumerationError",
     "DatasetError",
     "ExperimentError",
+    # audit
+    "AuditError",
+    "AuditReport",
     # graph
     "UncertainGraph",
     "EdgeStatuses",

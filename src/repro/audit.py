@@ -1,0 +1,644 @@
+"""Runtime invariant auditing — the library's statistical self-checks.
+
+The paper's guarantees are *exact* invariants, not statistical tendencies:
+stratum probabilities partition the enclosing stratum's mass (Theorems 3.1,
+4.1, 5.1), allocations respect the sample budget up to the documented
+ceiling slack (Algorithm 1 line 6), ``(num, den)`` accumulation pairs stay
+finite with ``den`` a probability mass, and — under the parallel engine —
+every stratum-path random stream is consumed exactly once and children
+reduce in sequential stratum order.  This module checks all of that at
+runtime, opt-in:
+
+* set the environment variable ``REPRO_AUDIT=1`` (checked once per
+  :meth:`~repro.core.base.Estimator.estimate` call), or
+* pass ``audit=True`` to :meth:`Estimator.estimate`.
+
+When enabled, an :class:`AuditContext` is installed as the module-level
+active context for the duration of the estimate; instrumented call sites
+throughout :mod:`repro.core` and :mod:`repro.parallel` fetch it with
+:func:`active` and run their checks.  A violation raises a structured
+:class:`AuditError` carrying the estimator name, the stratum path of the
+offending recursion node, and the offending values; a clean run attaches an
+:class:`AuditReport` (per-invariant check counters, ``violations == 0``) to
+the returned :class:`~repro.core.result.EstimateResult` so experiments can
+report "0 violations" alongside variance.
+
+When disabled — the default — the only cost is a module-global ``None``
+check at a handful of per-recursion-node (never per-sample) sites, which is
+unmeasurable against the sampling work itself (see the ``--audit-check``
+kernel of ``repro-bench``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Environment variable enabling auditing for every estimate in the process.
+AUDIT_ENV = "REPRO_AUDIT"
+
+#: Absolute tolerance for stratum-mass conservation checks (per stratum the
+#: masses are products of at most a few hundred edge probabilities, so
+#: float64 round-off stays far below this).
+MASS_ATOL = 1e-8
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_AUDIT`` requests auditing (re-read on every call).
+
+    Unset, empty, ``0``, ``false``, ``no`` and ``off`` disable; ``1``,
+    ``true``, ``yes`` and ``on`` enable (case-insensitive).  Anything else
+    raises so a typo cannot silently disable the checks the user asked for.
+    """
+    raw = os.environ.get(AUDIT_ENV, "").strip().lower()
+    if raw in _FALSY:
+        return False
+    if raw in _TRUTHY:
+        return True
+    raise ReproError(
+        f"cannot parse {AUDIT_ENV}={raw!r}; use 1/true/yes/on or 0/false/no/off"
+    )
+
+
+class AuditError(ReproError):
+    """A runtime invariant violation detected by the audit layer.
+
+    Attributes
+    ----------
+    invariant:
+        Short identifier of the violated contract (e.g.
+        ``"allocation-budget"``, ``"rng-stream-reuse"``).
+    estimator:
+        Name of the estimator whose run tripped the check.
+    path:
+        Stratum path (tuple of child indices from the recursion root) of
+        the offending node, when known; ``None`` for sequential runs, whose
+        recursion shares a single stream.
+    values:
+        The offending values, as a name -> value mapping.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        estimator: Optional[str] = None,
+        path: Optional[Sequence[int]] = None,
+        values: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.invariant = str(invariant)
+        self.estimator = estimator
+        self.path = None if path is None else tuple(int(i) for i in path)
+        self.values: Dict[str, Any] = {} if values is None else dict(values)
+        bits = [f"[{self.invariant}]"]
+        if estimator is not None:
+            bits.append(f"estimator={estimator}")
+        if self.path is not None:
+            bits.append(f"stratum_path={self.path}")
+        bits.append(message)
+        if self.values:
+            bits.append("(" + ", ".join(f"{k}={v!r}" for k, v in self.values.items()) + ")")
+        super().__init__(" ".join(bits))
+
+
+class AuditReport:
+    """Per-invariant check counters for one audited estimate.
+
+    ``violations`` stays zero on any run that returns normally — a
+    violation raises :class:`AuditError` out of the estimate — so a result
+    carrying a report is itself the "0 violations" certificate; the counter
+    exists so failure handlers and experiment logs can still report how far
+    an aborted run got.
+    """
+
+    __slots__ = ("checks", "violations")
+
+    def __init__(self) -> None:
+        self.checks: Dict[str, int] = {}
+        self.violations = 0
+
+    @property
+    def total_checks(self) -> int:
+        """Total number of invariant checks performed."""
+        return sum(self.checks.values())
+
+    def record(self, invariant: str, n: int = 1) -> None:
+        """Count ``n`` performed checks of the given invariant."""
+        self.checks[invariant] = self.checks.get(invariant, 0) + int(n)
+
+    def merge_counts(self, counts: Mapping[str, int]) -> None:
+        """Fold another report's counters in (worker -> driver reduction)."""
+        for invariant, n in counts.items():
+            self.record(invariant, n)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (used by the experiment drivers)."""
+        return {
+            "violations": self.violations,
+            "total_checks": self.total_checks,
+            "checks": dict(self.checks),
+        }
+
+    def __repr__(self) -> str:  # noqa: D105
+        return (
+            f"AuditReport(total_checks={self.total_checks}, "
+            f"violations={self.violations})"
+        )
+
+
+def _path_of(rng: Any) -> Optional[Tuple[int, ...]]:
+    """The stratum path of a path-keyed stream, ``None`` for plain streams."""
+    return getattr(rng, "path", None)
+
+
+class AuditContext:
+    """The invariant checks of one audited estimate.
+
+    One context is created per :meth:`Estimator.estimate` call (and one per
+    job inside each pool worker, merged back into the driver's context), so
+    check counters and the consumed-stream registry are scoped to a single
+    run.
+    """
+
+    __slots__ = ("estimator", "report", "_paths")
+
+    def __init__(self, estimator: str = "estimator") -> None:
+        self.estimator = estimator
+        self.report = AuditReport()
+        self._paths: set = set()
+
+    # ------------------------------------------------------------------ #
+    # failure
+    # ------------------------------------------------------------------ #
+
+    def fail(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        path: Optional[Sequence[int]] = None,
+        **values: Any,
+    ) -> None:
+        """Record and raise a violation of ``invariant``."""
+        self.report.violations += 1
+        raise AuditError(
+            invariant, message, estimator=self.estimator, path=path, values=values
+        )
+
+    # ------------------------------------------------------------------ #
+    # invariant checks
+    # ------------------------------------------------------------------ #
+
+    def check_stratum_masses(
+        self,
+        pis: np.ndarray,
+        *,
+        pi0: float = 0.0,
+        path: Optional[Sequence[int]] = None,
+        where: str = "split",
+    ) -> None:
+        """Strata must partition the enclosing stratum's (conditional) mass.
+
+        Within a recursion node the stratum probabilities are conditional on
+        the node's pinned edges, so together with any analytic stratum mass
+        ``pi0`` they must sum to one (Theorems 3.1 / 4.1 / 5.1).
+        """
+        self.report.record("stratum-mass")
+        pis = np.asarray(pis, dtype=np.float64)
+        if pis.size and (not np.all(np.isfinite(pis)) or np.any(pis < 0.0)):
+            self.fail(
+                "stratum-mass",
+                f"{where}: stratum probabilities must be finite and non-negative",
+                path=path,
+                pis=pis.tolist(),
+            )
+        total = float(pis.sum()) + float(pi0)
+        if abs(total - 1.0) > MASS_ATOL * max(1.0, float(pis.size)):
+            self.fail(
+                "stratum-mass",
+                f"{where}: stratum masses do not sum to the enclosing stratum's mass",
+                path=path,
+                total=total,
+                pi0=float(pi0),
+                n_strata=int(pis.size),
+            )
+
+    def check_allocation(
+        self,
+        weights: np.ndarray,
+        allocations: np.ndarray,
+        n_samples: int,
+        *,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Proportional allocation must respect the node's budget accounting.
+
+        Contracts (both ``"ceil"`` and ``"exact"`` methods):
+
+        * no stratum receives a negative allocation;
+        * zero-weight strata receive nothing;
+        * ``n_samples == 0`` allocates nothing — budget that does not exist
+          must not be spent;
+        * the total never exceeds ``n_samples`` by more than the number of
+          positive-weight strata (the documented ceiling slack);
+        * with a positive budget, every positive-weight stratum receives at
+          least one sample (the property unbiasedness rests on).
+        """
+        self.report.record("allocation-budget")
+        weights = np.asarray(weights, dtype=np.float64)
+        alloc = np.asarray(allocations)
+        positive = weights > 0.0
+        if np.any(alloc < 0):
+            self.fail(
+                "allocation-budget", "negative allocation", path=path,
+                allocations=alloc.tolist(),
+            )
+        if np.any(alloc[~positive] > 0):
+            self.fail(
+                "allocation-budget", "zero-weight stratum received samples",
+                path=path, allocations=alloc.tolist(), weights=weights.tolist(),
+            )
+        total = int(alloc.sum())
+        if n_samples <= 0:
+            if total != 0:
+                self.fail(
+                    "allocation-budget",
+                    "allocation spends budget that does not exist",
+                    path=path, total=total, n_samples=int(n_samples),
+                )
+            return
+        n_positive = int(np.count_nonzero(positive))
+        if total > int(n_samples) + n_positive:
+            self.fail(
+                "allocation-budget",
+                "total allocation exceeds the budget beyond the "
+                "positive-stratum ceiling slack",
+                path=path, total=total, n_samples=int(n_samples),
+                n_positive=n_positive,
+            )
+        if n_positive and np.any(alloc[positive] < 1):
+            self.fail(
+                "allocation-budget",
+                "positive-weight stratum received no samples (estimator "
+                "would be biased)",
+                path=path, allocations=alloc.tolist(), weights=weights.tolist(),
+            )
+
+    def check_plan(
+        self,
+        weights: np.ndarray,
+        plan: Any,
+        n_samples: int,
+        *,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """A budget-true :class:`~repro.core.allocation.AllocationPlan`.
+
+        Individually-allocated strata plus the pooled residual must spend at
+        most ``n_samples`` plus the documented slack, residual members must
+        carry no individual allocation, and a non-empty residual pool must
+        actually be sampled.
+        """
+        self.report.record("allocation-plan")
+        weights = np.asarray(weights, dtype=np.float64)
+        alloc = np.asarray(plan.stratum_alloc)
+        residual = np.asarray(plan.residual)
+        residual_n = int(plan.residual_n)
+        if np.any(alloc < 0) or residual_n < 0:
+            self.fail(
+                "allocation-plan", "negative allocation in plan", path=path,
+                allocations=alloc.tolist(), residual_n=residual_n,
+            )
+        if residual.size and np.any(alloc[residual] != 0):
+            self.fail(
+                "allocation-plan",
+                "residual stratum also received an individual allocation",
+                path=path, residual=residual.tolist(),
+                allocations=alloc.tolist(),
+            )
+        if residual.size and residual_n < 1:
+            self.fail(
+                "allocation-plan", "non-empty residual pool received no draws",
+                path=path, residual=residual.tolist(), residual_n=residual_n,
+            )
+        total = int(alloc.sum()) + residual_n
+        if n_samples <= 0:
+            if total != 0:
+                self.fail(
+                    "allocation-plan",
+                    "plan spends budget that does not exist",
+                    path=path, total=total, n_samples=int(n_samples),
+                )
+            return
+        n_positive = int(np.count_nonzero(weights > 0.0))
+        if total > int(n_samples) + max(1, n_positive):
+            self.fail(
+                "allocation-plan",
+                "plan total exceeds the budget beyond the ceiling slack",
+                path=path, total=total, n_samples=int(n_samples),
+                n_positive=n_positive,
+            )
+
+    def check_budget_split(
+        self,
+        chunks: Sequence[int],
+        n_samples: int,
+        *,
+        align: int = 1,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """A flat budget split must conserve the budget exactly.
+
+        Used by the parallel chunking of NMC/ANMC: chunk sums must equal
+        ``n_samples``, every chunk must be positive, and every chunk but the
+        last must respect the alignment (ANMC's antithetic pairs must not
+        straddle a chunk boundary).
+        """
+        self.report.record("budget-split")
+        chunks = [int(c) for c in chunks]
+        if any(c < 1 for c in chunks):
+            self.fail(
+                "budget-split", "empty parallel chunk", path=path, chunks=chunks
+            )
+        if sum(chunks) != int(n_samples):
+            self.fail(
+                "budget-split", "parallel chunks do not conserve the budget",
+                path=path, chunks=chunks, n_samples=int(n_samples),
+            )
+        if align > 1 and any(c % align for c in chunks[:-1]):
+            self.fail(
+                "budget-split", f"chunk not aligned to {align}", path=path,
+                chunks=chunks,
+            )
+
+    def check_pair(
+        self,
+        num: float,
+        den: float,
+        *,
+        where: str,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """An accumulated ``(num, den)`` pair must stay numerically sane.
+
+        ``num`` must not be NaN (the signature of a ``0 * inf`` or
+        ``inf - inf`` slipping through the pair algebra); ``den`` is a
+        probability mass and must be finite in ``[0, 1]`` up to round-off.
+        """
+        self.report.record("pair-finite")
+        if math.isnan(num):
+            self.fail(
+                "pair-finite", f"{where}: numerator is NaN", path=path,
+                num=num, den=den,
+            )
+        if not math.isfinite(den) or den < -MASS_ATOL or den > 1.0 + MASS_ATOL:
+            self.fail(
+                "pair-finite",
+                f"{where}: denominator is not a probability mass",
+                path=path, num=num, den=den,
+            )
+
+    def check_result(
+        self,
+        num: float,
+        den: float,
+        conditional: bool,
+        *,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """The final accumulated pair of an estimate.
+
+        Beyond :meth:`check_pair`, an *unconditional* query's denominator is
+        the total stratum mass and must come back as 1 (up to round-off) —
+        the end-to-end mass-conservation certificate.
+        """
+        self.report.record("result-mass")
+        self.check_pair(num, den, where="estimate", path=path)
+        if not conditional and abs(den - 1.0) > 1e-6:
+            self.fail(
+                "result-mass",
+                "unconditional estimate lost stratum mass "
+                "(denominator should be 1)",
+                path=path, den=den,
+            )
+
+    def check_world_budget(
+        self,
+        evaluated: int,
+        expected: int,
+        *,
+        where: str,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """A flat estimator must evaluate exactly its requested budget."""
+        self.report.record("world-budget")
+        if int(evaluated) != int(expected):
+            self.fail(
+                "world-budget",
+                f"{where}: evaluated world count diverged from the budget",
+                path=path, evaluated=int(evaluated), expected=int(expected),
+            )
+
+    def check_selection(
+        self,
+        edges: np.ndarray,
+        *,
+        n_edges: Optional[int] = None,
+        require_sorted: bool = True,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """A stratification edge selection must be valid and seed-stable.
+
+        Edge ids must be distinct and in bounds; strategies that document a
+        sorted enumeration order (RM and BFS — the basis of strategy- and
+        seed-independent stratum indexing) must return strictly increasing
+        ids.
+        """
+        self.report.record("selection-order")
+        edges = np.asarray(edges)
+        if edges.size == 0:
+            return
+        if np.any(edges < 0) or (n_edges is not None and np.any(edges >= n_edges)):
+            self.fail(
+                "selection-order", "edge id out of bounds", path=path,
+                edges=edges.tolist(), n_edges=n_edges,
+            )
+        if require_sorted:
+            if np.any(np.diff(edges) <= 0):
+                self.fail(
+                    "selection-order",
+                    "selected edges are not in strictly increasing id order "
+                    "(stratum enumeration would not be seed-stable)",
+                    path=path, edges=edges.tolist(),
+                )
+        elif np.unique(edges).size != edges.size:
+            self.fail(
+                "selection-order", "selected edges contain duplicates",
+                path=path, edges=edges.tolist(),
+            )
+
+    def check_children_order(
+        self,
+        indices: Sequence[int],
+        *,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Expanded children must be in sequential (ascending stratum) order.
+
+        The parallel reduction folds children in list order to replay the
+        sequential accumulation bit-for-bit; out-of-order children would
+        silently change float rounding between worker counts.
+        """
+        self.report.record("reduction-order")
+        indices = [int(i) for i in indices]
+        if any(b <= a for a, b in zip(indices, indices[1:])):
+            self.fail(
+                "reduction-order",
+                "expanded children are not in sequential stratum order",
+                path=path, indices=indices,
+            )
+
+    # ------------------------------------------------------------------ #
+    # path-keyed stream registry
+    # ------------------------------------------------------------------ #
+
+    def register_path(self, path: Sequence[int]) -> None:
+        """Record the materialisation of a stratum-path stream.
+
+        Called by :class:`repro.rng.StratumRng` the moment a node stream is
+        first turned into a generator.  A second materialisation of the same
+        path within one run means two subtrees (possibly in different worker
+        processes) would consume identical random numbers — a correlation
+        bug the estimate cannot recover from.
+        """
+        self.report.record("rng-path")
+        key = tuple(int(i) for i in path)
+        if key in self._paths:
+            self.fail(
+                "rng-stream-reuse",
+                "stratum-path random stream derived twice in one run",
+                path=key,
+            )
+        self._paths.add(key)
+
+    # ------------------------------------------------------------------ #
+    # worker <-> driver plumbing
+    # ------------------------------------------------------------------ #
+
+    def worker_payload(self) -> dict:
+        """Picklable summary a pool worker ships back with its job result."""
+        return {"checks": dict(self.report.checks), "paths": sorted(self._paths)}
+
+    def absorb_worker(self, payload: Mapping[str, Any]) -> None:
+        """Merge a worker's payload: counters plus global path uniqueness.
+
+        Re-registering the worker's consumed paths in the driver context
+        catches streams consumed by two different workers — or by a worker
+        and the driver's own decomposition — which no per-process check can
+        see.
+        """
+        self.report.merge_counts(payload["checks"])
+        for path in payload["paths"]:
+            key = tuple(int(i) for i in path)
+            if key in self._paths:
+                self.fail(
+                    "rng-stream-reuse",
+                    "stratum-path random stream consumed by two workers",
+                    path=key,
+                )
+            self._paths.add(key)
+
+
+# ---------------------------------------------------------------------- #
+# module-level active context
+# ---------------------------------------------------------------------- #
+
+_ACTIVE: Optional[AuditContext] = None
+
+
+def active() -> Optional[AuditContext]:
+    """The currently active audit context, or ``None`` when auditing is off.
+
+    This is the hot-path guard: instrumented call sites do nothing but one
+    module-global read per recursion node when auditing is disabled.
+    """
+    return _ACTIVE
+
+
+@contextmanager
+def activate(ctx: Optional[AuditContext]) -> Iterator[Optional[AuditContext]]:
+    """Install ``ctx`` as the active context for the duration of a ``with``.
+
+    Passing ``None`` is a no-op installation (used by the parallel driver so
+    the audit-off path needs no separate branch); the previous context is
+    always restored, so audited estimates may nest.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE = previous
+
+
+def check_split(
+    estimator: str,
+    rng: Any,
+    *,
+    pis: np.ndarray,
+    pi0: float = 0.0,
+    allocations: Optional[np.ndarray] = None,
+    alloc_weights: Optional[np.ndarray] = None,
+    n_samples: Optional[int] = None,
+    plan: Any = None,
+    edges: Optional[np.ndarray] = None,
+    selection_sorted: bool = False,
+    n_edges: Optional[int] = None,
+) -> None:
+    """Audit one recursion node's stratification, in one call.
+
+    No-op when auditing is inactive.  Checks, in order: the edge selection
+    (when the node stratifies on selected edges), stratum-mass conservation
+    (``pis`` plus any analytic ``pi0``), and the budget accounting — either
+    a plain proportional ``allocations`` against ``alloc_weights`` (default
+    ``pis``; the cut-set estimators allocate by the conditional ``pi^cd``)
+    or a budget-true ``plan``.
+    """
+    ctx = _ACTIVE
+    if ctx is None:
+        return
+    path = _path_of(rng)
+    if edges is not None:
+        ctx.check_selection(
+            edges, n_edges=n_edges, require_sorted=selection_sorted, path=path
+        )
+    ctx.check_stratum_masses(pis, pi0=pi0, path=path, where=estimator)
+    weights = pis if alloc_weights is None else alloc_weights
+    if plan is not None:
+        ctx.check_plan(weights, plan, int(n_samples), path=path)
+    elif allocations is not None:
+        ctx.check_allocation(weights, allocations, int(n_samples), path=path)
+
+
+__all__ = [
+    "AUDIT_ENV",
+    "MASS_ATOL",
+    "AuditError",
+    "AuditReport",
+    "AuditContext",
+    "env_enabled",
+    "active",
+    "activate",
+    "check_split",
+]

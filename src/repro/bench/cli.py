@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated worker counts for a parallel-engine scaling "
         "sweep (a 1-worker baseline is always included), e.g. 1,2,4",
     )
+    parser.add_argument(
+        "--audit-check", action="store_true",
+        help="add audit-overhead kernels: min-of-repeats NMC influence "
+        "estimates with invariant auditing off and on (CI gates on the "
+        "audit-off overhead staying under 2%%)",
+    )
     return parser
 
 
@@ -86,6 +92,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             output=args.output,
             smoke=args.smoke,
             workers=parse_workers(args.workers) if args.workers else None,
+            audit_check=args.audit_check,
         )
     except ReproError as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)

@@ -72,6 +72,7 @@ class BenchRecord:
     n_workers: Optional[int] = None
     value: Optional[float] = None
     speedup_vs_1worker: Optional[float] = None
+    audit_overhead_pct: Optional[float] = None
 
     def to_dict(self) -> dict:
         out = {
@@ -90,6 +91,8 @@ class BenchRecord:
             out["value"] = self.value
         if self.speedup_vs_1worker is not None:
             out["speedup_vs_1worker"] = self.speedup_vs_1worker
+        if self.audit_overhead_pct is not None:
+            out["audit_overhead_pct"] = self.audit_overhead_pct
         return out
 
 
@@ -189,6 +192,57 @@ def _bench_worker_sweep(
         )
 
 
+def _bench_audit_check(
+    records: List[BenchRecord],
+    graph: UncertainGraph,
+    graph_label: str,
+    query: InfluenceQuery,
+    n_worlds: int,
+    seed: int,
+    log: Callable[[str], None],
+    repeats: int = 5,
+) -> None:
+    """Measure the audit layer's cost on the NMC influence kernel.
+
+    Three variants of the identical estimate, each timed min-of-``repeats``
+    (suppressing scheduler noise): the historical call (the
+    ``nmc_influence_batch`` code path, re-timed here so the comparison basis
+    shares the repeat protocol), ``audit=False``, and ``audit=True``.  The
+    ``audit_overhead_pct`` of the ``_audit_off`` record is the CI regression
+    gate — auditing must cost nothing when disabled.
+    """
+    estimator = NMC()
+
+    def timed_min(audit) -> float:
+        return min(
+            _timed(
+                lambda: estimator.estimate(
+                    graph, query, n_worlds, rng=seed, audit=audit
+                )
+            )
+            for _ in range(repeats)
+        )
+
+    base = min(
+        _timed(lambda: estimator.estimate(graph, query, n_worlds, rng=seed))
+        for _ in range(repeats)
+    )
+    off = timed_min(False)
+    on = timed_min(True)
+    m = graph.n_edges
+    rec_off = _record("nmc_influence_audit_off", graph_label, n_worlds, m, off)
+    rec_on = _record("nmc_influence_audit_on", graph_label, n_worlds, m, on)
+    if base > 0:
+        rec_off.audit_overhead_pct = (off / base - 1.0) * 100.0
+        rec_on.audit_overhead_pct = (on / base - 1.0) * 100.0
+    records.extend([rec_off, rec_on])
+    log(
+        f"  {'audit_check':<18s} base {base:8.3f}s | off {off:8.3f}s "
+        f"({rec_off.audit_overhead_pct:+6.2f}%) | on {on:8.3f}s "
+        f"({rec_on.audit_overhead_pct:+6.2f}%)"
+    )
+
+
 def run_benchmarks(
     graph_name: str = "condmat",
     scale: float = 0.25,
@@ -197,6 +251,7 @@ def run_benchmarks(
     output: Optional[str] = "BENCH_traversal.json",
     smoke: bool = False,
     workers: Optional[Sequence[int]] = None,
+    audit_check: bool = False,
     log: Callable[[str], None] = print,
 ) -> dict:
     """Run the traversal micro-benchmarks; return (and optionally write) the payload.
@@ -205,6 +260,9 @@ def run_benchmarks(
     about a second — used by the tier-1 smoke test to keep the entry point
     from rotting.  ``workers`` adds a worker-scaling sweep: RSS-I influence
     estimation through the parallel engine, one record per worker count.
+    ``audit_check`` adds the audit-overhead kernels (min-of-repeats NMC
+    influence estimates with auditing off and on) — CI gates on the
+    audit-off overhead staying under 2%.
     """
     if graph_name not in GRAPHS:
         raise ReproError(f"unknown benchmark graph {graph_name!r}; choose from {sorted(GRAPHS)}")
@@ -268,6 +326,12 @@ def run_benchmarks(
             records, graph, graph_label, query, n_worlds, seed, worker_sweep, log
         )
 
+    if audit_check:
+        _bench_audit_check(
+            records, graph, graph_label, query, n_worlds, seed, log,
+            repeats=3 if smoke else 5,
+        )
+
     payload = {
         "version": 1,
         "generated_by": "repro-bench",
@@ -279,6 +343,7 @@ def run_benchmarks(
             "smoke": smoke,
             "cpu_count": os.cpu_count(),
             "n_workers": worker_sweep,
+            "audit_check": audit_check,
             "python": platform.python_version(),
             "numpy": np.__version__,
         },

@@ -42,7 +42,10 @@ def proportional_allocation(
         ``"exact"`` — largest-remainder rounding summing exactly to ``N``,
         then every positive-weight stratum is bumped to at least one sample
         (so the total can still exceed ``N`` when ``N`` is smaller than the
-        number of positive strata).
+        number of positive strata).  With ``N == 0`` there is no budget to
+        bump into and every stratum receives zero — for either method the
+        total never exceeds ``N`` by more than the number of
+        positive-weight strata.
 
     Returns
     -------
@@ -66,6 +69,11 @@ def proportional_allocation(
 
     if method == "ceil":
         out = np.ceil(shares).astype(np.int64)
+        if n_samples > 0:
+            # ceil(share) >= 1 for any positive share, but a denormal
+            # weight's share can underflow to exactly 0.0 — the stratum is
+            # still positive and must keep its unbiasedness sample.
+            out[positive & (out == 0)] = 1
         out[~positive] = 0
         return out
     if method == "exact":
@@ -75,7 +83,10 @@ def proportional_allocation(
         if missing > 0:
             top = np.argsort(-remainder, kind="stable")[:missing]
             base[top] += 1
-        base[positive & (base == 0)] = 1
+        if n_samples > 0:
+            # The unbiasedness bump must not spend budget that does not
+            # exist: with N == 0 every stratum stays at zero.
+            base[positive & (base == 0)] = 1
         base[~positive] = 0
         return base
     raise EstimatorError(f"unknown allocation method {method!r}; use one of {ALLOCATION_METHODS}")

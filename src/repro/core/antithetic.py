@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.base import Estimator, Pair, chunk_budget
 from repro.core.result import WorldCounter
 from repro.errors import EstimatorError
@@ -67,7 +68,16 @@ class AntitheticNMC(Estimator):
             num += a
             den += b
         counter.add(evaluated)
-        return num / evaluated, den / evaluated
+        mean_num = num / evaluated
+        mean_den = den / evaluated
+        ctx = _audit.active()
+        if ctx is not None:
+            path = getattr(rng, "path", None)
+            ctx.check_world_budget(
+                evaluated, n_samples, where=self.name, path=path
+            )
+            ctx.check_pair(mean_num, mean_den, where=self.name, path=path)
+        return mean_num, mean_den
 
 
 __all__ = ["AntitheticNMC"]

@@ -38,6 +38,7 @@ from typing import Any, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
@@ -95,7 +96,15 @@ def sample_mean_pair(
         den += float(dens.sum())
     if counter is not None:
         counter.add(n_samples)
-    return num / n_samples, den / n_samples
+    mean_num = num / n_samples
+    mean_den = den / n_samples
+    ctx = _audit.active()
+    if ctx is not None:
+        ctx.check_pair(
+            mean_num, mean_den, where="sample_mean_pair",
+            path=getattr(rng, "path", None),
+        )
+    return mean_num, mean_den
 
 
 def residual_mixture_pair(
@@ -128,7 +137,12 @@ def residual_mixture_pair(
         raise EstimatorError("residual mixture needs draws and strata")
     gen = resolve_rng(rng)
     local = weights[indices].astype(np.float64)
-    draws = gen.choice(indices, size=n_draws, p=local / local.sum())
+    total = float(local.sum())
+    if not np.isfinite(total) or total <= 0.0:
+        # A zero-mass pool has no mixture to draw from; dividing by it
+        # would silently turn the whole estimate into NaN.
+        raise EstimatorError("residual mixture strata have zero total weight")
+    draws = gen.choice(indices, size=n_draws, p=local / total)
     groups = np.unique(draws)
     masks = np.empty((n_draws, graph.n_edges), dtype=bool)
     for index, stream in zip(groups, spawn_rngs(gen, groups.size)):
@@ -137,7 +151,15 @@ def residual_mixture_pair(
     nums, dens = query.evaluate_pairs(graph, masks)
     if counter is not None:
         counter.add(n_draws)
-    return float(nums.sum()) / n_draws, float(dens.sum()) / n_draws
+    mean_num = float(nums.sum()) / n_draws
+    mean_den = float(dens.sum()) / n_draws
+    ctx = _audit.active()
+    if ctx is not None:
+        ctx.check_pair(
+            mean_num, mean_den, where="residual_mixture_pair",
+            path=getattr(rng, "path", None),
+        )
+    return mean_num, mean_den
 
 
 class ChildJob(NamedTuple):
@@ -258,6 +280,9 @@ class Estimator(ABC):
         chunks = self._parallel_chunks(n_samples)
         if not chunks or len(chunks) < 2:
             return None
+        ctx = _audit.active()
+        if ctx is not None:
+            ctx.check_budget_split(chunks, n_samples, path=rng.path)
         children = [
             ChildJob(n_i / n_samples, statuses.values, state, int(n_i), i)
             for i, n_i in enumerate(chunks)
@@ -283,6 +308,9 @@ class Estimator(ABC):
         if isinstance(rng, StratumRng):
             chunks = self._parallel_chunks(n_samples)
             if chunks and len(chunks) >= 2:
+                ctx = _audit.active()
+                if ctx is not None:
+                    ctx.check_budget_split(chunks, n_samples, path=rng.path)
                 num = 0.0
                 den = 0.0
                 for i, n_i in enumerate(chunks):
@@ -307,6 +335,7 @@ class Estimator(ABC):
         rng: RngLike = None,
         n_workers: Optional[int] = None,
         tasks_per_worker: int = 4,
+        audit: Optional[bool] = None,
     ) -> EstimateResult:
         """Run the estimator with a total budget of ``n_samples`` worlds.
 
@@ -333,6 +362,16 @@ class Estimator(ABC):
             recursion is split until at least ``tasks_per_worker *
             n_workers`` subtree jobs exist (affects load balance only, never
             results).
+        audit:
+            ``None`` (default) — honour the ``REPRO_AUDIT`` environment
+            variable; ``True``/``False`` force invariant auditing on or off
+            for this call.  When auditing is active every internal contract
+            (stratum mass conservation, allocation budgets, pair sanity, RNG
+            stream uniqueness) is checked and any violation raises
+            :class:`repro.audit.AuditError`; the check counters are attached
+            to the result as ``result.audit``.  The flag is resolved once
+            per call — with auditing off the estimate runs the historical
+            zero-overhead path.
 
         Returns
         -------
@@ -342,22 +381,36 @@ class Estimator(ABC):
             raise EstimatorError(f"n_samples must be positive, got {n_samples}")
         if n_workers is not None and n_workers < 0:
             raise EstimatorError(f"n_workers must be >= 0, got {n_workers}")
+        audit_enabled = _audit.env_enabled() if audit is None else bool(audit)
         if n_workers:
             from repro.parallel.driver import estimate_parallel
 
             return estimate_parallel(
                 self, graph, query, int(n_samples), rng,
                 n_workers=int(n_workers), tasks_per_worker=tasks_per_worker,
+                audit=audit_enabled,
             )
         query.validate(graph)
         gen = resolve_rng(rng)
         counter = WorldCounter()
-        num, den = self._estimate_pair(
-            graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
-        )
-        return EstimateResult.from_pair(
+        if not audit_enabled:
+            num, den = self._estimate_pair(
+                graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
+            )
+            return EstimateResult.from_pair(
+                num, den, int(n_samples), counter.worlds, self.name
+            )
+        ctx = _audit.AuditContext(self.name)
+        with _audit.activate(ctx):
+            num, den = self._estimate_pair(
+                graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
+            )
+            ctx.check_result(num, den, query.conditional, path=())
+        result = EstimateResult.from_pair(
             num, den, int(n_samples), counter.worlds, self.name
         )
+        result.audit = ctx.report
+        return result
 
     def __call__(self, graph, query, n_samples, rng=None) -> float:
         """Convenience: run :meth:`estimate` and return the point value."""

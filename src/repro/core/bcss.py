@@ -15,6 +15,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.allocation import proportional_allocation, validate_allocation_method
 from repro.core.base import (
     ChildJob,
@@ -68,6 +69,10 @@ class BCSS(Estimator):
         num *= pi0
         den *= pi0
         allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, pi0=pi0, allocations=allocations,
+            alloc_weights=pcds, n_samples=n_samples,
+        )
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
@@ -106,6 +111,10 @@ class BCSS(Estimator):
         base_num *= pi0
         base_den *= pi0
         allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, pi0=pi0, allocations=allocations,
+            alloc_weights=pcds, n_samples=n_samples,
+        )
         children = []
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:

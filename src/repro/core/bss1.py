@@ -13,6 +13,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.allocation import proportional_allocation, validate_allocation_method
 from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
@@ -78,6 +79,12 @@ class BSS1(Estimator):
         edges = self.selection.select(graph, query, statuses, r, rng)
         stratum_statuses, pis = class1_strata(graph.prob[edges])
         allocations = proportional_allocation(pis, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, allocations=allocations,
+            n_samples=n_samples, edges=edges,
+            selection_sorted=self.selection.sorted_output,
+            n_edges=graph.n_edges,
+        )
         num = 0.0
         den = 0.0
         for index, (row, pi, n_i) in enumerate(zip(stratum_statuses, pis, allocations)):
@@ -107,6 +114,12 @@ class BSS1(Estimator):
         edges = self.selection.select(graph, query, statuses, r, rng)
         stratum_statuses, pis = class1_strata(graph.prob[edges])
         allocations = proportional_allocation(pis, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, allocations=allocations,
+            n_samples=n_samples, edges=edges,
+            selection_sorted=self.selection.sorted_output,
+            n_edges=graph.n_edges,
+        )
         children = [
             ChildJob(
                 float(pi), statuses.child(edges, row).values, None,

@@ -14,6 +14,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.allocation import proportional_allocation, validate_allocation_method
 from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
@@ -67,6 +68,12 @@ class BSS2(Estimator):
         edges = self.selection.select(graph, query, statuses, r, rng)
         pin_counts, pis = class2_strata(graph.prob[edges])
         allocations = proportional_allocation(pis, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, allocations=allocations,
+            n_samples=n_samples, edges=edges,
+            selection_sorted=self.selection.sorted_output,
+            n_edges=graph.n_edges,
+        )
         num = 0.0
         den = 0.0
         for stratum, (pins, pi, n_i) in enumerate(zip(pin_counts, pis, allocations)):
@@ -97,6 +104,12 @@ class BSS2(Estimator):
         edges = self.selection.select(graph, query, statuses, r, rng)
         pin_counts, pis = class2_strata(graph.prob[edges])
         allocations = proportional_allocation(pis, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, allocations=allocations,
+            n_samples=n_samples, edges=edges,
+            selection_sorted=self.selection.sorted_output,
+            n_edges=graph.n_edges,
+        )
         children = []
         for stratum, (pins, pi, n_i) in enumerate(zip(pin_counts, pis, allocations)):
             if pi <= 0.0 or n_i <= 0:

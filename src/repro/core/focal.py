@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.base import Estimator, Pair, pair_of
 from repro.core.result import WorldCounter
 from repro.core.stratify import cutset_strata, cutset_stratum_statuses
@@ -53,7 +54,12 @@ class FocalSampling(Estimator):
         if cut.size == 0:
             # No free edge can change the answer: the value is determined.
             return pair_of(query, cut_query.cut_constant(graph, statuses, state))
-        pi0, _, _ = cutset_strata(graph.prob[cut])
+        pi0, pis, _ = cutset_strata(graph.prob[cut])
+        ctx = _audit.active()
+        if ctx is not None:
+            ctx.check_stratum_masses(
+                pis, pi0=pi0, path=getattr(rng, "path", None), where=self.name
+            )
         child0 = statuses.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
         u0 = cut_query.cut_constant(graph, child0, state)
         num, den = pair_of(query, u0)
@@ -81,6 +87,10 @@ class FocalSampling(Estimator):
         weight = 1.0 - pi0
         num += weight * comp_num / n_samples
         den += weight * comp_den / n_samples
+        if ctx is not None:
+            ctx.check_pair(
+                num, den, where=self.name, path=getattr(rng, "path", None)
+            )
         return num, den
 
 

@@ -11,6 +11,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.base import Estimator, Pair, chunk_budget, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.graph.statuses import EdgeStatuses
@@ -38,7 +39,15 @@ class NMC(Estimator):
         rng: np.random.Generator,
         counter: WorldCounter,
     ) -> Pair:
-        return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+        before = counter.worlds
+        pair = sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
+        ctx = _audit.active()
+        if ctx is not None:
+            ctx.check_world_budget(
+                counter.worlds - before, n_samples,
+                where=self.name, path=getattr(rng, "path", None),
+            )
+        return pair
 
 
 __all__ = ["NMC"]

@@ -16,6 +16,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.allocation import (
     plan_allocation,
     proportional_allocation,
@@ -152,6 +153,11 @@ class RCSS(Estimator):
         else:
             plan = None
             allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, pi0=pi0, n_samples=n_samples, plan=plan,
+            allocations=None if plan is not None else allocations,
+            alloc_weights=pcds,
+        )
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
@@ -223,6 +229,11 @@ class RCSS(Estimator):
         else:
             plan = None
             allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, pi0=pi0, n_samples=n_samples, plan=plan,
+            allocations=None if plan is not None else allocations,
+            alloc_weights=pcds,
+        )
         children = []
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:

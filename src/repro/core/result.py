@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.audit import AuditReport
 
 
 @dataclass
@@ -37,6 +40,10 @@ class EstimateResult:
         Name of the producing estimator.
     extras:
         Free-form diagnostics (stratum counts, recursion depth, ...).
+    audit:
+        The :class:`repro.audit.AuditReport` of the run when invariant
+        auditing was active (``REPRO_AUDIT=1`` or ``audit=True``); ``None``
+        otherwise.
     """
 
     value: float
@@ -46,6 +53,7 @@ class EstimateResult:
     n_worlds: int
     estimator: str
     extras: Dict[str, Any] = field(default_factory=dict)
+    audit: Optional["AuditReport"] = None
 
     @classmethod
     def from_pair(

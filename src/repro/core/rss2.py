@@ -14,6 +14,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.allocation import (
     plan_allocation,
     proportional_allocation,
@@ -103,6 +104,12 @@ class RSS2(Estimator):
         else:
             plan = None
             allocations = proportional_allocation(pis, n_samples, self.allocation)
+        _audit.check_split(
+            self.name, rng, pis=pis, n_samples=n_samples, plan=plan,
+            allocations=None if plan is not None else allocations,
+            edges=edges, selection_sorted=self.selection.sorted_output,
+            n_edges=graph.n_edges,
+        )
         return pis, child_for, plan, allocations
 
     def _estimate_pair(

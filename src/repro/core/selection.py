@@ -35,6 +35,13 @@ class EdgeSelection(ABC):
     #: Short code used in estimator names (paper's "R"/"B" suffixes).
     code: str = "?"
 
+    #: Whether :meth:`select` returns edge ids in strictly increasing order.
+    #: Sorted strategies make the stratum enumeration order independent of
+    #: the strategy and of the random stream (seed-stable); the audit layer
+    #: enforces the declaration.  Score-ordered heuristics (degree, entropy)
+    #: keep their deterministic priority order instead.
+    sorted_output: bool = False
+
     @abstractmethod
     def select(
         self,
@@ -56,22 +63,29 @@ def _fill_with_random(
     r: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Top up a partial selection with random free edges (deduplicated)."""
+    """Top up a partial selection with random free edges (deduplicated).
+
+    The final selection is returned in ascending edge-id order: a strategy
+    decides *which* edges are stratified, never the stratum enumeration
+    order, so the result is seed-stable even when the random top-up fires
+    and matches :class:`RandomSelection`'s sorted output.
+    """
     if chosen.size >= r:
-        return chosen[:r]
+        return np.sort(chosen[:r])
     free = statuses.free_edges()
     pool = np.setdiff1d(free, chosen, assume_unique=True)
     extra_needed = min(r - chosen.size, pool.size)
     if extra_needed <= 0:
-        return chosen
+        return np.sort(chosen)
     extra = rng.choice(pool, size=extra_needed, replace=False)
-    return np.concatenate([chosen, extra])
+    return np.sort(np.concatenate([chosen, extra]))
 
 
 class RandomSelection(EdgeSelection):
     """The paper's RM strategy: ``r`` free edges uniformly at random."""
 
     code = "R"
+    sorted_output = True
 
     def select(self, graph, query, statuses, r, rng):  # noqa: D102
         free = statuses.free_edges()
@@ -87,10 +101,14 @@ class BFSSelection(EdgeSelection):
     Falls back to random free edges when BFS exhausts the reachable region
     before collecting ``r`` edges (e.g. the query node's component is small),
     so stratification always uses the full ``r`` when enough free edges
-    exist — the estimator remains valid either way.
+    exist — the estimator remains valid either way.  BFS decides *which*
+    edges are stratified; the selection itself is returned in ascending
+    edge-id order so the stratum enumeration order is strategy-independent
+    and stable under the random top-up.
     """
 
     code = "B"
+    sorted_output = True
 
     def select(self, graph, query, statuses, r, rng):  # noqa: D102
         take = min(r, statuses.n_free)

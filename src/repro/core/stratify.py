@@ -17,6 +17,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.errors import EstimatorError
 from repro.graph.statuses import ABSENT, PRESENT
 
@@ -41,6 +42,9 @@ def class1_strata(probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     bits = ((codes[:, None] >> np.arange(r)) & 1).astype(np.int8)
     pis = np.prod(np.where(bits == 1, probs, 1.0 - probs), axis=1)
     statuses = np.where(bits == 1, PRESENT, ABSENT).astype(np.int8)
+    ctx = _audit.active()
+    if ctx is not None:
+        ctx.check_stratum_masses(pis, where="class1_strata")
     return statuses, pis
 
 
@@ -59,6 +63,9 @@ def class2_strata(probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     pis[0] = fail_prefix[r]
     pis[1:] = probs * fail_prefix[:r]
     pin_counts = np.concatenate(([r], np.arange(1, r + 1))).astype(np.int64)
+    ctx = _audit.active()
+    if ctx is not None:
+        ctx.check_stratum_masses(pis, where="class2_strata")
     return pin_counts, pis
 
 
@@ -100,6 +107,9 @@ def cutset_strata(probs: np.ndarray) -> Tuple[float, np.ndarray, np.ndarray]:
         pcds = np.zeros_like(pis)
     else:
         pcds = pis / denom
+    ctx = _audit.active()
+    if ctx is not None:
+        ctx.check_stratum_masses(pis, pi0=pi0, where="cutset_strata")
     return pi0, pis, pcds
 
 

@@ -36,6 +36,15 @@ def _mean_var(values: np.ndarray, probs: np.ndarray) -> Tuple[float, float]:
     return mean, max(var, 0.0)
 
 
+def _check_sample_size(n_samples: int) -> int:
+    """A variance is ``sigma / N``; ``N <= 0`` must raise, not emit NaN/inf."""
+    if n_samples <= 0:
+        raise EstimatorError(
+            f"exact variance needs a positive sample size, got {n_samples}"
+        )
+    return int(n_samples)
+
+
 def stratum_mean_variance(
     graph: UncertainGraph,
     query: Query,
@@ -50,6 +59,7 @@ def stratum_mean_variance(
 
 def nmc_variance(graph: UncertainGraph, query: Query, n_samples: int) -> float:
     """Exact variance of the NMC estimator with ``N`` samples (Eq. 5)."""
+    n_samples = _check_sample_size(n_samples)
     _, var = stratum_mean_variance(graph, query, EdgeStatuses(graph))
     return var / n_samples
 
@@ -62,12 +72,19 @@ def stratified_variance(
     """Generic stratified variance ``sum pi_i^2 sigma_i / N_i`` (Eq. 9).
 
     Strata with zero probability are skipped; a positive-probability stratum
-    with zero allocation is an error (the estimator would be biased).
+    with zero allocation is an error (the estimator would be biased), as are
+    non-finite inputs — every degenerate denominator raises instead of
+    silently emitting NaN or ``inf``.
     """
     total = 0.0
     for pi, sigma, n_i in zip(pis, sigmas, allocations):
         if pi == 0.0:
             continue
+        if not (np.isfinite(pi) and np.isfinite(sigma) and np.isfinite(n_i)):
+            raise EstimatorError(
+                f"non-finite stratified-variance term: pi={pi}, sigma={sigma}, "
+                f"n_i={n_i}"
+            )
         if n_i <= 0.0:
             raise EstimatorError("positive-probability stratum received no samples")
         total += pi * pi * sigma / n_i
@@ -84,6 +101,7 @@ def bss1_variance(
 
     Uses the theorems' real-valued allocation ``N_i = pi_i N``.
     """
+    n_samples = _check_sample_size(n_samples)
     edges = np.asarray(edges, dtype=np.int64)
     stratum_statuses, pis = class1_strata(graph.prob[edges])
     sigmas = []
@@ -103,6 +121,7 @@ def bss2_variance(
     n_samples: int,
 ) -> float:
     """Exact variance of BSS-II on ``edges`` with proportional allocation."""
+    n_samples = _check_sample_size(n_samples)
     edges = np.asarray(edges, dtype=np.int64)
     pin_counts, pis = class2_strata(graph.prob[edges])
     sigmas = []
@@ -129,6 +148,7 @@ def _cut_and_u0(graph: UncertainGraph, query: CutSetQuery):
 
 def fs_variance(graph: UncertainGraph, query: CutSetQuery, n_samples: int) -> float:
     """Exact variance of the FS estimator (Theorem 5.3 setting)."""
+    n_samples = _check_sample_size(n_samples)
     cut, _ = _cut_and_u0(graph, query)
     pi0, pis, pcds = cutset_strata(graph.prob[cut])
     if pi0 >= 1.0:
@@ -153,6 +173,7 @@ def fs_variance(graph: UncertainGraph, query: CutSetQuery, n_samples: int) -> fl
 
 def bcss_variance(graph: UncertainGraph, query: CutSetQuery, n_samples: int) -> float:
     """Exact variance of BCSS with ``N_i = pi_i^cd N`` (Theorem 5.5 setting)."""
+    n_samples = _check_sample_size(n_samples)
     cut, _ = _cut_and_u0(graph, query)
     pi0, pis, pcds = cutset_strata(graph.prob[cut])
     if pi0 >= 1.0:

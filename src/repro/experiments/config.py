@@ -17,6 +17,7 @@ defaults for the benchmark suite:
 ``REPRO_WORKERS``         parallel workers per estimate (default 0 = sequential)
 ``REPRO_DATASETS``        comma-separated dataset subset
 ``REPRO_ESTIMATORS``      comma-separated estimator subset
+``REPRO_AUDIT``           invariant auditing per estimate (default off)
 ========================  ==========================================
 """
 
@@ -26,6 +27,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+from repro import audit as _audit
 from repro.core.registry import EstimatorSettings, PAPER_ESTIMATORS
 from repro.datasets.registry import DATASET_NAMES
 from repro.errors import ExperimentError
@@ -41,6 +43,7 @@ class ExperimentConfig:
     scale: float = 0.02
     seed: int = 2014
     n_workers: int = 0
+    audit: bool = False
     datasets: Tuple[str, ...] = tuple(DATASET_NAMES)
     estimators: Tuple[str, ...] = tuple(PAPER_ESTIMATORS)
     settings: EstimatorSettings = field(default_factory=EstimatorSettings)
@@ -72,7 +75,7 @@ class ExperimentConfig:
             "sample_size": ("REPRO_SAMPLES", int),
             "n_workers": ("REPRO_WORKERS", int),
         }
-        kwargs = {}
+        kwargs = {"audit": _audit.env_enabled()}
         for attr, (var, cast) in env_map.items():
             raw = os.environ.get(var)
             if raw is not None:

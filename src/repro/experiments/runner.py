@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -64,12 +64,16 @@ def run_estimator(
     n_runs: int,
     rng: RngLike = None,
     n_workers: int = 0,
+    audit: Optional[bool] = None,
 ) -> RunStats:
     """Run ``estimator`` ``n_runs`` times with independent random streams.
 
     ``n_workers`` is forwarded to :meth:`Estimator.estimate`: ``0`` keeps
     the sequential path, ``>= 1`` runs each estimate through the parallel
-    engine (run-to-run streams stay independent either way).
+    engine (run-to-run streams stay independent either way).  ``audit`` is
+    forwarded likewise: ``None`` honours ``REPRO_AUDIT``; ``True`` audits
+    every run, so any invariant violation aborts the whole protocol with a
+    :class:`repro.audit.AuditError` naming the offending estimator.
     """
     if n_runs < 1:
         raise ExperimentError("n_runs must be positive")
@@ -79,7 +83,7 @@ def run_estimator(
     started = time.perf_counter()
     for i, child in enumerate(rngs):
         result = estimator.estimate(
-            graph, query, n_samples, rng=child, n_workers=n_workers
+            graph, query, n_samples, rng=child, n_workers=n_workers, audit=audit
         )
         values[i] = result.value
         total_worlds += result.n_worlds
@@ -95,11 +99,14 @@ def compare_estimators(
     n_runs: int,
     rng: RngLike = None,
     n_workers: int = 0,
+    audit: Optional[bool] = None,
 ) -> Dict[str, RunStats]:
     """One table cell: repeated runs for every estimator on one query."""
     rngs = spawn_rngs(rng, len(estimators))
     return {
-        name: run_estimator(graph, query, est, n_samples, n_runs, child, n_workers)
+        name: run_estimator(
+            graph, query, est, n_samples, n_runs, child, n_workers, audit
+        )
         for (name, est), child in zip(estimators.items(), rngs)
     }
 

@@ -79,7 +79,7 @@ def run_sample_size(
             for query in queries:
                 stats = compare_estimators(
                     dataset.graph, query, named, n, config.n_runs, kind_rng,
-                    config.n_workers,
+                    config.n_workers, config.audit,
                 )
                 rvs = relative_variances(stats)
                 if any(v != v for v in rvs.values()):

@@ -74,7 +74,7 @@ def run_scalability(config: ExperimentConfig) -> ScalabilityResult:
                 for query in queries:
                     stats = run_estimator(
                         graph, query, estimator, config.sample_size, config.n_runs,
-                        graph_rng, config.n_workers,
+                        graph_rng, config.n_workers, config.audit,
                     )
                     total += stats.avg_time
                 cells[name] = total / len(queries)

@@ -93,6 +93,7 @@ def run_table(
                 config.n_runs,
                 ds_rng,
                 config.n_workers,
+                config.audit,
             )
             if metric == "relative_variance":
                 rvs = relative_variances(stats)

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.base import Estimator, Pair
 from repro.core.result import EstimateResult, WorldCounter
 from repro.errors import EstimatorError
@@ -99,6 +100,11 @@ def _decompose(
         if expansion is None:
             settled.append(leaf)
             continue
+        ctx = _audit.active()
+        if ctx is not None:
+            ctx.check_children_order(
+                [child.index for child in expansion.children], path=job.path
+            )
         node = _Node(tuple(expansion.head), tuple(expansion.tail))
         leaf.node = node
         for child in expansion.children:
@@ -149,19 +155,22 @@ def _run_pool(
     counter: WorldCounter,
 ) -> None:
     """Evaluate ``leaves`` on a spawn pool sharing the graph via an arena."""
+    ctx = _audit.active()
     with GraphArena(graph) as arena:
         executor = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=get_context("spawn"),
             initializer=init_worker,
-            initargs=(arena.spec, estimator, query, root),
+            initargs=(arena.spec, estimator, query, root, ctx is not None),
         )
         try:
             futures = [(leaf, executor.submit(run_job, leaf.job)) for leaf in leaves]
             for leaf, future in futures:
-                num, den, worlds = future.result()
+                num, den, worlds, payload = future.result()
                 leaf.result = (num, den)
                 counter.add(worlds)
+                if ctx is not None and payload is not None:
+                    ctx.absorb_worker(payload)
         except BrokenProcessPool as exc:
             raise EstimatorError(
                 "parallel worker pool crashed (a worker process died); "
@@ -179,12 +188,17 @@ def estimate_parallel(
     rng: RngLike = None,
     n_workers: int = 1,
     tasks_per_worker: int = 4,
+    audit: bool = False,
 ) -> EstimateResult:
     """Run ``estimator`` with the recursion fanned out over worker processes.
 
     ``n_workers=1`` runs the identical decomposition in-process (no pool,
     no arena) — useful as the bit-exact reference for the pooled runs and
-    as the cheap path on single-core machines.
+    as the cheap path on single-core machines.  With ``audit=True`` every
+    decomposition, worker job and the final reduction run under invariant
+    auditing (:mod:`repro.audit`): workers ship their check counters and
+    consumed stratum paths back with each result, so a stream consumed by
+    two different processes is caught in the driver.
     """
     if n_workers < 1:
         raise EstimatorError(f"estimate_parallel needs n_workers >= 1, got {n_workers}")
@@ -196,19 +210,28 @@ def estimate_parallel(
     root = root_seed_sequence(rng)
     counter = WorldCounter()
     target = tasks_per_worker * n_workers
-    root_leaf, leaves = _decompose(
-        estimator, graph, query, n_samples, root, target, counter
-    )
-    if n_workers == 1:
-        for leaf in leaves:
-            leaf.result = evaluate_job(graph, estimator, query, root, leaf.job, counter)
-    elif leaves:
-        _run_pool(estimator, graph, query, root, leaves, n_workers, counter)
-    num, den = _reduce(root_leaf)
-    return EstimateResult.from_pair(
+    ctx = _audit.AuditContext(estimator.name) if audit else None
+    with _audit.activate(ctx):
+        root_leaf, leaves = _decompose(
+            estimator, graph, query, n_samples, root, target, counter
+        )
+        if n_workers == 1:
+            for leaf in leaves:
+                leaf.result = evaluate_job(
+                    graph, estimator, query, root, leaf.job, counter
+                )
+        elif leaves:
+            _run_pool(estimator, graph, query, root, leaves, n_workers, counter)
+        num, den = _reduce(root_leaf)
+        if ctx is not None:
+            ctx.check_result(num, den, query.conditional, path=())
+    result = EstimateResult.from_pair(
         num, den, n_samples, counter.worlds, estimator.name,
         n_workers=n_workers, n_jobs=len(leaves),
     )
+    if ctx is not None:
+        result.audit = ctx.report
+    return result
 
 
 __all__ = ["estimate_parallel"]

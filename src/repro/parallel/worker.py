@@ -17,10 +17,11 @@ stratum path, so the numbers drawn are identical to what any other process
 
 from __future__ import annotations
 
-from typing import Any, Dict, NamedTuple, Tuple
+from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro import audit as _audit
 from repro.core.base import Estimator, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.graph.statuses import EdgeStatuses
@@ -66,22 +67,36 @@ def init_worker(
     estimator: Estimator,
     query: Query,
     root: np.random.SeedSequence,
+    audit_enabled: bool = False,
 ) -> None:
     """Pool initializer: attach the arena, stash the run-wide objects."""
     _STATE["graph"] = attach_graph(spec)
     _STATE["estimator"] = estimator
     _STATE["query"] = query
     _STATE["root"] = root
+    _STATE["audit"] = bool(audit_enabled)
 
 
-def run_job(job: Job) -> Tuple[float, float, int]:
-    """Pool task entry point; returns ``(num, den, worlds_evaluated)``."""
+def run_job(job: Job) -> Tuple[float, float, int, Optional[dict]]:
+    """Pool task entry point.
+
+    Returns ``(num, den, worlds_evaluated, audit_payload)``; the payload is
+    ``None`` when auditing is off, else the per-job check counters and
+    consumed stratum paths (:meth:`repro.audit.AuditContext.worker_payload`)
+    for the driver to merge — the cross-process half of the stream-reuse
+    invariant.
+    """
     counter = WorldCounter()
-    num, den = evaluate_job(
-        _STATE["graph"], _STATE["estimator"], _STATE["query"], _STATE["root"],
-        job, counter,
+    ctx = (
+        _audit.AuditContext(_STATE["estimator"].name) if _STATE.get("audit") else None
     )
-    return float(num), float(den), counter.worlds
+    with _audit.activate(ctx):
+        num, den = evaluate_job(
+            _STATE["graph"], _STATE["estimator"], _STATE["query"], _STATE["root"],
+            job, counter,
+        )
+    payload = None if ctx is None else ctx.worker_payload()
+    return float(num), float(den), counter.worlds, payload
 
 
 __all__ = ["Job", "evaluate_job", "init_worker", "run_job"]

@@ -22,6 +22,8 @@ from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import audit as _audit
+
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence, "StratumRng"]
 
 
@@ -60,8 +62,17 @@ class StratumRng:
 
     @property
     def generator(self) -> np.random.Generator:
-        """This node's own stream, materialised lazily and cached."""
+        """This node's own stream, materialised lazily and cached.
+
+        Under invariant auditing the first materialisation registers the
+        stratum path with the active :class:`repro.audit.AuditContext` —
+        two handles deriving the same path in one run means two subtrees
+        share a stream, which breaks worker-count independence.
+        """
         if self._generator is None:
+            ctx = _audit.active()
+            if ctx is not None:
+                ctx.register_path(self.path)
             self._generator = np.random.default_rng(self.seed_sequence)
         return self._generator
 

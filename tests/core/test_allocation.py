@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.allocation import (
     neyman_allocation,
@@ -100,3 +101,53 @@ def test_validate_allocation_method():
     assert validate_allocation_method("ceil") == "ceil"
     with pytest.raises(EstimatorError):
         validate_allocation_method("floor")
+
+
+# --------------------------------------------------------------------- #
+# property tests: the allocation contracts the audit layer enforces
+# --------------------------------------------------------------------- #
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1, max_size=16,
+).filter(lambda ws: sum(ws) > 0.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(weights=weights_strategy, n=st.integers(0, 500),
+       method=st.sampled_from(["ceil", "exact"]))
+def test_allocation_total_respects_budget(weights, n, method):
+    weights = np.asarray(weights)
+    alloc = proportional_allocation(weights, n, method)
+    positive = int(np.count_nonzero(weights > 0))
+    if n == 0:
+        assert alloc.sum() == 0
+    else:
+        assert n <= alloc.sum() <= n + positive
+        assert (alloc[weights > 0] >= 1).all()
+
+
+@settings(max_examples=100, deadline=None)
+@given(weights=weights_strategy, method=st.sampled_from(["ceil", "exact"]))
+def test_zero_budget_allocates_nothing(weights, method):
+    # regression: the exact-method bump-to-1 used to fire even at N == 0
+    alloc = proportional_allocation(np.asarray(weights), 0, method)
+    assert alloc.tolist() == [0] * len(weights)
+
+
+@settings(max_examples=100, deadline=None)
+@given(weights=weights_strategy, n=st.integers(0, 500),
+       method=st.sampled_from(["ceil", "exact"]))
+def test_zero_weight_strata_never_sampled(weights, n, method):
+    weights = np.asarray(weights)
+    alloc = proportional_allocation(weights, n, method)
+    assert (alloc[weights == 0.0] == 0).all()
+    assert (alloc >= 0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(weight=st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+       n=st.integers(1, 500), method=st.sampled_from(["ceil", "exact"]))
+def test_single_stratum_takes_whole_budget(weight, n, method):
+    alloc = proportional_allocation(np.array([weight]), n, method)
+    assert alloc.tolist() == [n]

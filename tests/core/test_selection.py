@@ -107,6 +107,72 @@ def test_selection_determinism_given_seed(fig1_graph):
     assert a.tolist() == b.tolist()
 
 
+# --------------------------------------------------------------------- #
+# property tests: determinism and the sorted-enumeration contract
+# --------------------------------------------------------------------- #
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.graph.generators import paper_running_example  # noqa: E402
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), r=st.integers(1, 8))
+def test_random_selection_deterministic_and_sorted(seed, r):
+    graph = paper_running_example()
+    sel = RandomSelection()
+    assert sel.sorted_output is True
+    picks = [
+        sel.select(
+            graph, InfluenceQuery(0), EdgeStatuses(graph), r,
+            np.random.default_rng(seed),
+        )
+        for _ in range(2)
+    ]
+    assert picks[0].tolist() == picks[1].tolist()
+    assert (np.diff(picks[0]) > 0).all()  # strictly increasing edge ids
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), r=st.integers(1, 8))
+def test_bfs_selection_deterministic_and_sorted(seed, r):
+    """BFS + random top-up must be sorted: stratum i means the same edge
+    subset regardless of strategy or how the top-up happened to land."""
+    graph = paper_running_example()
+    sel = BFSSelection()
+    assert sel.sorted_output is True
+    picks = [
+        sel.select(
+            graph, InfluenceQuery(0), EdgeStatuses(graph), r,
+            np.random.default_rng(seed),
+        )
+        for _ in range(2)
+    ]
+    assert picks[0].tolist() == picks[1].tolist()
+    assert (np.diff(picks[0]) > 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_bfs_random_topup_output_is_sorted(seed):
+    """Regression: the random fill past BFS exhaustion used to append
+    unsorted extras after the BFS prefix."""
+    from repro.graph.uncertain import UncertainGraph
+
+    g = UncertainGraph.from_edges(
+        8,
+        [(0, 1, 0.5), (2, 3, 0.5), (3, 4, 0.5), (4, 5, 0.5), (5, 6, 0.5),
+         (6, 7, 0.5)],
+        directed=True,
+    )
+    chosen = BFSSelection().select(
+        g, InfluenceQuery(0), EdgeStatuses(g), 4, np.random.default_rng(seed)
+    )
+    assert chosen.size == 4
+    assert 0 in chosen.tolist()  # node 0's lone component edge
+    assert (np.diff(chosen) > 0).all()
+
+
 def test_make_selection_codes():
     assert isinstance(make_selection("R"), RandomSelection)
     assert isinstance(make_selection("b"), BFSSelection)

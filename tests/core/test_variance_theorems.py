@@ -174,6 +174,51 @@ def test_stratum_mean_variance_conditional_rejected(fig1_graph):
         )
 
 
+@pytest.mark.parametrize("bad_n", [0, -5])
+def test_variance_rejects_degenerate_sample_size(fig1_graph, bad_n):
+    """Every exact-variance entry point raises on N <= 0 instead of
+    emitting NaN/inf (regression for the zero-denominator satellite)."""
+    query = InfluenceQuery(0)
+    edges = np.array([0, 1])
+    with pytest.raises(EstimatorError, match="positive sample size"):
+        nmc_variance(fig1_graph, query, bad_n)
+    with pytest.raises(EstimatorError, match="positive sample size"):
+        bss1_variance(fig1_graph, query, edges, bad_n)
+    with pytest.raises(EstimatorError, match="positive sample size"):
+        bss2_variance(fig1_graph, query, edges, bad_n)
+    with pytest.raises(EstimatorError, match="positive sample size"):
+        fs_variance(fig1_graph, query, bad_n)
+    with pytest.raises(EstimatorError, match="positive sample size"):
+        bcss_variance(fig1_graph, query, bad_n)
+
+
+def test_stratified_variance_rejects_non_finite_terms():
+    with pytest.raises(EstimatorError, match="non-finite"):
+        stratified_variance([0.5, 0.5], [1.0, np.inf], [10, 10])
+    with pytest.raises(EstimatorError, match="non-finite"):
+        stratified_variance([0.5, np.nan], [1.0, 1.0], [10, 10])
+
+
+def test_residual_mixture_rejects_zero_weight_pool(fig1_graph):
+    """A zero-mass residual pool raises instead of dividing by zero."""
+    from repro.core.base import residual_mixture_pair
+    from repro.core.result import WorldCounter
+
+    statuses = EdgeStatuses(fig1_graph)
+    with pytest.raises(EstimatorError, match="zero total weight"):
+        residual_mixture_pair(
+            fig1_graph, InfluenceQuery(0), lambda i: statuses,
+            np.array([0.0, 0.0, 0.5]), np.array([0, 1]), 10,
+            np.random.default_rng(0), WorldCounter(),
+        )
+    with pytest.raises(EstimatorError, match="draws and strata"):
+        residual_mixture_pair(
+            fig1_graph, InfluenceQuery(0), lambda i: statuses,
+            np.array([0.5, 0.5]), np.array([0, 1]), 0,
+            np.random.default_rng(0), WorldCounter(),
+        )
+
+
 def test_variance_decreases_with_r(fig1_graph):
     """More stratification edges can only help (class-I, fixed prefix order)."""
     query = InfluenceQuery(0)

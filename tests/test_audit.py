@@ -1,0 +1,368 @@
+"""Unit tests for the invariant-audit layer (:mod:`repro.audit`).
+
+Covers the check primitives directly, the activation machinery, the
+estimate-level wiring (``audit=`` / ``REPRO_AUDIT``), and — crucially — the
+regression half of this layer's reason to exist: each satellite bug fixed
+alongside it is reintroduced in miniature and shown to be *caught* by the
+corresponding audit check.
+"""
+
+import numpy as np
+import pytest
+
+from repro import audit
+from repro.audit import AuditContext, AuditError, AuditReport
+from repro.core import NMC, RSS1
+from repro.core.allocation import AllocationPlan, proportional_allocation
+from repro.errors import ReproError
+from repro.queries.influence import InfluenceQuery
+
+
+# --------------------------------------------------------------------- #
+# env flag
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "YES", "On"])
+def test_env_enabled_truthy(monkeypatch, raw):
+    monkeypatch.setenv(audit.AUDIT_ENV, raw)
+    assert audit.env_enabled() is True
+
+
+@pytest.mark.parametrize("raw", ["", "0", "false", "No", "OFF"])
+def test_env_enabled_falsy(monkeypatch, raw):
+    monkeypatch.setenv(audit.AUDIT_ENV, raw)
+    assert audit.env_enabled() is False
+
+
+def test_env_enabled_unset(monkeypatch):
+    monkeypatch.delenv(audit.AUDIT_ENV, raising=False)
+    assert audit.env_enabled() is False
+
+
+def test_env_enabled_garbage_raises(monkeypatch):
+    monkeypatch.setenv(audit.AUDIT_ENV, "maybe")
+    with pytest.raises(ReproError, match="REPRO_AUDIT"):
+        audit.env_enabled()
+
+
+# --------------------------------------------------------------------- #
+# error structure and report counters
+# --------------------------------------------------------------------- #
+
+
+def test_audit_error_structure():
+    err = AuditError(
+        "allocation-budget",
+        "over budget",
+        estimator="RSSIIR",
+        path=(3, 0),
+        values={"total": 61, "n_samples": 50},
+    )
+    assert err.invariant == "allocation-budget"
+    assert err.estimator == "RSSIIR"
+    assert err.path == (3, 0)
+    assert err.values == {"total": 61, "n_samples": 50}
+    text = str(err)
+    assert "[allocation-budget]" in text
+    assert "RSSIIR" in text
+    assert "stratum_path=(3, 0)" in text
+    assert "total=61" in text
+
+
+def test_report_counters_and_merge():
+    report = AuditReport()
+    assert report.total_checks == 0
+    report.record("stratum-mass")
+    report.record("stratum-mass", 2)
+    report.record("pair-finite")
+    assert report.checks == {"stratum-mass": 3, "pair-finite": 1}
+    assert report.total_checks == 4
+    report.merge_counts({"pair-finite": 5, "rng-path": 1})
+    assert report.checks["pair-finite"] == 6
+    assert report.checks["rng-path"] == 1
+    payload = report.as_dict()
+    assert payload["violations"] == 0
+    assert payload["total_checks"] == report.total_checks
+
+
+def test_fail_increments_violations():
+    ctx = AuditContext("X")
+    with pytest.raises(AuditError):
+        ctx.fail("stratum-mass", "boom")
+    assert ctx.report.violations == 1
+
+
+# --------------------------------------------------------------------- #
+# activation machinery
+# --------------------------------------------------------------------- #
+
+
+def test_activate_installs_and_restores():
+    assert audit.active() is None
+    ctx = AuditContext("X")
+    with audit.activate(ctx):
+        assert audit.active() is ctx
+        inner = AuditContext("Y")
+        with audit.activate(inner):
+            assert audit.active() is inner
+        assert audit.active() is ctx
+    assert audit.active() is None
+
+
+def test_activate_none_is_noop_installation():
+    ctx = AuditContext("X")
+    with audit.activate(ctx):
+        with audit.activate(None):
+            assert audit.active() is None
+        assert audit.active() is ctx
+
+
+def test_activate_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with audit.activate(AuditContext("X")):
+            raise RuntimeError("boom")
+    assert audit.active() is None
+
+
+# --------------------------------------------------------------------- #
+# check primitives
+# --------------------------------------------------------------------- #
+
+
+def test_check_stratum_masses_accepts_exact_partition():
+    ctx = AuditContext("X")
+    ctx.check_stratum_masses(np.array([0.25, 0.75]))
+    ctx.check_stratum_masses(np.array([0.3, 0.2]), pi0=0.5)
+    assert ctx.report.checks["stratum-mass"] == 2
+
+
+def test_check_stratum_masses_rejects_lost_mass():
+    ctx = AuditContext("X")
+    with pytest.raises(AuditError, match="stratum-mass"):
+        ctx.check_stratum_masses(np.array([0.25, 0.70]))
+
+
+def test_check_stratum_masses_rejects_negative_and_nan():
+    ctx = AuditContext("X")
+    with pytest.raises(AuditError):
+        ctx.check_stratum_masses(np.array([-0.1, 1.1]))
+    with pytest.raises(AuditError):
+        ctx.check_stratum_masses(np.array([np.nan, 1.0]))
+
+
+def test_check_allocation_happy_path():
+    ctx = AuditContext("X")
+    weights = np.array([0.5, 0.0, 0.5])
+    ctx.check_allocation(weights, np.array([3, 0, 3]), 5)
+
+
+def test_check_allocation_rejects_over_budget():
+    ctx = AuditContext("X")
+    weights = np.array([0.5, 0.5])
+    with pytest.raises(AuditError, match="allocation-budget"):
+        ctx.check_allocation(weights, np.array([10, 10]), 5)
+
+
+def test_check_allocation_rejects_zero_weight_spending():
+    ctx = AuditContext("X")
+    with pytest.raises(AuditError, match="zero-weight"):
+        ctx.check_allocation(np.array([1.0, 0.0]), np.array([3, 1]), 4)
+
+
+def test_check_allocation_rejects_starved_stratum():
+    ctx = AuditContext("X")
+    with pytest.raises(AuditError, match="no samples"):
+        ctx.check_allocation(np.array([0.9, 0.1]), np.array([5, 0]), 5)
+
+
+def test_check_plan_contracts():
+    ctx = AuditContext("X")
+    weights = np.array([0.6, 0.25, 0.15])
+    good = AllocationPlan(
+        np.array([6, 0, 0]), np.array([1, 2]), 4
+    )
+    ctx.check_plan(weights, good, 10)
+    bad = AllocationPlan(np.array([6, 2, 0]), np.array([1, 2]), 4)
+    with pytest.raises(AuditError, match="residual"):
+        ctx.check_plan(weights, bad, 10)
+    starved = AllocationPlan(np.array([6, 0, 0]), np.array([1, 2]), 0)
+    with pytest.raises(AuditError, match="no draws"):
+        ctx.check_plan(weights, starved, 10)
+
+
+def test_check_budget_split():
+    ctx = AuditContext("X")
+    ctx.check_budget_split([64, 64, 72], 200)
+    with pytest.raises(AuditError, match="conserve"):
+        ctx.check_budget_split([64, 64], 200)
+    with pytest.raises(AuditError, match="empty"):
+        ctx.check_budget_split([200, 0], 200)
+    with pytest.raises(AuditError, match="aligned"):
+        ctx.check_budget_split([63, 137], 200, align=2)
+
+
+def test_check_pair_rejects_nan_and_bad_mass():
+    ctx = AuditContext("X")
+    ctx.check_pair(3.5, 1.0, where="test")
+    ctx.check_pair(0.0, 0.0, where="test")
+    with pytest.raises(AuditError, match="NaN"):
+        ctx.check_pair(float("nan"), 1.0, where="test")
+    with pytest.raises(AuditError, match="probability mass"):
+        ctx.check_pair(1.0, 1.5, where="test")
+    with pytest.raises(AuditError, match="probability mass"):
+        ctx.check_pair(1.0, float("inf"), where="test")
+
+
+def test_check_result_unconditional_mass():
+    ctx = AuditContext("X")
+    ctx.check_result(2.0, 1.0, conditional=False)
+    ctx.check_result(2.0, 0.4, conditional=True)
+    with pytest.raises(AuditError, match="lost stratum mass"):
+        ctx.check_result(2.0, 0.4, conditional=False)
+
+
+def test_check_world_budget():
+    ctx = AuditContext("X")
+    ctx.check_world_budget(100, 100, where="NMC")
+    with pytest.raises(AuditError, match="world-budget"):
+        ctx.check_world_budget(99, 100, where="NMC")
+
+
+def test_check_children_order():
+    ctx = AuditContext("X")
+    ctx.check_children_order([0, 2, 5])
+    with pytest.raises(AuditError, match="reduction-order"):
+        ctx.check_children_order([0, 2, 1])
+
+
+def test_register_path_catches_stream_reuse():
+    ctx = AuditContext("X")
+    ctx.register_path((0, 1))
+    ctx.register_path((0, 2))
+    with pytest.raises(AuditError, match="rng-stream-reuse"):
+        ctx.register_path((0, 1))
+
+
+def test_absorb_worker_catches_cross_process_reuse():
+    driver = AuditContext("X")
+    driver.register_path((0,))
+    worker = AuditContext("X")
+    worker.register_path((1,))
+    worker.check_pair(1.0, 1.0, where="w")
+    driver.absorb_worker(worker.worker_payload())
+    assert driver.report.checks["pair-finite"] == 1
+    clash = AuditContext("X")
+    clash.register_path((0,))
+    with pytest.raises(AuditError, match="two workers"):
+        driver.absorb_worker(clash.worker_payload())
+
+
+# --------------------------------------------------------------------- #
+# estimate-level wiring
+# --------------------------------------------------------------------- #
+
+
+def test_estimate_attaches_report_only_when_audited(fig1_graph, monkeypatch):
+    monkeypatch.delenv(audit.AUDIT_ENV, raising=False)
+    query = InfluenceQuery(0)
+    off = NMC().estimate(fig1_graph, query, 50, rng=3)
+    on = NMC().estimate(fig1_graph, query, 50, rng=3, audit=True)
+    assert off.audit is None
+    assert on.audit is not None
+    assert on.audit.violations == 0
+    assert on.audit.total_checks > 0
+    assert on.value == off.value  # auditing observes, never draws
+
+
+def test_estimate_honours_env_flag(fig1_graph, monkeypatch):
+    query = InfluenceQuery(0)
+    monkeypatch.setenv(audit.AUDIT_ENV, "1")
+    result = NMC().estimate(fig1_graph, query, 50, rng=3)
+    assert result.audit is not None
+    # explicit argument overrides the environment
+    result = NMC().estimate(fig1_graph, query, 50, rng=3, audit=False)
+    assert result.audit is None
+
+
+def test_recursive_estimator_audit_parity(fig1_graph):
+    query = InfluenceQuery(0)
+    est = RSS1(r=2, tau=5)
+    off = est.estimate(fig1_graph, query, 200, rng=11)
+    on = est.estimate(fig1_graph, query, 200, rng=11, audit=True)
+    assert on.value == off.value
+    assert on.audit.violations == 0
+    assert on.audit.checks.get("stratum-mass", 0) > 0
+    assert on.audit.checks.get("allocation-budget", 0) > 0
+
+
+# --------------------------------------------------------------------- #
+# satellite-bug regressions: each fixed bug, reintroduced, is caught
+# --------------------------------------------------------------------- #
+
+
+def _buggy_exact_allocation(weights: np.ndarray, n_samples: int) -> np.ndarray:
+    """The pre-fix ``exact`` rounding: bump-to-1 fires even when N == 0."""
+    weights = np.asarray(weights, dtype=np.float64)
+    shares = weights / weights.sum() * n_samples
+    base = np.floor(shares).astype(np.int64)
+    missing = int(n_samples - base.sum())
+    if missing > 0:
+        base[np.argsort(-(shares - base), kind="stable")[:missing]] += 1
+    positive = weights > 0.0
+    base[positive & (base == 0)] = 1  # the old unconditional bump
+    base[~positive] = 0
+    return base
+
+
+def test_audit_catches_reintroduced_zero_budget_allocation():
+    weights = np.array([0.5, 0.3, 0.2])
+    buggy = _buggy_exact_allocation(weights, 0)
+    assert buggy.sum() > 0  # the bug: spends budget that does not exist
+    ctx = AuditContext("BSSIR")
+    with pytest.raises(AuditError, match="budget that does not exist"):
+        ctx.check_allocation(weights, buggy, 0)
+    # ... and the fixed implementation passes the same check.
+    fixed = proportional_allocation(weights, 0, method="exact")
+    ctx.check_allocation(weights, fixed, 0)
+
+
+def test_audit_catches_reintroduced_unsorted_selection(fig1_graph):
+    """The pre-fix BFS random top-up returned unsorted edge ids."""
+    unsorted_edges = np.array([5, 1, 3])  # BFS prefix + random extras, unsorted
+    ctx = AuditContext("RSSIB")
+    with pytest.raises(AuditError, match="increasing id order"):
+        ctx.check_selection(
+            unsorted_edges, n_edges=fig1_graph.n_edges, require_sorted=True
+        )
+    # Sorted output (the fix) passes.
+    ctx.check_selection(
+        np.sort(unsorted_edges), n_edges=fig1_graph.n_edges, require_sorted=True
+    )
+
+
+def test_audit_catches_unsorted_strategy_end_to_end(fig1_graph):
+    """An estimator run with a sorted-declared-but-unsorted strategy aborts."""
+    from repro.core.bss1 import BSS1
+    from repro.core.selection import RandomSelection
+
+    class UnsortedRandom(RandomSelection):
+        sorted_output = True  # declares sorted, delivers scrambled
+
+        def select(self, graph, query, statuses, r, rng):
+            edges = super().select(graph, query, statuses, r, rng)
+            return edges[::-1].copy()
+
+    est = BSS1(r=3, selection=UnsortedRandom())
+    with pytest.raises(AuditError, match="selection-order"):
+        est.estimate(fig1_graph, InfluenceQuery(0), 50, rng=3, audit=True)
+
+
+def test_audit_catches_over_budget_ceiling_slack():
+    """Allocation exceeding N + #positive (beyond documented slack) is caught."""
+    ctx = AuditContext("BSSIR")
+    weights = np.array([0.25, 0.25, 0.25, 0.25])
+    # legitimate ceil slack: one extra per positive stratum is fine
+    ctx.check_allocation(weights, np.array([2, 2, 2, 2]), 5)
+    with pytest.raises(AuditError, match="ceiling slack"):
+        ctx.check_allocation(weights, np.array([4, 4, 4, 4]), 5)
