@@ -10,6 +10,7 @@ worlds).  Run:
 """
 
 from repro import (
+    RSS1,
     InfluenceQuery,
     exact_value,
     generators,
@@ -24,6 +25,12 @@ def main() -> None:
     query = InfluenceQuery(seeds=0)  # v1 in the paper's numbering
     truth = exact_value(graph, query)
     print(f"Exact expected spread of v1 (by enumeration): {truth:.4f}\n")
+
+    # One traced run first: trace=True records the recursion tree and the
+    # per-stratum variance ledger without changing the estimate.
+    traced = RSS1().estimate(graph, query, n_samples=1000, rng=2014, trace=True)
+    print(f"Traced run     : {traced.summary()}")
+    print(f"Ledger variance: {traced.trace.estimated_variance():.3e}\n")
 
     print(f"{'estimator':>10s}  {'estimate':>9s}  {'abs err':>8s}  {'worlds':>6s}")
     for name, estimator in make_paper_estimators().items():

@@ -18,6 +18,7 @@ True
 """
 
 from repro.audit import AuditError, AuditReport
+from repro.telemetry import TRACE_ENV, TRACE_FILE_ENV, Tracer, TraceReport
 from repro.errors import (
     ReproError,
     GraphError,
@@ -98,6 +99,11 @@ __all__ = [
     # audit
     "AuditError",
     "AuditReport",
+    # telemetry
+    "TRACE_ENV",
+    "TRACE_FILE_ENV",
+    "Tracer",
+    "TraceReport",
     # graph
     "UncertainGraph",
     "EdgeStatuses",

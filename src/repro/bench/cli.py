@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
         "estimates with invariant auditing off and on (CI gates on the "
         "audit-off overhead staying under 2%%)",
     )
+    parser.add_argument(
+        "--trace-check", action="store_true",
+        help="add telemetry-overhead kernels: min-of-repeats NMC influence "
+        "estimates with tracing off and on (CI gates on the trace-off "
+        "overhead staying under 2%%)",
+    )
     return parser
 
 
@@ -93,6 +99,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             smoke=args.smoke,
             workers=parse_workers(args.workers) if args.workers else None,
             audit_check=args.audit_check,
+            trace_check=args.trace_check,
         )
     except ReproError as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)

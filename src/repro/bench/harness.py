@@ -6,8 +6,10 @@ Every record is a flat dict with the fields of :data:`BENCH_FIELDS`::
     graph           surrogate dataset name, e.g. "facebook@1.0"
     W               number of worlds evaluated
     m               number of edges of the benchmark graph
-    seconds         wall-clock seconds for all W worlds
+    seconds         wall-clock seconds for all W worlds (``time.perf_counter``)
     worlds_per_sec  W / seconds
+    peak_rss_kb     process peak resident set size in KiB when the kernel
+                    finished (``None`` on platforms without ``resource``)
 
 Batched records additionally carry ``speedup_vs_scalar`` when the matching
 scalar record was timed in the same run.  Worker-scaling records (the
@@ -25,9 +27,15 @@ from __future__ import annotations
 import json
 import os
 import platform
+import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -48,7 +56,9 @@ from repro.queries.influence import InfluenceQuery
 from repro.queries.traversal import reachable_count, st_distance
 
 #: Required fields of every benchmark record.
-BENCH_FIELDS = ("kernel", "graph", "W", "m", "seconds", "worlds_per_sec")
+BENCH_FIELDS = (
+    "kernel", "graph", "W", "m", "seconds", "worlds_per_sec", "peak_rss_kb",
+)
 
 #: Surrogate recipes addressable from the CLI.
 GRAPHS: Dict[str, Callable] = {
@@ -68,11 +78,13 @@ class BenchRecord:
     m: int
     seconds: float
     worlds_per_sec: float
+    peak_rss_kb: Optional[int] = None
     speedup_vs_scalar: Optional[float] = None
     n_workers: Optional[int] = None
     value: Optional[float] = None
     speedup_vs_1worker: Optional[float] = None
     audit_overhead_pct: Optional[float] = None
+    trace_overhead_pct: Optional[float] = None
 
     def to_dict(self) -> dict:
         out = {
@@ -82,6 +94,7 @@ class BenchRecord:
             "m": self.m,
             "seconds": self.seconds,
             "worlds_per_sec": self.worlds_per_sec,
+            "peak_rss_kb": self.peak_rss_kb,
         }
         if self.speedup_vs_scalar is not None:
             out["speedup_vs_scalar"] = self.speedup_vs_scalar
@@ -93,6 +106,8 @@ class BenchRecord:
             out["speedup_vs_1worker"] = self.speedup_vs_1worker
         if self.audit_overhead_pct is not None:
             out["audit_overhead_pct"] = self.audit_overhead_pct
+        if self.trace_overhead_pct is not None:
+            out["trace_overhead_pct"] = self.trace_overhead_pct
         return out
 
 
@@ -102,9 +117,22 @@ def _timed(fn: Callable[[], object]) -> float:
     return time.perf_counter() - start
 
 
+def _peak_rss_kb() -> Optional[int]:
+    """Process peak RSS in KiB (``getrusage``; bytes on macOS, KiB on Linux)."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
 def _record(kernel: str, graph_label: str, n_worlds: int, m: int, seconds: float) -> BenchRecord:
     per_sec = n_worlds / seconds if seconds > 0 else float("inf")
-    return BenchRecord(kernel, graph_label, n_worlds, m, seconds, per_sec)
+    return BenchRecord(
+        kernel, graph_label, n_worlds, m, seconds, per_sec,
+        peak_rss_kb=_peak_rss_kb(),
+    )
 
 
 def _bench_pair(
@@ -243,6 +271,58 @@ def _bench_audit_check(
     )
 
 
+def _bench_trace_check(
+    records: List[BenchRecord],
+    graph: UncertainGraph,
+    graph_label: str,
+    query: InfluenceQuery,
+    n_worlds: int,
+    seed: int,
+    log: Callable[[str], None],
+    repeats: int = 5,
+) -> None:
+    """Measure the telemetry layer's cost on the NMC influence kernel.
+
+    Mirrors :func:`_bench_audit_check`: the identical estimate timed
+    min-of-``repeats`` as the plain call, with ``trace=False`` and with
+    ``trace=True``.  The ``trace_overhead_pct`` of the ``_trace_off``
+    record is the CI regression gate — tracing must cost nothing when
+    disabled (one module-global check per recursion node).
+    """
+    estimator = NMC()
+
+    def timed_min(trace) -> float:
+        return min(
+            _timed(
+                lambda: estimator.estimate(
+                    graph, query, n_worlds, rng=seed, trace=trace
+                )
+            )
+            for _ in range(repeats)
+        )
+
+    base = min(
+        _timed(lambda: estimator.estimate(graph, query, n_worlds, rng=seed))
+        for _ in range(repeats)
+    )
+    off = timed_min(False)
+    on = timed_min(True)
+    m = graph.n_edges
+    rec_off = _record("nmc_influence_trace_off", graph_label, n_worlds, m, off)
+    rec_on = _record("nmc_influence_trace_on", graph_label, n_worlds, m, on)
+    if base > 0:
+        rec_off.trace_overhead_pct = (off / base - 1.0) * 100.0
+        rec_on.trace_overhead_pct = (on / base - 1.0) * 100.0
+    records.extend([rec_off, rec_on])
+    traced = estimator.estimate(graph, query, n_worlds, rng=seed, trace=True)
+    log(
+        f"  {'trace_check':<18s} base {base:8.3f}s | off {off:8.3f}s "
+        f"({rec_off.trace_overhead_pct:+6.2f}%) | on {on:8.3f}s "
+        f"({rec_on.trace_overhead_pct:+6.2f}%)"
+    )
+    log(f"  {'':18s} {traced.summary()}")
+
+
 def run_benchmarks(
     graph_name: str = "condmat",
     scale: float = 0.25,
@@ -252,6 +332,7 @@ def run_benchmarks(
     smoke: bool = False,
     workers: Optional[Sequence[int]] = None,
     audit_check: bool = False,
+    trace_check: bool = False,
     log: Callable[[str], None] = print,
 ) -> dict:
     """Run the traversal micro-benchmarks; return (and optionally write) the payload.
@@ -262,7 +343,9 @@ def run_benchmarks(
     estimation through the parallel engine, one record per worker count.
     ``audit_check`` adds the audit-overhead kernels (min-of-repeats NMC
     influence estimates with auditing off and on) — CI gates on the
-    audit-off overhead staying under 2%.
+    audit-off overhead staying under 2%.  ``trace_check`` is the same
+    protocol for the telemetry layer (``trace_overhead_pct``, gated the
+    same way).
     """
     if graph_name not in GRAPHS:
         raise ReproError(f"unknown benchmark graph {graph_name!r}; choose from {sorted(GRAPHS)}")
@@ -332,6 +415,12 @@ def run_benchmarks(
             repeats=3 if smoke else 5,
         )
 
+    if trace_check:
+        _bench_trace_check(
+            records, graph, graph_label, query, n_worlds, seed, log,
+            repeats=3 if smoke else 5,
+        )
+
     payload = {
         "version": 1,
         "generated_by": "repro-bench",
@@ -344,6 +433,7 @@ def run_benchmarks(
             "cpu_count": os.cpu_count(),
             "n_workers": worker_sweep,
             "audit_check": audit_check,
+            "trace_check": trace_check,
             "python": platform.python_version(),
             "numpy": np.__version__,
         },

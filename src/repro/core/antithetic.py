@@ -11,11 +11,13 @@ drops below NMC's at the same cost.  Stays unbiased for any query.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair, chunk_budget
 from repro.core.result import WorldCounter
 from repro.errors import EstimatorError
@@ -49,6 +51,8 @@ class AntitheticNMC(Estimator):
         n_pairs = (n_samples + 1) // 2
         if n_samples <= 0:
             raise EstimatorError("antithetic sampling needs a positive budget")
+        trc = _telemetry.active()
+        t0 = time.perf_counter() if trc is not None else 0.0
         # Build the whole block of mirrored worlds first, then evaluate it in
         # one batched sweep.
         masks = np.broadcast_to(base, (n_samples, graph.n_edges)).copy()
@@ -68,6 +72,10 @@ class AntitheticNMC(Estimator):
             num += a
             den += b
         counter.add(evaluated)
+        if trc is not None:
+            trc.record_leaf_arrays(
+                rng, nums, dens, n_samples, time.perf_counter() - t0
+            )
         mean_num = num / evaluated
         mean_den = den / evaluated
         ctx = _audit.active()

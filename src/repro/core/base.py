@@ -33,12 +33,14 @@ path (:class:`repro.rng.StratumRng`) rather than by execution order.
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from typing import Any, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
@@ -88,12 +90,56 @@ def sample_mean_pair(
     """
     if n_samples <= 0:
         raise EstimatorError("sample_mean_pair needs a positive sample count")
+    trc = _telemetry.active()
+    if trc is not None:
+        return _sample_mean_pair_traced(
+            graph, query, statuses, n_samples, rng, counter, trc
+        )
     num = 0.0
     den = 0.0
     for block in iter_mask_blocks(statuses, n_samples, rng):
         nums, dens = query.evaluate_pairs(graph, block)
         num += float(nums.sum())
         den += float(dens.sum())
+    if counter is not None:
+        counter.add(n_samples)
+    mean_num = num / n_samples
+    mean_den = den / n_samples
+    ctx = _audit.active()
+    if ctx is not None:
+        ctx.check_pair(
+            mean_num, mean_den, where="sample_mean_pair",
+            path=getattr(rng, "path", None),
+        )
+    return mean_num, mean_den
+
+
+def _sample_mean_pair_traced(
+    graph: UncertainGraph,
+    query: Query,
+    statuses: EdgeStatuses,
+    n_samples: int,
+    rng: RngLike,
+    counter: Optional[WorldCounter],
+    trc,
+) -> Pair:
+    """Traced twin of :func:`sample_mean_pair`.
+
+    Identical world sampling, block evaluation and float accumulation order
+    — same-seed estimates stay bit-identical with tracing on — plus the
+    span's variance-ledger moments, per-block convergence events and the
+    leaf wall-clock.
+    """
+    path = trc.current_path(rng)
+    started = time.perf_counter()
+    num = 0.0
+    den = 0.0
+    for block in iter_mask_blocks(statuses, n_samples, rng):
+        nums, dens = query.evaluate_pairs(graph, block)
+        num += float(nums.sum())
+        den += float(dens.sum())
+        trc.leaf_block(path, nums, dens)
+    trc.leaf_done(path, n_samples, n_samples, time.perf_counter() - started)
     if counter is not None:
         counter.add(n_samples)
     mean_num = num / n_samples
@@ -135,6 +181,8 @@ def residual_mixture_pair(
     """
     if n_draws <= 0 or indices.size == 0:
         raise EstimatorError("residual mixture needs draws and strata")
+    trc = _telemetry.active()
+    started = time.perf_counter() if trc is not None else 0.0
     gen = resolve_rng(rng)
     local = weights[indices].astype(np.float64)
     total = float(local.sum())
@@ -149,6 +197,13 @@ def residual_mixture_pair(
         rows = np.flatnonzero(draws == index)
         masks[rows] = sample_edge_masks(child_for(int(index)), rows.size, stream)
     nums, dens = query.evaluate_pairs(graph, masks)
+    if trc is not None:
+        # The pooled strata hang off the node as one residual pseudo-child
+        # at path + (RESIDUAL_INDEX,) with the pool's combined local weight.
+        trc.record_leaf_arrays(
+            rng, nums, dens, n_draws, time.perf_counter() - started,
+            index=_telemetry.RESIDUAL_INDEX, pi=total, kind="residual",
+        )
     if counter is not None:
         counter.add(n_draws)
     mean_num = float(nums.sum()) / n_draws
@@ -283,6 +338,12 @@ class Estimator(ABC):
         ctx = _audit.active()
         if ctx is not None:
             ctx.check_budget_split(chunks, n_samples, path=rng.path)
+        # Budget chunks are an engine artifact, not statistical strata:
+        # telemetry-only split (counter=None keeps the extras stats clean).
+        _telemetry.split(
+            None, rng, pis=[n_i / n_samples for n_i in chunks],
+            allocations=chunks, n_samples=n_samples,
+        )
         children = [
             ChildJob(n_i / n_samples, statuses.values, state, int(n_i), i)
             for i, n_i in enumerate(chunks)
@@ -311,13 +372,19 @@ class Estimator(ABC):
                 ctx = _audit.active()
                 if ctx is not None:
                     ctx.check_budget_split(chunks, n_samples, path=rng.path)
+                trc = _telemetry.split(
+                    None, rng, pis=[n_i / n_samples for n_i in chunks],
+                    allocations=chunks, n_samples=n_samples,
+                )
                 num = 0.0
                 den = 0.0
                 for i, n_i in enumerate(chunks):
+                    share = n_i / n_samples
+                    _telemetry.enter_child(None, trc, i, share)
                     sub_num, sub_den = self._run_subtree(
                         graph, query, statuses, state, int(n_i), rng.child(i), counter
                     )
-                    share = n_i / n_samples
+                    _telemetry.exit_child(None, trc)
                     num += share * sub_num
                     den += share * sub_den
                 return num, den
@@ -336,6 +403,7 @@ class Estimator(ABC):
         n_workers: Optional[int] = None,
         tasks_per_worker: int = 4,
         audit: Optional[bool] = None,
+        trace: Any = None,
     ) -> EstimateResult:
         """Run the estimator with a total budget of ``n_samples`` worlds.
 
@@ -372,6 +440,17 @@ class Estimator(ABC):
             to the result as ``result.audit``.  The flag is resolved once
             per call — with auditing off the estimate runs the historical
             zero-overhead path.
+        trace:
+            ``None`` (default) — honour the ``REPRO_TRACE`` environment
+            variable; ``True``/``False`` force structured tracing on or
+            off; a :class:`repro.telemetry.Tracer` instance is used as-is
+            (with its exporters).  When tracing is active every recursion
+            node records a span (stratum path, ``pi_i``, allocated budget,
+            worlds, wall-clock, variance-ledger moments) plus per-block
+            convergence events; the finished
+            :class:`~repro.telemetry.TraceReport` is attached as
+            ``result.trace``.  Tracing never changes the random stream, so
+            same-seed estimates are bit-identical with tracing on or off.
 
         Returns
         -------
@@ -382,34 +461,44 @@ class Estimator(ABC):
         if n_workers is not None and n_workers < 0:
             raise EstimatorError(f"n_workers must be >= 0, got {n_workers}")
         audit_enabled = _audit.env_enabled() if audit is None else bool(audit)
+        tctx = _telemetry.resolve_tracer(trace, self.name)
         if n_workers:
             from repro.parallel.driver import estimate_parallel
 
             return estimate_parallel(
                 self, graph, query, int(n_samples), rng,
                 n_workers=int(n_workers), tasks_per_worker=tasks_per_worker,
-                audit=audit_enabled,
+                audit=audit_enabled, trace=tctx if tctx is not None else False,
             )
         query.validate(graph)
         gen = resolve_rng(rng)
         counter = WorldCounter()
-        if not audit_enabled:
+        if not audit_enabled and tctx is None:
             num, den = self._estimate_pair(
                 graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
             )
             return EstimateResult.from_pair(
-                num, den, int(n_samples), counter.worlds, self.name
+                num, den, int(n_samples), counter.worlds, self.name,
+                **counter.stats(),
             )
-        ctx = _audit.AuditContext(self.name)
-        with _audit.activate(ctx):
+        ctx = _audit.AuditContext(self.name) if audit_enabled else None
+        with _audit.activate(ctx), _telemetry.activate(tctx):
             num, den = self._estimate_pair(
                 graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
             )
-            ctx.check_result(num, den, query.conditional, path=())
+            if ctx is not None:
+                ctx.check_result(num, den, query.conditional, path=())
         result = EstimateResult.from_pair(
-            num, den, int(n_samples), counter.worlds, self.name
+            num, den, int(n_samples), counter.worlds, self.name, **counter.stats()
         )
-        result.audit = ctx.report
+        if ctx is not None:
+            result.audit = ctx.report
+        if tctx is not None:
+            result.trace = tctx.finish(
+                numerator=num, denominator=den, n_samples=int(n_samples),
+                n_worlds=counter.worlds,
+                seed=int(rng) if isinstance(rng, int) else None,
+            )
         return result
 
     def __call__(self, graph, query, n_samples, rng=None) -> float:

@@ -16,6 +16,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.allocation import proportional_allocation, validate_allocation_method
 from repro.core.base import (
     ChildJob,
@@ -73,14 +74,20 @@ class BCSS(Estimator):
             self.name, rng, pis=pis, pi0=pi0, allocations=allocations,
             alloc_weights=pcds, n_samples=n_samples,
         )
+        trc = _telemetry.split(
+            counter, rng, pis=pis, pi0=pi0, allocations=allocations,
+            n_samples=n_samples,
+        )
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
             k = i + 1
             child = statuses.child(cut[:k], cutset_stratum_statuses(k))
+            _telemetry.enter_child(counter, trc, i, pi)
             mean_num, mean_den = sample_mean_pair(
                 graph, query, child, int(n_i), child_rng(rng, i), counter
             )
+            _telemetry.exit_child(counter, trc)
             num += pi * mean_num
             den += pi * mean_den
         return num, den
@@ -114,6 +121,10 @@ class BCSS(Estimator):
         _audit.check_split(
             self.name, rng, pis=pis, pi0=pi0, allocations=allocations,
             alloc_weights=pcds, n_samples=n_samples,
+        )
+        _telemetry.split(
+            counter, rng, pis=pis, pi0=pi0, allocations=allocations,
+            n_samples=n_samples,
         )
         children = []
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):

@@ -14,6 +14,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.allocation import proportional_allocation, validate_allocation_method
 from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
@@ -85,15 +86,20 @@ class BSS1(Estimator):
             selection_sorted=self.selection.sorted_output,
             n_edges=graph.n_edges,
         )
+        trc = _telemetry.split(
+            counter, rng, pis=pis, allocations=allocations, n_samples=n_samples
+        )
         num = 0.0
         den = 0.0
         for index, (row, pi, n_i) in enumerate(zip(stratum_statuses, pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
             child = statuses.child(edges, row)
+            _telemetry.enter_child(counter, trc, index, pi)
             mean_num, mean_den = sample_mean_pair(
                 graph, query, child, int(n_i), child_rng(rng, index), counter
             )
+            _telemetry.exit_child(counter, trc)
             num += pi * mean_num
             den += pi * mean_den
         return num, den
@@ -119,6 +125,9 @@ class BSS1(Estimator):
             n_samples=n_samples, edges=edges,
             selection_sorted=self.selection.sorted_output,
             n_edges=graph.n_edges,
+        )
+        _telemetry.split(
+            counter, rng, pis=pis, allocations=allocations, n_samples=n_samples
         )
         children = [
             ChildJob(

@@ -15,6 +15,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.allocation import proportional_allocation, validate_allocation_method
 from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
@@ -74,6 +75,9 @@ class BSS2(Estimator):
             selection_sorted=self.selection.sorted_output,
             n_edges=graph.n_edges,
         )
+        trc = _telemetry.split(
+            counter, rng, pis=pis, allocations=allocations, n_samples=n_samples
+        )
         num = 0.0
         den = 0.0
         for stratum, (pins, pi, n_i) in enumerate(zip(pin_counts, pis, allocations)):
@@ -81,9 +85,11 @@ class BSS2(Estimator):
                 continue
             pinned = class2_stratum_statuses(stratum, r)
             child = statuses.child(edges[: pins], pinned)
+            _telemetry.enter_child(counter, trc, stratum, pi)
             mean_num, mean_den = sample_mean_pair(
                 graph, query, child, int(n_i), child_rng(rng, stratum), counter
             )
+            _telemetry.exit_child(counter, trc)
             num += pi * mean_num
             den += pi * mean_den
         return num, den
@@ -109,6 +115,9 @@ class BSS2(Estimator):
             n_samples=n_samples, edges=edges,
             selection_sorted=self.selection.sorted_output,
             n_edges=graph.n_edges,
+        )
+        _telemetry.split(
+            counter, rng, pis=pis, allocations=allocations, n_samples=n_samples
         )
         children = []
         for stratum, (pins, pi, n_i) in enumerate(zip(pin_counts, pis, allocations)):

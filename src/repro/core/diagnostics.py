@@ -1,0 +1,45 @@
+"""Standard diagnostic keys of :attr:`EstimateResult.extras`.
+
+Every estimator emits the same core diagnostics through
+:meth:`repro.core.result.WorldCounter.stats`; downstream code (the CLIs,
+the experiment tables, trace tooling) must address them through these
+constants rather than string literals.
+
+Keys
+----
+``SPLIT_COUNT``
+    Recursion nodes that stratified (0 for the flat NMC/ANMC).
+``STRATUM_COUNT``
+    Total strata enumerated across all splits (``2^r`` per class-I node,
+    ``r + 1`` per class-II node, ``|C|`` per cut-set node).
+``MAX_DEPTH``
+    Deepest recursion level a sampled stratum reached (root = 0).
+``ANALYTIC_MASS``
+    Probability mass resolved analytically instead of sampled: the
+    weighted sum of every node's all-fail ``pi_0`` (FS/BCSS/RCSS; 0 for
+    the class-I/II estimators).
+``N_WORKERS`` / ``N_JOBS``
+    Parallel-engine bookkeeping (absent on sequential runs).
+"""
+
+from __future__ import annotations
+
+SPLIT_COUNT = "split_count"
+STRATUM_COUNT = "stratum_count"
+MAX_DEPTH = "max_depth"
+ANALYTIC_MASS = "analytic_mass"
+N_WORKERS = "n_workers"
+N_JOBS = "n_jobs"
+
+#: The diagnostics every estimator run carries in ``result.extras``.
+CORE_EXTRAS = (SPLIT_COUNT, STRATUM_COUNT, MAX_DEPTH, ANALYTIC_MASS)
+
+__all__ = [
+    "SPLIT_COUNT",
+    "STRATUM_COUNT",
+    "MAX_DEPTH",
+    "ANALYTIC_MASS",
+    "N_WORKERS",
+    "N_JOBS",
+    "CORE_EXTRAS",
+]

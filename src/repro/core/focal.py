@@ -11,9 +11,12 @@ no larger than NMC (Theorem 5.3).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair, pair_of
 from repro.core.result import WorldCounter
 from repro.core.stratify import cutset_strata, cutset_stratum_statuses
@@ -60,6 +63,9 @@ class FocalSampling(Estimator):
             ctx.check_stratum_masses(
                 pis, pi0=pi0, path=getattr(rng, "path", None), where=self.name
             )
+        trc = _telemetry.split(
+            counter, rng, pis=pis, pi0=pi0, n_samples=n_samples
+        )
         child0 = statuses.child(cut, np.full(cut.size, ABSENT, dtype=np.int8))
         u0 = cut_query.cut_constant(graph, child0, state)
         num, den = pair_of(query, u0)
@@ -71,6 +77,7 @@ class FocalSampling(Estimator):
         # existing cut edge per Eq. (21), then sample the rest freely.  Each
         # draw pins a different prefix of the cut-set, so masks are built one
         # at a time, but all N worlds are evaluated in one batched sweep.
+        t0 = time.perf_counter() if trc is not None else 0.0
         firsts = sample_first_present(graph.prob[cut], n_samples, rng)
         masks = np.empty((n_samples, graph.n_edges), dtype=bool)
         for i, first in enumerate(firsts):
@@ -85,6 +92,13 @@ class FocalSampling(Estimator):
             comp_num += a
             comp_den += b
         weight = 1.0 - pi0
+        if trc is not None:
+            # The complement of Omega_0 is one pooled mixture stratum; record
+            # it as a residual-style leaf under the current node.
+            trc.record_leaf_arrays(
+                rng, nums, dens, n_samples, time.perf_counter() - t0,
+                index=_telemetry.RESIDUAL_INDEX, pi=weight, kind="residual",
+            )
         num += weight * comp_num / n_samples
         den += weight * comp_den / n_samples
         if ctx is not None:

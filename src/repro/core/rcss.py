@@ -17,6 +17,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.allocation import (
     plan_allocation,
     proportional_allocation,
@@ -158,14 +159,20 @@ class RCSS(Estimator):
             allocations=None if plan is not None else allocations,
             alloc_weights=pcds,
         )
+        trc = _telemetry.split(
+            counter, rng, pis=pis, pi0=pi0, allocations=allocations,
+            n_samples=n_samples,
+        )
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
             child_state = query.cut_advance(graph, state, int(cut[i]))
+            _telemetry.enter_child(counter, trc, i, pi)
             sub_num, sub_den = self._recurse(
                 graph, query, child_for(i), child_state, int(n_i),
                 child_rng(rng, i), counter,
             )
+            _telemetry.exit_child(counter, trc)
             num += pi * sub_num
             den += pi * sub_den
         if plan is not None and plan.residual_n:
@@ -233,6 +240,10 @@ class RCSS(Estimator):
             self.name, rng, pis=pis, pi0=pi0, n_samples=n_samples, plan=plan,
             allocations=None if plan is not None else allocations,
             alloc_weights=pcds,
+        )
+        _telemetry.split(
+            counter, rng, pis=pis, pi0=pi0, allocations=allocations,
+            n_samples=n_samples,
         )
         children = []
         for i, (pi, n_i) in enumerate(zip(pis, allocations)):

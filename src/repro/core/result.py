@@ -4,17 +4,22 @@ Every estimator returns an :class:`EstimateResult` carrying the point
 estimate, the raw (numerator, denominator) pair it was derived from, and
 bookkeeping that the experiment harness uses (how many possible worlds were
 actually materialised, which matters because ceiling allocation can evaluate
-slightly more than the requested ``N``).
+slightly more than the requested ``N``).  The standard diagnostic keys of
+``extras`` are defined in :mod:`repro.core.diagnostics` and filled from the
+run's :class:`WorldCounter`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
+
+from repro.core import diagnostics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.audit import AuditReport
+    from repro.telemetry import TraceReport
 
 
 @dataclass
@@ -39,11 +44,17 @@ class EstimateResult:
     estimator:
         Name of the producing estimator.
     extras:
-        Free-form diagnostics (stratum counts, recursion depth, ...).
+        Diagnostics; the standard keys (``split_count``, ``stratum_count``,
+        ``max_depth``, ``analytic_mass``, ...) are the constants of
+        :mod:`repro.core.diagnostics`, emitted by every estimator.
     audit:
         The :class:`repro.audit.AuditReport` of the run when invariant
         auditing was active (``REPRO_AUDIT=1`` or ``audit=True``); ``None``
         otherwise.
+    trace:
+        The :class:`repro.telemetry.TraceReport` of the run when tracing
+        was active (``REPRO_TRACE=1``, ``trace=True`` or an explicit
+        :class:`~repro.telemetry.Tracer`); ``None`` otherwise.
     """
 
     value: float
@@ -54,6 +65,7 @@ class EstimateResult:
     estimator: str
     extras: Dict[str, Any] = field(default_factory=dict)
     audit: Optional["AuditReport"] = None
+    trace: Optional["TraceReport"] = None
 
     @classmethod
     def from_pair(
@@ -80,20 +92,108 @@ class EstimateResult:
             extras=extras,
         )
 
+    def summary(self) -> str:
+        """One-line human-readable digest, used by the CLIs and examples."""
+        bits = [
+            f"{self.estimator}: value={self.value:.6g}",
+            f"N={self.n_samples}",
+            f"worlds={self.n_worlds}",
+        ]
+        if abs(self.denominator - 1.0) > 1e-12:
+            bits.append(f"den={self.denominator:.6g}")
+        splits = self.extras.get(diagnostics.SPLIT_COUNT)
+        if splits:
+            bits.append(f"splits={splits}")
+            bits.append(f"strata={self.extras.get(diagnostics.STRATUM_COUNT, 0)}")
+            bits.append(f"depth={self.extras.get(diagnostics.MAX_DEPTH, 0)}")
+        analytic = self.extras.get(diagnostics.ANALYTIC_MASS)
+        if analytic:
+            bits.append(f"analytic={analytic:.4f}")
+        workers = self.extras.get(diagnostics.N_WORKERS)
+        if workers:
+            bits.append(f"workers={workers}")
+        if self.audit is not None:
+            bits.append(f"audit={self.audit.total_checks}checks")
+        if self.trace is not None:
+            bits.append(f"trace={self.trace.n_spans}spans")
+        return "  ".join(bits)
+
     def __float__(self) -> float:  # noqa: D105
         return float(self.value)
 
 
 class WorldCounter:
-    """Mutable counter of possible worlds materialised during an estimate."""
+    """Per-run bookkeeping: worlds materialised plus recursion diagnostics.
 
-    __slots__ = ("worlds",)
+    Beyond the historical world count, the counter tracks the standard
+    result diagnostics (:mod:`repro.core.diagnostics`): split and stratum
+    counts, the deepest recursion level reached, and the analytic
+    (never-sampled) probability mass.  The recursion loops report through
+    :func:`repro.telemetry.split` / ``enter_child`` / ``exit_child`` —
+    a handful of arithmetic operations per recursion *node*, never per
+    sample.  Under the parallel engine each worker's counter is rebased to
+    its job's depth and absolute stratum weight and the driver folds the
+    worker stats back in (:meth:`merge_stats`).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "worlds", "splits", "strata", "max_depth", "analytic_mass",
+        "_depth", "_weights",
+    )
+
+    def __init__(self, depth: int = 0, weight: float = 1.0) -> None:
         self.worlds = 0
+        self.splits = 0
+        self.strata = 0
+        self.max_depth = int(depth)
+        self.analytic_mass = 0.0
+        self._depth = int(depth)
+        self._weights = [float(weight)]
 
     def add(self, n: int) -> None:
         self.worlds += int(n)
+
+    def record_split(self, n_strata: int, pi0: float = 0.0) -> None:
+        """Count one stratifying recursion node (and its analytic mass)."""
+        self.splits += 1
+        self.strata += int(n_strata)
+        if pi0:
+            self.analytic_mass += self._weights[-1] * float(pi0)
+
+    def enter_child(self, pi: float) -> None:
+        self._depth += 1
+        if self._depth > self.max_depth:
+            self.max_depth = self._depth
+        self._weights.append(self._weights[-1] * float(pi))
+
+    def exit_child(self) -> None:
+        self._depth -= 1
+        self._weights.pop()
+
+    def rebase(self, depth: int, weight: float) -> None:
+        """Re-anchor the counter at a job's recursion depth and weight."""
+        self._depth = int(depth)
+        if self._depth > self.max_depth:
+            self.max_depth = self._depth
+        self._weights = [float(weight)]
+
+    def stats(self) -> Dict[str, Any]:
+        """The standard ``extras`` diagnostics of this run."""
+        return {
+            diagnostics.SPLIT_COUNT: self.splits,
+            diagnostics.STRATUM_COUNT: self.strata,
+            diagnostics.MAX_DEPTH: self.max_depth,
+            diagnostics.ANALYTIC_MASS: self.analytic_mass,
+        }
+
+    def merge_stats(self, stats: Optional[Mapping[str, Any]]) -> None:
+        """Fold a worker counter's :meth:`stats` payload into this one."""
+        if not stats:
+            return
+        self.splits += int(stats.get(diagnostics.SPLIT_COUNT, 0))
+        self.strata += int(stats.get(diagnostics.STRATUM_COUNT, 0))
+        self.max_depth = max(self.max_depth, int(stats.get(diagnostics.MAX_DEPTH, 0)))
+        self.analytic_mass += float(stats.get(diagnostics.ANALYTIC_MASS, 0.0))
 
 
 __all__ = ["EstimateResult", "WorldCounter"]

@@ -15,6 +15,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.allocation import (
     plan_allocation,
     proportional_allocation,
@@ -88,7 +89,7 @@ class RSS2(Estimator):
             and n_samples < min(self.r, statuses.n_free) + 1
         )
 
-    def _split(self, graph, query, statuses, n_samples, rng):
+    def _split(self, graph, query, statuses, n_samples, rng, counter):
         """One recursion node's class-II stratification (one selection draw)."""
         edges = self.selection.select(graph, query, statuses, self.r, rng)
         pin_counts, pis = class2_strata(graph.prob[edges])
@@ -110,7 +111,10 @@ class RSS2(Estimator):
             edges=edges, selection_sorted=self.selection.sorted_output,
             n_edges=graph.n_edges,
         )
-        return pis, child_for, plan, allocations
+        trc = _telemetry.split(
+            counter, rng, pis=pis, allocations=allocations, n_samples=n_samples
+        )
+        return pis, child_for, plan, allocations, trc
 
     def _estimate_pair(
         self,
@@ -123,18 +127,20 @@ class RSS2(Estimator):
     ) -> Pair:
         if self._should_stop(statuses, n_samples):
             return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
-        pis, child_for, plan, allocations = self._split(
-            graph, query, statuses, n_samples, rng
+        pis, child_for, plan, allocations, trc = self._split(
+            graph, query, statuses, n_samples, rng, counter
         )
         num = 0.0
         den = 0.0
         for stratum, (pi, n_i) in enumerate(zip(pis, allocations)):
             if pi <= 0.0 or n_i <= 0:
                 continue
+            _telemetry.enter_child(counter, trc, stratum, pi)
             sub_num, sub_den = self._estimate_pair(
                 graph, query, child_for(stratum), int(n_i),
                 child_rng(rng, stratum), counter,
             )
+            _telemetry.exit_child(counter, trc)
             num += pi * sub_num
             den += pi * sub_den
         if plan is not None and plan.residual_n:
@@ -159,8 +165,8 @@ class RSS2(Estimator):
     ) -> Optional[NodeExpansion]:
         if self._should_stop(statuses, n_samples):
             return None
-        pis, child_for, plan, allocations = self._split(
-            graph, query, statuses, n_samples, rng
+        pis, child_for, plan, allocations, _ = self._split(
+            graph, query, statuses, n_samples, rng, counter
         )
         children = [
             ChildJob(float(pi), child_for(stratum).values, None, int(n_i), stratum)

@@ -102,8 +102,14 @@ def cutset_strata(probs: np.ndarray) -> Tuple[float, np.ndarray, np.ndarray]:
     fail_prefix = np.concatenate(([1.0], np.cumprod(1.0 - probs[:-1])))
     pis = probs * fail_prefix
     pi0 = float(np.prod(1.0 - probs))
-    denom = 1.0 - pi0
-    if denom <= 0.0:
+    # Eq. 18: pis.sum() == 1 - pi0 exactly; summing the pis avoids the
+    # catastrophic cancellation of ``1.0 - pi0`` when pi0 is within a few
+    # hundred ulps of 1 (tiny edge probabilities), which would skew pcds.
+    denom = float(pis.sum())
+    if pi0 >= 1.0 or denom <= 0.0:
+        # pi0 can round to exactly 1.0 while the pis stay (sub)normal; the
+        # estimators treat pi0 >= 1 as "fully analytic", so the conditional
+        # weights must be zero in that regime too.
         pcds = np.zeros_like(pis)
     else:
         pcds = pis / denom

@@ -26,14 +26,17 @@ balance only, never the estimate.
 from __future__ import annotations
 
 import heapq
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair
 from repro.core.result import EstimateResult, WorldCounter
 from repro.errors import EstimatorError
@@ -93,6 +96,9 @@ def _decompose(
     while heap and len(heap) + len(settled) < target:
         _, _, leaf = heapq.heappop(heap)
         job = leaf.job
+        # Anchor the shared counter at this node so depth / analytic-mass
+        # diagnostics match what the sequential recursion would record.
+        counter.rebase(len(job.path), job.weight)
         expansion = estimator._expand_node(  # noqa: SLF001 - engine hook
             graph, query, EdgeStatuses(graph, job.values), job.state,
             job.n_samples, StratumRng(root, job.path), counter,
@@ -114,6 +120,7 @@ def _decompose(
                 child.state,
                 int(child.n_samples),
                 job.path + (int(child.index),),
+                job.weight * float(child.pi),
             )
             child_leaf = _Leaf(child_job)
             node.children.append((float(child.pi), child_leaf))
@@ -156,21 +163,38 @@ def _run_pool(
 ) -> None:
     """Evaluate ``leaves`` on a spawn pool sharing the graph via an arena."""
     ctx = _audit.active()
+    tctx = _telemetry.active()
+    started = time.perf_counter()
+    offsets: List[float] = []
     with GraphArena(graph) as arena:
         executor = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=get_context("spawn"),
             initializer=init_worker,
-            initargs=(arena.spec, estimator, query, root, ctx is not None),
+            initargs=(
+                arena.spec, estimator, query, root,
+                ctx is not None, tctx is not None,
+            ),
         )
         try:
             futures = [(leaf, executor.submit(run_job, leaf.job)) for leaf in leaves]
+            if tctx is not None:
+                # Completion offsets (seconds since pool start) feed the
+                # queue-depth / utilisation metrics; list.append is atomic,
+                # so the executor's callback thread can write directly.
+                for _, future in futures:
+                    future.add_done_callback(
+                        lambda _f: offsets.append(time.perf_counter() - started)
+                    )
             for leaf, future in futures:
                 num, den, worlds, payload = future.result()
                 leaf.result = (num, den)
                 counter.add(worlds)
-                if ctx is not None and payload is not None:
-                    ctx.absorb_worker(payload)
+                counter.merge_stats(payload.get("stats"))
+                if ctx is not None and payload.get("audit") is not None:
+                    ctx.absorb_worker(payload["audit"])
+                if tctx is not None and payload.get("trace") is not None:
+                    tctx.absorb_worker(payload["trace"])
         except BrokenProcessPool as exc:
             raise EstimatorError(
                 "parallel worker pool crashed (a worker process died); "
@@ -178,6 +202,10 @@ def _run_pool(
             ) from exc
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
+    if tctx is not None:
+        tctx.record_parallel(
+            n_workers, len(leaves), time.perf_counter() - started, sorted(offsets)
+        )
 
 
 def estimate_parallel(
@@ -189,6 +217,7 @@ def estimate_parallel(
     n_workers: int = 1,
     tasks_per_worker: int = 4,
     audit: bool = False,
+    trace: Any = None,
 ) -> EstimateResult:
     """Run ``estimator`` with the recursion fanned out over worker processes.
 
@@ -198,7 +227,11 @@ def estimate_parallel(
     decomposition, worker job and the final reduction run under invariant
     auditing (:mod:`repro.audit`): workers ship their check counters and
     consumed stratum paths back with each result, so a stream consumed by
-    two different processes is caught in the driver.
+    two different processes is caught in the driver.  ``trace`` follows
+    :func:`repro.telemetry.resolve_tracer`: workers build one trace context
+    per job and ship its spans back with the job result; the driver merges
+    them into one recursion tree and adds pool-level metrics (utilisation,
+    per-job wall-clock, completion offsets).
     """
     if n_workers < 1:
         raise EstimatorError(f"estimate_parallel needs n_workers >= 1, got {n_workers}")
@@ -211,14 +244,27 @@ def estimate_parallel(
     counter = WorldCounter()
     target = tasks_per_worker * n_workers
     ctx = _audit.AuditContext(estimator.name) if audit else None
-    with _audit.activate(ctx):
+    tctx = _telemetry.resolve_tracer(trace, estimator.name)
+    with _audit.activate(ctx), _telemetry.activate(tctx):
         root_leaf, leaves = _decompose(
             estimator, graph, query, n_samples, root, target, counter
         )
         if n_workers == 1:
+            started = time.perf_counter()
+            offsets: List[float] = []
             for leaf in leaves:
+                counter.rebase(len(leaf.job.path), leaf.job.weight)
+                t0 = time.perf_counter()
                 leaf.result = evaluate_job(
                     graph, estimator, query, root, leaf.job, counter
+                )
+                if tctx is not None:
+                    elapsed = time.perf_counter() - t0
+                    tctx.record_job(leaf.job.path, elapsed, os.getpid())
+                    offsets.append(time.perf_counter() - started)
+            if tctx is not None:
+                tctx.record_parallel(
+                    1, len(leaves), time.perf_counter() - started, offsets
                 )
         elif leaves:
             _run_pool(estimator, graph, query, root, leaves, n_workers, counter)
@@ -227,10 +273,16 @@ def estimate_parallel(
             ctx.check_result(num, den, query.conditional, path=())
     result = EstimateResult.from_pair(
         num, den, n_samples, counter.worlds, estimator.name,
-        n_workers=n_workers, n_jobs=len(leaves),
+        n_workers=n_workers, n_jobs=len(leaves), **counter.stats(),
     )
     if ctx is not None:
         result.audit = ctx.report
+    if tctx is not None:
+        result.trace = tctx.finish(
+            numerator=num, denominator=den, n_samples=int(n_samples),
+            n_worlds=counter.worlds, seed=int(rng) if isinstance(rng, int) else None,
+            n_workers=n_workers,
+        )
     return result
 
 

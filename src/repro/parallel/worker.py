@@ -17,11 +17,13 @@ stratum path, so the numbers drawn are identical to what any other process
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro import audit as _audit
+from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.graph.statuses import EdgeStatuses
@@ -32,13 +34,20 @@ from repro.rng import StratumRng
 
 
 class Job(NamedTuple):
-    """One unit of parallel work: a recursion subtree or an MC leaf."""
+    """One unit of parallel work: a recursion subtree or an MC leaf.
+
+    ``weight`` is the job's absolute stratum weight (the product of the
+    ``pi`` factors along its path) — bookkeeping only, used to anchor the
+    worker's :class:`WorldCounter` and trace spans; never folded into the
+    returned pair (the reduction applies the per-level ``pi`` itself).
+    """
 
     kind: str
     values: np.ndarray
     state: Any
     n_samples: int
     path: Tuple[int, ...]
+    weight: float = 1.0
 
 
 def evaluate_job(
@@ -68,6 +77,7 @@ def init_worker(
     query: Query,
     root: np.random.SeedSequence,
     audit_enabled: bool = False,
+    trace_enabled: bool = False,
 ) -> None:
     """Pool initializer: attach the arena, stash the run-wide objects."""
     _STATE["graph"] = attach_graph(spec)
@@ -75,27 +85,40 @@ def init_worker(
     _STATE["query"] = query
     _STATE["root"] = root
     _STATE["audit"] = bool(audit_enabled)
+    _STATE["trace"] = bool(trace_enabled)
 
 
 def run_job(job: Job) -> Tuple[float, float, int, Optional[dict]]:
     """Pool task entry point.
 
-    Returns ``(num, den, worlds_evaluated, audit_payload)``; the payload is
-    ``None`` when auditing is off, else the per-job check counters and
-    consumed stratum paths (:meth:`repro.audit.AuditContext.worker_payload`)
-    for the driver to merge — the cross-process half of the stream-reuse
-    invariant.
+    Returns ``(num, den, worlds_evaluated, payload)``; the payload always
+    carries ``"stats"`` (the worker counter's recursion diagnostics for the
+    driver to merge) and, when the corresponding layer is on, ``"audit"``
+    (per-job check counters and consumed stratum paths — the cross-process
+    half of the stream-reuse invariant) and ``"trace"`` (the job's spans,
+    convergence events and wall-clock).
     """
-    counter = WorldCounter()
-    ctx = (
-        _audit.AuditContext(_STATE["estimator"].name) if _STATE.get("audit") else None
+    estimator = _STATE["estimator"]
+    counter = WorldCounter(depth=len(job.path), weight=job.weight)
+    ctx = _audit.AuditContext(estimator.name) if _STATE.get("audit") else None
+    tctx = (
+        _telemetry.TraceContext(estimator.name, base_path=job.path)
+        if _STATE.get("trace")
+        else None
     )
-    with _audit.activate(ctx):
+    started = time.perf_counter()
+    with _audit.activate(ctx), _telemetry.activate(tctx):
         num, den = evaluate_job(
-            _STATE["graph"], _STATE["estimator"], _STATE["query"], _STATE["root"],
+            _STATE["graph"], estimator, _STATE["query"], _STATE["root"],
             job, counter,
         )
-    payload = None if ctx is None else ctx.worker_payload()
+    payload: Dict[str, Any] = {"stats": counter.stats()}
+    if ctx is not None:
+        payload["audit"] = ctx.worker_payload()
+    if tctx is not None:
+        payload["trace"] = tctx.worker_payload(
+            time.perf_counter() - started, job.path
+        )
     return float(num), float(den), counter.worlds, payload
 
 

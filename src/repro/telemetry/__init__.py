@@ -1,0 +1,65 @@
+"""repro.telemetry — opt-in tracing, variance ledger and convergence metrics.
+
+The observability layer for every estimator: a span per recursion node
+(stratum path, ``pi_i``, allocated ``N_i``, worlds materialised, wall-clock,
+per-stratum ``(num, den)`` moment ledger), whole-run convergence traces
+(running estimate + CI every sample block), and parallel-engine metrics
+(per-worker spans merged in the driver, pool utilisation, chunk timings).
+
+Enable with ``REPRO_TRACE=1``, ``estimate(..., trace=True)``, or an explicit
+:class:`Tracer`; render trace files with the ``repro-trace`` CLI.  Tracing
+off costs one module-global check per recursion node — the same bar the
+audit layer (:mod:`repro.audit`) meets.
+
+The render, schema and CLI modules are imported lazily (not at package
+import) so the estimator hot path pulls in nothing beyond the tracer.
+"""
+
+from repro.telemetry.spans import Ledger, Span, RESIDUAL_INDEX, resolve_weights
+from repro.telemetry.tracer import (
+    MAX_EVENTS,
+    TRACE_ENV,
+    TRACE_FILE_ENV,
+    TRACE_SCHEMA_VERSION,
+    TraceContext,
+    TraceReport,
+    Tracer,
+    activate,
+    active,
+    enter_child,
+    env_enabled,
+    exit_child,
+    resolve_tracer,
+    split,
+)
+from repro.telemetry.exporters import (
+    ConsoleTreeExporter,
+    InMemoryExporter,
+    JsonlExporter,
+    read_jsonl,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "TRACE_FILE_ENV",
+    "TRACE_SCHEMA_VERSION",
+    "MAX_EVENTS",
+    "RESIDUAL_INDEX",
+    "Ledger",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TraceReport",
+    "env_enabled",
+    "active",
+    "activate",
+    "resolve_tracer",
+    "resolve_weights",
+    "split",
+    "enter_child",
+    "exit_child",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "ConsoleTreeExporter",
+    "read_jsonl",
+]

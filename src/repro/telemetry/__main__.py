@@ -1,0 +1,7 @@
+"""``python -m repro.telemetry`` — alias for the ``repro-trace`` console script."""
+
+import sys
+
+from repro.telemetry.cli import main
+
+sys.exit(main())

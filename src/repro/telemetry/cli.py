@@ -1,0 +1,101 @@
+"""Command-line entry point: ``repro-trace``.
+
+Renders JSONL trace files written by the telemetry layer
+(``REPRO_TRACE_FILE=trace.jsonl`` or a :class:`~repro.telemetry.Tracer`
+with a :class:`~repro.telemetry.JsonlExporter`)::
+
+    repro-trace profile trace.jsonl          # recursion-tree profile
+    repro-trace convergence trace.jsonl      # running estimate + CI table
+    repro-trace summary trace.jsonl          # one line per run
+    repro-trace validate trace.jsonl         # schema check, exit 1 on failure
+
+A file may hold several runs (one ``meta`` line each); ``--run`` selects one
+by index (default: the last run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.telemetry.exporters import read_jsonl
+from repro.telemetry.render import render_convergence, render_profile, render_summary
+from repro.telemetry.schema import validate_trace_records
+from repro.telemetry.tracer import TraceReport
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render recursion-tree profiles and convergence tables "
+        "from repro telemetry trace files (JSON lines).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_text: str) -> argparse.ArgumentParser:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("trace_file", help="JSONL trace file to read")
+        cmd.add_argument(
+            "--run", type=int, default=-1,
+            help="run index within the file (default: -1, the last run)",
+        )
+        return cmd
+
+    add("profile", "per-stratum recursion-tree profile (time/samples/variance)")
+    conv = add("convergence", "running estimate + CI per sample block")
+    conv.add_argument(
+        "--limit", type=int, default=40,
+        help="show at most this many evenly-spaced rows (default: 40; 0 = all)",
+    )
+    add("summary", "one-line overview of each selected run")
+    add("validate", "schema-check every run in the file")
+    return parser
+
+
+def _load_run(path: str, run_index: int) -> TraceReport:
+    runs = read_jsonl(path)
+    if not runs:
+        raise ReproError(f"trace file {path!r} contains no runs")
+    try:
+        records = runs[run_index]
+    except IndexError:
+        raise ReproError(
+            f"trace file {path!r} has {len(runs)} run(s); --run {run_index} "
+            "is out of range"
+        )
+    validate_trace_records(records)
+    return TraceReport.from_records(records)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "validate":
+            runs = read_jsonl(args.trace_file)
+            if not runs:
+                raise ReproError(f"trace file {args.trace_file!r} contains no runs")
+            for run in runs:
+                counts = validate_trace_records(run)
+                print(
+                    f"ok: run with {counts.get('span', 0)} spans, "
+                    f"{counts.get('conv', 0)} convergence events"
+                )
+            return 0
+        report = _load_run(args.trace_file, args.run)
+        if args.command == "profile":
+            print(render_profile(report))
+        elif args.command == "convergence":
+            limit = args.limit if args.limit > 0 else None
+            print(render_convergence(report, limit=limit))
+        elif args.command == "summary":
+            print(render_summary(report))
+    except (ReproError, OSError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

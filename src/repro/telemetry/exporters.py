@@ -1,0 +1,81 @@
+"""Pluggable trace exporters.
+
+An exporter is anything with an ``export(report)`` method; a
+:class:`~repro.telemetry.tracer.Tracer` runs every attached exporter when
+the estimate finishes.  Three are shipped:
+
+* :class:`InMemoryExporter` — collects reports in a list (tests, notebooks);
+* :class:`JsonlExporter` — appends one run's records as JSON lines to a
+  file, the format ``repro-trace`` renders (multiple runs per file are
+  split on their ``meta`` lines);
+* :class:`ConsoleTreeExporter` — prints the human-readable recursion-tree
+  profile to a stream as soon as the run finishes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, List, Optional, TextIO
+
+from repro.telemetry.tracer import TraceReport
+
+
+class InMemoryExporter:
+    """Collects finished :class:`TraceReport` objects in ``self.reports``."""
+
+    def __init__(self) -> None:
+        self.reports: List[TraceReport] = []
+
+    def export(self, report: TraceReport) -> None:
+        self.reports.append(report)
+
+    @property
+    def last(self) -> Optional[TraceReport]:
+        return self.reports[-1] if self.reports else None
+
+
+class JsonlExporter:
+    """Appends each report's records to ``path`` as JSON lines."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def export(self, report: TraceReport) -> None:
+        with open(self.path, "a") as handle:
+            for record in report.to_records():
+                handle.write(json.dumps(record) + "\n")
+
+
+class ConsoleTreeExporter:
+    """Prints the recursion-tree profile to ``stream`` (default stderr)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def export(self, report: TraceReport) -> None:
+        from repro.telemetry.render import render_profile
+
+        self.stream.write(render_profile(report) + "\n")
+
+
+def read_jsonl(path: str) -> List[List[dict]]:
+    """Read a trace file into runs: lists of records split on meta lines."""
+    runs: List[List[dict]] = []
+    current: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record: Any = json.loads(line)
+            if record.get("type") == "meta" and current:
+                runs.append(current)
+                current = []
+            current.append(record)
+    if current:
+        runs.append(current)
+    return runs
+
+
+__all__ = ["InMemoryExporter", "JsonlExporter", "ConsoleTreeExporter", "read_jsonl"]

@@ -1,0 +1,143 @@
+"""Human-readable views of a trace: recursion-tree profile + convergence.
+
+:func:`render_profile` is the flamegraph-style text view: one line per span,
+indented by recursion depth, with each stratum's share of wall-clock time,
+sample budget, materialised worlds and estimated variance.  Variance shares
+come straight from the per-stratum ledger
+(:meth:`repro.telemetry.spans.Span.variance_contribution`), so the view *is*
+the paper's stratified variance decomposition, measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.spans import RESIDUAL_INDEX, Span
+from repro.telemetry.tracer import TraceReport
+
+
+def _label(span: Span) -> str:
+    if not span.path:
+        name = "root"
+    elif span.path[-1] == RESIDUAL_INDEX:
+        name = "residual"
+    else:
+        name = f"s{span.path[-1]}"
+    kind = span.kind or "leaf"
+    return f"{'  ' * span.depth}{name} [{kind}]"
+
+
+def _pct(part: float, total: float) -> str:
+    if total <= 0.0:
+        return "   - "
+    return f"{100.0 * part / total:5.1f}"
+
+
+def render_profile(report: TraceReport) -> str:
+    """The recursion-tree profile: time / samples / variance per stratum."""
+    spans = report.sorted_spans()
+    total_var = report.estimated_variance()
+    root = report.spans.get(())
+    total_seconds = root.wall_seconds() if root is not None else 0.0
+    lines = [
+        f"trace: {report.estimator}  "
+        f"spans={len(spans)}  value={report.meta.get('value', float('nan')):.6g}  "
+        f"worlds={report.meta.get('n_worlds', 0)}  "
+        f"est.var={total_var:.3e}",
+        f"{'node':<32s} {'pi':>8s} {'N':>8s} {'worlds':>8s} "
+        f"{'seconds':>9s} {'time%':>6s} {'var%':>6s}",
+    ]
+    for span in spans:
+        pi = f"{span.pi:.4f}" if span.pi is not None else ("1.0000" if not span.path else "-")
+        seconds = span.wall_seconds()
+        var_share = (
+            _pct(span.variance_contribution(), total_var)
+            if span.ledger is not None
+            else "   - "
+        )
+        lines.append(
+            f"{_label(span):<32s} {pi:>8s} {span.n_samples:>8d} "
+            f"{span.worlds:>8d} {seconds:>9.4f} "
+            f"{_pct(seconds, total_seconds):>6s} {var_share:>6s}"
+        )
+        if span.kind == "split" and span.pi0 > 0.0:
+            lines.append(
+                f"{'  ' * (span.depth + 1)}(analytic pi0={span.pi0:.6f})"
+            )
+    if report.parallel is not None:
+        par = report.parallel
+        util = par.get("utilisation")
+        util_text = f"{100.0 * util:.1f}%" if util is not None else "n/a"
+        lines.append(
+            f"parallel: workers={par['n_workers']} jobs={par['n_jobs']} "
+            f"pool={par['pool_seconds']:.4f}s busy={par['busy_seconds']:.4f}s "
+            f"utilisation={util_text} max_pending={par['max_pending']}"
+        )
+    return "\n".join(lines)
+
+
+def render_convergence(report: TraceReport, limit: Optional[int] = None) -> str:
+    """The convergence table: running estimate + CI per sample block."""
+    events = report.events
+    if not events:
+        return "no convergence events recorded"
+    if limit is not None and limit > 0 and len(events) > limit:
+        step = len(events) / float(limit)
+        picked = [events[int(i * step)] for i in range(limit)]
+        if picked[-1] is not events[-1]:
+            picked[-1] = events[-1]
+        events = picked
+    lines = [f"{'worlds':>10s} {'mean':>14s} {'ci95':>12s} {'den':>10s}"]
+    for event in events:
+        lines.append(
+            f"{event['worlds']:>10d} {event['mean']:>14.6g} "
+            f"{event['ci95']:>12.4g} {event['den']:>10.6g}"
+        )
+    dropped = report.meta.get("events_dropped", 0)
+    if dropped:
+        lines.append(f"({dropped} later blocks not stored)")
+    return "\n".join(lines)
+
+
+def render_summary(report: TraceReport) -> str:
+    """One-paragraph overview of a traced run."""
+    meta = report.meta
+    leaves = report.leaf_spans()
+    bits = [
+        f"estimator={report.estimator}",
+        f"value={meta.get('value', float('nan')):.6g}",
+        f"N={meta.get('n_samples', 0)}",
+        f"worlds={meta.get('n_worlds', 0)}",
+        f"spans={report.n_spans}",
+        f"leaves={len(leaves)}",
+        f"est.var={report.estimated_variance():.3e}",
+        f"seconds={report.total_seconds():.4f}",
+    ]
+    if meta.get("seed") is not None:
+        bits.append(f"seed={meta['seed']}")
+    if meta.get("n_workers"):
+        bits.append(f"workers={meta['n_workers']}")
+    return "  ".join(bits)
+
+
+def variance_table(report: TraceReport) -> List[Tuple[Tuple[int, ...], Dict[str, float]]]:
+    """Per-leaf variance-ledger rows, for programmatic figure reproduction."""
+    rows = []
+    for span in report.leaf_spans():
+        ledger = span.ledger
+        rows.append(
+            (
+                span.path,
+                {
+                    "weight": span.weight if span.weight is not None else float("nan"),
+                    "n": float(ledger.n),
+                    "mean_num": ledger.mean_num,
+                    "var_num": ledger.var_num(),
+                    "contribution": span.variance_contribution(),
+                },
+            )
+        )
+    return rows
+
+
+__all__ = ["render_profile", "render_convergence", "render_summary", "variance_table"]

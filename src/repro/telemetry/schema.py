@@ -1,0 +1,130 @@
+"""Schema validation for trace files and benchmark artefacts.
+
+Both machine-readable artefacts the repo produces — ``repro-trace`` JSONL
+trace files and the ``BENCH_traversal.json`` payload of ``repro-bench`` —
+are validated through the same field-presence helper, so the CI schema test
+exercises one code path for both formats.
+
+A trace run must open with a ``meta`` record carrying the schema version,
+the host ``cpu_count`` and the seed; every span record needs a path and the
+sampling bookkeeping fields; convergence records need the running estimate
+triple.  Validation raises :class:`repro.errors.ReproError` with the
+offending record's index so a truncated or hand-edited file fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.telemetry.tracer import TRACE_SCHEMA_VERSION
+
+#: Required fields of a trace ``meta`` record.
+META_FIELDS = (
+    "schema",
+    "generated_by",
+    "estimator",
+    "n_samples",
+    "n_worlds",
+    "seed",
+    "cpu_count",
+    "n_workers",
+    "value",
+)
+
+#: Required fields of a trace ``span`` record.
+SPAN_FIELDS = ("path", "kind", "n_samples", "worlds", "seconds")
+
+#: Required fields of a trace ``conv`` (convergence) record.
+CONV_FIELDS = ("worlds", "mean", "ci95", "den")
+
+#: Required fields of a trace ``parallel`` record.
+PARALLEL_FIELDS = ("n_workers", "n_jobs", "pool_seconds", "utilisation", "jobs")
+
+
+def check_fields(
+    record: Mapping[str, Any], required: Sequence[str], where: str
+) -> None:
+    """Raise unless every ``required`` field is present in ``record``."""
+    missing = [field for field in required if field not in record]
+    if missing:
+        raise ReproError(f"{where}: missing fields {missing} in {dict(record)!r}")
+
+
+def validate_trace_records(records: Sequence[Mapping[str, Any]]) -> Dict[str, int]:
+    """Validate one run's trace records; return per-type counts."""
+    if not records:
+        raise ReproError("trace run is empty")
+    first = records[0]
+    if first.get("type") != "meta":
+        raise ReproError("trace run must start with a meta record")
+    check_fields(first, META_FIELDS, "trace meta")
+    if first["schema"] != TRACE_SCHEMA_VERSION:
+        raise ReproError(
+            f"trace schema version {first['schema']!r} unsupported "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    counts: Dict[str, int] = {}
+    for i, record in enumerate(records):
+        kind = record.get("type")
+        if kind == "meta":
+            if i != 0:
+                raise ReproError("trace run contains a second meta record")
+        elif kind == "span":
+            check_fields(record, SPAN_FIELDS, f"trace span #{i}")
+            if not isinstance(record["path"], list):
+                raise ReproError(f"trace span #{i}: path must be a list")
+        elif kind == "conv":
+            check_fields(record, CONV_FIELDS, f"trace conv #{i}")
+        elif kind == "parallel":
+            check_fields(record, PARALLEL_FIELDS, f"trace parallel #{i}")
+        else:
+            raise ReproError(f"trace record #{i} has unknown type {kind!r}")
+        counts[kind] = counts.get(kind, 0) + 1
+    if counts.get("span", 0) < 1:
+        raise ReproError("trace run has no span records")
+    return counts
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate every run of a trace file; return the number of runs."""
+    from repro.telemetry.exporters import read_jsonl
+
+    runs = read_jsonl(path)
+    if not runs:
+        raise ReproError(f"trace file {path!r} contains no runs")
+    for run in runs:
+        validate_trace_records(run)
+    return len(runs)
+
+
+def validate_bench_payload(payload: Mapping[str, Any]) -> int:
+    """Validate a ``repro-bench`` payload; return the record count.
+
+    Shares :func:`check_fields` with the trace validation — the benchmark
+    harness is imported lazily to keep the telemetry hot path free of it.
+    """
+    from repro.bench.harness import BENCH_FIELDS
+
+    check_fields(payload, ("version", "generated_by", "config", "records"), "bench payload")
+    check_fields(
+        payload["config"], ("graph", "n_worlds", "seed", "cpu_count"), "bench config"
+    )
+    records = payload["records"]
+    if not records:
+        raise ReproError("bench payload has no records")
+    for i, record in enumerate(records):
+        check_fields(record, BENCH_FIELDS, f"bench record #{i}")
+    return len(records)
+
+
+__all__ = [
+    "META_FIELDS",
+    "SPAN_FIELDS",
+    "CONV_FIELDS",
+    "PARALLEL_FIELDS",
+    "check_fields",
+    "validate_trace_records",
+    "validate_trace_file",
+    "validate_bench_payload",
+]

@@ -1,0 +1,240 @@
+"""Trace spans and the per-stratum variance ledger.
+
+A :class:`Span` describes one node of the stratified recursion tree: its
+stratum path (the tuple of child indices from the root, ``-1`` marking a
+residual-mixture pool), its local weight ``pi`` relative to the parent, the
+sample budget it was allocated, the worlds it materialised, wall-clock
+timings, and — for sampling leaves — a :class:`Ledger` of running
+``(num, den)`` moments.
+
+The ledger stores plain power sums (count, sum, sum of squares, cross
+products), so the empirical per-stratum means and variances — and from them
+the stratified variance decomposition of the paper's theorems — can be
+reconstructed exactly from a trace file without rerunning the estimate:
+``Var_hat(Phi) = sum_leaves w_l^2 * sigma_hat_l^2 / n_l`` where ``w_l`` is
+the leaf's absolute stratum weight (product of the ``pi`` along its path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: Path component marking a residual-mixture pool (or the FS complement)
+#: hanging off a split node — never a real stratum index.
+RESIDUAL_INDEX = -1
+
+
+class Ledger:
+    """Running ``(num, den)`` moments of the worlds a leaf evaluated."""
+
+    __slots__ = ("n", "sum_num", "sumsq_num", "sum_den", "sumsq_den", "sum_cross")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.sum_num = 0.0
+        self.sumsq_num = 0.0
+        self.sum_den = 0.0
+        self.sumsq_den = 0.0
+        self.sum_cross = 0.0
+
+    def add_arrays(self, nums, dens) -> None:
+        """Fold one evaluated world block's pair arrays into the moments."""
+        self.n += int(nums.size)
+        self.sum_num += float(nums.sum())
+        self.sumsq_num += float((nums * nums).sum())
+        self.sum_den += float(dens.sum())
+        self.sumsq_den += float((dens * dens).sum())
+        self.sum_cross += float((nums * dens).sum())
+
+    def merge(self, other: "Ledger") -> None:
+        self.n += other.n
+        self.sum_num += other.sum_num
+        self.sumsq_num += other.sumsq_num
+        self.sum_den += other.sum_den
+        self.sumsq_den += other.sumsq_den
+        self.sum_cross += other.sum_cross
+
+    @property
+    def mean_num(self) -> float:
+        return self.sum_num / self.n if self.n else 0.0
+
+    @property
+    def mean_den(self) -> float:
+        return self.sum_den / self.n if self.n else 0.0
+
+    def var_num(self) -> float:
+        """Population variance of the per-world numerator."""
+        if self.n <= 0:
+            return 0.0
+        mean = self.sum_num / self.n
+        return max(0.0, self.sumsq_num / self.n - mean * mean)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "sum_num": self.sum_num,
+            "sumsq_num": self.sumsq_num,
+            "sum_den": self.sum_den,
+            "sumsq_den": self.sumsq_den,
+            "sum_cross": self.sum_cross,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Ledger":
+        ledger = cls()
+        ledger.n = int(data["n"])
+        ledger.sum_num = float(data["sum_num"])
+        ledger.sumsq_num = float(data["sumsq_num"])
+        ledger.sum_den = float(data["sum_den"])
+        ledger.sumsq_den = float(data["sumsq_den"])
+        ledger.sum_cross = float(data["sum_cross"])
+        return ledger
+
+
+class Span:
+    """One recursion node of a traced estimate (see module docstring)."""
+
+    __slots__ = (
+        "path", "kind", "pi", "pi0", "weight", "n_strata", "n_samples",
+        "worlds", "seconds", "self_seconds", "pis", "allocations", "ledger",
+    )
+
+    def __init__(self, path: Tuple[int, ...]) -> None:
+        self.path = tuple(int(i) for i in path)
+        self.kind: Optional[str] = None          # "split" | "leaf" | "residual"
+        self.pi: Optional[float] = None          # weight relative to the parent
+        self.pi0 = 0.0                           # analytic all-fail mass (splits)
+        self.weight: Optional[float] = None      # absolute weight, set at finish
+        self.n_strata = 0
+        self.n_samples = 0
+        self.worlds = 0
+        self.seconds = 0.0                       # inclusive subtree wall-clock
+        self.self_seconds = 0.0                  # leaf sampling wall-clock
+        self.pis: Optional[Tuple[float, ...]] = None
+        self.allocations: Optional[Tuple[int, ...]] = None
+        self.ledger: Optional[Ledger] = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    def ensure_ledger(self) -> Ledger:
+        if self.ledger is None:
+            self.ledger = Ledger()
+        return self.ledger
+
+    def wall_seconds(self) -> float:
+        """Best available inclusive time: enter/exit timing, else leaf time."""
+        return self.seconds if self.seconds > 0.0 else self.self_seconds
+
+    def variance_contribution(self) -> float:
+        """This leaf's term of the stratified variance decomposition.
+
+        ``w^2 * sigma_hat^2 / n`` with the population variance of the
+        per-world numerator; zero for split nodes, unweighted spans and
+        single-world leaves (whose variance cannot be estimated).
+        """
+        if self.ledger is None or self.ledger.n < 1 or self.weight is None:
+            return 0.0
+        return self.weight * self.weight * self.ledger.var_num() / self.ledger.n
+
+    def merge(self, other: "Span") -> None:
+        """Fold a worker-side span for the same path into this one."""
+        if self.kind is None:
+            self.kind = other.kind
+        self.pi = self.pi if self.pi is not None else other.pi
+        self.pi0 = self.pi0 or other.pi0
+        self.n_strata = max(self.n_strata, other.n_strata)
+        self.n_samples += other.n_samples
+        self.worlds += other.worlds
+        self.seconds += other.seconds
+        self.self_seconds += other.self_seconds
+        if self.pis is None:
+            self.pis = other.pis
+        if self.allocations is None:
+            self.allocations = other.allocations
+        if other.ledger is not None:
+            self.ensure_ledger().merge(other.ledger)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "path": list(self.path),
+            "kind": self.kind or "leaf",
+            "n_samples": self.n_samples,
+            "worlds": self.worlds,
+            "seconds": self.seconds,
+            "self_seconds": self.self_seconds,
+        }
+        if self.pi is not None:
+            out["pi"] = self.pi
+        if self.pi0:
+            out["pi0"] = self.pi0
+        if self.weight is not None:
+            out["weight"] = self.weight
+        if self.n_strata:
+            out["n_strata"] = self.n_strata
+        if self.pis is not None:
+            out["pis"] = list(self.pis)
+        if self.allocations is not None:
+            out["allocations"] = list(self.allocations)
+        if self.ledger is not None:
+            out["ledger"] = self.ledger.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(tuple(data["path"]))
+        span.kind = data.get("kind")
+        span.pi = data.get("pi")
+        span.pi0 = float(data.get("pi0", 0.0))
+        span.weight = data.get("weight")
+        span.n_strata = int(data.get("n_strata", 0))
+        span.n_samples = int(data.get("n_samples", 0))
+        span.worlds = int(data.get("worlds", 0))
+        span.seconds = float(data.get("seconds", 0.0))
+        span.self_seconds = float(data.get("self_seconds", 0.0))
+        if data.get("pis") is not None:
+            span.pis = tuple(float(p) for p in data["pis"])
+        if data.get("allocations") is not None:
+            span.allocations = tuple(int(a) for a in data["allocations"])
+        if data.get("ledger") is not None:
+            span.ledger = Ledger.from_dict(data["ledger"])
+        return span
+
+    def __repr__(self) -> str:  # noqa: D105
+        return (
+            f"Span(path={self.path!r}, kind={self.kind!r}, "
+            f"n_samples={self.n_samples}, worlds={self.worlds})"
+        )
+
+
+def resolve_weights(spans: Dict[Tuple[int, ...], Span]) -> None:
+    """Assign every span its absolute stratum weight, root downward.
+
+    The root carries weight 1.  A child's weight is the parent's weight
+    times its local ``pi`` — taken from the child span when the tracer saw
+    the enter/exit pair, else from the parent split's recorded ``pis`` (the
+    parallel decomposition emits children as jobs without entering them).
+    """
+    for path in sorted(spans, key=len):
+        span = spans[path]
+        if not path:
+            span.weight = 1.0 if span.weight is None else span.weight
+            continue
+        parent = spans.get(path[:-1])
+        parent_weight = 1.0 if parent is None or parent.weight is None else parent.weight
+        pi = span.pi
+        if pi is None and parent is not None and parent.pis is not None:
+            index = path[-1]
+            if 0 <= index < len(parent.pis):
+                pi = float(parent.pis[index])
+                span.pi = pi
+        span.weight = parent_weight * (1.0 if pi is None else pi)
+
+
+def sort_key(path: Sequence[int]) -> Tuple[int, Tuple[int, ...]]:
+    """Deterministic span ordering: by depth, then lexicographic path."""
+    return (len(path), tuple(path))
+
+
+__all__ = ["Ledger", "Span", "RESIDUAL_INDEX", "resolve_weights", "sort_key"]

@@ -30,6 +30,27 @@ def test_smoke_run_writes_schema_compliant_json(tmp_path):
     assert {"reachable_counts_scalar", "reachable_counts_batch"} <= kernels
 
 
+def test_records_carry_peak_rss(tmp_path):
+    payload = run_benchmarks(
+        n_worlds=8, smoke=True, output=None, log=lambda _msg: None
+    )
+    for record in payload["records"]:
+        assert "peak_rss_kb" in record
+        # Linux/macOS both have the resource module; the kernel has run, so
+        # the peak must be a sane positive figure (> 1 MiB).
+        assert record["peak_rss_kb"] > 1024
+
+
+def test_trace_check_records_overhead(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["--smoke", "--trace-check", "--output", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["config"]["trace_check"] is True
+    by_kernel = {record["kernel"]: record for record in payload["records"]}
+    assert "trace_overhead_pct" in by_kernel["nmc_influence_trace_off"]
+    assert "trace_overhead_pct" in by_kernel["nmc_influence_trace_on"]
+
+
 def test_batched_records_carry_speedup(tmp_path):
     payload = run_benchmarks(
         graph_name="facebook",

@@ -1,0 +1,110 @@
+"""Trace-parity matrix: tracing must observe, never perturb.
+
+Every estimator family (RM and BFS selection) runs with tracing off and on,
+sequentially and through the parallel engine; the estimate must be
+bit-identical in every configuration and the recorded span tree well-formed
+(rooted, orphan-free, budget-consistent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BCSS,
+    BSS1,
+    BSS2,
+    NMC,
+    RCSS,
+    RSS1,
+    RSS2,
+    BFSSelection,
+    FocalSampling,
+)
+from repro.core.antithetic import AntitheticNMC
+from repro.queries.influence import InfluenceQuery
+
+SEED = 20140331
+
+#: Mirrors the audit acceptance matrix, plus the ANMC baseline.
+MATRIX = [
+    NMC(),
+    AntitheticNMC(),
+    FocalSampling(),
+    BCSS(),
+    RCSS(tau_samples=4, tau_edges=2),
+    BSS1(r=3),
+    BSS1(r=3, selection=BFSSelection()),
+    RSS1(r=2, tau=5),
+    RSS1(r=2, tau=5, selection=BFSSelection()),
+    BSS2(r=4),
+    BSS2(r=4, selection=BFSSelection()),
+    RSS2(r=3, tau=5),
+    RSS2(r=3, tau=5, selection=BFSSelection()),
+]
+
+
+def _fingerprint(result):
+    return (result.value, result.numerator, result.denominator, result.n_worlds)
+
+
+def _assert_well_formed(report, n_worlds):
+    assert () in report.spans
+    for path, span in report.spans.items():
+        if path:
+            assert path[:-1] in report.spans, f"orphan span {path}"
+        assert span.weight is not None
+    assert sum(s.worlds for s in report.leaf_spans()) == n_worlds
+
+
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_sequential_trace_parity(fig1_graph, estimator):
+    query = InfluenceQuery(0)
+    off = estimator.estimate(fig1_graph, query, 300, rng=SEED, trace=False)
+    on = estimator.estimate(fig1_graph, query, 300, rng=SEED, trace=True)
+    assert off.trace is None
+    assert on.trace is not None
+    assert _fingerprint(on) == _fingerprint(off)
+    _assert_well_formed(on.trace, on.n_worlds)
+    assert on.trace.events  # at least one convergence point per run
+
+
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_pool_trace_parity(fig1_graph, estimator):
+    """n_workers=2 spawn pool: worker spans merge back without bias."""
+    query = InfluenceQuery(0)
+    off = estimator.estimate(fig1_graph, query, 200, rng=SEED, n_workers=2)
+    on = estimator.estimate(
+        fig1_graph, query, 200, rng=SEED, n_workers=2, trace=True
+    )
+    assert _fingerprint(on) == _fingerprint(off)
+    _assert_well_formed(on.trace, on.n_worlds)
+    parallel = on.trace.parallel
+    assert parallel is not None
+    assert parallel["n_workers"] == 2
+    assert parallel["n_jobs"] == len(parallel["jobs"]) >= 1
+    assert parallel["pool_seconds"] > 0.0
+
+
+@pytest.mark.parametrize(
+    "estimator", [NMC(), RSS1(r=2, tau=5)], ids=lambda e: e.name
+)
+def test_trace_and_audit_compose(fig1_graph, estimator):
+    """Both observation layers on at once still change nothing."""
+    query = InfluenceQuery(0)
+    plain = estimator.estimate(fig1_graph, query, 250, rng=SEED)
+    both = estimator.estimate(
+        fig1_graph, query, 250, rng=SEED, audit=True, trace=True
+    )
+    assert _fingerprint(both) == _fingerprint(plain)
+    assert both.audit is not None and both.audit.violations == 0
+    assert both.trace is not None
+
+
+def test_env_var_traces_every_estimate(fig1_graph, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    result = NMC().estimate(fig1_graph, InfluenceQuery(0), 100, rng=SEED)
+    assert result.trace is not None
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    result = NMC().estimate(fig1_graph, InfluenceQuery(0), 100, rng=SEED)
+    assert result.trace is None

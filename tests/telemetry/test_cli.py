@@ -1,0 +1,70 @@
+"""``repro-trace``: JSONL round-trips through every subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import RSS1
+from repro.queries.influence import InfluenceQuery
+from repro.telemetry import JsonlExporter, Tracer
+from repro.telemetry.cli import main
+
+SEED = 20140331
+
+
+@pytest.fixture
+def rss1_trace_file(fig1_graph, tmp_path):
+    """A JSONL trace of an RSS-I run through the n_workers=2 spawn pool."""
+    path = tmp_path / "rssi.jsonl"
+    tracer = Tracer(exporters=[JsonlExporter(str(path))])
+    result = RSS1(r=2, tau=20).estimate(
+        fig1_graph, InfluenceQuery(0), 400, rng=SEED, n_workers=2, trace=tracer
+    )
+    return path, result
+
+
+def test_profile_renders_per_stratum_tree(rss1_trace_file, capsys):
+    path, result = rss1_trace_file
+    assert main(["profile", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "RSSIR" in out
+    assert "root [split]" in out
+    assert "s0" in out  # per-stratum rows
+    assert "workers=2" in out  # pool footer
+    assert f"{result.value:.6g}"[:6] in out
+
+
+def test_convergence_table_and_limit(rss1_trace_file, capsys):
+    path, _ = rss1_trace_file
+    assert main(["convergence", str(path), "--limit", "5"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert "worlds" in out[0]
+    assert 1 <= len(out) - 1 <= 5
+
+
+def test_summary_and_validate(rss1_trace_file, capsys):
+    path, result = rss1_trace_file
+    assert main(["summary", str(path)]) == 0
+    summary = capsys.readouterr().out
+    assert "estimator=RSSIR" in summary
+    assert f"seed={SEED}" in summary
+    assert main(["validate", str(path)]) == 0
+    assert capsys.readouterr().out.startswith("ok:")
+    assert result.trace is not None
+
+
+def test_validate_rejects_corrupt_file(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(json.dumps({"type": "span", "path": [0]}) + "\n")
+    assert main(["validate", str(bad)]) == 1
+    assert "repro-trace" in capsys.readouterr().err
+
+
+def test_missing_file_and_bad_run_index(rss1_trace_file, tmp_path, capsys):
+    assert main(["profile", str(tmp_path / "nope.jsonl")]) == 1
+    capsys.readouterr()
+    path, _ = rss1_trace_file
+    assert main(["profile", str(path), "--run", "5"]) == 1
+    assert "out of range" in capsys.readouterr().err

@@ -1,0 +1,170 @@
+"""Tracing core: span trees, the variance ledger, exporters, env handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BSS1, NMC, RSS1
+from repro.errors import ReproError
+from repro.queries.influence import InfluenceQuery
+from repro.telemetry import (
+    RESIDUAL_INDEX,
+    InMemoryExporter,
+    JsonlExporter,
+    Ledger,
+    Span,
+    TraceReport,
+    Tracer,
+    env_enabled,
+    read_jsonl,
+    resolve_tracer,
+    resolve_weights,
+)
+
+SEED = 20140331
+
+
+def test_env_enabled_parses_strictly(monkeypatch):
+    for raw, expected in [("1", True), ("true", True), ("on", True),
+                          ("0", False), ("", False), ("off", False)]:
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert env_enabled() is expected
+    monkeypatch.setenv("REPRO_TRACE", "maybe")
+    with pytest.raises(ReproError):
+        env_enabled()
+
+
+def test_resolve_tracer_honours_bool_env_and_instance(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert resolve_tracer(None) is None
+    assert resolve_tracer(False) is None
+    assert resolve_tracer(True) is not None
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert resolve_tracer(None) is not None
+    assert resolve_tracer(False) is None  # explicit False beats the env
+    tracer = Tracer()
+    assert resolve_tracer(tracer, "RCSS") is tracer
+    assert tracer.estimator == "RCSS"
+
+
+def test_ledger_moments_match_numpy():
+    rng = np.random.default_rng(3)
+    nums = rng.uniform(0.0, 5.0, 64)
+    dens = np.ones(64)
+    ledger = Ledger()
+    ledger.add_arrays(nums[:40], dens[:40])
+    ledger.add_arrays(nums[40:], dens[40:])
+    assert ledger.n == 64
+    assert ledger.mean_num == pytest.approx(nums.mean())
+    assert ledger.var_num() == pytest.approx(nums.var())
+    round_trip = Ledger.from_dict(ledger.to_dict())
+    assert round_trip.to_dict() == ledger.to_dict()
+
+
+def test_resolve_weights_uses_child_pi_then_parent_pis():
+    root = Span(())
+    root.kind = "split"
+    root.pis = (0.25, 0.75)
+    entered = Span((0,))
+    entered.pi = 0.25
+    emitted = Span((1,))  # parallel child: no enter/exit, pi from parent pis
+    grandchild = Span((1, RESIDUAL_INDEX))
+    grandchild.pi = 0.5
+    spans = {s.path: s for s in (root, entered, emitted, grandchild)}
+    resolve_weights(spans)
+    assert root.weight == 1.0
+    assert entered.weight == pytest.approx(0.25)
+    assert emitted.weight == pytest.approx(0.75)
+    assert emitted.pi == pytest.approx(0.75)
+    assert grandchild.weight == pytest.approx(0.375)
+
+
+def test_traced_run_has_well_formed_span_tree(fig1_graph):
+    query = InfluenceQuery(0)
+    result = BSS1(r=3).estimate(fig1_graph, query, 300, rng=SEED, trace=True)
+    report = result.trace
+    assert isinstance(report, TraceReport)
+    spans = report.spans
+    assert () in spans  # the root exists
+    for path, span in spans.items():
+        assert span.path == path
+        if path:
+            assert path[:-1] in spans, f"orphan span {path}"
+        assert span.weight is not None and 0.0 <= span.weight <= 1.0
+    # leaf sample counts account for the whole materialised budget
+    assert sum(s.worlds for s in report.leaf_spans()) == result.n_worlds
+    # children of one split never out-weigh their parent
+    for path, span in spans.items():
+        children = [s for p, s in spans.items() if p[:-1] == path and p]
+        if children and span.kind == "split":
+            mass = sum(c.weight for c in children) + span.pi0 * span.weight
+            assert mass <= span.weight + 1e-9
+
+
+def test_convergence_events_are_cumulative(fig1_graph):
+    result = NMC().estimate(fig1_graph, InfluenceQuery(0), 500, rng=SEED, trace=True)
+    events = result.trace.events
+    assert events
+    worlds = [event["worlds"] for event in events]
+    assert worlds == sorted(worlds)
+    assert worlds[-1] == 500
+    for event in events:
+        assert event["ci95"] >= 0.0
+    assert events[-1]["mean"] == pytest.approx(result.value)
+
+
+def test_variance_ledger_orders_bss1_below_nmc(fig1_graph):
+    """Theorem 3.2 read off the ledger: Var(BSS-I) <= Var(NMC)."""
+    query = InfluenceQuery(0)
+    n = 3000
+    nmc = NMC().estimate(fig1_graph, query, n, rng=SEED, trace=True)
+    bss = BSS1(r=3).estimate(fig1_graph, query, n, rng=SEED, trace=True)
+    var_nmc = nmc.trace.estimated_variance()
+    var_bss = bss.trace.estimated_variance()
+    assert var_nmc > 0.0
+    assert var_bss <= var_nmc * 1.05  # empirical estimate, small slack
+    shares = bss.trace.variance_shares()
+    assert shares
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_in_memory_and_jsonl_exporters_round_trip(fig1_graph, tmp_path):
+    sink = InMemoryExporter()
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(exporters=[sink, JsonlExporter(str(path))])
+    result = RSS1(r=2, tau=20).estimate(
+        fig1_graph, InfluenceQuery(0), 400, rng=SEED, trace=tracer
+    )
+    assert sink.last is result.trace
+    runs = read_jsonl(str(path))
+    assert len(runs) == 1
+    rebuilt = TraceReport.from_records(runs[0])
+    assert rebuilt.estimator == result.estimator
+    assert set(rebuilt.spans) == set(result.trace.spans)
+    assert rebuilt.estimated_variance() == pytest.approx(
+        result.trace.estimated_variance()
+    )
+    assert rebuilt.meta["value"] == pytest.approx(result.value)
+    assert rebuilt.meta["seed"] == SEED
+
+
+def test_trace_meta_carries_schema_and_host_fields(fig1_graph):
+    result = NMC().estimate(fig1_graph, InfluenceQuery(0), 100, rng=SEED, trace=True)
+    meta = result.trace.meta
+    assert meta["schema"] == 1
+    assert meta["estimator"] == "NMC"
+    assert meta["seed"] == SEED
+    assert meta["cpu_count"] >= 1
+    assert meta["n_samples"] == 100
+
+
+def test_trace_file_env_appends_runs(fig1_graph, monkeypatch, tmp_path):
+    target = tmp_path / "auto.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setenv("REPRO_TRACE_FILE", str(target))
+    query = InfluenceQuery(0)
+    NMC().estimate(fig1_graph, query, 50, rng=SEED)
+    BSS1(r=2).estimate(fig1_graph, query, 50, rng=SEED)
+    runs = read_jsonl(str(target))
+    assert [TraceReport.from_records(r).estimator for r in runs] == ["NMC", "BSSIR"]

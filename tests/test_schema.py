@@ -1,0 +1,60 @@
+"""One validator, two artefacts: trace files and benchmark payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NMC
+from repro.bench.harness import run_benchmarks
+from repro.errors import ReproError
+from repro.queries.influence import InfluenceQuery
+from repro.telemetry import JsonlExporter, Tracer
+from repro.telemetry.schema import (
+    check_fields,
+    validate_bench_payload,
+    validate_trace_file,
+    validate_trace_records,
+)
+
+SEED = 20140331
+
+
+def test_check_fields_reports_missing():
+    check_fields({"a": 1, "b": 2}, ("a", "b"), "here")
+    with pytest.raises(ReproError, match="here.*'c'"):
+        check_fields({"a": 1}, ("a", "c"), "here")
+
+
+def test_real_trace_file_validates(fig1_graph, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    NMC().estimate(
+        fig1_graph, InfluenceQuery(0), 100, rng=SEED,
+        trace=Tracer(exporters=[JsonlExporter(str(path))]),
+    )
+    assert validate_trace_file(str(path)) == 1
+
+
+def test_trace_validation_rejects_malformed_runs(fig1_graph):
+    result = NMC().estimate(fig1_graph, InfluenceQuery(0), 100, rng=SEED, trace=True)
+    records = result.trace.to_records()
+    validate_trace_records(records)
+    with pytest.raises(ReproError, match="meta"):
+        validate_trace_records(records[1:])  # no leading meta
+    with pytest.raises(ReproError, match="schema version"):
+        validate_trace_records([dict(records[0], schema=99)] + records[1:])
+    with pytest.raises(ReproError, match="no span"):
+        validate_trace_records(records[:1])
+    with pytest.raises(ReproError, match="unknown type"):
+        validate_trace_records(records + [{"type": "mystery"}])
+
+
+def test_bench_payload_validates_through_same_helper():
+    payload = run_benchmarks(
+        n_worlds=8, smoke=True, output=None, log=lambda _msg: None
+    )
+    assert validate_bench_payload(payload) == len(payload["records"])
+    broken = dict(payload, records=[{"kernel": "x"}])
+    with pytest.raises(ReproError, match="bench record #0"):
+        validate_bench_payload(broken)
+    with pytest.raises(ReproError, match="no records"):
+        validate_bench_payload(dict(payload, records=[]))
