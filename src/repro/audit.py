@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
@@ -381,6 +382,41 @@ class AuditContext:
                 chunks=chunks,
             )
 
+    def check_coalesce(
+        self,
+        group_budgets: Sequence[Sequence[int]],
+        leaf_budgets: Sequence[int],
+        *,
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Coalescing leaf jobs into pool tasks must be a pure regrouping.
+
+        The driver may batch small jobs into fewer, fatter pool tasks
+        (``min_worlds_per_job``), but only as an order-preserving partition
+        of the scheduled leaf list: no group may be empty, and the grouped
+        per-job budgets, flattened, must equal the original budgets job for
+        job — which conserves the total budget and the evaluation order at
+        once.
+        """
+        self.report.record("coalesce-budget")
+        groups = [[int(b) for b in group] for group in group_budgets]
+        leaves = [int(b) for b in leaf_budgets]
+        if any(not group for group in groups):
+            self.fail(
+                "coalesce-budget", "coalescing produced an empty pool task",
+                path=path, group_sizes=[len(g) for g in groups],
+            )
+        flat = [b for group in groups for b in group]
+        if flat != leaves:
+            self.fail(
+                "coalesce-budget",
+                "coalesced job budgets are not an order-preserving "
+                "partition of the scheduled leaves (budget not conserved)",
+                path=path,
+                grouped_total=sum(flat), leaf_total=sum(leaves),
+                n_grouped=len(flat), n_leaves=len(leaves),
+            )
+
     def check_pair(
         self,
         num: float,
@@ -565,13 +601,32 @@ class AuditContext:
 
 _ACTIVE: Optional[AuditContext] = None
 
+# Sentinel distinguishing "this thread has no override" from "this thread
+# explicitly overrode the context with None" (a thread-pool worker running
+# an unaudited job while the driver thread holds an audited global).
+_UNSET = object()
+
+
+class _LocalSlot(threading.local):
+    ctx: Any = _UNSET
+
+
+_LOCAL = _LocalSlot()
+
 
 def active() -> Optional[AuditContext]:
     """The currently active audit context, or ``None`` when auditing is off.
 
     This is the hot-path guard: instrumented call sites do nothing but one
-    module-global read per recursion node when auditing is disabled.
+    thread-local plus one module-global read per recursion node when
+    auditing is disabled.  A thread-local override (:func:`activate_local`)
+    shadows the process-wide context, which is how the thread-pool execution
+    backend gives each worker thread its own per-job context without the
+    workers stomping the driver's.
     """
+    local = _LOCAL.ctx
+    if local is not _UNSET:
+        return local
     return _ACTIVE
 
 
@@ -581,7 +636,8 @@ def activate(ctx: Optional[AuditContext]) -> Iterator[Optional[AuditContext]]:
 
     Passing ``None`` is a no-op installation (used by the parallel driver so
     the audit-off path needs no separate branch); the previous context is
-    always restored, so audited estimates may nest.
+    always restored, so audited estimates may nest.  The installation is
+    process-wide; worker threads use :func:`activate_local`.
     """
     global _ACTIVE
     previous = _ACTIVE
@@ -590,6 +646,22 @@ def activate(ctx: Optional[AuditContext]) -> Iterator[Optional[AuditContext]]:
         yield ctx
     finally:
         _ACTIVE = previous
+
+
+@contextmanager
+def activate_local(ctx: Optional[AuditContext]) -> Iterator[Optional[AuditContext]]:
+    """Install ``ctx`` for the current thread only (thread-pool workers).
+
+    Shadows the process-wide context even when ``ctx`` is ``None``, so an
+    unaudited worker job never records into the driver's context from a
+    pool thread.
+    """
+    previous = _LOCAL.ctx
+    _LOCAL.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _LOCAL.ctx = previous
 
 
 def check_split(
@@ -615,7 +687,7 @@ def check_split(
     ``pis``; the cut-set estimators allocate by the conditional ``pi^cd``)
     or a budget-true ``plan``.
     """
-    ctx = _ACTIVE
+    ctx = active()
     if ctx is None:
         return
     path = _path_of(rng)
@@ -640,5 +712,6 @@ __all__ = [
     "env_enabled",
     "active",
     "activate",
+    "activate_local",
     "check_split",
 ]

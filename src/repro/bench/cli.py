@@ -7,7 +7,9 @@ writes the machine-readable artefact ``BENCH_traversal.json``::
     repro-bench                         # condmat surrogate @0.25, 1000 worlds
     repro-bench --graph facebook --scale 1.0
     repro-bench --smoke                 # ~1 s sanity run (tier-1 CI)
-    repro-bench --workers 1,2,4         # add a worker-scaling sweep
+    repro-bench --workers 1,2,4         # worker sweep, thread + process pools
+    repro-bench --workers 2 --executors thread   # restrict the executor axis
+    repro-bench --backends              # kernel-backend axis (scalar/numpy/native)
 
 The JSON schema is documented in :mod:`repro.bench.harness` and
 EXPERIMENTS.md.
@@ -19,7 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.bench.harness import GRAPHS, run_benchmarks
+from repro.bench.harness import EXECUTORS, GRAPHS, run_benchmarks
 from repro.errors import ReproError
 
 
@@ -56,6 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep (a 1-worker baseline is always included), e.g. 1,2,4",
     )
     parser.add_argument(
+        "--executors", type=str, default=None, metavar="NAME[,NAME...]",
+        help="comma-separated executor backends for the worker sweep "
+        f"(subset of {','.join(EXECUTORS)}; default: both)",
+    )
+    parser.add_argument(
+        "--backends", action="store_true",
+        help="add the kernel-backend axis: time the frontier kernels once "
+        "per available backend (scalar/numpy/native, JIT warm-up excluded)",
+    )
+    parser.add_argument(
         "--audit-check", action="store_true",
         help="add audit-overhead kernels: min-of-repeats NMC influence "
         "estimates with invariant auditing off and on (CI gates on the "
@@ -81,6 +93,17 @@ def parse_workers(text: str) -> List[int]:
     return counts
 
 
+def parse_executors(text: str) -> List[str]:
+    """Parse an ``--executors`` value like ``"thread,process"``."""
+    names = [part.strip().lower() for part in text.split(",") if part.strip()]
+    if not names or any(name not in EXECUTORS for name in names):
+        raise ReproError(
+            f"--executors expects a comma-separated subset of "
+            f"{','.join(EXECUTORS)}, got {text!r}"
+        )
+    return names
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.worlds <= 0:
@@ -98,6 +121,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             output=args.output,
             smoke=args.smoke,
             workers=parse_workers(args.workers) if args.workers else None,
+            executors=parse_executors(args.executors) if args.executors else None,
+            backends=args.backends,
             audit_check=args.audit_check,
             trace_check=args.trace_check,
         )

@@ -12,14 +12,22 @@ Every record is a flat dict with the fields of :data:`BENCH_FIELDS`::
                     finished (``None`` on platforms without ``resource``)
 
 Batched records additionally carry ``speedup_vs_scalar`` when the matching
-scalar record was timed in the same run.  Worker-scaling records (the
-``--workers`` sweep, kernel ``rssi_influence_parallel``) carry ``n_workers``,
-the point estimate ``value`` (identical for every worker count by
+scalar record was timed in the same run.  Kernel-backend records (the
+``--backends`` axis, kernels ``reachable_counts_backend`` /
+``st_distances_backend``) carry ``backend`` — one record per available
+kernel backend (``scalar``/``numpy``/``native``), with
+``speedup_vs_numpy`` on the native records; the native backend is warmed
+up first (:func:`repro.native.warmup`) so JIT compilation never pollutes a
+timing.  Worker-scaling records (the ``--workers`` sweep, kernel
+``rssi_influence_parallel``) carry ``n_workers``, ``executor``
+(``thread``/``process``), ``backend`` (the active kernel backend), the
+point estimate ``value`` (identical for every worker count and executor by
 construction — the sweep doubles as a determinism check) and
-``speedup_vs_1worker``.  The JSON artefact written by :func:`run_benchmarks`
-(``BENCH_traversal.json`` at the repo root by convention) wraps the records
-with the run configuration, including ``cpu_count`` of the timing host —
-worker scaling is only meaningful relative to the cores that were available.
+``speedup_vs_1worker`` (per executor).  The JSON artefact written by
+:func:`run_benchmarks` (``BENCH_traversal.json`` at the repo root by
+convention) wraps the records with the run configuration, including
+``cpu_count`` of the timing host — worker scaling is only meaningful
+relative to the cores that were available.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ except ImportError:  # pragma: no cover - Windows has no resource module
 
 import numpy as np
 
+from repro import kernels as repro_kernels
 from repro.core.nmc import NMC
 from repro.core.rss1 import RSS1
 from repro.datasets.surrogates import condmat_like, dblp_like, facebook_like
@@ -85,6 +94,9 @@ class BenchRecord:
     speedup_vs_1worker: Optional[float] = None
     audit_overhead_pct: Optional[float] = None
     trace_overhead_pct: Optional[float] = None
+    backend: Optional[str] = None
+    executor: Optional[str] = None
+    speedup_vs_numpy: Optional[float] = None
 
     def to_dict(self) -> dict:
         out = {
@@ -96,18 +108,15 @@ class BenchRecord:
             "worlds_per_sec": self.worlds_per_sec,
             "peak_rss_kb": self.peak_rss_kb,
         }
-        if self.speedup_vs_scalar is not None:
-            out["speedup_vs_scalar"] = self.speedup_vs_scalar
-        if self.n_workers is not None:
-            out["n_workers"] = self.n_workers
-        if self.value is not None:
-            out["value"] = self.value
-        if self.speedup_vs_1worker is not None:
-            out["speedup_vs_1worker"] = self.speedup_vs_1worker
-        if self.audit_overhead_pct is not None:
-            out["audit_overhead_pct"] = self.audit_overhead_pct
-        if self.trace_overhead_pct is not None:
-            out["trace_overhead_pct"] = self.trace_overhead_pct
+        optional = (
+            "speedup_vs_scalar", "n_workers", "value", "speedup_vs_1worker",
+            "audit_overhead_pct", "trace_overhead_pct", "backend", "executor",
+            "speedup_vs_numpy",
+        )
+        for field in optional:
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
         return out
 
 
@@ -176,6 +185,66 @@ def _normalise_workers(workers: Sequence[int]) -> List[int]:
     return sweep
 
 
+def _bench_kernel_backends(
+    records: List[BenchRecord],
+    graph: UncertainGraph,
+    graph_label: str,
+    masks: np.ndarray,
+    seeds: np.ndarray,
+    source: int,
+    target: int,
+    n_worlds: int,
+    log: Callable[[str], None],
+) -> None:
+    """Time the frontier kernels once per available kernel backend.
+
+    One ``reachable_counts_backend`` and one ``st_distances_backend`` record
+    per backend in ``scalar``/``numpy``/``native`` order (so the numpy
+    baseline exists before native's ``speedup_vs_numpy`` is computed).  The
+    native backend is warmed up first — JIT compilation is excluded from
+    every timing by construction.
+    """
+    baselines: Dict[str, float] = {}
+    ordered = [b for b in ("scalar", "numpy", "native")
+               if b in repro_kernels.available_backends()]
+    for backend_name in ordered:
+        if backend_name == "native":
+            from repro import native
+
+            native.warmup()
+        with repro_kernels.use_backend(backend_name):
+            if backend_name == "scalar":
+                reach_s = _timed(
+                    lambda: [reachable_count(graph, masks[i], seeds)
+                             for i in range(n_worlds)]
+                )
+                dist_s = _timed(
+                    lambda: [st_distance(graph, masks[i], source, target)
+                             for i in range(n_worlds)]
+                )
+            else:
+                reach_s = _timed(lambda: reachable_counts_batch(graph, masks, seeds))
+                dist_s = _timed(
+                    lambda: st_distances_batch(graph, masks, source, target)
+                )
+        for name, seconds in (
+            ("reachable_counts_backend", reach_s),
+            ("st_distances_backend", dist_s),
+        ):
+            record = _record(name, graph_label, n_worlds, graph.n_edges, seconds)
+            record.backend = backend_name
+            if backend_name == "numpy":
+                baselines[name] = seconds
+            elif backend_name == "native" and baselines.get(name, 0.0) > 0 and seconds > 0:
+                record.speedup_vs_numpy = baselines[name] / seconds
+            records.append(record)
+        log(
+            f"  {'backend[' + backend_name + ']':<18s} reach  {reach_s:8.3f}s "
+            f"({n_worlds / reach_s if reach_s > 0 else float('inf'):10.1f} worlds/s) | "
+            f"dist {dist_s:8.3f}s"
+        )
+
+
 def _bench_worker_sweep(
     records: List[BenchRecord],
     graph: UncertainGraph,
@@ -184,40 +253,55 @@ def _bench_worker_sweep(
     n_worlds: int,
     seed: int,
     workers: Sequence[int],
+    executors: Sequence[str],
     log: Callable[[str], None],
 ) -> None:
     """Time RSS-I influence estimation across worker counts (parallel engine).
 
-    All runs share one seed, so the path-keyed engine must return the same
-    estimate for every worker count — logged values diverging is a bug, not
-    noise.
+    One sub-sweep per executor backend (``thread`` / ``process``); all runs
+    share one seed, so the path-keyed engine must return the same estimate
+    for every worker count and executor — logged values diverging is a bug,
+    not noise.  ``speedup_vs_1worker`` is anchored per executor (the
+    1-worker run bypasses both pools, so the anchors coincide up to noise).
     """
     estimator = RSS1()
-    baseline = None
-    for n_workers in _normalise_workers(workers):
-        value: List[float] = []
-        seconds = _timed(
-            lambda: value.append(
-                estimator.estimate(
-                    graph, query, n_worlds, rng=seed, n_workers=n_workers
-                ).value
+    kernel_backend = repro_kernels.active_backend()
+    if kernel_backend == "native":
+        from repro import native
+
+        native.warmup()
+    for executor_name in executors:
+        baseline = None
+        for n_workers in _normalise_workers(workers):
+            value: List[float] = []
+            seconds = _timed(
+                lambda: value.append(
+                    estimator.estimate(
+                        graph, query, n_worlds, rng=seed, n_workers=n_workers,
+                        backend=executor_name,
+                    ).value
+                )
             )
-        )
-        record = _record(
-            "rssi_influence_parallel", graph_label, n_worlds, graph.n_edges, seconds
-        )
-        record.n_workers = n_workers
-        record.value = value[0]
-        if baseline is None:
-            baseline = seconds
-        if record.seconds > 0:
-            record.speedup_vs_1worker = baseline / record.seconds
-        records.append(record)
-        log(
-            f"  {'rssi_parallel':<18s} workers {n_workers:>2d} "
-            f"{record.seconds:8.3f}s ({record.worlds_per_sec:10.1f} worlds/s) | "
-            f"value {record.value:.4f} | speedup {record.speedup_vs_1worker:6.2f}x"
-        )
+            record = _record(
+                "rssi_influence_parallel", graph_label, n_worlds, graph.n_edges,
+                seconds,
+            )
+            record.n_workers = n_workers
+            record.value = value[0]
+            record.executor = executor_name
+            record.backend = kernel_backend
+            if baseline is None:
+                baseline = seconds
+            if record.seconds > 0:
+                record.speedup_vs_1worker = baseline / record.seconds
+            records.append(record)
+            log(
+                f"  {'rssi_parallel':<18s} {executor_name:<7s} workers "
+                f"{n_workers:>2d} {record.seconds:8.3f}s "
+                f"({record.worlds_per_sec:10.1f} worlds/s) | "
+                f"value {record.value:.4f} | speedup "
+                f"{record.speedup_vs_1worker:6.2f}x"
+            )
 
 
 def _bench_audit_check(
@@ -323,6 +407,10 @@ def _bench_trace_check(
     log(f"  {'':18s} {traced.summary()}")
 
 
+#: Executor backends the worker sweep accepts.
+EXECUTORS = ("thread", "process")
+
+
 def run_benchmarks(
     graph_name: str = "condmat",
     scale: float = 0.25,
@@ -331,6 +419,8 @@ def run_benchmarks(
     output: Optional[str] = "BENCH_traversal.json",
     smoke: bool = False,
     workers: Optional[Sequence[int]] = None,
+    executors: Optional[Sequence[str]] = None,
+    backends: bool = False,
     audit_check: bool = False,
     trace_check: bool = False,
     log: Callable[[str], None] = print,
@@ -340,15 +430,24 @@ def run_benchmarks(
     ``smoke`` shrinks the graph and world count so the harness finishes in
     about a second — used by the tier-1 smoke test to keep the entry point
     from rotting.  ``workers`` adds a worker-scaling sweep: RSS-I influence
-    estimation through the parallel engine, one record per worker count.
-    ``audit_check`` adds the audit-overhead kernels (min-of-repeats NMC
-    influence estimates with auditing off and on) — CI gates on the
-    audit-off overhead staying under 2%.  ``trace_check`` is the same
-    protocol for the telemetry layer (``trace_overhead_pct``, gated the
-    same way).
+    estimation through the parallel engine, one record per worker count per
+    executor backend (``executors``; default both ``thread`` and
+    ``process``).  ``backends`` adds the kernel-backend axis: the frontier
+    kernels timed once per available backend (``scalar``/``numpy``/
+    ``native``, JIT warm-up excluded).  ``audit_check`` adds the
+    audit-overhead kernels (min-of-repeats NMC influence estimates with
+    auditing off and on) — CI gates on the audit-off overhead staying under
+    2%.  ``trace_check`` is the same protocol for the telemetry layer
+    (``trace_overhead_pct``, gated the same way).
     """
     if graph_name not in GRAPHS:
         raise ReproError(f"unknown benchmark graph {graph_name!r}; choose from {sorted(GRAPHS)}")
+    executor_sweep = list(executors) if executors else list(EXECUTORS)
+    for name in executor_sweep:
+        if name not in EXECUTORS:
+            raise ReproError(
+                f"unknown executor backend {name!r}; choose from {EXECUTORS}"
+            )
     if smoke:
         scale = min(scale, 0.02)
         n_worlds = min(n_worlds, 32)
@@ -378,6 +477,12 @@ def run_benchmarks(
         log,
     )
 
+    if backends:
+        _bench_kernel_backends(
+            records, graph, graph_label, masks, seeds, source, target,
+            n_worlds, log,
+        )
+
     packed = pack_masks(masks)
     packed_rec = _record(
         "reachable_counts_batch_packed", graph_label, n_worlds, m,
@@ -406,7 +511,8 @@ def run_benchmarks(
     worker_sweep = _normalise_workers(workers) if workers else None
     if worker_sweep:
         _bench_worker_sweep(
-            records, graph, graph_label, query, n_worlds, seed, worker_sweep, log
+            records, graph, graph_label, query, n_worlds, seed, worker_sweep,
+            executor_sweep, log,
         )
 
     if audit_check:
@@ -432,6 +538,10 @@ def run_benchmarks(
             "smoke": smoke,
             "cpu_count": os.cpu_count(),
             "n_workers": worker_sweep,
+            "executors": executor_sweep if worker_sweep else None,
+            "backends": backends,
+            "kernel_backend": repro_kernels.active_backend(),
+            "native_available": repro_kernels.native_available(),
             "audit_check": audit_check,
             "trace_check": trace_check,
             "python": platform.python_version(),
@@ -447,4 +557,4 @@ def run_benchmarks(
     return payload
 
 
-__all__ = ["BENCH_FIELDS", "GRAPHS", "BenchRecord", "run_benchmarks"]
+__all__ = ["BENCH_FIELDS", "EXECUTORS", "GRAPHS", "BenchRecord", "run_benchmarks"]

@@ -402,6 +402,8 @@ class Estimator(ABC):
         rng: RngLike = None,
         n_workers: Optional[int] = None,
         tasks_per_worker: int = 4,
+        backend: str = "auto",
+        min_worlds_per_job: int = 0,
         audit: Optional[bool] = None,
         trace: Any = None,
     ) -> EstimateResult:
@@ -430,6 +432,18 @@ class Estimator(ABC):
             recursion is split until at least ``tasks_per_worker *
             n_workers`` subtree jobs exist (affects load balance only, never
             results).
+        backend:
+            Executor for the parallel engine: ``"process"`` (spawn pool +
+            shared-memory arena), ``"thread"`` (in-process pool sharing the
+            graph zero-copy; scales only under the GIL-releasing ``native``
+            kernel backend), or ``"auto"`` (default — thread when the
+            active kernel backend is ``native``, process otherwise).
+            Never changes results, only speed.
+        min_worlds_per_job:
+            Coalescing threshold for the parallel engine: consecutive leaf
+            jobs are batched into one pool task until the task carries at
+            least this many worlds of budget (``0``/``1`` — one job per
+            task).  Pure packaging; audited to conserve the budget.
         audit:
             ``None`` (default) — honour the ``REPRO_AUDIT`` environment
             variable; ``True``/``False`` force invariant auditing on or off
@@ -468,6 +482,7 @@ class Estimator(ABC):
             return estimate_parallel(
                 self, graph, query, int(n_samples), rng,
                 n_workers=int(n_workers), tasks_per_worker=tasks_per_worker,
+                backend=backend, min_worlds_per_job=int(min_worlds_per_job),
                 audit=audit_enabled, trace=tctx if tctx is not None else False,
             )
         query.validate(graph)

@@ -20,6 +20,11 @@ Keys
     the class-I/II estimators).
 ``N_WORKERS`` / ``N_JOBS``
     Parallel-engine bookkeeping (absent on sequential runs).
+``BACKEND`` / ``N_TASKS``
+    Parallel-engine executor diagnostics (absent on sequential runs):
+    the resolved execution backend (``"thread"``, ``"process"``, or
+    ``"sequential"`` for ``n_workers=1``) and the number of pool tasks
+    after ``min_worlds_per_job`` coalescing (``N_TASKS <= N_JOBS``).
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ MAX_DEPTH = "max_depth"
 ANALYTIC_MASS = "analytic_mass"
 N_WORKERS = "n_workers"
 N_JOBS = "n_jobs"
+BACKEND = "backend"
+N_TASKS = "n_tasks"
 
 #: The diagnostics every estimator run carries in ``result.extras``.
 CORE_EXTRAS = (SPLIT_COUNT, STRATUM_COUNT, MAX_DEPTH, ANALYTIC_MASS)
@@ -41,5 +48,7 @@ __all__ = [
     "ANALYTIC_MASS",
     "N_WORKERS",
     "N_JOBS",
+    "BACKEND",
+    "N_TASKS",
     "CORE_EXTRAS",
 ]

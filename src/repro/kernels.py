@@ -1,0 +1,199 @@
+"""Kernel-backend registry: the ``native → numpy → scalar`` dispatch chain.
+
+The batched traversal kernels of :mod:`repro.queries.batch` have three
+implementations of the same bit-parallel sweeps:
+
+``native``
+    Numba-JIT compiled loops over the CSR arrays and packed world words
+    (:mod:`repro.native`).  They run in ``nogil`` mode, so a thread pool
+    over the shared graph achieves real multicore scaling.  Requires the
+    optional ``numba`` dependency (``pip install repro[native]``).
+``numpy``
+    The vectorised numpy kernels — one batch of array ops per BFS level.
+    Always available; these are the canonical reference results.
+``scalar``
+    The historical one-world-at-a-time Python path
+    (:mod:`repro.queries.traversal`).  Kept as the ground truth the parity
+    suite checks both batched backends against.
+
+All three are bit-identical by contract: for a fixed seed every estimator
+returns the exact same :class:`~repro.core.result.EstimateResult` under any
+backend (enforced by ``tests/core/test_backend_matrix.py``), so backend
+selection is purely a performance knob.
+
+Selection, in precedence order:
+
+1. :func:`use_backend` — a context manager forcing a backend for a block of
+   code (``scalar_fallback()`` in :mod:`repro.queries.batch` is the
+   historical spelling of ``use_backend("scalar")``);
+2. the ``REPRO_KERNEL`` environment variable (``native``, ``numpy``,
+   ``scalar`` or ``auto``), re-read on every dispatch so tests can
+   monkeypatch it;
+3. ``auto`` (the default): ``native`` when numba is importable, else
+   ``numpy``.
+
+Requesting ``native`` without numba installed degrades gracefully: a single
+:class:`UserWarning` is emitted and the ``numpy`` backend serves the run —
+results are identical either way, only the speed differs.
+
+:func:`active_backend` reports the backend that dispatch would use right
+now; it is the introspection point the benchmarks, the parallel driver's
+``backend="auto"`` executor choice, and the CI native leg all share.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Environment variable selecting the kernel backend for the process.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognised backend names, fastest first — the fallback chain order.
+BACKENDS: Tuple[str, ...] = ("native", "numpy", "scalar")
+
+_AUTO = "auto"
+
+# Forced backend installed by use_backend(); process-wide on purpose so the
+# historical scalar_fallback() semantics (all threads, whole process) hold.
+_FORCED: Optional[str] = None
+
+_warn_lock = threading.Lock()
+_warned_missing_native = False
+
+
+def native_available() -> bool:
+    """Whether the numba-compiled kernels can be used in this process."""
+    from repro import native
+
+    return native.NUMBA_AVAILABLE
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backends usable right now, fastest first."""
+    if native_available():
+        return BACKENDS
+    return tuple(b for b in BACKENDS if b != "native")
+
+
+def _warn_native_missing(origin: str) -> None:
+    global _warned_missing_native
+    with _warn_lock:
+        if _warned_missing_native:
+            return
+        _warned_missing_native = True
+    warnings.warn(
+        f"{origin} requested the 'native' kernel backend but numba is not "
+        "installed; falling back to the bit-identical 'numpy' backend "
+        "(pip install repro[native] for the JIT kernels)",
+        UserWarning,
+        stacklevel=3,
+    )
+
+
+def _resolve(name: str, origin: str) -> str:
+    """Validate a backend name and apply the graceful native fallback."""
+    name = name.strip().lower()
+    if name == _AUTO or name == "":
+        return "native" if native_available() else "numpy"
+    if name not in BACKENDS:
+        raise ReproError(
+            f"{origin} names unknown kernel backend {name!r}; "
+            f"choose from {BACKENDS + (_AUTO,)}"
+        )
+    if name == "native" and not native_available():
+        _warn_native_missing(origin)
+        return "numpy"
+    return name
+
+
+def active_backend() -> str:
+    """The kernel backend dispatch would use right now.
+
+    Resolution: :func:`use_backend` override, then ``REPRO_KERNEL``, then
+    auto (``native`` when numba is available, else ``numpy``).  Always one
+    of :data:`BACKENDS`.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return _resolve(os.environ.get(KERNEL_ENV, _AUTO), f"{KERNEL_ENV} environment variable")
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Force a kernel backend for the duration of a ``with`` block.
+
+    Nests: the previous override (or the environment-driven default) is
+    restored on exit.  The override is process-wide, matching the
+    historical ``scalar_fallback()`` contract.
+    """
+    global _FORCED
+    resolved = _resolve(str(name), "use_backend()")
+    previous = _FORCED
+    _FORCED = resolved
+    try:
+        yield resolved
+    finally:
+        _FORCED = previous
+
+
+# ---------------------------------------------------------------------- #
+# per-thread scratch buffers
+# ---------------------------------------------------------------------- #
+
+class _ScratchSlot(threading.local):
+    """Thread-local reusable buffers for the frontier kernels.
+
+    One visited-word matrix per thread: the batched sweeps are synchronous
+    (allocate, fill, read, return), so a single buffer per thread is safe,
+    and reusing it across the many blocks of a long estimate removes the
+    dominant per-block allocation.  Thread-locality keeps the thread-pool
+    execution backend race-free without locks.
+    """
+
+    visited: Optional[np.ndarray] = None
+
+
+_SCRATCH = _ScratchSlot()
+
+
+def visited_scratch(n_nodes: int, n_words: int) -> np.ndarray:
+    """A zeroed ``(n_nodes, n_words)`` ``uint64`` buffer, reused per thread.
+
+    Callers must be done with the previous buffer before asking again (true
+    for all kernel call sites: the visited matrix never escapes a kernel
+    invocation un-copied).
+    """
+    buf = _SCRATCH.visited
+    if buf is None or buf.shape[0] < n_nodes or buf.shape[1] < n_words:
+        rows = n_nodes if buf is None else max(n_nodes, buf.shape[0])
+        cols = n_words if buf is None else max(n_words, buf.shape[1])
+        buf = np.zeros((rows, cols), dtype=np.uint64)
+        _SCRATCH.visited = buf
+    view = buf[:n_nodes, :n_words]
+    view[...] = 0
+    return view
+
+
+def clear_scratch() -> None:
+    """Drop this thread's scratch buffers (test hook / worker teardown)."""
+    _SCRATCH.visited = None
+
+
+__all__ = [
+    "KERNEL_ENV",
+    "BACKENDS",
+    "native_available",
+    "available_backends",
+    "active_backend",
+    "use_backend",
+    "visited_scratch",
+    "clear_scratch",
+]

@@ -1,0 +1,95 @@
+"""Optional numba-compiled frontier kernels (``pip install repro[native]``).
+
+This package is the ``native`` tier of the kernel dispatch chain
+(:mod:`repro.kernels`): Numba-JIT compiled, GIL-releasing versions of the
+bit-parallel BFS reachability sweep, the blocked ``s -> t`` hop-distance
+sweep, and the blocked Dijkstra sweep for weighted distances.  All three
+operate directly on the CSR arrays and packed world words — the same
+buffers the shared-memory graph arena publishes — so a thread pool of
+workers can traverse one graph concurrently with zero copies and, because
+``nogil=True``, genuine multicore parallelism.
+
+numba is deliberately a *soft* dependency:
+
+* ``NUMBA_AVAILABLE`` reports whether the JIT layer exists in this
+  process; the dispatch chain never selects ``native`` when it is false.
+* The kernel entry points are importable either way.  With numba they are
+  the ``njit(nogil=True, cache=True)`` compilations of
+  :mod:`repro.native._kernels`; without it they are the *same function
+  objects* undecorated — slow plain-Python twins that keep the kernel
+  logic unit-testable on numba-less interpreters.
+* Pure-NumPy results remain canonical: the native backend is checked
+  bit-identical against them, never trusted on its own.
+
+:func:`warmup` triggers (and therefore excludes from any timing) the JIT
+compilation of all kernels for the standard ``int64``/``uint64``/
+``float64`` layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.native import _kernels as py_kernels
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default in minimal installs
+    _numba = None
+    NUMBA_AVAILABLE = False
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version, or ``None`` without the extra."""
+    return None if _numba is None else _numba.__version__
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    _jit = _numba.njit(nogil=True, cache=True)
+    reachable_words = _jit(py_kernels.reachable_words)
+    st_distance_words = _jit(py_kernels.st_distance_words)
+    weighted_st_distances = _jit(py_kernels.weighted_st_distances)
+else:
+    reachable_words = py_kernels.reachable_words
+    st_distance_words = py_kernels.st_distance_words
+    weighted_st_distances = py_kernels.weighted_st_distances
+
+
+def warmup() -> bool:
+    """Compile every kernel on a 2-node toy graph; returns availability.
+
+    Benchmarks call this before timing so JIT compilation cost never
+    pollutes a measurement; idempotent and cheap after the first call
+    (numba's on-disk cache makes even the first call fast across runs).
+    """
+    indptr = np.asarray([0, 1, 1], dtype=np.int64)
+    arc_target = np.asarray([1], dtype=np.int64)
+    arc_edge = np.asarray([0], dtype=np.int64)
+    edge_words = np.ones((1, 1), dtype=np.uint64)
+    full = np.ones(1, dtype=np.uint64)
+    visited = np.zeros((2, 1), dtype=np.uint64)
+    visited[0, 0] = np.uint64(1)
+    roots = np.asarray([0], dtype=np.int64)
+    reachable_words(indptr, arc_target, arc_edge, edge_words, visited, roots)
+    dist = np.full(1, np.inf, dtype=np.float64)
+    st_distance_words(indptr, arc_target, arc_edge, edge_words, 0, 1, full, dist)
+    wdist = np.full(1, np.inf, dtype=np.float64)
+    weights = np.ones(1, dtype=np.float64)
+    weighted_st_distances(
+        indptr, arc_target, arc_edge, edge_words, weights, 0, 1, wdist
+    )
+    return NUMBA_AVAILABLE
+
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "numba_version",
+    "reachable_words",
+    "st_distance_words",
+    "weighted_st_distances",
+    "warmup",
+]

@@ -1,0 +1,259 @@
+"""Frontier kernels in numba dialect — the source of the JIT'd natives.
+
+Every function here is written in the restricted subset of Python that
+Numba's ``nopython`` mode compiles: scalar loops over preallocated numpy
+arrays, no fancy indexing, no Python objects.  :mod:`repro.native` applies
+``numba.njit(nogil=True, cache=True)`` to these *same* function objects
+when numba is importable; when it is not, the undecorated functions remain
+usable as slow but exact plain-Python twins, which is how the parity suite
+exercises the kernel logic on interpreters without numba.
+
+Because the decorated and undecorated forms are one function body, there is
+nothing to drift: the native backend is bit-identical to this file by
+construction, and this file is checked bit-identical to the numpy and
+scalar backends by ``tests/core/test_backend_matrix.py`` and
+``tests/queries/test_native_kernels.py``.
+
+Data layout (shared with :mod:`repro.queries.batch`):
+
+* ``indptr`` / ``arc_target`` / ``arc_edge`` — the CSR adjacency
+  (``int64``), identical in and out of the shared-memory graph arena;
+* ``edge_words`` — ``(m, ceil(W/64))`` ``uint64``: bit ``w`` of
+  ``edge_words[e, w // 64]`` says whether edge ``e`` exists in world ``w``;
+* visited/frontier matrices — ``(n_nodes, n_words)`` ``uint64`` with the
+  same bit convention.
+
+All kernels release the GIL under numba (``nogil=True``), which is what
+lets the thread-pool execution backend of :mod:`repro.parallel` scale on
+multicore hosts with zero-copy graph sharing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reachable_words(indptr, arc_target, arc_edge, edge_words, visited, roots):
+    """Bit-parallel multi-source reachability fixpoint (in-place).
+
+    ``visited`` must arrive zeroed except for the ``roots`` rows, which the
+    caller seeds with the all-worlds word vector.  On return ``visited[v]``
+    has bit ``w`` set iff node ``v`` is reachable from the roots in world
+    ``w`` — the exact fixpoint the numpy kernel computes, so the two
+    backends agree bit for bit.
+    """
+    n_nodes = visited.shape[0]
+    n_words = visited.shape[1]
+    zero = np.uint64(0)
+    # Double-buffered frontier: rows of front_cur are live for the level
+    # being expanded, rows of front_nxt are (re)initialised on each node's
+    # first touch per level — a node may legitimately sit in both frontiers.
+    front_cur = np.zeros((n_nodes, n_words), np.uint64)
+    front_nxt = np.zeros((n_nodes, n_words), np.uint64)
+    cur = np.empty(n_nodes, np.int64)
+    nxt = np.empty(n_nodes, np.int64)
+    queued = np.zeros(n_nodes, np.uint8)
+    n_cur = roots.shape[0]
+    for i in range(n_cur):
+        r = roots[i]
+        cur[i] = r
+        for k in range(n_words):
+            front_cur[r, k] = visited[r, k]
+    while n_cur > 0:
+        n_nxt = 0
+        for i in range(n_cur):
+            u = cur[i]
+            for a in range(indptr[u], indptr[u + 1]):
+                v = arc_target[a]
+                e = arc_edge[a]
+                for k in range(n_words):
+                    fresh = (front_cur[u, k] & edge_words[e, k]) & ~visited[v, k]
+                    if fresh != zero:
+                        visited[v, k] = visited[v, k] | fresh
+                        if queued[v] == 0:
+                            queued[v] = 1
+                            nxt[n_nxt] = v
+                            n_nxt += 1
+                            for j in range(n_words):
+                                front_nxt[v, j] = zero
+                        front_nxt[v, k] = front_nxt[v, k] | fresh
+        for i in range(n_nxt):
+            queued[nxt[i]] = 0
+        tmp = cur
+        cur = nxt
+        nxt = tmp
+        tmpf = front_cur
+        front_cur = front_nxt
+        front_nxt = tmpf
+        n_cur = n_nxt
+    return visited
+
+
+def st_distance_words(indptr, arc_target, arc_edge, edge_words, source, target, full, dist):
+    """Per-world ``s -> t`` hop distance over a packed world block (in-place).
+
+    ``full`` is the all-worlds word vector (:func:`repro.queries.batch.\
+    _full_words`); ``dist`` must arrive filled with ``inf`` and receives the
+    BFS level at which each world's sweep first reaches ``target``.  Worlds
+    whose answer is determined are masked out of every frontier (the
+    ``done`` words), mirroring the numpy kernel's early-stop behaviour —
+    hop counts are exact integers, so the backends agree bit for bit.
+    """
+    n_nodes = indptr.shape[0] - 1
+    n_words = edge_words.shape[1]
+    zero = np.uint64(0)
+    one = np.uint64(1)
+    visited = np.zeros((n_nodes, n_words), np.uint64)
+    front_cur = np.zeros((n_nodes, n_words), np.uint64)
+    front_nxt = np.zeros((n_nodes, n_words), np.uint64)
+    for k in range(n_words):
+        visited[source, k] = full[k]
+        front_cur[source, k] = full[k]
+    done = np.zeros(n_words, np.uint64)
+    cur = np.empty(n_nodes, np.int64)
+    nxt = np.empty(n_nodes, np.int64)
+    queued = np.zeros(n_nodes, np.uint8)
+    cur[0] = source
+    n_cur = 1
+    level = 0
+    while n_cur > 0:
+        level += 1
+        n_nxt = 0
+        for i in range(n_cur):
+            u = cur[i]
+            for a in range(indptr[u], indptr[u + 1]):
+                v = arc_target[a]
+                e = arc_edge[a]
+                for k in range(n_words):
+                    fresh = (front_cur[u, k] & edge_words[e, k]) & ~visited[v, k] & ~done[k]
+                    if fresh == zero:
+                        continue
+                    visited[v, k] = visited[v, k] | fresh
+                    if v == target:
+                        # Answered worlds: record the level, retire them.
+                        done[k] = done[k] | fresh
+                        word = fresh
+                        b = 0
+                        while word != zero:
+                            if word & one != zero:
+                                dist[k * 64 + b] = level
+                            word = word >> one
+                            b += 1
+                    else:
+                        if queued[v] == 0:
+                            queued[v] = 1
+                            nxt[n_nxt] = v
+                            # Reset the stale next-frontier row on first touch.
+                            for j in range(n_words):
+                                front_nxt[v, j] = zero
+                            n_nxt += 1
+                        front_nxt[v, k] = front_nxt[v, k] | fresh
+        all_done = True
+        for k in range(n_words):
+            if done[k] != full[k]:
+                all_done = False
+        if all_done:
+            break
+        for i in range(n_nxt):
+            queued[nxt[i]] = 0
+        tmp = cur
+        cur = nxt
+        nxt = tmp
+        tmpf = front_cur
+        front_cur = front_nxt
+        front_nxt = tmpf
+        n_cur = n_nxt
+    return dist
+
+
+def weighted_st_distances(
+    indptr, arc_target, arc_edge, edge_words, weights, source, target, dist
+):
+    """Blocked Dijkstra sweep: weighted ``s -> t`` distance per world.
+
+    One binary-heap Dijkstra per world of the packed block, consulting bit
+    ``w`` of the edge words to decide which arcs exist; the per-node
+    distance/settled arrays and the heap storage are allocated once and
+    reused across the whole block, so the inner loop never touches the
+    interpreter (and under numba runs with the GIL released).
+
+    Float parity with :func:`repro.queries.traversal.st_weighted_distance`:
+    every tentative distance is the same ``float64`` sum ``d(u) + w(e)``
+    computed along the same relaxations, and the final value is the minimum
+    of those candidates — a quantity independent of heap tie-breaking — so
+    the native and scalar answers are bit-identical.
+    """
+    n_worlds = dist.shape[0]
+    n_nodes = indptr.shape[0] - 1
+    zero = np.uint64(0)
+    one = np.uint64(1)
+    node_dist = np.empty(n_nodes, np.float64)
+    settled = np.empty(n_nodes, np.uint8)
+    # Lazy-deletion heap: at most one live entry per relaxation, bounded by
+    # the arc count (plus the root).
+    cap = arc_target.shape[0] + 1
+    heap_d = np.empty(cap, np.float64)
+    heap_v = np.empty(cap, np.int64)
+    for w in range(n_worlds):
+        word_idx = w // 64
+        bit = np.uint64(w % 64)
+        for i in range(n_nodes):
+            node_dist[i] = np.inf
+            settled[i] = 0
+        node_dist[source] = 0.0
+        heap_d[0] = 0.0
+        heap_v[0] = source
+        size = 1
+        answer = np.inf
+        while size > 0:
+            d = heap_d[0]
+            u = heap_v[0]
+            size -= 1
+            heap_d[0] = heap_d[size]
+            heap_v[0] = heap_v[size]
+            pos = 0
+            while True:
+                child = 2 * pos + 1
+                if child >= size:
+                    break
+                if child + 1 < size and heap_d[child + 1] < heap_d[child]:
+                    child += 1
+                if heap_d[child] < heap_d[pos]:
+                    heap_d[pos], heap_d[child] = heap_d[child], heap_d[pos]
+                    heap_v[pos], heap_v[child] = heap_v[child], heap_v[pos]
+                    pos = child
+                else:
+                    break
+            if settled[u] == 1:
+                continue
+            if u == target:
+                answer = d
+                break
+            settled[u] = 1
+            for a in range(indptr[u], indptr[u + 1]):
+                e = arc_edge[a]
+                if (edge_words[e, word_idx] >> bit) & one == zero:
+                    continue
+                v = arc_target[a]
+                if settled[v] == 1:
+                    continue
+                nd = d + weights[e]
+                if nd < node_dist[v]:
+                    node_dist[v] = nd
+                    heap_d[size] = nd
+                    heap_v[size] = v
+                    size += 1
+                    pos = size - 1
+                    while pos > 0:
+                        parent = (pos - 1) // 2
+                        if heap_d[pos] < heap_d[parent]:
+                            heap_d[pos], heap_d[parent] = heap_d[parent], heap_d[pos]
+                            heap_v[pos], heap_v[parent] = heap_v[parent], heap_v[pos]
+                            pos = parent
+                        else:
+                            break
+        dist[w] = answer
+    return dist
+
+
+__all__ = ["reachable_words", "st_distance_words", "weighted_st_distances"]

@@ -2,27 +2,43 @@
 
 The recursive estimators combine *independent* stratum subtrees linearly
 (``num += pi_i * num_i``), so the top levels of the recursion decompose into
-jobs that a spawn-based process pool can evaluate concurrently:
+jobs that a worker pool can evaluate concurrently:
 
 * :mod:`repro.parallel.arena` — a ``multiprocessing.shared_memory`` arena
-  that publishes the graph's edge and CSR arrays once; workers attach
-  zero-copy instead of unpickling a full graph per task.
+  that publishes the graph's edge and CSR arrays once; process-pool workers
+  attach zero-copy instead of unpickling a full graph per task.
 * :mod:`repro.parallel.driver` — walks the recursion until it has enough
-  subtree jobs (via :meth:`Estimator._expand_node`), ships them to the
-  pool, and reduces the returned pairs with the exact accumulation order of
-  the sequential code.
-* :mod:`repro.parallel.worker` — the process-pool side: attach the arena,
-  rebuild the graph, evaluate jobs.
+  subtree jobs (via :meth:`Estimator._expand_node`), coalesces small jobs
+  into fatter pool tasks (``min_worlds_per_job``), ships them to the
+  selected executor, and reduces the returned pairs with the exact
+  accumulation order of the sequential code.
+* :mod:`repro.parallel.worker` — the worker side: spawn-pool entry points
+  (attach the arena, rebuild the graph, evaluate job batches) and the
+  thread-pool entry point that evaluates the same batches against the
+  driver's own graph object zero-copy.
+
+Two executor backends (``backend="thread"|"process"|"auto"``): the spawn
+process pool — parallelism for the pure-Python kernels, which hold the GIL
+— and an in-process thread pool that scales under the GIL-releasing
+``native`` kernel backend (:mod:`repro.native`) with no spawn or pickle
+cost at all.  ``"auto"`` follows the active kernel backend.
 
 Randomness is keyed by *stratum path* (:class:`repro.rng.StratumRng`), so a
-fixed seed produces bit-identical estimates for every ``n_workers >= 1``;
-``n_workers=None``/``0`` (the default everywhere) keeps the historical
-sequential stream untouched.
+fixed seed produces bit-identical estimates for every ``n_workers >= 1``,
+every backend and every coalescing threshold; ``n_workers=None``/``0`` (the
+default everywhere) keeps the historical sequential stream untouched.
 
-Entry point: ``Estimator.estimate(..., n_workers=...)``.
+Entry point: ``Estimator.estimate(..., n_workers=..., backend=...)``.
 """
 
 from repro.parallel.arena import ArenaSpec, GraphArena, attach_graph
-from repro.parallel.driver import estimate_parallel
+from repro.parallel.driver import POOL_BACKENDS, estimate_parallel, resolve_backend
 
-__all__ = ["ArenaSpec", "GraphArena", "attach_graph", "estimate_parallel"]
+__all__ = [
+    "ArenaSpec",
+    "GraphArena",
+    "attach_graph",
+    "POOL_BACKENDS",
+    "estimate_parallel",
+    "resolve_backend",
+]

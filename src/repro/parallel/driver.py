@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Any, List, Optional, Tuple
@@ -36,6 +36,7 @@ from typing import Any, List, Optional, Tuple
 import numpy as np
 
 from repro import audit as _audit
+from repro import kernels as _kernels
 from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair
 from repro.core.result import EstimateResult, WorldCounter
@@ -43,9 +44,37 @@ from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.parallel.arena import GraphArena
-from repro.parallel.worker import Job, evaluate_job, init_worker, run_job
+from repro.parallel.worker import (
+    Job,
+    JobResult,
+    evaluate_job,
+    init_worker,
+    run_jobs,
+    run_jobs_local,
+)
 from repro.queries.base import Query
 from repro.rng import RngLike, StratumRng, root_seed_sequence
+
+#: Recognised execution backends for the worker pool.
+POOL_BACKENDS: Tuple[str, ...] = ("auto", "thread", "process")
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Resolve an executor backend name to ``"thread"`` or ``"process"``.
+
+    ``"auto"`` picks ``"thread"`` when the active kernel backend is
+    ``native`` — the numba kernels release the GIL, so threads scale and
+    skip all spawn/pickle cost — and ``"process"`` otherwise (pure-Python
+    sweeps hold the GIL, so only processes buy parallelism).
+    """
+    backend = str(backend).strip().lower()
+    if backend not in POOL_BACKENDS:
+        raise EstimatorError(
+            f"unknown parallel backend {backend!r}; choose from {POOL_BACKENDS}"
+        )
+    if backend != "auto":
+        return backend
+    return "thread" if _kernels.active_backend() == "native" else "process"
 
 
 class _Leaf:
@@ -152,16 +181,66 @@ def _reduce(leaf: _Leaf) -> Pair:
     return num, den
 
 
+def _coalesce(leaves: List[_Leaf], min_worlds_per_job: int) -> List[List[_Leaf]]:
+    """Group the scheduled leaves into pool tasks (order-preserving).
+
+    With ``min_worlds_per_job <= 1`` every leaf is its own task (the
+    historical one-job-per-subtree shipping).  Otherwise consecutive leaves
+    are batched until a task carries at least ``min_worlds_per_job`` worlds
+    of budget; an undersized tail is folded into the previous task, so every
+    emitted task meets the threshold whenever any does.  Grouping is pure
+    packaging — per-job budgets, paths and streams are untouched — which is
+    exactly what :meth:`repro.audit.AuditContext.check_coalesce` certifies.
+    """
+    if min_worlds_per_job <= 1:
+        return [[leaf] for leaf in leaves]
+    groups: List[List[_Leaf]] = []
+    current: List[_Leaf] = []
+    budget = 0
+    for leaf in leaves:
+        current.append(leaf)
+        budget += max(1, leaf.job.n_samples)
+        if budget >= min_worlds_per_job:
+            groups.append(current)
+            current = []
+            budget = 0
+    if current:
+        if groups:
+            groups[-1].extend(current)
+        else:
+            groups.append(current)
+    return groups
+
+
+def _absorb(
+    leaf: _Leaf,
+    result: JobResult,
+    counter: WorldCounter,
+    ctx: Optional[_audit.AuditContext],
+    tctx: Optional[_telemetry.TraceContext],
+) -> None:
+    """Fold one job's result tuple back into the driver-side state."""
+    num, den, worlds, payload = result
+    leaf.result = (num, den)
+    counter.add(worlds)
+    counter.merge_stats(payload.get("stats"))
+    if ctx is not None and payload.get("audit") is not None:
+        ctx.absorb_worker(payload["audit"])
+    if tctx is not None and payload.get("trace") is not None:
+        tctx.absorb_worker(payload["trace"])
+
+
 def _run_pool(
     estimator: Estimator,
     graph: UncertainGraph,
     query: Query,
     root: np.random.SeedSequence,
-    leaves: List[_Leaf],
+    groups: List[List[_Leaf]],
     n_workers: int,
     counter: WorldCounter,
+    n_jobs: int,
 ) -> None:
-    """Evaluate ``leaves`` on a spawn pool sharing the graph via an arena."""
+    """Evaluate job groups on a spawn pool sharing the graph via an arena."""
     ctx = _audit.active()
     tctx = _telemetry.active()
     started = time.perf_counter()
@@ -177,7 +256,10 @@ def _run_pool(
             ),
         )
         try:
-            futures = [(leaf, executor.submit(run_job, leaf.job)) for leaf in leaves]
+            futures = [
+                (group, executor.submit(run_jobs, [leaf.job for leaf in group]))
+                for group in groups
+            ]
             if tctx is not None:
                 # Completion offsets (seconds since pool start) feed the
                 # queue-depth / utilisation metrics; list.append is atomic,
@@ -186,15 +268,9 @@ def _run_pool(
                     future.add_done_callback(
                         lambda _f: offsets.append(time.perf_counter() - started)
                     )
-            for leaf, future in futures:
-                num, den, worlds, payload = future.result()
-                leaf.result = (num, den)
-                counter.add(worlds)
-                counter.merge_stats(payload.get("stats"))
-                if ctx is not None and payload.get("audit") is not None:
-                    ctx.absorb_worker(payload["audit"])
-                if tctx is not None and payload.get("trace") is not None:
-                    tctx.absorb_worker(payload["trace"])
+            for group, future in futures:
+                for leaf, result in zip(group, future.result()):
+                    _absorb(leaf, result, counter, ctx, tctx)
         except BrokenProcessPool as exc:
             raise EstimatorError(
                 "parallel worker pool crashed (a worker process died); "
@@ -204,7 +280,61 @@ def _run_pool(
             executor.shutdown(wait=True, cancel_futures=True)
     if tctx is not None:
         tctx.record_parallel(
-            n_workers, len(leaves), time.perf_counter() - started, sorted(offsets)
+            n_workers, n_jobs, time.perf_counter() - started, sorted(offsets)
+        )
+
+
+def _run_thread_pool(
+    estimator: Estimator,
+    graph: UncertainGraph,
+    query: Query,
+    root: np.random.SeedSequence,
+    groups: List[List[_Leaf]],
+    n_workers: int,
+    counter: WorldCounter,
+    n_jobs: int,
+) -> None:
+    """Evaluate job groups on an in-process thread pool (zero-copy sharing).
+
+    No arena, no spawn, no pickling: worker threads traverse the driver's
+    own graph arrays directly.  Real concurrency requires the ``native``
+    kernel backend (whose sweeps release the GIL); with pure-Python kernels
+    the pool still returns bit-identical results, just without speedup.
+    Worker threads install their audit/trace contexts thread-locally, so
+    the driver's process-wide contexts are never touched from a pool
+    thread; payload absorption happens here, on the driver thread, exactly
+    as in the process pool.
+    """
+    ctx = _audit.active()
+    tctx = _telemetry.active()
+    started = time.perf_counter()
+    offsets: List[float] = []
+    with ThreadPoolExecutor(
+        max_workers=n_workers, thread_name_prefix="repro-worker"
+    ) as executor:
+        futures = [
+            (
+                group,
+                executor.submit(
+                    run_jobs_local,
+                    graph, estimator, query, root,
+                    [leaf.job for leaf in group],
+                    ctx is not None, tctx is not None,
+                ),
+            )
+            for group in groups
+        ]
+        if tctx is not None:
+            for _, future in futures:
+                future.add_done_callback(
+                    lambda _f: offsets.append(time.perf_counter() - started)
+                )
+        for group, future in futures:
+            for leaf, result in zip(group, future.result()):
+                _absorb(leaf, result, counter, ctx, tctx)
+    if tctx is not None:
+        tctx.record_parallel(
+            n_workers, n_jobs, time.perf_counter() - started, sorted(offsets)
         )
 
 
@@ -216,10 +346,22 @@ def estimate_parallel(
     rng: RngLike = None,
     n_workers: int = 1,
     tasks_per_worker: int = 4,
+    backend: str = "auto",
+    min_worlds_per_job: int = 0,
     audit: bool = False,
     trace: Any = None,
 ) -> EstimateResult:
-    """Run ``estimator`` with the recursion fanned out over worker processes.
+    """Run ``estimator`` with the recursion fanned out over a worker pool.
+
+    ``backend`` selects the executor: ``"process"`` is the spawn pool with
+    the shared-memory graph arena; ``"thread"`` is an in-process
+    :class:`~concurrent.futures.ThreadPoolExecutor` sharing the graph
+    arrays zero-copy (it scales only under the GIL-releasing ``native``
+    kernel backend); ``"auto"`` (default) follows the active kernel backend
+    (see :func:`resolve_backend`).  ``min_worlds_per_job`` coalesces small
+    leaf jobs into fatter pool tasks — pure packaging, certified
+    budget-conserving under auditing — so tiny subtrees do not each pay the
+    per-task round trip.
 
     ``n_workers=1`` runs the identical decomposition in-process (no pool,
     no arena) — useful as the bit-exact reference for the pooled runs and
@@ -227,11 +369,16 @@ def estimate_parallel(
     decomposition, worker job and the final reduction run under invariant
     auditing (:mod:`repro.audit`): workers ship their check counters and
     consumed stratum paths back with each result, so a stream consumed by
-    two different processes is caught in the driver.  ``trace`` follows
+    two different workers is caught in the driver.  ``trace`` follows
     :func:`repro.telemetry.resolve_tracer`: workers build one trace context
     per job and ship its spans back with the job result; the driver merges
     them into one recursion tree and adds pool-level metrics (utilisation,
     per-job wall-clock, completion offsets).
+
+    Estimates are bit-identical across every ``(backend, n_workers,
+    tasks_per_worker, min_worlds_per_job)`` combination for a fixed seed:
+    path-keyed streams fix what each subtree computes, and the reduction
+    replays the sequential accumulation order exactly.
     """
     if n_workers < 1:
         raise EstimatorError(f"estimate_parallel needs n_workers >= 1, got {n_workers}")
@@ -239,12 +386,18 @@ def estimate_parallel(
         raise EstimatorError(
             f"tasks_per_worker must be >= 1, got {tasks_per_worker}"
         )
+    if min_worlds_per_job < 0:
+        raise EstimatorError(
+            f"min_worlds_per_job must be >= 0, got {min_worlds_per_job}"
+        )
+    pool_backend = resolve_backend(backend)
     query.validate(graph)
     root = root_seed_sequence(rng)
     counter = WorldCounter()
     target = tasks_per_worker * n_workers
     ctx = _audit.AuditContext(estimator.name) if audit else None
     tctx = _telemetry.resolve_tracer(trace, estimator.name)
+    n_tasks = 0
     with _audit.activate(ctx), _telemetry.activate(tctx):
         root_leaf, leaves = _decompose(
             estimator, graph, query, n_samples, root, target, counter
@@ -266,14 +419,29 @@ def estimate_parallel(
                 tctx.record_parallel(
                     1, len(leaves), time.perf_counter() - started, offsets
                 )
+            n_tasks = len(leaves)
         elif leaves:
-            _run_pool(estimator, graph, query, root, leaves, n_workers, counter)
+            groups = _coalesce(leaves, int(min_worlds_per_job))
+            n_tasks = len(groups)
+            if ctx is not None:
+                ctx.check_coalesce(
+                    [[leaf.job.n_samples for leaf in group] for group in groups],
+                    [leaf.job.n_samples for leaf in leaves],
+                    path=(),
+                )
+            run = _run_thread_pool if pool_backend == "thread" else _run_pool
+            run(
+                estimator, graph, query, root, groups, n_workers, counter,
+                len(leaves),
+            )
         num, den = _reduce(root_leaf)
         if ctx is not None:
             ctx.check_result(num, den, query.conditional, path=())
     result = EstimateResult.from_pair(
         num, den, n_samples, counter.worlds, estimator.name,
-        n_workers=n_workers, n_jobs=len(leaves), **counter.stats(),
+        n_workers=n_workers, n_jobs=len(leaves), n_tasks=n_tasks,
+        backend=pool_backend if n_workers > 1 else "sequential",
+        **counter.stats(),
     )
     if ctx is not None:
         result.audit = ctx.report
@@ -286,4 +454,4 @@ def estimate_parallel(
     return result
 
 
-__all__ = ["estimate_parallel"]
+__all__ = ["POOL_BACKENDS", "estimate_parallel", "resolve_backend"]

@@ -1,10 +1,23 @@
-"""Process-pool worker side of the parallel engine.
+"""Worker side of the parallel engine (process pool and thread pool).
 
-Each worker is initialised once per pool (:func:`init_worker`): it attaches
-the shared-memory graph arena, and keeps the estimator, the query and the
-root ``SeedSequence`` in module globals.  Every job then ships only its
-partial assignment, local budget and stratum path — a few hundred bytes
-plus one ``int8`` status vector.
+Process pool: each worker is initialised once (:func:`init_worker`) — it
+attaches the shared-memory graph arena and keeps the estimator, the query
+and the root ``SeedSequence`` in module globals.  Every job then ships only
+its partial assignment, local budget and stratum path — a few hundred bytes
+plus one ``int8`` status vector.  :func:`run_jobs` is the pool task entry:
+one pool task evaluates a whole *batch* of coalesced jobs, so small
+subtrees do not each pay the submit/pickle round trip.
+
+Thread pool: :func:`run_jobs_local` evaluates the same batches in-process
+against the driver's own graph object — zero-copy sharing with no arena,
+no spawn, no pickling.  Audit/trace contexts are installed per *thread*
+(:func:`repro.audit.activate_local` / :func:`repro.telemetry.activate_local`)
+so worker threads never stomp the driver's process-wide context.
+
+Both sides keep persistent per-worker scratch: the frontier kernels draw
+their visited-word buffers from :func:`repro.kernels.visited_scratch`,
+which is thread-local and survives across every job a worker (process or
+thread) evaluates.
 
 Jobs are self-describing (:class:`Job`): ``kind == "subtree"`` re-enters the
 estimator's own recursion via :meth:`Estimator._run_subtree`; ``kind ==
@@ -12,13 +25,14 @@ estimator's own recursion via :meth:`Estimator._run_subtree`; ``kind ==
 the single-level BSS/BCSS stratifications, which must *not* be
 re-stratified).  The job's RNG is rebuilt from the root sequence and the
 stratum path, so the numbers drawn are identical to what any other process
-— or the sequential path-keyed recursion — would draw for that subtree.
+— or thread, or the sequential path-keyed recursion — would draw for that
+subtree.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, NamedTuple, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,30 +102,39 @@ def init_worker(
     _STATE["trace"] = bool(trace_enabled)
 
 
-def run_job(job: Job) -> Tuple[float, float, int, Optional[dict]]:
-    """Pool task entry point.
+JobResult = Tuple[float, float, int, Dict[str, Any]]
 
-    Returns ``(num, den, worlds_evaluated, payload)``; the payload always
-    carries ``"stats"`` (the worker counter's recursion diagnostics for the
-    driver to merge) and, when the corresponding layer is on, ``"audit"``
-    (per-job check counters and consumed stratum paths — the cross-process
-    half of the stream-reuse invariant) and ``"trace"`` (the job's spans,
-    convergence events and wall-clock).
+
+def _run_one(
+    graph: UncertainGraph,
+    estimator: Estimator,
+    query: Query,
+    root: np.random.SeedSequence,
+    job: Job,
+    audit_enabled: bool,
+    trace_enabled: bool,
+    *,
+    thread_local: bool,
+) -> JobResult:
+    """Evaluate one job under fresh per-job audit/trace contexts.
+
+    ``thread_local`` selects the context installation: process-wide for
+    spawn-pool workers (each owns its interpreter), per-thread for
+    thread-pool workers (all share the driver's interpreter, whose
+    process-wide contexts must stay untouched).
     """
-    estimator = _STATE["estimator"]
     counter = WorldCounter(depth=len(job.path), weight=job.weight)
-    ctx = _audit.AuditContext(estimator.name) if _STATE.get("audit") else None
+    ctx = _audit.AuditContext(estimator.name) if audit_enabled else None
     tctx = (
         _telemetry.TraceContext(estimator.name, base_path=job.path)
-        if _STATE.get("trace")
+        if trace_enabled
         else None
     )
+    audit_install = _audit.activate_local if thread_local else _audit.activate
+    trace_install = _telemetry.activate_local if thread_local else _telemetry.activate
     started = time.perf_counter()
-    with _audit.activate(ctx), _telemetry.activate(tctx):
-        num, den = evaluate_job(
-            _STATE["graph"], estimator, _STATE["query"], _STATE["root"],
-            job, counter,
-        )
+    with audit_install(ctx), trace_install(tctx):
+        num, den = evaluate_job(graph, estimator, query, root, job, counter)
     payload: Dict[str, Any] = {"stats": counter.stats()}
     if ctx is not None:
         payload["audit"] = ctx.worker_payload()
@@ -122,4 +145,65 @@ def run_job(job: Job) -> Tuple[float, float, int, Optional[dict]]:
     return float(num), float(den), counter.worlds, payload
 
 
-__all__ = ["Job", "evaluate_job", "init_worker", "run_job"]
+def run_job(job: Job) -> JobResult:
+    """Spawn-pool task entry point (single job).
+
+    Returns ``(num, den, worlds_evaluated, payload)``; the payload always
+    carries ``"stats"`` (the worker counter's recursion diagnostics for the
+    driver to merge) and, when the corresponding layer is on, ``"audit"``
+    (per-job check counters and consumed stratum paths — the cross-process
+    half of the stream-reuse invariant) and ``"trace"`` (the job's spans,
+    convergence events and wall-clock).
+    """
+    return _run_one(
+        _STATE["graph"], _STATE["estimator"], _STATE["query"], _STATE["root"],
+        job, bool(_STATE.get("audit")), bool(_STATE.get("trace")),
+        thread_local=False,
+    )
+
+
+def run_jobs(jobs: Sequence[Job]) -> List[JobResult]:
+    """Spawn-pool task entry point for a coalesced batch of jobs.
+
+    One pool task, one pickle round trip, ``len(jobs)`` job evaluations —
+    the fat-task form the driver's ``min_worlds_per_job`` coalescing emits.
+    Per-job contexts and payloads are kept separate so the driver absorbs
+    each job exactly as if it had been shipped alone.
+    """
+    return [run_job(job) for job in jobs]
+
+
+def run_jobs_local(
+    graph: UncertainGraph,
+    estimator: Estimator,
+    query: Query,
+    root: np.random.SeedSequence,
+    jobs: Sequence[Job],
+    audit_enabled: bool,
+    trace_enabled: bool,
+) -> List[JobResult]:
+    """Thread-pool task entry point for a coalesced batch of jobs.
+
+    Runs against the driver's own graph object — zero-copy, no arena —
+    with per-thread audit/trace contexts.  Under the ``native`` kernel
+    backend the frontier sweeps release the GIL, so several of these run
+    genuinely concurrently.
+    """
+    return [
+        _run_one(
+            graph, estimator, query, root, job, audit_enabled, trace_enabled,
+            thread_local=True,
+        )
+        for job in jobs
+    ]
+
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "evaluate_job",
+    "init_worker",
+    "run_job",
+    "run_jobs",
+    "run_jobs_local",
+]

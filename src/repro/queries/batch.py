@@ -22,12 +22,17 @@ regardless of ``W``, and each word-op advances 64 worlds at once, which is
 where the batched path's speed comes from (see ``repro-bench`` and
 ``BENCH_traversal.json``).
 
-Scalar fallback
----------------
-:func:`scalar_fallback` temporarily disables the batched query overrides so
-every evaluation routes through the one-world-at-a-time code path.  The
-benchmark harness uses it to time the scalar engine, and the parity tests
-use it to assert that batched and scalar evaluation are bit-identical.
+Backend dispatch
+----------------
+Each kernel dispatches through :mod:`repro.kernels` (the
+``native → numpy → scalar`` chain): when the active backend is ``native``
+the numba-compiled loops of :mod:`repro.native` run the sweep directly on
+the CSR arrays with the GIL released; otherwise the vectorised numpy path
+below serves.  :func:`scalar_fallback` — now a thin wrapper over
+``repro.kernels.use_backend("scalar")`` — routes every evaluation through
+the one-world-at-a-time code path.  The benchmark harness uses it to time
+the scalar engine, and the parity tests use it to assert that all backends
+are bit-identical.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from typing import Iterator, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import QueryError
 from repro.graph.bitsets import (
     is_packed_block,
@@ -46,27 +52,32 @@ from repro.graph.bitsets import (
 )
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Comparison
-from repro.queries.traversal import INF, _as_sources
+from repro.queries.traversal import INF, _as_sources, st_weighted_distance
 from repro.utils.arrays import gather_ranges
-
-_batch_enabled: bool = True
 
 
 def batch_kernels_enabled() -> bool:
-    """Whether queries should use the batched kernels (see :func:`scalar_fallback`)."""
-    return _batch_enabled
+    """Whether queries should use the batched kernels.
+
+    False only under the ``scalar`` backend (:func:`scalar_fallback`,
+    ``REPRO_KERNEL=scalar`` or ``use_backend("scalar")``).
+    """
+    return kernels.active_backend() != "scalar"
 
 
 @contextmanager
 def scalar_fallback() -> Iterator[None]:
-    """Context manager: route all query evaluation through the scalar path."""
-    global _batch_enabled
-    previous = _batch_enabled
-    _batch_enabled = False
-    try:
+    """Context manager: route all query evaluation through the scalar path.
+
+    Historical spelling of ``repro.kernels.use_backend("scalar")``.
+    """
+    with kernels.use_backend("scalar"):
         yield
-    finally:
-        _batch_enabled = previous
+
+
+def _native_dispatch() -> bool:
+    """Whether this kernel invocation should run the numba-compiled loops."""
+    return kernels.active_backend() == "native"
 
 
 def as_mask_block(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
@@ -160,12 +171,29 @@ def _reachable_words(
     n_worlds: int,
     roots: np.ndarray,
 ) -> np.ndarray:
-    """Bit-parallel multi-source reachability; ``(n_nodes, n_words)`` words."""
+    """Bit-parallel multi-source reachability; ``(n_nodes, n_words)`` words.
+
+    Dispatches to the numba-compiled sweep under the ``native`` backend
+    (bit-identical by the parity suite); the numpy level-synchronous sweep
+    otherwise.  The returned matrix may be thread-local scratch — callers
+    must consume it before the next kernel call on the same thread (all
+    current call sites unpack or reduce it immediately).
+    """
     n_words = edge_words.shape[1]
-    visited = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
     if n_worlds == 0:
-        return visited
+        return np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
     all_worlds = _full_words(n_worlds)
+    if _native_dispatch():
+        from repro import native
+
+        adj = graph.adjacency
+        visited = kernels.visited_scratch(graph.n_nodes, n_words)
+        visited[roots] = all_worlds
+        native.reachable_words(
+            adj.indptr, adj.arc_target, adj.arc_edge, edge_words, visited, roots
+        )
+        return visited
+    visited = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
     visited[roots] = all_worlds
     active = roots
     frontier = np.broadcast_to(all_worlds, (roots.size, n_words)).copy()
@@ -247,6 +275,21 @@ def st_distances_batch(
     edge_words = _world_words(graph, masks)
     n_words = edge_words.shape[1]
     all_worlds = _full_words(n_worlds)
+    if _native_dispatch():
+        from repro import native
+
+        adj = graph.adjacency
+        native.st_distance_words(
+            adj.indptr,
+            adj.arc_target,
+            adj.arc_edge,
+            edge_words,
+            source,
+            target,
+            all_worlds,
+            dist,
+        )
+        return dist
     visited = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
     visited[source] = all_worlds
     active = np.asarray([source], dtype=np.int64)
@@ -277,6 +320,58 @@ def st_distances_batch(
     return dist
 
 
+def st_weighted_distances_batch(
+    graph: UncertainGraph,
+    masks: np.ndarray,
+    weights: np.ndarray,
+    source: int,
+    target: int,
+) -> np.ndarray:
+    """Per-world weighted ``s -> t`` distance (``inf`` when unreachable).
+
+    Matches :func:`~repro.queries.traversal.st_weighted_distance` exactly.
+    Under the ``native`` backend the whole block runs through the blocked
+    Dijkstra sweep of :mod:`repro.native` (one reused heap, GIL released);
+    there is no vectorised numpy formulation of Dijkstra, so the ``numpy``
+    backend runs the scalar sweep per world — bit-identical either way,
+    since every tentative distance is the same ``float64`` sum along the
+    same relaxations.
+    """
+    masks = as_mask_block(graph, masks)
+    n_worlds = masks.shape[0]
+    source = int(source)
+    target = int(target)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (graph.n_edges,):
+        raise QueryError(
+            f"weights must be one float per edge ({graph.n_edges}); "
+            f"got shape {weights.shape}"
+        )
+    if source == target:
+        return np.zeros(n_worlds, dtype=np.float64)
+    dist = np.full(n_worlds, INF, dtype=np.float64)
+    if n_worlds == 0:
+        return dist
+    if _native_dispatch():
+        from repro import native
+
+        adj = graph.adjacency
+        native.weighted_st_distances(
+            adj.indptr,
+            adj.arc_target,
+            adj.arc_edge,
+            _world_words(graph, masks),
+            weights,
+            source,
+            target,
+            dist,
+        )
+        return dist
+    for w in range(n_worlds):
+        dist[w] = st_weighted_distance(graph, masks[w], weights, source, target)
+    return dist
+
+
 def threshold_pairs_batch(
     values: np.ndarray,
     threshold: float,
@@ -299,5 +394,6 @@ __all__ = [
     "reachable_masks_batch",
     "reachable_counts_batch",
     "st_distances_batch",
+    "st_weighted_distances_batch",
     "threshold_pairs_batch",
 ]

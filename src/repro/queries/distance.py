@@ -31,7 +31,11 @@ from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries._frontier import frontier_cut_set, node_cut_set
 from repro.queries.base import Comparison, CutSetQuery, ThresholdQuery, UNREACHABLE
-from repro.queries.batch import batch_kernels_enabled, st_distances_batch
+from repro.queries.batch import (
+    batch_kernels_enabled,
+    st_distances_batch,
+    st_weighted_distances_batch,
+)
 from repro.queries.traversal import st_distance, st_weighted_distance
 
 _ANSWER_SETS = ("frontier", "path")
@@ -91,9 +95,12 @@ class ReliableDistanceQuery(CutSetQuery):
         return self._distance(graph, edge_mask)
 
     def evaluate_values(self, graph: UncertainGraph, edge_masks: np.ndarray) -> np.ndarray:
-        # The weighted (Dijkstra) variant has no batched kernel yet.
-        if self.weights is not None or not batch_kernels_enabled():
+        if not batch_kernels_enabled():
             return super().evaluate_values(graph, edge_masks)
+        if self.weights is not None:
+            return st_weighted_distances_batch(
+                graph, edge_masks, self.weights, self.source, self.target
+            )
         return st_distances_batch(graph, edge_masks, self.source, self.target)
 
     def bfs_sources(self, graph: UncertainGraph) -> np.ndarray:

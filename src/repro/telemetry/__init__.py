@@ -25,6 +25,7 @@ from repro.telemetry.tracer import (
     TraceReport,
     Tracer,
     activate,
+    activate_local,
     active,
     enter_child,
     env_enabled,
@@ -53,6 +54,7 @@ __all__ = [
     "env_enabled",
     "active",
     "activate",
+    "activate_local",
     "resolve_tracer",
     "resolve_weights",
     "split",

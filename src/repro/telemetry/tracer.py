@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import platform
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -429,9 +430,28 @@ Tracer = TraceContext
 
 _ACTIVE: Optional[TraceContext] = None
 
+# Sentinel distinguishing "no thread-local override" from "overridden with
+# None" (see repro.audit — the pattern is shared).
+_UNSET = object()
+
+
+class _LocalSlot(threading.local):
+    ctx: Any = _UNSET
+
+
+_LOCAL = _LocalSlot()
+
 
 def active() -> Optional[TraceContext]:
-    """The active trace context, or ``None`` — the hot-path guard."""
+    """The active trace context, or ``None`` — the hot-path guard.
+
+    A thread-local override (:func:`activate_local`) shadows the
+    process-wide context, giving each thread-pool worker its own per-job
+    context while the driver thread keeps the run-level one.
+    """
+    local = _LOCAL.ctx
+    if local is not _UNSET:
+        return local
     return _ACTIVE
 
 
@@ -445,6 +465,21 @@ def activate(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
         yield ctx
     finally:
         _ACTIVE = previous
+
+
+@contextmanager
+def activate_local(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Install ``ctx`` for the current thread only (thread-pool workers).
+
+    Shadows the process-wide context even when ``ctx`` is ``None``, so an
+    untraced worker job never records spans into the driver's context.
+    """
+    previous = _LOCAL.ctx
+    _LOCAL.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _LOCAL.ctx = previous
 
 
 def resolve_tracer(trace: Any, estimator: str = "estimator") -> Optional[TraceContext]:
@@ -492,7 +527,7 @@ def split(
     """
     if counter is not None:
         counter.record_split(len(pis), float(pi0))
-    ctx = _ACTIVE
+    ctx = active()
     if ctx is not None:
         ctx.record_split(
             rng, pis=pis, pi0=pi0, allocations=allocations, n_samples=n_samples
@@ -530,6 +565,7 @@ __all__ = [
     "env_enabled",
     "active",
     "activate",
+    "activate_local",
     "resolve_tracer",
     "split",
     "enter_child",

@@ -1,0 +1,147 @@
+"""Kernel-backend × executor parity matrix.
+
+The dispatch chain's contract is that backend selection is purely a
+performance knob: for a fixed seed every estimator configuration returns a
+bit-identical :class:`EstimateResult` under any kernel backend
+(``scalar``/``numpy``/``native``) combined with any executor (sequential,
+in-process engine, thread pool, process pool).
+
+Two references anchor the matrix, mirroring ``tests/parallel/test_engine.py``:
+the historical sequential path for sequential runs, and the in-process
+engine (``n_workers=1``) for every pool run — the parallel decomposition is
+a different (deterministic) realisation of a stratified estimate, and the
+engine contract is placement invariance *within* it: thread pool, process
+pool, coalesced or not, any backend, all bit-equal to ``n_workers=1``.
+
+The ``native`` column runs the *same function bodies* numba would compile
+(:mod:`repro.native._kernels`): on numba-less interpreters the module
+exposes the undecorated plain-Python twins, and forcing
+``NUMBA_AVAILABLE = True`` routes real dispatch through them — exercising
+the native kernel logic bit-for-bit without the JIT.  Process-pool workers
+re-import :mod:`repro.native` and resolve availability themselves (the
+``REPRO_KERNEL`` environment variable propagates; the monkeypatch does
+not), which is itself part of the contract under test: a worker falling
+back to numpy must not change a single bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+from repro import native as native_module
+from repro.core import (
+    BCSS,
+    BSS1,
+    BSS2,
+    NMC,
+    RCSS,
+    RSS1,
+    RSS2,
+    BFSSelection,
+    FocalSampling,
+)
+from repro.core.antithetic import AntitheticNMC
+from repro.queries.influence import InfluenceQuery
+
+SEED = 20140331
+
+#: The 13 estimator configurations of the acceptance matrix (the trace
+#: matrix of ``test_trace_matrix.py``).
+MATRIX = [
+    NMC(),
+    AntitheticNMC(),
+    FocalSampling(),
+    BCSS(),
+    RCSS(tau_samples=4, tau_edges=2),
+    BSS1(r=3),
+    BSS1(r=3, selection=BFSSelection()),
+    RSS1(r=2, tau=5),
+    RSS1(r=2, tau=5, selection=BFSSelection()),
+    BSS2(r=4),
+    BSS2(r=4, selection=BFSSelection()),
+    RSS2(r=3, tau=5),
+    RSS2(r=3, tau=5, selection=BFSSelection()),
+]
+
+BACKENDS = ("scalar", "numpy", "native")
+
+
+def _fingerprint(result):
+    return (result.value, result.numerator, result.denominator, result.n_worlds)
+
+
+def _install_backend(monkeypatch, backend: str) -> None:
+    """Select ``backend`` for this process (and, via env, spawned workers)."""
+    if backend == "native":
+        # Route dispatch through the pure-Python kernel twins: same function
+        # bodies numba compiles, exact by construction.
+        monkeypatch.setattr(native_module, "NUMBA_AVAILABLE", True)
+    monkeypatch.setenv(kernels.KERNEL_ENV, backend)
+
+
+def _reference(graph, estimator, n_samples, n_workers=0):
+    """The canonical numpy result the matrix row must match.
+
+    ``n_workers=0`` is the sequential path (reference for sequential runs);
+    ``n_workers=1`` is the in-process engine (reference for pool runs).
+    """
+    with kernels.use_backend("numpy"):
+        return estimator.estimate(
+            graph, InfluenceQuery(0), n_samples, rng=SEED, n_workers=n_workers
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_backend_parity_sequential(fig1_graph, estimator, backend, monkeypatch):
+    expected = _fingerprint(_reference(fig1_graph, estimator, 300))
+    _install_backend(monkeypatch, backend)
+    assert kernels.active_backend() == backend
+    result = estimator.estimate(fig1_graph, InfluenceQuery(0), 300, rng=SEED)
+    assert _fingerprint(result) == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_backend_parity_thread_pool(fig1_graph, estimator, backend, monkeypatch):
+    expected = _fingerprint(_reference(fig1_graph, estimator, 200, n_workers=1))
+    _install_backend(monkeypatch, backend)
+    result = estimator.estimate(
+        fig1_graph, InfluenceQuery(0), 200, rng=SEED, n_workers=2,
+        backend="thread",
+    )
+    assert _fingerprint(result) == expected
+    assert result.extras["backend"] == "thread"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_backend_parity_thread_pool_coalesced(
+    fig1_graph, estimator, backend, monkeypatch
+):
+    """Coalescing fat tasks must not change a bit either."""
+    expected = _fingerprint(_reference(fig1_graph, estimator, 200, n_workers=1))
+    _install_backend(monkeypatch, backend)
+    result = estimator.estimate(
+        fig1_graph, InfluenceQuery(0), 200, rng=SEED, n_workers=2,
+        backend="thread", min_worlds_per_job=150, audit=True,
+    )
+    assert _fingerprint(result) == expected
+    assert result.extras["n_tasks"] <= result.extras["n_jobs"]
+
+
+# The numpy × process cell is already covered for all 13 configurations by
+# test_trace_matrix.py's pool runs; here the remaining backend columns cross
+# the spawn pool.
+@pytest.mark.parametrize("backend", ("scalar", "native"))
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_backend_parity_process_pool(fig1_graph, estimator, backend, monkeypatch):
+    expected = _fingerprint(_reference(fig1_graph, estimator, 200, n_workers=1))
+    _install_backend(monkeypatch, backend)
+    result = estimator.estimate(
+        fig1_graph, InfluenceQuery(0), 200, rng=SEED, n_workers=2,
+        backend="process",
+    )
+    assert _fingerprint(result) == expected
+    assert result.extras["backend"] == "process"

@@ -1,0 +1,198 @@
+"""Thread-pool execution backend: crash handling, cleanup, coalescing.
+
+Mirrors the spawn-pool failure tests of ``test_engine.py`` for the
+in-process executor: a worker-thread exception must surface as-is in the
+caller, leave no pool threads behind, and a fresh estimate on the same
+estimator must work afterwards.  The thread backend shares the driver's
+graph zero-copy, so instantiating a shared-memory arena would be a bug —
+asserted directly here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import audit
+from repro.audit import AuditContext, AuditError
+from repro.core.nmc import NMC
+from repro.core.rss1 import RSS1
+from repro.errors import EstimatorError
+from repro.parallel.driver import _coalesce, estimate_parallel
+from repro.queries.influence import InfluenceQuery
+
+from tests.parallel.helpers import FailingQuery
+
+SEED = 20140331
+
+
+def _fingerprint(result):
+    return (result.value, result.numerator, result.denominator, result.n_worlds)
+
+
+def _worker_threads():
+    return [
+        t for t in threading.enumerate() if t.name.startswith("repro-worker")
+    ]
+
+
+def test_thread_worker_failure_propagates_and_cleans_up(small_random):
+    query = FailingQuery([0])
+    with pytest.raises(RuntimeError, match="injected worker failure"):
+        NMC().estimate(
+            small_random, query, 300, rng=SEED, n_workers=2, backend="thread"
+        )
+    # The pool is per-call: its shutdown on the error path must not leave
+    # worker threads running...
+    assert _worker_threads() == []
+    # ...and the next estimate builds a fresh pool and succeeds.
+    result = NMC().estimate(
+        small_random, InfluenceQuery([0]), 300, rng=SEED, n_workers=2,
+        backend="thread",
+    )
+    expected = NMC().estimate(
+        small_random, InfluenceQuery([0]), 300, rng=SEED, n_workers=1
+    )
+    assert _fingerprint(result) == _fingerprint(expected)
+
+
+def test_thread_backend_instantiates_no_arena(small_random, monkeypatch):
+    import repro.parallel.driver as driver_module
+
+    class ForbiddenArena:
+        def __init__(self, graph):
+            raise AssertionError("thread backend must not build a graph arena")
+
+    monkeypatch.setattr(driver_module, "GraphArena", ForbiddenArena)
+    result = NMC().estimate(
+        small_random, InfluenceQuery([0]), 300, rng=SEED, n_workers=2,
+        backend="thread",
+    )
+    assert result.extras["backend"] == "thread"
+
+
+def test_unknown_backend_rejected(small_random):
+    query = InfluenceQuery([0])
+    with pytest.raises(EstimatorError, match="unknown parallel backend"):
+        NMC().estimate(small_random, query, 100, rng=SEED, n_workers=2, backend="fork")
+    with pytest.raises(EstimatorError, match="min_worlds_per_job"):
+        estimate_parallel(
+            NMC(), small_random, query, 100, rng=SEED, n_workers=2,
+            min_worlds_per_job=-1,
+        )
+
+
+def test_coalescing_shrinks_task_count_not_the_estimate(small_random):
+    estimator = RSS1(r=3, tau=8)
+    query = InfluenceQuery([0])
+    baseline = estimator.estimate(
+        small_random, query, 400, rng=SEED, n_workers=1, tasks_per_worker=8
+    )
+    fat = estimator.estimate(
+        small_random, query, 400, rng=SEED, n_workers=2, tasks_per_worker=8,
+        backend="thread", min_worlds_per_job=100, audit=True,
+    )
+    assert _fingerprint(fat) == _fingerprint(baseline)
+    assert fat.extras["n_tasks"] < fat.extras["n_jobs"]
+    assert fat.audit.checks["coalesce-budget"] >= 1
+
+
+def test_degenerate_threshold_yields_single_task(small_random):
+    estimator = RSS1(r=3, tau=8)
+    query = InfluenceQuery([0])
+    result = estimator.estimate(
+        small_random, query, 400, rng=SEED, n_workers=2, tasks_per_worker=8,
+        backend="thread", min_worlds_per_job=10**9,
+    )
+    assert result.extras["n_tasks"] == 1
+    expected = estimator.estimate(
+        small_random, query, 400, rng=SEED, n_workers=1, tasks_per_worker=8
+    )
+    assert _fingerprint(result) == _fingerprint(expected)
+
+
+# --------------------------------------------------------------------- #
+# the coalescing primitive and its audit invariant
+# --------------------------------------------------------------------- #
+
+
+class _StubLeaf:
+    class _StubJob:
+        def __init__(self, n_samples):
+            self.n_samples = n_samples
+
+    def __init__(self, n_samples):
+        self.job = self._StubJob(n_samples)
+
+
+def _budgets(groups):
+    return [[leaf.job.n_samples for leaf in group] for group in groups]
+
+
+def test_coalesce_default_is_one_job_per_task():
+    leaves = [_StubLeaf(b) for b in (5, 1, 9)]
+    assert _budgets(_coalesce(leaves, 0)) == [[5], [1], [9]]
+    assert _budgets(_coalesce(leaves, 1)) == [[5], [1], [9]]
+
+
+def test_coalesce_batches_consecutively_and_folds_tail():
+    leaves = [_StubLeaf(b) for b in (40, 70, 10, 20, 80, 5)]
+    # threshold 100: [40, 70] -> 110; [10, 20, 80] -> 110; tail [5] folds back.
+    assert _budgets(_coalesce(leaves, 100)) == [[40, 70], [10, 20, 80, 5]]
+
+
+def test_coalesce_threshold_above_total_gives_one_task():
+    leaves = [_StubLeaf(b) for b in (3, 3, 3)]
+    assert _budgets(_coalesce(leaves, 10**6)) == [[3, 3, 3]]
+
+
+def test_check_coalesce_passes_on_pure_regrouping():
+    ctx = AuditContext("RSSIR")
+    ctx.check_coalesce([[40, 70], [10, 20, 80, 5]], [40, 70, 10, 20, 80, 5])
+    assert ctx.report.checks["coalesce-budget"] == 1
+    assert ctx.report.violations == 0
+
+
+def test_check_coalesce_rejects_empty_group():
+    ctx = AuditContext("RSSIR")
+    with pytest.raises(AuditError, match="empty pool task"):
+        ctx.check_coalesce([[40], [], [70]], [40, 70])
+
+
+def test_check_coalesce_rejects_budget_mutation():
+    ctx = AuditContext("RSSIR")
+    with pytest.raises(AuditError, match="budget not conserved"):
+        ctx.check_coalesce([[40, 70], [10]], [40, 70, 10, 20])
+    with pytest.raises(AuditError, match="budget not conserved"):
+        # Same total, different order: still not a pure regrouping.
+        ctx.check_coalesce([[70, 40]], [40, 70])
+
+
+def test_activate_local_shadows_process_global():
+    outer = AuditContext("NMC")
+    with audit.activate(outer):
+        assert audit.active() is outer
+        with audit.activate_local(None):
+            assert audit.active() is None
+        inner = AuditContext("NMC")
+        with audit.activate_local(inner):
+            assert audit.active() is inner
+        assert audit.active() is outer
+
+
+def test_activate_local_is_per_thread():
+    outer = AuditContext("NMC")
+    seen = {}
+
+    def worker():
+        seen["inside"] = audit.active()
+
+    with audit.activate(outer):
+        with audit.activate_local(None):
+            # The override lives on this thread only: a fresh thread still
+            # sees the process-wide context.
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+    assert seen["inside"] is outer

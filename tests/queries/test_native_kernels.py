@@ -1,0 +1,193 @@
+"""The numba-dialect kernel twins agree bit-for-bit with every other path.
+
+Without numba installed, :mod:`repro.native` exposes the undecorated
+plain-Python kernel functions — the exact bodies ``njit`` would compile —
+so this suite exercises the native kernel logic directly on a numba-less
+interpreter.  The same file also covers the new batched weighted-distance
+entry point and its wiring into :class:`ReliableDistanceQuery`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels, native
+from repro.errors import QueryError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.batch import (
+    _full_words,
+    _world_words,
+    reachable_masks_batch,
+    st_distances_batch,
+    st_weighted_distances_batch,
+)
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.traversal import (
+    reachable_mask,
+    st_distance,
+    st_weighted_distance,
+)
+
+
+def random_case(seed: int):
+    """A random graph, world block, weights, and endpoints."""
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, 30))
+    m = int(gen.integers(1, 90))
+    ends = gen.integers(0, n, size=(m, 2))
+    graph = UncertainGraph(
+        n, ends[:, 0], ends[:, 1], gen.random(m), directed=bool(seed % 2)
+    )
+    n_worlds = int(gen.integers(1, 90))
+    masks = gen.random((n_worlds, m)) < 0.4
+    weights = gen.random(m) + 0.05
+    s = int(gen.integers(0, n))
+    t = int(gen.integers(0, n))
+    return graph, masks, weights, s, t, gen
+
+
+# ---------------------------------------------------------------------- #
+# direct kernel-twin parity (no dispatch involved)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_reachable_words_twin_matches_scalar(seed):
+    graph, masks, _, _, _, gen = random_case(seed)
+    roots = np.unique(gen.integers(0, graph.n_nodes, size=int(gen.integers(1, 4))))
+    n_worlds = masks.shape[0]
+    edge_words = _world_words(graph, masks)
+    adj = graph.adjacency
+    visited = np.zeros((graph.n_nodes, edge_words.shape[1]), dtype=np.uint64)
+    visited[roots] = _full_words(n_worlds)
+    native.reachable_words(
+        adj.indptr, adj.arc_target, adj.arc_edge, edge_words, visited, roots
+    )
+    expected = reachable_masks_batch(graph, masks, roots)  # numpy backend
+    for w in range(n_worlds):
+        row = np.array(
+            [bool(visited[v, w // 64] >> np.uint64(w % 64) & np.uint64(1))
+             for v in range(graph.n_nodes)]
+        )
+        assert np.array_equal(row, expected[w])
+        assert np.array_equal(row, reachable_mask(graph, masks[w], roots))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_st_distance_words_twin_matches_scalar(seed):
+    graph, masks, _, s, t, _ = random_case(seed)
+    if s == t:
+        t = (t + 1) % graph.n_nodes
+    n_worlds = masks.shape[0]
+    edge_words = _world_words(graph, masks)
+    adj = graph.adjacency
+    dist = np.full(n_worlds, np.inf, dtype=np.float64)
+    native.st_distance_words(
+        adj.indptr, adj.arc_target, adj.arc_edge, edge_words, s, t,
+        _full_words(n_worlds), dist,
+    )
+    assert np.array_equal(dist, st_distances_batch(graph, masks, s, t))
+    for w in range(n_worlds):
+        assert dist[w] == st_distance(graph, masks[w], s, t)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_weighted_st_distances_twin_matches_scalar(seed):
+    graph, masks, weights, s, t, _ = random_case(seed)
+    if s == t:
+        t = (t + 1) % graph.n_nodes
+    n_worlds = masks.shape[0]
+    adj = graph.adjacency
+    dist = np.full(n_worlds, np.inf, dtype=np.float64)
+    native.weighted_st_distances(
+        adj.indptr, adj.arc_target, adj.arc_edge, _world_words(graph, masks),
+        weights, s, t, dist,
+    )
+    for w in range(n_worlds):
+        # Bitwise equality: same float64 relaxations, same minimum.
+        assert dist[w] == st_weighted_distance(graph, masks[w], weights, s, t)
+
+
+def test_warmup_runs_twins_and_reports_availability():
+    assert native.warmup() is native.NUMBA_AVAILABLE
+    assert native.warmup() is False  # no numba in the tier-1 environment
+
+
+# ---------------------------------------------------------------------- #
+# the batched weighted-distance entry point
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_weighted_batch_matches_per_world_scalar(seed):
+    graph, masks, weights, s, t, _ = random_case(seed)
+    values = st_weighted_distances_batch(graph, masks, weights, s, t)
+    expected = [
+        st_weighted_distance(graph, masks[w], weights, s, t)
+        for w in range(masks.shape[0])
+    ]
+    assert np.array_equal(values, expected)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_weighted_batch_native_dispatch_bit_identical(seed, monkeypatch):
+    graph, masks, weights, s, t, _ = random_case(seed)
+    baseline = st_weighted_distances_batch(graph, masks, weights, s, t)
+    monkeypatch.setattr(native, "NUMBA_AVAILABLE", True)
+    monkeypatch.setenv(kernels.KERNEL_ENV, "native")
+    assert kernels.active_backend() == "native"
+    assert np.array_equal(
+        st_weighted_distances_batch(graph, masks, weights, s, t), baseline
+    )
+
+
+def test_weighted_batch_source_equals_target(tiny_path):
+    graph = tiny_path
+    masks = np.zeros((4, graph.n_edges), dtype=bool)
+    weights = np.ones(graph.n_edges)
+    assert np.array_equal(
+        st_weighted_distances_batch(graph, masks, weights, 1, 1), np.zeros(4)
+    )
+
+
+def test_weighted_batch_validates_weight_shape(tiny_path):
+    graph = tiny_path
+    masks = np.zeros((2, graph.n_edges), dtype=bool)
+    with pytest.raises(QueryError, match="one float per edge"):
+        st_weighted_distances_batch(
+            graph, masks, np.ones(graph.n_edges + 1), 0, 1
+        )
+
+
+def test_weighted_batch_empty_block(tiny_path):
+    graph = tiny_path
+    masks = np.zeros((0, graph.n_edges), dtype=bool)
+    out = st_weighted_distances_batch(graph, masks, np.ones(graph.n_edges), 0, 1)
+    assert out.shape == (0,)
+
+
+def test_reliable_distance_query_routes_through_weighted_batch(monkeypatch):
+    """The weighted query now uses the batched sweep when kernels are on."""
+    gen = np.random.default_rng(11)
+    n, m = 7, 18
+    ends = gen.integers(0, n, size=(m, 2))
+    graph = UncertainGraph(n, ends[:, 0], ends[:, 1], gen.random(m), directed=True)
+    weights = gen.random(m) + 0.1
+    query = ReliableDistanceQuery(0, n - 1, weights=weights)
+    masks = gen.random((12, m)) < 0.5
+
+    calls = []
+    import repro.queries.distance as distance_module
+
+    real = distance_module.st_weighted_distances_batch
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(distance_module, "st_weighted_distances_batch", spy)
+    values = query.evaluate_values(graph, masks)
+    assert calls  # the batched path served
+    expected = [query.evaluate(graph, masks[w]) for w in range(12)]
+    assert np.array_equal(values, expected)

@@ -1,0 +1,177 @@
+"""The kernel-backend registry: REPRO_KERNEL, dispatch, graceful fallback.
+
+These tests run on a numba-less interpreter (the tier-1 baseline), so the
+``native`` backend's *availability* machinery is exercised both ways: as
+genuinely absent (warn-once fallback to numpy) and as present via a forced
+``NUMBA_AVAILABLE`` (dispatch selects native; the kernels are the exact
+plain-Python twins).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro import native as native_module
+from repro.errors import EstimatorError, ReproError
+from repro.parallel.driver import resolve_backend
+from repro.queries.batch import batch_kernels_enabled, scalar_fallback
+
+
+@pytest.fixture(autouse=True)
+def _reset_warn_state(monkeypatch):
+    """Each test sees a fresh warn-once latch and no forced backend."""
+    monkeypatch.setattr(kernels, "_warned_missing_native", False)
+    monkeypatch.setattr(kernels, "_FORCED", None)
+    monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+
+
+def test_native_unavailable_without_numba():
+    assert native_module.NUMBA_AVAILABLE is False
+    assert native_module.numba_version() is None
+    assert kernels.native_available() is False
+    assert kernels.available_backends() == ("numpy", "scalar")
+
+
+def test_auto_resolves_to_numpy_without_numba():
+    assert kernels.active_backend() == "numpy"
+
+
+def test_auto_resolves_to_native_when_available(monkeypatch):
+    monkeypatch.setattr(native_module, "NUMBA_AVAILABLE", True)
+    assert kernels.available_backends() == ("native", "numpy", "scalar")
+    assert kernels.active_backend() == "native"
+
+
+@pytest.mark.parametrize("value", ["scalar", "numpy", "SCALAR", " numpy "])
+def test_env_selects_backend(monkeypatch, value):
+    monkeypatch.setenv(kernels.KERNEL_ENV, value)
+    assert kernels.active_backend() == value.strip().lower()
+
+
+def test_env_auto_and_empty_follow_auto(monkeypatch):
+    for value in ("auto", ""):
+        monkeypatch.setenv(kernels.KERNEL_ENV, value)
+        assert kernels.active_backend() == "numpy"
+
+
+def test_env_invalid_raises(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "cuda")
+    with pytest.raises(ReproError, match="unknown kernel backend"):
+        kernels.active_backend()
+
+
+def test_env_native_without_numba_warns_once_and_degrades(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "native")
+    with pytest.warns(UserWarning, match="numba is not installed"):
+        assert kernels.active_backend() == "numpy"
+    # The latch: a second resolution stays silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels.active_backend() == "numpy"
+
+
+def test_env_native_with_numba_selected(monkeypatch):
+    monkeypatch.setattr(native_module, "NUMBA_AVAILABLE", True)
+    monkeypatch.setenv(kernels.KERNEL_ENV, "native")
+    assert kernels.active_backend() == "native"
+
+
+def test_use_backend_overrides_env_and_nests(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+    with kernels.use_backend("scalar") as outer:
+        assert outer == "scalar"
+        assert kernels.active_backend() == "scalar"
+        with kernels.use_backend("numpy"):
+            assert kernels.active_backend() == "numpy"
+        assert kernels.active_backend() == "scalar"
+    assert kernels.active_backend() == "numpy"
+
+
+def test_use_backend_invalid_raises():
+    with pytest.raises(ReproError, match="unknown kernel backend"):
+        with kernels.use_backend("gpu"):
+            pass  # pragma: no cover - never reached
+
+
+def test_use_backend_native_degrades_without_numba():
+    with pytest.warns(UserWarning, match="numba is not installed"):
+        with kernels.use_backend("native") as resolved:
+            assert resolved == "numpy"
+            assert kernels.active_backend() == "numpy"
+
+
+def test_scalar_fallback_is_use_backend_scalar():
+    assert batch_kernels_enabled()
+    with scalar_fallback():
+        assert not batch_kernels_enabled()
+        assert kernels.active_backend() == "scalar"
+    assert batch_kernels_enabled()
+
+
+def test_env_scalar_disables_batch_kernels(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "scalar")
+    assert not batch_kernels_enabled()
+
+
+def test_resolve_backend_follows_kernel_backend(monkeypatch):
+    assert resolve_backend("auto") == "process"
+    assert resolve_backend("thread") == "thread"
+    assert resolve_backend("process") == "process"
+    monkeypatch.setattr(native_module, "NUMBA_AVAILABLE", True)
+    assert resolve_backend("auto") == "thread"
+    with pytest.raises(EstimatorError, match="unknown parallel backend"):
+        resolve_backend("fork")
+
+
+# ---------------------------------------------------------------------- #
+# per-thread scratch buffers
+# ---------------------------------------------------------------------- #
+
+
+def test_visited_scratch_shape_and_zeroing():
+    kernels.clear_scratch()
+    buf = kernels.visited_scratch(5, 3)
+    assert buf.shape == (5, 3)
+    assert buf.dtype == np.uint64
+    assert not buf.any()
+    buf[...] = np.uint64(7)
+    again = kernels.visited_scratch(5, 3)
+    assert again.base is buf.base or again.base is buf  # reused storage
+    assert not again.any()  # re-zeroed
+    kernels.clear_scratch()
+
+
+def test_visited_scratch_grows_monotonically():
+    kernels.clear_scratch()
+    kernels.visited_scratch(100, 2)
+    kernels.visited_scratch(10, 8)  # fewer rows, more cols
+    backing = kernels._SCRATCH.visited
+    assert backing.shape[0] >= 100 and backing.shape[1] >= 8
+    view = kernels.visited_scratch(100, 8)
+    assert view.shape == (100, 8)
+    kernels.clear_scratch()
+    assert kernels._SCRATCH.visited is None
+
+
+def test_scratch_is_thread_local():
+    import threading
+
+    kernels.clear_scratch()
+    main_buf = kernels.visited_scratch(4, 1)
+    main_buf[...] = np.uint64(1)
+    seen = {}
+
+    def worker():
+        buf = kernels.visited_scratch(4, 1)
+        seen["is_main"] = buf.base is main_buf.base
+        kernels.clear_scratch()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert seen["is_main"] is False
+    kernels.clear_scratch()
