@@ -79,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
         "estimates with tracing off and on (CI gates on the trace-off "
         "overhead staying under 2%%)",
     )
+    parser.add_argument(
+        "--serving", action="store_true",
+        help="add the multi-query serving sweep: a mixed workload served "
+        "one-at-a-time by cold sequential NMC calls vs concurrently by a "
+        "warm serving engine (estimates asserted bit-identical)",
+    )
+    parser.add_argument(
+        "--serving-queries", type=int, default=64, metavar="N",
+        help="concurrent query count for the serving sweep (default: 64)",
+    )
     return parser
 
 
@@ -112,6 +122,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.scale <= 0:
         print("repro-bench: --scale must be positive", file=sys.stderr)
         return 2
+    if args.serving_queries <= 0:
+        print("repro-bench: --serving-queries must be positive", file=sys.stderr)
+        return 2
     try:
         run_benchmarks(
             graph_name=args.graph,
@@ -125,6 +138,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             backends=args.backends,
             audit_check=args.audit_check,
             trace_check=args.trace_check,
+            serving=args.serving,
+            serving_queries=args.serving_queries,
         )
     except ReproError as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)

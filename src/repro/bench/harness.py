@@ -97,6 +97,11 @@ class BenchRecord:
     backend: Optional[str] = None
     executor: Optional[str] = None
     speedup_vs_numpy: Optional[float] = None
+    queries_per_sec: Optional[float] = None
+    cache_hit_rate: Optional[float] = None
+    batch_size_mean: Optional[float] = None
+    n_queries: Optional[int] = None
+    speedup_vs_sequential: Optional[float] = None
 
     def to_dict(self) -> dict:
         out = {
@@ -111,7 +116,8 @@ class BenchRecord:
         optional = (
             "speedup_vs_scalar", "n_workers", "value", "speedup_vs_1worker",
             "audit_overhead_pct", "trace_overhead_pct", "backend", "executor",
-            "speedup_vs_numpy",
+            "speedup_vs_numpy", "queries_per_sec", "cache_hit_rate",
+            "batch_size_mean", "n_queries", "speedup_vs_sequential",
         )
         for field in optional:
             value = getattr(self, field)
@@ -423,6 +429,8 @@ def run_benchmarks(
     backends: bool = False,
     audit_check: bool = False,
     trace_check: bool = False,
+    serving: bool = False,
+    serving_queries: int = 64,
     log: Callable[[str], None] = print,
 ) -> dict:
     """Run the traversal micro-benchmarks; return (and optionally write) the payload.
@@ -438,7 +446,13 @@ def run_benchmarks(
     audit-overhead kernels (min-of-repeats NMC influence estimates with
     auditing off and on) — CI gates on the audit-off overhead staying under
     2%.  ``trace_check`` is the same protocol for the telemetry layer
-    (``trace_overhead_pct``, gated the same way).
+    (``trace_overhead_pct``, gated the same way).  ``serving`` adds the
+    multi-query serving sweep (:func:`repro.serving.bench.bench_serving`):
+    a mixed ``serving_queries``-query workload evaluated one-at-a-time by
+    cold sequential NMC calls versus concurrently by a warm
+    :class:`~repro.serving.engine.ServingEngine`, with engine estimates
+    asserted bit-identical to the sequential ones before throughput is
+    recorded.
     """
     if graph_name not in GRAPHS:
         raise ReproError(f"unknown benchmark graph {graph_name!r}; choose from {sorted(GRAPHS)}")
@@ -527,6 +541,23 @@ def run_benchmarks(
             repeats=3 if smoke else 5,
         )
 
+    if serving:
+        from repro.serving.bench import bench_serving
+
+        # The serving sweep runs its own fixed workload graph rather than
+        # the harness scale axis: the protocol compares serving modes at a
+        # size where both the sampling and the sweeps do real work, and the
+        # reported speedup is a property of the engine, not of the chosen
+        # --scale.  Smoke keeps the same shape at toy size.
+        serving_scale = 0.02 if smoke else 0.2
+        serving_worlds = min(n_worlds, 32 if smoke else 600)
+        serving_graph = GRAPHS["facebook"](scale=serving_scale)
+        bench_serving(
+            records, serving_graph, f"facebook@{serving_scale:g}",
+            serving_worlds, seed, n_queries=serving_queries,
+            repeats=2 if smoke else 3, log=log,
+        )
+
     payload = {
         "version": 1,
         "generated_by": "repro-bench",
@@ -544,6 +575,8 @@ def run_benchmarks(
             "native_available": repro_kernels.native_available(),
             "audit_check": audit_check,
             "trace_check": trace_check,
+            "serving": serving,
+            "serving_queries": serving_queries if serving else None,
             "python": platform.python_version(),
             "numpy": np.__version__,
         },

@@ -9,7 +9,8 @@ and threads.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,7 +53,10 @@ class UncertainGraph:
     (5, 8)
     """
 
-    __slots__ = ("n_nodes", "src", "dst", "prob", "directed", "_adj", "_radj")
+    __slots__ = (
+        "n_nodes", "src", "dst", "prob", "directed", "_adj", "_radj",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -75,6 +79,7 @@ class UncertainGraph:
         object.__setattr__(self, "directed", bool(directed))
         object.__setattr__(self, "_adj", build_csr(n_nodes, src, dst, directed))
         object.__setattr__(self, "_radj", None)
+        object.__setattr__(self, "_fingerprint", None)
 
     def __setattr__(self, name, value):  # noqa: D105 - immutability guard
         raise AttributeError("UncertainGraph is immutable")
@@ -109,6 +114,7 @@ class UncertainGraph:
         prob: np.ndarray,
         directed: bool,
         adjacency: CsrAdjacency,
+        fingerprint: Optional[str] = None,
     ) -> "UncertainGraph":
         """Reassemble a graph from prebuilt arrays without copying or validating.
 
@@ -117,7 +123,9 @@ class UncertainGraph:
         per-edge validation and the ``O(m log m)`` CSR construction of
         ``__init__`` must not run again.  The caller guarantees the arrays
         are consistent (they came out of a constructed graph) and treats
-        them as read-only.
+        them as read-only.  When the source graph's content
+        :meth:`fingerprint` is already known it can be passed through, so the
+        attached copy never recomputes the hash.
         """
         self = object.__new__(cls)
         object.__setattr__(self, "n_nodes", int(n_nodes))
@@ -127,6 +135,7 @@ class UncertainGraph:
         object.__setattr__(self, "directed", bool(directed))
         object.__setattr__(self, "_adj", adjacency)
         object.__setattr__(self, "_radj", None)
+        object.__setattr__(self, "_fingerprint", fingerprint)
         return self
 
     @classmethod
@@ -233,6 +242,32 @@ class UncertainGraph:
             return 0.0
         factor = 1 if self.directed else 2
         return float(self.prob.sum() * factor / self.n_nodes)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (nodes, CSR arrays, probabilities).
+
+        Two graphs have the same fingerprint iff they have the same node
+        count, directedness, edge arrays (id order included) and edge
+        probabilities — i.e. iff they compare ``==``.  The hash is computed
+        lazily on first use and cached on the instance (content never changes:
+        the graph is immutable).  It keys everything that must survive object
+        identity: the world-block cache of :mod:`repro.serving`, shared-memory
+        arena attachments, and the ``sample_world`` statuses/graph
+        consistency check.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                f"v1|{self.n_nodes}|{self.n_edges}|{int(self.directed)}|".encode()
+            )
+            adj = self._adj
+            for arr in (
+                self.src, self.dst, self.prob,
+                adj.indptr, adj.arc_target, adj.arc_edge,
+            ):
+                digest.update(np.ascontiguousarray(arr).tobytes())
+            object.__setattr__(self, "_fingerprint", digest.hexdigest())
+        return self._fingerprint
 
     def world_probability(self, edge_mask: np.ndarray) -> float:
         """Probability of the possible world selected by ``edge_mask`` (Eq. 1)."""

@@ -139,10 +139,11 @@ def sample_world(
     """Sample a single :class:`PossibleWorld` (user-facing convenience)."""
     if statuses is None:
         statuses = EdgeStatuses(graph)
-    elif statuses.graph is not graph:
-        # Identity only: structural equality on an UncertainGraph is an O(m)
-        # array compare, and "equal but distinct" graphs almost always signal
-        # a caller bug (statuses index into *this* graph's edge array).
+    elif statuses.graph is not graph and statuses.graph.fingerprint() != graph.fingerprint():
+        # Identity is the cheap common case; distinct objects with the same
+        # content fingerprint (e.g. a zero-copy arena attachment of this very
+        # graph) are equally valid — the statuses index into an identical
+        # edge array.  Only a genuine content mismatch is a caller bug.
         raise EstimatorError("statuses belong to a different graph")
     mask = sample_edge_masks(statuses, 1, rng)[0]
     return PossibleWorld(graph, mask)

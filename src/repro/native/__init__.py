@@ -51,10 +51,14 @@ def numba_version() -> Optional[str]:
 if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
     _jit = _numba.njit(nogil=True, cache=True)
     reachable_words = _jit(py_kernels.reachable_words)
+    grouped_reachable_words = _jit(py_kernels.grouped_reachable_words)
+    grouped_st_distance_words = _jit(py_kernels.grouped_st_distance_words)
     st_distance_words = _jit(py_kernels.st_distance_words)
     weighted_st_distances = _jit(py_kernels.weighted_st_distances)
 else:
     reachable_words = py_kernels.reachable_words
+    grouped_reachable_words = py_kernels.grouped_reachable_words
+    grouped_st_distance_words = py_kernels.grouped_st_distance_words
     st_distance_words = py_kernels.st_distance_words
     weighted_st_distances = py_kernels.weighted_st_distances
 
@@ -75,6 +79,18 @@ def warmup() -> bool:
     visited[0, 0] = np.uint64(1)
     roots = np.asarray([0], dtype=np.int64)
     reachable_words(indptr, arc_target, arc_edge, edge_words, visited, roots)
+    gvisited = np.zeros((2, 2), dtype=np.uint64)
+    gvisited[0, 0] = np.uint64(1)
+    gvisited[0, 1] = np.uint64(1)
+    grouped_reachable_words(
+        indptr, arc_target, arc_edge, edge_words, gvisited, roots, 1
+    )
+    gdist = np.full((1, 1), np.inf, dtype=np.float64)
+    grouped_st_distance_words(
+        indptr, arc_target, arc_edge, edge_words,
+        np.asarray([0], dtype=np.int64), np.asarray([1], dtype=np.int64),
+        full, 1, gdist,
+    )
     dist = np.full(1, np.inf, dtype=np.float64)
     st_distance_words(indptr, arc_target, arc_edge, edge_words, 0, 1, full, dist)
     wdist = np.full(1, np.inf, dtype=np.float64)
@@ -89,6 +105,8 @@ __all__ = [
     "NUMBA_AVAILABLE",
     "numba_version",
     "reachable_words",
+    "grouped_reachable_words",
+    "grouped_st_distance_words",
     "st_distance_words",
     "weighted_st_distances",
     "warmup",

@@ -89,6 +89,158 @@ def reachable_words(indptr, arc_target, arc_edge, edge_words, visited, roots):
     return visited
 
 
+def grouped_reachable_words(
+    indptr, arc_target, arc_edge, edge_words, visited, roots, words_per_group
+):
+    """Multi-group reachability fixpoint over one shared world block.
+
+    ``visited`` is ``(n_nodes, G * words_per_group)``: query group ``g``
+    owns word-lane columns ``[g*nw, (g+1)*nw)``, and the caller seeds each
+    group's root rows with the all-worlds vector in that group's lane only.
+    Word column ``k`` consults ``edge_words[e, k % words_per_group]`` — the
+    same block serves every group, which is the sweep-reuse amortisation of
+    the serving engine.  ``roots`` is the union of all group roots.  Each
+    lane's fixpoint is bit-identical to a solo :func:`reachable_words` run.
+    """
+    n_nodes = visited.shape[0]
+    n_words = visited.shape[1]
+    zero = np.uint64(0)
+    front_cur = np.zeros((n_nodes, n_words), np.uint64)
+    front_nxt = np.zeros((n_nodes, n_words), np.uint64)
+    cur = np.empty(n_nodes, np.int64)
+    nxt = np.empty(n_nodes, np.int64)
+    queued = np.zeros(n_nodes, np.uint8)
+    n_cur = roots.shape[0]
+    for i in range(n_cur):
+        r = roots[i]
+        cur[i] = r
+        for k in range(n_words):
+            front_cur[r, k] = visited[r, k]
+    while n_cur > 0:
+        n_nxt = 0
+        for i in range(n_cur):
+            u = cur[i]
+            for a in range(indptr[u], indptr[u + 1]):
+                v = arc_target[a]
+                e = arc_edge[a]
+                for k in range(n_words):
+                    ew = edge_words[e, k % words_per_group]
+                    fresh = (front_cur[u, k] & ew) & ~visited[v, k]
+                    if fresh != zero:
+                        visited[v, k] = visited[v, k] | fresh
+                        if queued[v] == 0:
+                            queued[v] = 1
+                            nxt[n_nxt] = v
+                            n_nxt += 1
+                            for j in range(n_words):
+                                front_nxt[v, j] = zero
+                        front_nxt[v, k] = front_nxt[v, k] | fresh
+        for i in range(n_nxt):
+            queued[nxt[i]] = 0
+        tmp = cur
+        cur = nxt
+        nxt = tmp
+        tmpf = front_cur
+        front_cur = front_nxt
+        front_nxt = tmpf
+        n_cur = n_nxt
+    return visited
+
+
+def grouped_st_distance_words(
+    indptr, arc_target, arc_edge, edge_words, sources, targets, full,
+    words_per_group, dist
+):
+    """Per-world hop distances for ``G`` ``(source, target)`` pairs at once.
+
+    Lane layout as in :func:`grouped_reachable_words`: group ``g`` owns word
+    columns ``[g*nw, (g+1)*nw)``; ``dist`` is ``(G, n_worlds)`` filled with
+    ``inf`` on entry and receives the BFS level at which each group's sweep
+    first reaches its target.  Answered worlds are retired from their own
+    group's lane only (the per-lane ``done`` words); a group's target keeps
+    propagating in every *other* group's lane.  Callers must exclude
+    ``source == target`` pairs (their distance is identically zero).
+    """
+    n_nodes = indptr.shape[0] - 1
+    n_groups = sources.shape[0]
+    n_words = n_groups * words_per_group
+    zero = np.uint64(0)
+    one = np.uint64(1)
+    visited = np.zeros((n_nodes, n_words), np.uint64)
+    front_cur = np.zeros((n_nodes, n_words), np.uint64)
+    front_nxt = np.zeros((n_nodes, n_words), np.uint64)
+    done = np.zeros(n_words, np.uint64)
+    cur = np.empty(n_nodes, np.int64)
+    nxt = np.empty(n_nodes, np.int64)
+    queued = np.zeros(n_nodes, np.uint8)
+    n_cur = 0
+    for g in range(n_groups):
+        s = sources[g]
+        for k in range(words_per_group):
+            visited[s, g * words_per_group + k] = full[k]
+        if queued[s] == 0:
+            queued[s] = 1
+            cur[n_cur] = s
+            n_cur += 1
+    for i in range(n_cur):
+        r = cur[i]
+        queued[r] = 0
+        for k in range(n_words):
+            front_cur[r, k] = visited[r, k]
+    level = 0
+    while n_cur > 0:
+        level += 1
+        n_nxt = 0
+        for i in range(n_cur):
+            u = cur[i]
+            for a in range(indptr[u], indptr[u + 1]):
+                v = arc_target[a]
+                e = arc_edge[a]
+                for k in range(n_words):
+                    g = k // words_per_group
+                    kw = k - g * words_per_group
+                    fresh = (
+                        (front_cur[u, k] & edge_words[e, kw])
+                        & ~visited[v, k] & ~done[k]
+                    )
+                    if fresh == zero:
+                        continue
+                    visited[v, k] = visited[v, k] | fresh
+                    if v == targets[g]:
+                        done[k] = done[k] | fresh
+                        word = fresh
+                        b = 0
+                        while word != zero:
+                            if word & one != zero:
+                                dist[g, kw * 64 + b] = level
+                            word = word >> one
+                            b += 1
+                    else:
+                        if queued[v] == 0:
+                            queued[v] = 1
+                            nxt[n_nxt] = v
+                            for j in range(n_words):
+                                front_nxt[v, j] = zero
+                            n_nxt += 1
+                        front_nxt[v, k] = front_nxt[v, k] | fresh
+        all_done = True
+        for k in range(n_words):
+            if done[k] != full[k - (k // words_per_group) * words_per_group]:
+                all_done = False
+        if all_done:
+            break
+        for i in range(n_nxt):
+            queued[nxt[i]] = 0
+        tmp = cur
+        cur = nxt
+        nxt = tmp
+        tmpf = front_cur
+        front_cur = front_nxt
+        front_nxt = tmpf
+        n_cur = n_nxt
+    return dist
+
+
 def st_distance_words(indptr, arc_target, arc_edge, edge_words, source, target, full, dist):
     """Per-world ``s -> t`` hop distance over a packed world block (in-place).
 
@@ -256,4 +408,10 @@ def weighted_st_distances(
     return dist
 
 
-__all__ = ["reachable_words", "st_distance_words", "weighted_st_distances"]
+__all__ = [
+    "reachable_words",
+    "grouped_reachable_words",
+    "grouped_st_distance_words",
+    "st_distance_words",
+    "weighted_st_distances",
+]

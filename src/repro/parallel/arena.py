@@ -58,6 +58,7 @@ class ArenaSpec(NamedTuple):
     fields: Tuple[FieldSpec, ...]
     total_bytes: int
     scratch: Dict[str, int]
+    fingerprint: str
 
 
 def _graph_arrays(graph: UncertainGraph):
@@ -119,6 +120,7 @@ class GraphArena:
             fields=tuple(fields),
             total_bytes=offset,
             scratch=_scratch_layout(graph),
+            fingerprint=graph.fingerprint(),
         )
 
     def close(self, unlink: bool = True) -> None:
@@ -192,6 +194,7 @@ def attach_graph(spec: ArenaSpec) -> UncertainGraph:
             arc_target=views["arc_target"],
             arc_edge=views["arc_edge"],
         ),
+        fingerprint=spec.fingerprint,
     )
     # The shm handle must outlive the views; cache both for process lifetime.
     _ATTACHED[spec.name] = (graph, shm)

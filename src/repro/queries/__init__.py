@@ -19,6 +19,8 @@ from repro.queries.batch import (
     scalar_fallback,
     reachable_masks_batch,
     reachable_counts_batch,
+    grouped_reachable_counts_batch,
+    grouped_st_distances_batch,
     st_distances_batch,
     threshold_pairs_batch,
 )
@@ -42,6 +44,8 @@ __all__ = [
     "scalar_fallback",
     "reachable_masks_batch",
     "reachable_counts_batch",
+    "grouped_reachable_counts_batch",
+    "grouped_st_distances_batch",
     "st_distances_batch",
     "threshold_pairs_batch",
     "InfluenceQuery",

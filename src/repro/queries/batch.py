@@ -38,7 +38,7 @@ are bit-identical.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Sequence, Tuple, Union
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -145,6 +145,18 @@ def _expand_level(
     matrix.  Returns ``(heads, reached)``: the sorted unique head nodes one
     hop out and the ``(heads.size, n_words)`` words of worlds reaching each
     head through at least one present arc.
+
+    The whole level is one fused round: a single stable sort of the gathered
+    arcs by head node orders the fire matrix for ``reduceat``, the group
+    boundaries fall out of a neighbour diff, and the frontier row of each
+    arc is the repeat of its ``active`` row index (no second sort inside
+    ``np.unique``, no per-arc ``searchsorted``).
+
+    When ``frontier`` is a whole multiple of ``edge_words`` in width —
+    ``G`` independent *query groups* laid out lane-after-lane, group ``g``
+    occupying word columns ``[g*nw, (g+1)*nw)`` — each edge word is
+    broadcast across the ``G`` lanes, so one sweep advances every group at
+    once (the multi-source serving path).
     """
     adj = graph.adjacency
     starts = adj.indptr[active]
@@ -153,16 +165,24 @@ def _expand_level(
     if arcs.size == 0:
         empty = np.empty((0, frontier.shape[1]), dtype=np.uint64)
         return np.empty(0, dtype=np.int64), empty
-    tails = np.repeat(active, ends - starts)
-    order = np.argsort(adj.arc_target[arcs], kind="stable")
-    arcs = arcs[order]
-    tails = tails[order]
+    tail_rows = np.repeat(np.arange(active.size, dtype=np.int64), ends - starts)
     heads = adj.arc_target[arcs]
-    uniq_heads, first = np.unique(heads, return_index=True)
-    tail_rows = np.searchsorted(active, tails)
-    fires = frontier[tail_rows] & edge_words[adj.arc_edge[arcs]]
+    order = np.argsort(heads, kind="stable")
+    arcs = arcs[order]
+    heads = heads[order]
+    tail_rows = tail_rows[order]
+    first = np.concatenate(([0], np.flatnonzero(heads[1:] != heads[:-1]) + 1))
+    arc_words = edge_words[adj.arc_edge[arcs]]
+    n_words = frontier.shape[1]
+    fires = frontier[tail_rows]
+    if n_words != arc_words.shape[1]:
+        lanes = n_words // arc_words.shape[1]
+        lanes_view = fires.reshape(arcs.size, lanes, -1)
+        np.bitwise_and(lanes_view, arc_words[:, None, :], out=lanes_view)
+    else:
+        np.bitwise_and(fires, arc_words, out=fires)
     reached = np.bitwise_or.reduceat(fires, first, axis=0)
-    return uniq_heads, reached
+    return heads[first], reached
 
 
 def _reachable_words(
@@ -249,6 +269,219 @@ def reachable_counts_batch(
     if not include_sources:
         counts -= roots.size
     return counts
+
+
+def _grouped_reachable_words(
+    graph: UncertainGraph,
+    edge_words: np.ndarray,
+    n_worlds: int,
+    groups: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Multi-group bit-parallel reachability: ``(n_nodes, G * nw)`` words.
+
+    Each *group* is an independent root set (one serving query); group ``g``
+    owns word-lane columns ``[g*nw, (g+1)*nw)`` of the visited matrix, where
+    ``nw = edge_words.shape[1]``.  One level-synchronous sweep advances
+    every group simultaneously over the *same* world block — the sweep-reuse
+    amortisation of the serving engine.  Each group's lane is bit-identical
+    to a solo :func:`_reachable_words` run with the same roots, because the
+    per-lane fixpoint never mixes lanes.
+    """
+    nw = edge_words.shape[1]
+    n_words = len(groups) * nw
+    visited = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
+    if n_worlds == 0 or not groups:
+        return visited
+    all_worlds = _full_words(n_worlds)
+    for g, roots in enumerate(groups):
+        visited[roots, g * nw : (g + 1) * nw] = all_worlds
+    union = np.unique(np.concatenate(groups))
+    if _native_dispatch():
+        from repro import native
+
+        adj = graph.adjacency
+        native.grouped_reachable_words(
+            adj.indptr, adj.arc_target, adj.arc_edge, edge_words, visited,
+            union, nw,
+        )
+        return visited
+    active = union
+    live = np.arange(len(groups), dtype=np.int64)
+    frontier = visited[active].copy()
+    while active.size and live.size:
+        heads, reached = _expand_level(graph, edge_words, active, frontier)
+        if heads.size == 0:
+            break
+        if live.size == len(groups):
+            cols = None
+            fresh = reached & ~visited[heads]
+        else:
+            cols = (live[:, None] * nw + np.arange(nw, dtype=np.int64)).ravel()
+            fresh = reached & ~visited[np.ix_(heads, cols)]
+        keep = np.flatnonzero(fresh.any(axis=1))
+        if keep.size == 0:
+            break
+        active = heads[keep]
+        frontier = fresh[keep]
+        if cols is None:
+            visited[active] |= frontier
+        else:
+            visited[np.ix_(active, cols)] |= frontier
+        # Lane pruning: a group whose frontier is empty has reached its
+        # fixpoint — its lanes can never flip another visited bit, so drop
+        # them from the working width.  Pure compute skipping: bit-identical.
+        g_live = frontier.reshape(active.size, live.size, nw).any(axis=(0, 2))
+        if not g_live.all():
+            live = live[g_live]
+            if live.size == 0:
+                break
+            frontier = frontier.reshape(active.size, -1, nw)[:, g_live, :]
+            frontier = frontier.reshape(active.size, -1)
+            rows = np.flatnonzero(frontier.any(axis=1))
+            if rows.size < active.size:
+                active = active[rows]
+                frontier = frontier[rows]
+    return visited
+
+
+def grouped_reachable_counts_batch(
+    graph: UncertainGraph,
+    masks: np.ndarray,
+    source_groups: Sequence[Union[int, Sequence[int]]],
+    include_sources: bool = False,
+    *,
+    edge_words: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-world reachable counts for ``G`` source sets in one sweep.
+
+    Returns ``(G, W)`` ``int64``; row ``g`` equals
+    ``reachable_counts_batch(graph, masks, source_groups[g],
+    include_sources)`` bit for bit, but all groups share one frontier sweep
+    over the block (the multi-source serving kernel).  ``edge_words`` may
+    carry the precomputed per-edge world words of ``masks`` (the serving
+    engine computes them once per block and shares them across kernels);
+    when given it must equal ``_world_words(graph, masks)``.
+    """
+    masks = as_mask_block(graph, masks)
+    n_worlds = masks.shape[0]
+    groups = [np.unique(_as_sources(s)) for s in source_groups]
+    counts = np.zeros((len(groups), n_worlds), dtype=np.int64)
+    if not groups or n_worlds == 0:
+        return counts
+    if edge_words is None:
+        edge_words = _world_words(graph, masks)
+    nw = edge_words.shape[1]
+    visited = _grouped_reachable_words(graph, edge_words, n_worlds, groups)
+    for g, roots in enumerate(groups):
+        lane = visited[:, g * nw : (g + 1) * nw]
+        counts[g] = unpack_masks(lane, n_worlds).sum(axis=0, dtype=np.int64)
+        if not include_sources:
+            counts[g] -= roots.size
+    return counts
+
+
+def grouped_st_distances_batch(
+    graph: UncertainGraph,
+    masks: np.ndarray,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    edge_words: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-world hop distances for ``G`` ``(source, target)`` pairs at once.
+
+    Returns ``(G, W)`` ``float64`` (``inf`` when unreachable); row ``g``
+    equals ``st_distances_batch(graph, masks, *pairs[g])`` bit for bit, with
+    all pairs advanced by one shared sweep per level.  Worlds whose answer
+    is determined are retired from their group's lane only.  ``edge_words``
+    follows :func:`grouped_reachable_counts_batch`: optionally the
+    precomputed per-edge world words of ``masks``, shared across kernels.
+    """
+    masks = as_mask_block(graph, masks)
+    n_worlds = masks.shape[0]
+    pairs = [(int(s), int(t)) for s, t in pairs]
+    dist = np.full((len(pairs), n_worlds), INF, dtype=np.float64)
+    for g, (s, t) in enumerate(pairs):
+        if s == t:
+            dist[g] = 0.0
+    live = [g for g, (s, t) in enumerate(pairs) if s != t]
+    if not live or n_worlds == 0:
+        return dist
+    if edge_words is None:
+        edge_words = _world_words(graph, masks)
+    nw = edge_words.shape[1]
+    n_words = len(live) * nw
+    all_worlds = _full_words(n_worlds)
+    sources = np.asarray([pairs[g][0] for g in live], dtype=np.int64)
+    targets = np.asarray([pairs[g][1] for g in live], dtype=np.int64)
+    if _native_dispatch():
+        from repro import native
+
+        adj = graph.adjacency
+        out = np.full((len(live), n_worlds), INF, dtype=np.float64)
+        native.grouped_st_distance_words(
+            adj.indptr, adj.arc_target, adj.arc_edge, edge_words,
+            sources, targets, all_worlds, nw, out,
+        )
+        dist[live] = out
+        return dist
+    live_idx = np.asarray(live, dtype=np.int64)
+    visited = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
+    for i in range(live_idx.size):
+        visited[sources[i], i * nw : (i + 1) * nw] = all_worlds
+    active = np.unique(sources)
+    frontier = visited[active].copy()
+    done = np.zeros(n_words, dtype=np.uint64)
+    full_lanes = np.tile(all_worlds, live_idx.size)
+    level = 0
+    while active.size and live_idx.size:
+        level += 1
+        heads, reached = _expand_level(graph, edge_words, active, frontier)
+        if heads.size == 0:
+            break
+        fresh = reached & ~visited[heads]
+        any_hit = False
+        for i in range(live_idx.size):
+            t_row = np.searchsorted(heads, targets[i])
+            if t_row < heads.size and heads[t_row] == targets[i]:
+                cols = slice(i * nw, (i + 1) * nw)
+                hit = fresh[t_row, cols] & ~done[cols]
+                if hit.any():
+                    dist[live_idx[i], _unpack_world_bits(hit, n_worlds)] = float(level)
+                    done[cols] |= hit
+                    any_hit = True
+        if any_hit:
+            if (done == full_lanes).all():
+                break
+            fresh &= ~done
+        keep = np.flatnonzero(fresh.any(axis=1))
+        if keep.size == 0:
+            break
+        active = heads[keep]
+        frontier = fresh[keep]
+        visited[active] |= frontier
+        # Lane pruning: a pair whose frontier lanes are all empty (answered
+        # worlds retired by ``done``, the rest exhausted) can make no
+        # further progress — drop its lanes from every working array so
+        # surviving pairs stop paying for it.  Pure compute skipping.
+        g_live = frontier.reshape(active.size, live_idx.size, nw).any(axis=(0, 2))
+        if not g_live.all():
+            live_idx = live_idx[g_live]
+            if live_idx.size == 0:
+                break
+            targets = targets[g_live]
+            visited = np.ascontiguousarray(
+                visited.reshape(graph.n_nodes, -1, nw)[:, g_live, :]
+            ).reshape(graph.n_nodes, -1)
+            frontier = np.ascontiguousarray(
+                frontier.reshape(active.size, -1, nw)[:, g_live, :]
+            ).reshape(active.size, -1)
+            done = done.reshape(-1, nw)[g_live].ravel()
+            full_lanes = np.tile(all_worlds, live_idx.size)
+            rows = np.flatnonzero(frontier.any(axis=1))
+            if rows.size < active.size:
+                active = active[rows]
+                frontier = frontier[rows]
+    return dist
 
 
 def st_distances_batch(
@@ -393,6 +626,8 @@ __all__ = [
     "as_mask_block",
     "reachable_masks_batch",
     "reachable_counts_batch",
+    "grouped_reachable_counts_batch",
+    "grouped_st_distances_batch",
     "st_distances_batch",
     "st_weighted_distances_batch",
     "threshold_pairs_batch",

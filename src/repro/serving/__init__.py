@@ -1,0 +1,34 @@
+"""Multi-query serving: resident graphs, micro-batches, world-block cache.
+
+The one-shot API (:meth:`Estimator.estimate`) rebuilds everything per call:
+the graph is passed in, worlds are sampled fresh, and each query sweeps its
+own frontier.  This package hosts the long-lived alternative — a
+:class:`ServingEngine` whose registered graphs stay resident in
+shared-memory arenas, whose sampled world blocks are cached by
+``(fingerprint, seed, stratum path)``, and whose concurrent queries are
+micro-batched so one grouped frontier sweep serves many query sources at
+once.  Results remain bit-identical to the sequential estimator at the
+same seed.
+"""
+
+from repro.serving.batcher import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_S, MicroBatcher
+from repro.serving.cache import (
+    CacheStats,
+    DEFAULT_CACHE_BYTES,
+    WorldBlockCache,
+    block_plan,
+)
+from repro.serving.engine import ServingEngine, ServingMetrics, Span
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_WAIT_S",
+    "MicroBatcher",
+    "ServingEngine",
+    "ServingMetrics",
+    "Span",
+    "WorldBlockCache",
+    "block_plan",
+]

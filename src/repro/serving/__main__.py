@@ -1,0 +1,8 @@
+"""``python -m repro.serving`` — alias of the ``repro-serve`` entry point."""
+
+import sys
+
+from repro.serving.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Micro-batch admission: gather concurrent queries into one sweep's worth.
+
+The serving engine's throughput comes from evaluating many query sources
+against the *same* sampled world block in one grouped frontier sweep.  The
+batcher is the admission valve that makes those groups exist: requests
+arrive on a thread-safe queue, and :meth:`MicroBatcher.next_batch` blocks
+for the first one, then keeps gathering until either ``max_batch`` requests
+are in hand or ``max_wait`` seconds have passed since the first arrival.
+
+A lone query therefore pays at most ``max_wait`` extra latency (and nothing
+at all once the queue is closed or drained), while a burst of 64 concurrent
+queries lands in one batch and shares one sweep.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any, List, Optional
+
+#: Default batch-formation window after the first request, in seconds.
+DEFAULT_MAX_WAIT_S = 0.002
+
+#: Default batch size cap.
+DEFAULT_MAX_BATCH = 64
+
+#: Queue sentinel signalling shutdown.
+_CLOSED = object()
+
+
+class MicroBatcher:
+    """Bounded-window request gatherer feeding the dispatch loop."""
+
+    def __init__(
+        self,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait: float = DEFAULT_MAX_WAIT_S,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._closed = False
+
+    def submit(self, item: Any) -> None:
+        """Enqueue one request (any object; the engine enqueues its own)."""
+        self._queue.put(item)
+
+    def close(self) -> None:
+        """Stop admission: pending items still drain, then batches end."""
+        self._closed = True
+        self._queue.put(_CLOSED)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def next_batch(self) -> Optional[List[Any]]:
+        """Block for the next batch; ``None`` once closed and drained.
+
+        Waits indefinitely for the first item, then gathers without
+        blocking past ``max_wait`` seconds after that first arrival, up to
+        ``max_batch`` items.  The shutdown sentinel ends the current batch
+        immediately and is re-queued so every consumer (and the final
+        drain) sees it.
+        """
+        first = self._queue.get()
+        if first is _CLOSED:
+            self._queue.put(_CLOSED)
+            return None
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _CLOSED:
+                self._queue.put(_CLOSED)
+                break
+            batch.append(item)
+        return batch
+
+
+__all__ = ["DEFAULT_MAX_BATCH", "DEFAULT_MAX_WAIT_S", "MicroBatcher"]

@@ -1,0 +1,184 @@
+"""Serving benchmark: 1 query at a time vs 64 concurrent, fixed accuracy.
+
+The protocol behind the ``serving_*`` records of ``BENCH_traversal.json``
+(and the ``repro-serve`` entry point):
+
+* ``serving_sequential_1q`` — the baseline a client gets today: each query
+  of a mixed workload evaluated by a fresh sequential
+  ``NMC().estimate(graph, query, W, rng=seed)`` call, one at a time.
+  Every call resamples its worlds and sweeps its own frontier.
+* ``serving_engine_<n>q`` — the same workload submitted concurrently to a
+  warm :class:`~repro.serving.engine.ServingEngine`: the cache already
+  holds the world block for ``(fingerprint, seed)``, so the batch skips
+  sampling entirely and rides grouped frontier sweeps.
+
+Both passes use the same ``n_samples`` and seed, so *accuracy is fixed by
+construction*: the engine's estimates are asserted **bit-identical** to the
+sequential ones before any throughput number is recorded — the speedup is
+never bought with a different answer.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, List
+
+from repro.core.nmc import NMC
+from repro.core.result import EstimateResult
+from repro.errors import ReproError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.base import Comparison, Query
+from repro.queries.distance import ReliableDistanceQuery, ThresholdDistanceQuery
+from repro.queries.influence import InfluenceQuery, ThresholdInfluenceQuery
+from repro.serving.engine import ServingEngine
+
+import numpy as np
+
+
+def build_workload(graph: UncertainGraph, n_queries: int = 64) -> List[Query]:
+    """A deterministic mixed workload over the graph's high-degree nodes.
+
+    Round-robins the four bench query shapes — influence, reliable
+    distance, threshold influence, threshold distance — anchored at
+    distinct high-out-degree nodes so the sweeps do real work.  Pure
+    function of ``(graph, n_queries)``; no RNG.
+    """
+    if n_queries < 1:
+        raise ReproError("serving workload needs at least one query")
+    degrees = np.diff(graph.adjacency.indptr)
+    order = np.argsort(degrees, kind="stable")[::-1]
+    anchors = [int(v) for v in order]
+
+    def anchor(i: int) -> int:
+        return anchors[i % len(anchors)]
+
+    queries: List[Query] = []
+    for i in range(n_queries):
+        source = anchor(i)
+        target = anchor(i + 1)
+        if target == source:
+            target = anchor(i + 2)
+        kind = i % 4
+        if kind == 0:
+            queries.append(InfluenceQuery(source))
+        elif kind == 1:
+            queries.append(ReliableDistanceQuery(source, target))
+        elif kind == 2:
+            queries.append(
+                ThresholdInfluenceQuery(source, threshold=1.0, comparison=Comparison.GE)
+            )
+        else:
+            queries.append(
+                ThresholdDistanceQuery(source, target, threshold=3.0)
+            )
+    return queries
+
+
+def results_identical(a: EstimateResult, b: EstimateResult) -> bool:
+    """Bit-level equality of two estimates (NaN-aware on ``value``)."""
+    same_value = a.value == b.value or (
+        math.isnan(a.value) and math.isnan(b.value)
+    )
+    return (
+        same_value
+        and a.numerator == b.numerator
+        and a.denominator == b.denominator
+        and a.n_samples == b.n_samples
+        and a.n_worlds == b.n_worlds
+        and a.estimator == b.estimator
+    )
+
+
+def bench_serving(
+    records: list,
+    graph: UncertainGraph,
+    graph_label: str,
+    n_worlds: int,
+    seed: int,
+    n_queries: int = 64,
+    repeats: int = 3,
+    log: Callable[[str], None] = print,
+) -> None:
+    """Append the serving 1-vs-N records; assert engine/sequential parity.
+
+    ``records`` receives two :class:`~repro.bench.harness.BenchRecord`
+    entries.  Both passes are timed min-of-``repeats`` (the serving host
+    may be a noisy single-core box; the minimum is the least-contended
+    run of each protocol, compared like for like).  Raises
+    :class:`ReproError` if any engine estimate differs from its sequential
+    twin — throughput numbers for wrong answers are worthless.
+    """
+    from repro.bench.harness import BenchRecord, _peak_rss_kb
+
+    queries = build_workload(graph, n_queries)
+    repeats = max(1, int(repeats))
+
+    # Baseline: cold sequential estimates, one call per query per pass.
+    estimator = NMC()
+    sequential: List[EstimateResult] = []
+    seq_seconds = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sequential = [
+            estimator.estimate(graph, q, n_worlds, rng=seed) for q in queries
+        ]
+        seq_seconds = min(seq_seconds, time.perf_counter() - t0)
+    seq_qps = n_queries / seq_seconds if seq_seconds > 0 else float("inf")
+
+    with ServingEngine(graph, max_batch=n_queries, max_wait_s=0.05) as engine:
+        # Cold pass populates the world-block cache (not timed as "warm").
+        cold = [engine.submit(q, n_worlds, seed) for q in queries]
+        for future in cold:
+            future.result()
+        # Warm passes: the measured concurrent-serving throughput.
+        served: List[EstimateResult] = []
+        warm_seconds = math.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            futures = [engine.submit(q, n_worlds, seed) for q in queries]
+            served = [f.result() for f in futures]
+            warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+        cache = engine.cache.stats()
+        batch_size_mean = engine.metrics.batch_size_mean
+
+    for i, (a, b) in enumerate(zip(sequential, served)):
+        if not results_identical(a, b):
+            raise ReproError(
+                f"serving parity failure on query {i} ({queries[i]!r}): "
+                f"sequential {a.value!r} vs engine {b.value!r}"
+            )
+
+    warm_qps = n_queries / warm_seconds if warm_seconds > 0 else float("inf")
+    speedup = seq_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    m = graph.n_edges
+
+    seq_record = BenchRecord(
+        "serving_sequential_1q", graph_label, n_worlds, m, seq_seconds,
+        n_queries * n_worlds / seq_seconds if seq_seconds > 0 else float("inf"),
+        peak_rss_kb=_peak_rss_kb(),
+        queries_per_sec=seq_qps,
+        n_queries=n_queries,
+        cache_hit_rate=0.0,
+        batch_size_mean=1.0,
+    )
+    engine_record = BenchRecord(
+        f"serving_engine_{n_queries}q", graph_label, n_worlds, m, warm_seconds,
+        n_queries * n_worlds / warm_seconds if warm_seconds > 0 else float("inf"),
+        peak_rss_kb=_peak_rss_kb(),
+        queries_per_sec=warm_qps,
+        n_queries=n_queries,
+        cache_hit_rate=cache.hit_rate,
+        batch_size_mean=batch_size_mean,
+        speedup_vs_sequential=speedup,
+    )
+    records.extend([seq_record, engine_record])
+    log(
+        f"  {'serving':<18s} 1q {seq_seconds:8.3f}s ({seq_qps:8.1f} q/s) | "
+        f"{n_queries}q warm {warm_seconds:8.3f}s ({warm_qps:8.1f} q/s) | "
+        f"speedup {speedup:6.2f}x | hit_rate {cache.hit_rate:.2f} | "
+        f"batch {batch_size_mean:.1f}"
+    )
+
+
+__all__ = ["bench_serving", "build_workload", "results_identical"]

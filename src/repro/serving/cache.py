@@ -1,0 +1,248 @@
+"""World-block cache: sampled worlds shared across queries.
+
+Every NMC-family estimate consumes a stream of sampled world blocks
+(:func:`repro.graph.world.iter_mask_blocks`).  For a fixed ``(graph, seed,
+stratum path)`` that stream is deterministic, so two queries with the same
+sampling coordinates traverse *identical* worlds — yet the historical path
+re-draws them per call.  :class:`WorldBlockCache` stores the packed world
+rows keyed by ``(graph fingerprint, seed, stratum path)`` so the second
+query (and the thousandth) pays zero sampling cost.
+
+Bit-parity contract
+-------------------
+``blocks()`` yields boolean blocks with *exactly* the rows and block
+boundaries ``iter_mask_blocks`` would produce for the same arguments,
+whether the worlds come fresh from the generator or out of the cache:
+
+* the generator is rebuilt from the key alone — ``resolve_rng(seed)`` for
+  the root path ``()``, the path-keyed
+  :class:`~repro.rng.StratumRng` stream otherwise — so cached sampling
+  never consumes anyone else's stream;
+* the boundary plan is a pure function of ``(n_worlds, n_edges)``
+  (:func:`block_plan`), mirroring ``iter_mask_blocks``'s chunk budget;
+* numpy's uniform draws fill row-major, so the first ``W`` rows of a
+  ``W' > W`` draw equal the ``W``-row draw — a cache entry sampled at a
+  larger world count serves any smaller request by prefix slicing,
+  bit-identically.
+
+Worlds are stored bit-packed (:func:`repro.graph.bitsets.pack_masks`,
+8 worlds per byte per edge), an 8x saving over boolean blocks.  Entries are
+evicted least-recently-used once the byte budget is exceeded; an entry
+larger than the whole budget is served but never stored.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import EstimatorError
+from repro.graph.bitsets import pack_masks, unpack_masks
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.uncertain import UncertainGraph
+from repro.graph.world import _DEFAULT_CHUNK_BUDGET, iter_mask_blocks
+from repro.rng import StratumRng, resolve_rng
+
+#: Cache key: (graph fingerprint, seed, stratum path).
+CacheKey = Tuple[str, int, Tuple[int, ...]]
+
+#: Default cache byte budget (packed worlds): 256 MiB.
+DEFAULT_CACHE_BYTES = 256 << 20
+
+
+def block_plan(n_worlds: int, n_edges: int) -> List[int]:
+    """The block sizes ``iter_mask_blocks`` uses for this world/edge count.
+
+    Mirrors the chunk-budget arithmetic of
+    :func:`repro.graph.world.iter_mask_blocks` for a fully-free statuses
+    vector (the serving path always samples at the recursion root), so
+    cached replay hands estimators the same block boundaries — and therefore
+    the same per-block float accumulation — as fresh sampling.
+    """
+    per_world = max(int(n_edges), 1)
+    chunk = max(1, min(n_worlds, _DEFAULT_CHUNK_BUDGET // per_world))
+    sizes = []
+    produced = 0
+    while produced < n_worlds:
+        take = min(chunk, n_worlds - produced)
+        sizes.append(take)
+        produced += take
+    return sizes
+
+
+def _key_rng(seed: int, path: Tuple[int, ...]):
+    """The generator ``iter_mask_blocks`` would receive for this key.
+
+    Path ``()`` is the sequential recursion root (``resolve_rng(seed)``,
+    i.e. ``default_rng(seed)``); a non-empty path is a parallel-engine
+    stratum, whose stream is keyed by position
+    (:class:`~repro.rng.StratumRng`).
+    """
+    if path:
+        return StratumRng(np.random.SeedSequence(seed), path).generator
+    return resolve_rng(seed)
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`WorldBlockCache` (snapshot, not live)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    current_bytes: int = 0
+    max_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    """One cached world stream: packed rows plus bookkeeping."""
+
+    __slots__ = ("packed", "n_worlds", "n_edges")
+
+    def __init__(self, packed: np.ndarray, n_worlds: int, n_edges: int) -> None:
+        self.packed = packed
+        self.n_worlds = n_worlds
+        self.n_edges = n_edges
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.packed.nbytes)
+
+
+class WorldBlockCache:
+    """LRU cache of sampled world blocks keyed by ``(fingerprint, seed, path)``.
+
+    Thread-safe; the serving engine's dispatch thread and test code may use
+    one instance concurrently.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise EstimatorError("cache byte budget must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                current_bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # the one operation: stream blocks for a key
+    # ------------------------------------------------------------------ #
+
+    def blocks(
+        self,
+        graph: UncertainGraph,
+        n_worlds: int,
+        seed: int,
+        path: Tuple[int, ...] = (),
+    ) -> Iterator[np.ndarray]:
+        """Yield the world blocks of ``iter_mask_blocks`` for this key.
+
+        A *hit* replays the stored packed rows (prefix-sliced when the entry
+        holds more worlds than requested); a *miss* samples fresh worlds
+        from the key's own generator, stores them packed, and yields the
+        very blocks it sampled.  Either way the yielded boolean blocks are
+        bit-identical to ``iter_mask_blocks(EdgeStatuses(graph), n_worlds,
+        <key rng>)``.
+        """
+        if n_worlds < 0:
+            raise EstimatorError("n_worlds must be non-negative")
+        key: CacheKey = (graph.fingerprint(), int(seed), tuple(path))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.n_worlds >= n_worlds:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                entry = None
+                self._misses += 1
+        if entry is not None:
+            produced = 0
+            for take in block_plan(n_worlds, graph.n_edges):
+                rows = entry.packed[produced : produced + take]
+                yield unpack_masks(rows, graph.n_edges)
+                produced += take
+            return
+        # Miss (or an undersized entry, which the fresh stream supersedes):
+        # sample the real stream, pack as we go, store at the end.
+        rng = _key_rng(int(seed), tuple(path))
+        packed_parts: List[np.ndarray] = []
+        for block in iter_mask_blocks(EdgeStatuses(graph), n_worlds, rng):
+            packed_parts.append(pack_masks(block))
+            yield block
+        packed = (
+            np.concatenate(packed_parts, axis=0)
+            if packed_parts
+            else np.empty((0, 0), dtype=np.uint64)
+        )
+        self._store(key, _Entry(packed, n_worlds, graph.n_edges))
+
+    def _store(self, key: CacheKey, entry: _Entry) -> None:
+        if entry.nbytes > self.max_bytes:
+            return  # larger than the whole budget: serve, never store
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+            if self._bytes > self.max_bytes:
+                # The sole remaining entry is the one just stored and it
+                # alone busts the budget (possible when the budget shrank
+                # between the guard above and here under races): drop it.
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "DEFAULT_CACHE_BYTES",
+    "WorldBlockCache",
+    "block_plan",
+]

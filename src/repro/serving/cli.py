@@ -1,0 +1,122 @@
+"""Command-line entry point: ``repro-serve`` / ``python -m repro.serving``.
+
+The serving bench mode: build a surrogate graph, run the mixed-workload
+1-vs-N concurrent protocol of :mod:`repro.serving.bench` (sequential cold
+NMC calls versus a warm :class:`~repro.serving.engine.ServingEngine`), and
+write the ``serving_*`` records as a bench payload::
+
+    repro-serve                        # facebook @0.2, 600 worlds, 64 queries
+    repro-serve --queries 128 --worlds 1000
+    repro-serve --smoke                # tiny run for CI
+
+Engine estimates are asserted bit-identical to the sequential baseline
+before any throughput is reported, so the recorded queries/sec are at
+*fixed accuracy* by construction.  The payload passes
+:func:`repro.telemetry.schema.validate_bench_payload`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import kernels as repro_kernels
+from repro.bench.harness import GRAPHS, BenchRecord
+from repro.errors import ReproError
+from repro.serving.bench import bench_serving
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Benchmark the multi-query serving engine: 1 query at a "
+        "time vs N concurrent at fixed accuracy.",
+    )
+    parser.add_argument(
+        "--graph", choices=sorted(GRAPHS), default="facebook",
+        help="surrogate dataset recipe (default: facebook)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.2,
+        help="graph scale factor relative to the published size (default: 0.2)",
+    )
+    parser.add_argument(
+        "--worlds", type=int, default=600,
+        help="sample size per query; all queries share it (default: 600)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world-sampling seed")
+    parser.add_argument(
+        "--queries", type=int, default=64,
+        help="concurrent query count for the engine pass (default: 64)",
+    )
+    parser.add_argument(
+        "--output", type=str, default="BENCH_serving.json",
+        help="output JSON path (default: BENCH_serving.json in the cwd)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graph and world count; finishes in seconds",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.worlds <= 0 or args.scale <= 0 or args.queries <= 0:
+        print(
+            "repro-serve: --worlds, --scale and --queries must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    scale, n_worlds = args.scale, args.worlds
+    if args.smoke:
+        scale = min(scale, 0.02)
+        n_worlds = min(n_worlds, 64)
+    try:
+        graph = GRAPHS[args.graph](scale=scale)
+        graph_label = f"{args.graph}@{scale:g}"
+        print(
+            f"repro-serve: {graph_label} (n={graph.n_nodes}, m={graph.n_edges}), "
+            f"W={n_worlds}, seed={args.seed}, queries={args.queries}"
+        )
+        records: List[BenchRecord] = []
+        bench_serving(
+            records, graph, graph_label, n_worlds, args.seed,
+            n_queries=args.queries,
+        )
+    except ReproError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "version": 1,
+        "generated_by": "repro-serve",
+        "config": {
+            "graph": args.graph,
+            "scale": scale,
+            "n_worlds": n_worlds,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "cpu_count": os.cpu_count(),
+            "serving_queries": args.queries,
+            "kernel_backend": repro_kernels.active_backend(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "records": [r.to_dict() for r in records],
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(records)} records to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

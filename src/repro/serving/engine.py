@@ -1,0 +1,538 @@
+"""Multi-query serving engine: resident graph, micro-batches, shared sweeps.
+
+:class:`ServingEngine` is the long-lived front end for query evaluation.
+One process hosts it; callers :meth:`~ServingEngine.submit` queries and get
+``concurrent.futures.Future`` objects back.  Three mechanisms turn the
+one-shot estimator API into a high-throughput service:
+
+1. **Resident graph.**  Registered graphs are published once into a
+   shared-memory :class:`~repro.parallel.arena.GraphArena` and the engine
+   evaluates against the zero-copy attached views — the same arena a worker
+   pool would attach, so the graph's arrays are materialised exactly once
+   per machine no matter how many queries (or worker processes) touch them.
+
+2. **World-block cache.**  Sampled worlds are keyed by ``(graph
+   fingerprint, seed, stratum path)`` in a :class:`~repro.serving.cache.\
+WorldBlockCache`; repeat queries at the same sampling coordinates skip the
+   Bernoulli draws entirely and replay bit-identical blocks.
+
+3. **Micro-batched shared sweeps.**  Concurrent queries gathered by the
+   :class:`~repro.serving.batcher.MicroBatcher` are grouped by sampling key
+   and evaluated against each world block with the grouped frontier kernels
+   (:func:`~repro.queries.batch.grouped_reachable_counts_batch`,
+   :func:`~repro.queries.batch.grouped_st_distances_batch`): one
+   level-synchronous sweep advances every query's frontier over the same
+   block, so 64 concurrent queries pay roughly one query's worth of
+   per-level Python overhead.
+
+Bit-parity contract: every fast-path result is **bit-identical** to
+``NMC().estimate(graph, query, n_samples, rng=seed)`` — same block
+boundaries (cache replays :func:`~repro.graph.world.iter_mask_blocks`'s
+plan), same per-block float accumulation order, same
+:class:`~repro.core.result.EstimateResult` fields.  Queries the grouped
+kernels cannot serve (weighted distances, custom query classes, scalar
+backend) fall back to per-query batched evaluation against the same cached
+blocks — still bit-identical.  Requests carrying an explicit ``estimator``
+or ``n_workers > 0`` bypass the cache and run the full estimator exactly as
+a direct call would.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import Estimator
+from repro.core.result import EstimateResult, WorldCounter
+from repro.errors import EstimatorError
+from repro.graph.uncertain import UncertainGraph
+from repro.parallel import arena as _arena
+from repro.parallel.arena import GraphArena, attach_graph
+from repro.queries.base import Query, ThresholdQuery
+from repro.queries.batch import (
+    _world_words,
+    batch_kernels_enabled,
+    grouped_reachable_counts_batch,
+    grouped_st_distances_batch,
+    threshold_pairs_batch,
+)
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.influence import InfluenceQuery
+from repro.serving.batcher import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_S, MicroBatcher
+from repro.serving.cache import DEFAULT_CACHE_BYTES, WorldBlockCache
+
+#: Bounded span-ring capacity of :class:`ServingMetrics`.
+MAX_SPANS = 2048
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed serving event (batch formation, cache lookup, sweep, serve)."""
+
+    kind: str
+    seconds: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class ServingMetrics:
+    """Serving-side telemetry: batches, sweeps, reuse factor, span ring.
+
+    ``sweep_reuse_factor`` is the engine's amortisation headline: how many
+    query-block evaluations each frontier sweep paid for.  ``1.0`` means no
+    sharing (every query swept alone); ``k`` means ``k`` queries rode each
+    sweep on average.
+    """
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.queries = 0
+        self.fallbacks = 0
+        self.sweeps = 0
+        self.query_evals = 0
+        self._batch_sizes_total = 0
+        self._spans: "deque[Span]" = deque(maxlen=MAX_SPANS)
+        self._lock = threading.Lock()
+
+    def record_span(self, kind: str, seconds: float, **meta: Any) -> None:
+        with self._lock:
+            self._spans.append(Span(kind, float(seconds), meta))
+
+    def record_batch(self, size: int, form_seconds: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.queries += size
+            self._batch_sizes_total += size
+            self._spans.append(Span("batch_form", float(form_seconds), {"size": size}))
+
+    def record_sweeps(self, sweeps: int, query_evals: int) -> None:
+        with self._lock:
+            self.sweeps += sweeps
+            self.query_evals += query_evals
+
+    def record_fallback(self, count: int = 1) -> None:
+        with self._lock:
+            self.fallbacks += count
+
+    @property
+    def batch_size_mean(self) -> float:
+        return self._batch_sizes_total / self.batches if self.batches else 0.0
+
+    @property
+    def sweep_reuse_factor(self) -> float:
+        return self.query_evals / self.sweeps if self.sweeps else 0.0
+
+    def spans(self, kind: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            spans = list(self._spans)
+        if kind is None:
+            return spans
+        return [s for s in spans if s.kind == kind]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of the counters (cache stats added by the engine)."""
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "queries": self.queries,
+                "fallbacks": self.fallbacks,
+                "sweeps": self.sweeps,
+                "query_evals": self.query_evals,
+                "batch_size_mean": self.batch_size_mean,
+                "sweep_reuse_factor": self.sweep_reuse_factor,
+                "spans": len(self._spans),
+            }
+
+
+class _Request:
+    """One admitted query with its completion future."""
+
+    __slots__ = (
+        "query", "n_samples", "seed", "fingerprint",
+        "estimator", "n_workers", "future",
+    )
+
+    def __init__(
+        self,
+        query: Query,
+        n_samples: int,
+        seed: int,
+        fingerprint: str,
+        estimator: Optional[Estimator],
+        n_workers: int,
+    ) -> None:
+        self.query = query
+        self.n_samples = int(n_samples)
+        self.seed = int(seed)
+        self.fingerprint = fingerprint
+        self.estimator = estimator
+        self.n_workers = int(n_workers)
+        self.future: "Future[EstimateResult]" = Future()
+
+    @property
+    def fast(self) -> bool:
+        return self.estimator is None and self.n_workers == 0
+
+
+def _classify(query: Query) -> Tuple[str, Query, Optional[ThresholdQuery]]:
+    """Sort a query into a grouped-sweep family.
+
+    Returns ``(family, base, wrapper)`` where family is ``"influence"``,
+    ``"distance"`` or ``"generic"``; ``base`` is the traversal query whose
+    values the grouped kernel computes; ``wrapper`` is the ThresholdQuery to
+    apply on top (or ``None``).  Only exact library classes ride the grouped
+    kernels — subclasses may override evaluation, so they go generic and
+    keep their own (still bit-identical, per-query) batched path.
+    """
+    wrapper: Optional[ThresholdQuery] = None
+    base = query
+    if (
+        isinstance(query, ThresholdQuery)
+        and type(query).evaluate_pairs is ThresholdQuery.evaluate_pairs
+        and type(query).evaluate_values is ThresholdQuery.evaluate_values
+    ):
+        wrapper = query
+        base = query.base
+    if type(base) is InfluenceQuery:
+        return "influence", base, wrapper
+    if type(base) is ReliableDistanceQuery and base.weights is None:
+        return "distance", base, wrapper
+    return "generic", query, None
+
+
+class ServingEngine:
+    """Long-lived multi-query evaluation service.
+
+    Parameters
+    ----------
+    graph:
+        Optional default graph, registered immediately.
+    max_batch, max_wait_s:
+        Micro-batch admission knobs (see :class:`MicroBatcher`).
+    cache_bytes:
+        World-block cache budget (packed bytes); ``0`` disables caching in
+        effect (every group resamples, still bit-identical).
+    resident:
+        Publish registered graphs into shared-memory arenas and serve from
+        the attached zero-copy views (default).  ``False`` serves from the
+        caller's graph object directly (tests, tiny graphs).
+    """
+
+    def __init__(
+        self,
+        graph: Optional[UncertainGraph] = None,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_s: float = DEFAULT_MAX_WAIT_S,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        resident: bool = True,
+    ) -> None:
+        self.cache = WorldBlockCache(max_bytes=cache_bytes)
+        self.metrics = ServingMetrics()
+        self.resident = bool(resident)
+        self._graphs: Dict[str, UncertainGraph] = {}
+        self._arenas: Dict[str, GraphArena] = {}
+        self._default_fp: Optional[str] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._batcher = MicroBatcher(max_batch=max_batch, max_wait=max_wait_s)
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serving-dispatch", daemon=True
+        )
+        self._thread.start()
+        if graph is not None:
+            self.register(graph)
+
+    # ------------------------------------------------------------------ #
+    # graph registry
+    # ------------------------------------------------------------------ #
+
+    def register(self, graph: UncertainGraph) -> str:
+        """Make ``graph`` resident; returns its content fingerprint.
+
+        Registering the same graph (same content) twice is a no-op; the
+        first registered graph becomes the default for :meth:`submit`.
+        """
+        fp = graph.fingerprint()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if fp not in self._graphs:
+                if self.resident:
+                    holder = GraphArena(graph)
+                    self._arenas[fp] = holder
+                    self._graphs[fp] = attach_graph(holder.spec)
+                else:
+                    self._graphs[fp] = graph
+            if self._default_fp is None:
+                self._default_fp = fp
+        return fp
+
+    def graph(self, fingerprint: Optional[str] = None) -> UncertainGraph:
+        """The resident graph for ``fingerprint`` (default graph if ``None``)."""
+        with self._lock:
+            fp = fingerprint or self._default_fp
+            if fp is None or fp not in self._graphs:
+                raise EstimatorError("no graph registered under that fingerprint")
+            return self._graphs[fp]
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        query: Query,
+        n_samples: int,
+        seed: int = 0,
+        *,
+        graph: Optional[UncertainGraph] = None,
+        estimator: Optional[Estimator] = None,
+        n_workers: int = 0,
+    ) -> "Future[EstimateResult]":
+        """Admit one query; returns a future resolving to its estimate.
+
+        The result is bit-identical to
+        ``NMC().estimate(graph, query, n_samples, rng=seed)`` (or to
+        ``estimator.estimate(..., n_workers=n_workers)`` when either
+        override is given).  Validation errors raise synchronously, here.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if n_samples <= 0:
+            raise EstimatorError("n_samples must be positive")
+        fp = self.register(graph) if graph is not None else self._default_fp
+        if fp is None:
+            raise EstimatorError("no graph registered; pass graph= or register() one")
+        query.validate(self._graphs[fp])
+        request = _Request(query, n_samples, seed, fp, estimator, n_workers)
+        self._batcher.submit(request)
+        return request.future
+
+    def evaluate(
+        self,
+        query: Query,
+        n_samples: int,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> EstimateResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(query, n_samples, seed, **kwargs).result()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            t0 = time.perf_counter()
+            batch = self._batcher.next_batch()
+            if batch is None:
+                return
+            self.metrics.record_batch(len(batch), time.perf_counter() - t0)
+            t_serve = time.perf_counter()
+            try:
+                self._serve_batch(batch)
+            except BaseException as exc:  # defensive: fail futures, keep serving
+                for req in batch:
+                    if not req.future.done():
+                        req.future.set_exception(exc)
+            self.metrics.record_span(
+                "serve", time.perf_counter() - t_serve, size=len(batch)
+            )
+
+    def _serve_batch(self, batch: List[_Request]) -> None:
+        fallback = [r for r in batch if not r.fast]
+        fast = [r for r in batch if r.fast]
+        for req in fallback:
+            self.metrics.record_fallback()
+            try:
+                estimator = req.estimator if req.estimator is not None else _nmc()
+                result = estimator.estimate(
+                    self._graphs[req.fingerprint],
+                    req.query,
+                    req.n_samples,
+                    rng=req.seed,
+                    n_workers=req.n_workers,
+                )
+            except BaseException as exc:
+                req.future.set_exception(exc)
+            else:
+                req.future.set_result(result)
+        groups: Dict[Tuple[str, int, int], List[_Request]] = {}
+        for req in fast:
+            groups.setdefault((req.fingerprint, req.seed, req.n_samples), []).append(req)
+        for (fp, seed, n_samples), reqs in groups.items():
+            try:
+                self._serve_group(fp, seed, n_samples, reqs)
+            except BaseException as exc:
+                for req in reqs:
+                    if not req.future.done():
+                        req.future.set_exception(exc)
+
+    def _serve_group(
+        self, fp: str, seed: int, n_samples: int, reqs: List[_Request]
+    ) -> None:
+        """Evaluate one sampling-key group over shared cached world blocks."""
+        graph = self._graphs[fp]
+        grouped_ok = batch_kernels_enabled()
+        influence: List[Tuple[int, Query, Optional[ThresholdQuery]]] = []
+        distance: List[Tuple[int, Query, Optional[ThresholdQuery]]] = []
+        generic: List[int] = []
+        for i, req in enumerate(reqs):
+            family, base, wrapper = (
+                _classify(req.query) if grouped_ok else ("generic", req.query, None)
+            )
+            if family == "influence":
+                influence.append((i, base, wrapper))
+            elif family == "distance":
+                distance.append((i, base, wrapper))
+            else:
+                generic.append(i)
+        seed_groups = [base.seeds for _, base, _ in influence]
+        st_pairs = [(base.source, base.target) for _, base, _ in distance]
+        nums = np.zeros(len(reqs), dtype=np.float64)
+        dens = np.zeros(len(reqs), dtype=np.float64)
+        before = self.cache.stats()
+        sweeps = 0
+        n_blocks = 0
+        t0 = time.perf_counter()
+        for block in self.cache.blocks(graph, n_samples, seed):
+            n_blocks += 1
+            words = (
+                _world_words(graph, block) if influence and distance else None
+            )
+            if influence:
+                counts = grouped_reachable_counts_batch(
+                    graph, block, seed_groups, include_sources=True,
+                    edge_words=words,
+                )
+                sweeps += 1
+                for row, (i, base, wrapper) in enumerate(influence):
+                    world_counts = counts[row]
+                    if not base.include_seeds:
+                        world_counts = world_counts - base.seeds.size
+                    self._accumulate(
+                        nums, dens, i, world_counts.astype(np.float64), base, wrapper
+                    )
+            if distance:
+                dists = grouped_st_distances_batch(
+                    graph, block, st_pairs, edge_words=words
+                )
+                sweeps += 1
+                for row, (i, base, wrapper) in enumerate(distance):
+                    self._accumulate(nums, dens, i, dists[row], base, wrapper)
+            for i in generic:
+                block_nums, block_dens = reqs[i].query.evaluate_pairs(graph, block)
+                sweeps += 1
+                nums[i] += float(block_nums.sum())
+                dens[i] += float(block_dens.sum())
+        elapsed = time.perf_counter() - t0
+        after = self.cache.stats()
+        self.metrics.record_sweeps(sweeps, n_blocks * len(reqs))
+        self.metrics.record_span(
+            "cache",
+            0.0,
+            hit=after.hits > before.hits,
+            n_worlds=n_samples,
+            seed=seed,
+        )
+        self.metrics.record_span(
+            "sweep",
+            elapsed,
+            n_queries=len(reqs),
+            n_blocks=n_blocks,
+            sweeps=sweeps,
+            n_worlds=n_samples,
+        )
+        for i, req in enumerate(reqs):
+            counter = WorldCounter()
+            counter.add(n_samples)
+            result = EstimateResult.from_pair(
+                nums[i] / n_samples,
+                dens[i] / n_samples,
+                n_samples,
+                counter.worlds,
+                "NMC",
+                **counter.stats(),
+            )
+            req.future.set_result(result)
+
+    @staticmethod
+    def _accumulate(
+        nums: np.ndarray,
+        dens: np.ndarray,
+        i: int,
+        values: np.ndarray,
+        base: Query,
+        wrapper: Optional[ThresholdQuery],
+    ) -> None:
+        """Fold one query's per-world values into its accumulators.
+
+        Replays :meth:`Query.evaluate_pairs` / :meth:`ThresholdQuery.\
+evaluate_pairs` semantics on precomputed base values, then the per-block
+        ``float(sum())`` accumulation of
+        :func:`repro.core.base.sample_mean_pair` — the bit-parity hinge.
+        """
+        if wrapper is not None:
+            block_nums, block_dens = threshold_pairs_batch(
+                values, wrapper.threshold, wrapper.comparison
+            )
+        elif base.conditional:
+            finite = ~np.isinf(values)
+            block_nums = np.where(finite, values, 0.0)
+            block_dens = finite.astype(np.float64)
+        else:
+            block_nums = values
+            block_dens = np.ones_like(values)
+        nums[i] += float(block_nums.sum())
+        dens[i] += float(block_dens.sum())
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drain pending requests, stop the dispatch thread, free arenas."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._batcher.close()
+        self._thread.join()
+        with self._lock:
+            self._graphs.clear()
+            arenas, self._arenas = dict(self._arenas), {}
+        for holder in arenas.values():
+            name = holder.spec.name
+            attached = _arena._ATTACHED.pop(name, None)
+            if attached is not None:
+                try:
+                    attached[1].close()
+                except BufferError:  # views still referenced somewhere
+                    pass
+            holder.close(unlink=True)
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def _nmc() -> Estimator:
+    from repro.core.nmc import NMC
+
+    return NMC()
+
+
+__all__ = ["MAX_SPANS", "ServingEngine", "ServingMetrics", "Span"]

@@ -9,20 +9,32 @@ with a :class:`~repro.telemetry.JsonlExporter`)::
     repro-trace summary trace.jsonl          # one line per run
     repro-trace validate trace.jsonl         # schema check, exit 1 on failure
 
-A file may hold several runs (one ``meta`` line each); ``--run`` selects one
-by index (default: the last run).
+``summary`` and ``validate`` also accept a ``repro-bench`` /
+``repro-serve`` payload (a single JSON object with a ``records`` list):
+the summary then prints one line per benchmark record, including the
+serving throughput fields of ``serving_*`` records, and validation runs
+:func:`repro.telemetry.schema.validate_bench_payload`.
+
+A trace file may hold several runs (one ``meta`` line each); ``--run``
+selects one by index (default: the last run).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.telemetry.exporters import read_jsonl
-from repro.telemetry.render import render_convergence, render_profile, render_summary
-from repro.telemetry.schema import validate_trace_records
+from repro.telemetry.render import (
+    render_bench_summary,
+    render_convergence,
+    render_profile,
+    render_summary,
+)
+from repro.telemetry.schema import validate_bench_payload, validate_trace_records
 from repro.telemetry.tracer import TraceReport
 
 
@@ -54,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_bench_payload(path: str) -> Optional[dict]:
+    """Return the file's bench payload, or None if it is not one.
+
+    A bench payload is one JSON object carrying a ``records`` list — the
+    shape written by ``repro-bench`` and ``repro-serve``.  Trace files are
+    JSON *lines* and the first line never has ``records``, so detection
+    is unambiguous.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if isinstance(payload, dict) and isinstance(payload.get("records"), list):
+        return payload
+    return None
+
+
 def _load_run(path: str, run_index: int) -> TraceReport:
     runs = read_jsonl(path)
     if not runs:
@@ -72,6 +102,15 @@ def _load_run(path: str, run_index: int) -> TraceReport:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.command in ("summary", "validate"):
+            payload = _load_bench_payload(args.trace_file)
+            if payload is not None:
+                n = validate_bench_payload(payload)
+                if args.command == "validate":
+                    print(f"ok: bench payload with {n} records")
+                else:
+                    print(render_bench_summary(payload))
+                return 0
         if args.command == "validate":
             runs = read_jsonl(args.trace_file)
             if not runs:

@@ -120,6 +120,43 @@ def render_summary(report: TraceReport) -> str:
     return "  ".join(bits)
 
 
+def render_bench_summary(payload: Dict) -> str:
+    """One line per benchmark record of a ``repro-bench`` payload.
+
+    ``serving_*`` records (the 1-vs-N concurrent-query protocol) get their
+    throughput fields — queries/sec, cache hit rate, mean batch size and
+    the speedup over the sequential baseline — instead of the worlds/sec
+    column that traversal kernels report.
+    """
+    config = payload.get("config", {})
+    head_bits = [f"bench: {payload.get('generated_by', '?')}"]
+    for key in ("graph", "scale", "n_worlds", "seed", "kernel_backend"):
+        if config.get(key) is not None:
+            head_bits.append(f"{key}={config[key]}")
+    lines = ["  ".join(head_bits)]
+    for record in payload.get("records", []):
+        kernel = str(record.get("kernel", "?"))
+        bits = [
+            f"{kernel:<24s}",
+            f"graph={record.get('graph', '?')}",
+            f"W={record.get('W', 0)}",
+            f"seconds={record.get('seconds', float('nan')):.4f}",
+        ]
+        if kernel.startswith("serving_"):
+            bits.append(f"queries={record.get('n_queries', 0)}")
+            bits.append(f"q/s={record.get('queries_per_sec', float('nan')):.1f}")
+            bits.append(f"hit_rate={record.get('cache_hit_rate', float('nan')):.2f}")
+            bits.append(f"batch={record.get('batch_size_mean', float('nan')):.1f}")
+            if record.get("speedup_vs_sequential") is not None:
+                bits.append(f"speedup={record['speedup_vs_sequential']:.2f}x")
+        else:
+            bits.append(f"worlds/s={record.get('worlds_per_sec', float('nan')):.1f}")
+            if record.get("speedup_vs_scalar") is not None:
+                bits.append(f"speedup={record['speedup_vs_scalar']:.2f}x")
+        lines.append("  ".join(bits))
+    return "\n".join(lines)
+
+
 def variance_table(report: TraceReport) -> List[Tuple[Tuple[int, ...], Dict[str, float]]]:
     """Per-leaf variance-ledger rows, for programmatic figure reproduction."""
     rows = []
@@ -140,4 +177,10 @@ def variance_table(report: TraceReport) -> List[Tuple[Tuple[int, ...], Dict[str,
     return rows
 
 
-__all__ = ["render_profile", "render_convergence", "render_summary", "variance_table"]
+__all__ = [
+    "render_bench_summary",
+    "render_convergence",
+    "render_profile",
+    "render_summary",
+    "variance_table",
+]

@@ -41,6 +41,15 @@ CONV_FIELDS = ("worlds", "mean", "ci95", "den")
 #: Required fields of a trace ``parallel`` record.
 PARALLEL_FIELDS = ("n_workers", "n_jobs", "pool_seconds", "utilisation", "jobs")
 
+#: Extra required fields of ``serving_*`` bench records (the 1-vs-N
+#: concurrent-query protocol of ``repro-serve`` / ``repro-bench --serving``).
+SERVING_BENCH_FIELDS = (
+    "queries_per_sec",
+    "cache_hit_rate",
+    "batch_size_mean",
+    "n_queries",
+)
+
 
 def check_fields(
     record: Mapping[str, Any], required: Sequence[str], where: str
@@ -115,6 +124,8 @@ def validate_bench_payload(payload: Mapping[str, Any]) -> int:
         raise ReproError("bench payload has no records")
     for i, record in enumerate(records):
         check_fields(record, BENCH_FIELDS, f"bench record #{i}")
+        if str(record.get("kernel", "")).startswith("serving_"):
+            check_fields(record, SERVING_BENCH_FIELDS, f"serving bench record #{i}")
     return len(records)
 
 
@@ -123,6 +134,7 @@ __all__ = [
     "SPAN_FIELDS",
     "CONV_FIELDS",
     "PARALLEL_FIELDS",
+    "SERVING_BENCH_FIELDS",
     "check_fields",
     "validate_trace_records",
     "validate_trace_file",

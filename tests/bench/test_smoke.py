@@ -67,6 +67,42 @@ def test_batched_records_carry_speedup(tmp_path):
 def test_cli_rejects_bad_arguments(tmp_path, capsys):
     assert main(["--worlds", "0"]) == 2
     assert main(["--scale", "-1"]) == 2
+    assert main(["--serving-queries", "0"]) == 2
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--graph", "nonexistent"])
     capsys.readouterr()
+
+
+def test_serving_sweep_appends_throughput_records(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(
+        ["--smoke", "--serving", "--serving-queries", "8", "--output", str(out)]
+    ) == 0
+    payload = json.loads(out.read_text())
+    assert payload["config"]["serving"] is True
+    assert payload["config"]["serving_queries"] == 8
+    by_kernel = {record["kernel"]: record for record in payload["records"]}
+    seq = by_kernel["serving_sequential_1q"]
+    eng = by_kernel["serving_engine_8q"]
+    assert seq["n_queries"] == 8 and eng["n_queries"] == 8
+    assert seq["batch_size_mean"] == 1.0
+    assert eng["batch_size_mean"] > 1.0
+    assert eng["cache_hit_rate"] > 0.0
+    assert eng["queries_per_sec"] > 0.0
+    assert eng["speedup_vs_sequential"] > 0.0
+    # The serving sweep runs its own fixed workload graph.
+    assert seq["graph"].startswith("facebook@")
+
+
+def test_repro_serve_cli_writes_schema_compliant_payload(tmp_path):
+    from repro.serving.cli import main as serve_main
+    from repro.telemetry.schema import validate_bench_payload
+
+    out = tmp_path / "serve.json"
+    assert serve_main(
+        ["--smoke", "--queries", "8", "--output", str(out)]
+    ) == 0
+    payload = json.loads(out.read_text())
+    assert payload["generated_by"] == "repro-serve"
+    assert validate_bench_payload(payload) == 2
+    assert serve_main(["--worlds", "0"]) == 2

@@ -1,0 +1,56 @@
+"""Content fingerprints: the identity behind the cache and arena keys."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import paper_running_example
+from repro.graph.uncertain import UncertainGraph
+
+
+def make(prob=0.5, directed=True, n=4):
+    return UncertainGraph(
+        n, [0, 1, 2], [1, 2, 3], [prob, 0.7, 0.9], directed=directed
+    )
+
+
+def test_equal_content_equal_fingerprint():
+    a, b = make(), make()
+    assert a is not b
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_is_cached_and_stable():
+    g = paper_running_example()
+    fp = g.fingerprint()
+    assert isinstance(fp, str) and fp
+    assert g.fingerprint() == fp
+
+
+def test_fingerprint_distinguishes_probabilities():
+    assert make(prob=0.5).fingerprint() != make(prob=0.50001).fingerprint()
+
+
+def test_fingerprint_distinguishes_directedness():
+    assert make(directed=True).fingerprint() != make(directed=False).fingerprint()
+
+
+def test_fingerprint_distinguishes_structure():
+    base = make()
+    extra_node = make(n=5)
+    assert base.fingerprint() != extra_node.fingerprint()
+    reordered = UncertainGraph(
+        4, [1, 0, 2], [2, 1, 3], [0.7, 0.5, 0.9], directed=True
+    )
+    assert base.fingerprint() != reordered.fingerprint()
+
+
+def test_fingerprint_matches_equality():
+    gen = np.random.default_rng(7)
+    ends = gen.integers(0, 10, size=(20, 2))
+    probs = gen.random(20)
+    a = UncertainGraph(10, ends[:, 0], ends[:, 1], probs, directed=True)
+    b = UncertainGraph(10, ends[:, 0].copy(), ends[:, 1].copy(), probs.copy(), directed=True)
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()

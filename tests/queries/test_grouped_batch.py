@@ -1,0 +1,146 @@
+"""Grouped multi-source kernels equal the per-group kernels bit for bit.
+
+The serving engine's throughput rides on
+:func:`~repro.queries.batch.grouped_reachable_counts_batch` and
+:func:`~repro.queries.batch.grouped_st_distances_batch` advancing many query
+frontiers over one world block in a single level-synchronous sweep — with
+lane pruning retiring finished groups mid-sweep.  Pruning and lane packing
+must be pure compute skipping: every row of the grouped output equals the
+solo kernel's answer exactly, on both the numpy loops and the native twins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels, native
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.batch import (
+    _world_words,
+    grouped_reachable_counts_batch,
+    grouped_st_distances_batch,
+    reachable_counts_batch,
+    st_distances_batch,
+)
+
+
+def random_case(seed: int):
+    """Random graph + world block sized to exercise multi-word lanes."""
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(4, 40))
+    m = int(gen.integers(4, 120))
+    ends = gen.integers(0, n, size=(m, 2))
+    graph = UncertainGraph(
+        n, ends[:, 0], ends[:, 1], gen.random(m), directed=bool(seed % 2)
+    )
+    n_worlds = int(gen.integers(1, 200))
+    masks = gen.random((n_worlds, m)) < 0.35
+    return graph, masks, gen
+
+
+def random_groups(gen, n_nodes, n_groups=13):
+    """Source sets of mixed size — enough groups to trigger lane pruning."""
+    return [
+        gen.integers(0, n_nodes, size=int(gen.integers(1, 4)))
+        for _ in range(n_groups)
+    ]
+
+
+def random_pairs(gen, n_nodes, n_pairs=12):
+    """(s, t) pairs including the degenerate s == t case."""
+    pairs = [
+        (int(gen.integers(0, n_nodes)), int(gen.integers(0, n_nodes)))
+        for _ in range(n_pairs - 1)
+    ]
+    same = int(gen.integers(0, n_nodes))
+    pairs.append((same, same))
+    return pairs
+
+
+@pytest.fixture(params=["numpy", "native"])
+def backend(request, monkeypatch):
+    if request.param == "native":
+        monkeypatch.setattr(native, "NUMBA_AVAILABLE", True)
+        monkeypatch.setenv(kernels.KERNEL_ENV, "native")
+    else:
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+    assert kernels.active_backend() == request.param
+    return request.param
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("include_sources", [False, True])
+def test_grouped_reachable_counts_match_solo(seed, include_sources, backend):
+    graph, masks, gen = random_case(seed)
+    groups = random_groups(gen, graph.n_nodes)
+    grouped = grouped_reachable_counts_batch(
+        graph, masks, groups, include_sources=include_sources
+    )
+    assert grouped.shape == (len(groups), masks.shape[0])
+    for g, roots in enumerate(groups):
+        solo = reachable_counts_batch(
+            graph, masks, roots, include_sources=include_sources
+        )
+        np.testing.assert_array_equal(grouped[g], solo)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_grouped_st_distances_match_solo(seed, backend):
+    graph, masks, gen = random_case(seed)
+    pairs = random_pairs(gen, graph.n_nodes)
+    grouped = grouped_st_distances_batch(graph, masks, pairs)
+    assert grouped.shape == (len(pairs), masks.shape[0])
+    for g, (s, t) in enumerate(pairs):
+        solo = st_distances_batch(graph, masks, s, t)
+        np.testing.assert_array_equal(grouped[g], solo)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_precomputed_edge_words_change_nothing(seed, backend):
+    graph, masks, gen = random_case(seed)
+    groups = random_groups(gen, graph.n_nodes, n_groups=5)
+    pairs = random_pairs(gen, graph.n_nodes, n_pairs=5)
+    words = _world_words(graph, masks)
+    np.testing.assert_array_equal(
+        grouped_reachable_counts_batch(graph, masks, groups, edge_words=words),
+        grouped_reachable_counts_batch(graph, masks, groups),
+    )
+    np.testing.assert_array_equal(
+        grouped_st_distances_batch(graph, masks, pairs, edge_words=words),
+        grouped_st_distances_batch(graph, masks, pairs),
+    )
+
+
+def test_empty_inputs():
+    gen = np.random.default_rng(0)
+    graph = UncertainGraph(4, [0, 1], [1, 2], [0.5, 0.5], directed=True)
+    masks = gen.random((10, 2)) < 0.5
+    assert grouped_reachable_counts_batch(graph, masks, []).shape == (0, 10)
+    assert grouped_st_distances_batch(graph, masks, []).shape == (0, 10)
+    empty_block = np.zeros((0, 2), dtype=bool)
+    assert grouped_reachable_counts_batch(graph, empty_block, [[0]]).shape == (1, 0)
+    assert grouped_st_distances_batch(graph, empty_block, [(0, 2)]).shape == (1, 0)
+
+
+def test_disconnected_pairs_stay_infinite():
+    # Two components: 0->1 and 2->3; any cross-component pair is inf always.
+    graph = UncertainGraph(4, [0, 2], [1, 3], [0.9, 0.9], directed=True)
+    masks = np.ones((70, 2), dtype=bool)  # 70 worlds: two packed words
+    dist = grouped_st_distances_batch(graph, masks, [(0, 3), (0, 1), (2, 3)])
+    assert np.isinf(dist[0]).all()
+    np.testing.assert_array_equal(dist[1], np.ones(70))
+    np.testing.assert_array_equal(dist[2], np.ones(70))
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_duplicate_groups_and_pairs_agree_row_for_row(seed, backend):
+    """Lane pruning must not couple identical groups to each other."""
+    graph, masks, gen = random_case(seed)
+    roots = gen.integers(0, graph.n_nodes, size=2)
+    grouped = grouped_reachable_counts_batch(graph, masks, [roots, roots, roots])
+    np.testing.assert_array_equal(grouped[0], grouped[1])
+    np.testing.assert_array_equal(grouped[1], grouped[2])
+    s, t = int(gen.integers(0, graph.n_nodes)), int(gen.integers(0, graph.n_nodes))
+    dists = grouped_st_distances_batch(graph, masks, [(s, t), (s, t)])
+    np.testing.assert_array_equal(dists[0], dists[1])

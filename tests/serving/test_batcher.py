@@ -1,0 +1,79 @@
+"""Micro-batch admission: gathering, the wait window, and shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.batcher import MicroBatcher
+
+
+def test_burst_lands_in_one_batch():
+    batcher = MicroBatcher(max_batch=8, max_wait=0.05)
+    for i in range(8):
+        batcher.submit(i)
+    assert batcher.next_batch() == list(range(8))
+
+
+def test_max_batch_caps_one_gather():
+    batcher = MicroBatcher(max_batch=3, max_wait=0.05)
+    for i in range(5):
+        batcher.submit(i)
+    assert batcher.next_batch() == [0, 1, 2]
+    assert batcher.next_batch() == [3, 4]
+
+
+def test_lone_item_returns_after_wait_window():
+    batcher = MicroBatcher(max_batch=64, max_wait=0.01)
+    batcher.submit("only")
+    t0 = time.monotonic()
+    assert batcher.next_batch() == ["only"]
+    assert time.monotonic() - t0 < 1.0
+
+
+def test_next_batch_blocks_for_first_item():
+    batcher = MicroBatcher(max_batch=4, max_wait=0.01)
+    got = []
+
+    def consume():
+        got.append(batcher.next_batch())
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    time.sleep(0.05)
+    assert not got  # still blocked: nothing submitted yet
+    batcher.submit("late")
+    thread.join(timeout=5.0)
+    assert got == [["late"]]
+
+
+def test_close_drains_then_signals_none():
+    batcher = MicroBatcher(max_batch=2, max_wait=0.0)
+    batcher.submit("a")
+    batcher.submit("b")
+    batcher.submit("c")
+    batcher.close()
+    assert batcher.closed
+    assert batcher.next_batch() == ["a", "b"]
+    assert batcher.next_batch() == ["c"]
+    assert batcher.next_batch() is None
+    assert batcher.next_batch() is None  # sentinel is re-queued
+
+
+def test_sentinel_ends_current_batch_early():
+    batcher = MicroBatcher(max_batch=10, max_wait=5.0)
+    batcher.submit("a")
+    batcher.close()
+    t0 = time.monotonic()
+    assert batcher.next_batch() == ["a"]
+    assert time.monotonic() - t0 < 1.0  # did not sit out the 5 s window
+    assert batcher.next_batch() is None
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MicroBatcher(max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(max_wait=-0.1)

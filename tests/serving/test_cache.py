@@ -1,0 +1,144 @@
+"""World-block cache: accounting, eviction, and the bit-parity contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.graph.generators import erdos_renyi
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.world import iter_mask_blocks
+from repro.rng import resolve_rng
+from repro.serving.cache import WorldBlockCache, block_plan
+
+SEED = 20140331
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(12, 30, rng=np.random.default_rng(SEED))
+
+
+def fresh_blocks(graph, n_worlds, seed):
+    """The ground truth: what ``iter_mask_blocks`` yields for this key."""
+    return list(
+        iter_mask_blocks(EdgeStatuses(graph), n_worlds, resolve_rng(seed))
+    )
+
+
+def entry_bytes(graph, n_worlds):
+    """Packed size of one cached entry for this graph/world count."""
+    words_per_world = (graph.n_edges + 63) // 64
+    return n_worlds * words_per_world * 8
+
+
+def test_block_plan_matches_iter_mask_blocks(graph):
+    for n_worlds in (0, 1, 7, 64, 131):
+        sizes = [b.shape[0] for b in fresh_blocks(graph, n_worlds, SEED)]
+        assert block_plan(n_worlds, graph.n_edges) == sizes
+
+
+def test_miss_then_hit_accounting(graph):
+    cache = WorldBlockCache()
+    list(cache.blocks(graph, 64, SEED))
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (0, 1, 1)
+    list(cache.blocks(graph, 64, SEED))
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert stats.current_bytes == entry_bytes(graph, 64)
+
+
+def test_miss_and_hit_are_bit_identical_to_fresh_sampling(graph):
+    cache = WorldBlockCache()
+    expected = fresh_blocks(graph, 100, SEED)
+    first = list(cache.blocks(graph, 100, SEED))   # miss path
+    second = list(cache.blocks(graph, 100, SEED))  # hit path
+    for got in (first, second):
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            np.testing.assert_array_equal(a, b)
+
+
+def test_prefix_slice_serves_smaller_world_counts(graph):
+    cache = WorldBlockCache()
+    list(cache.blocks(graph, 100, SEED))
+    got = list(cache.blocks(graph, 40, SEED))
+    assert cache.stats().hits == 1
+    expected = fresh_blocks(graph, 40, SEED)
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_undersized_entry_is_superseded(graph):
+    cache = WorldBlockCache()
+    list(cache.blocks(graph, 16, SEED))
+    got = list(cache.blocks(graph, 80, SEED))  # larger request: miss + restore
+    assert cache.stats().misses == 2
+    for a, b in zip(got, fresh_blocks(graph, 80, SEED)):
+        np.testing.assert_array_equal(a, b)
+    # The stored entry now covers the larger count.
+    list(cache.blocks(graph, 80, SEED))
+    assert cache.stats().hits == 1
+
+
+def test_distinct_keys_get_distinct_entries(graph):
+    cache = WorldBlockCache()
+    list(cache.blocks(graph, 32, SEED))
+    list(cache.blocks(graph, 32, SEED + 1))
+    list(cache.blocks(graph, 32, SEED, path=(0,)))
+    stats = cache.stats()
+    assert stats.entries == 3
+    assert stats.misses == 3
+    # Stratum-path streams differ from the root stream at the same seed.
+    root = np.concatenate(fresh_blocks(graph, 32, SEED))
+    stratum = np.concatenate(list(cache.blocks(graph, 32, SEED, path=(0,))))
+    assert not np.array_equal(root, stratum)
+
+
+def test_lru_eviction_under_byte_budget(graph):
+    one = entry_bytes(graph, 64)
+    cache = WorldBlockCache(max_bytes=2 * one)
+    for seed in (1, 2):
+        list(cache.blocks(graph, 64, seed))
+    assert cache.stats().evictions == 0
+    # Touch seed 1 so seed 2 becomes the LRU victim.
+    list(cache.blocks(graph, 64, 1))
+    list(cache.blocks(graph, 64, 3))
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert stats.entries == 2
+    assert stats.current_bytes <= cache.max_bytes
+    assert (graph.fingerprint(), 2, ()) not in cache
+    assert (graph.fingerprint(), 1, ()) in cache
+    assert (graph.fingerprint(), 3, ()) in cache
+
+
+def test_oversized_entry_served_but_not_stored(graph):
+    cache = WorldBlockCache(max_bytes=8)  # smaller than any entry
+    got = list(cache.blocks(graph, 64, SEED))
+    for a, b in zip(got, fresh_blocks(graph, 64, SEED)):
+        np.testing.assert_array_equal(a, b)
+    assert len(cache) == 0
+    assert cache.stats().current_bytes == 0
+
+
+def test_clear_resets_entries_but_not_counters(graph):
+    cache = WorldBlockCache()
+    list(cache.blocks(graph, 32, SEED))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats().misses == 1
+    list(cache.blocks(graph, 32, SEED))
+    assert cache.stats().misses == 2
+
+
+def test_rejects_negative_inputs(graph):
+    with pytest.raises(EstimatorError):
+        WorldBlockCache(max_bytes=-1)
+    cache = WorldBlockCache()
+    with pytest.raises(EstimatorError):
+        list(cache.blocks(graph, -1, SEED))

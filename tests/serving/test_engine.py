@@ -1,0 +1,189 @@
+"""Serving engine: bit-parity with the one-shot path, concurrency, lifecycle."""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.nmc import NMC
+from repro.core.rss1 import RSS1
+from repro.errors import EstimatorError, ReproError
+from repro.graph.generators import erdos_renyi
+from repro.queries.base import Comparison
+from repro.queries.distance import ReliableDistanceQuery, ThresholdDistanceQuery
+from repro.queries.influence import InfluenceQuery, ThresholdInfluenceQuery
+from repro.serving import ServingEngine
+from repro.serving.bench import build_workload, results_identical
+
+SEED = 20140331
+W = 96  # spans two packed words: exercises multi-word lanes
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(30, 80, rng=np.random.default_rng(SEED))
+
+
+def assert_parity(sequential, served, queries):
+    for i, (a, b) in enumerate(zip(sequential, served)):
+        assert results_identical(a, b), (
+            f"query {i} ({queries[i]!r}): {a.value!r} vs {b.value!r}"
+        )
+
+
+def test_mixed_workload_bit_identical_to_sequential(graph):
+    queries = build_workload(graph, 16)
+    sequential = [NMC().estimate(graph, q, W, rng=SEED) for q in queries]
+    with ServingEngine(graph, max_batch=16, max_wait_s=0.05) as engine:
+        futures = [engine.submit(q, W, SEED) for q in queries]
+        served = [f.result() for f in futures]
+    assert_parity(sequential, served, queries)
+
+
+def test_warm_pass_identical_to_cold_pass(graph):
+    queries = build_workload(graph, 8)
+    with ServingEngine(graph, max_batch=8, max_wait_s=0.05) as engine:
+        cold = [f.result() for f in [engine.submit(q, W, SEED) for q in queries]]
+        assert engine.cache.stats().misses >= 1
+        warm = [f.result() for f in [engine.submit(q, W, SEED) for q in queries]]
+        assert engine.cache.stats().hits >= 1
+    assert_parity(cold, warm, queries)
+
+
+def test_concurrent_submission_from_threads(graph):
+    queries = build_workload(graph, 32)
+    sequential = [NMC().estimate(graph, q, W, rng=SEED) for q in queries]
+    with ServingEngine(graph, max_batch=32, max_wait_s=0.05) as engine:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = list(pool.map(lambda q: engine.submit(q, W, SEED), queries))
+        served = [f.result() for f in futures]
+    assert_parity(sequential, served, queries)
+
+
+def test_metrics_account_for_batches_and_sweep_reuse(graph):
+    queries = build_workload(graph, 16)
+    with ServingEngine(graph, max_batch=16, max_wait_s=0.1) as engine:
+        futures = [engine.submit(q, W, SEED) for q in queries]
+        for f in futures:
+            f.result()
+        metrics = engine.metrics
+        assert metrics.queries == 16
+        assert metrics.batches >= 1
+        assert metrics.batch_size_mean > 1.0
+        assert metrics.sweep_reuse_factor > 1.0
+        assert metrics.fallbacks == 0
+        assert metrics.spans("serve")
+        assert metrics.spans("sweep")
+        snapshot = metrics.snapshot()
+        assert snapshot["queries"] == 16
+        assert snapshot["sweep_reuse_factor"] == metrics.sweep_reuse_factor
+
+
+@pytest.mark.parametrize("estimator_cls", [NMC, RSS1])
+@pytest.mark.parametrize("n_workers", [0, 2])
+def test_estimator_fallback_parity(graph, estimator_cls, n_workers):
+    query = InfluenceQuery(0)
+    expected = estimator_cls().estimate(
+        graph, query, 60, rng=SEED, n_workers=n_workers
+    )
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        got = engine.evaluate(
+            query, 60, SEED, estimator=estimator_cls(), n_workers=n_workers
+        )
+        assert engine.metrics.fallbacks == 1
+    assert results_identical(expected, got)
+
+
+def test_generic_path_serves_query_subclasses(graph):
+    class TracedThreshold(ThresholdInfluenceQuery):
+        def evaluate_pairs(self, g, block):  # exact-class guard: goes generic
+            return super().evaluate_pairs(g, block)
+
+    query = TracedThreshold(0, threshold=2.0, comparison=Comparison.GE)
+    expected = NMC().estimate(graph, query, W, rng=SEED)
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        got = engine.evaluate(query, W, SEED)
+    assert results_identical(expected, got)
+
+
+def test_non_resident_engine_parity(graph):
+    queries = build_workload(graph, 8)
+    sequential = [NMC().estimate(graph, q, W, rng=SEED) for q in queries]
+    with ServingEngine(graph, resident=False, max_batch=8, max_wait_s=0.05) as engine:
+        served = [
+            f.result() for f in [engine.submit(q, W, SEED) for q in queries]
+        ]
+    assert_parity(sequential, served, queries)
+
+
+def test_multiple_graphs_by_fingerprint(graph):
+    other = erdos_renyi(10, 20, rng=np.random.default_rng(SEED + 1))
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        fp_other = engine.register(other)
+        assert fp_other == other.fingerprint()
+        a = engine.evaluate(InfluenceQuery(0), 50, SEED)
+        b = engine.evaluate(InfluenceQuery(0), 50, SEED, graph=other)
+    assert results_identical(a, NMC().estimate(graph, InfluenceQuery(0), 50, rng=SEED))
+    assert results_identical(b, NMC().estimate(other, InfluenceQuery(0), 50, rng=SEED))
+
+
+def test_validation_errors_raise_synchronously(graph):
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        with pytest.raises(EstimatorError):
+            engine.submit(InfluenceQuery(0), 0, SEED)  # n_samples <= 0
+        with pytest.raises(ReproError):
+            engine.submit(InfluenceQuery(graph.n_nodes + 5), 50, SEED)
+
+
+def test_evaluation_errors_propagate_through_the_future(graph):
+    class Exploding(ThresholdInfluenceQuery):
+        def evaluate_pairs(self, g, block):
+            raise RuntimeError("boom in evaluate_pairs")
+
+    query = Exploding(0, threshold=1.0, comparison=Comparison.GE)
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        future = engine.submit(query, 50, SEED)
+        with pytest.raises(RuntimeError, match="boom"):
+            future.result()
+        # The engine keeps serving after a failed request.
+        result = engine.evaluate(InfluenceQuery(0), 50, SEED)
+    assert math.isfinite(result.value)
+
+
+def test_close_is_idempotent_and_blocks_submission(graph):
+    engine = ServingEngine(graph, max_wait_s=0.01)
+    engine.evaluate(InfluenceQuery(0), 40, SEED)
+    engine.close()
+    assert engine.closed
+    engine.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        engine.submit(InfluenceQuery(0), 40, SEED)
+    with pytest.raises(RuntimeError):
+        engine.register(graph)
+
+
+def test_engine_without_graph_requires_registration():
+    engine = ServingEngine(max_wait_s=0.01)
+    try:
+        with pytest.raises(EstimatorError):
+            engine.submit(InfluenceQuery(0), 40, SEED)
+    finally:
+        engine.close()
+
+
+def test_distance_queries_share_sweeps_with_influence(graph):
+    queries = [
+        InfluenceQuery(0),
+        ReliableDistanceQuery(0, graph.n_nodes - 1),
+        ThresholdDistanceQuery(0, graph.n_nodes - 1, threshold=3.0),
+        ThresholdInfluenceQuery(1, threshold=1.0, comparison=Comparison.GE),
+    ]
+    sequential = [NMC().estimate(graph, q, W, rng=SEED) for q in queries]
+    with ServingEngine(graph, max_batch=4, max_wait_s=0.05) as engine:
+        served = [
+            f.result() for f in [engine.submit(q, W, SEED) for q in queries]
+        ]
+    assert_parity(sequential, served, queries)

@@ -68,3 +68,53 @@ def test_missing_file_and_bad_run_index(rss1_trace_file, tmp_path, capsys):
     path, _ = rss1_trace_file
     assert main(["profile", str(path), "--run", "5"]) == 1
     assert "out of range" in capsys.readouterr().err
+
+
+@pytest.fixture
+def serving_payload_file(tmp_path):
+    """A real bench payload with serving records, as repro-serve writes it."""
+    from repro.bench.harness import GRAPHS
+    from repro.serving.bench import bench_serving
+
+    records = []
+    graph = GRAPHS["facebook"](scale=0.02)
+    bench_serving(
+        records, graph, "facebook@0.02", 16, SEED,
+        n_queries=8, repeats=1, log=lambda _msg: None,
+    )
+    payload = {
+        "version": 1,
+        "generated_by": "repro-serve",
+        "config": {"graph": "facebook", "n_worlds": 16, "seed": SEED, "cpu_count": 1},
+        "records": [r.to_dict() for r in records],
+    }
+    path = tmp_path / "bench_serving.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_summary_renders_bench_payloads(serving_payload_file, capsys):
+    assert main(["summary", str(serving_payload_file)]) == 0
+    out = capsys.readouterr().out
+    assert "bench: repro-serve" in out
+    assert "serving_sequential_1q" in out
+    assert "serving_engine_8q" in out
+    assert "q/s=" in out
+    assert "hit_rate=" in out
+    assert "batch=" in out
+    assert "speedup=" in out
+
+
+def test_validate_accepts_bench_payloads(serving_payload_file, capsys):
+    assert main(["validate", str(serving_payload_file)]) == 0
+    assert "bench payload with 2 records" in capsys.readouterr().out
+
+
+def test_validate_rejects_incomplete_serving_records(serving_payload_file, tmp_path, capsys):
+    payload = json.loads(serving_payload_file.read_text())
+    for record in payload["records"]:
+        record.pop("queries_per_sec", None)
+    bad = tmp_path / "bad_bench.json"
+    bad.write_text(json.dumps(payload))
+    assert main(["validate", str(bad)]) == 1
+    assert "queries_per_sec" in capsys.readouterr().err

@@ -58,3 +58,62 @@ def test_bench_payload_validates_through_same_helper():
         validate_bench_payload(broken)
     with pytest.raises(ReproError, match="no records"):
         validate_bench_payload(dict(payload, records=[]))
+
+
+def serving_record(**overrides):
+    record = {
+        "kernel": "serving_engine_64q",
+        "graph": "facebook@0.2",
+        "W": 600,
+        "m": 4059,
+        "seconds": 0.1,
+        "worlds_per_sec": 1.0,
+        "peak_rss_kb": None,
+        "queries_per_sec": 640.0,
+        "cache_hit_rate": 0.75,
+        "batch_size_mean": 64.0,
+        "n_queries": 64,
+    }
+    record.update(overrides)
+    return record
+
+
+def bench_payload(records):
+    return {
+        "version": 1,
+        "generated_by": "repro-serve",
+        "config": {"graph": "facebook", "n_worlds": 600, "seed": 7, "cpu_count": 1},
+        "records": records,
+    }
+
+
+def test_serving_records_require_throughput_fields():
+    assert validate_bench_payload(bench_payload([serving_record()])) == 1
+    for missing in ("queries_per_sec", "cache_hit_rate", "batch_size_mean", "n_queries"):
+        record = serving_record()
+        del record[missing]
+        with pytest.raises(ReproError, match=f"serving bench record #0.*{missing}"):
+            validate_bench_payload(bench_payload([record]))
+
+
+def test_non_serving_records_skip_the_serving_fields():
+    record = serving_record(kernel="reachable_counts_batch")
+    for field in ("queries_per_sec", "cache_hit_rate", "batch_size_mean", "n_queries"):
+        del record[field]
+    assert validate_bench_payload(bench_payload([record])) == 1
+
+
+def test_real_serving_sweep_passes_the_schema(tmp_path):
+    from repro.serving.bench import bench_serving
+    from repro.bench.harness import GRAPHS
+
+    records = []
+    graph = GRAPHS["facebook"](scale=0.02)
+    bench_serving(
+        records, graph, "facebook@0.02", 16, SEED,
+        n_queries=8, repeats=1, log=lambda _msg: None,
+    )
+    payload = bench_payload([r.to_dict() for r in records])
+    assert validate_bench_payload(payload) == 2
+    kernels = {r["kernel"] for r in payload["records"]}
+    assert kernels == {"serving_sequential_1q", "serving_engine_8q"}
