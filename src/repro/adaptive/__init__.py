@@ -1,0 +1,49 @@
+"""repro.adaptive — sequential stopping + variance-aware allocation.
+
+The adaptive execution mode closes the loop the telemetry variance ledger
+opened: instead of spending a fixed ``N`` worlds per query, estimators run
+in geometrically growing rounds and stop when the running CI half-width
+(delta-method, correct for conditional ratio estimands) reaches a target —
+``estimate(..., target_ci=0.01, confidence=0.95)`` — and post-pilot rounds
+can size their root strata by ledger variances (Neyman, Eq. 11) via
+``allocation="neyman-adaptive"``.
+
+Entry points
+------------
+* :meth:`repro.core.base.Estimator.estimate` with ``target_ci=`` — routes
+  to :func:`estimate_adaptive`.
+* :func:`estimate_adaptive` — the engine itself, for explicit control over
+  the pilot size and growth factor.
+* ``repro.serving`` — per-query ``target_ci=`` SLOs served from cached
+  world blocks.
+* ``repro-bench --adaptive`` — the worlds-to-target-CI protocol (NMC vs
+  RSS-I samples saved).
+"""
+
+from repro.adaptive.allocation import (
+    NEYMAN_ADAPTIVE,
+    NeymanState,
+    activate,
+    active,
+    adaptive_allocation,
+)
+from repro.adaptive.engine import estimate_adaptive
+from repro.adaptive.stopping import (
+    DEFAULT_GROWTH,
+    DEFAULT_MIN_WORLDS,
+    RunningEstimate,
+    round_budgets,
+)
+
+__all__ = [
+    "NEYMAN_ADAPTIVE",
+    "NeymanState",
+    "activate",
+    "active",
+    "adaptive_allocation",
+    "estimate_adaptive",
+    "DEFAULT_GROWTH",
+    "DEFAULT_MIN_WORLDS",
+    "RunningEstimate",
+    "round_budgets",
+]

@@ -1,0 +1,151 @@
+"""Variance-aware (Neyman) allocation for adaptive runs.
+
+The paper's stratified estimators allocate proportionally, ``N_i = pi_i N``
+(the setting of Theorems 3.2/4.3/5.5), because the per-stratum variances
+the optimal Neyman allocation (Eq. 11) needs are unknown up front.  In
+adaptive mode they are *not* unknown: the pilot round's telemetry ledger
+yields an empirical variance per root stratum, and every later round can
+size its strata by ``N_i ~ pi_i * sqrt(sigma_i)`` instead.
+
+The override follows the audit/telemetry module-global pattern: the
+adaptive engine activates a :class:`NeymanState` carrying the pooled
+pilot sigmas around each main-phase round, and estimators constructed with
+``allocation="neyman-adaptive"`` consult it through
+:func:`adaptive_allocation` at their split sites.  The override applies
+only at the recursion *root* (stratum path ``()``) — deeper nodes have no
+pilot statistics keyed to them and fall back to proportional — and only
+when the sigma table matches the split's stratum count (a randomised edge
+selection can re-stratify differently between rounds; deterministic
+selections such as BFS benefit most).
+
+Unbiasedness does not depend on the allocation (Theorem 3.1 holds for any
+``N_i >= 1`` per positive-probability stratum), so a misaligned or stale
+sigma table can only cost variance, never correctness: the override floors
+every positive-weight stratum at one sample, exactly like the paper's
+ceiling rule.
+
+The sigmas are *defensive*: raw pilot variances starve exactly the strata
+a pilot can least measure — a rare-success stratum with zero pilot hits
+has observed variance zero, receives (almost) no main-phase samples, and
+its claimed variance stays zero while its true contribution goes
+unsampled, which deflates the running CI below coverage.  Each sigma is
+therefore floored at :data:`DEFENSIVE_FRACTION`² times the pi-weighted
+mean variance before scoring, bounding every stratum's allocation rate at
+a fixed fraction of its proportional share (the survey-sampling
+"defensive mixture" of optimal and proportional allocation).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import (
+    NEYMAN_ADAPTIVE,
+    neyman_allocation,
+    proportional_allocation,
+)
+
+#: Each stratum's Neyman score is floored at this fraction of the score it
+#: would get under the pi-weighted average variance, so a zero-variance
+#: pilot reading can cut a stratum's sampling rate at most ~2x below
+#: proportional instead of starving it entirely.
+DEFENSIVE_FRACTION = 0.5
+
+
+def defensive_sigmas(pis: np.ndarray, sigmas: np.ndarray) -> np.ndarray:
+    """Floor pilot variances at a fraction of their pi-weighted mean.
+
+    Returns ``max(sigma_i, DEFENSIVE_FRACTION^2 * sigma_bar)`` with
+    ``sigma_bar = sum(pi_i sigma_i) / sum(pi_i)``.  When every variance is
+    zero the input is returned unchanged (``neyman_allocation`` already
+    falls back to proportional for an all-zero table).
+    """
+    pis = np.asarray(pis, dtype=np.float64)
+    sigmas = np.asarray(sigmas, dtype=np.float64)
+    total = pis.sum()
+    if total <= 0.0:
+        return sigmas
+    sigma_bar = float(pis @ sigmas) / total
+    if sigma_bar <= 0.0:
+        return sigmas
+    return np.maximum(sigmas, DEFENSIVE_FRACTION * DEFENSIVE_FRACTION * sigma_bar)
+
+
+class NeymanState:
+    """Per-round sigma table for the root split, plus application counters.
+
+    Attributes
+    ----------
+    sigmas:
+        Per-root-stratum numerator variances pooled over the rounds run so
+        far (one entry per stratum of the root split).
+    applied / fallbacks:
+        How many splits used the Neyman sizing vs fell back to
+        proportional (non-root nodes, stratum-count mismatches).
+    """
+
+    __slots__ = ("sigmas", "applied", "fallbacks")
+
+    def __init__(self, sigmas: Sequence[float]) -> None:
+        self.sigmas = np.asarray(sigmas, dtype=np.float64)
+        self.applied = 0
+        self.fallbacks = 0
+
+
+_ACTIVE: Optional[NeymanState] = None
+
+
+def active() -> Optional[NeymanState]:
+    """The active sigma table, or ``None`` outside adaptive main rounds."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(state: Optional[NeymanState]) -> Iterator[Optional[NeymanState]]:
+    """Install ``state`` for the duration of a ``with``; ``None`` is a no-op."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = state
+    try:
+        yield state
+    finally:
+        _ACTIVE = previous
+
+
+def adaptive_allocation(pis, n_samples: int, rng) -> np.ndarray:
+    """Allocate a split's budget under ``allocation="neyman-adaptive"``.
+
+    At the recursion root with a matching active sigma table this is
+    :func:`repro.core.allocation.neyman_allocation` with every
+    positive-weight stratum floored at one sample (the unbiasedness
+    guarantee proportional ceiling gives).  Everywhere else — deeper
+    nodes, no active state (e.g. the pilot round, or a plain
+    non-adaptive ``estimate`` call), stratum-count mismatch — it is the
+    paper's proportional ceiling, so the estimator stays well-defined
+    outside adaptive mode.
+    """
+    state = _ACTIVE
+    path = getattr(rng, "path", None)
+    pis = np.asarray(pis, dtype=np.float64)
+    if state is None or path is None or tuple(path) != () or state.sigmas.size != pis.size:
+        if state is not None:
+            state.fallbacks += 1
+        return proportional_allocation(pis, n_samples, "ceil")
+    out = neyman_allocation(pis, defensive_sigmas(pis, state.sigmas), n_samples).copy()
+    out[(pis > 0.0) & (out == 0)] = 1
+    state.applied += 1
+    return out
+
+
+__all__ = [
+    "NEYMAN_ADAPTIVE",
+    "DEFENSIVE_FRACTION",
+    "NeymanState",
+    "active",
+    "activate",
+    "adaptive_allocation",
+    "defensive_sigmas",
+]

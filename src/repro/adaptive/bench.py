@@ -1,0 +1,135 @@
+"""Adaptive benchmark: worlds-to-target-CI, NMC vs RSS-I.
+
+The protocol behind the ``adaptive_*`` records of ``BENCH_traversal.json``
+(``repro-bench --adaptive``): the paper fixes the world budget ``N`` and
+compares variances at that budget; the adaptive engine inverts the
+question — *how many worlds does each estimator spend to reach the same
+confidence-interval half-width?*  Three estimators answer the same
+single-source influence query on the same graph under
+:func:`repro.adaptive.estimate_adaptive`:
+
+* ``adaptive_nmc`` — plain Monte Carlo, the cost baseline;
+* ``adaptive_rssi`` — RSS-I with BFS edge selection (the paper's
+  recommended class-I configuration, Tables V/VII);
+* ``adaptive_rssi_neyman`` — the same estimator with
+  ``allocation="neyman-adaptive"``, closing the loop from the pilot
+  round's telemetry variance ledger back into the allocation.
+
+Every record carries ``worlds_to_target`` (the engine's stopping point),
+``target_ci`` / ``pilot_fraction`` / ``half_width`` / ``converged``, and —
+on the RSS-I records — ``samples_saved_vs_nmc`` (the NMC-to-RSS-I
+worlds ratio; the paper's variance-reduction claim restated in samples).
+Before a record is written, each run is repeated at ``n_workers=2`` on the
+thread executor and the two results are asserted **bit-identical** — the
+sweep doubles as a check of the adaptive determinism contract.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.adaptive.engine import estimate_adaptive
+from repro.core import diagnostics
+from repro.core.nmc import NMC
+from repro.core.result import EstimateResult
+from repro.core.rss1 import RSS1
+from repro.core.selection import BFSSelection
+from repro.errors import ReproError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.influence import InfluenceQuery
+
+
+def _adaptive_estimators() -> List[tuple]:
+    return [
+        ("adaptive_nmc", NMC()),
+        ("adaptive_rssi", RSS1(selection=BFSSelection())),
+        (
+            "adaptive_rssi_neyman",
+            RSS1(selection=BFSSelection(), allocation="neyman-adaptive"),
+        ),
+    ]
+
+
+def _identical(a: EstimateResult, b: EstimateResult) -> bool:
+    return (
+        a.value == b.value
+        and a.numerator == b.numerator
+        and a.denominator == b.denominator
+        and a.extras.get(diagnostics.WORLDS_TO_TARGET)
+        == b.extras.get(diagnostics.WORLDS_TO_TARGET)
+        and a.extras.get(diagnostics.ROUNDS) == b.extras.get(diagnostics.ROUNDS)
+    )
+
+
+def bench_adaptive(
+    records: list,
+    graph: UncertainGraph,
+    graph_label: str,
+    seed: int,
+    target_ci: float,
+    max_worlds: int,
+    confidence: float = 0.95,
+    log: Callable[[str], None] = print,
+) -> None:
+    """Append the worlds-to-target-CI records; assert worker-count parity.
+
+    ``records`` receives one :class:`~repro.bench.harness.BenchRecord` per
+    estimator of the protocol.  Raises :class:`ReproError` if any
+    estimator's 2-worker rerun differs bit-for-bit from its default run —
+    a worlds-to-target number that depends on the executor would be
+    meaningless.
+    """
+    from repro.bench.harness import BenchRecord, _anchor_nodes, _peak_rss_kb
+
+    source, _ = _anchor_nodes(graph)
+    query = InfluenceQuery([source])
+    nmc_worlds: Optional[int] = None
+    for kernel, estimator in _adaptive_estimators():
+        t0 = time.perf_counter()
+        result = estimate_adaptive(
+            estimator, graph, query, max_worlds,
+            target_ci=target_ci, confidence=confidence, rng=seed,
+        )
+        seconds = time.perf_counter() - t0
+        rerun = estimate_adaptive(
+            estimator, graph, query, max_worlds,
+            target_ci=target_ci, confidence=confidence, rng=seed,
+            n_workers=2, backend="thread",
+        )
+        if not _identical(result, rerun):
+            raise ReproError(
+                f"adaptive determinism failure on {kernel}: 1-worker "
+                f"{result.value!r} ({result.extras.get(diagnostics.WORLDS_TO_TARGET)} "
+                f"worlds) vs 2-worker {rerun.value!r} "
+                f"({rerun.extras.get(diagnostics.WORLDS_TO_TARGET)} worlds)"
+            )
+        worlds = int(result.extras[diagnostics.WORLDS_TO_TARGET])
+        record = BenchRecord(
+            kernel, graph_label, worlds, graph.n_edges, seconds,
+            worlds / seconds if seconds > 0 else float("inf"),
+            peak_rss_kb=_peak_rss_kb(),
+            value=float(result.value),
+            target_ci=float(target_ci),
+            worlds_to_target=worlds,
+            pilot_fraction=float(result.extras[diagnostics.PILOT_FRACTION]),
+            half_width=float(result.extras[diagnostics.HALF_WIDTH]),
+            converged=bool(result.extras[diagnostics.CONVERGED]),
+        )
+        if kernel == "adaptive_nmc":
+            nmc_worlds = worlds
+        elif nmc_worlds:
+            record.samples_saved_vs_nmc = nmc_worlds / worlds if worlds else None
+        records.append(record)
+        saved = (
+            f" | saves {record.samples_saved_vs_nmc:5.2f}x vs NMC"
+            if record.samples_saved_vs_nmc is not None
+            else ""
+        )
+        log(
+            f"  {kernel:<22s} {worlds:>8d} worlds to hw<={target_ci:g} "
+            f"(reached {record.half_width:.3f}) in {seconds:7.3f}s{saved}"
+        )
+
+
+__all__ = ["bench_adaptive"]

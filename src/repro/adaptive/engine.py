@@ -1,0 +1,188 @@
+"""The adaptive execution mode: run estimators until a target CI is met.
+
+``Estimator.estimate(..., target_ci=w, confidence=c)`` routes here instead
+of spending its whole ``n_samples`` budget up front.  The engine runs the
+estimator in geometrically growing *rounds* (:mod:`repro.adaptive.stopping`)
+and stops as soon as the pooled running estimate's CI half-width — computed
+with the delta method, so conditional (Eq. 22) ratio estimands are handled
+correctly — reaches the target, or the ``n_samples`` ceiling is exhausted.
+Easy queries cost one pilot round; hard ones spend the full budget.
+
+Two feedback loops close here:
+
+* **Sequential stopping** — each round is an ordinary (unbiased) estimate
+  at its own derived seed, traced with a private
+  :class:`~repro.telemetry.Tracer`; the round's ledger supplies the
+  variance components the stopping rule needs.
+* **Neyman allocation** — the pooled per-root-stratum ledger variances are
+  activated as a :class:`~repro.adaptive.allocation.NeymanState` around
+  every post-pilot round, so estimators built with
+  ``allocation="neyman-adaptive"`` size their root strata by
+  ``pi_i * sqrt(sigma_i)`` (Eq. 11) instead of ``pi_i``.
+
+Determinism contract: rounds always run through the path-keyed parallel
+engine with ``n_workers = max(1, requested)`` (``n_workers=1`` is the
+in-process decomposition, no pool), so a fixed seed gives bit-identical
+adaptive estimates — including identical stopping decisions, which are pure
+functions of the deterministic block stream — for every requested worker
+count and kernel backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.adaptive import allocation as _allocation
+from repro.adaptive.stopping import (
+    DEFAULT_GROWTH,
+    DEFAULT_MIN_WORLDS,
+    RunningEstimate,
+    round_budgets,
+)
+from repro.core import diagnostics
+from repro.core.result import EstimateResult
+from repro.core.variance import DEFAULT_CONFIDENCE
+from repro.errors import EstimatorError
+from repro.rng import RngLike, root_seed_sequence
+from repro.telemetry.spans import RESIDUAL_INDEX, Ledger
+from repro.telemetry.tracer import TraceContext, Tracer, env_enabled
+
+
+def _round_seed(base: np.random.SeedSequence, index: int) -> np.random.SeedSequence:
+    """Round ``index``'s root seed: the base spawn key extended by the index.
+
+    Mirrors :class:`repro.rng.StratumRng` path keying, so every round owns
+    an independent stream pinned entirely by the caller's seed.
+    """
+    return np.random.SeedSequence(
+        entropy=base.entropy, spawn_key=tuple(base.spawn_key) + (int(index),)
+    )
+
+
+def _root_sigmas(reports: List[Any]) -> Optional[np.ndarray]:
+    """Pooled per-root-stratum numerator variances from the rounds so far.
+
+    Leaf ledgers are grouped by the first component of their stratum path
+    (the root stratum index) and merged across rounds.  ``None`` when the
+    estimator never stratified its root (NMC and friends).  Rounds whose
+    root split has a different stratum count (a randomised selection chose
+    different edges) are skipped — the override handles misalignment by
+    falling back to proportional anyway.
+    """
+    n_strata = 0
+    for report in reports:
+        root = report.spans.get(())
+        if root is not None and root.pis is not None:
+            n_strata = len(root.pis)
+            break
+    if n_strata == 0:
+        return None
+    ledgers = [Ledger() for _ in range(n_strata)]
+    for report in reports:
+        root = report.spans.get(())
+        if root is None or root.pis is None or len(root.pis) != n_strata:
+            continue
+        for span in report.leaf_spans():
+            if not span.path or span.path[0] == RESIDUAL_INDEX:
+                continue
+            if 0 <= span.path[0] < n_strata and span.ledger is not None:
+                ledgers[span.path[0]].merge(span.ledger)
+    return np.array([ledger.var_num() for ledger in ledgers], dtype=np.float64)
+
+
+def estimate_adaptive(
+    estimator: Any,
+    graph: Any,
+    query: Any,
+    max_worlds: int,
+    *,
+    target_ci: float,
+    confidence: float = DEFAULT_CONFIDENCE,
+    rng: RngLike = None,
+    min_worlds: int = DEFAULT_MIN_WORLDS,
+    growth: float = DEFAULT_GROWTH,
+    n_workers: Optional[int] = None,
+    tasks_per_worker: int = 4,
+    backend: str = "auto",
+    min_worlds_per_job: int = 0,
+    audit: Optional[bool] = None,
+    trace: Any = None,
+) -> EstimateResult:
+    """Run ``estimator`` in rounds until the running CI meets ``target_ci``.
+
+    Parameters mirror :meth:`repro.core.base.Estimator.estimate`;
+    ``max_worlds`` is the ``n_samples`` ceiling the run may spend.  The
+    result's ``extras`` carry the adaptive diagnostics
+    (:data:`repro.core.diagnostics.ADAPTIVE_EXTRAS`): the target and
+    achieved half-width, convergence flag, round count, worlds spent and
+    pilot fraction.  ``result.trace`` is the final round's report when
+    tracing was requested (``trace=True`` or ``REPRO_TRACE=1``).
+
+    Raises :class:`~repro.errors.EstimatorError` when a conditional query's
+    conditioning event was never observed across the whole budget — such a
+    run has no estimate, and no uncertainty statement, to report.
+    """
+    if isinstance(trace, TraceContext):
+        raise EstimatorError(
+            "adaptive mode runs one tracer per round and cannot adopt an "
+            "external Tracer; pass trace=True and read result.trace instead"
+        )
+    want_trace = env_enabled() if trace is None else bool(trace)
+    workers = max(1, int(n_workers or 0))
+    base = root_seed_sequence(rng)
+    budgets = round_budgets(int(max_worlds), int(min_worlds), float(growth))
+    running = RunningEstimate(float(target_ci), float(confidence))
+    reports: List[Any] = []
+    n_worlds = 0
+    rounds_run = 0
+    for index, budget in enumerate(budgets):
+        sigmas = _root_sigmas(reports) if index > 0 else None
+        state = _allocation.NeymanState(sigmas) if sigmas is not None else None
+        tracer = Tracer(estimator.name, confidence=float(confidence))
+        with _allocation.activate(state):
+            result = estimator.estimate(
+                graph, query, int(budget), rng=_round_seed(base, index),
+                n_workers=workers, tasks_per_worker=tasks_per_worker,
+                backend=backend, min_worlds_per_job=min_worlds_per_job,
+                audit=audit, trace=tracer,
+            )
+        report = result.trace
+        reports.append(report)
+        running.add_round(
+            int(budget), result.numerator, result.denominator,
+            report.estimated_variance(),
+            report.estimated_variance_den(),
+            report.estimated_covariance(),
+        )
+        n_worlds += result.n_worlds
+        rounds_run = index + 1
+        if running.converged():
+            break
+    if query.conditional and running.denominator == 0.0:
+        raise EstimatorError(
+            f"conditioning event never observed in {n_worlds} worlds; "
+            "the conditional estimate (and its CI) is undefined — raise "
+            "n_samples or loosen the query"
+        )
+    out = EstimateResult.from_pair(
+        running.numerator, running.denominator,
+        running.total_budget, n_worlds, estimator.name,
+        **{
+            diagnostics.TARGET_CI: running.target_ci,
+            diagnostics.CONFIDENCE: running.confidence,
+            diagnostics.HALF_WIDTH: running.half_width(),
+            diagnostics.CONVERGED: running.converged(),
+            diagnostics.ROUNDS: rounds_run,
+            diagnostics.WORLDS_TO_TARGET: n_worlds,
+            diagnostics.PILOT_FRACTION: budgets[0] / running.total_budget,
+            diagnostics.N_WORKERS: workers,
+        },
+    )
+    if want_trace:
+        out.trace = reports[-1]
+    return out
+
+
+__all__ = ["estimate_adaptive"]

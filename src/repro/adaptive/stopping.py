@@ -1,0 +1,194 @@
+"""Sequential stopping: round schedules and the pooled running estimate.
+
+The adaptive engine (:mod:`repro.adaptive.engine`) spends its budget in
+geometrically growing *rounds*: a pilot of ``min_worlds`` worlds, then each
+following round roughly ``growth`` times larger, until either the running
+confidence interval reaches the target half-width or the ``max_worlds``
+budget is exhausted.  Geometric growth keeps the overshoot bounded — the
+run never spends more than ``growth`` times the worlds it would have needed
+with per-block stopping — while amortising the per-round fixed costs
+(recursion set-up, pool dispatch) over ever larger blocks.
+
+Each round is an independent unbiased estimate at its own derived seed;
+:class:`RunningEstimate` pools the round ``(num, den)`` means with weights
+proportional to the round budgets and tracks the delta-method variance of
+the pooled ratio, so the stopping rule is correct for conditional (Eq. 22)
+estimands too.  Everything here is deterministic given the round inputs:
+the stopping decision is a pure function of the (seed-pinned) block stream,
+which is what makes fixed-seed adaptive estimates bit-identical across
+worker counts and kernel backends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.variance import DEFAULT_CONFIDENCE, ratio_variance, z_score
+from repro.errors import EstimatorError
+
+#: Default pilot-round size (worlds) when the caller does not choose one.
+DEFAULT_MIN_WORLDS = 256
+
+#: Default geometric growth factor between rounds.
+DEFAULT_GROWTH = 2.0
+
+
+def round_budgets(
+    max_worlds: int,
+    min_worlds: int = DEFAULT_MIN_WORLDS,
+    growth: float = DEFAULT_GROWTH,
+) -> List[int]:
+    """The full deterministic round schedule for a ``max_worlds`` budget.
+
+    The first entry is the pilot (``min(min_worlds, max_worlds)``); each
+    later round is ``growth`` times the previous, with the final round
+    clipped so the budgets sum to exactly ``max_worlds``.  A schedule is a
+    function of ``(max_worlds, min_worlds, growth)`` alone — never of the
+    data — so two runs at the same parameters draw identical streams.
+    """
+    if max_worlds <= 0:
+        raise EstimatorError(f"max_worlds must be positive, got {max_worlds}")
+    if min_worlds <= 0:
+        raise EstimatorError(f"min_worlds must be positive, got {min_worlds}")
+    if growth < 1.0:
+        raise EstimatorError(f"growth must be >= 1.0, got {growth}")
+    budgets: List[int] = []
+    remaining = int(max_worlds)
+    step = min(int(min_worlds), remaining)
+    while remaining > 0:
+        take = min(step, remaining)
+        budgets.append(take)
+        remaining -= take
+        # int() truncation plus the max() keep the schedule strictly
+        # progressing even for growth == 1.0.
+        step = max(step + 1, int(step * growth))
+    return budgets
+
+
+class RunningEstimate:
+    """The pooled estimate over completed rounds, with its stopping rule.
+
+    Round ``r`` contributes its mean pair ``(num_r, den_r)`` — an unbiased
+    estimate of the query pair — and the estimated variance components of
+    that round estimate (``Var(num_r)``, ``Var(den_r)``, ``Cov``, e.g. from
+    the round's telemetry ledger).  Pooling weights are the round budgets:
+    ``w_r = B_r / sum(B)``, so the pooled pair is the budget-weighted mean
+    of independent round estimates and its variance components are
+    ``sum w_r^2 V_r``.  The half-width is the delta-method CI of the pooled
+    ratio at the configured confidence level.
+
+    The pooled value is *not* bit-identical to a single run at the combined
+    budget (rounds re-seed and re-stratify); it is bit-identical to any
+    other adaptive run at the same seed and parameters, which is the
+    determinism contract adaptive mode makes.
+    """
+
+    __slots__ = (
+        "target_ci", "confidence", "_z",
+        "_budgets", "_nums", "_dens", "_v_num", "_v_den", "_v_cov",
+    )
+
+    def __init__(
+        self,
+        target_ci: float,
+        confidence: float = DEFAULT_CONFIDENCE,
+    ) -> None:
+        if not target_ci > 0.0:
+            raise EstimatorError(f"target_ci must be positive, got {target_ci}")
+        self.target_ci = float(target_ci)
+        self.confidence = float(confidence)
+        self._z = z_score(confidence)
+        self._budgets: List[int] = []
+        self._nums: List[float] = []
+        self._dens: List[float] = []
+        self._v_num: List[float] = []
+        self._v_den: List[float] = []
+        self._v_cov: List[float] = []
+
+    def add_round(
+        self,
+        budget: int,
+        num: float,
+        den: float,
+        var_num: float = 0.0,
+        var_den: float = 0.0,
+        cov: float = 0.0,
+    ) -> None:
+        """Fold one completed round's estimate and variance components in."""
+        if budget <= 0:
+            raise EstimatorError(f"round budget must be positive, got {budget}")
+        if var_num < 0.0 or var_den < 0.0:
+            raise EstimatorError("round variances must be non-negative")
+        self._budgets.append(int(budget))
+        self._nums.append(float(num))
+        self._dens.append(float(den))
+        self._v_num.append(float(var_num))
+        self._v_den.append(float(var_den))
+        self._v_cov.append(float(cov))
+
+    @property
+    def rounds(self) -> int:
+        return len(self._budgets)
+
+    @property
+    def total_budget(self) -> int:
+        return sum(self._budgets)
+
+    def _pooled(self) -> tuple:
+        total = self.total_budget
+        num = den = v_num = v_den = v_cov = 0.0
+        for b, n_r, d_r, vn, vd, vc in zip(
+            self._budgets, self._nums, self._dens,
+            self._v_num, self._v_den, self._v_cov,
+        ):
+            w = b / total
+            num += w * n_r
+            den += w * d_r
+            v_num += w * w * vn
+            v_den += w * w * vd
+            v_cov += w * w * vc
+        return num, den, v_num, v_den, v_cov
+
+    @property
+    def numerator(self) -> float:
+        return self._pooled()[0] if self._budgets else 0.0
+
+    @property
+    def denominator(self) -> float:
+        return self._pooled()[1] if self._budgets else 0.0
+
+    @property
+    def value(self) -> float:
+        num, den = self._pooled()[:2] if self._budgets else (0.0, 0.0)
+        return num / den if den else float("nan")
+
+    def variance(self) -> float:
+        """Delta-method variance of the pooled ratio estimate."""
+        if not self._budgets:
+            return float("inf")
+        num, den, v_num, v_den, v_cov = self._pooled()
+        # The per-round components are already variances *of the round
+        # estimates* (the /n happened inside each round), so n=1 here.
+        return ratio_variance(num, den, v_num, v_den, v_cov, 1)
+
+    def half_width(self) -> float:
+        """CI half-width of the pooled estimate at ``confidence``."""
+        return self._z * self.variance() ** 0.5
+
+    def converged(self) -> bool:
+        """Whether the running CI has reached the target half-width."""
+        return self.rounds >= 1 and self.half_width() <= self.target_ci
+
+    def __repr__(self) -> str:  # noqa: D105
+        return (
+            f"RunningEstimate(rounds={self.rounds}, worlds={self.total_budget}, "
+            f"value={self.value:.6g}, half_width={self.half_width():.6g})"
+        )
+
+
+__all__ = [
+    "DEFAULT_MIN_WORLDS",
+    "DEFAULT_GROWTH",
+    "round_budgets",
+    "RunningEstimate",
+]

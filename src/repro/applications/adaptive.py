@@ -19,13 +19,11 @@ from typing import List
 import numpy as np
 
 from repro.core.base import Estimator
+from repro.core.variance import z_score
 from repro.errors import EstimatorError
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Query
 from repro.rng import RngLike, spawn_rngs
-
-#: two-sided z-scores for common confidence levels
-_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
 
 
 @dataclass
@@ -41,9 +39,10 @@ class AdaptiveResult:
     confidence:
         The confidence level targeted.
     batches:
-        Individual batch estimates.
+        Individual batch estimates (discarded NaN batches excluded).
     n_samples_total:
-        Total sample budget spent across batches.
+        Total sample budget spent on the *kept* batches; discarded NaN
+        batches contribute nothing to the estimate and are not counted.
     converged:
         ``False`` when the batch cap was hit before the tolerance.
     """
@@ -88,18 +87,18 @@ def estimate_to_precision(
     Notes
     -----
     Batches whose estimate is NaN (a conditional query that never observed
-    its conditioning event) are discarded; if *every* batch is NaN the run
-    fails with :class:`EstimatorError`.
+    its conditioning event) are discarded — they contribute neither to the
+    pooled estimate nor to ``n_samples_total``.  If every batch is NaN, or
+    only a single batch survives (no across-batch variance, hence no
+    uncertainty statement), the run fails with :class:`EstimatorError`.
     """
     if tolerance <= 0:
         raise EstimatorError("tolerance must be positive")
-    if confidence not in _Z_SCORES:
-        raise EstimatorError(f"confidence must be one of {sorted(_Z_SCORES)}")
+    z = z_score(confidence)
     if min_batches < 2:
         raise EstimatorError("min_batches must be at least 2")
     if max_batches < min_batches:
         raise EstimatorError("max_batches must be >= min_batches")
-    z = _Z_SCORES[confidence]
     streams = spawn_rngs(rng, max_batches)
 
     batches: List[float] = []
@@ -108,9 +107,9 @@ def estimate_to_precision(
     half_width = math.inf
     for i, stream in enumerate(streams):
         value = estimator.estimate(graph, query, batch_size, rng=stream).value
-        total += batch_size
         if value == value:  # not NaN
             batches.append(value)
+            total += batch_size
         if len(batches) >= min_batches:
             arr = np.asarray(batches)
             sem = arr.std(ddof=1) / math.sqrt(arr.size)
@@ -123,8 +122,14 @@ def estimate_to_precision(
             "every batch produced NaN; the conditioning event may be "
             "(near-)impossible — check the query"
         )
+    if len(batches) == 1:
+        raise EstimatorError(
+            "only a single batch survived NaN discarding; one batch mean "
+            "has no across-batch variance and therefore no confidence "
+            "interval — raise max_batches or batch_size"
+        )
     arr = np.asarray(batches)
-    sem = arr.std(ddof=1) / math.sqrt(arr.size) if arr.size > 1 else math.inf
+    sem = arr.std(ddof=1) / math.sqrt(arr.size)
     return AdaptiveResult(
         value=float(arr.mean()),
         half_width=float(z * sem),

@@ -89,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--serving-queries", type=int, default=64, metavar="N",
         help="concurrent query count for the serving sweep (default: 64)",
     )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="add the worlds-to-target-CI sweep: NMC vs RSS-I run under "
+        "the adaptive engine until the running CI half-width reaches the "
+        "target (estimates asserted bit-identical across worker counts)",
+    )
+    parser.add_argument(
+        "--adaptive-target", type=float, default=None, metavar="CI",
+        help="CI half-width target for the adaptive sweep "
+        "(default: 0.5, or 0.1 with --smoke)",
+    )
     return parser
 
 
@@ -125,6 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.serving_queries <= 0:
         print("repro-bench: --serving-queries must be positive", file=sys.stderr)
         return 2
+    if args.adaptive_target is not None and args.adaptive_target <= 0:
+        print("repro-bench: --adaptive-target must be positive", file=sys.stderr)
+        return 2
     try:
         run_benchmarks(
             graph_name=args.graph,
@@ -140,6 +154,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_check=args.trace_check,
             serving=args.serving,
             serving_queries=args.serving_queries,
+            adaptive=args.adaptive,
+            adaptive_target_ci=args.adaptive_target,
         )
     except ReproError as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)

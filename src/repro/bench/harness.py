@@ -102,6 +102,12 @@ class BenchRecord:
     batch_size_mean: Optional[float] = None
     n_queries: Optional[int] = None
     speedup_vs_sequential: Optional[float] = None
+    target_ci: Optional[float] = None
+    worlds_to_target: Optional[int] = None
+    pilot_fraction: Optional[float] = None
+    half_width: Optional[float] = None
+    converged: Optional[bool] = None
+    samples_saved_vs_nmc: Optional[float] = None
 
     def to_dict(self) -> dict:
         out = {
@@ -118,6 +124,8 @@ class BenchRecord:
             "audit_overhead_pct", "trace_overhead_pct", "backend", "executor",
             "speedup_vs_numpy", "queries_per_sec", "cache_hit_rate",
             "batch_size_mean", "n_queries", "speedup_vs_sequential",
+            "target_ci", "worlds_to_target", "pilot_fraction", "half_width",
+            "converged", "samples_saved_vs_nmc",
         )
         for field in optional:
             value = getattr(self, field)
@@ -431,6 +439,8 @@ def run_benchmarks(
     trace_check: bool = False,
     serving: bool = False,
     serving_queries: int = 64,
+    adaptive: bool = False,
+    adaptive_target_ci: Optional[float] = None,
     log: Callable[[str], None] = print,
 ) -> dict:
     """Run the traversal micro-benchmarks; return (and optionally write) the payload.
@@ -452,7 +462,12 @@ def run_benchmarks(
     cold sequential NMC calls versus concurrently by a warm
     :class:`~repro.serving.engine.ServingEngine`, with engine estimates
     asserted bit-identical to the sequential ones before throughput is
-    recorded.
+    recorded.  ``adaptive`` adds the worlds-to-target-CI sweep
+    (:func:`repro.adaptive.bench.bench_adaptive`): NMC vs RSS-I run under
+    the adaptive engine until the running CI half-width reaches
+    ``adaptive_target_ci`` (default 0.5, or 0.1 under ``smoke``), each
+    asserted bit-identical across worker counts before its
+    ``worlds_to_target`` is recorded.
     """
     if graph_name not in GRAPHS:
         raise ReproError(f"unknown benchmark graph {graph_name!r}; choose from {sorted(GRAPHS)}")
@@ -558,6 +573,27 @@ def run_benchmarks(
             repeats=2 if smoke else 3, log=log,
         )
 
+    adaptive_target = (
+        adaptive_target_ci if adaptive_target_ci is not None
+        else (0.1 if smoke else 0.5)
+    )
+    if adaptive:
+        from repro.adaptive.bench import bench_adaptive
+
+        # Like the serving sweep, this runs a fixed workload graph rather
+        # than the harness scale axis: the worlds-to-target comparison is a
+        # property of the estimators, pinned at the size where the pilot
+        # round is a small fraction of NMC's total spend.  Smoke keeps the
+        # same shape at toy size with a tighter target (the toy graph's
+        # variance is tiny, so a loose target would stop every estimator at
+        # the pilot and compare nothing).
+        adaptive_scale = 0.02 if smoke else 0.2
+        adaptive_graph = GRAPHS["facebook"](scale=adaptive_scale)
+        bench_adaptive(
+            records, adaptive_graph, f"facebook@{adaptive_scale:g}",
+            seed, adaptive_target, 20_000 if smoke else 200_000, log=log,
+        )
+
     payload = {
         "version": 1,
         "generated_by": "repro-bench",
@@ -577,6 +613,8 @@ def run_benchmarks(
             "trace_check": trace_check,
             "serving": serving,
             "serving_queries": serving_queries if serving else None,
+            "adaptive": adaptive,
+            "adaptive_target_ci": adaptive_target if adaptive else None,
             "python": platform.python_version(),
             "numpy": np.__version__,
         },

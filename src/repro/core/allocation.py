@@ -20,6 +20,16 @@ from repro.errors import EstimatorError
 
 ALLOCATION_METHODS = ("ceil", "exact")
 
+#: Marker method selecting the adaptive Neyman override
+#: (:mod:`repro.adaptive.allocation`): proportional ceiling everywhere,
+#: except at the recursion root of an adaptive main-phase round, where the
+#: pilot round's ledger variances drive :func:`neyman_allocation`.
+NEYMAN_ADAPTIVE = "neyman-adaptive"
+
+#: Allocation methods accepted by the stratified estimator constructors
+#: (the pure rounding rules plus the adaptive override marker).
+ESTIMATOR_ALLOCATIONS = ALLOCATION_METHODS + (NEYMAN_ADAPTIVE,)
+
 
 def proportional_allocation(
     weights: Sequence[float],
@@ -183,6 +193,32 @@ def validate_allocation_method(method: str) -> str:
     return method
 
 
+def validate_estimator_allocation(method: str) -> str:
+    """Validate an estimator-level allocation name (incl. the adaptive one)."""
+    if method not in ESTIMATOR_ALLOCATIONS:
+        raise EstimatorError(
+            f"unknown allocation method {method!r}; use one of {ESTIMATOR_ALLOCATIONS}"
+        )
+    return method
+
+
+def estimator_allocation(method: str, weights, n_samples: int, rng) -> np.ndarray:
+    """Dispatch a split's allocation for an estimator-level method name.
+
+    The plain rounding rules go straight to
+    :func:`proportional_allocation`; :data:`NEYMAN_ADAPTIVE` consults the
+    adaptive override (:func:`repro.adaptive.allocation.adaptive_allocation`,
+    imported lazily — the core estimators never pay for the adaptive layer
+    unless it is used), which itself degrades to proportional ceiling
+    outside an adaptive run's main phase.
+    """
+    if method == NEYMAN_ADAPTIVE:
+        from repro.adaptive.allocation import adaptive_allocation
+
+        return adaptive_allocation(weights, n_samples, rng)
+    return proportional_allocation(weights, n_samples, method)
+
+
 #: Budget policies of the recursive estimators (see their docstrings).
 BUDGET_POLICIES = ("guard", "pool", "literal")
 
@@ -198,11 +234,15 @@ def validate_budget_policy(policy: str) -> str:
 
 __all__ = [
     "ALLOCATION_METHODS",
+    "NEYMAN_ADAPTIVE",
+    "ESTIMATOR_ALLOCATIONS",
     "proportional_allocation",
     "neyman_allocation",
     "AllocationPlan",
     "plan_allocation",
     "validate_allocation_method",
+    "validate_estimator_allocation",
+    "estimator_allocation",
     "BUDGET_POLICIES",
     "validate_budget_policy",
 ]

@@ -406,6 +406,8 @@ class Estimator(ABC):
         min_worlds_per_job: int = 0,
         audit: Optional[bool] = None,
         trace: Any = None,
+        target_ci: Optional[float] = None,
+        confidence: float = 0.95,
     ) -> EstimateResult:
         """Run the estimator with a total budget of ``n_samples`` worlds.
 
@@ -465,6 +467,21 @@ class Estimator(ABC):
             :class:`~repro.telemetry.TraceReport` is attached as
             ``result.trace``.  Tracing never changes the random stream, so
             same-seed estimates are bit-identical with tracing on or off.
+        target_ci:
+            ``None`` (default) — spend the whole ``n_samples`` budget.  A
+            positive half-width routes through the adaptive engine
+            (:mod:`repro.adaptive`): the run proceeds in geometrically
+            growing rounds and stops as soon as the running CI at
+            ``confidence`` is at most ``target_ci`` — ``n_samples``
+            becomes the *ceiling* the run may spend.  Adaptive runs
+            always execute with ``n_workers >= 1`` path-keyed streams, so
+            a fixed seed gives bit-identical results for every requested
+            worker count; the adaptive diagnostics land in
+            ``result.extras`` (see
+            :data:`repro.core.diagnostics.ADAPTIVE_EXTRAS`).
+        confidence:
+            Confidence level of ``target_ci`` (0.90 / 0.95 / 0.99); only
+            consulted in adaptive mode.
 
         Returns
         -------
@@ -474,6 +491,18 @@ class Estimator(ABC):
             raise EstimatorError(f"n_samples must be positive, got {n_samples}")
         if n_workers is not None and n_workers < 0:
             raise EstimatorError(f"n_workers must be >= 0, got {n_workers}")
+        if target_ci is not None:
+            if not target_ci > 0.0:
+                raise EstimatorError(f"target_ci must be positive, got {target_ci}")
+            from repro.adaptive.engine import estimate_adaptive
+
+            return estimate_adaptive(
+                self, graph, query, int(n_samples),
+                target_ci=float(target_ci), confidence=float(confidence),
+                rng=rng, n_workers=n_workers, tasks_per_worker=tasks_per_worker,
+                backend=backend, min_worlds_per_job=int(min_worlds_per_job),
+                audit=audit, trace=trace,
+            )
         audit_enabled = _audit.env_enabled() if audit is None else bool(audit)
         tctx = _telemetry.resolve_tracer(trace, self.name)
         if n_workers:

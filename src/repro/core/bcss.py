@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import audit as _audit
 from repro import telemetry as _telemetry
-from repro.core.allocation import proportional_allocation, validate_allocation_method
+from repro.core.allocation import estimator_allocation, validate_estimator_allocation
 from repro.core.base import (
     ChildJob,
     Estimator,
@@ -47,7 +47,7 @@ class BCSS(Estimator):
     name = "BCSS"
 
     def __init__(self, allocation: str = "ceil") -> None:
-        self.allocation = validate_allocation_method(allocation)
+        self.allocation = validate_estimator_allocation(allocation)
 
     def _estimate_pair(
         self,
@@ -69,7 +69,7 @@ class BCSS(Estimator):
         num, den = pair_of(query, u0)
         num *= pi0
         den *= pi0
-        allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        allocations = estimator_allocation(self.allocation, pcds, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, pi0=pi0, allocations=allocations,
             alloc_weights=pcds, n_samples=n_samples,
@@ -117,7 +117,7 @@ class BCSS(Estimator):
         base_num, base_den = pair_of(query, u0)
         base_num *= pi0
         base_den *= pi0
-        allocations = proportional_allocation(pcds, n_samples, self.allocation)
+        allocations = estimator_allocation(self.allocation, pcds, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, pi0=pi0, allocations=allocations,
             alloc_weights=pcds, n_samples=n_samples,

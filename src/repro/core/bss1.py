@@ -15,7 +15,10 @@ import numpy as np
 
 from repro import audit as _audit
 from repro import telemetry as _telemetry
-from repro.core.allocation import proportional_allocation, validate_allocation_method
+from repro.core.allocation import (
+    estimator_allocation,
+    validate_estimator_allocation,
+)
 from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.core.selection import EdgeSelection, RandomSelection
@@ -42,7 +45,10 @@ class BSS1(Estimator):
         Edge-selection strategy; defaults to RM (random).
     allocation:
         ``"ceil"`` (paper) or ``"exact"`` — see
-        :func:`repro.core.allocation.proportional_allocation`.
+        :func:`repro.core.allocation.proportional_allocation` — or
+        ``"neyman-adaptive"``: proportional ceiling normally, but inside an
+        adaptive run's main phase the root split is sized by the pilot
+        round's ledger variances (:mod:`repro.adaptive.allocation`).
     """
 
     def __init__(
@@ -59,11 +65,15 @@ class BSS1(Estimator):
             )
         self.r = int(r)
         self.selection = selection if selection is not None else RandomSelection()
-        self.allocation = validate_allocation_method(allocation)
+        self.allocation = validate_estimator_allocation(allocation)
 
     @property
     def name(self) -> str:  # noqa: D102
         return f"BSSI{self.selection.code}"
+
+    def _allocate(self, pis, n_samples: int, rng) -> np.ndarray:
+        """This node's allocation under the configured method."""
+        return estimator_allocation(self.allocation, pis, n_samples, rng)
 
     def _estimate_pair(
         self,
@@ -79,7 +89,7 @@ class BSS1(Estimator):
             return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
         edges = self.selection.select(graph, query, statuses, r, rng)
         stratum_statuses, pis = class1_strata(graph.prob[edges])
-        allocations = proportional_allocation(pis, n_samples, self.allocation)
+        allocations = self._allocate(pis, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, allocations=allocations,
             n_samples=n_samples, edges=edges,
@@ -119,7 +129,7 @@ class BSS1(Estimator):
             return None
         edges = self.selection.select(graph, query, statuses, r, rng)
         stratum_statuses, pis = class1_strata(graph.prob[edges])
-        allocations = proportional_allocation(pis, n_samples, self.allocation)
+        allocations = self._allocate(pis, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, allocations=allocations,
             n_samples=n_samples, edges=edges,

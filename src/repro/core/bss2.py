@@ -16,7 +16,7 @@ import numpy as np
 
 from repro import audit as _audit
 from repro import telemetry as _telemetry
-from repro.core.allocation import proportional_allocation, validate_allocation_method
+from repro.core.allocation import estimator_allocation, validate_estimator_allocation
 from repro.core.base import ChildJob, Estimator, NodeExpansion, Pair, sample_mean_pair
 from repro.core.result import WorldCounter
 from repro.core.selection import EdgeSelection, RandomSelection
@@ -48,7 +48,7 @@ class BSS2(Estimator):
         check_positive_int(r, "r")
         self.r = int(r)
         self.selection = selection if selection is not None else RandomSelection()
-        self.allocation = validate_allocation_method(allocation)
+        self.allocation = validate_estimator_allocation(allocation)
 
     @property
     def name(self) -> str:  # noqa: D102
@@ -68,7 +68,7 @@ class BSS2(Estimator):
             return sample_mean_pair(graph, query, statuses, n_samples, rng, counter)
         edges = self.selection.select(graph, query, statuses, r, rng)
         pin_counts, pis = class2_strata(graph.prob[edges])
-        allocations = proportional_allocation(pis, n_samples, self.allocation)
+        allocations = estimator_allocation(self.allocation, pis, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, allocations=allocations,
             n_samples=n_samples, edges=edges,
@@ -109,7 +109,7 @@ class BSS2(Estimator):
             return None
         edges = self.selection.select(graph, query, statuses, r, rng)
         pin_counts, pis = class2_strata(graph.prob[edges])
-        allocations = proportional_allocation(pis, n_samples, self.allocation)
+        allocations = estimator_allocation(self.allocation, pis, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, allocations=allocations,
             n_samples=n_samples, edges=edges,

@@ -25,6 +25,14 @@ Keys
     the resolved execution backend (``"thread"``, ``"process"``, or
     ``"sequential"`` for ``n_workers=1``) and the number of pool tasks
     after ``min_worlds_per_job`` coalescing (``N_TASKS <= N_JOBS``).
+``TARGET_CI`` / ``CONFIDENCE`` / ``HALF_WIDTH`` / ``CONVERGED`` /
+``ROUNDS`` / ``WORLDS_TO_TARGET`` / ``PILOT_FRACTION``
+    Adaptive-mode diagnostics (present only on ``estimate(...,
+    target_ci=)`` runs, see :mod:`repro.adaptive`): the requested CI
+    half-width and confidence level, the achieved half-width, whether the
+    target was reached within the budget, the number of sample rounds,
+    the worlds evaluated when the run stopped, and the fraction of those
+    worlds spent on the pilot round.
 """
 
 from __future__ import annotations
@@ -37,9 +45,22 @@ N_WORKERS = "n_workers"
 N_JOBS = "n_jobs"
 BACKEND = "backend"
 N_TASKS = "n_tasks"
+TARGET_CI = "target_ci"
+CONFIDENCE = "confidence"
+HALF_WIDTH = "half_width"
+CONVERGED = "converged"
+ROUNDS = "rounds"
+WORLDS_TO_TARGET = "worlds_to_target"
+PILOT_FRACTION = "pilot_fraction"
 
 #: The diagnostics every estimator run carries in ``result.extras``.
 CORE_EXTRAS = (SPLIT_COUNT, STRATUM_COUNT, MAX_DEPTH, ANALYTIC_MASS)
+
+#: The diagnostics every adaptive (``target_ci=``) run carries on top.
+ADAPTIVE_EXTRAS = (
+    TARGET_CI, CONFIDENCE, HALF_WIDTH, CONVERGED, ROUNDS,
+    WORLDS_TO_TARGET, PILOT_FRACTION,
+)
 
 __all__ = [
     "SPLIT_COUNT",
@@ -50,5 +71,13 @@ __all__ = [
     "N_JOBS",
     "BACKEND",
     "N_TASKS",
+    "TARGET_CI",
+    "CONFIDENCE",
+    "HALF_WIDTH",
+    "CONVERGED",
+    "ROUNDS",
+    "WORLDS_TO_TARGET",
+    "PILOT_FRACTION",
     "CORE_EXTRAS",
+    "ADAPTIVE_EXTRAS",
 ]

@@ -19,9 +19,9 @@ import numpy as np
 from repro import audit as _audit
 from repro import telemetry as _telemetry
 from repro.core.allocation import (
+    estimator_allocation,
     plan_allocation,
-    proportional_allocation,
-    validate_allocation_method,
+    validate_estimator_allocation,
     validate_budget_policy,
 )
 from repro.core.base import (
@@ -76,7 +76,7 @@ class RCSS(Estimator):
         check_positive_int(tau_edges, "tau_edges")
         self.tau_samples = int(tau_samples)
         self.tau_edges = int(tau_edges)
-        self.allocation = validate_allocation_method(allocation)
+        self.allocation = validate_estimator_allocation(allocation)
         self.budget_policy = validate_budget_policy(budget_policy)
 
     def _estimate_pair(
@@ -153,7 +153,7 @@ class RCSS(Estimator):
             allocations = plan.stratum_alloc
         else:
             plan = None
-            allocations = proportional_allocation(pcds, n_samples, self.allocation)
+            allocations = estimator_allocation(self.allocation, pcds, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, pi0=pi0, n_samples=n_samples, plan=plan,
             allocations=None if plan is not None else allocations,
@@ -235,7 +235,7 @@ class RCSS(Estimator):
             allocations = plan.stratum_alloc
         else:
             plan = None
-            allocations = proportional_allocation(pcds, n_samples, self.allocation)
+            allocations = estimator_allocation(self.allocation, pcds, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, pi0=pi0, n_samples=n_samples, plan=plan,
             allocations=None if plan is not None else allocations,

@@ -17,9 +17,9 @@ import numpy as np
 from repro import audit as _audit
 from repro import telemetry as _telemetry
 from repro.core.allocation import (
+    estimator_allocation,
     plan_allocation,
-    proportional_allocation,
-    validate_allocation_method,
+    validate_estimator_allocation,
     validate_budget_policy,
 )
 from repro.core.base import (
@@ -74,7 +74,7 @@ class RSS2(Estimator):
         self.r = int(r)
         self.tau = int(tau)
         self.selection = selection if selection is not None else RandomSelection()
-        self.allocation = validate_allocation_method(allocation)
+        self.allocation = validate_estimator_allocation(allocation)
         self.budget_policy = validate_budget_policy(budget_policy)
 
     @property
@@ -104,7 +104,7 @@ class RSS2(Estimator):
             allocations = plan.stratum_alloc
         else:
             plan = None
-            allocations = proportional_allocation(pis, n_samples, self.allocation)
+            allocations = estimator_allocation(self.allocation, pis, n_samples, rng)
         _audit.check_split(
             self.name, rng, pis=pis, n_samples=n_samples, plan=plan,
             allocations=None if plan is not None else allocations,

@@ -8,6 +8,12 @@ verify every inequality numerically rather than statistically.
 
 All calculators require *unconditional* queries (variances of ratio
 estimators have no closed form).
+
+The module also hosts the shared confidence-interval primitives used by
+every running-CI consumer (the telemetry convergence events, the adaptive
+stopping rule, the serving SLO path): the two-sided :data:`Z_SCORES` table
+with :func:`z_score`, and the delta-method ratio variance
+:func:`ratio_variance` for conditional (Eq. 22) estimands.
 """
 
 from __future__ import annotations
@@ -28,6 +34,58 @@ from repro.graph.statuses import ABSENT, EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import CutSetQuery, Query
 from repro.queries.exact import exact_distribution
+
+
+#: Two-sided z-scores of the supported confidence levels.  Every CI in the
+#: library (telemetry convergence events, adaptive stopping, batch-means
+#: wrappers) must resolve its z through :func:`z_score` so the supported
+#: levels stay in one place.
+Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+#: Confidence level used when a caller does not ask for one.
+DEFAULT_CONFIDENCE = 0.95
+
+
+def z_score(confidence: float = DEFAULT_CONFIDENCE) -> float:
+    """The two-sided z-score of a supported confidence level.
+
+    Raises :class:`EstimatorError` for unsupported levels — a silent
+    fallback to 1.96 would report a 95% interval as whatever the caller
+    asked for.
+    """
+    z = Z_SCORES.get(float(confidence))
+    if z is None:
+        raise EstimatorError(
+            f"confidence must be one of {sorted(Z_SCORES)}, got {confidence!r}"
+        )
+    return z
+
+
+def ratio_variance(
+    mean_num: float,
+    mean_den: float,
+    var_num: float,
+    var_den: float,
+    cov: float,
+    n: int,
+) -> float:
+    """Delta-method variance of the ratio estimate ``num_bar / den_bar``.
+
+    ``Var(R_hat) ~= (sigma_num^2 - 2 R sigma_nd + R^2 sigma_den^2) /
+    (mu_den^2 n)`` with ``R = mu_num / mu_den`` — the first-order expansion
+    of the conditional (Eq. 22) estimand around the true means.  For
+    unconditional queries (``den == 1`` for every world) ``var_den`` and
+    ``cov`` vanish and the expression reduces to the plain ``sigma^2 / n``.
+
+    Returns ``inf`` when the denominator mean is zero (the conditioning
+    event was never observed — the ratio is undefined, so its uncertainty
+    is unbounded) and clamps small negative round-off to zero.
+    """
+    if n <= 0 or mean_den == 0.0:
+        return float("inf")
+    ratio = mean_num / mean_den
+    spread = var_num - 2.0 * ratio * cov + ratio * ratio * var_den
+    return max(0.0, spread) / (mean_den * mean_den * n)
 
 
 def _mean_var(values: np.ndarray, probs: np.ndarray) -> Tuple[float, float]:
@@ -190,6 +248,10 @@ def bcss_variance(graph: UncertainGraph, query: CutSetQuery, n_samples: int) -> 
 
 
 __all__ = [
+    "Z_SCORES",
+    "DEFAULT_CONFIDENCE",
+    "z_score",
+    "ratio_variance",
     "stratum_mean_variance",
     "nmc_variance",
     "stratified_variance",

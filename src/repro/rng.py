@@ -106,6 +106,28 @@ def child_rng(rng: Union[np.random.Generator, StratumRng], index: int):
     return rng
 
 
+def seed_sequence_of(rng: np.random.Generator) -> np.random.SeedSequence:
+    """The ``SeedSequence`` backing a generator's bit generator.
+
+    Numpy exposes it as ``BitGenerator.seed_seq`` on current builds but only
+    as the private ``_seed_seq`` on older ones (the public alias landed in
+    numpy 1.25), and custom bit generators may carry neither.  Every spawn
+    site goes through this accessor so the fallback — and the failure
+    message — live in one place.
+    """
+    bit_generator = rng.bit_generator
+    seq = getattr(bit_generator, "seed_seq", None)
+    if seq is None:
+        seq = getattr(bit_generator, "_seed_seq", None)
+    if not isinstance(seq, np.random.SeedSequence):
+        raise TypeError(
+            f"{type(bit_generator).__name__} exposes no SeedSequence "
+            "(neither .seed_seq nor ._seed_seq); seed it from an int or a "
+            "SeedSequence to make its streams spawnable"
+        )
+    return seq
+
+
 def resolve_rng(rng: RngLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for any accepted input.
 
@@ -140,7 +162,7 @@ def root_seed_sequence(rng: RngLike = None) -> np.random.SeedSequence:
     if isinstance(rng, np.random.SeedSequence):
         return rng
     if isinstance(rng, np.random.Generator):
-        return rng.bit_generator.seed_seq.spawn(1)[0]  # type: ignore[attr-defined]
+        return seed_sequence_of(rng).spawn(1)[0]
     return np.random.SeedSequence(rng)
 
 
@@ -158,7 +180,7 @@ def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
     if isinstance(rng, StratumRng):
         rng = rng.generator
     if isinstance(rng, np.random.Generator):
-        seeds = rng.bit_generator.seed_seq.spawn(n)  # type: ignore[attr-defined]
+        seeds = seed_sequence_of(rng).spawn(n)
     elif isinstance(rng, np.random.SeedSequence):
         seeds = rng.spawn(n)
     else:
@@ -182,6 +204,7 @@ __all__ = [
     "StratumRng",
     "child_rng",
     "resolve_rng",
+    "seed_sequence_of",
     "root_seed_sequence",
     "spawn_rngs",
     "derive_seed",

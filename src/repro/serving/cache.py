@@ -184,38 +184,72 @@ class WorldBlockCache:
         very blocks it sampled.  Either way the yielded boolean blocks are
         bit-identical to ``iter_mask_blocks(EdgeStatuses(graph), n_worlds,
         <key rng>)``.
+
+        Closing the iterator early (an adaptive consumer that met its
+        target CI mid-stream) stores the prefix sampled so far: the prefix
+        property makes a partial entry exactly as valid as a full one.  An
+        undersized entry whose row count lands on this request's block
+        boundaries is replayed as a *partial hit* — its blocks are served
+        from storage and fresh sampling only begins if the consumer
+        actually reads past the stored prefix (the prefix draws are then
+        regenerated unevaluated to advance the generator, and the extended
+        stream is stored).
         """
         if n_worlds < 0:
             raise EstimatorError("n_worlds must be non-negative")
         key: CacheKey = (graph.fingerprint(), int(seed), tuple(path))
+        plan = block_plan(n_worlds, graph.n_edges)
+        chunk = plan[0] if plan else 1
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None and entry.n_worlds >= n_worlds:
+            if entry is not None and (
+                entry.n_worlds >= n_worlds
+                or (entry.n_worlds > 0 and entry.n_worlds % chunk == 0)
+            ):
                 self._entries.move_to_end(key)
                 self._hits += 1
             else:
                 entry = None
                 self._misses += 1
+        stored = 0
         if entry is not None:
             produced = 0
-            for take in block_plan(n_worlds, graph.n_edges):
+            served = min(entry.n_worlds, n_worlds)
+            for take in plan:
+                if produced + take > served:
+                    break
                 rows = entry.packed[produced : produced + take]
                 yield unpack_masks(rows, graph.n_edges)
                 produced += take
-            return
-        # Miss (or an undersized entry, which the fresh stream supersedes):
-        # sample the real stream, pack as we go, store at the end.
+            if produced >= n_worlds:
+                return
+            # Partial hit exhausted: fall through to fresh sampling, skipping
+            # the `produced` worlds already served (their draws are replayed
+            # to advance the generator but never unpacked or re-yielded).
+            stored = produced
+        # Miss (or a partial hit that ran dry): sample the real stream,
+        # pack as we go, store on exit — normal exhaustion stores the full
+        # stream, an early close (GeneratorExit) stores the prefix
+        # materialised so far.
         rng = _key_rng(int(seed), tuple(path))
-        packed_parts: List[np.ndarray] = []
-        for block in iter_mask_blocks(EdgeStatuses(graph), n_worlds, rng):
-            packed_parts.append(pack_masks(block))
-            yield block
-        packed = (
-            np.concatenate(packed_parts, axis=0)
-            if packed_parts
-            else np.empty((0, 0), dtype=np.uint64)
+        packed_parts: List[np.ndarray] = (
+            [entry.packed[:stored]] if entry is not None and stored else []
         )
-        self._store(key, _Entry(packed, n_worlds, graph.n_edges))
+        produced = 0
+        try:
+            for block in iter_mask_blocks(EdgeStatuses(graph), n_worlds, rng):
+                produced += block.shape[0]
+                if produced <= stored:
+                    continue  # replayed prefix draw: already served from cache
+                packed_parts.append(pack_masks(block))
+                yield block
+        finally:
+            packed = (
+                np.concatenate(packed_parts, axis=0)
+                if packed_parts
+                else np.empty((0, 0), dtype=np.uint64)
+            )
+            self._store(key, _Entry(packed, max(produced, stored), graph.n_edges))
 
     def _store(self, key: CacheKey, entry: _Entry) -> None:
         if entry.nbytes > self.max_bytes:
@@ -223,6 +257,12 @@ class WorldBlockCache:
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
+                if old.n_worlds > entry.n_worlds:
+                    # A short prefix must never shadow a longer entry
+                    # (possible when an early-closed miss races a
+                    # concurrent full store of the same key).
+                    self._entries[key] = old
+                    return
                 self._bytes -= old.nbytes
             self._entries[key] = entry
             self._bytes += entry.nbytes

@@ -35,6 +35,12 @@ backend) fall back to per-query batched evaluation against the same cached
 blocks — still bit-identical.  Requests carrying an explicit ``estimator``
 or ``n_workers > 0`` bypass the cache and run the full estimator exactly as
 a direct call would.
+
+Per-query precision SLOs: ``submit(..., target_ci=w)`` consumes world
+blocks incrementally from the cache stream and stops at the first block
+boundary where the running delta-method CI half-width meets the target —
+bit-identical to a fixed-``n`` NMC run at the consumed world count, with
+the sampled prefix cached for the next query.
 """
 
 from __future__ import annotations
@@ -48,8 +54,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import diagnostics
 from repro.core.base import Estimator
 from repro.core.result import EstimateResult, WorldCounter
+from repro.core.variance import ratio_variance, z_score
 from repro.errors import EstimatorError
 from repro.graph.uncertain import UncertainGraph
 from repro.parallel import arena as _arena
@@ -154,7 +162,7 @@ class _Request:
 
     __slots__ = (
         "query", "n_samples", "seed", "fingerprint",
-        "estimator", "n_workers", "future",
+        "estimator", "n_workers", "target_ci", "confidence", "future",
     )
 
     def __init__(
@@ -165,6 +173,8 @@ class _Request:
         fingerprint: str,
         estimator: Optional[Estimator],
         n_workers: int,
+        target_ci: Optional[float] = None,
+        confidence: float = 0.95,
     ) -> None:
         self.query = query
         self.n_samples = int(n_samples)
@@ -172,11 +182,23 @@ class _Request:
         self.fingerprint = fingerprint
         self.estimator = estimator
         self.n_workers = int(n_workers)
+        self.target_ci = None if target_ci is None else float(target_ci)
+        self.confidence = float(confidence)
         self.future: "Future[EstimateResult]" = Future()
 
     @property
     def fast(self) -> bool:
-        return self.estimator is None and self.n_workers == 0
+        return (
+            self.estimator is None and self.n_workers == 0
+            and self.target_ci is None
+        )
+
+    @property
+    def adaptive(self) -> bool:
+        return (
+            self.estimator is None and self.n_workers == 0
+            and self.target_ci is not None
+        )
 
 
 def _classify(query: Query) -> Tuple[str, Query, Optional[ThresholdQuery]]:
@@ -294,6 +316,8 @@ class ServingEngine:
         graph: Optional[UncertainGraph] = None,
         estimator: Optional[Estimator] = None,
         n_workers: int = 0,
+        target_ci: Optional[float] = None,
+        confidence: float = 0.95,
     ) -> "Future[EstimateResult]":
         """Admit one query; returns a future resolving to its estimate.
 
@@ -301,16 +325,31 @@ class ServingEngine:
         ``NMC().estimate(graph, query, n_samples, rng=seed)`` (or to
         ``estimator.estimate(..., n_workers=n_workers)`` when either
         override is given).  Validation errors raise synchronously, here.
+
+        ``target_ci`` is the per-query precision SLO: stop drawing worlds
+        as soon as the running CI half-width (at ``confidence``) reaches
+        the target, with ``n_samples`` as the ceiling.  Cache-path
+        requests consume world blocks incrementally and stop at a block
+        boundary, so the result is bit-identical to a fixed-``n`` NMC run
+        at the consumed world count; requests carrying an ``estimator`` or
+        ``n_workers > 0`` route the SLO into
+        ``estimator.estimate(..., target_ci=...)`` (the adaptive engine).
         """
         if self._closed:
             raise RuntimeError("engine is closed")
         if n_samples <= 0:
             raise EstimatorError("n_samples must be positive")
+        if target_ci is not None and not target_ci > 0.0:
+            raise EstimatorError(f"target_ci must be positive, got {target_ci}")
+        z_score(confidence)  # validate synchronously
         fp = self.register(graph) if graph is not None else self._default_fp
         if fp is None:
             raise EstimatorError("no graph registered; pass graph= or register() one")
         query.validate(self._graphs[fp])
-        request = _Request(query, n_samples, seed, fp, estimator, n_workers)
+        request = _Request(
+            query, n_samples, seed, fp, estimator, n_workers,
+            target_ci=target_ci, confidence=confidence,
+        )
         self._batcher.submit(request)
         return request.future
 
@@ -347,19 +386,32 @@ class ServingEngine:
             )
 
     def _serve_batch(self, batch: List[_Request]) -> None:
-        fallback = [r for r in batch if not r.fast]
+        fallback = [r for r in batch if not r.fast and not r.adaptive]
+        adaptive = [r for r in batch if r.adaptive]
         fast = [r for r in batch if r.fast]
         for req in fallback:
             self.metrics.record_fallback()
             try:
                 estimator = req.estimator if req.estimator is not None else _nmc()
+                kwargs: Dict[str, Any] = {}
+                if req.target_ci is not None:
+                    kwargs["target_ci"] = req.target_ci
+                    kwargs["confidence"] = req.confidence
                 result = estimator.estimate(
                     self._graphs[req.fingerprint],
                     req.query,
                     req.n_samples,
                     rng=req.seed,
                     n_workers=req.n_workers,
+                    **kwargs,
                 )
+            except BaseException as exc:
+                req.future.set_exception(exc)
+            else:
+                req.future.set_result(result)
+        for req in adaptive:
+            try:
+                result = self._serve_adaptive(req)
             except BaseException as exc:
                 req.future.set_exception(exc)
             else:
@@ -462,6 +514,84 @@ class ServingEngine:
                 **counter.stats(),
             )
             req.future.set_result(result)
+
+    def _serve_adaptive(self, req: _Request) -> EstimateResult:
+        """Serve one ``target_ci`` request from incrementally consumed blocks.
+
+        Blocks come from the shared :class:`WorldBlockCache` stream for
+        ``(graph, seed)`` — prefix slices on a hit, fresh sampling (with
+        the consumed prefix stored on early close) on a miss.  After each
+        block the running delta-method CI half-width is tested; stopping
+        happens only at block boundaries, and ``block_plan``'s chunk size
+        is a constant for any world count at or above one chunk, so the
+        consumed prefix has exactly the boundaries a fixed-``n`` run at
+        that count would use: the result is bit-identical to
+        ``NMC().estimate(graph, query, consumed, rng=seed)``.
+        """
+        graph = self._graphs[req.fingerprint]
+        z = z_score(req.confidence)
+        num = den = sq_num = sq_den = cross = 0.0
+        consumed = 0
+        converged = False
+        t0 = time.perf_counter()
+        n_blocks = 0
+        stream = self.cache.blocks(graph, req.n_samples, req.seed)
+        try:
+            for block in stream:
+                block_nums, block_dens = req.query.evaluate_pairs(graph, block)
+                num += float(block_nums.sum())
+                den += float(block_dens.sum())
+                sq_num += float((block_nums * block_nums).sum())
+                sq_den += float((block_dens * block_dens).sum())
+                cross += float((block_nums * block_dens).sum())
+                consumed += block.shape[0]
+                n_blocks += 1
+                mean_num = num / consumed
+                mean_den = den / consumed
+                var_num = max(0.0, sq_num / consumed - mean_num * mean_num)
+                var_den = max(0.0, sq_den / consumed - mean_den * mean_den)
+                cov = cross / consumed - mean_num * mean_den
+                variance = ratio_variance(
+                    mean_num, mean_den, var_num, var_den, cov, consumed
+                )
+                if z * variance ** 0.5 <= req.target_ci:
+                    converged = True
+                    break
+        finally:
+            stream.close()
+        self.metrics.record_sweeps(n_blocks, n_blocks)
+        self.metrics.record_span(
+            "adaptive",
+            time.perf_counter() - t0,
+            consumed=consumed,
+            n_blocks=n_blocks,
+            target_ci=req.target_ci,
+            converged=converged,
+        )
+        if req.query.conditional and den == 0.0:
+            raise EstimatorError(
+                f"conditioning event never observed in {consumed} worlds; "
+                "the conditional estimate (and its CI) is undefined — raise "
+                "n_samples or loosen the query"
+            )
+        counter = WorldCounter()
+        counter.add(consumed)
+        extras: Dict[str, Any] = counter.stats()
+        extras.update({
+            diagnostics.TARGET_CI: req.target_ci,
+            diagnostics.CONFIDENCE: req.confidence,
+            diagnostics.HALF_WIDTH: z * variance ** 0.5,
+            diagnostics.CONVERGED: converged,
+            diagnostics.WORLDS_TO_TARGET: consumed,
+        })
+        return EstimateResult.from_pair(
+            num / consumed,
+            den / consumed,
+            consumed,
+            counter.worlds,
+            "NMC",
+            **extras,
+        )
 
     @staticmethod
     def _accumulate(

@@ -35,8 +35,11 @@ META_FIELDS = (
 #: Required fields of a trace ``span`` record.
 SPAN_FIELDS = ("path", "kind", "n_samples", "worlds", "seconds")
 
-#: Required fields of a trace ``conv`` (convergence) record.
-CONV_FIELDS = ("worlds", "mean", "ci95", "den")
+#: Required fields of a trace ``conv`` (convergence) record.  Since trace
+#: schema v2 the running ``mean`` is the ratio estimand ``num/den`` with a
+#: delta-method CI: ``ci95`` stays the 95% half-width, ``half_width`` is at
+#: the run's confidence level (``meta["confidence"]``).
+CONV_FIELDS = ("worlds", "mean", "ci95", "half_width", "den")
 
 #: Required fields of a trace ``parallel`` record.
 PARALLEL_FIELDS = ("n_workers", "n_jobs", "pool_seconds", "utilisation", "jobs")
@@ -48,6 +51,14 @@ SERVING_BENCH_FIELDS = (
     "cache_hit_rate",
     "batch_size_mean",
     "n_queries",
+)
+
+#: Extra required fields of ``adaptive_*`` bench records (the
+#: worlds-to-target-CI protocol of ``repro-bench --adaptive``).
+ADAPTIVE_BENCH_FIELDS = (
+    "worlds_to_target",
+    "target_ci",
+    "pilot_fraction",
 )
 
 
@@ -126,6 +137,8 @@ def validate_bench_payload(payload: Mapping[str, Any]) -> int:
         check_fields(record, BENCH_FIELDS, f"bench record #{i}")
         if str(record.get("kernel", "")).startswith("serving_"):
             check_fields(record, SERVING_BENCH_FIELDS, f"serving bench record #{i}")
+        if str(record.get("kernel", "")).startswith("adaptive_"):
+            check_fields(record, ADAPTIVE_BENCH_FIELDS, f"adaptive bench record #{i}")
     return len(records)
 
 
@@ -135,6 +148,7 @@ __all__ = [
     "CONV_FIELDS",
     "PARALLEL_FIELDS",
     "SERVING_BENCH_FIELDS",
+    "ADAPTIVE_BENCH_FIELDS",
     "check_fields",
     "validate_trace_records",
     "validate_trace_file",

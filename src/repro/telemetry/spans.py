@@ -69,6 +69,28 @@ class Ledger:
         mean = self.sum_num / self.n
         return max(0.0, self.sumsq_num / self.n - mean * mean)
 
+    def var_den(self) -> float:
+        """Population variance of the per-world denominator.
+
+        Identically zero for unconditional queries (``den == 1`` per world);
+        positive for conditional (Eq. 22) estimands, where it feeds the
+        delta-method ratio variance.
+        """
+        if self.n <= 0:
+            return 0.0
+        mean = self.sum_den / self.n
+        return max(0.0, self.sumsq_den / self.n - mean * mean)
+
+    def cov(self) -> float:
+        """Population covariance of the per-world ``(num, den)`` pair.
+
+        Unlike the variances this may legitimately be negative, so no
+        round-off clamping is applied.
+        """
+        if self.n <= 0:
+            return 0.0
+        return self.sum_cross / self.n - self.mean_num * self.mean_den
+
     def to_dict(self) -> Dict[str, float]:
         return {
             "n": self.n,
@@ -137,6 +159,18 @@ class Span:
         if self.ledger is None or self.ledger.n < 1 or self.weight is None:
             return 0.0
         return self.weight * self.weight * self.ledger.var_num() / self.ledger.n
+
+    def variance_contribution_den(self) -> float:
+        """``w^2 * sigma_hat_den^2 / n`` — the denominator twin."""
+        if self.ledger is None or self.ledger.n < 1 or self.weight is None:
+            return 0.0
+        return self.weight * self.weight * self.ledger.var_den() / self.ledger.n
+
+    def covariance_contribution(self) -> float:
+        """``w^2 * cov_hat(num, den) / n`` — may be negative."""
+        if self.ledger is None or self.ledger.n < 1 or self.weight is None:
+            return 0.0
+        return self.weight * self.weight * self.ledger.cov() / self.ledger.n
 
     def merge(self, other: "Span") -> None:
         """Fold a worker-side span for the same path into this one."""

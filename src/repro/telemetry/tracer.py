@@ -30,6 +30,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.variance import DEFAULT_CONFIDENCE, ratio_variance, z_score
 from repro.errors import ReproError
 from repro.telemetry.spans import Ledger, Span, RESIDUAL_INDEX, resolve_weights, sort_key
 
@@ -40,10 +41,16 @@ TRACE_ENV = "REPRO_TRACE"
 TRACE_FILE_ENV = "REPRO_TRACE_FILE"
 
 #: Version of the trace-file schema (the ``schema`` field of ``meta`` lines).
-TRACE_SCHEMA_VERSION = 1
+#: v2: convergence events track the ratio estimand (``mean = num/den`` with a
+#: delta-method CI) instead of the numerator alone, and carry a
+#: ``half_width`` at the run's confidence level next to the 95% ``ci95``.
+TRACE_SCHEMA_VERSION = 2
 
 #: Convergence events kept per run; later blocks are counted, not stored.
 MAX_EVENTS = 4096
+
+#: The 95% z-score, kept for the schema-stable ``ci95`` event field.
+_Z95 = z_score(0.95)
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 _FALSY = frozenset({"", "0", "false", "no", "off"})
@@ -100,6 +107,36 @@ class TraceReport:
     def estimated_variance(self) -> float:
         """Estimated variance of the numerator estimate (ledger-based)."""
         return sum(s.variance_contribution() for s in self.leaf_spans())
+
+    def estimated_variance_den(self) -> float:
+        """Estimated variance of the denominator estimate (zero when flat)."""
+        return sum(s.variance_contribution_den() for s in self.leaf_spans())
+
+    def estimated_covariance(self) -> float:
+        """Estimated covariance of the ``(num, den)`` estimate pair."""
+        return sum(s.covariance_contribution() for s in self.leaf_spans())
+
+    def estimated_ratio_variance(self) -> float:
+        """Delta-method variance of the reported ``num/den`` estimate.
+
+        For unconditional queries (``den == 1``) the denominator variance
+        and covariance vanish and this equals :meth:`estimated_variance`.
+        ``inf`` when the recorded denominator is zero.
+        """
+        numerator = float(self.meta.get("numerator", 0.0))
+        denominator = float(self.meta.get("denominator", 0.0))
+        return ratio_variance(
+            numerator,
+            denominator,
+            self.estimated_variance(),
+            self.estimated_variance_den(),
+            self.estimated_covariance(),
+            1,
+        )
+
+    def ci_half_width(self, confidence: float = DEFAULT_CONFIDENCE) -> float:
+        """Half-width of the estimate's CI at ``confidence`` (delta method)."""
+        return z_score(confidence) * self.estimated_ratio_variance() ** 0.5
 
     def variance_shares(self) -> Dict[Tuple[int, ...], float]:
         """Each leaf's fraction of :meth:`estimated_variance` (0 when flat)."""
@@ -169,8 +206,11 @@ class TraceContext:
         estimator: str = "estimator",
         base_path: Tuple[int, ...] = (),
         exporters: Optional[Sequence[Any]] = None,
+        confidence: float = DEFAULT_CONFIDENCE,
     ) -> None:
         self.estimator = estimator
+        self.confidence = float(confidence)
+        self._z = z_score(confidence)
         self.base_path = tuple(int(i) for i in base_path)
         self._stack: List[int] = list(self.base_path)
         self._frames: List[Tuple[float, float]] = []
@@ -188,6 +228,8 @@ class TraceContext:
         self._cum_num = 0.0
         self._cum_sq = 0.0
         self._cum_den = 0.0
+        self._cum_den_sq = 0.0
+        self._cum_cross = 0.0
 
     # ------------------------------------------------------------------ #
     # span tree
@@ -217,7 +259,15 @@ class TraceContext:
         n_samples: int = 0,
     ) -> None:
         """Record one recursion node's stratification on its span."""
-        span = self._span(self.current_path(rng))
+        path = self.current_path(rng)
+        # Re-anchor the enter/exit stack at this node's absolute path.  A
+        # path-keyed RNG carries the truth; the stack may be stale when
+        # several jobs share one context (the inline single-worker engine
+        # path), and a mismatch would make exit_child write its ``pi`` onto
+        # the wrong absolute span.  With a plain Generator ``current_path``
+        # already returned the stack, so this is a no-op for sequential runs.
+        self._stack = list(path)
+        span = self._span(path)
         span.kind = "split"
         span.pi0 = float(pi0)
         span.n_strata = len(pis)
@@ -242,24 +292,39 @@ class TraceContext:
     # ------------------------------------------------------------------ #
 
     def leaf_block(self, path: Tuple[int, ...], nums, dens) -> None:
-        """Fold one evaluated world block into the leaf's ledger + events."""
+        """Fold one evaluated world block into the leaf's ledger + events.
+
+        Events track the *ratio* estimand ``sum(num) / sum(den)`` — the
+        quantity the estimate actually reports (Eq. 22 for conditional
+        queries; for unconditional ones ``den == 1`` and this reduces to
+        the numerator mean) — with a delta-method CI.  ``ci95`` is always
+        the 95% half-width; ``half_width`` is at the run's confidence.
+        """
         self._span(path).ensure_ledger().add_arrays(nums, dens)
         self._cum_n += int(nums.size)
         self._cum_num += float(nums.sum())
         self._cum_sq += float((nums * nums).sum())
         self._cum_den += float(dens.sum())
+        self._cum_den_sq += float((dens * dens).sum())
+        self._cum_cross += float((nums * dens).sum())
         if len(self.events) >= MAX_EVENTS:
             self.events_dropped += 1
             return
         n = self._cum_n
-        mean = self._cum_num / n
-        var = max(0.0, self._cum_sq / n - mean * mean)
+        mean_num = self._cum_num / n
+        mean_den = self._cum_den / n
+        var_num = max(0.0, self._cum_sq / n - mean_num * mean_num)
+        var_den = max(0.0, self._cum_den_sq / n - mean_den * mean_den)
+        cov = self._cum_cross / n - mean_num * mean_den
+        variance = ratio_variance(mean_num, mean_den, var_num, var_den, cov, n)
+        se = variance**0.5
         self.events.append(
             {
                 "worlds": n,
-                "mean": mean,
-                "ci95": 1.96 * (var / n) ** 0.5,
-                "den": self._cum_den / n,
+                "mean": mean_num / mean_den if mean_den else float("nan"),
+                "ci95": _Z95 * se,
+                "half_width": self._z * se,
+                "den": mean_den,
             }
         )
 
@@ -405,6 +470,7 @@ class TraceContext:
             "value": value,
             "numerator": float(numerator),
             "denominator": float(denominator),
+            "confidence": self.confidence,
             "python": platform.python_version(),
             "events_dropped": self.events_dropped,
         }

@@ -1,0 +1,181 @@
+"""Neyman allocation: degenerate inputs, defensive floor, override scoping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive.allocation import (
+    DEFENSIVE_FRACTION,
+    NeymanState,
+    activate,
+    active,
+    adaptive_allocation,
+    defensive_sigmas,
+)
+from repro.core.allocation import neyman_allocation, proportional_allocation
+from repro.rng import StratumRng
+
+
+def _root_rng() -> StratumRng:
+    return StratumRng(np.random.SeedSequence(0), ())
+
+
+# --------------------------- neyman degenerate --------------------------- #
+
+
+def test_neyman_all_zero_scores_falls_back_to_proportional():
+    pis = np.array([0.5, 0.3, 0.2])
+    sigmas = np.zeros(3)
+    expected = proportional_allocation(pis, 100, "ceil")
+    assert np.array_equal(neyman_allocation(pis, sigmas, 100), expected)
+
+
+def test_neyman_single_stratum_gets_everything():
+    out = neyman_allocation(np.array([1.0]), np.array([2.5]), 64)
+    assert out.sum() >= 64
+    assert out[0] >= 64
+
+
+def test_neyman_zero_variance_stratum_starves_without_defense():
+    """The raw optimum sends ~no samples to a zero-pilot-variance stratum.
+
+    This is the starvation mode the defensive floor exists to prevent —
+    assert it so the floor's purpose stays documented by a failing mode.
+    """
+    pis = np.array([0.5, 0.5])
+    sigmas = np.array([0.0, 4.0])
+    out = neyman_allocation(pis, sigmas, 100)
+    assert out[0] <= 1  # starved by the raw rule
+
+
+# ---------------------------- defensive floor ---------------------------- #
+
+
+def test_defensive_sigmas_floors_at_fraction_of_weighted_mean():
+    pis = np.array([0.5, 0.5])
+    sigmas = np.array([0.0, 4.0])
+    floored = defensive_sigmas(pis, sigmas)
+    sigma_bar = 2.0
+    assert floored[0] == pytest.approx(DEFENSIVE_FRACTION**2 * sigma_bar)
+    assert floored[1] == 4.0  # already above the floor: untouched
+
+
+def test_defensive_sigmas_all_zero_left_unchanged():
+    pis = np.array([0.6, 0.4])
+    assert np.array_equal(defensive_sigmas(pis, np.zeros(2)), np.zeros(2))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_defensive_sigmas_bounds(n, data):
+    pis = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    sigmas = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    floored = defensive_sigmas(pis, sigmas)
+    sigma_bar = float(pis @ sigmas) / pis.sum()
+    assert np.all(floored >= sigmas)  # a floor only raises
+    if sigma_bar > 0.0:
+        assert np.all(floored >= DEFENSIVE_FRACTION**2 * sigma_bar - 1e-12)
+
+
+# ----------------------------- the override ----------------------------- #
+
+
+def test_adaptive_allocation_without_state_is_proportional():
+    pis = np.array([0.25, 0.75])
+    assert active() is None
+    out = adaptive_allocation(pis, 100, _root_rng())
+    assert np.array_equal(out, proportional_allocation(pis, 100, "ceil"))
+
+
+def test_adaptive_allocation_applies_at_root_and_floors_positive_strata():
+    pis = np.array([0.5, 0.5])
+    state = NeymanState([0.0, 4.0])
+    with activate(state):
+        out = adaptive_allocation(pis, 100, _root_rng())
+    # The defensive floor keeps the zero-pilot-variance stratum sampled at
+    # a real rate (>= ~1/3 of proportional here), not just the 1-floor.
+    assert out[0] >= 10
+    assert out[1] > out[0]  # the high-variance stratum still gets more
+    assert state.applied == 1
+    assert state.fallbacks == 0
+
+
+def test_adaptive_allocation_non_root_falls_back():
+    pis = np.array([0.5, 0.5])
+    state = NeymanState([1.0, 2.0])
+    child = StratumRng(np.random.SeedSequence(0), (3,))
+    with activate(state):
+        out = adaptive_allocation(pis, 50, child)
+    assert np.array_equal(out, proportional_allocation(pis, 50, "ceil"))
+    assert state.applied == 0
+    assert state.fallbacks == 1
+
+
+def test_adaptive_allocation_size_mismatch_falls_back():
+    pis = np.array([0.2, 0.3, 0.5])
+    state = NeymanState([1.0, 2.0])  # two sigmas, three strata
+    with activate(state):
+        out = adaptive_allocation(pis, 50, _root_rng())
+    assert np.array_equal(out, proportional_allocation(pis, 50, "ceil"))
+    assert state.fallbacks == 1
+
+
+def test_activate_restores_previous_state():
+    outer = NeymanState([1.0])
+    inner = NeymanState([2.0])
+    with activate(outer):
+        with activate(inner):
+            assert active() is inner
+        assert active() is outer
+    assert active() is None
+
+
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    n_samples=st.integers(min_value=1, max_value=10_000),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_override_never_starves_a_positive_stratum(n, n_samples, data):
+    pis = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    sigmas = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    with activate(NeymanState(sigmas)):
+        out = adaptive_allocation(pis, n_samples, _root_rng())
+    # Theorem 3.1's precondition: every positive-probability stratum draws
+    # at least one world, whatever the pilot variances claim.
+    assert np.all(out[pis > 0.0] >= 1)
+    assert np.all(out >= 0)

@@ -1,0 +1,45 @@
+"""The worlds-to-target-CI bench sweep: records, fields, schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.bench import bench_adaptive
+from repro.datasets.surrogates import facebook_like
+from repro.telemetry.schema import ADAPTIVE_BENCH_FIELDS, check_fields
+
+
+@pytest.fixture(scope="module")
+def records():
+    graph = facebook_like(scale=0.02)
+    out: list = []
+    bench_adaptive(
+        out, graph, "facebook@0.02", seed=7, target_ci=0.2,
+        max_worlds=5000, log=lambda _msg: None,
+    )
+    return out
+
+
+def test_bench_adaptive_emits_one_record_per_estimator(records):
+    kernels = [record.kernel for record in records]
+    assert kernels == ["adaptive_nmc", "adaptive_rssi", "adaptive_rssi_neyman"]
+
+
+def test_bench_adaptive_records_are_schema_compliant(records):
+    for record in records:
+        payload = record.to_dict()
+        check_fields(payload, ADAPTIVE_BENCH_FIELDS, record.kernel)
+        assert payload["worlds_to_target"] == payload["W"] > 0
+        assert payload["target_ci"] == 0.2
+        assert 0.0 < payload["pilot_fraction"] <= 1.0
+        assert payload["half_width"] >= 0.0
+
+
+def test_bench_adaptive_rssi_reports_savings(records):
+    by_kernel = {record.kernel: record for record in records}
+    assert by_kernel["adaptive_nmc"].samples_saved_vs_nmc is None
+    saved = by_kernel["adaptive_rssi"].samples_saved_vs_nmc
+    assert saved == pytest.approx(
+        by_kernel["adaptive_nmc"].worlds_to_target
+        / by_kernel["adaptive_rssi"].worlds_to_target
+    )

@@ -1,0 +1,172 @@
+"""Adaptive engine: stopping behaviour, diagnostics, determinism matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro import native as native_module
+from repro.adaptive import estimate_adaptive
+from repro.core import NMC, RSS1, BFSSelection
+from repro.core import diagnostics
+from repro.errors import EstimatorError
+from repro.graph.uncertain import UncertainGraph
+from repro.queries.distance import ReliableDistanceQuery
+from repro.queries.influence import InfluenceQuery
+from repro.telemetry.tracer import TraceContext
+
+SEED = 20140331
+
+
+def _fingerprint(result):
+    return (
+        result.value,
+        result.numerator,
+        result.denominator,
+        result.extras[diagnostics.WORLDS_TO_TARGET],
+        result.extras[diagnostics.ROUNDS],
+        result.extras[diagnostics.HALF_WIDTH],
+    )
+
+
+# ------------------------------ behaviour ------------------------------ #
+
+
+def test_easy_target_stops_at_the_pilot(fig1_graph):
+    result = estimate_adaptive(
+        NMC(), fig1_graph, InfluenceQuery(0), 10_000,
+        target_ci=100.0, rng=SEED, min_worlds=64,
+    )
+    assert result.extras[diagnostics.ROUNDS] == 1
+    assert result.extras[diagnostics.CONVERGED] is True
+    assert result.extras[diagnostics.PILOT_FRACTION] == 1.0
+    assert result.n_samples == 64
+
+
+def test_hard_target_spends_the_whole_budget(fig1_graph):
+    result = estimate_adaptive(
+        NMC(), fig1_graph, InfluenceQuery(0), 500,
+        target_ci=1e-9, rng=SEED, min_worlds=64,
+    )
+    assert result.extras[diagnostics.CONVERGED] is False
+    assert result.n_samples == 500
+    assert result.extras[diagnostics.HALF_WIDTH] > 1e-9
+
+
+def test_moderate_target_stops_between(fig1_graph):
+    easy = estimate_adaptive(
+        NMC(), fig1_graph, InfluenceQuery(0), 50_000,
+        target_ci=0.1, rng=SEED, min_worlds=64,
+    )
+    assert easy.extras[diagnostics.CONVERGED] is True
+    assert 64 < easy.n_samples < 50_000
+    assert easy.extras[diagnostics.HALF_WIDTH] <= 0.1
+    assert easy.extras[diagnostics.ROUNDS] > 1
+    # worlds_to_target counts evaluated worlds, so ceiling allocation may
+    # push it slightly past the budget spent, never below a round's worth.
+    assert easy.extras[diagnostics.WORLDS_TO_TARGET] >= easy.n_samples
+
+
+def test_adaptive_estimate_is_sane(fig1_graph):
+    """The pooled value must agree with a fixed-budget run's neighbourhood."""
+    reference = NMC().estimate(fig1_graph, InfluenceQuery(0), 20_000, rng=1)
+    adaptive = estimate_adaptive(
+        NMC(), fig1_graph, InfluenceQuery(0), 50_000,
+        target_ci=0.05, rng=SEED, min_worlds=256,
+    )
+    assert adaptive.value == pytest.approx(reference.value, abs=0.15)
+
+
+def test_neyman_adaptive_converges_and_covers(fig1_graph):
+    est = RSS1(r=2, tau=5, selection=BFSSelection(), allocation="neyman-adaptive")
+    result = estimate_adaptive(
+        est, fig1_graph, InfluenceQuery(0), 50_000,
+        target_ci=0.05, rng=SEED, min_worlds=256,
+    )
+    reference = NMC().estimate(fig1_graph, InfluenceQuery(0), 20_000, rng=1)
+    assert result.extras[diagnostics.CONVERGED] is True
+    assert result.value == pytest.approx(reference.value, abs=0.2)
+
+
+def test_conditional_query_never_observed_raises():
+    # A two-node graph whose only edge (almost) never exists: the
+    # reliable-distance conditioning event (target reachable) is
+    # ~impossible at this budget, so the run must refuse to report.
+    graph = UncertainGraph.from_edges(2, [(0, 1, 1e-12)], directed=True)
+    query = ReliableDistanceQuery(0, 1)
+    assert query.conditional
+    with pytest.raises(EstimatorError, match="never observed"):
+        estimate_adaptive(
+            NMC(), graph, query, 512, target_ci=0.1, rng=SEED, min_worlds=64,
+        )
+
+
+def test_external_trace_context_is_rejected(fig1_graph):
+    with pytest.raises(EstimatorError, match="per round"):
+        estimate_adaptive(
+            NMC(), fig1_graph, InfluenceQuery(0), 100,
+            target_ci=1.0, rng=SEED, trace=TraceContext("NMC"),
+        )
+
+
+def test_trace_true_returns_final_round_report(fig1_graph):
+    result = estimate_adaptive(
+        NMC(), fig1_graph, InfluenceQuery(0), 1000,
+        target_ci=1e-9, rng=SEED, min_worlds=64, trace=True,
+    )
+    assert result.trace is not None
+    assert result.trace.meta["estimator"] == "NMC"
+
+
+def test_estimate_entry_point_routes_to_adaptive(fig1_graph):
+    """``estimate(..., target_ci=)`` is the engine under another name."""
+    direct = estimate_adaptive(
+        NMC(), fig1_graph, InfluenceQuery(0), 2000, target_ci=0.2, rng=SEED,
+    )
+    routed = NMC().estimate(
+        fig1_graph, InfluenceQuery(0), 2000, rng=SEED, target_ci=0.2,
+    )
+    assert _fingerprint(routed) == _fingerprint(direct)
+
+
+# ------------------------- determinism matrix ------------------------- #
+
+ESTIMATORS = [
+    NMC(),
+    RSS1(r=2, tau=5, selection=BFSSelection()),
+    RSS1(r=2, tau=5, selection=BFSSelection(), allocation="neyman-adaptive"),
+]
+
+
+@pytest.mark.parametrize("backend", ("numpy", "native"))
+@pytest.mark.parametrize("n_workers", (0, 2))
+@pytest.mark.parametrize("estimator", ESTIMATORS, ids=lambda e: e.name)
+def test_adaptive_parity_matrix(
+    fig1_graph, estimator, n_workers, backend, monkeypatch
+):
+    """Fixed seed => bit-identical adaptive runs across workers x backends.
+
+    The reference is the default run (``n_workers=None`` -> the in-process
+    engine) on the numpy backend; every cell of the matrix — including the
+    stopping decision itself — must reproduce it exactly.
+    """
+    query = InfluenceQuery(0)
+    with kernels.use_backend("numpy"):
+        expected = _fingerprint(
+            estimate_adaptive(
+                estimator, fig1_graph, query, 2000,
+                target_ci=0.2, rng=SEED, min_worlds=128,
+            )
+        )
+    if backend == "native":
+        # Pure-Python twins of the numba kernels: real dispatch, no JIT.
+        monkeypatch.setattr(native_module, "NUMBA_AVAILABLE", True)
+    monkeypatch.setenv(kernels.KERNEL_ENV, backend)
+    assert kernels.active_backend() == backend
+    result = estimate_adaptive(
+        estimator, fig1_graph, query, 2000,
+        target_ci=0.2, rng=SEED, min_worlds=128,
+        n_workers=n_workers, backend="thread",
+    )
+    assert _fingerprint(result) == expected

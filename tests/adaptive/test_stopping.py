@@ -1,0 +1,127 @@
+"""Properties of the round schedule and the pooled running estimate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive.stopping import RunningEstimate, round_budgets
+from repro.errors import EstimatorError
+
+
+# ------------------------------ schedule ------------------------------ #
+
+
+@given(
+    max_worlds=st.integers(min_value=1, max_value=2_000_000),
+    min_worlds=st.integers(min_value=1, max_value=10_000),
+    growth=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_round_budgets_partition_the_budget(max_worlds, min_worlds, growth):
+    budgets = round_budgets(max_worlds, min_worlds, growth)
+    assert sum(budgets) == max_worlds
+    assert all(b >= 1 for b in budgets)
+    # The pilot is exactly the requested size (clipped to the budget) —
+    # the engine never stops before it, so no run spends fewer worlds.
+    assert budgets[0] == min(min_worlds, max_worlds)
+    # Geometric growth: every round but the clipped last is no smaller
+    # than its predecessor.
+    assert all(b >= a for a, b in zip(budgets[:-2], budgets[1:-1]))
+
+
+def test_round_budgets_growth_one_still_terminates():
+    budgets = round_budgets(1000, 100, 1.0)
+    assert sum(budgets) == 1000
+    assert len(budgets) < 1000  # the +1 step guard keeps it progressing
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_worlds": 0},
+        {"max_worlds": -5},
+        {"max_worlds": 10, "min_worlds": 0},
+        {"max_worlds": 10, "min_worlds": 5, "growth": 0.5},
+    ],
+)
+def test_round_budgets_rejects_degenerate_inputs(kwargs):
+    with pytest.raises(EstimatorError):
+        round_budgets(**kwargs)
+
+
+# --------------------------- running estimate --------------------------- #
+
+
+def test_never_converged_before_any_round():
+    running = RunningEstimate(target_ci=1e9)
+    assert not running.converged()
+    assert running.half_width() == math.inf
+
+
+@given(
+    sigma2=st.floats(min_value=1e-6, max_value=1e4, allow_nan=False),
+    budgets=st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=12),
+)
+@settings(max_examples=150, deadline=None)
+def test_pooled_variance_matches_iid_theory(sigma2, budgets):
+    """Rounds with per-world variance ``sigma2`` pool to ``sigma2 / T``.
+
+    Each round estimate has variance ``sigma2 / B_r``; budget-weighted
+    pooling must reproduce exactly what one run at the combined budget
+    would claim — the accounting identity the stopping rule relies on.
+    """
+    running = RunningEstimate(target_ci=1e-12)
+    for budget in budgets:
+        running.add_round(budget, 1.0, 1.0, var_num=sigma2 / budget)
+    total = sum(budgets)
+    assert running.variance() == pytest.approx(sigma2 / total, rel=1e-12)
+
+
+@given(
+    sigma2=st.floats(min_value=1e-6, max_value=1e4, allow_nan=False),
+    budgets=st.lists(st.integers(min_value=1, max_value=100_000), min_size=2, max_size=12),
+)
+@settings(max_examples=150, deadline=None)
+def test_half_width_monotone_under_constant_variance_rate(sigma2, budgets):
+    """At a fixed per-world variance, more rounds always tighten the CI."""
+    running = RunningEstimate(target_ci=1e-12)
+    widths = []
+    for budget in budgets:
+        running.add_round(budget, 1.0, 1.0, var_num=sigma2 / budget)
+        widths.append(running.half_width())
+    assert all(b <= a * (1 + 1e-12) for a, b in zip(widths, widths[1:]))
+
+
+def test_stopping_rule_is_the_half_width_comparison():
+    running = RunningEstimate(target_ci=0.5, confidence=0.95)
+    running.add_round(100, 2.0, 1.0, var_num=1.0)  # hw = 1.96 > 0.5
+    assert not running.converged()
+    running.add_round(10_000, 2.0, 1.0, var_num=1e-6)
+    assert running.half_width() <= 0.5
+    assert running.converged()
+
+
+def test_conditional_pooling_uses_the_delta_method():
+    """A ratio estimand's CI must reflect denominator noise too."""
+    plain = RunningEstimate(target_ci=0.1)
+    plain.add_round(100, 0.5, 1.0, var_num=0.01)
+    noisy_den = RunningEstimate(target_ci=0.1)
+    noisy_den.add_round(100, 0.5, 1.0, var_num=0.01, var_den=0.02, cov=0.0)
+    assert noisy_den.variance() > plain.variance()
+    assert noisy_den.value == plain.value == 0.5
+
+
+def test_add_round_validates_inputs():
+    running = RunningEstimate(target_ci=1.0)
+    with pytest.raises(EstimatorError):
+        running.add_round(0, 1.0, 1.0)
+    with pytest.raises(EstimatorError):
+        running.add_round(10, 1.0, 1.0, var_num=-1.0)
+    with pytest.raises(EstimatorError):
+        RunningEstimate(target_ci=0.0)
+    with pytest.raises(EstimatorError):
+        RunningEstimate(target_ci=-1.0)

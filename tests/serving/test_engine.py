@@ -187,3 +187,103 @@ def test_distance_queries_share_sweeps_with_influence(graph):
             f.result() for f in [engine.submit(q, W, SEED) for q in queries]
         ]
     assert_parity(sequential, served, queries)
+
+
+# --------------------------- per-query precision SLO --------------------------- #
+
+
+def test_adaptive_request_bit_identical_to_fixed_n_at_consumed_count(graph):
+    """SLO stopping at a block boundary == a fixed-n run at that count."""
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        served = engine.submit(
+            InfluenceQuery(0), 100_000, SEED, target_ci=0.5
+        ).result()
+    consumed = served.n_samples
+    assert 0 < consumed < 100_000
+    assert served.extras["converged"] is True
+    assert served.extras["target_ci"] == 0.5
+    assert served.extras["half_width"] <= 0.5
+    assert served.extras["worlds_to_target"] == consumed
+    reference = NMC().estimate(graph, InfluenceQuery(0), consumed, rng=SEED)
+    assert served.value == reference.value
+    assert served.numerator == reference.numerator
+    assert served.denominator == reference.denominator
+
+
+def test_adaptive_request_exhausts_ceiling_without_converging(graph):
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        served = engine.submit(
+            InfluenceQuery(0), W, SEED, target_ci=1e-9
+        ).result()
+    assert served.n_samples == W
+    assert served.extras["converged"] is False
+    reference = NMC().estimate(graph, InfluenceQuery(0), W, rng=SEED)
+    assert served.value == reference.value
+
+
+def test_adaptive_prefix_reuse_hits_the_cache(graph):
+    """A repeat SLO query must replay the stored prefix, not resample."""
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        first = engine.submit(
+            InfluenceQuery(0), 100_000, SEED, target_ci=0.5
+        ).result()
+        before = engine.cache.stats()
+        second = engine.submit(
+            InfluenceQuery(1), 100_000, SEED, target_ci=0.5
+        ).result()
+        after = engine.cache.stats()
+    assert after.hits > before.hits
+    assert first.n_samples > 0 and second.n_samples > 0
+
+
+def test_adaptive_tighter_target_extends_the_stored_prefix(graph):
+    """A later, tighter SLO regenerates past the prefix bit-identically."""
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        loose = engine.submit(
+            InfluenceQuery(0), 100_000, SEED, target_ci=0.1
+        ).result()
+        tight = engine.submit(
+            InfluenceQuery(0), 100_000, SEED, target_ci=0.05
+        ).result()
+    assert tight.n_samples > loose.n_samples
+    reference = NMC().estimate(
+        graph, InfluenceQuery(0), tight.n_samples, rng=SEED
+    )
+    assert tight.value == reference.value
+
+
+def test_adaptive_conditional_query_carries_delta_method_ci(graph):
+    query = ReliableDistanceQuery(0, graph.n_nodes - 1)
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        served = engine.submit(query, 50_000, SEED, target_ci=0.2).result()
+    reference = NMC().estimate(graph, query, served.n_samples, rng=SEED)
+    assert served.value == reference.value
+    assert served.extras["half_width"] <= 0.2
+
+
+def test_adaptive_validation_is_synchronous(graph):
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        with pytest.raises(EstimatorError):
+            engine.submit(InfluenceQuery(0), 40, SEED, target_ci=0.0)
+        with pytest.raises(EstimatorError):
+            engine.submit(InfluenceQuery(0), 40, SEED, target_ci=-1.0)
+        with pytest.raises(EstimatorError):
+            engine.submit(
+                InfluenceQuery(0), 40, SEED, target_ci=0.5, confidence=0.5
+            )
+
+
+def test_adaptive_estimator_override_routes_to_adaptive_engine(graph):
+    """SLO + explicit estimator runs the full adaptive engine per query."""
+    from repro.adaptive import estimate_adaptive
+
+    est = RSS1(r=2, tau=5)
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        served = engine.submit(
+            InfluenceQuery(0), 5000, SEED, estimator=est, target_ci=0.3
+        ).result()
+    direct = estimate_adaptive(
+        est, graph, InfluenceQuery(0), 5000, target_ci=0.3, rng=SEED
+    )
+    assert served.value == direct.value
+    assert served.extras["worlds_to_target"] == direct.extras["worlds_to_target"]

@@ -152,7 +152,7 @@ def test_in_memory_and_jsonl_exporters_round_trip(fig1_graph, tmp_path):
 def test_trace_meta_carries_schema_and_host_fields(fig1_graph):
     result = NMC().estimate(fig1_graph, InfluenceQuery(0), 100, rng=SEED, trace=True)
     meta = result.trace.meta
-    assert meta["schema"] == 1
+    assert meta["schema"] == 2
     assert meta["estimator"] == "NMC"
     assert meta["seed"] == SEED
     assert meta["cpu_count"] >= 1
@@ -168,3 +168,54 @@ def test_trace_file_env_appends_runs(fig1_graph, monkeypatch, tmp_path):
     BSS1(r=2).estimate(fig1_graph, query, 50, rng=SEED)
     runs = read_jsonl(str(target))
     assert [TraceReport.from_records(r).estimator for r in runs] == ["NMC", "BSSIR"]
+
+
+def test_engine_subexpansion_weights_sum_to_one(fig1_graph):
+    """Driver-side sub-expanded nodes must keep absolute span weights.
+
+    With ``n_workers=1`` every job shares the driver's trace context; a
+    job that sub-splits internally re-anchors the enter/exit stack at its
+    own absolute path, so its children's ``pi`` lands on the right spans.
+    Regression: the stack used to stay rooted at ``()``, handing the
+    driver-expanded children the *sub-split* fraction (0.5) instead of
+    their root-split fraction and inflating ``estimated_variance`` by the
+    squared weight ratio.
+    """
+    # 2048 worlds -> 16 root chunks of 128; a high tasks_per_worker forces
+    # the driver to expand several 128-world children into 2 x 64 sub-jobs.
+    result = NMC().estimate(
+        fig1_graph, InfluenceQuery(0), 2048, rng=3, n_workers=1,
+        tasks_per_worker=20, trace=True,
+    )
+    report = result.trace
+    leaves = [s for s in report.spans.values() if s.ledger is not None]
+    assert len(leaves) > 16  # sub-expansion actually happened
+    total_weight = sum(s.weight for s in leaves)
+    assert total_weight == pytest.approx(1.0)
+    # Depth-1 children carry their fraction of the root split, never the
+    # fraction of their own sub-split.
+    root = report.spans[()]
+    for path, span in report.spans.items():
+        if len(path) == 1 and span.pi is not None:
+            assert span.pi == pytest.approx(root.pis[path[0]])
+    # The variance accounting identity: sum w^2 var/n over leaves.
+    expected = sum(
+        s.weight ** 2 * s.ledger.var_num() / s.ledger.n for s in leaves
+    )
+    assert report.estimated_variance() == pytest.approx(expected)
+
+
+def test_engine_variance_consistent_across_worker_counts(fig1_graph):
+    """The claimed variance is a property of the estimate, not the executor."""
+    kwargs = dict(rng=3, tasks_per_worker=20, trace=True)
+    inline = NMC().estimate(
+        fig1_graph, InfluenceQuery(0), 2048, n_workers=1, **kwargs
+    )
+    pooled = NMC().estimate(
+        fig1_graph, InfluenceQuery(0), 2048, n_workers=2, backend="thread",
+        **kwargs
+    )
+    assert inline.value == pooled.value
+    assert inline.trace.estimated_variance() == pytest.approx(
+        pooled.trace.estimated_variance()
+    )

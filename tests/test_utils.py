@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import GraphError, ProbabilityError
-from repro.rng import derive_seed, resolve_rng, seeds_for, spawn_rngs
+from repro.rng import (
+    derive_seed,
+    resolve_rng,
+    seed_sequence_of,
+    seeds_for,
+    spawn_rngs,
+)
 from repro.utils.arrays import gather_ranges, normalize, stable_cumsum
 from repro.utils.validation import (
     check_edge_endpoints,
@@ -140,6 +146,49 @@ def test_spawn_from_generator_advances():
 def test_spawn_negative():
     with pytest.raises(ValueError):
         spawn_rngs(0, -1)
+
+
+def test_seed_sequence_of_seeded_generator():
+    seq = seed_sequence_of(np.random.default_rng(11))
+    assert isinstance(seq, np.random.SeedSequence)
+    assert seq.entropy == 11
+
+
+def test_seed_sequence_of_seed_sequence_input():
+    base = np.random.SeedSequence(5, spawn_key=(2,))
+    seq = seed_sequence_of(np.random.default_rng(base))
+    assert seq.entropy == 5
+    assert tuple(seq.spawn_key) == (2,)
+
+
+def test_seed_sequence_of_unseeded_generator():
+    # default_rng(None) still builds a SeedSequence (fresh OS entropy).
+    seq = seed_sequence_of(np.random.default_rng())
+    assert isinstance(seq, np.random.SeedSequence)
+
+
+def test_seed_sequence_of_rejects_bare_bit_generator():
+    class NoSeq:
+        pass
+
+    class FakeGen:
+        bit_generator = NoSeq()
+
+    with pytest.raises(TypeError, match="SeedSequence"):
+        seed_sequence_of(FakeGen())
+
+
+def test_seed_sequence_of_accepts_private_attribute_fallback():
+    class LegacyBitGen:
+        def __init__(self, seq):
+            self._seed_seq = seq
+
+    class LegacyGen:
+        def __init__(self, seq):
+            self.bit_generator = LegacyBitGen(seq)
+
+    seq = np.random.SeedSequence(9)
+    assert seed_sequence_of(LegacyGen(seq)) is seq
 
 
 def test_derive_seed_and_seeds_for():
