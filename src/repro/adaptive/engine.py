@@ -109,6 +109,7 @@ def estimate_adaptive(
     min_worlds_per_job: int = 0,
     audit: Optional[bool] = None,
     trace: Any = None,
+    source: Any = None,
 ) -> EstimateResult:
     """Run ``estimator`` in rounds until the running CI meets ``target_ci``.
 
@@ -146,7 +147,7 @@ def estimate_adaptive(
                 graph, query, int(budget), rng=_round_seed(base, index),
                 n_workers=workers, tasks_per_worker=tasks_per_worker,
                 backend=backend, min_worlds_per_job=min_worlds_per_job,
-                audit=audit, trace=tracer,
+                audit=audit, trace=tracer, source=source,
             )
         report = result.trace
         reports.append(report)

@@ -102,6 +102,8 @@ class BenchRecord:
     batch_size_mean: Optional[float] = None
     n_queries: Optional[int] = None
     speedup_vs_sequential: Optional[float] = None
+    cache_bytes_peak: Optional[int] = None
+    cache_oversize_misses: Optional[int] = None
     target_ci: Optional[float] = None
     worlds_to_target: Optional[int] = None
     pilot_fraction: Optional[float] = None
@@ -124,6 +126,7 @@ class BenchRecord:
             "audit_overhead_pct", "trace_overhead_pct", "backend", "executor",
             "speedup_vs_numpy", "queries_per_sec", "cache_hit_rate",
             "batch_size_mean", "n_queries", "speedup_vs_sequential",
+            "cache_bytes_peak", "cache_oversize_misses",
             "target_ci", "worlds_to_target", "pilot_fraction", "half_width",
             "converged", "samples_saved_vs_nmc",
         )
@@ -462,7 +465,11 @@ def run_benchmarks(
     cold sequential NMC calls versus concurrently by a warm
     :class:`~repro.serving.engine.ServingEngine`, with engine estimates
     asserted bit-identical to the sequential ones before throughput is
-    recorded.  ``adaptive`` adds the worlds-to-target-CI sweep
+    recorded — followed by the stratified sweep
+    (:func:`repro.serving.bench.bench_serving_stratified`): the same
+    1-vs-N protocol for RSS-I and RCSS requests served through the
+    world-block cache via :class:`~repro.graph.worldsource.
+    CachedWorldSource`, parity-asserted the same way.  ``adaptive`` adds the worlds-to-target-CI sweep
     (:func:`repro.adaptive.bench.bench_adaptive`): NMC vs RSS-I run under
     the adaptive engine until the running CI half-width reaches
     ``adaptive_target_ci`` (default 0.5, or 0.1 under ``smoke``), each
@@ -557,7 +564,7 @@ def run_benchmarks(
         )
 
     if serving:
-        from repro.serving.bench import bench_serving
+        from repro.serving.bench import bench_serving, bench_serving_stratified
 
         # The serving sweep runs its own fixed workload graph rather than
         # the harness scale axis: the protocol compares serving modes at a
@@ -570,6 +577,15 @@ def run_benchmarks(
         bench_serving(
             records, serving_graph, f"facebook@{serving_scale:g}",
             serving_worlds, seed, n_queries=serving_queries,
+            repeats=2 if smoke else 3, log=log,
+        )
+        # The stratified sweep likewise pins its own world count (block
+        # sampling must dominate per-query cost for the cache comparison to
+        # measure anything; the NMC sweep's W is sized for grouped-sweep
+        # amortisation instead).
+        bench_serving_stratified(
+            records, serving_graph, f"facebook@{serving_scale:g}",
+            32 if smoke else 4096, seed, n_queries=serving_queries,
             repeats=2 if smoke else 3, log=log,
         )
 

@@ -42,9 +42,9 @@ import numpy as np
 from repro import audit as _audit
 from repro import telemetry as _telemetry
 from repro.errors import EstimatorError
+from repro.graph import worldsource as _worldsource
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
-from repro.graph.world import iter_mask_blocks, sample_edge_masks
 from repro.queries.base import Query
 from repro.core.result import EstimateResult, WorldCounter
 from repro.rng import RngLike, StratumRng, resolve_rng, spawn_rngs
@@ -81,12 +81,14 @@ def sample_mean_pair(
     """Plain Monte-Carlo mean of the query pair under a partial assignment.
 
     This is the terminal step of every recursion (Algorithm 2 lines 3–7,
-    Algorithm 4 lines 5–9) and the whole of NMC.  Worlds are sampled and
-    evaluated in whole blocks (:func:`repro.graph.world.iter_mask_blocks` ->
-    :meth:`Query.evaluate_pairs`), so traversal-backed queries run all
-    worlds of a block in one batched BFS sweep.  The random stream matches
-    the historical per-world loop exactly, so same-seed estimates are
-    bit-identical.
+    Algorithm 4 lines 5–9) and the whole of NMC.  Worlds come from the
+    active :class:`~repro.graph.worldsource.WorldSource` — fresh draws via
+    :func:`repro.graph.world.iter_mask_blocks` by default, cache replay
+    under a serving engine — and are evaluated in whole blocks
+    (:meth:`Query.evaluate_pairs`), so traversal-backed queries run all
+    worlds of a block in one batched BFS sweep.  The block stream is
+    bit-identical either way, so same-seed estimates match the historical
+    per-world loop exactly.
     """
     if n_samples <= 0:
         raise EstimatorError("sample_mean_pair needs a positive sample count")
@@ -97,7 +99,7 @@ def sample_mean_pair(
         )
     num = 0.0
     den = 0.0
-    for block in iter_mask_blocks(statuses, n_samples, rng):
+    for block in _worldsource.active().blocks(statuses, n_samples, rng):
         nums, dens = query.evaluate_pairs(graph, block)
         num += float(nums.sum())
         den += float(dens.sum())
@@ -134,7 +136,7 @@ def _sample_mean_pair_traced(
     started = time.perf_counter()
     num = 0.0
     den = 0.0
-    for block in iter_mask_blocks(statuses, n_samples, rng):
+    for block in _worldsource.active().blocks(statuses, n_samples, rng):
         nums, dens = query.evaluate_pairs(graph, block)
         num += float(nums.sum())
         den += float(dens.sum())
@@ -193,9 +195,10 @@ def residual_mixture_pair(
     draws = gen.choice(indices, size=n_draws, p=local / total)
     groups = np.unique(draws)
     masks = np.empty((n_draws, graph.n_edges), dtype=bool)
+    source = _worldsource.active()
     for index, stream in zip(groups, spawn_rngs(gen, groups.size)):
         rows = np.flatnonzero(draws == index)
-        masks[rows] = sample_edge_masks(child_for(int(index)), rows.size, stream)
+        masks[rows] = source.masks(child_for(int(index)), rows.size, stream)
     nums, dens = query.evaluate_pairs(graph, masks)
     if trc is not None:
         # The pooled strata hang off the node as one residual pseudo-child
@@ -408,6 +411,7 @@ class Estimator(ABC):
         trace: Any = None,
         target_ci: Optional[float] = None,
         confidence: float = 0.95,
+        source: Optional[_worldsource.WorldSource] = None,
     ) -> EstimateResult:
         """Run the estimator with a total budget of ``n_samples`` worlds.
 
@@ -482,6 +486,17 @@ class Estimator(ABC):
         confidence:
             Confidence level of ``target_ci`` (0.90 / 0.95 / 0.99); only
             consulted in adaptive mode.
+        source:
+            ``None`` (default) — sample fresh worlds
+            (:data:`repro.graph.worldsource.FRESH`).  A
+            :class:`~repro.graph.worldsource.WorldSource` instance is
+            installed for the duration of the call and every leaf pulls its
+            mask blocks through it; with
+            :class:`~repro.graph.worldsource.CachedWorldSource` the
+            replayable path-keyed streams (all parallel-engine leaves, i.e.
+            any ``n_workers >= 1``) are served from a world-block cache.
+            Never changes results — a fixed seed is bit-identical fresh or
+            cached — only where the worlds' bytes come from.
 
         Returns
         -------
@@ -501,7 +516,7 @@ class Estimator(ABC):
                 target_ci=float(target_ci), confidence=float(confidence),
                 rng=rng, n_workers=n_workers, tasks_per_worker=tasks_per_worker,
                 backend=backend, min_worlds_per_job=int(min_worlds_per_job),
-                audit=audit, trace=trace,
+                audit=audit, trace=trace, source=source,
             )
         audit_enabled = _audit.env_enabled() if audit is None else bool(audit)
         tctx = _telemetry.resolve_tracer(trace, self.name)
@@ -513,11 +528,12 @@ class Estimator(ABC):
                 n_workers=int(n_workers), tasks_per_worker=tasks_per_worker,
                 backend=backend, min_worlds_per_job=int(min_worlds_per_job),
                 audit=audit_enabled, trace=tctx if tctx is not None else False,
+                source=source,
             )
         query.validate(graph)
         gen = resolve_rng(rng)
         counter = WorldCounter()
-        if not audit_enabled and tctx is None:
+        if not audit_enabled and tctx is None and source is None:
             num, den = self._estimate_pair(
                 graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
             )
@@ -526,7 +542,8 @@ class Estimator(ABC):
                 **counter.stats(),
             )
         ctx = _audit.AuditContext(self.name) if audit_enabled else None
-        with _audit.activate(ctx), _telemetry.activate(tctx):
+        with _audit.activate(ctx), _telemetry.activate(tctx), \
+                _worldsource.activate(source):
             num, den = self._estimate_pair(
                 graph, query, EdgeStatuses(graph), int(n_samples), gen, counter
             )

@@ -23,7 +23,8 @@ from repro.core.stratify import cutset_strata, cutset_stratum_statuses
 from repro.errors import EstimatorError
 from repro.graph.statuses import ABSENT, EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
-from repro.graph.world import sample_edge_masks, sample_first_present
+from repro.graph import worldsource as _worldsource
+from repro.graph.world import sample_first_present
 from repro.queries.base import CutSetQuery, Query
 
 
@@ -80,10 +81,13 @@ class FocalSampling(Estimator):
         t0 = time.perf_counter() if trc is not None else 0.0
         firsts = sample_first_present(graph.prob[cut], n_samples, rng)
         masks = np.empty((n_samples, graph.n_edges), dtype=bool)
+        # Per-draw conditioning over a mid-consumption stream: the active
+        # world source always samples these fresh (never cache-replayable).
+        source = _worldsource.active()
         for i, first in enumerate(firsts):
             k = int(first) + 1
             child = statuses.child(cut[:k], cutset_stratum_statuses(k))
-            masks[i] = sample_edge_masks(child, 1, rng)[0]
+            masks[i] = source.masks(child, 1, rng)[0]
         nums, dens = query.evaluate_pairs(graph, masks)
         counter.add(n_samples)
         comp_num = 0.0

@@ -18,6 +18,12 @@ from repro.graph.world import (
     iter_edge_masks,
     iter_mask_blocks,
 )
+from repro.graph.worldsource import (
+    FRESH,
+    CachedWorldSource,
+    FreshWorldSource,
+    WorldSource,
+)
 from repro.graph.bitsets import pack_masks, unpack_masks, popcount_rows, packed_width
 from repro.graph.enumerate import enumerate_worlds, world_probability, count_free_worlds
 from repro.graph import generators
@@ -34,6 +40,10 @@ __all__ = [
     "sample_world",
     "iter_edge_masks",
     "iter_mask_blocks",
+    "WorldSource",
+    "FreshWorldSource",
+    "CachedWorldSource",
+    "FRESH",
     "pack_masks",
     "unpack_masks",
     "popcount_rows",

@@ -41,7 +41,14 @@ def pack_masks(masks: np.ndarray) -> np.ndarray:
         raise GraphError("pack_masks expects a 2-D (n_worlds, n_edges) block")
     n_worlds, n_edges = masks.shape
     width = packed_width(n_edges)
-    as_bytes = np.packbits(masks.astype(bool, copy=False), axis=1, bitorder="little")
+    # packbits walks strided input element by element; a transposed view
+    # (the per-edge world-words layout packs one) is worth a contiguous
+    # copy first — ~4x on wide blocks.  No-op for contiguous input.
+    as_bytes = np.packbits(
+        np.ascontiguousarray(masks.astype(bool, copy=False)),
+        axis=1,
+        bitorder="little",
+    )
     pad = width * (WORD_BITS // 8) - as_bytes.shape[1]
     if pad:
         as_bytes = np.concatenate(
@@ -82,6 +89,29 @@ def is_packed_block(masks: np.ndarray) -> bool:
     return masks.dtype.kind == "u" and masks.dtype.itemsize == WORD_BITS // 8
 
 
+class ReplayBlock(np.ndarray):
+    """A boolean world block carrying its precomputed kernel layout.
+
+    ``edge_words`` holds ``pack_masks(block.T)`` — the ``(m, ceil(W/64))``
+    per-edge world-words every traversal kernel transposes into.  The
+    world-block cache attaches it to replayed blocks so consumers skip the
+    repack; anything else treats a :class:`ReplayBlock` as a plain boolean
+    array.  The pair is immutable by contract (mutating the block would
+    silently desynchronise it from ``edge_words``), and views/slices drop
+    the attribute — the class default ``None`` — so a stale pairing never
+    propagates past the exact block it was computed for.
+    """
+
+    edge_words = None
+
+
+def with_edge_words(block: np.ndarray, edge_words: np.ndarray) -> "ReplayBlock":
+    """Attach precomputed per-edge world-words to a boolean block."""
+    out = block.view(ReplayBlock)
+    out.edge_words = edge_words
+    return out
+
+
 __all__ = [
     "WORD_BITS",
     "packed_width",
@@ -89,4 +119,6 @@ __all__ = [
     "unpack_masks",
     "popcount_rows",
     "is_packed_block",
+    "ReplayBlock",
+    "with_edge_words",
 ]

@@ -10,6 +10,7 @@ prefix, and how to fork itself cheaply for a child stratum.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Sequence
 
 import numpy as np
@@ -71,6 +72,19 @@ class EdgeStatuses:
 
     def is_free(self, edge: int) -> bool:
         return self.values[edge] == FREE
+
+    def signature(self) -> str:
+        """Conditioning digest: a stable content key for the pinned statuses.
+
+        ``""`` for the all-free assignment (the unconditioned root stratum —
+        the common serving key stays short), otherwise a 16-hex blake2b of
+        the status vector.  World-block caches append this to their
+        ``(fingerprint, seed, path)`` keys so two estimators at the same
+        stratum path with different conditioning can never collide.
+        """
+        if not np.any(self.values != FREE):
+            return ""
+        return hashlib.blake2b(self.values.tobytes(), digest_size=8).hexdigest()
 
     def pinned_probability(self) -> float:
         """Probability that a random world agrees with the pinned statuses.

@@ -1,0 +1,224 @@
+"""World sources: one seam in front of every world-sampling call.
+
+Estimator leaves never call :func:`~repro.graph.world.iter_mask_blocks` or
+:func:`~repro.graph.world.sample_edge_masks` directly any more — they ask the
+*active world source* for blocks.  The default :class:`FreshWorldSource`
+reproduces today's behaviour exactly (draw Bernoulli coins from the caller's
+RNG stream).  :class:`CachedWorldSource` replays previously drawn blocks out
+of a :class:`~repro.serving.cache.WorldBlockCache` whenever the stream is
+*replayable*, which is what lets the stratified families (RSS/BSS/RCSS) ride
+the serving engine's cache instead of re-drawing their conditioned worlds on
+every request.
+
+Replayability
+-------------
+A block stream can be served from the cache only when its content is a pure
+function of ``(seed, stratum path, conditioning)``:
+
+* the RNG is a pristine :class:`~repro.rng.StratumRng` — path-keyed and not
+  yet materialised, so nothing has been drawn from it (this is exactly the
+  state of every parallel-engine leaf stream, for any ``n_workers >= 1``);
+* its root entropy equals the source's ``seed`` (the cache key seed);
+* the *effective path* is ``root.spawn_key + path`` — adaptive rounds spawn
+  per-round roots as ``SeedSequence(seed, spawn_key=(round,))``, so their
+  leaves land on distinct cache paths without special-casing.
+
+Everything else — plain ``Generator`` streams (the sequential ``n_workers=0``
+recursion threads one shared stream through every node, so a leaf's draws
+depend on recursion history), mid-consumption ``StratumRng``\\ s, mismatched
+seeds — falls back to fresh sampling.  Bit-parity is the contract either way:
+a fixed seed produces identical results whether blocks came from the cache or
+from fresh draws.
+
+Conditioning is pinned by :meth:`EdgeStatuses.signature()
+<repro.graph.statuses.EdgeStatuses.signature>`: the cache key carries the
+digest, so two estimators at the same stratum path with different pinned
+edges can never collide.
+
+Installation mirrors :mod:`repro.audit`: a process-wide slot
+(:func:`activate`) shadowed by a per-thread slot (:func:`activate_local`) for
+thread-pool workers; :func:`active` resolves to the :data:`FRESH` singleton
+when nothing is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro import audit as _audit
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.world import iter_mask_blocks, sample_edge_masks
+from repro.rng import RngLike, StratumRng
+
+
+class WorldSource:
+    """Where estimator leaves get their sampled worlds.
+
+    Subclasses decide whether a request for ``n_worlds`` mask blocks is
+    satisfied by drawing fresh Bernoulli coins from ``rng`` or by replaying
+    previously drawn (bit-identical) blocks from somewhere cheaper.
+    """
+
+    def blocks(
+        self, statuses: EdgeStatuses, n_worlds: int, rng: RngLike
+    ) -> Iterator[np.ndarray]:
+        """Yield mask blocks covering ``n_worlds`` worlds.
+
+        Blocks are ``(chunk, m)`` boolean masks, except that a cached
+        source replaying a fully-memoised entry may yield the bit-packed
+        rows directly with the kernel layout attached
+        (:class:`~repro.graph.bitsets.ReplayBlock`).  Both decode to the
+        same worlds; consumers that need booleans normalise via
+        :func:`repro.queries.batch.as_mask_block`.
+        """
+        raise NotImplementedError
+
+    def masks(
+        self, statuses: EdgeStatuses, n_worlds: int, rng: RngLike
+    ) -> np.ndarray:
+        """Return a single ``(n_worlds, m)`` mask array (small-draw call sites)."""
+        raise NotImplementedError
+
+
+class FreshWorldSource(WorldSource):
+    """The default source: always draw from the caller's RNG stream."""
+
+    def blocks(
+        self, statuses: EdgeStatuses, n_worlds: int, rng: RngLike
+    ) -> Iterator[np.ndarray]:
+        return iter_mask_blocks(statuses, n_worlds, rng)
+
+    def masks(
+        self, statuses: EdgeStatuses, n_worlds: int, rng: RngLike
+    ) -> np.ndarray:
+        return sample_edge_masks(statuses, n_worlds, rng)
+
+
+#: Module singleton — the source in effect when nothing is installed.
+FRESH = FreshWorldSource()
+
+
+class CachedWorldSource(WorldSource):
+    """Serve replayable block streams from a world-block cache.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.serving.cache.WorldBlockCache` (duck-typed: anything
+        with ``blocks(graph, n_worlds, seed, path=, statuses=, keep_words=)``).
+    seed:
+        The integer seed the cache keys carry.  Only streams rooted at this
+        exact seed are replayable; everything else samples fresh.
+
+    Notes
+    -----
+    The source holds a lock-bearing cache, so it is deliberately *not*
+    picklable — process-pool workers always sample fresh, which is
+    bit-identical by the replay contract (the driver-side cache still warms
+    from any inline/thread-pool leaves).
+    """
+
+    def __init__(self, cache: Any, seed: int) -> None:
+        self.cache = cache
+        self.seed = int(seed)
+
+    def _cache_path(self, rng: RngLike) -> Optional[tuple]:
+        """Effective cache path for ``rng``, or None when not replayable."""
+        if not isinstance(rng, StratumRng) or rng._generator is not None:
+            return None
+        entropy = rng.root.entropy
+        if not isinstance(entropy, (int, np.integer)) or int(entropy) != self.seed:
+            return None
+        return tuple(int(k) for k in rng.root.spawn_key) + rng.path
+
+    def blocks(
+        self, statuses: EdgeStatuses, n_worlds: int, rng: RngLike
+    ) -> Iterator[np.ndarray]:
+        path = self._cache_path(rng)
+        if path is None:
+            return iter_mask_blocks(statuses, n_worlds, rng)
+        # A cache serve never materialises the StratumRng generator, which is
+        # what normally registers the path with an active audit context —
+        # register it here so the stream-uniqueness invariant keeps biting.
+        ctx = _audit.active()
+        if ctx is not None:
+            ctx.register_path(rng.path)
+        return self.cache.blocks(
+            statuses.graph,
+            n_worlds,
+            self.seed,
+            path=path,
+            statuses=statuses,
+            # Estimator leaves feed these blocks straight into the traversal
+            # kernels: memoise the per-edge world-words layout so warm hits
+            # skip the repack.
+            keep_words=True,
+        )
+
+    def masks(
+        self, statuses: EdgeStatuses, n_worlds: int, rng: RngLike
+    ) -> np.ndarray:
+        # Small-draw call sites (focal per-draw masks, residual mixtures) use
+        # spawned or mid-consumption streams — never replayable, always fresh.
+        return sample_edge_masks(statuses, n_worlds, rng)
+
+
+# --------------------------------------------------------------------------- #
+# active-source plumbing (mirrors repro.audit's context slots)
+# --------------------------------------------------------------------------- #
+
+_ACTIVE: Optional[WorldSource] = None
+_UNSET = object()
+
+
+class _LocalSlot(threading.local):
+    ctx: Any = _UNSET
+
+
+_LOCAL = _LocalSlot()
+
+
+def active() -> WorldSource:
+    """The world source in effect on this thread (:data:`FRESH` by default)."""
+    local = _LOCAL.ctx
+    if local is not _UNSET:
+        return local if local is not None else FRESH
+    return _ACTIVE if _ACTIVE is not None else FRESH
+
+
+@contextmanager
+def activate(source: Optional[WorldSource]):
+    """Install ``source`` process-wide for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = source
+    try:
+        yield source
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def activate_local(source: Optional[WorldSource]):
+    """Install ``source`` for the current thread only (pool workers)."""
+    previous = _LOCAL.ctx
+    _LOCAL.ctx = source
+    try:
+        yield source
+    finally:
+        _LOCAL.ctx = previous
+
+
+__all__ = [
+    "WorldSource",
+    "FreshWorldSource",
+    "CachedWorldSource",
+    "FRESH",
+    "active",
+    "activate",
+    "activate_local",
+]

@@ -39,6 +39,7 @@ from repro import audit as _audit
 from repro import kernels as _kernels
 from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair
+from repro.graph import worldsource as _worldsource
 from repro.core.result import EstimateResult, WorldCounter
 from repro.errors import EstimatorError
 from repro.graph.statuses import EdgeStatuses
@@ -239,8 +240,15 @@ def _run_pool(
     n_workers: int,
     counter: WorldCounter,
     n_jobs: int,
+    source: Any = None,
 ) -> None:
-    """Evaluate job groups on a spawn pool sharing the graph via an arena."""
+    """Evaluate job groups on a spawn pool sharing the graph via an arena.
+
+    ``source`` is accepted for signature parity with the thread pool but
+    never shipped: a :class:`~repro.graph.worldsource.CachedWorldSource`
+    holds a lock-bearing cache, so worker processes always sample fresh —
+    bit-identical to cached replay by the world-source contract.
+    """
     ctx = _audit.active()
     tctx = _telemetry.active()
     started = time.perf_counter()
@@ -293,6 +301,7 @@ def _run_thread_pool(
     n_workers: int,
     counter: WorldCounter,
     n_jobs: int,
+    source: Any = None,
 ) -> None:
     """Evaluate job groups on an in-process thread pool (zero-copy sharing).
 
@@ -319,7 +328,7 @@ def _run_thread_pool(
                     run_jobs_local,
                     graph, estimator, query, root,
                     [leaf.job for leaf in group],
-                    ctx is not None, tctx is not None,
+                    ctx is not None, tctx is not None, source,
                 ),
             )
             for group in groups
@@ -350,6 +359,7 @@ def estimate_parallel(
     min_worlds_per_job: int = 0,
     audit: bool = False,
     trace: Any = None,
+    source: Optional[_worldsource.WorldSource] = None,
 ) -> EstimateResult:
     """Run ``estimator`` with the recursion fanned out over a worker pool.
 
@@ -375,10 +385,16 @@ def estimate_parallel(
     them into one recursion tree and adds pool-level metrics (utilisation,
     per-job wall-clock, completion offsets).
 
+    ``source`` installs a :class:`~repro.graph.worldsource.WorldSource` for
+    the run: inline (``n_workers=1``) and thread-pool leaves pull their mask
+    blocks through it (a cached source replays the path-keyed leaf streams),
+    while process-pool workers always sample fresh — the source holds
+    unpicklable state and fresh draws are bit-identical by contract.
+
     Estimates are bit-identical across every ``(backend, n_workers,
-    tasks_per_worker, min_worlds_per_job)`` combination for a fixed seed:
-    path-keyed streams fix what each subtree computes, and the reduction
-    replays the sequential accumulation order exactly.
+    tasks_per_worker, min_worlds_per_job, source)`` combination for a fixed
+    seed: path-keyed streams fix what each subtree computes, and the
+    reduction replays the sequential accumulation order exactly.
     """
     if n_workers < 1:
         raise EstimatorError(f"estimate_parallel needs n_workers >= 1, got {n_workers}")
@@ -398,7 +414,8 @@ def estimate_parallel(
     ctx = _audit.AuditContext(estimator.name) if audit else None
     tctx = _telemetry.resolve_tracer(trace, estimator.name)
     n_tasks = 0
-    with _audit.activate(ctx), _telemetry.activate(tctx):
+    with _audit.activate(ctx), _telemetry.activate(tctx), \
+            _worldsource.activate(source):
         root_leaf, leaves = _decompose(
             estimator, graph, query, n_samples, root, target, counter
         )
@@ -432,7 +449,7 @@ def estimate_parallel(
             run = _run_thread_pool if pool_backend == "thread" else _run_pool
             run(
                 estimator, graph, query, root, groups, n_workers, counter,
-                len(leaves),
+                len(leaves), source=source,
             )
         num, den = _reduce(root_leaf)
         if ctx is not None:

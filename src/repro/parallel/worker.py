@@ -39,6 +39,7 @@ import numpy as np
 from repro import audit as _audit
 from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair, sample_mean_pair
+from repro.graph import worldsource as _worldsource
 from repro.core.result import WorldCounter
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.uncertain import UncertainGraph
@@ -115,13 +116,16 @@ def _run_one(
     trace_enabled: bool,
     *,
     thread_local: bool,
+    source: Any = None,
 ) -> JobResult:
     """Evaluate one job under fresh per-job audit/trace contexts.
 
     ``thread_local`` selects the context installation: process-wide for
     spawn-pool workers (each owns its interpreter), per-thread for
     thread-pool workers (all share the driver's interpreter, whose
-    process-wide contexts must stay untouched).
+    process-wide contexts must stay untouched).  ``source`` is the world
+    source the job's leaves pull mask blocks from (thread pool only — a
+    cached source never crosses a process boundary).
     """
     counter = WorldCounter(depth=len(job.path), weight=job.weight)
     ctx = _audit.AuditContext(estimator.name) if audit_enabled else None
@@ -132,8 +136,11 @@ def _run_one(
     )
     audit_install = _audit.activate_local if thread_local else _audit.activate
     trace_install = _telemetry.activate_local if thread_local else _telemetry.activate
+    ws_install = (
+        _worldsource.activate_local if thread_local else _worldsource.activate
+    )
     started = time.perf_counter()
-    with audit_install(ctx), trace_install(tctx):
+    with audit_install(ctx), trace_install(tctx), ws_install(source):
         num, den = evaluate_job(graph, estimator, query, root, job, counter)
     payload: Dict[str, Any] = {"stats": counter.stats()}
     if ctx is not None:
@@ -181,18 +188,19 @@ def run_jobs_local(
     jobs: Sequence[Job],
     audit_enabled: bool,
     trace_enabled: bool,
+    source: Any = None,
 ) -> List[JobResult]:
     """Thread-pool task entry point for a coalesced batch of jobs.
 
     Runs against the driver's own graph object — zero-copy, no arena —
-    with per-thread audit/trace contexts.  Under the ``native`` kernel
-    backend the frontier sweeps release the GIL, so several of these run
-    genuinely concurrently.
+    with per-thread audit/trace/world-source contexts.  Under the
+    ``native`` kernel backend the frontier sweeps release the GIL, so
+    several of these run genuinely concurrently.
     """
     return [
         _run_one(
             graph, estimator, query, root, job, audit_enabled, trace_enabled,
-            thread_local=True,
+            thread_local=True, source=source,
         )
         for job in jobs
     ]

@@ -75,7 +75,11 @@ class Query(ABC):
         sweeps at once; estimators hand whole sampled blocks to
         :meth:`evaluate_pairs` and inherit the speedup transparently.
         """
-        edge_masks = np.asarray(edge_masks)
+        from repro.queries.batch import as_mask_block
+
+        # Blocks may arrive bit-packed (cache replay); the scalar loop
+        # indexes raw rows, so normalise to boolean first.
+        edge_masks = as_mask_block(graph, edge_masks)
         return np.array(
             [self.evaluate(graph, edge_masks[i]) for i in range(edge_masks.shape[0])],
             dtype=np.float64,

@@ -37,6 +37,7 @@ are bit-identical.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Tuple, Union
 
@@ -49,6 +50,7 @@ from repro.graph.bitsets import (
     pack_masks,
     packed_width,
     unpack_masks,
+    with_edge_words,
 )
 from repro.graph.uncertain import UncertainGraph
 from repro.queries.base import Comparison
@@ -84,8 +86,12 @@ def as_mask_block(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
     """Normalise a world block to boolean ``(W, m)`` form.
 
     Accepts either a boolean block or a bit-packed ``uint64`` block
-    (:func:`repro.graph.bitsets.pack_masks`).
+    (:func:`repro.graph.bitsets.pack_masks`).  A block carrying precomputed
+    ``edge_words`` (:class:`repro.graph.bitsets.ReplayBlock`, attached by
+    the world-block cache) keeps them through normalisation so the kernels
+    can skip the repack.
     """
+    words = getattr(masks, "edge_words", None)
     masks = np.asarray(masks)
     if masks.ndim != 2:
         raise QueryError("a world block must be 2-D: one row per world")
@@ -95,13 +101,37 @@ def as_mask_block(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
                 f"packed block has {masks.shape[1]} words; "
                 f"{packed_width(graph.n_edges)} expected for {graph.n_edges} edges"
             )
-        return unpack_masks(masks, graph.n_edges)
+        out = unpack_masks(masks, graph.n_edges)
+        if words is not None:
+            out = with_edge_words(out, words)
+        return out
     if masks.shape[1] != graph.n_edges:
         raise QueryError(
             f"world block has {masks.shape[1]} columns; one per edge "
             f"({graph.n_edges}) expected"
         )
-    return masks.astype(bool, copy=False)
+    out = masks.astype(bool, copy=False)
+    if words is not None:
+        out = with_edge_words(out, words)
+    return out
+
+
+def _attached_words(graph: UncertainGraph, masks: np.ndarray) -> Optional[np.ndarray]:
+    """Precomputed per-edge world-words riding on ``masks``, if valid.
+
+    The world-block cache attaches the kernel layout to replayed blocks
+    (:class:`repro.graph.bitsets.ReplayBlock`); kernels that only traverse
+    — never read boolean columns — can take it and skip normalisation
+    entirely, even when ``masks`` is still bit-packed rows.  Either row
+    layout (boolean or packed) has one row per world, so the shape check
+    works on both.
+    """
+    words = getattr(masks, "edge_words", None)
+    if words is None:
+        return None
+    if words.shape != (graph.n_edges, packed_width(masks.shape[0])):
+        return None
+    return words
 
 
 def _world_words(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
@@ -109,10 +139,16 @@ def _world_words(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
 
     Returns ``(m, ceil(W/64))`` ``uint64``: bit ``w`` of ``out[e]`` says
     whether edge ``e`` exists in world ``w``.  This is the bit-parallel
-    layout all kernels traverse in.
+    layout all kernels traverse in.  Blocks replayed from the world-block
+    cache arrive with the layout precomputed (``edge_words``); reusing it
+    skips the transpose-and-pack, the dominant non-sweep cost of warm
+    serving.
     """
     if masks.shape[1] != graph.n_edges:
         raise QueryError("mask block and graph disagree on the edge count")
+    words = _attached_words(graph, masks)
+    if words is not None:
+        return words
     return pack_masks(masks.T)
 
 
@@ -130,6 +166,35 @@ def _full_words(n_worlds: int) -> np.ndarray:
 def _unpack_world_bits(words: np.ndarray, n_worlds: int) -> np.ndarray:
     """Expand one word vector into a ``(n_worlds,)`` boolean array."""
     return unpack_masks(words[np.newaxis, :], n_worlds)[0]
+
+
+class _LevelScratch(threading.local):
+    """Per-thread grow-only buffers backing ``_expand_level``'s fused round.
+
+    The fire matrix (one row per gathered arc) and the reduced per-head
+    matrix are by far the largest per-level allocations of the numpy sweep;
+    both live exactly one level.  Holding them in flat ``uint64`` pools that
+    only ever grow turns every level after the high-water mark into pure
+    in-place work — ``np.take(..., out=)``, ``np.bitwise_and(..., out=)``,
+    ``np.bitwise_or.reduceat(..., out=)`` — with zero allocator traffic.
+    Thread-local so the thread-pool backend's concurrent sweeps never share
+    a buffer.
+    """
+
+    def __init__(self) -> None:
+        self.fires = np.empty(0, dtype=np.uint64)
+        self.reached = np.empty(0, dtype=np.uint64)
+
+    def matrix(self, name: str, rows: int, n_words: int) -> np.ndarray:
+        pool = getattr(self, name)
+        need = rows * n_words
+        if pool.size < need:
+            pool = np.empty(need, dtype=np.uint64)
+            setattr(self, name, pool)
+        return pool[:need].reshape(rows, n_words)
+
+
+_LEVEL_SCRATCH = _LevelScratch()
 
 
 def _expand_level(
@@ -150,7 +215,12 @@ def _expand_level(
     arcs by head node orders the fire matrix for ``reduceat``, the group
     boundaries fall out of a neighbour diff, and the frontier row of each
     arc is the repeat of its ``active`` row index (no second sort inside
-    ``np.unique``, no per-arc ``searchsorted``).
+    ``np.unique``, no per-arc ``searchsorted``).  The gather → mask → reduce
+    chain runs in-place over :class:`_LevelScratch` buffers, so ``reached``
+    is per-thread scratch: callers must fold it into their own arrays
+    before calling ``_expand_level`` again on the same thread (every caller
+    does so immediately, via ``reached & ~visited[...]``), and ``frontier``
+    must never alias a previous level's return.
 
     When ``frontier`` is a whole multiple of ``edge_words`` in width —
     ``G`` independent *query groups* laid out lane-after-lane, group ``g``
@@ -174,14 +244,16 @@ def _expand_level(
     first = np.concatenate(([0], np.flatnonzero(heads[1:] != heads[:-1]) + 1))
     arc_words = edge_words[adj.arc_edge[arcs]]
     n_words = frontier.shape[1]
-    fires = frontier[tail_rows]
+    fires = _LEVEL_SCRATCH.matrix("fires", arcs.size, n_words)
+    np.take(frontier, tail_rows, axis=0, out=fires)
     if n_words != arc_words.shape[1]:
         lanes = n_words // arc_words.shape[1]
         lanes_view = fires.reshape(arcs.size, lanes, -1)
         np.bitwise_and(lanes_view, arc_words[:, None, :], out=lanes_view)
     else:
         np.bitwise_and(fires, arc_words, out=fires)
-    reached = np.bitwise_or.reduceat(fires, first, axis=0)
+    reached = _LEVEL_SCRATCH.matrix("reached", first.size, n_words)
+    np.bitwise_or.reduceat(fires, first, axis=0, out=reached)
     return heads[first], reached
 
 
@@ -241,12 +313,15 @@ def reachable_masks_batch(
     Returns a ``(W, n_nodes)`` boolean array; sources are marked reachable
     in every world.
     """
-    masks = as_mask_block(graph, masks)
-    n_worlds = masks.shape[0]
+    words = _attached_words(graph, masks)
+    if words is None:
+        masks = as_mask_block(graph, masks)
+        words = _world_words(graph, masks)
+    n_worlds = int(masks.shape[0])
     roots = np.unique(_as_sources(sources))
     if n_worlds == 0:
         return np.zeros((0, graph.n_nodes), dtype=bool)
-    visited = _reachable_words(graph, _world_words(graph, masks), n_worlds, roots)
+    visited = _reachable_words(graph, words, n_worlds, roots)
     return np.ascontiguousarray(unpack_masks(visited, n_worlds).T)
 
 
@@ -261,10 +336,13 @@ def reachable_counts_batch(
     Matches :func:`~repro.queries.traversal.reachable_count` exactly: with
     ``include_sources=False`` the (deduplicated) sources are not counted.
     """
-    masks = as_mask_block(graph, masks)
-    n_worlds = masks.shape[0]
+    words = _attached_words(graph, masks)
+    if words is None:
+        masks = as_mask_block(graph, masks)
+        words = _world_words(graph, masks)
+    n_worlds = int(masks.shape[0])
     roots = np.unique(_as_sources(sources))
-    visited = _reachable_words(graph, _world_words(graph, masks), n_worlds, roots)
+    visited = _reachable_words(graph, words, n_worlds, roots)
     counts = unpack_masks(visited, n_worlds).sum(axis=0, dtype=np.int64)
     if not include_sources:
         counts -= roots.size
@@ -496,8 +574,10 @@ def st_distances_batch(
     that have reached the target are masked out of the frontier words, so
     the sweep ends as soon as every world is either answered or exhausted.
     """
-    masks = as_mask_block(graph, masks)
-    n_worlds = masks.shape[0]
+    edge_words = _attached_words(graph, masks)
+    if edge_words is None:
+        masks = as_mask_block(graph, masks)
+    n_worlds = int(masks.shape[0])
     source = int(source)
     target = int(target)
     if source == target:
@@ -505,7 +585,8 @@ def st_distances_batch(
     dist = np.full(n_worlds, INF, dtype=np.float64)
     if n_worlds == 0:
         return dist
-    edge_words = _world_words(graph, masks)
+    if edge_words is None:
+        edge_words = _world_words(graph, masks)
     n_words = edge_words.shape[1]
     all_worlds = _full_words(n_worlds)
     if _native_dispatch():

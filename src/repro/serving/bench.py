@@ -11,6 +11,15 @@ The protocol behind the ``serving_*`` records of ``BENCH_traversal.json``
   warm :class:`~repro.serving.engine.ServingEngine`: the cache already
   holds the world block for ``(fingerprint, seed)``, so the batch skips
   sampling entirely and rides grouped frontier sweeps.
+* ``serving_{rssi,rcss}_{sequential_1q,engine_<n>q}`` — the *stratified*
+  sweep (:func:`bench_serving_stratified`): the same 1-vs-N comparison for
+  explicit-estimator requests.  The baseline runs each query through a
+  fresh ``estimator.estimate(..., n_workers=1)``; the engine pass serves
+  the identical requests through the stratified path, where a
+  :class:`~repro.graph.worldsource.CachedWorldSource` replays every leaf's
+  conditioned world stream out of the world-block cache (keys carry the
+  leaf's conditioning digest).  There is no grouped-sweep amortisation on
+  this path — the measured speedup is the sampling cost the cache removes.
 
 Both passes use the same ``n_samples`` and seed, so *accuracy is fixed by
 construction*: the engine's estimates are asserted **bit-identical** to the
@@ -25,6 +34,8 @@ import time
 from typing import Callable, List
 
 from repro.core.nmc import NMC
+from repro.core.rcss import RCSS
+from repro.core.rss1 import RSS1
 from repro.core.result import EstimateResult
 from repro.errors import ReproError
 from repro.graph.uncertain import UncertainGraph
@@ -161,6 +172,7 @@ def bench_serving(
         n_queries=n_queries,
         cache_hit_rate=0.0,
         batch_size_mean=1.0,
+        cache_bytes_peak=0,
     )
     engine_record = BenchRecord(
         f"serving_engine_{n_queries}q", graph_label, n_worlds, m, warm_seconds,
@@ -171,6 +183,8 @@ def bench_serving(
         cache_hit_rate=cache.hit_rate,
         batch_size_mean=batch_size_mean,
         speedup_vs_sequential=speedup,
+        cache_bytes_peak=cache.bytes_peak,
+        cache_oversize_misses=cache.oversize_misses,
     )
     records.extend([seq_record, engine_record])
     log(
@@ -181,4 +195,160 @@ def bench_serving(
     )
 
 
-__all__ = ["bench_serving", "build_workload", "results_identical"]
+def build_stratified_workload(
+    graph: UncertainGraph, n_queries: int = 64
+) -> List[Query]:
+    """Influence queries at the ``n_queries`` highest-out-degree nodes.
+
+    The stratified sweep keeps the workload single-shaped on purpose:
+    RSS-I's default random edge selection depends only on ``(graph, seed)``,
+    so every query recurses over the *same* strata — the world-block cache
+    entries written by the first query serve all the others, which is the
+    cross-query reuse the sweep exists to measure.  Pure function of
+    ``(graph, n_queries)``; no RNG.
+    """
+    if n_queries < 1:
+        raise ReproError("serving workload needs at least one query")
+    degrees = np.diff(graph.adjacency.indptr)
+    order = np.argsort(degrees, kind="stable")[::-1]
+    return [InfluenceQuery(int(order[i % len(order)])) for i in range(n_queries)]
+
+
+def bench_serving_stratified(
+    records: list,
+    graph: UncertainGraph,
+    graph_label: str,
+    n_worlds: int,
+    seed: int,
+    n_queries: int = 64,
+    repeats: int = 2,
+    log: Callable[[str], None] = print,
+) -> None:
+    """Append the stratified 1-vs-N serving records (RSS-I and RCSS).
+
+    For each family the baseline is the fresh sequential call a client
+    makes today — ``estimator.estimate(graph, q, W, rng=seed,
+    n_workers=1)`` per query, resampling every leaf's worlds — and the
+    engine pass submits the identical requests to a warm
+    :class:`~repro.serving.engine.ServingEngine`, whose stratified path
+    replays the leaf streams out of the world-block cache.  The estimator
+    configurations are *serving-shaped*: a shallow stratification with
+    block-sized leaves (``tau ~ W/2``), the regime where sampling dominates
+    and the cache pays; deep recursions with tiny leaves are bounded by
+    per-stratum Python overhead the cache cannot remove.  Engine estimates
+    are asserted bit-identical to the sequential ones before any throughput
+    is recorded, exactly like :func:`bench_serving`.
+
+    Appends four records: ``serving_{rssi,rcss}_sequential_1q`` and
+    ``serving_{rssi,rcss}_engine_<n>q``; the engine records carry the cache
+    counters (``cache_hit_rate``, ``cache_bytes_peak``) and
+    ``speedup_vs_sequential``.
+    """
+    from repro.bench.harness import BenchRecord, _peak_rss_kb
+
+    queries = build_stratified_workload(graph, n_queries)
+    repeats = max(1, int(repeats))
+    tau = max(2, n_worlds // 2)
+    # Serving-shaped configs: shallow recursion (tau ~ W/2, so leaves are
+    # block-sized) but a *wide* stratification (r=5 edges per RSS split,
+    # tau_edges=10 cut edges per RCSS stratum).  Wide splits multiply the
+    # conditioned leaf streams each fresh sequential call must resample,
+    # while the total worlds swept stays fixed at W — the widest honest gap
+    # between what the baseline pays and what cache replay removes.
+    families = [
+        ("rssi", lambda: RSS1(r=5, tau=tau)),
+        ("rcss", lambda: RCSS(tau_samples=tau, tau_edges=10)),
+    ]
+    m = graph.n_edges
+    for short, make in families:
+        estimator = make()
+        sequential: List[EstimateResult] = []
+        seq_seconds = math.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            sequential = [
+                make().estimate(graph, q, n_worlds, rng=seed, n_workers=1)
+                for q in queries
+            ]
+            seq_seconds = min(seq_seconds, time.perf_counter() - t0)
+        seq_qps = n_queries / seq_seconds if seq_seconds > 0 else float("inf")
+
+        with ServingEngine(
+            graph,
+            max_batch=n_queries,
+            max_wait_s=0.05,
+            # Entries carry both the packed rows and the memoised kernel
+            # layouts (~2x), and RCSS's per-query strata are the fattest
+            # working set of the sweep: size the budget so the warm passes
+            # replay instead of churning.
+            cache_bytes=512 << 20,
+        ) as engine:
+            # Cold pass populates the per-stratum cache entries (untimed).
+            for future in [
+                engine.submit(q, n_worlds, seed, estimator=make())
+                for q in queries
+            ]:
+                future.result()
+            served: List[EstimateResult] = []
+            warm_seconds = math.inf
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                futures = [
+                    engine.submit(q, n_worlds, seed, estimator=make())
+                    for q in queries
+                ]
+                served = [f.result() for f in futures]
+                warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+            cache = engine.cache.stats()
+
+        for i, (a, b) in enumerate(zip(sequential, served)):
+            if not results_identical(a, b):
+                raise ReproError(
+                    f"stratified serving parity failure ({estimator.name}, "
+                    f"query {i}, {queries[i]!r}): sequential {a.value!r} vs "
+                    f"engine {b.value!r}"
+                )
+
+        warm_qps = n_queries / warm_seconds if warm_seconds > 0 else float("inf")
+        speedup = seq_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+        seq_record = BenchRecord(
+            f"serving_{short}_sequential_1q", graph_label, n_worlds, m,
+            seq_seconds,
+            n_queries * n_worlds / seq_seconds if seq_seconds > 0 else float("inf"),
+            peak_rss_kb=_peak_rss_kb(),
+            queries_per_sec=seq_qps,
+            n_queries=n_queries,
+            cache_hit_rate=0.0,
+            batch_size_mean=1.0,
+            cache_bytes_peak=0,
+        )
+        engine_record = BenchRecord(
+            f"serving_{short}_engine_{n_queries}q", graph_label, n_worlds, m,
+            warm_seconds,
+            n_queries * n_worlds / warm_seconds if warm_seconds > 0 else float("inf"),
+            peak_rss_kb=_peak_rss_kb(),
+            queries_per_sec=warm_qps,
+            n_queries=n_queries,
+            cache_hit_rate=cache.hit_rate,
+            batch_size_mean=1.0,
+            speedup_vs_sequential=speedup,
+            cache_bytes_peak=cache.bytes_peak,
+            cache_oversize_misses=cache.oversize_misses,
+        )
+        records.extend([seq_record, engine_record])
+        log(
+            f"  {'serving[' + short + ']':<18s} 1q {seq_seconds:8.3f}s "
+            f"({seq_qps:8.1f} q/s) | {n_queries}q warm {warm_seconds:8.3f}s "
+            f"({warm_qps:8.1f} q/s) | speedup {speedup:6.2f}x | "
+            f"hit_rate {cache.hit_rate:.2f} | "
+            f"cache_peak {cache.bytes_peak / 1024:.0f}KiB"
+        )
+
+
+__all__ = [
+    "bench_serving",
+    "bench_serving_stratified",
+    "build_stratified_workload",
+    "build_workload",
+    "results_identical",
+]

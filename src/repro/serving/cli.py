@@ -7,6 +7,7 @@ write the ``serving_*`` records as a bench payload::
 
     repro-serve                        # facebook @0.2, 600 worlds, 64 queries
     repro-serve --queries 128 --worlds 1000
+    repro-serve --stratified           # add the RSS-I/RCSS cached-path sweep
     repro-serve --smoke                # tiny run for CI
 
 Engine estimates are asserted bit-identical to the sequential baseline
@@ -29,7 +30,7 @@ import numpy as np
 from repro import kernels as repro_kernels
 from repro.bench.harness import GRAPHS, BenchRecord
 from repro.errors import ReproError
-from repro.serving.bench import bench_serving
+from repro.serving.bench import bench_serving, bench_serving_stratified
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output", type=str, default="BENCH_serving.json",
         help="output JSON path (default: BENCH_serving.json in the cwd)",
+    )
+    parser.add_argument(
+        "--stratified", action="store_true",
+        help="also run the stratified sweep: RSS-I and RCSS served through "
+        "the world-block cache, parity-asserted against fresh sequential "
+        "calls (adds the serving_{rssi,rcss}_* records)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -90,6 +97,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             records, graph, graph_label, n_worlds, args.seed,
             n_queries=args.queries,
         )
+        if args.stratified:
+            bench_serving_stratified(
+                records, graph, graph_label, n_worlds, args.seed,
+                n_queries=args.queries,
+            )
     except ReproError as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
         return 1
@@ -104,6 +116,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "smoke": args.smoke,
             "cpu_count": os.cpu_count(),
             "serving_queries": args.queries,
+            "stratified": args.stratified,
             "kernel_backend": repro_kernels.active_backend(),
             "python": platform.python_version(),
             "numpy": np.__version__,

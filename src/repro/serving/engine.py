@@ -12,9 +12,14 @@ one-shot estimator API into a high-throughput service:
    per machine no matter how many queries (or worker processes) touch them.
 
 2. **World-block cache.**  Sampled worlds are keyed by ``(graph
-   fingerprint, seed, stratum path)`` in a :class:`~repro.serving.cache.\
-WorldBlockCache`; repeat queries at the same sampling coordinates skip the
-   Bernoulli draws entirely and replay bit-identical blocks.
+   fingerprint, seed, stratum path, conditioning digest)`` in a
+   :class:`~repro.serving.cache.WorldBlockCache`; repeat queries at the
+   same sampling coordinates skip the Bernoulli draws entirely and replay
+   bit-identical blocks.  The NMC fast path reads the root key directly;
+   explicit-estimator requests get a
+   :class:`~repro.graph.worldsource.CachedWorldSource` injected into
+   ``estimator.estimate``, so the stratified families' path-keyed,
+   conditioned leaf streams (RSS/BSS/RCSS strata) ride the same cache.
 
 3. **Micro-batched shared sweeps.**  Concurrent queries gathered by the
    :class:`~repro.serving.batcher.MicroBatcher` are grouped by sampling key
@@ -32,9 +37,17 @@ plan), same per-block float accumulation order, same
 :class:`~repro.core.result.EstimateResult` fields.  Queries the grouped
 kernels cannot serve (weighted distances, custom query classes, scalar
 backend) fall back to per-query batched evaluation against the same cached
-blocks — still bit-identical.  Requests carrying an explicit ``estimator``
-or ``n_workers > 0`` bypass the cache and run the full estimator exactly as
-a direct call would.
+blocks — still bit-identical.
+
+Requests carrying an explicit ``estimator`` run the full estimator with
+``n_workers = max(1, requested)`` and a ``CachedWorldSource`` injected
+(the *stratified path*): every leaf then draws from a pristine path-keyed
+stream the cache can replay, and the result is bit-identical to
+``estimator.estimate(graph, query, n_samples, rng=seed,
+n_workers=max(1, requested))`` — which is itself bit-identical for every
+worker count ``>= 1``.  The only remaining cache-bypassing fallback is an
+``n_workers > 0`` request *without* an estimator, which runs NMC exactly
+as a direct parallel call would.
 
 Per-query precision SLOs: ``submit(..., target_ci=w)`` consumes world
 blocks incrementally from the cache stream and stops at the first block
@@ -60,6 +73,7 @@ from repro.core.result import EstimateResult, WorldCounter
 from repro.core.variance import ratio_variance, z_score
 from repro.errors import EstimatorError
 from repro.graph.uncertain import UncertainGraph
+from repro.graph.worldsource import CachedWorldSource
 from repro.parallel import arena as _arena
 from repro.parallel.arena import GraphArena, attach_graph
 from repro.queries.base import Query, ThresholdQuery
@@ -101,6 +115,7 @@ class ServingMetrics:
         self.batches = 0
         self.queries = 0
         self.fallbacks = 0
+        self.stratified = 0
         self.sweeps = 0
         self.query_evals = 0
         self._batch_sizes_total = 0
@@ -127,6 +142,10 @@ class ServingMetrics:
         with self._lock:
             self.fallbacks += count
 
+    def record_stratified(self, count: int = 1) -> None:
+        with self._lock:
+            self.stratified += count
+
     @property
     def batch_size_mean(self) -> float:
         return self._batch_sizes_total / self.batches if self.batches else 0.0
@@ -149,6 +168,7 @@ class ServingMetrics:
                 "batches": self.batches,
                 "queries": self.queries,
                 "fallbacks": self.fallbacks,
+                "stratified": self.stratified,
                 "sweeps": self.sweeps,
                 "query_evals": self.query_evals,
                 "batch_size_mean": self.batch_size_mean,
@@ -199,6 +219,11 @@ class _Request:
             self.estimator is None and self.n_workers == 0
             and self.target_ci is not None
         )
+
+    @property
+    def stratified(self) -> bool:
+        """Explicit-estimator request: run it behind a cached world source."""
+        return self.estimator is not None
 
 
 def _classify(query: Query) -> Tuple[str, Query, Optional[ThresholdQuery]]:
@@ -322,9 +347,14 @@ class ServingEngine:
         """Admit one query; returns a future resolving to its estimate.
 
         The result is bit-identical to
-        ``NMC().estimate(graph, query, n_samples, rng=seed)`` (or to
-        ``estimator.estimate(..., n_workers=n_workers)`` when either
-        override is given).  Validation errors raise synchronously, here.
+        ``NMC().estimate(graph, query, n_samples, rng=seed)``.  An explicit
+        ``estimator`` runs behind the world-block cache with
+        ``n_workers=max(1, n_workers)`` — bit-identical to
+        ``estimator.estimate(..., n_workers=max(1, n_workers))``, which is
+        itself bit-identical for every worker count ``>= 1``.  An
+        ``n_workers > 0`` request without an estimator runs NMC exactly as
+        a direct parallel call would.  Validation errors raise
+        synchronously, here.
 
         ``target_ci`` is the per-query precision SLO: stop drawing worlds
         as soon as the running CI half-width (at ``confidence``) reaches
@@ -386,9 +416,19 @@ class ServingEngine:
             )
 
     def _serve_batch(self, batch: List[_Request]) -> None:
-        fallback = [r for r in batch if not r.fast and not r.adaptive]
+        stratified = [r for r in batch if r.stratified]
+        fallback = [
+            r for r in batch if not r.fast and not r.adaptive and not r.stratified
+        ]
         adaptive = [r for r in batch if r.adaptive]
         fast = [r for r in batch if r.fast]
+        for req in stratified:
+            try:
+                result = self._serve_stratified(req)
+            except BaseException as exc:
+                req.future.set_exception(exc)
+            else:
+                req.future.set_result(result)
         for req in fallback:
             self.metrics.record_fallback()
             try:
@@ -514,6 +554,49 @@ class ServingEngine:
                 **counter.stats(),
             )
             req.future.set_result(result)
+
+    def _serve_stratified(self, req: _Request) -> EstimateResult:
+        """Serve an explicit-estimator request through the world-block cache.
+
+        The estimator runs with ``n_workers = max(1, requested)`` so every
+        leaf draws from a pristine path-keyed stream
+        (:class:`~repro.rng.StratumRng`) — exactly what
+        :class:`~repro.graph.worldsource.CachedWorldSource` can replay; the
+        sequential recursion's single shared stream is history-dependent
+        and could not be.  A ``target_ci`` SLO routes into the adaptive
+        engine with the same source, so its per-round leaf streams are
+        cached too.  Result contract: bit-identical to
+        ``estimator.estimate(..., rng=seed, n_workers=max(1, requested))``.
+        """
+        graph = self._graphs[req.fingerprint]
+        source = CachedWorldSource(self.cache, req.seed)
+        before = self.cache.stats()
+        t0 = time.perf_counter()
+        kwargs: Dict[str, Any] = {}
+        if req.target_ci is not None:
+            kwargs["target_ci"] = req.target_ci
+            kwargs["confidence"] = req.confidence
+        result = req.estimator.estimate(
+            graph,
+            req.query,
+            req.n_samples,
+            rng=req.seed,
+            n_workers=max(1, req.n_workers),
+            source=source,
+            **kwargs,
+        )
+        after = self.cache.stats()
+        self.metrics.record_stratified()
+        self.metrics.record_span(
+            "stratified",
+            time.perf_counter() - t0,
+            estimator=req.estimator.name,
+            n_worlds=req.n_samples,
+            seed=req.seed,
+            cache_hits=after.hits - before.hits,
+            cache_misses=after.misses - before.misses,
+        )
+        return result
 
     def _serve_adaptive(self, req: _Request) -> EstimateResult:
         """Serve one ``target_ci`` request from incrementally consumed blocks.

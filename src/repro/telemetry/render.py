@@ -147,6 +147,10 @@ def render_bench_summary(payload: Dict) -> str:
             bits.append(f"q/s={record.get('queries_per_sec', float('nan')):.1f}")
             bits.append(f"hit_rate={record.get('cache_hit_rate', float('nan')):.2f}")
             bits.append(f"batch={record.get('batch_size_mean', float('nan')):.1f}")
+            if record.get("cache_bytes_peak"):
+                bits.append(f"cache_peak={record['cache_bytes_peak'] / 1024:.0f}KiB")
+            if record.get("cache_oversize_misses"):
+                bits.append(f"oversize={record['cache_oversize_misses']}")
             if record.get("speedup_vs_sequential") is not None:
                 bits.append(f"speedup={record['speedup_vs_sequential']:.2f}x")
         else:

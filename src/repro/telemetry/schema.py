@@ -45,12 +45,16 @@ CONV_FIELDS = ("worlds", "mean", "ci95", "half_width", "den")
 PARALLEL_FIELDS = ("n_workers", "n_jobs", "pool_seconds", "utilisation", "jobs")
 
 #: Extra required fields of ``serving_*`` bench records (the 1-vs-N
-#: concurrent-query protocol of ``repro-serve`` / ``repro-bench --serving``).
+#: concurrent-query protocol of ``repro-serve`` / ``repro-bench --serving``,
+#: including the stratified RSS-I/RCSS sweep).  ``cache_bytes_peak`` is the
+#: world-block cache's high-water mark during the pass — ``0`` for the
+#: sequential baselines, which never touch the cache.
 SERVING_BENCH_FIELDS = (
     "queries_per_sec",
     "cache_hit_rate",
     "batch_size_mean",
     "n_queries",
+    "cache_bytes_peak",
 )
 
 #: Extra required fields of ``adaptive_*`` bench records (the

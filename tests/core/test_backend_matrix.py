@@ -145,3 +145,57 @@ def test_backend_parity_process_pool(fig1_graph, estimator, backend, monkeypatch
     )
     assert _fingerprint(result) == expected
     assert result.extras["backend"] == "process"
+
+
+# --------------------- fresh vs cached WorldSource column --------------------- #
+
+#: Estimators whose leaves never pull whole mask blocks: FS samples per-draw
+#: focal masks, ANMC builds antithetic pairs — both go through
+#: ``WorldSource.masks`` (always fresh), so the cache must stay untouched.
+CACHE_BLIND = {"FS", "ANMC"}
+
+
+def _cached_run(graph, estimator, backend, executor, source):
+    with kernels.use_backend(backend):
+        return estimator.estimate(
+            graph, InfluenceQuery(0), 200, rng=SEED, n_workers=2,
+            backend=executor, source=source,
+        )
+
+
+@pytest.mark.parametrize("backend", ("numpy", "native"))
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_cached_source_parity_thread_pool(fig1_graph, estimator, backend, monkeypatch):
+    """Injecting a CachedWorldSource is purely a performance knob: cold and
+    warm runs are bit-identical to the fresh in-process reference, and only
+    block-consuming estimators ever touch the cache."""
+    from repro.graph.worldsource import CachedWorldSource
+    from repro.serving.cache import WorldBlockCache
+
+    expected = _fingerprint(_reference(fig1_graph, estimator, 200, n_workers=1))
+    if backend == "native":
+        monkeypatch.setattr(native_module, "NUMBA_AVAILABLE", True)
+    cache = WorldBlockCache()
+    source = CachedWorldSource(cache, SEED)
+    for _ in range(2):  # cold pass fills the cache, warm pass replays it
+        result = _cached_run(fig1_graph, estimator, backend, "thread", source)
+        assert _fingerprint(result) == expected
+    stats = cache.stats()
+    if estimator.name in CACHE_BLIND:
+        assert (stats.hits, stats.misses) == (0, 0)
+    else:
+        assert stats.hits > 0
+
+
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_cached_source_parity_process_pool(fig1_graph, estimator):
+    """The source is unpicklable, so process workers sample fresh — the
+    replay contract makes that bit-identical, not merely close."""
+    from repro.graph.worldsource import CachedWorldSource
+    from repro.serving.cache import WorldBlockCache
+
+    expected = _fingerprint(_reference(fig1_graph, estimator, 200, n_workers=1))
+    source = CachedWorldSource(WorldBlockCache(), SEED)
+    result = _cached_run(fig1_graph, estimator, "numpy", "process", source)
+    assert _fingerprint(result) == expected
+    assert result.extras["backend"] == "process"

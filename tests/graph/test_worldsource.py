@@ -1,0 +1,190 @@
+"""The WorldSource seam: replayability gate, activation slots, digest keys."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph import worldsource
+from repro.graph.bitsets import is_packed_block, unpack_masks
+from repro.graph.generators import erdos_renyi
+from repro.graph.statuses import EdgeStatuses
+from repro.graph.world import iter_mask_blocks, sample_edge_masks
+from repro.graph.worldsource import (
+    FRESH,
+    CachedWorldSource,
+    FreshWorldSource,
+    activate,
+    activate_local,
+    active,
+)
+from repro.rng import StratumRng, resolve_rng
+from repro.serving.cache import WorldBlockCache
+
+SEED = 20140331
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(12, 30, rng=np.random.default_rng(SEED))
+
+
+def pristine(seed, path=(), spawn_key=()):
+    root = np.random.SeedSequence(entropy=seed, spawn_key=spawn_key)
+    return StratumRng(root, path)
+
+
+def concat(blocks, n_edges=None):
+    # A cached source replaying a memoised entry yields packed rows;
+    # decode them so the bit-compares below see plain boolean worlds.
+    out = []
+    for b in blocks:
+        b = np.asarray(b)
+        if n_edges is not None and is_packed_block(b):
+            b = unpack_masks(b, n_edges)
+        out.append(b)
+    return np.concatenate(out)
+
+
+# ------------------------------- activation ------------------------------- #
+
+
+def test_default_active_source_is_fresh():
+    assert active() is FRESH
+
+
+def test_activate_installs_process_wide(graph):
+    src = FreshWorldSource()
+    with activate(src):
+        assert active() is src
+    assert active() is FRESH
+
+
+def test_activate_local_shadows_the_global_slot():
+    outer = FreshWorldSource()
+    inner = FreshWorldSource()
+    with activate(outer):
+        with activate_local(inner):
+            assert active() is inner
+        assert active() is outer
+        # Explicit None local shadows the global back to FRESH.
+        with activate_local(None):
+            assert active() is FRESH
+
+
+def test_activate_local_is_per_thread():
+    src = FreshWorldSource()
+    seen = {}
+
+    def probe():
+        seen["other"] = active()
+
+    with activate_local(src):
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+        assert active() is src
+    assert seen["other"] is FRESH
+
+
+# ---------------------------- fresh source parity --------------------------- #
+
+
+def test_fresh_source_matches_direct_sampling(graph):
+    statuses = EdgeStatuses(graph)
+    direct = concat(iter_mask_blocks(statuses, 50, resolve_rng(SEED)))
+    via = concat(FRESH.blocks(statuses, 50, resolve_rng(SEED)))
+    np.testing.assert_array_equal(direct, via)
+    np.testing.assert_array_equal(
+        sample_edge_masks(statuses, 9, resolve_rng(SEED)),
+        FRESH.masks(statuses, 9, resolve_rng(SEED)),
+    )
+
+
+# --------------------------- replayability gate --------------------------- #
+
+
+def test_pristine_stratum_rng_at_matching_seed_is_replayable():
+    src = CachedWorldSource(WorldBlockCache(), SEED)
+    assert src._cache_path(pristine(SEED, (0, 1))) == (0, 1)
+    # Per-round roots spawn-key prefix the effective path.
+    assert src._cache_path(pristine(SEED, (2,), spawn_key=(5,))) == (5, 2)
+
+
+def test_gate_rejects_non_replayable_streams():
+    src = CachedWorldSource(WorldBlockCache(), SEED)
+    # Plain Generator: draw-order dependent, never replayable.
+    assert src._cache_path(np.random.default_rng(SEED)) is None
+    # Mismatched seed.
+    assert src._cache_path(pristine(SEED + 1, (0,))) is None
+    # Materialised (mid-consumption) StratumRng.
+    consumed = pristine(SEED, (0,))
+    consumed.generator.random()
+    assert src._cache_path(consumed) is None
+
+
+def test_replayable_stream_is_served_from_cache_bit_identically(graph):
+    statuses = EdgeStatuses(graph)
+    expected = concat(
+        iter_mask_blocks(statuses, 64, pristine(SEED, (1,)).generator)
+    )
+    cache = WorldBlockCache()
+    src = CachedWorldSource(cache, SEED)
+    first = concat(src.blocks(statuses, 64, pristine(SEED, (1,))), graph.n_edges)
+    second = concat(src.blocks(statuses, 64, pristine(SEED, (1,))), graph.n_edges)
+    np.testing.assert_array_equal(first, expected)
+    np.testing.assert_array_equal(second, expected)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+def test_non_replayable_stream_samples_fresh_and_skips_cache(graph):
+    statuses = EdgeStatuses(graph)
+    cache = WorldBlockCache()
+    src = CachedWorldSource(cache, SEED)
+    got = concat(src.blocks(statuses, 40, resolve_rng(SEED)))
+    expected = concat(iter_mask_blocks(statuses, 40, resolve_rng(SEED)))
+    np.testing.assert_array_equal(got, expected)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
+
+
+def test_conditioning_digest_keys_conditioned_streams(graph):
+    cache = WorldBlockCache()
+    src = CachedWorldSource(cache, SEED)
+    free = EdgeStatuses(graph)
+    pinned = EdgeStatuses(graph).child([0, 1], [1, 0])
+    a = concat(src.blocks(free, 32, pristine(SEED, (0,))), graph.n_edges)
+    b = concat(src.blocks(pinned, 32, pristine(SEED, (0,))), graph.n_edges)
+    assert cache.stats().entries == 2  # same path, distinct digests
+    assert not np.array_equal(a, b)
+    # Pinned columns replay exactly.
+    assert b[:, 0].all() and not b[:, 1].any()
+    again = concat(src.blocks(pinned, 32, pristine(SEED, (0,))), graph.n_edges)
+    np.testing.assert_array_equal(b, again)
+
+
+def test_masks_always_sample_fresh(graph):
+    statuses = EdgeStatuses(graph)
+    cache = WorldBlockCache()
+    src = CachedWorldSource(cache, SEED)
+    got = src.masks(statuses, 7, resolve_rng(SEED))
+    np.testing.assert_array_equal(
+        got, sample_edge_masks(statuses, 7, resolve_rng(SEED))
+    )
+    assert len(cache) == 0
+
+
+def test_cached_source_is_not_picklable():
+    import pickle
+
+    src = CachedWorldSource(WorldBlockCache(), SEED)
+    with pytest.raises(Exception):
+        pickle.dumps(src)
+
+
+def test_module_exports():
+    for name in worldsource.__all__:
+        assert hasattr(worldsource, name)

@@ -9,6 +9,7 @@ from repro.errors import EstimatorError
 from repro.graph.generators import erdos_renyi
 from repro.graph.statuses import EdgeStatuses
 from repro.graph.world import iter_mask_blocks
+from repro.queries.batch import as_mask_block
 from repro.rng import resolve_rng
 from repro.serving.cache import WorldBlockCache, block_plan
 
@@ -112,9 +113,10 @@ def test_lru_eviction_under_byte_budget(graph):
     assert stats.evictions == 1
     assert stats.entries == 2
     assert stats.current_bytes <= cache.max_bytes
-    assert (graph.fingerprint(), 2, ()) not in cache
-    assert (graph.fingerprint(), 1, ()) in cache
-    assert (graph.fingerprint(), 3, ()) in cache
+    # Keys carry the conditioning digest; all-free statuses hash to "".
+    assert (graph.fingerprint(), 2, (), "") not in cache
+    assert (graph.fingerprint(), 1, (), "") in cache
+    assert (graph.fingerprint(), 3, (), "") in cache
 
 
 def test_oversized_entry_served_but_not_stored(graph):
@@ -123,7 +125,98 @@ def test_oversized_entry_served_but_not_stored(graph):
     for a, b in zip(got, fresh_blocks(graph, 64, SEED)):
         np.testing.assert_array_equal(a, b)
     assert len(cache) == 0
-    assert cache.stats().current_bytes == 0
+    stats = cache.stats()
+    assert stats.current_bytes == 0
+    # Oversize skips are counted separately — a sizing signal, not noise.
+    assert stats.oversize_misses == 1
+    list(cache.blocks(graph, 64, SEED))
+    assert cache.stats().oversize_misses == 2
+
+
+def test_bytes_peak_tracks_high_water_mark(graph):
+    one = entry_bytes(graph, 64)
+    cache = WorldBlockCache(max_bytes=2 * one)
+    list(cache.blocks(graph, 64, 1))
+    list(cache.blocks(graph, 64, 2))
+    list(cache.blocks(graph, 64, 3))  # evicts one entry
+    stats = cache.stats()
+    assert stats.current_bytes == 2 * one
+    # The peak is the transient working set: the third entry exists in
+    # memory before the LRU victim is dropped, so peak > post-evict bytes.
+    assert stats.bytes_peak == 3 * one
+    cache.clear()
+    assert cache.stats().bytes_peak == 3 * one  # peak survives clear()
+
+
+def test_conditioning_digest_separates_entries(graph):
+    cache = WorldBlockCache()
+    pinned = EdgeStatuses(graph).child([0], [1])
+    root = np.concatenate(list(cache.blocks(graph, 32, SEED)))
+    cond = np.concatenate(
+        list(cache.blocks(graph, 32, SEED, statuses=pinned))
+    )
+    stats = cache.stats()
+    assert stats.entries == 2
+    assert stats.misses == 2
+    assert not np.array_equal(root, cond)
+    # Hits replay the conditioned stream bit-identically.
+    again = np.concatenate(
+        list(cache.blocks(graph, 32, SEED, statuses=pinned))
+    )
+    assert cache.stats().hits == 1
+    np.testing.assert_array_equal(cond, again)
+    expected = np.concatenate(
+        list(iter_mask_blocks(pinned, 32, resolve_rng(SEED)))
+    )
+    np.testing.assert_array_equal(cond, expected)
+
+
+def test_keep_words_memoises_the_kernel_layout(graph):
+    from repro.graph.bitsets import pack_masks
+
+    cache = WorldBlockCache()
+    miss = list(cache.blocks(graph, 64, SEED, keep_words=True))
+    hit = list(cache.blocks(graph, 64, SEED, keep_words=True))
+    expected = fresh_blocks(graph, 64, SEED)
+    for served in (miss, hit):
+        assert len(served) == len(expected)
+        for block, fresh in zip(served, expected):
+            np.testing.assert_array_equal(
+                np.asarray(as_mask_block(graph, block)), fresh
+            )
+            # Every block carries its kernel layout, exactly the repack.
+            np.testing.assert_array_equal(
+                block.edge_words, pack_masks(np.asarray(fresh).T)
+            )
+    # A miss yields the boolean worlds it sampled; a fully-memoised hit
+    # replays the packed rows themselves, read-only and zero-copy.
+    assert all(b.dtype == np.bool_ for b in miss)
+    assert all(b.dtype == np.uint64 and not b.flags.writeable for b in hit)
+    # Miss and hit hand out the *same* memoised arrays (no recompute) …
+    assert all(a.edge_words is b.edge_words for a, b in zip(miss, hit))
+    # … and views/slices drop the attribute rather than going stale.
+    assert hit[0][:2].edge_words is None
+    # The layout is accounted against the byte budget alongside the rows.
+    words_bytes = sum(b.edge_words.nbytes for b in miss)
+    assert cache.stats().current_bytes == entry_bytes(graph, 64) + words_bytes
+
+
+def test_keep_words_degrades_to_rows_when_the_layout_cannot_fit(graph):
+    rows = entry_bytes(graph, 64)
+    cache = WorldBlockCache(max_bytes=rows)  # rows fit, rows + words do not
+    list(cache.blocks(graph, 64, SEED, keep_words=True))
+    stats = cache.stats()
+    assert stats.entries == 1
+    assert stats.current_bytes == rows
+    assert stats.oversize_misses == 0
+    # Replays still work; the hit just repacks lazily, and the layout it
+    # tries to memoise is rolled back rather than busting the budget.
+    got = np.concatenate(list(cache.blocks(graph, 64, SEED, keep_words=True)))
+    np.testing.assert_array_equal(
+        got, np.concatenate(fresh_blocks(graph, 64, SEED))
+    )
+    assert cache.stats().hits == 1
+    assert cache.stats().current_bytes == rows
 
 
 def test_clear_resets_entries_but_not_counters(graph):

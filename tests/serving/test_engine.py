@@ -84,16 +84,47 @@ def test_metrics_account_for_batches_and_sweep_reuse(graph):
 
 @pytest.mark.parametrize("estimator_cls", [NMC, RSS1])
 @pytest.mark.parametrize("n_workers", [0, 2])
-def test_estimator_fallback_parity(graph, estimator_cls, n_workers):
+def test_explicit_estimator_runs_stratified_behind_the_cache(
+    graph, estimator_cls, n_workers
+):
+    """``estimator=`` submissions run the full estimator with a
+    CachedWorldSource injected — bit-identical to the direct call at
+    ``n_workers=max(1, n_workers)`` (the engine always executes in-pool)."""
     query = InfluenceQuery(0)
     expected = estimator_cls().estimate(
-        graph, query, 60, rng=SEED, n_workers=n_workers
+        graph, query, 60, rng=SEED, n_workers=max(1, n_workers)
     )
     with ServingEngine(graph, max_wait_s=0.01) as engine:
         got = engine.evaluate(
             query, 60, SEED, estimator=estimator_cls(), n_workers=n_workers
         )
+        assert engine.metrics.stratified == 1
+        assert engine.metrics.fallbacks == 0
+    assert results_identical(expected, got)
+
+
+def test_stratified_warm_repeat_hits_the_cache_bit_identically(graph):
+    query = InfluenceQuery(0)
+    est = lambda: RSS1(r=2, tau=30)  # noqa: E731 — block-sized leaves
+    expected = est().estimate(graph, query, 60, rng=SEED, n_workers=1)
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        cold = engine.evaluate(query, 60, SEED, estimator=est())
+        before = engine.cache.stats()
+        warm = engine.evaluate(query, 60, SEED, estimator=est())
+        after = engine.cache.stats()
+        assert engine.metrics.stratified == 2
+    assert after.hits > before.hits
+    assert results_identical(expected, cold)
+    assert results_identical(expected, warm)
+
+
+def test_workers_without_estimator_takes_the_fallback_path(graph):
+    query = InfluenceQuery(0)
+    expected = NMC().estimate(graph, query, 60, rng=SEED, n_workers=2)
+    with ServingEngine(graph, max_wait_s=0.01) as engine:
+        got = engine.evaluate(query, 60, SEED, n_workers=2)
         assert engine.metrics.fallbacks == 1
+        assert engine.metrics.stratified == 0
     assert results_identical(expected, got)
 
 

@@ -73,6 +73,7 @@ def serving_record(**overrides):
         "cache_hit_rate": 0.75,
         "batch_size_mean": 64.0,
         "n_queries": 64,
+        "cache_bytes_peak": 4096,
     }
     record.update(overrides)
     return record
@@ -89,7 +90,13 @@ def bench_payload(records):
 
 def test_serving_records_require_throughput_fields():
     assert validate_bench_payload(bench_payload([serving_record()])) == 1
-    for missing in ("queries_per_sec", "cache_hit_rate", "batch_size_mean", "n_queries"):
+    for missing in (
+        "queries_per_sec",
+        "cache_hit_rate",
+        "batch_size_mean",
+        "n_queries",
+        "cache_bytes_peak",
+    ):
         record = serving_record()
         del record[missing]
         with pytest.raises(ReproError, match=f"serving bench record #0.*{missing}"):
@@ -98,7 +105,13 @@ def test_serving_records_require_throughput_fields():
 
 def test_non_serving_records_skip_the_serving_fields():
     record = serving_record(kernel="reachable_counts_batch")
-    for field in ("queries_per_sec", "cache_hit_rate", "batch_size_mean", "n_queries"):
+    for field in (
+        "queries_per_sec",
+        "cache_hit_rate",
+        "batch_size_mean",
+        "n_queries",
+        "cache_bytes_peak",
+    ):
         del record[field]
     assert validate_bench_payload(bench_payload([record])) == 1
 
