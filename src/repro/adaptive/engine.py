@@ -34,6 +34,7 @@ from typing import Any, List, Optional
 
 import numpy as np
 
+from repro import metrics as _metrics
 from repro.adaptive import allocation as _allocation
 from repro.adaptive.stopping import (
     DEFAULT_GROWTH,
@@ -166,6 +167,13 @@ def estimate_adaptive(
             f"conditioning event never observed in {n_worlds} worlds; "
             "the conditional estimate (and its CI) is undefined — raise "
             "n_samples or loosen the query"
+        )
+    registry = _metrics.active()
+    if registry is not None:
+        registry.observe("repro_adaptive_worlds_to_target", float(n_worlds))
+        registry.inc(
+            "repro_serving_slo_total",
+            labels=("true" if running.converged() else "false",),
         )
     out = EstimateResult.from_pair(
         running.numerator, running.denominator,

@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         "overhead staying under 2%%)",
     )
     parser.add_argument(
+        "--metrics-check", action="store_true",
+        help="add metrics-overhead kernels: min-of-repeats NMC influence "
+        "estimates with no metrics registry installed vs an active one "
+        "(CI gates on the metrics-off overhead staying under 2%%)",
+    )
+    parser.add_argument(
         "--serving", action="store_true",
         help="add the multi-query serving sweep: a mixed workload served "
         "one-at-a-time by cold sequential NMC calls vs concurrently by a "
@@ -152,6 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backends=args.backends,
             audit_check=args.audit_check,
             trace_check=args.trace_check,
+            metrics_check=args.metrics_check,
             serving=args.serving,
             serving_queries=args.serving_queries,
             adaptive=args.adaptive,

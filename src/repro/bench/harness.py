@@ -110,6 +110,10 @@ class BenchRecord:
     half_width: Optional[float] = None
     converged: Optional[bool] = None
     samples_saved_vs_nmc: Optional[float] = None
+    metrics_overhead_pct: Optional[float] = None
+    latency_p50_ms: Optional[float] = None
+    latency_p95_ms: Optional[float] = None
+    latency_p99_ms: Optional[float] = None
 
     def to_dict(self) -> dict:
         out = {
@@ -128,7 +132,8 @@ class BenchRecord:
             "batch_size_mean", "n_queries", "speedup_vs_sequential",
             "cache_bytes_peak", "cache_oversize_misses",
             "target_ci", "worlds_to_target", "pilot_fraction", "half_width",
-            "converged", "samples_saved_vs_nmc",
+            "converged", "samples_saved_vs_nmc", "metrics_overhead_pct",
+            "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
         )
         for field in optional:
             value = getattr(self, field)
@@ -424,6 +429,54 @@ def _bench_trace_check(
     log(f"  {'':18s} {traced.summary()}")
 
 
+def _bench_metrics_check(
+    records: List[BenchRecord],
+    graph: UncertainGraph,
+    graph_label: str,
+    query: InfluenceQuery,
+    n_worlds: int,
+    seed: int,
+    log: Callable[[str], None],
+    repeats: int = 5,
+) -> None:
+    """Measure the metrics layer's cost on the NMC influence kernel.
+
+    Mirrors :func:`_bench_audit_check`: the identical estimate timed
+    min-of-``repeats`` as the plain call, with no registry installed
+    (``_off``), and under an active :class:`~repro.metrics.MetricsRegistry`
+    (``_on``).  The ``metrics_overhead_pct`` of the ``_metrics_off`` record
+    is the CI regression gate — with no registry the instrumented paths
+    must cost nothing beyond one module-global ``active()`` check.
+    """
+    from repro import metrics as _metrics
+    from repro.metrics import MetricsRegistry
+
+    estimator = NMC()
+
+    def timed_plain() -> float:
+        return min(
+            _timed(lambda: estimator.estimate(graph, query, n_worlds, rng=seed))
+            for _ in range(repeats)
+        )
+
+    base = timed_plain()
+    off = timed_plain()
+    with _metrics.activate_local(MetricsRegistry()):
+        on = timed_plain()
+    m = graph.n_edges
+    rec_off = _record("nmc_influence_metrics_off", graph_label, n_worlds, m, off)
+    rec_on = _record("nmc_influence_metrics_on", graph_label, n_worlds, m, on)
+    if base > 0:
+        rec_off.metrics_overhead_pct = (off / base - 1.0) * 100.0
+        rec_on.metrics_overhead_pct = (on / base - 1.0) * 100.0
+    records.extend([rec_off, rec_on])
+    log(
+        f"  {'metrics_check':<18s} base {base:8.3f}s | off {off:8.3f}s "
+        f"({rec_off.metrics_overhead_pct:+6.2f}%) | on {on:8.3f}s "
+        f"({rec_on.metrics_overhead_pct:+6.2f}%)"
+    )
+
+
 #: Executor backends the worker sweep accepts.
 EXECUTORS = ("thread", "process")
 
@@ -440,6 +493,7 @@ def run_benchmarks(
     backends: bool = False,
     audit_check: bool = False,
     trace_check: bool = False,
+    metrics_check: bool = False,
     serving: bool = False,
     serving_queries: int = 64,
     adaptive: bool = False,
@@ -459,7 +513,9 @@ def run_benchmarks(
     audit-overhead kernels (min-of-repeats NMC influence estimates with
     auditing off and on) — CI gates on the audit-off overhead staying under
     2%.  ``trace_check`` is the same protocol for the telemetry layer
-    (``trace_overhead_pct``, gated the same way).  ``serving`` adds the
+    (``trace_overhead_pct``, gated the same way), and ``metrics_check``
+    for the metrics registry (``metrics_overhead_pct``: no registry
+    installed versus an active one).  ``serving`` adds the
     multi-query serving sweep (:func:`repro.serving.bench.bench_serving`):
     a mixed ``serving_queries``-query workload evaluated one-at-a-time by
     cold sequential NMC calls versus concurrently by a warm
@@ -563,6 +619,12 @@ def run_benchmarks(
             repeats=3 if smoke else 5,
         )
 
+    if metrics_check:
+        _bench_metrics_check(
+            records, graph, graph_label, query, n_worlds, seed, log,
+            repeats=3 if smoke else 5,
+        )
+
     if serving:
         from repro.serving.bench import bench_serving, bench_serving_stratified
 
@@ -627,6 +689,7 @@ def run_benchmarks(
             "native_available": repro_kernels.native_available(),
             "audit_check": audit_check,
             "trace_check": trace_check,
+            "metrics_check": metrics_check,
             "serving": serving,
             "serving_queries": serving_queries if serving else None,
             "adaptive": adaptive,

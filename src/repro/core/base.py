@@ -40,6 +40,7 @@ from typing import Any, List, NamedTuple, Optional, Tuple
 import numpy as np
 
 from repro import audit as _audit
+from repro import metrics as _metrics
 from repro import telemetry as _telemetry
 from repro.errors import EstimatorError
 from repro.graph import worldsource as _worldsource
@@ -501,6 +502,53 @@ class Estimator(ABC):
         Returns
         -------
         EstimateResult
+        """
+        reg = _metrics.active()
+        if reg is None:
+            return self._estimate_impl(
+                graph, query, n_samples, rng, n_workers, tasks_per_worker,
+                backend, min_worlds_per_job, audit, trace, target_ci,
+                confidence, source,
+            )
+        t0 = time.perf_counter()
+        try:
+            result = self._estimate_impl(
+                graph, query, n_samples, rng, n_workers, tasks_per_worker,
+                backend, min_worlds_per_job, audit, trace, target_ci,
+                confidence, source,
+            )
+        except Exception:
+            reg.inc("repro_estimate_errors_total", labels=(self.name,))
+            raise
+        labels = (self.name,)
+        reg.inc("repro_estimates_total", labels=labels)
+        reg.inc("repro_estimate_worlds_total", float(result.n_worlds), labels=labels)
+        reg.observe("repro_estimate_seconds", time.perf_counter() - t0, labels=labels)
+        return result
+
+    def _estimate_impl(
+        self,
+        graph: UncertainGraph,
+        query: Query,
+        n_samples: int,
+        rng: RngLike = None,
+        n_workers: Optional[int] = None,
+        tasks_per_worker: int = 4,
+        backend: str = "auto",
+        min_worlds_per_job: int = 0,
+        audit: Optional[bool] = None,
+        trace: Any = None,
+        target_ci: Optional[float] = None,
+        confidence: float = 0.95,
+        source: Optional[_worldsource.WorldSource] = None,
+    ) -> EstimateResult:
+        """The real :meth:`estimate` body, behind the metrics wrapper.
+
+        Kept separate so the wrapper above is nothing but one ``active()``
+        check on the metrics-off path: metrics never touch the RNG stream
+        or the accumulation order, only observe the finished result.
+        Adaptive rounds call back into :meth:`estimate`, so with metrics on
+        each round shows up as its own ``repro_estimates_total`` increment.
         """
         if n_samples <= 0:
             raise EstimatorError(f"n_samples must be positive, got {n_samples}")

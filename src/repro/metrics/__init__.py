@@ -1,0 +1,196 @@
+"""Live serving metrics: registry, exposition, and activation slots.
+
+``repro.metrics`` is the runtime-observability layer over the serving,
+adaptive, parallel and estimator machinery.  Instrumentation sites call
+:func:`active` — one thread-local plus one module-global read — and bail on
+``None``, so the disabled-path cost matches ``repro.audit`` /
+``repro.telemetry`` (< 2%, CI-gated via ``repro-bench --metrics-check``).
+
+Enable process-wide with ``REPRO_METRICS=1`` (optionally
+``REPRO_METRICS_PORT=9464`` to also start the scrape endpoint), or install
+a registry explicitly::
+
+    from repro import metrics
+
+    reg = metrics.MetricsRegistry()
+    with metrics.activate(reg):
+        NMC().estimate(graph, query, 1000, rng=7)
+    print(metrics.render_prometheus(reg.collect()))
+
+Metrics observe and never perturb: no instrumentation site touches the RNG
+stream or the float accumulation order, so a fixed seed produces
+bit-identical estimates with metrics on or off (enforced by
+``tests/core/test_metrics_matrix.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.errors import ReproError
+from repro.metrics.registry import (
+    BATCH_BUCKETS,
+    DEFAULT_MAX_LABEL_SETS,
+    LATENCY_BUCKETS_S,
+    METRICS_SCHEMA_VERSION,
+    OVERFLOW_LABEL,
+    WORLDS_BUCKETS,
+    HistogramSample,
+    MetricFamily,
+    MetricsRegistry,
+    Snapshot,
+    declare_standard,
+)
+from repro.metrics.exposition import (
+    parse_prometheus_text,
+    render_prometheus,
+    snapshot_record,
+)
+from repro.metrics.exporters import MetricsServer, SnapshotExporter, write_snapshot
+
+ENV_VAR = "REPRO_METRICS"
+ENV_PORT_VAR = "REPRO_METRICS_PORT"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_METRICS`` asks for process-wide metrics."""
+    raw = os.environ.get(ENV_VAR, "").strip().lower()
+    if raw in _FALSY:
+        return False
+    if raw in _TRUTHY:
+        return True
+    raise ReproError(f"unparseable {ENV_VAR}={os.environ.get(ENV_VAR)!r}")
+
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+#: Sentinel distinguishing "no thread-local override" from an explicit
+#: ``None`` override (which forcibly disables metrics for the thread).
+_UNSET = object()
+
+
+class _LocalSlot(threading.local):
+    reg: Any = _UNSET
+
+
+_LOCAL = _LocalSlot()
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when metrics are off.
+
+    The hot-path guard: one thread-local plus one module-global read per
+    instrumented event when metrics are disabled.  A thread-local override
+    (:func:`activate_local`) shadows the process-wide registry, which lets
+    thread-pool workers record into the driver's registry — or into none —
+    without touching the global slot.
+    """
+    local = _LOCAL.reg
+    if local is not _UNSET:
+        return local
+    return _ACTIVE
+
+
+@contextmanager
+def activate(reg: Optional[MetricsRegistry]) -> Iterator[Optional[MetricsRegistry]]:
+    """Install ``reg`` process-wide for the duration of a ``with``.
+
+    ``None`` is a no-op installation; the previous registry is always
+    restored, so activations may nest.  Worker threads use
+    :func:`activate_local`.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = reg
+    try:
+        yield reg
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def activate_local(reg: Optional[MetricsRegistry]) -> Iterator[Optional[MetricsRegistry]]:
+    """Install ``reg`` for the current thread only.
+
+    Shadows the process-wide registry even when ``reg`` is ``None``, so a
+    thread that must not record (e.g. a timing-sensitive bench pass) can
+    opt out locally.
+    """
+    previous = _LOCAL.reg
+    _LOCAL.reg = reg
+    try:
+        yield reg
+    finally:
+        _LOCAL.reg = previous
+
+
+def install(reg: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install ``reg`` process-wide without a context manager; return previous.
+
+    Long-lived entry points (``repro-serve --metrics-port``) use this
+    because the registry's lifetime is the process, not a ``with`` block.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = reg
+    return previous
+
+
+def install_from_env() -> Optional[MetricsRegistry]:
+    """Honour ``REPRO_METRICS`` / ``REPRO_METRICS_PORT`` at import time.
+
+    Returns the installed registry (with a ``server`` attribute when a
+    port was requested) or ``None`` when the env leaves metrics off.
+    """
+    if not env_enabled():
+        return None
+    reg = MetricsRegistry()
+    install(reg)
+    raw_port = os.environ.get(ENV_PORT_VAR, "").strip()
+    if raw_port:
+        try:
+            port = int(raw_port)
+        except ValueError:
+            raise ReproError(f"unparseable {ENV_PORT_VAR}={raw_port!r}") from None
+        server = MetricsServer(reg, port=port)
+        server.start()
+        reg.server = server  # type: ignore[attr-defined]
+    return reg
+
+
+install_from_env()
+
+
+__all__ = [
+    "ENV_VAR",
+    "ENV_PORT_VAR",
+    "METRICS_SCHEMA_VERSION",
+    "DEFAULT_MAX_LABEL_SETS",
+    "LATENCY_BUCKETS_S",
+    "WORLDS_BUCKETS",
+    "BATCH_BUCKETS",
+    "OVERFLOW_LABEL",
+    "MetricFamily",
+    "HistogramSample",
+    "Snapshot",
+    "MetricsRegistry",
+    "MetricsServer",
+    "SnapshotExporter",
+    "declare_standard",
+    "env_enabled",
+    "active",
+    "activate",
+    "activate_local",
+    "install",
+    "install_from_env",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "snapshot_record",
+    "write_snapshot",
+]

@@ -1,0 +1,147 @@
+"""Metrics egress: a stdlib scrape endpoint and a periodic JSONL exporter.
+
+:class:`MetricsServer` wraps ``http.server.ThreadingHTTPServer`` in a
+daemon thread — ``GET /metrics`` serves the Prometheus text format,
+``GET /metrics.json`` the JSON snapshot record — so ``repro-serve
+--metrics-port`` needs no third-party dependency.  Binding port ``0``
+picks an ephemeral port (exposed as ``server.port``), which is how tests
+and the CI smoke leg avoid collisions.
+
+:class:`SnapshotExporter` appends one snapshot record per interval to a
+JSONL file (same append discipline as ``telemetry.exporters.JsonlExporter``)
+and always writes a final snapshot on ``close()``, so even a sub-interval
+run leaves a validatable artefact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from repro.metrics.exposition import render_prometheus, snapshot_record
+from repro.metrics.registry import MetricsRegistry
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set on the subclass built per server
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = render_prometheus(self.registry.collect()).encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = json.dumps(snapshot_record(self.registry.collect())).encode()
+            ctype = "application/json"
+        else:
+            self.send_error(404)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *_args: Any) -> None:
+        pass  # scrapes are high-frequency; stderr chatter helps nobody
+
+
+class MetricsServer:
+    """Prometheus scrape endpoint over a registry, on a daemon thread."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        port: int = 0,
+        host: str = DEFAULT_HOST,
+    ) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"registry": registry})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def write_snapshot(registry: MetricsRegistry, path: str) -> None:
+    """Append one snapshot record of ``registry`` to JSONL file ``path``."""
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(snapshot_record(registry.collect())) + "\n")
+
+
+class SnapshotExporter:
+    """Append a snapshot record to a JSONL file every ``interval_s``."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str,
+        *,
+        interval_s: float = 1.0,
+    ) -> None:
+        self._registry = registry
+        self._path = path
+        self._interval_s = max(0.05, float(interval_s))
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "SnapshotExporter":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-metrics-snapshots", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            write_snapshot(self._registry, self._path)
+
+    def close(self) -> None:
+        """Stop the thread and write a final snapshot."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        write_snapshot(self._registry, self._path)
+
+    def __enter__(self) -> "SnapshotExporter":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+__all__ = ["MetricsServer", "SnapshotExporter", "write_snapshot", "DEFAULT_HOST"]

@@ -1,0 +1,312 @@
+"""Exposition formats: Prometheus text rendering/parsing and JSONL snapshots.
+
+Two wire formats leave the registry:
+
+* the Prometheus text format (``render_prometheus``), served by the scrape
+  endpoint and parsed back by ``repro-top`` (``parse_prometheus_text``) so
+  the dashboard needs no third-party client library; and
+* a JSONL snapshot record (``snapshot_record``), one self-describing JSON
+  object per scrape, validated by ``repro.telemetry.schema`` and rendered
+  by ``repro-trace summary``.
+
+Histogram buckets are stored per-bucket internally and cumulated only at
+render time, per the Prometheus ``le`` convention; the parser converts them
+back to per-bucket counts so both sources feed the same quantile code.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.metrics.registry import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    METRICS_SCHEMA_VERSION,
+    HistogramSample,
+    LabelValues,
+    MetricFamily,
+    Snapshot,
+)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting: integral floats render without '.0'."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: Tuple[str, ...], values: LabelValues, extra: str = "") -> str:
+    parts = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(snapshot: Snapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot.families):
+        family = snapshot.families[name]
+        lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        if family.kind == COUNTER:
+            series = sorted(
+                (labels, v) for (n, labels), v in snapshot.counters.items() if n == name
+            )
+            if not series and not family.label_names:
+                series = [((), 0.0)]
+            for labels, value in series:
+                lines.append(
+                    f"{name}{_label_str(family.label_names, labels)} {_fmt(value)}"
+                )
+        elif family.kind == GAUGE:
+            series = sorted(
+                (labels, v) for (n, labels), v in snapshot.gauges.items() if n == name
+            )
+            if not series and not family.label_names:
+                series = [((), 0.0)]
+            for labels, value in series:
+                lines.append(
+                    f"{name}{_label_str(family.label_names, labels)} {_fmt(value)}"
+                )
+        else:
+            hists = sorted(
+                (labels, h)
+                for (n, labels), h in snapshot.histograms.items()
+                if n == name
+            )
+            for labels, sample in hists:
+                cumulative = 0
+                for bound, count in zip(sample.bounds, sample.counts):
+                    cumulative += count
+                    le = f'le="{_fmt(bound)}"'
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(family.label_names, labels, le)} {cumulative}"
+                    )
+                cumulative += sample.counts[-1]
+                inf_le = 'le="+Inf"'
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_str(family.label_names, labels, inf_le)} {cumulative}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_str(family.label_names, labels)} "
+                    f"{_fmt(sample.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(family.label_names, labels)} {sample.n}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.index("=", i)
+        key = raw[i:eq].strip().lstrip(",").strip()
+        if raw[eq + 1] != '"':
+            raise ReproError(f"malformed label value in {raw!r}")
+        j = eq + 2
+        out: List[str] = []
+        while j < len(raw):
+            ch = raw[j]
+            if ch == "\\":
+                nxt = raw[j + 1]
+                out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            out.append(ch)
+            j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+    return labels
+
+
+class ScrapedMetrics:
+    """Parsed view of a Prometheus text scrape, mirroring ``Snapshot``.
+
+    ``repro-top`` builds one of these from either a live endpoint scrape or
+    a JSONL snapshot record, so rendering code has a single input shape.
+    """
+
+    def __init__(self) -> None:
+        self.kinds: Dict[str, str] = {}
+        self.values: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+        self.histograms: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], HistogramSample
+        ] = {}
+
+    def value(self, name: str, **labels: str) -> float:
+        return self.values.get((name, tuple(sorted(labels.items()))), 0.0)
+
+    def value_sum(self, name: str) -> float:
+        return sum(v for (n, _), v in self.values.items() if n == name)
+
+    def label_values(self, name: str) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        return {labels: v for (n, labels), v in self.values.items() if n == name}
+
+    def histogram_merged(self, name: str) -> Optional[HistogramSample]:
+        merged: Optional[HistogramSample] = None
+        for (n, _), sample in self.histograms.items():
+            if n != name:
+                continue
+            if merged is None:
+                merged = HistogramSample(
+                    sample.bounds, list(sample.counts), sample.total, sample.n
+                )
+            else:
+                for i, c in enumerate(sample.counts):
+                    merged.counts[i] += c
+                merged.total += sample.total
+                merged.n += sample.n
+        return merged
+
+
+def parse_prometheus_text(text: str) -> ScrapedMetrics:
+    """Parse Prometheus text exposition back into a :class:`ScrapedMetrics`.
+
+    Supports the subset ``render_prometheus`` emits: counters, gauges, and
+    histograms with ``_bucket``/``_sum``/``_count`` series.  Cumulative
+    bucket counts are converted back to per-bucket counts.
+    """
+    scraped = ScrapedMetrics()
+    buckets: Dict[
+        Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[float, int]]
+    ] = {}
+    sums: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            scraped.kinds[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            raw_labels = line[line.index("{") + 1 : line.rindex("}")]
+            value_str = line[line.rindex("}") + 1 :].strip()
+            labels = _parse_labels(raw_labels)
+        else:
+            name, _, value_str = line.partition(" ")
+            labels = {}
+        value = float(value_str)
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and scraped.kinds.get(name[: -len(suffix)]) == HISTOGRAM:
+                base = name[: -len(suffix)]
+                break
+        if base is None:
+            scraped.values[(name, tuple(sorted(labels.items())))] = value
+            continue
+        le = labels.pop("le", None)
+        key = (base, tuple(sorted(labels.items())))
+        if name.endswith("_bucket"):
+            bound = float("inf") if le == "+Inf" else float(le)  # type: ignore[arg-type]
+            buckets.setdefault(key, []).append((bound, int(value)))
+        elif name.endswith("_sum"):
+            sums[key] = value
+        else:
+            counts[key] = int(value)
+    for key, entries in buckets.items():
+        entries.sort(key=lambda pair: pair[0])
+        bounds = tuple(b for b, _ in entries if b != float("inf"))
+        cumulative = [c for _, c in entries]
+        per_bucket = [
+            c - (cumulative[i - 1] if i else 0) for i, c in enumerate(cumulative)
+        ]
+        scraped.histograms[key] = HistogramSample(
+            bounds, per_bucket, sums.get(key, 0.0), counts.get(key, 0)
+        )
+    return scraped
+
+
+def snapshot_record(
+    snapshot: Snapshot, *, ts: Optional[float] = None
+) -> Dict[str, Any]:
+    """One self-describing JSON object for a point-in-time snapshot."""
+    metrics: Dict[str, Any] = {}
+    for name in sorted(snapshot.families):
+        family = snapshot.families[name]
+        entry: Dict[str, Any] = {
+            "kind": family.kind,
+            "help": family.help,
+            "labels": list(family.label_names),
+            "samples": [],
+        }
+        if family.kind == COUNTER:
+            for (n, labels), value in sorted(snapshot.counters.items()):
+                if n == name:
+                    entry["samples"].append({"labels": list(labels), "value": value})
+        elif family.kind == GAUGE:
+            for (n, labels), value in sorted(snapshot.gauges.items()):
+                if n == name:
+                    entry["samples"].append({"labels": list(labels), "value": value})
+        else:
+            entry["buckets"] = list(family.buckets)
+            for (n, labels), sample in sorted(snapshot.histograms.items()):
+                if n == name:
+                    entry["samples"].append(
+                        {
+                            "labels": list(labels),
+                            "counts": list(sample.counts),
+                            "sum": sample.total,
+                            "count": sample.n,
+                        }
+                    )
+        metrics[name] = entry
+    return {
+        "type": "metrics",
+        "schema": METRICS_SCHEMA_VERSION,
+        "ts": time.time() if ts is None else ts,
+        "metrics": metrics,
+    }
+
+
+def scraped_from_record(record: Mapping[str, Any]) -> ScrapedMetrics:
+    """Build a :class:`ScrapedMetrics` from a JSONL snapshot record."""
+    if record.get("type") != "metrics":
+        raise ReproError(f"not a metrics record: {dict(record)!r}")
+    scraped = ScrapedMetrics()
+    for name, entry in record.get("metrics", {}).items():
+        kind = entry["kind"]
+        scraped.kinds[name] = kind
+        for sample in entry["samples"]:
+            labels = tuple(sorted(zip(entry["labels"], sample["labels"])))
+            if kind == HISTOGRAM:
+                scraped.histograms[(name, labels)] = HistogramSample(
+                    tuple(entry["buckets"]),
+                    list(sample["counts"]),
+                    float(sample["sum"]),
+                    int(sample["count"]),
+                )
+            else:
+                scraped.values[(name, labels)] = float(sample["value"])
+    return scraped
+
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus_text",
+    "snapshot_record",
+    "scraped_from_record",
+    "ScrapedMetrics",
+]

@@ -1,0 +1,419 @@
+"""Low-overhead metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is built for a serving hot path that must never block on a
+scrape.  Recording goes to a *per-thread shard* — plain dict updates, which
+are atomic under the GIL — so two request threads never contend and a scrape
+never stalls a recorder.  The only lock in the module guards shard
+*creation* (once per thread) and the family table; ``collect()`` merges
+``dict.copy()`` snapshots of every shard, each copy being a single C-level
+call that cannot observe a half-applied update.
+
+Metric families are declared up front (``counter()`` / ``gauge()`` /
+``histogram()``); recording against an undeclared name raises, so a typo in
+an instrumentation site fails in tests rather than silently exporting a new
+series.  Label values are positional tuples matched against the family's
+declared label names, and each family caps the number of distinct label
+sets it will track (``max_label_sets``): once the cap is hit, new label
+sets fold into a single ``__overflow__`` series instead of growing without
+bound under adversarial cardinality.
+
+Histograms use fixed upper bounds with Prometheus ``le`` semantics: a value
+equal to a bound lands in that bound's bucket, values above the largest
+bound land in the implicit ``+Inf`` bucket.  Quantiles are derived at read
+time by linear interpolation within the covering bucket.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Bumped when the snapshot/JSONL layout changes incompatibly.
+METRICS_SCHEMA_VERSION = 1
+
+#: Default per-family cap on distinct label sets.
+DEFAULT_MAX_LABEL_SETS = 64
+
+#: Latency histogram bounds in seconds — 0.5 ms to 10 s, roughly
+#: logarithmic, matching the spread between a cache-hit fast-path query and
+#: a cold stratified run.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Worlds-count histogram bounds (adaptive worlds-to-target).
+WORLDS_BUCKETS: Tuple[float, ...] = (
+    16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    2048.0, 4096.0, 8192.0, 16384.0, 32768.0, 65536.0,
+)
+
+#: Batch-size histogram bounds (serving micro-batches).
+BATCH_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+LabelValues = Tuple[str, ...]
+SeriesKey = Tuple[str, LabelValues]
+
+#: Label tuple that absorbs recordings past a family's cardinality cap.
+OVERFLOW_LABEL = "__overflow__"
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """Declaration of one metric: kind, help text, label names, buckets."""
+
+    name: str
+    kind: str
+    help: str
+    label_names: Tuple[str, ...] = ()
+    buckets: Tuple[float, ...] = ()
+
+    def overflow_labels(self) -> LabelValues:
+        return tuple(OVERFLOW_LABEL for _ in self.label_names)
+
+
+class _HistCell:
+    """Per-thread accumulation state of one histogram series."""
+
+    __slots__ = ("counts", "total", "n")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets  # per-bucket (non-cumulative), +Inf last
+        self.total = 0.0
+        self.n = 0
+
+    def observe(self, bounds: Sequence[float], value: float) -> None:
+        self.counts[bisect_left(bounds, value)] += 1
+        self.total += value
+        self.n += 1
+
+
+class _Shard:
+    """One thread's private recording surface."""
+
+    __slots__ = ("counters", "hists")
+
+    def __init__(self) -> None:
+        self.counters: Dict[SeriesKey, float] = {}
+        self.hists: Dict[SeriesKey, _HistCell] = {}
+
+
+@dataclass
+class HistogramSample:
+    """Merged read-side view of one histogram series."""
+
+    bounds: Tuple[float, ...]
+    counts: List[int]  # len(bounds) + 1, last bucket is +Inf
+    total: float
+    n: int
+
+    def quantile(self, q: float) -> float:
+        """Derive quantile ``q`` in [0, 1] by intra-bucket interpolation.
+
+        The +Inf bucket clamps to the largest finite bound; an empty
+        histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q!r}")
+        if self.n == 0:
+            return 0.0
+        rank = q * self.n
+        seen = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if seen + count >= rank:
+                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                if i >= len(self.bounds):
+                    return hi  # +Inf bucket: clamp
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                frac = (rank - seen) / count
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+            seen += count
+        return self.bounds[-1]
+
+
+@dataclass
+class Snapshot:
+    """Point-in-time merged view of every series in a registry."""
+
+    counters: Dict[SeriesKey, float] = field(default_factory=dict)
+    gauges: Dict[SeriesKey, float] = field(default_factory=dict)
+    histograms: Dict[SeriesKey, HistogramSample] = field(default_factory=dict)
+    families: Dict[str, MetricFamily] = field(default_factory=dict)
+
+    def counter(self, name: str, labels: LabelValues = ()) -> float:
+        return self.counters.get((name, tuple(labels)), 0.0)
+
+    def gauge(self, name: str, labels: LabelValues = ()) -> float:
+        return self.gauges.get((name, tuple(labels)), 0.0)
+
+    def histogram(self, name: str, labels: LabelValues = ()) -> Optional[HistogramSample]:
+        return self.histograms.get((name, tuple(labels)))
+
+    def histogram_merged(self, name: str) -> Optional[HistogramSample]:
+        """Merge every label set of histogram ``name`` into one sample."""
+        merged: Optional[HistogramSample] = None
+        for (fam, _labels), sample in self.histograms.items():
+            if fam != name:
+                continue
+            if merged is None:
+                merged = HistogramSample(
+                    sample.bounds, list(sample.counts), sample.total, sample.n
+                )
+            else:
+                for i, c in enumerate(sample.counts):
+                    merged.counts[i] += c
+                merged.total += sample.total
+                merged.n += sample.n
+        return merged
+
+    def counter_sum(self, name: str) -> float:
+        """Sum counter ``name`` across every label set."""
+        return sum(v for (fam, _), v in self.counters.items() if fam == name)
+
+
+class MetricsRegistry:
+    """Declared-families metrics registry with per-thread recording shards.
+
+    ``inc``/``set``/``observe`` are the hot-path entry points; each touches
+    only the calling thread's shard (dict ops, atomic under the GIL) plus a
+    per-family label-admission dict that is append-only and capped.
+    ``collect()`` merges shard copies into a :class:`Snapshot` without
+    pausing recorders.
+    """
+
+    def __init__(
+        self,
+        *,
+        standard: bool = True,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+    ) -> None:
+        if max_label_sets < 1:
+            raise ReproError("max_label_sets must be >= 1")
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._seen: Dict[str, Dict[LabelValues, LabelValues]] = {}
+        self._max_label_sets = max_label_sets
+        self._shards: List[_Shard] = []
+        self._tls = threading.local()
+        self._gauges: Dict[SeriesKey, float] = {}
+        if standard:
+            declare_standard(self)
+
+    # -- declaration ----------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = (),
+    ) -> MetricFamily:
+        if kind == HISTOGRAM:
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds:
+                raise ReproError(f"histogram {name!r} needs at least one bucket bound")
+            if list(bounds) != sorted(set(bounds)):
+                raise ReproError(f"histogram {name!r} bounds must be strictly increasing")
+        elif buckets:
+            raise ReproError(f"{kind} {name!r} does not take buckets")
+        else:
+            bounds = ()
+        family = MetricFamily(name, kind, help, tuple(label_names), bounds)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing != family:
+                    raise ReproError(f"metric {name!r} re-declared with a different shape")
+                return existing
+            self._families[name] = family
+            self._seen[name] = {}
+        return family
+
+    def counter(self, name: str, help: str, labels: Sequence[str] = ()) -> MetricFamily:
+        return self._declare(name, COUNTER, help, labels)
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()) -> MetricFamily:
+        return self._declare(name, GAUGE, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float],
+        labels: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._declare(name, HISTOGRAM, help, labels, buckets)
+
+    # -- recording ------------------------------------------------------
+
+    def _shard(self) -> _Shard:
+        shard = getattr(self._tls, "shard", None)
+        if shard is None:
+            shard = _Shard()
+            with self._lock:
+                self._shards.append(shard)
+            self._tls.shard = shard
+        return shard
+
+    def _admit(self, family: MetricFamily, labels: LabelValues) -> LabelValues:
+        """Resolve a label tuple through the family's cardinality cap."""
+        if len(labels) != len(family.label_names):
+            raise ReproError(
+                f"metric {family.name!r} takes labels {family.label_names}, "
+                f"got {labels!r}"
+            )
+        seen = self._seen[family.name]
+        admitted = seen.get(labels)
+        if admitted is not None:
+            return admitted
+        # Slow path: first sighting of this label set.  The dict is
+        # append-only; a racing duplicate insert writes the same value.
+        if len(seen) >= self._max_label_sets:
+            admitted = family.overflow_labels()
+        else:
+            admitted = labels
+        seen[labels] = admitted
+        return admitted
+
+    def _family(self, name: str, kind: str) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            raise ReproError(f"metric {name!r} is not declared")
+        if family.kind != kind:
+            raise ReproError(f"metric {name!r} is a {family.kind}, not a {kind}")
+        return family
+
+    def inc(self, name: str, value: float = 1.0, labels: Sequence[str] = ()) -> None:
+        """Add ``value`` to counter ``name`` for ``labels``."""
+        family = self._family(name, COUNTER)
+        key = (name, self._admit(family, tuple(labels)))
+        counters = self._shard().counters
+        counters[key] = counters.get(key, 0.0) + value
+
+    def set(self, name: str, value: float, labels: Sequence[str] = ()) -> None:
+        """Set gauge ``name`` to ``value`` for ``labels`` (last write wins)."""
+        family = self._family(name, GAUGE)
+        key = (name, self._admit(family, tuple(labels)))
+        self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, labels: Sequence[str] = ()) -> None:
+        """Record ``value`` into histogram ``name`` for ``labels``."""
+        family = self._family(name, HISTOGRAM)
+        key = (name, self._admit(family, tuple(labels)))
+        hists = self._shard().hists
+        cell = hists.get(key)
+        if cell is None:
+            cell = _HistCell(len(family.buckets) + 1)
+            hists[key] = cell
+        cell.observe(family.buckets, value)
+
+    # -- reading --------------------------------------------------------
+
+    def collect(self) -> Snapshot:
+        """Merge every thread's shard into a consistent-enough snapshot.
+
+        Each shard's dicts are snapshotted with ``dict.copy()`` (one C call,
+        atomic under the GIL); concurrent recorders may land an update just
+        after the copy, which the *next* scrape picks up — counters are
+        monotone so readers only ever see values that existed.
+        """
+        with self._lock:
+            shards = list(self._shards)
+            families = dict(self._families)
+        snap = Snapshot(families=families)
+        snap.gauges = dict(self._gauges)
+        for shard in shards:
+            for key, value in shard.counters.copy().items():
+                snap.counters[key] = snap.counters.get(key, 0.0) + value
+            for key, cell in shard.hists.copy().items():
+                bounds = families[key[0]].buckets
+                counts = list(cell.counts)
+                merged = snap.histograms.get(key)
+                if merged is None:
+                    snap.histograms[key] = HistogramSample(
+                        bounds, counts, cell.total, cell.n
+                    )
+                else:
+                    for i, c in enumerate(counts):
+                        merged.counts[i] += c
+                    merged.total += cell.total
+                    merged.n += cell.n
+        return snap
+
+    def families(self) -> Dict[str, MetricFamily]:
+        with self._lock:
+            return dict(self._families)
+
+
+def declare_standard(registry: MetricsRegistry) -> None:
+    """Declare the repo's standard metric set on ``registry``.
+
+    Every instrumentation site in the serving/adaptive/parallel/estimator
+    layers records against one of these families; declaring them up front
+    means an idle registry still exports the full (zero-valued gauge)
+    surface and a misspelled site fails loudly.
+    """
+    c, g, h = registry.counter, registry.gauge, registry.histogram
+    c("repro_estimates_total", "Completed Estimator.estimate calls.", ("estimator",))
+    c("repro_estimate_errors_total", "Estimator.estimate calls that raised.", ("estimator",))
+    c("repro_estimate_worlds_total", "Worlds consumed by completed estimates.", ("estimator",))
+    c("repro_serving_queries_total", "Queries served, by serving path.", ("path",))
+    c("repro_serving_batches_total", "Micro-batches dispatched.")
+    c("repro_serving_sweeps_total", "Grouped frontier sweeps executed.")
+    c("repro_serving_query_evals_total", "Query evaluations inside grouped sweeps.")
+    c("repro_serving_fallbacks_total", "Queries served via the per-query fallback path.")
+    c("repro_serving_stratified_total", "Queries served via stratified replay.")
+    c("repro_serving_slo_total", "Adaptive SLO queries, by attainment.", ("met",))
+    c("repro_cache_hits_total", "World-block cache hits.")
+    c("repro_cache_misses_total", "World-block cache misses.")
+    c("repro_cache_evictions_total", "World-block cache LRU evictions.")
+    c("repro_cache_oversize_total", "Cache requests larger than the byte budget.")
+    c("repro_pool_jobs_total", "Parallel pool jobs completed.", ("executor",))
+    g("repro_cache_bytes", "Current world-block cache size in bytes.")
+    g("repro_cache_bytes_peak", "High-water mark of the world-block cache in bytes.")
+    g("repro_cache_entries", "Entries resident in the world-block cache.")
+    g("repro_pool_utilisation", "Busy fraction of the last pool run.", ("executor",))
+    g("repro_pool_workers", "Worker count of the last pool run.", ("executor",))
+    h("repro_estimate_seconds", "End-to-end Estimator.estimate latency.",
+      LATENCY_BUCKETS_S, ("estimator",))
+    h("repro_serving_admission_wait_seconds",
+      "Queue wait between submit and batch formation.", LATENCY_BUCKETS_S)
+    h("repro_serving_batch_assembly_seconds",
+      "Time to gather one micro-batch.", LATENCY_BUCKETS_S)
+    h("repro_serving_batch_size", "Queries per dispatched micro-batch.", BATCH_BUCKETS)
+    h("repro_serving_sweep_seconds", "Grouped frontier sweep duration.", LATENCY_BUCKETS_S)
+    h("repro_serving_query_latency_seconds",
+      "Per-query end-to-end latency, by serving path.", LATENCY_BUCKETS_S, ("path",))
+    h("repro_adaptive_worlds_to_target", "Worlds consumed to reach target CI.",
+      WORLDS_BUCKETS)
+    h("repro_pool_seconds", "Parallel pool wall time per run.", LATENCY_BUCKETS_S,
+      ("executor",))
+
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "DEFAULT_MAX_LABEL_SETS",
+    "LATENCY_BUCKETS_S",
+    "WORLDS_BUCKETS",
+    "BATCH_BUCKETS",
+    "OVERFLOW_LABEL",
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "MetricFamily",
+    "HistogramSample",
+    "Snapshot",
+    "MetricsRegistry",
+    "declare_standard",
+]

@@ -1,0 +1,211 @@
+"""``repro-top`` — a live terminal dashboard over the metrics surface.
+
+Points at either a running scrape endpoint (``repro-top
+http://127.0.0.1:9464/metrics``) or a JSONL snapshot file written by the
+periodic exporter, and renders a refreshing panel: queries/sec, serving-path
+mix, cache hit rate and byte footprint, end-to-end latency quantiles, and
+SLO attainment.  Rates are derived from counter deltas between successive
+scrapes (or between the last two snapshot records of a file), so the first
+frame of a live session shows totals only.
+
+``--once`` renders a single frame and exits — that is what the CI
+metrics-smoke leg uses to assert the dashboard actually parses a live
+scrape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.metrics.exposition import (
+    ScrapedMetrics,
+    parse_prometheus_text,
+    scraped_from_record,
+)
+
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def scrape_target(target: str) -> Tuple[ScrapedMetrics, float, Optional[ScrapedMetrics], Optional[float]]:
+    """Fetch the current (and, for files, previous) state of ``target``.
+
+    Returns ``(current, current_ts, previous, previous_ts)``; the previous
+    pair is only available for snapshot files, where the last two records
+    give the rate window for free.
+    """
+    if target.startswith("http://") or target.startswith("https://"):
+        with urllib.request.urlopen(target, timeout=10.0) as resp:
+            text = resp.read().decode()
+        return parse_prometheus_text(text), time.time(), None, None
+    records = []
+    with open(target, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "metrics":
+                records.append(record)
+    if not records:
+        raise ReproError(f"{target!r} contains no metrics records")
+    current = scraped_from_record(records[-1])
+    current_ts = float(records[-1]["ts"])
+    if len(records) > 1:
+        return (
+            current,
+            current_ts,
+            scraped_from_record(records[-2]),
+            float(records[-2]["ts"]),
+        )
+    return current, current_ts, None, None
+
+
+def _rate(
+    current: ScrapedMetrics,
+    previous: Optional[ScrapedMetrics],
+    dt: Optional[float],
+    name: str,
+) -> Optional[float]:
+    if previous is None or not dt or dt <= 0:
+        return None
+    return max(0.0, current.value_sum(name) - previous.value_sum(name)) / dt
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f} ms"
+
+
+def render_frame(
+    target: str,
+    current: ScrapedMetrics,
+    ts: float,
+    previous: Optional[ScrapedMetrics] = None,
+    previous_ts: Optional[float] = None,
+) -> str:
+    """Render one dashboard frame as plain text."""
+    dt = None if previous_ts is None else ts - previous_ts
+    lines: List[str] = []
+    stamp = time.strftime("%H:%M:%S", time.localtime(ts))
+    lines.append(f"repro-top — {target}  [{stamp}]")
+    lines.append("=" * max(40, len(lines[0])))
+
+    queries = current.value_sum("repro_serving_queries_total")
+    qps = _rate(current, previous, dt, "repro_serving_queries_total")
+    qps_str = f"{qps:8.1f} q/s" if qps is not None else "     —  q/s"
+    lines.append(f"queries     {int(queries):>10}   {qps_str}")
+    by_path = current.label_values("repro_serving_queries_total")
+    if by_path:
+        mix = "  ".join(
+            f"{labels[0][1]}={int(v)}" for labels, v in sorted(by_path.items()) if labels
+        )
+        if mix:
+            lines.append(f"  by path   {mix}")
+    batches = current.value("repro_serving_batches_total")
+    sweeps = current.value("repro_serving_sweeps_total")
+    batch_hist = current.histogram_merged("repro_serving_batch_size")
+    mean_batch = (
+        batch_hist.total / batch_hist.n if batch_hist and batch_hist.n else 0.0
+    )
+    lines.append(
+        f"batches     {int(batches):>10}   mean size {mean_batch:6.1f}   "
+        f"sweeps {int(sweeps)}"
+    )
+
+    hits = current.value("repro_cache_hits_total")
+    misses = current.value("repro_cache_misses_total")
+    total = hits + misses
+    hit_rate = hits / total if total else 0.0
+    lines.append(
+        f"cache       hit rate {hit_rate:6.1%}   "
+        f"({int(hits)} hits / {int(misses)} misses, "
+        f"{int(current.value('repro_cache_evictions_total'))} evictions)"
+    )
+    lines.append(
+        f"  bytes     {_fmt_bytes(current.value('repro_cache_bytes'))}"
+        f"   peak {_fmt_bytes(current.value('repro_cache_bytes_peak'))}"
+        f"   entries {int(current.value('repro_cache_entries'))}"
+    )
+
+    latency = current.histogram_merged("repro_serving_query_latency_seconds")
+    if latency is not None and latency.n:
+        lines.append(
+            f"latency     p50 {_fmt_ms(latency.quantile(0.5))}   "
+            f"p95 {_fmt_ms(latency.quantile(0.95))}   "
+            f"p99 {_fmt_ms(latency.quantile(0.99))}   (n={latency.n})"
+        )
+    else:
+        lines.append("latency     — no served queries yet")
+
+    slo_met = current.value("repro_serving_slo_total", met="true")
+    slo_miss = current.value("repro_serving_slo_total", met="false")
+    if slo_met or slo_miss:
+        lines.append(f"SLO         met {int(slo_met)}   missed {int(slo_miss)}")
+
+    estimates = current.value_sum("repro_estimates_total")
+    if estimates:
+        worlds = current.value_sum("repro_estimate_worlds_total")
+        lines.append(f"estimates   {int(estimates):>10}   worlds {int(worlds)}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live terminal dashboard over repro.metrics "
+        "(scrape endpoint URL or JSONL snapshot file).",
+    )
+    parser.add_argument(
+        "target",
+        help="http(s)://host:port/metrics endpoint or metrics JSONL file path",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="refresh interval in seconds"
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    parser.add_argument(
+        "--frames", type=int, default=0,
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    args = parser.parse_args(argv)
+
+    previous: Optional[ScrapedMetrics] = None
+    previous_ts: Optional[float] = None
+    frame = 0
+    try:
+        while True:
+            current, ts, file_prev, file_prev_ts = scrape_target(args.target)
+            if file_prev is not None:
+                previous, previous_ts = file_prev, file_prev_ts
+            text = render_frame(args.target, current, ts, previous, previous_ts)
+            if args.once or args.frames:
+                print(text)
+            else:
+                sys.stdout.write(CLEAR + text + "\n")
+                sys.stdout.flush()
+            frame += 1
+            if args.once or (args.frames and frame >= args.frames):
+                return 0
+            previous, previous_ts = current, ts
+            time.sleep(max(0.05, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

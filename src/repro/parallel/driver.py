@@ -37,6 +37,7 @@ import numpy as np
 
 from repro import audit as _audit
 from repro import kernels as _kernels
+from repro import metrics as _metrics
 from repro import telemetry as _telemetry
 from repro.core.base import Estimator, Pair
 from repro.graph import worldsource as _worldsource
@@ -219,8 +220,12 @@ def _absorb(
     counter: WorldCounter,
     ctx: Optional[_audit.AuditContext],
     tctx: Optional[_telemetry.TraceContext],
-) -> None:
-    """Fold one job's result tuple back into the driver-side state."""
+) -> float:
+    """Fold one job's result tuple back into the driver-side state.
+
+    Returns the job's worker-side wall-clock seconds (``0.0`` for results
+    from older payloads) so the caller can sum pool busy time.
+    """
     num, den, worlds, payload = result
     leaf.result = (num, den)
     counter.add(worlds)
@@ -229,6 +234,22 @@ def _absorb(
         ctx.absorb_worker(payload["audit"])
     if tctx is not None and payload.get("trace") is not None:
         tctx.absorb_worker(payload["trace"])
+    return float(payload.get("seconds", 0.0))
+
+
+def _record_pool_metrics(
+    executor: str, n_workers: int, n_jobs: int, wall: float, busy: float
+) -> None:
+    """Publish one pool run's counters/gauges to the active registry."""
+    reg = _metrics.active()
+    if reg is None:
+        return
+    label = (executor,)
+    reg.inc("repro_pool_jobs_total", float(n_jobs), labels=label)
+    reg.observe("repro_pool_seconds", wall, labels=label)
+    reg.set("repro_pool_workers", float(n_workers), labels=label)
+    utilisation = busy / (wall * n_workers) if wall > 0 and n_workers else 0.0
+    reg.set("repro_pool_utilisation", min(1.0, utilisation), labels=label)
 
 
 def _run_pool(
@@ -276,9 +297,10 @@ def _run_pool(
                     future.add_done_callback(
                         lambda _f: offsets.append(time.perf_counter() - started)
                     )
+            busy = 0.0
             for group, future in futures:
                 for leaf, result in zip(group, future.result()):
-                    _absorb(leaf, result, counter, ctx, tctx)
+                    busy += _absorb(leaf, result, counter, ctx, tctx)
         except BrokenProcessPool as exc:
             raise EstimatorError(
                 "parallel worker pool crashed (a worker process died); "
@@ -286,10 +308,10 @@ def _run_pool(
             ) from exc
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
+    wall = time.perf_counter() - started
     if tctx is not None:
-        tctx.record_parallel(
-            n_workers, n_jobs, time.perf_counter() - started, sorted(offsets)
-        )
+        tctx.record_parallel(n_workers, n_jobs, wall, sorted(offsets))
+    _record_pool_metrics("process", n_workers, n_jobs, wall, busy)
 
 
 def _run_thread_pool(
@@ -338,13 +360,14 @@ def _run_thread_pool(
                 future.add_done_callback(
                     lambda _f: offsets.append(time.perf_counter() - started)
                 )
+        busy = 0.0
         for group, future in futures:
             for leaf, result in zip(group, future.result()):
-                _absorb(leaf, result, counter, ctx, tctx)
+                busy += _absorb(leaf, result, counter, ctx, tctx)
+    wall = time.perf_counter() - started
     if tctx is not None:
-        tctx.record_parallel(
-            n_workers, n_jobs, time.perf_counter() - started, sorted(offsets)
-        )
+        tctx.record_parallel(n_workers, n_jobs, wall, sorted(offsets))
+    _record_pool_metrics("thread", n_workers, n_jobs, wall, busy)
 
 
 def estimate_parallel(
@@ -432,10 +455,10 @@ def estimate_parallel(
                     elapsed = time.perf_counter() - t0
                     tctx.record_job(leaf.job.path, elapsed, os.getpid())
                     offsets.append(time.perf_counter() - started)
+            wall = time.perf_counter() - started
             if tctx is not None:
-                tctx.record_parallel(
-                    1, len(leaves), time.perf_counter() - started, offsets
-                )
+                tctx.record_parallel(1, len(leaves), wall, offsets)
+            _record_pool_metrics("inline", 1, len(leaves), wall, wall)
             n_tasks = len(leaves)
         elif leaves:
             groups = _coalesce(leaves, int(min_worlds_per_job))

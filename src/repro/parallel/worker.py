@@ -142,13 +142,15 @@ def _run_one(
     started = time.perf_counter()
     with audit_install(ctx), trace_install(tctx), ws_install(source):
         num, den = evaluate_job(graph, estimator, query, root, job, counter)
-    payload: Dict[str, Any] = {"stats": counter.stats()}
+    elapsed = time.perf_counter() - started
+    # ``seconds`` ships unconditionally (one perf_counter pair per job, not
+    # per world) so the driver can derive pool utilisation for the metrics
+    # registry without requiring tracing.
+    payload: Dict[str, Any] = {"stats": counter.stats(), "seconds": elapsed}
     if ctx is not None:
         payload["audit"] = ctx.worker_payload()
     if tctx is not None:
-        payload["trace"] = tctx.worker_payload(
-            time.perf_counter() - started, job.path
-        )
+        payload["trace"] = tctx.worker_payload(elapsed, job.path)
     return float(num), float(den), counter.worlds, payload
 
 

@@ -25,6 +25,13 @@ Both passes use the same ``n_samples`` and seed, so *accuracy is fixed by
 construction*: the engine's estimates are asserted **bit-identical** to the
 sequential ones before any throughput number is recorded — the speedup is
 never bought with a different answer.
+
+The warm engine passes run under a throwaway
+:class:`~repro.metrics.MetricsRegistry` so each ``_engine_`` record also
+carries per-query end-to-end latency quantiles (``latency_p50_ms`` /
+``latency_p95_ms`` / ``latency_p99_ms``) read off the
+``repro_serving_query_latency_seconds`` histogram.  Metrics observe, never
+perturb — the parity assertion would catch any drift.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ import math
 import time
 from typing import Callable, List
 
+from repro import metrics as _metrics
 from repro.core.nmc import NMC
 from repro.core.rcss import RCSS
 from repro.core.rss1 import RSS1
@@ -101,6 +109,16 @@ def results_identical(a: EstimateResult, b: EstimateResult) -> bool:
     )
 
 
+def _latency_quantiles_ms(registry: "_metrics.MetricsRegistry"):
+    """(p50, p95, p99) in ms from the query-latency histogram; zeros if empty."""
+    merged = registry.collect().histogram_merged(
+        "repro_serving_query_latency_seconds"
+    )
+    if merged is None or merged.n == 0:
+        return 0.0, 0.0, 0.0
+    return tuple(merged.quantile(q) * 1e3 for q in (0.5, 0.95, 0.99))
+
+
 def bench_serving(
     records: list,
     graph: UncertainGraph,
@@ -142,14 +160,22 @@ def bench_serving(
         cold = [engine.submit(q, n_worlds, seed) for q in queries]
         for future in cold:
             future.result()
-        # Warm passes: the measured concurrent-serving throughput.
+        # Warm passes: the measured concurrent-serving throughput.  A
+        # registry (process-wide: the dispatch thread records) captures
+        # per-query latency for the record's quantile fields.  An already
+        # installed registry (repro-serve --metrics-port) is reused so a
+        # live scrape endpoint sees the run; its quantiles then also cover
+        # any earlier traffic it observed.
+        registry = _metrics.active() or _metrics.MetricsRegistry()
         served: List[EstimateResult] = []
         warm_seconds = math.inf
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            futures = [engine.submit(q, n_worlds, seed) for q in queries]
-            served = [f.result() for f in futures]
-            warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+        with _metrics.activate(registry):
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                futures = [engine.submit(q, n_worlds, seed) for q in queries]
+                served = [f.result() for f in futures]
+                warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+        p50_ms, p95_ms, p99_ms = _latency_quantiles_ms(registry)
         cache = engine.cache.stats()
         batch_size_mean = engine.metrics.batch_size_mean
 
@@ -185,13 +211,17 @@ def bench_serving(
         speedup_vs_sequential=speedup,
         cache_bytes_peak=cache.bytes_peak,
         cache_oversize_misses=cache.oversize_misses,
+        latency_p50_ms=p50_ms,
+        latency_p95_ms=p95_ms,
+        latency_p99_ms=p99_ms,
     )
     records.extend([seq_record, engine_record])
     log(
         f"  {'serving':<18s} 1q {seq_seconds:8.3f}s ({seq_qps:8.1f} q/s) | "
         f"{n_queries}q warm {warm_seconds:8.3f}s ({warm_qps:8.1f} q/s) | "
         f"speedup {speedup:6.2f}x | hit_rate {cache.hit_rate:.2f} | "
-        f"batch {batch_size_mean:.1f}"
+        f"batch {batch_size_mean:.1f} | "
+        f"p50/p95/p99 {p50_ms:.1f}/{p95_ms:.1f}/{p99_ms:.1f}ms"
     )
 
 
@@ -289,16 +319,19 @@ def bench_serving_stratified(
                 for q in queries
             ]:
                 future.result()
+            registry = _metrics.active() or _metrics.MetricsRegistry()
             served: List[EstimateResult] = []
             warm_seconds = math.inf
-            for _ in range(repeats):
-                t0 = time.perf_counter()
-                futures = [
-                    engine.submit(q, n_worlds, seed, estimator=make())
-                    for q in queries
-                ]
-                served = [f.result() for f in futures]
-                warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+            with _metrics.activate(registry):
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    futures = [
+                        engine.submit(q, n_worlds, seed, estimator=make())
+                        for q in queries
+                    ]
+                    served = [f.result() for f in futures]
+                    warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+            p50_ms, p95_ms, p99_ms = _latency_quantiles_ms(registry)
             cache = engine.cache.stats()
 
         for i, (a, b) in enumerate(zip(sequential, served)):
@@ -334,6 +367,9 @@ def bench_serving_stratified(
             speedup_vs_sequential=speedup,
             cache_bytes_peak=cache.bytes_peak,
             cache_oversize_misses=cache.oversize_misses,
+            latency_p50_ms=p50_ms,
+            latency_p95_ms=p95_ms,
+            latency_p99_ms=p99_ms,
         )
         records.extend([seq_record, engine_record])
         log(
@@ -341,7 +377,8 @@ def bench_serving_stratified(
             f"({seq_qps:8.1f} q/s) | {n_queries}q warm {warm_seconds:8.3f}s "
             f"({warm_qps:8.1f} q/s) | speedup {speedup:6.2f}x | "
             f"hit_rate {cache.hit_rate:.2f} | "
-            f"cache_peak {cache.bytes_peak / 1024:.0f}KiB"
+            f"cache_peak {cache.bytes_peak / 1024:.0f}KiB | "
+            f"p50/p95/p99 {p50_ms:.1f}/{p95_ms:.1f}/{p99_ms:.1f}ms"
         )
 
 

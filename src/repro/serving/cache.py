@@ -52,6 +52,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import metrics as _metrics
 from repro.errors import EstimatorError
 from repro.graph.bitsets import WORD_BITS, pack_masks, unpack_masks, with_edge_words
 from repro.graph.statuses import EdgeStatuses
@@ -286,6 +287,12 @@ class WorldBlockCache:
             else:
                 entry = None
                 self._misses += 1
+        reg = _metrics.active()
+        if reg is not None:
+            reg.inc(
+                "repro_cache_hits_total" if entry is not None
+                else "repro_cache_misses_total"
+            )
         stored = 0
         if entry is not None:
             produced = 0
@@ -361,26 +368,42 @@ class WorldBlockCache:
                 _Entry(packed, max(produced, stored), graph.n_edges, fresh_words),
             )
 
+    def _publish(self, reg, evicted: int = 0) -> None:
+        """Push the byte/entry gauges (and any eviction delta) to ``reg``.
+
+        Called outside the cache lock; the gauge reads race at worst one
+        concurrent mutation behind, which the next publish corrects.
+        """
+        if evicted:
+            reg.inc("repro_cache_evictions_total", float(evicted))
+        reg.set("repro_cache_bytes", float(self._bytes))
+        reg.set("repro_cache_bytes_peak", float(self._bytes_peak))
+        reg.set("repro_cache_entries", float(len(self._entries)))
+
     def _note_words(self, key: CacheKey, entry: _Entry, span, words) -> None:
         """Account a lazily-computed kernel layout against the byte budget."""
+        evicted = 0
         with self._lock:
             if self._entries.get(key) is not entry or span in entry.words:
                 return  # evicted meanwhile, or another thread beat us to it
             entry.words[span] = words
             self._bytes += words.nbytes
             while self._bytes > self.max_bytes and len(self._entries) > 1:
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
                 self._evictions += 1
+                evicted += 1
             if self._bytes > self.max_bytes:
                 # Rows plus layout cannot fit even alone: keep serving this
                 # key unmemoised rather than bust the budget.  (The loop
                 # above only leaves us over budget if `entry` survived it.)
                 del entry.words[span]
                 self._bytes -= words.nbytes
-                return
-            if self._bytes > self._bytes_peak:
+            elif self._bytes > self._bytes_peak:
                 self._bytes_peak = self._bytes
+        reg = _metrics.active()
+        if reg is not None:
+            self._publish(reg, evicted)
 
     def _store(self, key: CacheKey, entry: _Entry) -> None:
         if entry.nbytes > self.max_bytes and entry.words:
@@ -392,7 +415,11 @@ class WorldBlockCache:
             # it, because this key will re-sample on every future call.
             with self._lock:
                 self._oversize_misses += 1
+            reg = _metrics.active()
+            if reg is not None:
+                reg.inc("repro_cache_oversize_total")
             return
+        evicted = 0
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
@@ -408,16 +435,21 @@ class WorldBlockCache:
             if self._bytes > self._bytes_peak:
                 self._bytes_peak = self._bytes
             while self._bytes > self.max_bytes and len(self._entries) > 1:
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
                 self._evictions += 1
+                evicted += 1
             if self._bytes > self.max_bytes:
                 # The sole remaining entry is the one just stored and it
                 # alone busts the budget (possible when the budget shrank
                 # between the guard above and here under races): drop it.
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
                 self._evictions += 1
+                evicted += 1
+        reg = _metrics.active()
+        if reg is not None:
+            self._publish(reg, evicted)
 
 
 __all__ = [

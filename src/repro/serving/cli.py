@@ -70,6 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="tiny graph and world count; finishes in seconds",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live Prometheus metrics on 127.0.0.1:PORT for the "
+        "duration of the run (0 picks an ephemeral port); scrape "
+        "/metrics for the exposition text or /metrics.json for the "
+        "snapshot record",
+    )
+    parser.add_argument(
+        "--metrics-snapshot", type=str, default=None, metavar="PATH",
+        help="append periodic metrics snapshots (JSONL, one record per "
+        "second plus a final one) to PATH during the run",
+    )
     return parser
 
 
@@ -85,6 +97,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.smoke:
         scale = min(scale, 0.02)
         n_worlds = min(n_worlds, 64)
+    # Optional observability: install a process-wide registry so every
+    # instrumented layer records, serve it live over HTTP, and/or stream
+    # periodic JSONL snapshots.  Metrics never perturb the estimates — the
+    # bench's parity assertion would catch any drift.
+    server = exporter = previous = None
+    if args.metrics_port is not None or args.metrics_snapshot:
+        from repro import metrics as _metrics
+
+        registry = _metrics.MetricsRegistry()
+        previous = _metrics.install(registry)
+        if args.metrics_port is not None:
+            server = _metrics.MetricsServer(registry, port=args.metrics_port).start()
+            print(f"repro-serve: live metrics at {server.url}")
+        if args.metrics_snapshot:
+            exporter = _metrics.SnapshotExporter(
+                registry, args.metrics_snapshot
+            ).start()
     try:
         graph = GRAPHS[args.graph](scale=scale)
         graph_label = f"{args.graph}@{scale:g}"
@@ -105,6 +134,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if exporter is not None:
+            exporter.close()
+            print(f"repro-serve: metrics snapshots in {args.metrics_snapshot}")
+        if server is not None:
+            server.close()
+        if previous is not None or server is not None or exporter is not None:
+            from repro import metrics as _metrics
+
+            _metrics.install(previous)
     payload = {
         "version": 1,
         "generated_by": "repro-serve",

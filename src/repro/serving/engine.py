@@ -67,6 +67,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import metrics as _metrics
 from repro.core import diagnostics
 from repro.core.base import Estimator
 from repro.core.result import EstimateResult, WorldCounter
@@ -109,6 +110,13 @@ class ServingMetrics:
     query-block evaluations each frontier sweep paid for.  ``1.0`` means no
     sharing (every query swept alone); ``k`` means ``k`` queries rode each
     sweep on average.
+
+    Every ratio accessor is guarded against zero denominators, so scraping
+    an idle engine reports ``0.0`` across the board instead of raising.
+    The counters also forward to the active :mod:`repro.metrics` registry
+    (``repro_serving_*`` families) when one is installed, which is how the
+    bench-time counters and the live scrape endpoint stay one source of
+    truth.
     """
 
     def __init__(self) -> None:
@@ -125,6 +133,10 @@ class ServingMetrics:
     def record_span(self, kind: str, seconds: float, **meta: Any) -> None:
         with self._lock:
             self._spans.append(Span(kind, float(seconds), meta))
+        if kind == "sweep":
+            reg = _metrics.active()
+            if reg is not None:
+                reg.observe("repro_serving_sweep_seconds", float(seconds))
 
     def record_batch(self, size: int, form_seconds: float) -> None:
         with self._lock:
@@ -132,19 +144,33 @@ class ServingMetrics:
             self.queries += size
             self._batch_sizes_total += size
             self._spans.append(Span("batch_form", float(form_seconds), {"size": size}))
+        reg = _metrics.active()
+        if reg is not None:
+            reg.inc("repro_serving_batches_total")
+            reg.observe("repro_serving_batch_size", float(size))
 
     def record_sweeps(self, sweeps: int, query_evals: int) -> None:
         with self._lock:
             self.sweeps += sweeps
             self.query_evals += query_evals
+        reg = _metrics.active()
+        if reg is not None:
+            reg.inc("repro_serving_sweeps_total", float(sweeps))
+            reg.inc("repro_serving_query_evals_total", float(query_evals))
 
     def record_fallback(self, count: int = 1) -> None:
         with self._lock:
             self.fallbacks += count
+        reg = _metrics.active()
+        if reg is not None:
+            reg.inc("repro_serving_fallbacks_total", float(count))
 
     def record_stratified(self, count: int = 1) -> None:
         with self._lock:
             self.stratified += count
+        reg = _metrics.active()
+        if reg is not None:
+            reg.inc("repro_serving_stratified_total", float(count))
 
     @property
     def batch_size_mean(self) -> float:
@@ -183,6 +209,7 @@ class _Request:
     __slots__ = (
         "query", "n_samples", "seed", "fingerprint",
         "estimator", "n_workers", "target_ci", "confidence", "future",
+        "t_submit",
     )
 
     def __init__(
@@ -205,6 +232,11 @@ class _Request:
         self.target_ci = None if target_ci is None else float(target_ci)
         self.confidence = float(confidence)
         self.future: "Future[EstimateResult]" = Future()
+        # End-to-end latency anchor; stamped only when metrics are on so
+        # the disabled path stays one None check.
+        self.t_submit: Optional[float] = (
+            None if _metrics.active() is None else time.perf_counter()
+        )
 
     @property
     def fast(self) -> bool:
@@ -224,6 +256,17 @@ class _Request:
     def stratified(self) -> bool:
         """Explicit-estimator request: run it behind a cached world source."""
         return self.estimator is not None
+
+    @property
+    def path_label(self) -> str:
+        """The serving-path label this request resolves under."""
+        if self.stratified:
+            return "stratified"
+        if self.adaptive:
+            return "adaptive"
+        if self.fast:
+            return "fast"
+        return "fallback"
 
 
 def _classify(query: Query) -> Tuple[str, Query, Optional[ThresholdQuery]]:
@@ -328,6 +371,30 @@ class ServingEngine:
                 raise EstimatorError("no graph registered under that fingerprint")
             return self._graphs[fp]
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One guarded plain-dict view: serving counters plus cache stats.
+
+        Every ratio (cache hit rate, mean batch size, sweep reuse) is
+        guarded against zero denominators, so scraping an idle engine —
+        zero queries, zero batches, an untouched cache — returns ``0.0``
+        everywhere instead of raising.
+        """
+        snap = self.metrics.snapshot()
+        stats = self.cache.stats()
+        snap.update(
+            {
+                "cache_hits": stats.hits,
+                "cache_misses": stats.misses,
+                "cache_evictions": stats.evictions,
+                "cache_oversize_misses": stats.oversize_misses,
+                "cache_hit_rate": stats.hit_rate,
+                "cache_entries": stats.entries,
+                "cache_bytes": stats.current_bytes,
+                "cache_bytes_peak": stats.bytes_peak,
+            }
+        )
+        return snap
+
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
@@ -397,6 +464,29 @@ class ServingEngine:
     # dispatch
     # ------------------------------------------------------------------ #
 
+    def _finish(
+        self,
+        req: _Request,
+        result: Optional[EstimateResult] = None,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        """Resolve one request's future and record its serving metrics."""
+        if exc is not None:
+            req.future.set_exception(exc)
+        else:
+            req.future.set_result(result)
+        reg = _metrics.active()
+        if reg is None:
+            return
+        label = (req.path_label,)
+        reg.inc("repro_serving_queries_total", labels=label)
+        if req.t_submit is not None:
+            reg.observe(
+                "repro_serving_query_latency_seconds",
+                time.perf_counter() - req.t_submit,
+                labels=label,
+            )
+
     def _dispatch_loop(self) -> None:
         while True:
             t0 = time.perf_counter()
@@ -410,7 +500,7 @@ class ServingEngine:
             except BaseException as exc:  # defensive: fail futures, keep serving
                 for req in batch:
                     if not req.future.done():
-                        req.future.set_exception(exc)
+                        self._finish(req, exc=exc)
             self.metrics.record_span(
                 "serve", time.perf_counter() - t_serve, size=len(batch)
             )
@@ -426,9 +516,9 @@ class ServingEngine:
             try:
                 result = self._serve_stratified(req)
             except BaseException as exc:
-                req.future.set_exception(exc)
+                self._finish(req, exc=exc)
             else:
-                req.future.set_result(result)
+                self._finish(req, result)
         for req in fallback:
             self.metrics.record_fallback()
             try:
@@ -446,16 +536,16 @@ class ServingEngine:
                     **kwargs,
                 )
             except BaseException as exc:
-                req.future.set_exception(exc)
+                self._finish(req, exc=exc)
             else:
-                req.future.set_result(result)
+                self._finish(req, result)
         for req in adaptive:
             try:
                 result = self._serve_adaptive(req)
             except BaseException as exc:
-                req.future.set_exception(exc)
+                self._finish(req, exc=exc)
             else:
-                req.future.set_result(result)
+                self._finish(req, result)
         groups: Dict[Tuple[str, int, int], List[_Request]] = {}
         for req in fast:
             groups.setdefault((req.fingerprint, req.seed, req.n_samples), []).append(req)
@@ -465,7 +555,7 @@ class ServingEngine:
             except BaseException as exc:
                 for req in reqs:
                     if not req.future.done():
-                        req.future.set_exception(exc)
+                        self._finish(req, exc=exc)
 
     def _serve_group(
         self, fp: str, seed: int, n_samples: int, reqs: List[_Request]
@@ -553,7 +643,7 @@ class ServingEngine:
                 "NMC",
                 **counter.stats(),
             )
-            req.future.set_result(result)
+            self._finish(req, result)
 
     def _serve_stratified(self, req: _Request) -> EstimateResult:
         """Serve an explicit-estimator request through the world-block cache.
@@ -651,6 +741,13 @@ class ServingEngine:
             target_ci=req.target_ci,
             converged=converged,
         )
+        reg = _metrics.active()
+        if reg is not None:
+            reg.inc(
+                "repro_serving_slo_total",
+                labels=("true" if converged else "false",),
+            )
+            reg.observe("repro_adaptive_worlds_to_target", float(consumed))
         if req.query.conditional and den == 0.0:
             raise EstimatorError(
                 f"conditioning event never observed in {consumed} worlds; "

@@ -13,7 +13,12 @@ with a :class:`~repro.telemetry.JsonlExporter`)::
 ``repro-serve`` payload (a single JSON object with a ``records`` list):
 the summary then prints one line per benchmark record, including the
 serving throughput fields of ``serving_*`` records, and validation runs
-:func:`repro.telemetry.schema.validate_bench_payload`.
+:func:`repro.telemetry.schema.validate_bench_payload`.  They likewise
+accept a ``repro.metrics`` snapshot file (JSONL whose records carry
+``"type": "metrics"``, as written by ``repro-serve --metrics-snapshot``
+or a :class:`~repro.metrics.SnapshotExporter`): the summary prints one
+headline line per snapshot and validation runs
+:func:`repro.telemetry.schema.validate_metrics_file`.
 
 A trace file may hold several runs (one ``meta`` line each); ``--run``
 selects one by index (default: the last run).
@@ -31,10 +36,15 @@ from repro.telemetry.exporters import read_jsonl
 from repro.telemetry.render import (
     render_bench_summary,
     render_convergence,
+    render_metrics_summary,
     render_profile,
     render_summary,
 )
-from repro.telemetry.schema import validate_bench_payload, validate_trace_records
+from repro.telemetry.schema import (
+    validate_bench_payload,
+    validate_metrics_file,
+    validate_trace_records,
+)
 from repro.telemetry.tracer import TraceReport
 
 
@@ -84,6 +94,30 @@ def _load_bench_payload(path: str) -> Optional[dict]:
     return None
 
 
+def _load_metrics_records(path: str) -> Optional[List[dict]]:
+    """Return the file's metrics snapshots, or None if it is not one.
+
+    A metrics file is JSONL whose first record carries ``"type":
+    "metrics"`` — the shape written by :class:`~repro.metrics.
+    SnapshotExporter` and ``repro-serve --metrics-snapshot``.  Trace files
+    open with a ``"type": "meta"`` record, so detection is unambiguous.
+    """
+    records: List[dict] = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if not (isinstance(record, dict) and record.get("type") == "metrics"):
+                    return None
+                records.append(record)
+    except (OSError, ValueError):
+        return None
+    return records or None
+
+
 def _load_run(path: str, run_index: int) -> TraceReport:
     runs = read_jsonl(path)
     if not runs:
@@ -110,6 +144,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"ok: bench payload with {n} records")
                 else:
                     print(render_bench_summary(payload))
+                return 0
+            snapshots = _load_metrics_records(args.trace_file)
+            if snapshots is not None:
+                n = validate_metrics_file(args.trace_file)
+                if args.command == "validate":
+                    print(f"ok: metrics file with {n} snapshots")
+                else:
+                    print(render_metrics_summary(snapshots))
                 return 0
         if args.command == "validate":
             runs = read_jsonl(args.trace_file)

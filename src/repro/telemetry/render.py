@@ -153,10 +153,57 @@ def render_bench_summary(payload: Dict) -> str:
                 bits.append(f"oversize={record['cache_oversize_misses']}")
             if record.get("speedup_vs_sequential") is not None:
                 bits.append(f"speedup={record['speedup_vs_sequential']:.2f}x")
+            if record.get("latency_p50_ms") is not None:
+                bits.append(
+                    "p50/p95/p99="
+                    f"{record['latency_p50_ms']:.1f}/"
+                    f"{record.get('latency_p95_ms', float('nan')):.1f}/"
+                    f"{record.get('latency_p99_ms', float('nan')):.1f}ms"
+                )
         else:
             bits.append(f"worlds/s={record.get('worlds_per_sec', float('nan')):.1f}")
             if record.get("speedup_vs_scalar") is not None:
                 bits.append(f"speedup={record['speedup_vs_scalar']:.2f}x")
+        lines.append("  ".join(bits))
+    return "\n".join(lines)
+
+
+def render_metrics_summary(records: List[Dict]) -> str:
+    """One-line-per-snapshot view of a ``repro.metrics`` JSONL file.
+
+    Each snapshot line carries the serving headline numbers — queries
+    served, cache hit rate, latency p50/p95/p99 (from the merged
+    ``repro_serving_query_latency_seconds`` histogram), estimates and
+    worlds — followed by a family count, so a metrics file reads like the
+    convergence table of the serving run that produced it.
+    """
+    from repro.metrics.exposition import scraped_from_record
+
+    lines = [f"metrics: {len(records)} snapshot(s)"]
+    for i, record in enumerate(records):
+        scraped = scraped_from_record(record)
+        queries = scraped.value_sum("repro_serving_queries_total")
+        hits = scraped.value_sum("repro_cache_hits_total")
+        misses = scraped.value_sum("repro_cache_misses_total")
+        lookups = hits + misses
+        hit_rate = hits / lookups if lookups > 0 else 0.0
+        merged = scraped.histogram_merged("repro_serving_query_latency_seconds")
+        if merged is not None and merged.n > 0:
+            latency = "/".join(
+                f"{merged.quantile(q) * 1e3:.1f}" for q in (0.5, 0.95, 0.99)
+            )
+        else:
+            latency = "-"
+        bits = [
+            f"#{i}",
+            f"ts={record.get('ts', float('nan')):.3f}",
+            f"queries={queries:.0f}",
+            f"hit_rate={hit_rate:.2f}",
+            f"p50/p95/p99={latency}ms",
+            f"estimates={scraped.value_sum('repro_estimates_total'):.0f}",
+            f"worlds={scraped.value_sum('repro_estimate_worlds_total'):.0f}",
+            f"families={len(record.get('metrics', {}))}",
+        ]
         lines.append("  ".join(bits))
     return "\n".join(lines)
 
@@ -184,6 +231,7 @@ def variance_table(report: TraceReport) -> List[Tuple[Tuple[int, ...], Dict[str,
 __all__ = [
     "render_bench_summary",
     "render_convergence",
+    "render_metrics_summary",
     "render_profile",
     "render_summary",
     "variance_table",

@@ -57,6 +57,17 @@ SERVING_BENCH_FIELDS = (
     "cache_bytes_peak",
 )
 
+#: Extra required fields of the ``_engine_`` serving records on top of
+#: :data:`SERVING_BENCH_FIELDS`: per-query end-to-end latency quantiles in
+#: milliseconds, read off the engine's ``repro_serving_query_latency_seconds``
+#: histogram during the warm passes.  Sequential baselines have no engine
+#: latency distribution, so they are exempt.
+SERVING_LATENCY_FIELDS = (
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+)
+
 #: Extra required fields of ``adaptive_*`` bench records (the
 #: worlds-to-target-CI protocol of ``repro-bench --adaptive``).
 ADAPTIVE_BENCH_FIELDS = (
@@ -64,6 +75,12 @@ ADAPTIVE_BENCH_FIELDS = (
     "target_ci",
     "pilot_fraction",
 )
+
+#: Required fields of a ``repro.metrics`` JSONL snapshot record.
+METRICS_RECORD_FIELDS = ("type", "schema", "ts", "metrics")
+
+#: Required fields of each metric-family entry inside a snapshot record.
+METRICS_FAMILY_FIELDS = ("kind", "help", "labels", "samples")
 
 
 def check_fields(
@@ -139,11 +156,91 @@ def validate_bench_payload(payload: Mapping[str, Any]) -> int:
         raise ReproError("bench payload has no records")
     for i, record in enumerate(records):
         check_fields(record, BENCH_FIELDS, f"bench record #{i}")
-        if str(record.get("kernel", "")).startswith("serving_"):
+        kernel = str(record.get("kernel", ""))
+        if kernel.startswith("serving_"):
             check_fields(record, SERVING_BENCH_FIELDS, f"serving bench record #{i}")
-        if str(record.get("kernel", "")).startswith("adaptive_"):
+            if "_engine_" in kernel:
+                check_fields(
+                    record, SERVING_LATENCY_FIELDS,
+                    f"serving engine bench record #{i}",
+                )
+        if kernel.startswith("adaptive_"):
             check_fields(record, ADAPTIVE_BENCH_FIELDS, f"adaptive bench record #{i}")
     return len(records)
+
+
+def validate_metrics_record(record: Mapping[str, Any], where: str = "metrics record") -> int:
+    """Validate one ``repro.metrics`` snapshot record; return the family count.
+
+    Checks the envelope (``type``/``schema``/``ts``/``metrics``), then every
+    family entry: kind is one of counter/gauge/histogram, samples are lists,
+    each sample's ``labels`` length matches the family's declared label
+    names, and histogram ``counts`` have exactly ``len(buckets) + 1``
+    entries (the ``+Inf`` bucket is last).
+    """
+    from repro.metrics.registry import METRICS_SCHEMA_VERSION
+
+    check_fields(record, METRICS_RECORD_FIELDS, where)
+    if record["type"] != "metrics":
+        raise ReproError(f"{where}: type must be 'metrics', got {record['type']!r}")
+    if record["schema"] != METRICS_SCHEMA_VERSION:
+        raise ReproError(
+            f"{where}: metrics schema version {record['schema']!r} unsupported "
+            f"(expected {METRICS_SCHEMA_VERSION})"
+        )
+    families = record["metrics"]
+    if not isinstance(families, Mapping):
+        raise ReproError(f"{where}: 'metrics' must be an object")
+    for name, entry in families.items():
+        ctx = f"{where}: family {name!r}"
+        check_fields(entry, METRICS_FAMILY_FIELDS, ctx)
+        kind = entry["kind"]
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ReproError(f"{ctx}: unknown kind {kind!r}")
+        if not isinstance(entry["samples"], list):
+            raise ReproError(f"{ctx}: samples must be a list")
+        n_labels = len(entry["labels"])
+        if kind == "histogram":
+            check_fields(entry, ("buckets",), ctx)
+            n_counts = len(entry["buckets"]) + 1
+        for j, sample in enumerate(entry["samples"]):
+            sctx = f"{ctx} sample #{j}"
+            if len(sample.get("labels", ())) != n_labels:
+                raise ReproError(
+                    f"{sctx}: expected {n_labels} label values, "
+                    f"got {sample.get('labels')!r}"
+                )
+            if kind == "histogram":
+                check_fields(sample, ("counts", "sum", "count"), sctx)
+                if len(sample["counts"]) != n_counts:
+                    raise ReproError(
+                        f"{sctx}: counts must have {n_counts} entries "
+                        f"(buckets + the +Inf bucket), got {len(sample['counts'])}"
+                    )
+            else:
+                check_fields(sample, ("value",), sctx)
+    return len(families)
+
+
+def validate_metrics_file(path: str) -> int:
+    """Validate every snapshot of a metrics JSONL file; return their count."""
+    import json
+
+    count = 0
+    with open(path) as handle:
+        for i, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ReproError(f"metrics file {path!r} line {i + 1}: {exc}")
+            validate_metrics_record(record, f"metrics record #{count}")
+            count += 1
+    if count == 0:
+        raise ReproError(f"metrics file {path!r} contains no snapshots")
+    return count
 
 
 __all__ = [
@@ -152,9 +249,14 @@ __all__ = [
     "CONV_FIELDS",
     "PARALLEL_FIELDS",
     "SERVING_BENCH_FIELDS",
+    "SERVING_LATENCY_FIELDS",
     "ADAPTIVE_BENCH_FIELDS",
+    "METRICS_RECORD_FIELDS",
+    "METRICS_FAMILY_FIELDS",
     "check_fields",
     "validate_trace_records",
     "validate_trace_file",
     "validate_bench_payload",
+    "validate_metrics_record",
+    "validate_metrics_file",
 ]

@@ -51,6 +51,16 @@ def test_trace_check_records_overhead(tmp_path):
     assert "trace_overhead_pct" in by_kernel["nmc_influence_trace_on"]
 
 
+def test_metrics_check_records_overhead(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["--smoke", "--metrics-check", "--output", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["config"]["metrics_check"] is True
+    by_kernel = {record["kernel"]: record for record in payload["records"]}
+    assert "metrics_overhead_pct" in by_kernel["nmc_influence_metrics_off"]
+    assert "metrics_overhead_pct" in by_kernel["nmc_influence_metrics_on"]
+
+
 def test_batched_records_carry_speedup(tmp_path):
     payload = run_benchmarks(
         graph_name="facebook",
@@ -105,4 +115,33 @@ def test_repro_serve_cli_writes_schema_compliant_payload(tmp_path):
     payload = json.loads(out.read_text())
     assert payload["generated_by"] == "repro-serve"
     assert validate_bench_payload(payload) == 2
+    engine = [r for r in payload["records"] if "_engine_" in r["kernel"]][0]
+    assert engine["latency_p50_ms"] >= 0.0
+    assert engine["latency_p99_ms"] >= engine["latency_p50_ms"]
     assert serve_main(["--worlds", "0"]) == 2
+
+
+def test_repro_serve_metrics_endpoint_and_snapshots(tmp_path, capsys):
+    """--metrics-port 0 starts a live endpoint; --metrics-snapshot writes JSONL."""
+    import re
+
+    from repro.metrics.exposition import scraped_from_record
+    from repro.serving.cli import main as serve_main
+    from repro.telemetry.schema import validate_metrics_file
+
+    out = tmp_path / "serve.json"
+    snaps = tmp_path / "metrics.jsonl"
+    rc = serve_main([
+        "--smoke", "--queries", "8", "--output", str(out),
+        "--metrics-port", "0", "--metrics-snapshot", str(snaps),
+    ])
+    assert rc == 0
+    output = capsys.readouterr().out
+    assert re.search(r"live metrics at http://[\d.:]+/metrics", output), output
+    # The server closed with the run; the final snapshot (written by the
+    # exporter's close()) carries the run's counters.
+    assert validate_metrics_file(str(snaps)) >= 1
+    with open(snaps) as fh:
+        last = json.loads(fh.readlines()[-1])
+    scraped = scraped_from_record(last)
+    assert scraped.value_sum("repro_serving_queries_total") > 0.0

@@ -1,0 +1,113 @@
+"""Metrics-parity matrix: the registry must observe, never perturb.
+
+Mirrors tests/core/test_trace_matrix.py: every estimator family runs with
+metrics off (no registry) and on (an active standard registry),
+sequentially and through the parallel engine; the estimate must be
+bit-identical in every configuration, and the registry must have seen the
+call (estimates/worlds counters, latency histogram).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import metrics
+from repro.core import (
+    BCSS,
+    BSS1,
+    BSS2,
+    NMC,
+    RCSS,
+    RSS1,
+    RSS2,
+    BFSSelection,
+    FocalSampling,
+)
+from repro.core.antithetic import AntitheticNMC
+from repro.metrics import MetricsRegistry
+from repro.queries.influence import InfluenceQuery
+
+SEED = 20140331
+
+#: Mirrors the trace acceptance matrix.
+MATRIX = [
+    NMC(),
+    AntitheticNMC(),
+    FocalSampling(),
+    BCSS(),
+    RCSS(tau_samples=4, tau_edges=2),
+    BSS1(r=3),
+    BSS1(r=3, selection=BFSSelection()),
+    RSS1(r=2, tau=5),
+    RSS1(r=2, tau=5, selection=BFSSelection()),
+    BSS2(r=4),
+    BSS2(r=4, selection=BFSSelection()),
+    RSS2(r=3, tau=5),
+    RSS2(r=3, tau=5, selection=BFSSelection()),
+]
+
+
+def _fingerprint(result):
+    return (result.value, result.numerator, result.denominator, result.n_worlds)
+
+
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_sequential_metrics_parity(fig1_graph, estimator):
+    query = InfluenceQuery(0)
+    off = estimator.estimate(fig1_graph, query, 300, rng=SEED)
+    reg = MetricsRegistry()
+    with metrics.activate_local(reg):
+        on = estimator.estimate(fig1_graph, query, 300, rng=SEED)
+    assert _fingerprint(on) == _fingerprint(off)
+    snap = reg.collect()
+    assert snap.counter("repro_estimates_total", (estimator.name,)) >= 1.0
+    assert snap.counter(
+        "repro_estimate_worlds_total", (estimator.name,)
+    ) >= on.n_worlds
+    merged = snap.histogram_merged("repro_estimate_seconds")
+    assert merged is not None and merged.n >= 1
+
+
+@pytest.mark.parametrize("estimator", MATRIX, ids=lambda e: e.name)
+def test_pool_metrics_parity(fig1_graph, estimator):
+    """n_workers=2 pool: worker recording must not change the estimate."""
+    query = InfluenceQuery(0)
+    off = estimator.estimate(fig1_graph, query, 200, rng=SEED, n_workers=2)
+    reg = MetricsRegistry()
+    with metrics.activate(reg):
+        on = estimator.estimate(fig1_graph, query, 200, rng=SEED, n_workers=2)
+    assert _fingerprint(on) == _fingerprint(off)
+    snap = reg.collect()
+    assert snap.counter_sum("repro_pool_jobs_total") >= 1.0
+    workers = [
+        value for (name, _labels), value in snap.gauges.items()
+        if name == "repro_pool_workers"
+    ]
+    assert workers and max(workers) >= 1.0
+
+
+def test_error_path_increments_error_counter(fig1_graph):
+    reg = MetricsRegistry()
+    with metrics.activate_local(reg):
+        with pytest.raises(Exception):
+            NMC().estimate(fig1_graph, InfluenceQuery(0), -5, rng=SEED)
+    snap = reg.collect()
+    name = NMC().name
+    assert snap.counter("repro_estimate_errors_total", (name,)) == 1.0
+    assert snap.counter("repro_estimates_total", (name,)) == 0.0
+
+
+def test_metrics_and_trace_and_audit_compose(fig1_graph):
+    """All three observation layers on at once still change nothing."""
+    estimator = RSS1(r=2, tau=5)
+    query = InfluenceQuery(0)
+    plain = estimator.estimate(fig1_graph, query, 250, rng=SEED)
+    reg = MetricsRegistry()
+    with metrics.activate_local(reg):
+        loaded = estimator.estimate(
+            fig1_graph, query, 250, rng=SEED, audit=True, trace=True
+        )
+    assert _fingerprint(loaded) == _fingerprint(plain)
+    assert loaded.audit is not None and loaded.audit.violations == 0
+    assert loaded.trace is not None
+    assert reg.collect().counter("repro_estimates_total", (estimator.name,)) == 1.0

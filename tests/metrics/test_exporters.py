@@ -1,0 +1,83 @@
+"""HTTP scrape endpoint and JSONL snapshot exporters."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.metrics import MetricsRegistry, MetricsServer, SnapshotExporter, write_snapshot
+from repro.metrics.exposition import parse_prometheus_text, scraped_from_record
+from repro.telemetry.schema import validate_metrics_file, validate_metrics_record
+
+
+def loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("repro_serving_queries_total", 5.0, labels=("fast",))
+    reg.observe("repro_serving_query_latency_seconds", 0.02, labels=("fast",))
+    reg.set("repro_cache_bytes", 1024.0)
+    return reg
+
+
+class TestMetricsServer:
+    def test_scrape_endpoint_serves_prometheus_text(self):
+        reg = loaded_registry()
+        with MetricsServer(reg, port=0) as server:
+            assert server.port != 0
+            with urllib.request.urlopen(server.url, timeout=10.0) as resp:
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                text = resp.read().decode()
+        scraped = parse_prometheus_text(text)
+        assert scraped.value("repro_serving_queries_total", path="fast") == 5.0
+        assert scraped.value("repro_cache_bytes") == 1024.0
+
+    def test_json_endpoint_serves_snapshot_record(self):
+        reg = loaded_registry()
+        with MetricsServer(reg, port=0) as server:
+            url = server.url + ".json"
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                record = json.loads(resp.read().decode())
+        validate_metrics_record(record)
+        scraped = scraped_from_record(record)
+        assert scraped.value_sum("repro_serving_queries_total") == 5.0
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(loaded_registry(), port=0) as server:
+            url = f"http://{server.host}:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url, timeout=10.0)
+            assert err.value.code == 404
+
+    def test_scrape_reflects_later_recording(self):
+        reg = loaded_registry()
+        with MetricsServer(reg, port=0) as server:
+            reg.inc("repro_serving_queries_total", 2.0, labels=("fast",))
+            with urllib.request.urlopen(server.url, timeout=10.0) as resp:
+                text = resp.read().decode()
+        scraped = parse_prometheus_text(text)
+        assert scraped.value("repro_serving_queries_total", path="fast") == 7.0
+
+
+class TestSnapshotExporters:
+    def test_write_snapshot_appends_valid_records(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        reg = loaded_registry()
+        write_snapshot(reg, path)
+        reg.inc("repro_serving_queries_total", labels=("fast",))
+        write_snapshot(reg, path)
+        assert validate_metrics_file(path) == 2
+        with open(path) as fh:
+            records = [json.loads(line) for line in fh]
+        first = scraped_from_record(records[0])
+        second = scraped_from_record(records[1])
+        assert second.value_sum("repro_serving_queries_total") == (
+            first.value_sum("repro_serving_queries_total") + 1.0
+        )
+
+    def test_periodic_exporter_writes_final_snapshot_on_close(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        reg = loaded_registry()
+        exporter = SnapshotExporter(reg, path, interval_s=60.0).start()
+        exporter.close()
+        assert validate_metrics_file(path) >= 1

@@ -1,0 +1,87 @@
+"""Exposition round-trips: Prometheus text and JSONL snapshot records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
+from repro.metrics.exposition import (
+    parse_prometheus_text,
+    render_prometheus,
+    scraped_from_record,
+    snapshot_record,
+)
+
+
+def loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(standard=False)
+    reg.counter("repro_q_total", "Queries.", ("path",))
+    reg.gauge("repro_bytes", "Bytes resident.")
+    reg.histogram("repro_lat_seconds", "Latency.", (0.01, 0.1, 1.0))
+    reg.inc("repro_q_total", 3.0, labels=("fast",))
+    reg.inc("repro_q_total", 1.0, labels=("fallback",))
+    reg.set("repro_bytes", 4096.0)
+    for v in (0.005, 0.05, 0.05, 0.5, 2.0):
+        reg.observe("repro_lat_seconds", v)
+    return reg
+
+
+def test_render_has_help_type_and_cumulative_buckets():
+    text = render_prometheus(loaded_registry().collect())
+    assert "# HELP repro_q_total Queries." in text
+    assert "# TYPE repro_q_total counter" in text
+    assert 'repro_q_total{path="fast"} 3' in text
+    assert "# TYPE repro_lat_seconds histogram" in text
+    # le buckets are cumulative and end with +Inf == _count.
+    assert 'repro_lat_seconds_bucket{le="0.01"} 1' in text
+    assert 'repro_lat_seconds_bucket{le="0.1"} 3' in text
+    assert 'repro_lat_seconds_bucket{le="1"} 4' in text
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 5' in text
+    assert "repro_lat_seconds_count 5" in text
+
+
+def test_prometheus_round_trip():
+    reg = loaded_registry()
+    scraped = parse_prometheus_text(render_prometheus(reg.collect()))
+    assert scraped.value("repro_q_total", path="fast") == 3.0
+    assert scraped.value_sum("repro_q_total") == 4.0
+    assert scraped.value("repro_bytes") == 4096.0
+    merged = scraped.histogram_merged("repro_lat_seconds")
+    assert merged.n == 5
+    assert merged.counts == [1, 2, 1, 1]
+    assert merged.total == pytest.approx(2.605)
+
+
+def test_idle_standard_registry_renders_and_parses():
+    reg = MetricsRegistry()
+    scraped = parse_prometheus_text(render_prometheus(reg.collect()))
+    assert scraped.value("repro_serving_batches_total") == 0.0
+    assert scraped.value("repro_cache_bytes") == 0.0
+
+
+def test_label_escaping_round_trips():
+    reg = MetricsRegistry(standard=False)
+    reg.counter("repro_q_total", "Queries.", ("path",))
+    tricky = 'a"b\\c\nd'
+    reg.inc("repro_q_total", labels=(tricky,))
+    scraped = parse_prometheus_text(render_prometheus(reg.collect()))
+    assert scraped.value("repro_q_total", path=tricky) == 1.0
+
+
+def test_snapshot_record_round_trip():
+    reg = loaded_registry()
+    record = snapshot_record(reg.collect(), ts=123.5)
+    assert record["type"] == "metrics"
+    assert record["schema"] == METRICS_SCHEMA_VERSION
+    assert record["ts"] == 123.5
+    scraped = scraped_from_record(record)
+    assert scraped.value("repro_q_total", path="fast") == 3.0
+    merged = scraped.histogram_merged("repro_lat_seconds")
+    assert merged.n == 5
+    assert merged.quantile(0.5) == pytest.approx(0.0775)
+
+
+def test_scraped_from_record_rejects_non_metrics():
+    with pytest.raises(ReproError, match="not a metrics record"):
+        scraped_from_record({"type": "meta"})

@@ -1,0 +1,286 @@
+"""Registry unit tests: families, shards, histograms, cardinality, slots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import metrics
+from repro.errors import ReproError
+from repro.metrics import (
+    DEFAULT_MAX_LABEL_SETS,
+    LATENCY_BUCKETS_S,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+)
+
+
+def bare_registry() -> MetricsRegistry:
+    return MetricsRegistry(standard=False)
+
+
+class TestDeclaration:
+    def test_undeclared_metric_raises(self):
+        reg = bare_registry()
+        with pytest.raises(ReproError, match="not declared"):
+            reg.inc("nope_total")
+
+    def test_wrong_kind_raises(self):
+        reg = bare_registry()
+        reg.counter("a_total", "help")
+        with pytest.raises(ReproError, match="is a counter"):
+            reg.observe("a_total", 1.0)
+
+    def test_identical_redeclaration_is_idempotent(self):
+        reg = bare_registry()
+        first = reg.counter("a_total", "help", ("x",))
+        second = reg.counter("a_total", "help", ("x",))
+        assert first == second
+
+    def test_conflicting_redeclaration_raises(self):
+        reg = bare_registry()
+        reg.counter("a_total", "help")
+        with pytest.raises(ReproError, match="re-declared"):
+            reg.gauge("a_total", "help")
+
+    def test_histogram_needs_sorted_unique_bounds(self):
+        reg = bare_registry()
+        with pytest.raises(ReproError, match="strictly increasing"):
+            reg.histogram("h", "help", (1.0, 1.0, 2.0))
+        with pytest.raises(ReproError, match="strictly increasing"):
+            reg.histogram("h", "help", (2.0, 1.0))
+        with pytest.raises(ReproError, match="at least one bucket"):
+            reg.histogram("h", "help", ())
+
+    def test_label_arity_is_enforced(self):
+        reg = bare_registry()
+        reg.counter("a_total", "help", ("x", "y"))
+        with pytest.raises(ReproError, match="takes labels"):
+            reg.inc("a_total", labels=("only-one",))
+
+    def test_standard_registry_declares_serving_surface(self):
+        reg = MetricsRegistry()
+        families = reg.families()
+        assert "repro_serving_queries_total" in families
+        assert "repro_serving_query_latency_seconds" in families
+        assert families["repro_serving_query_latency_seconds"].buckets == (
+            LATENCY_BUCKETS_S
+        )
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_per_label_set(self):
+        reg = bare_registry()
+        reg.counter("a_total", "help", ("k",))
+        reg.inc("a_total", labels=("x",))
+        reg.inc("a_total", 2.5, labels=("x",))
+        reg.inc("a_total", labels=("y",))
+        snap = reg.collect()
+        assert snap.counter("a_total", ("x",)) == 3.5
+        assert snap.counter("a_total", ("y",)) == 1.0
+        assert snap.counter_sum("a_total") == 4.5
+
+    def test_gauge_last_write_wins(self):
+        reg = bare_registry()
+        reg.gauge("g", "help")
+        reg.set("g", 7.0)
+        reg.set("g", 3.0)
+        assert reg.collect().gauge("g") == 3.0
+
+    def test_absent_series_read_as_zero(self):
+        reg = bare_registry()
+        reg.counter("a_total", "help")
+        reg.gauge("g", "help")
+        snap = reg.collect()
+        assert snap.counter("a_total") == 0.0
+        assert snap.gauge("g") == 0.0
+        assert snap.histogram_merged("missing") is None
+
+
+class TestHistogram:
+    def test_le_semantics_on_exact_bound(self):
+        reg = bare_registry()
+        reg.histogram("h", "help", (1.0, 2.0))
+        reg.observe("h", 1.0)   # lands in the le=1.0 bucket
+        reg.observe("h", 1.5)   # le=2.0
+        reg.observe("h", 9.0)   # +Inf
+        sample = reg.collect().histogram("h")
+        assert sample.counts == [1, 1, 1]
+        assert sample.n == 3
+        assert sample.total == pytest.approx(11.5)
+
+    def test_quantile_edges(self):
+        reg = bare_registry()
+        reg.histogram("h", "help", (1.0, 2.0))
+        empty = reg.collect().histogram_merged("h")
+        assert empty is None
+        reg.observe("h", 0.5)
+        sample = reg.collect().histogram("h")
+        with pytest.raises(ReproError, match="quantile"):
+            sample.quantile(1.5)
+        # A lone +Inf observation clamps to the largest finite bound.
+        reg2 = bare_registry()
+        reg2.histogram("h", "help", (1.0, 2.0))
+        reg2.observe("h", 100.0)
+        assert reg2.collect().histogram("h").quantile(0.5) == 2.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=0, max_size=80,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_bucket_and_quantile_invariants(self, values, q):
+        """Hypothesis sweep: counts partition observations; quantiles are
+        bounded by the covering bucket and monotone in q."""
+        bounds = (0.5, 1.0, 2.0, 5.0, 10.0)
+        reg = MetricsRegistry(standard=False)
+        reg.histogram("h", "help", bounds)
+        for v in values:
+            reg.observe("h", v)
+        sample = reg.collect().histogram_merged("h")
+        if not values:
+            assert sample is None
+            return
+        assert sum(sample.counts) == len(values)
+        # Every bucket count matches a direct histogram of the inputs.
+        for i, hi in enumerate(bounds):
+            lo = bounds[i - 1] if i > 0 else None
+            expected = sum(
+                1 for v in values
+                if v <= hi and (lo is None or v > lo)
+            )
+            assert sample.counts[i] == expected
+        assert sample.counts[-1] == sum(1 for v in values if v > bounds[-1])
+        value = sample.quantile(q)
+        assert 0.0 <= value <= bounds[-1]
+        assert sample.quantile(0.0) <= sample.quantile(1.0)
+
+
+class TestLabelCardinality:
+    def test_overflow_folds_past_the_cap(self):
+        reg = MetricsRegistry(standard=False, max_label_sets=3)
+        reg.counter("a_total", "help", ("k",))
+        for i in range(10):
+            reg.inc("a_total", labels=(f"v{i}",))
+        snap = reg.collect()
+        label_sets = {labels for (name, labels) in snap.counters if name == "a_total"}
+        assert len(label_sets) == 4  # 3 admitted + the overflow series
+        assert (OVERFLOW_LABEL,) in label_sets
+        assert snap.counter("a_total", (OVERFLOW_LABEL,)) == 7.0
+        assert snap.counter_sum("a_total") == 10.0
+
+    def test_admitted_sets_keep_their_identity(self):
+        reg = MetricsRegistry(standard=False, max_label_sets=2)
+        reg.counter("a_total", "help", ("k",))
+        reg.inc("a_total", labels=("a",))
+        reg.inc("a_total", labels=("b",))
+        reg.inc("a_total", labels=("c",))  # folds
+        reg.inc("a_total", labels=("a",))  # still its own series
+        snap = reg.collect()
+        assert snap.counter("a_total", ("a",)) == 2.0
+        assert snap.counter("a_total", ("c",)) == 0.0
+
+    def test_default_cap(self):
+        assert MetricsRegistry()._max_label_sets == DEFAULT_MAX_LABEL_SETS
+
+
+class TestConcurrentRecording:
+    def test_shard_merge_is_lossless(self):
+        """N threads hammer one counter and one histogram; collect() must
+        see every recording once all threads have joined."""
+        reg = MetricsRegistry(standard=False)
+        reg.counter("a_total", "help", ("t",))
+        reg.histogram("h", "help", (0.5, 1.0))
+        n_threads, per_thread = 8, 500
+
+        def work(tid: int) -> None:
+            for i in range(per_thread):
+                reg.inc("a_total", labels=(f"t{tid % 2}",))
+                reg.observe("h", (i % 3) * 0.4)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.collect()
+        assert snap.counter_sum("a_total") == n_threads * per_thread
+        merged = snap.histogram_merged("h")
+        assert merged.n == n_threads * per_thread
+        assert sum(merged.counts) == merged.n
+
+    def test_scrape_during_recording_never_raises(self):
+        reg = MetricsRegistry(standard=False)
+        reg.counter("a_total", "help")
+        stop = threading.Event()
+
+        def record():
+            while not stop.is_set():
+                reg.inc("a_total")
+
+        worker = threading.Thread(target=record)
+        worker.start()
+        try:
+            last = 0.0
+            for _ in range(200):
+                value = reg.collect().counter("a_total")
+                assert value >= last  # counters are monotone across scrapes
+                last = value
+        finally:
+            stop.set()
+            worker.join()
+
+
+class TestActiveSlot:
+    def test_inactive_by_default(self):
+        assert metrics.active() is None
+
+    def test_activate_is_process_wide_and_restores(self):
+        reg = MetricsRegistry(standard=False)
+        seen = {}
+        with metrics.activate(reg):
+            assert metrics.active() is reg
+
+            def probe():
+                seen["thread"] = metrics.active()
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["thread"] is reg
+        assert metrics.active() is None
+
+    def test_activate_local_shadows_even_none(self):
+        reg = MetricsRegistry(standard=False)
+        with metrics.activate(reg):
+            with metrics.activate_local(None):
+                assert metrics.active() is None
+            assert metrics.active() is reg
+
+    def test_install_returns_previous(self):
+        reg = MetricsRegistry(standard=False)
+        previous = metrics.install(reg)
+        try:
+            assert previous is None
+            assert metrics.active() is reg
+        finally:
+            metrics.install(previous)
+        assert metrics.active() is None
+
+    def test_env_enabled_parses_truthy_falsy(self, monkeypatch):
+        monkeypatch.setenv(metrics.ENV_VAR, "1")
+        assert metrics.env_enabled() is True
+        monkeypatch.setenv(metrics.ENV_VAR, "off")
+        assert metrics.env_enabled() is False
+        monkeypatch.setenv(metrics.ENV_VAR, "maybe")
+        with pytest.raises(ReproError):
+            metrics.env_enabled()

@@ -1,0 +1,72 @@
+"""``repro-top`` dashboard: scrape targets, frame rendering, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import MetricsRegistry, MetricsServer, write_snapshot
+from repro.metrics.top import main, render_frame, scrape_target
+
+
+def serving_registry(queries: float = 10.0) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("repro_serving_queries_total", queries, labels=("fast",))
+    reg.inc("repro_serving_queries_total", 2.0, labels=("stratified",))
+    reg.inc("repro_serving_batches_total", 3.0)
+    reg.inc("repro_cache_hits_total", 8.0)
+    reg.inc("repro_cache_misses_total", 2.0)
+    reg.set("repro_cache_bytes", 2048.0)
+    reg.set("repro_cache_bytes_peak", 4096.0)
+    for _ in range(int(queries)):
+        reg.observe("repro_serving_query_latency_seconds", 0.02, labels=("fast",))
+    reg.observe("repro_serving_batch_size", 4.0)
+    reg.inc("repro_serving_slo_total", 3.0, labels=("true",))
+    reg.inc("repro_serving_slo_total", 1.0, labels=("false",))
+    return reg
+
+
+def test_render_frame_has_the_headline_numbers(tmp_path):
+    path = str(tmp_path / "metrics.jsonl")
+    write_snapshot(serving_registry(), path)
+    current, ts, previous, previous_ts = scrape_target(path)
+    frame = render_frame(path, current, ts, previous, previous_ts)
+    assert "queries" in frame and "12" in frame
+    assert "hit rate  80.0%" in frame
+    assert "p50" in frame and "p95" in frame and "p99" in frame
+    assert "fast=10" in frame and "stratified=2" in frame
+    assert "SLO         met 3   missed 1" in frame
+    assert "peak 4.0 KiB" in frame
+
+
+def test_file_target_uses_last_two_records_for_rates(tmp_path):
+    path = str(tmp_path / "metrics.jsonl")
+    write_snapshot(serving_registry(), path)
+    reg = serving_registry(30.0)
+    write_snapshot(reg, path)
+    current, ts, previous, previous_ts = scrape_target(path)
+    assert previous is not None
+    assert current.value_sum("repro_serving_queries_total") == 32.0
+    assert previous.value_sum("repro_serving_queries_total") == 12.0
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ReproError, match="no metrics records"):
+        scrape_target(str(path))
+
+
+def test_once_against_live_endpoint(capsys):
+    with MetricsServer(serving_registry(), port=0) as server:
+        assert main([server.url, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "repro-top" in out
+    assert "latency" in out
+
+
+def test_once_against_snapshot_file(tmp_path, capsys):
+    path = str(tmp_path / "metrics.jsonl")
+    write_snapshot(serving_registry(), path)
+    assert main([path, "--once"]) == 0
+    assert "cache" in capsys.readouterr().out

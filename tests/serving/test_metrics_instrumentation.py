@@ -1,0 +1,113 @@
+"""Serving-layer instrumentation: engine, batcher, cache, adaptive SLO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import metrics
+from repro.core.rss1 import RSS1
+from repro.metrics import MetricsRegistry
+from repro.queries.influence import InfluenceQuery
+from repro.serving.engine import ServingEngine
+
+SEED = 7
+W = 64
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    with metrics.activate(reg):
+        yield reg
+
+
+def test_idle_engine_metrics_snapshot_is_all_zero(fig1_graph):
+    with ServingEngine(fig1_graph) as engine:
+        snap = engine.metrics_snapshot()
+    assert snap["batch_size_mean"] == 0.0
+    assert snap["cache_hit_rate"] == 0.0
+    assert snap["cache_bytes"] == 0
+    for value in snap.values():
+        assert value == 0 or value == 0.0 or value == []
+
+
+def test_fast_path_records_queries_latency_and_cache(fig1_graph, registry):
+    queries = [InfluenceQuery(i % fig1_graph.n_nodes) for i in range(8)]
+    with ServingEngine(fig1_graph, max_batch=8) as engine:
+        futures = [engine.submit(q, W, SEED) for q in queries]
+        for f in futures:
+            f.result()
+        # Second wave: the world block is already cached, so it hits.
+        for f in [engine.submit(q, W, SEED) for q in queries]:
+            f.result()
+    snap = registry.collect()
+    assert snap.counter("repro_serving_queries_total", ("fast",)) == 16.0
+    latency = snap.histogram_merged("repro_serving_query_latency_seconds")
+    assert latency is not None and latency.n == 16
+    assert snap.counter("repro_serving_batches_total") >= 2.0
+    assert snap.counter("repro_serving_sweeps_total") >= 2.0
+    admission = snap.histogram_merged("repro_serving_admission_wait_seconds")
+    assert admission is not None and admission.n == 16
+    assembly = snap.histogram_merged("repro_serving_batch_assembly_seconds")
+    assert assembly is not None and assembly.n >= 2
+    # Same world block across the waves: 1 miss, then at least one hit.
+    assert snap.counter("repro_cache_misses_total") >= 1.0
+    assert snap.counter("repro_cache_hits_total") >= 1.0
+    assert snap.gauge("repro_cache_bytes_peak") > 0.0
+    assert snap.gauge("repro_cache_entries") >= 1.0
+
+
+def test_stratified_path_labels_queries(fig1_graph, registry):
+    with ServingEngine(fig1_graph) as engine:
+        future = engine.submit(
+            InfluenceQuery(0), W, SEED, estimator=RSS1(r=2, tau=16)
+        )
+        future.result()
+    snap = registry.collect()
+    assert snap.counter("repro_serving_queries_total", ("stratified",)) == 1.0
+    assert snap.counter("repro_serving_stratified_total") == 1.0
+
+
+def test_adaptive_path_records_slo_and_worlds(fig1_graph, registry):
+    with ServingEngine(fig1_graph) as engine:
+        future = engine.submit(InfluenceQuery(0), 256, SEED, target_ci=0.5)
+        result = future.result()
+    snap = registry.collect()
+    assert snap.counter("repro_serving_queries_total", ("adaptive",)) == 1.0
+    met = snap.counter("repro_serving_slo_total", ("true",))
+    missed = snap.counter("repro_serving_slo_total", ("false",))
+    assert met + missed == 1.0
+    worlds = snap.histogram_merged("repro_adaptive_worlds_to_target")
+    assert worlds is not None and worlds.n == 1
+    assert worlds.total > 0.0
+    assert result.n_worlds > 0
+
+
+def test_engine_parity_with_and_without_registry(fig1_graph):
+    """The served estimates must be bit-identical with metrics on."""
+    queries = [InfluenceQuery(i % fig1_graph.n_nodes) for i in range(6)]
+    with ServingEngine(fig1_graph) as engine:
+        plain = [f.result() for f in [engine.submit(q, W, SEED) for q in queries]]
+    with metrics.activate(MetricsRegistry()):
+        with ServingEngine(fig1_graph) as engine:
+            observed = [
+                f.result() for f in [engine.submit(q, W, SEED) for q in queries]
+            ]
+    for a, b in zip(plain, observed):
+        assert (a.value, a.numerator, a.denominator, a.n_worlds) == (
+            b.value, b.numerator, b.denominator, b.n_worlds,
+        )
+
+
+def test_engine_metrics_snapshot_after_traffic(fig1_graph):
+    with ServingEngine(fig1_graph) as engine:
+        futures = [
+            engine.submit(InfluenceQuery(i % fig1_graph.n_nodes), W, SEED)
+            for i in range(4)
+        ]
+        for f in futures:
+            f.result()
+        snap = engine.metrics_snapshot()
+    assert snap["queries"] == 4
+    assert 0.0 <= snap["cache_hit_rate"] <= 1.0
+    assert snap["batch_size_mean"] > 0.0

@@ -118,3 +118,46 @@ def test_validate_rejects_incomplete_serving_records(serving_payload_file, tmp_p
     bad.write_text(json.dumps(payload))
     assert main(["validate", str(bad)]) == 1
     assert "queries_per_sec" in capsys.readouterr().err
+
+
+@pytest.fixture
+def metrics_snapshot_file(tmp_path):
+    from repro.metrics import MetricsRegistry, write_snapshot
+
+    reg = MetricsRegistry()
+    reg.inc("repro_serving_queries_total", 12.0, labels=("fast",))
+    reg.inc("repro_cache_hits_total", 6.0)
+    reg.inc("repro_cache_misses_total", 2.0)
+    for _ in range(12):
+        reg.observe(
+            "repro_serving_query_latency_seconds", 0.02, labels=("fast",)
+        )
+    path = tmp_path / "metrics.jsonl"
+    write_snapshot(reg, str(path))
+    write_snapshot(reg, str(path))
+    return path
+
+
+def test_summary_renders_metrics_snapshots(metrics_snapshot_file, capsys):
+    assert main(["summary", str(metrics_snapshot_file)]) == 0
+    out = capsys.readouterr().out
+    assert "metrics: 2 snapshot(s)" in out
+    assert "queries=12" in out
+    assert "hit_rate=0.75" in out
+    assert "p50/p95/p99=" in out
+
+
+def test_validate_accepts_metrics_snapshots(metrics_snapshot_file, capsys):
+    assert main(["validate", str(metrics_snapshot_file)]) == 0
+    assert "metrics file with 2 snapshots" in capsys.readouterr().out
+
+
+def test_validate_rejects_corrupt_metrics_file(metrics_snapshot_file, tmp_path, capsys):
+    import json as _json
+
+    record = _json.loads(metrics_snapshot_file.read_text().splitlines()[0])
+    del record["metrics"]["repro_serving_queries_total"]["samples"]
+    bad = tmp_path / "bad_metrics.jsonl"
+    bad.write_text(_json.dumps(record) + "\n")
+    assert main(["validate", str(bad)]) == 1
+    assert "samples" in capsys.readouterr().err

@@ -74,6 +74,9 @@ def serving_record(**overrides):
         "batch_size_mean": 64.0,
         "n_queries": 64,
         "cache_bytes_peak": 4096,
+        "latency_p50_ms": 1.5,
+        "latency_p95_ms": 4.0,
+        "latency_p99_ms": 9.0,
     }
     record.update(overrides)
     return record
@@ -103,6 +106,21 @@ def test_serving_records_require_throughput_fields():
             validate_bench_payload(bench_payload([record]))
 
 
+def test_engine_records_require_latency_quantiles():
+    for missing in ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms"):
+        record = serving_record()
+        del record[missing]
+        with pytest.raises(
+            ReproError, match=f"serving engine bench record #0.*{missing}"
+        ):
+            validate_bench_payload(bench_payload([record]))
+    # Sequential baselines have no engine latency distribution — exempt.
+    baseline = serving_record(kernel="serving_sequential_1q")
+    for field in ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms"):
+        del baseline[field]
+    assert validate_bench_payload(bench_payload([baseline])) == 1
+
+
 def test_non_serving_records_skip_the_serving_fields():
     record = serving_record(kernel="reachable_counts_batch")
     for field in (
@@ -111,9 +129,44 @@ def test_non_serving_records_skip_the_serving_fields():
         "batch_size_mean",
         "n_queries",
         "cache_bytes_peak",
+        "latency_p50_ms",
+        "latency_p95_ms",
+        "latency_p99_ms",
     ):
         del record[field]
     assert validate_bench_payload(bench_payload([record])) == 1
+
+
+def test_metrics_record_validation(tmp_path):
+    from repro.metrics import MetricsRegistry, write_snapshot
+    from repro.metrics.exposition import snapshot_record
+    from repro.telemetry.schema import validate_metrics_file, validate_metrics_record
+
+    reg = MetricsRegistry()
+    reg.inc("repro_serving_queries_total", labels=("fast",))
+    reg.observe("repro_serving_batch_size", 4.0)
+    record = snapshot_record(reg.collect())
+    assert validate_metrics_record(record) == len(record["metrics"])
+
+    with pytest.raises(ReproError, match="missing fields"):
+        validate_metrics_record({"type": "metrics"})
+    with pytest.raises(ReproError, match="schema version"):
+        validate_metrics_record(dict(record, schema=99))
+    broken = dict(record, metrics=dict(record["metrics"]))
+    family = dict(broken["metrics"]["repro_serving_batch_size"])
+    family["samples"] = [dict(family["samples"][0], counts=[1, 2])]
+    broken["metrics"] = dict(broken["metrics"], repro_serving_batch_size=family)
+    with pytest.raises(ReproError, match="counts must have"):
+        validate_metrics_record(broken)
+
+    path = str(tmp_path / "metrics.jsonl")
+    write_snapshot(reg, path)
+    write_snapshot(reg, path)
+    assert validate_metrics_file(path) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ReproError, match="no snapshots"):
+        validate_metrics_file(str(empty))
 
 
 def test_real_serving_sweep_passes_the_schema(tmp_path):
